@@ -1,0 +1,73 @@
+//! Ablation benchmarks over the design choices DESIGN.md calls out:
+//!
+//! * **policy** — most-descriptive (paper) vs most-general (\[12\]);
+//! * **levels** — the Definition 2 relaxation ladder capped at each rung;
+//! * **instances** — LI6/LI7 on vs off;
+//! * **repair** — homonym repair on vs off.
+//!
+//! Each variant runs the full naming pass over the Airline domain (the
+//! structurally richest one). The cost differences quantify what each
+//! mechanism adds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_core::{ConsistencyLevel, Labeler, NamingPolicy};
+use qi_lexicon::Lexicon;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let prepared = qi_datasets::airline::domain().prepare();
+    let lexicon = Lexicon::builtin();
+    let variants: Vec<(String, NamingPolicy)> = vec![
+        ("paper-default".to_string(), NamingPolicy::default()),
+        (
+            "most-general-baseline".to_string(),
+            NamingPolicy::most_general_baseline(),
+        ),
+        (
+            "cap-string".to_string(),
+            NamingPolicy {
+                max_level: ConsistencyLevel::String,
+                ..NamingPolicy::default()
+            },
+        ),
+        (
+            "cap-equality".to_string(),
+            NamingPolicy {
+                max_level: ConsistencyLevel::Equality,
+                ..NamingPolicy::default()
+            },
+        ),
+        (
+            "no-instances".to_string(),
+            NamingPolicy {
+                use_instances: false,
+                ..NamingPolicy::default()
+            },
+        ),
+        (
+            "no-repair".to_string(),
+            NamingPolicy {
+                repair_conflicts: false,
+                ..NamingPolicy::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    for (name, policy) in variants {
+        group.bench_with_input(BenchmarkId::new("airline", &name), &policy, |b, policy| {
+            let labeler = Labeler::new(&lexicon, *policy);
+            b.iter(|| {
+                black_box(labeler.label(
+                    &prepared.schemas,
+                    &prepared.mapping,
+                    &prepared.integrated,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmark regenerating Figure 10: the candidate-label derivation
+//! (LI1–LI7) workload across the corpus, plus the per-domain naming run
+//! that produces the usage counters.
+//!
+//! Prints the regenerated LI-involvement chart once before measuring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_core::{Labeler, NamingPolicy};
+use qi_eval::{evaluate_corpus, table, Panel};
+use qi_lexicon::Lexicon;
+use std::hint::black_box;
+
+fn bench_figure10(c: &mut Criterion) {
+    let domains = qi_datasets::all_domains();
+    let lexicon = Lexicon::builtin();
+    let result = evaluate_corpus(&domains, &lexicon, NamingPolicy::default(), Panel::default());
+    println!("\n{}", table::render_figure10(&result.li_usage));
+
+    let prepared: Vec<_> = domains.iter().map(|d| d.prepare()).collect();
+    let mut group = c.benchmark_group("figure10");
+    group.sample_size(10);
+    for domain in &prepared {
+        group.bench_with_input(
+            BenchmarkId::new("label-and-count", &domain.name),
+            domain,
+            |b, domain| {
+                let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+                b.iter(|| {
+                    let labeled =
+                        labeler.label(&domain.schemas, &domain.mapping, &domain.integrated);
+                    black_box(labeled.report.li_usage)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure10);
+criterion_main!(benches);

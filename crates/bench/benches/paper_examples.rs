@@ -1,0 +1,126 @@
+//! Micro-benchmarks of the paper's worked examples and their underlying
+//! primitives: the Table 2/3/4 group-naming runs, Definition 1 label
+//! relations, and the Porter stemmer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qi_core::{ctx::NamingCtx, relations::relate, solution::name_group, NamingPolicy};
+use qi_lexicon::Lexicon;
+use qi_mapping::{ClusterId, GroupRelation};
+use qi_text::LabelText;
+use std::hint::black_box;
+
+fn cids(n: u32) -> Vec<ClusterId> {
+    (0..n).map(ClusterId).collect()
+}
+
+fn table2_relation() -> GroupRelation {
+    GroupRelation::from_rows(
+        &cids(4),
+        &[
+            vec![None, Some("Adults"), Some("Children"), None],
+            vec![None, Some("Adult"), Some("Child"), Some("Infant")],
+            vec![None, Some("Adult"), Some("Child"), None],
+            vec![Some("Seniors"), Some("Adults"), Some("Children"), None],
+            vec![None, Some("Adults"), Some("Children"), Some("Infants")],
+            vec![Some("Seniors"), Some("Adults"), Some("Children"), None],
+        ],
+    )
+}
+
+fn table3_relation() -> GroupRelation {
+    GroupRelation::from_rows(
+        &cids(4),
+        &[
+            vec![Some("State"), Some("City"), None, None],
+            vec![None, None, Some("Zip Code"), Some("Distance")],
+            vec![Some("State"), Some("City"), None, None],
+            vec![None, None, Some("Your Zip"), Some("Within")],
+        ],
+    )
+}
+
+fn table4_relation() -> GroupRelation {
+    GroupRelation::from_rows(
+        &cids(3),
+        &[
+            vec![Some("NonStop"), None, Some("Choose an Airline")],
+            vec![Some("Number of Connections"), None, Some("Airline Preference")],
+            vec![None, Some("Class of Ticket"), Some("Preferred Airline")],
+            vec![Some("Max. Number of Stops"), None, Some("Airline Preference")],
+            vec![None, Some("Class"), Some("Airline")],
+        ],
+    )
+}
+
+fn bench_group_naming(c: &mut Criterion) {
+    let lexicon = Lexicon::builtin();
+    let policy = NamingPolicy::default();
+    let mut group = c.benchmark_group("paper_examples");
+    for (name, relation) in [
+        ("table2_string_level", table2_relation()),
+        ("table3_partially_consistent", table3_relation()),
+        ("table4_equality_level", table4_relation()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // Fresh context per iteration: measure the uncached path.
+                let ctx = NamingCtx::new(&lexicon);
+                black_box(name_group(black_box(&relation), &ctx, &policy))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_relations(c: &mut Criterion) {
+    let lexicon = Lexicon::builtin();
+    let pairs = [
+        ("Type of Job", "Job Type"),
+        ("Area of Study", "Field of Work"),
+        ("Class", "Class of Tickets"),
+        ("Location", "Property Location"),
+        ("Make", "Model"),
+        ("Do you have any preferences?", "Airline Preferences"),
+    ];
+    let texts: Vec<(LabelText, LabelText)> = pairs
+        .iter()
+        .map(|(a, b)| (LabelText::new(a, &lexicon), LabelText::new(b, &lexicon)))
+        .collect();
+    c.bench_function("definition1_relations", |b| {
+        b.iter(|| {
+            for (a, bb) in &texts {
+                black_box(relate(a, bb, &lexicon));
+            }
+        })
+    });
+    c.bench_function("label_normalization", |b| {
+        b.iter(|| {
+            for (a, _) in &pairs {
+                black_box(LabelText::new(a, &lexicon));
+            }
+        })
+    });
+}
+
+fn bench_porter(c: &mut Criterion) {
+    let words = [
+        "connections",
+        "preferences",
+        "preferred",
+        "departing",
+        "traveling",
+        "availability",
+        "characteristics",
+        "internationalization",
+    ];
+    c.bench_function("porter_stemmer", |b| {
+        b.iter(|| {
+            for w in &words {
+                black_box(qi_text::stem(w));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_group_naming, bench_relations, bench_porter);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Scalability of the pipeline on synthetic domains: runtime vs number
+//! of interfaces, vs number of concepts, and vs group width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_core::{Labeler, NamingPolicy};
+use qi_datasets::{SynthConfig, SynthDomain};
+use qi_lexicon::Lexicon;
+use std::hint::black_box;
+
+fn run(config: SynthConfig, lexicon: &Lexicon) -> usize {
+    let synth = SynthDomain::generate(config);
+    let prepared = synth.domain.prepare();
+    let labeler = Labeler::new(lexicon, NamingPolicy::default());
+    let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+    labeled.tree.leaves().count()
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let lexicon = Lexicon::builtin();
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    for interfaces in [10usize, 20, 40, 80] {
+        let config = SynthConfig {
+            interfaces,
+            ..SynthConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("interfaces", interfaces),
+            &config,
+            |b, config| b.iter(|| black_box(run(config.clone(), &lexicon))),
+        );
+    }
+    for concepts in [12usize, 24, 48, 96] {
+        let config = SynthConfig {
+            concepts,
+            groups: concepts / 4,
+            ..SynthConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("concepts", concepts),
+            &config,
+            |b, config| b.iter(|| black_box(run(config.clone(), &lexicon))),
+        );
+    }
+    for group_width in [2usize, 4, 8, 12] {
+        let config = SynthConfig {
+            concepts: 24,
+            groups: (24 / group_width).max(1),
+            ..SynthConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("group_width", group_width),
+            &config,
+            |b, config| b.iter(|| black_box(run(config.clone(), &lexicon))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

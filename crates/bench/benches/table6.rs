@@ -1,0 +1,52 @@
+//! Benchmark regenerating Table 6: the full pipeline (1:m expansion →
+//! merge → naming → metrics) per domain and for the whole corpus.
+//!
+//! Run with `cargo bench -p qi-bench --bench table6`. The bench prints
+//! the regenerated table once before measuring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_core::NamingPolicy;
+use qi_eval::{evaluate_corpus, evaluate_domain, table, Panel};
+use qi_lexicon::Lexicon;
+use std::hint::black_box;
+
+fn bench_table6(c: &mut Criterion) {
+    let domains = qi_datasets::all_domains();
+    let lexicon = Lexicon::builtin();
+    // Print the regenerated artifact once.
+    let result = evaluate_corpus(&domains, &lexicon, NamingPolicy::default(), Panel::default());
+    println!("\n{}", table::render_table6(&result.domains));
+
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    for domain in &domains {
+        group.bench_with_input(
+            BenchmarkId::new("domain", &domain.name),
+            domain,
+            |b, domain| {
+                b.iter(|| {
+                    black_box(evaluate_domain(
+                        black_box(domain),
+                        &lexicon,
+                        NamingPolicy::default(),
+                        Panel::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.bench_function("corpus", |b| {
+        b.iter(|| {
+            black_box(evaluate_corpus(
+                black_box(&domains),
+                &lexicon,
+                NamingPolicy::default(),
+                Panel::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Benchmark crate — all content lives in `benches/`:
+//!
+//! | bench | regenerates |
+//! |---|---|
+//! | `table6` | Table 6 (all columns, all seven domains) |
+//! | `figure10` | Figure 10 (LI1–LI7 involvement ratios) |
+//! | `paper_examples` | Tables 2–4 worked examples + Definition 1 micro-benchmarks |
+//! | `ablation` | policy / consistency-level / instance-rule ablations |
+//! | `scale` | synthetic-domain scalability sweeps |
+//!
+//! Run everything with `cargo bench -p qi-bench`.

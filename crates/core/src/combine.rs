@@ -1,0 +1,396 @@
+//! `Combine`, `Combine*` and tuple-solutions (Definitions 3–4).
+//!
+//! `Combine(r, s)` overlays two consistent tuples, keeping `r`'s non-null
+//! components and filling `r`'s nulls from `s`. `Combine*` iterates the
+//! operator over a partition until every derivable tuple is produced; the
+//! tuples without null components (on the columns the partition covers)
+//! are the *tuple-solutions*, and those that already existed verbatim in
+//! the group relation are *candidate solutions*.
+
+use crate::consistency::{rows_consistent, ConsistencyLevel};
+use crate::ctx::NamingCtx;
+use crate::partition::TuplePartition;
+use qi_mapping::GroupRelation;
+use std::collections::BTreeSet;
+
+/// A consistent naming solution for a set of cluster columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleSolution {
+    /// Labels per column; non-null on every covered column.
+    pub labels: Vec<Option<String>>,
+    /// Indices of the relation tuples that contributed components.
+    pub used_tuples: BTreeSet<usize>,
+    /// True if the solution is a single source tuple (Definition 4's
+    /// *candidate solution*).
+    pub is_candidate: bool,
+    /// Number of distinct content words across all labels (§4.2.1:
+    /// *expressiveness*; more ⇒ more descriptive).
+    pub expressiveness: usize,
+    /// How many relation tuples equal this solution verbatim (§4.2.1:
+    /// *frequency of occurrence*, meaningful for candidates).
+    pub frequency: usize,
+}
+
+/// `Combine(r, s)`: non-null components of `r`, plus `s`'s where `r` is
+/// null (Definition 3).
+pub fn combine(r: &[Option<String>], s: &[Option<String>]) -> Vec<Option<String>> {
+    r.iter()
+        .zip(s)
+        .map(|(a, b)| a.clone().or_else(|| b.clone()))
+        .collect()
+}
+
+/// Safety valve for `Combine*`: the paper's operator is exponential in
+/// pathological relations; real group relations are tiny, but the
+/// enumeration is capped to keep worst-case inputs bounded.
+pub const MAX_STATES: usize = 4096;
+
+/// Enumerate the tuple-solutions derivable from a partition with
+/// `Combine*` (Definition 4), complete on the partition's covered columns.
+///
+/// Solutions are deduplicated by label vector. The search explores
+/// combinations breadth-first from every member tuple, only combining
+/// pairs that are consistent at `level` (Definition 3 requires the
+/// operands to be consistent).
+pub fn enumerate_solutions(
+    relation: &GroupRelation,
+    partition: &TuplePartition,
+    level: ConsistencyLevel,
+    ctx: &NamingCtx<'_>,
+) -> Vec<TupleSolution> {
+    #[derive(Clone)]
+    struct State {
+        labels: Vec<Option<String>>,
+        used: BTreeSet<usize>,
+    }
+    let member_tuples: Vec<usize> = partition.tuples.clone();
+    let mut states: Vec<State> = Vec::new();
+    let mut seen: BTreeSet<Vec<Option<String>>> = BTreeSet::new();
+    for &t in &member_tuples {
+        let labels = relation.tuples[t].labels.clone();
+        if seen.insert(labels.clone()) {
+            states.push(State {
+                labels,
+                used: BTreeSet::from([t]),
+            });
+        }
+    }
+    let mut frontier: Vec<usize> = (0..states.len()).collect();
+    while !frontier.is_empty() && states.len() < MAX_STATES {
+        let mut next = Vec::new();
+        for &si in &frontier {
+            for &t in &member_tuples {
+                let state = &states[si];
+                let other = &relation.tuples[t].labels;
+                // Must add information and be consistent with the state.
+                let adds = state
+                    .labels
+                    .iter()
+                    .zip(other)
+                    .any(|(a, b)| a.is_none() && b.is_some());
+                if !adds || !rows_consistent(&state.labels, other, level, ctx) {
+                    continue;
+                }
+                let combined = combine(&state.labels, other);
+                if seen.insert(combined.clone()) {
+                    let mut used = state.used.clone();
+                    used.insert(t);
+                    states.push(State {
+                        labels: combined,
+                        used,
+                    });
+                    next.push(states.len() - 1);
+                    if states.len() >= MAX_STATES {
+                        break;
+                    }
+                }
+            }
+            if states.len() >= MAX_STATES {
+                break;
+            }
+        }
+        frontier = next;
+    }
+    // Keep the states complete on the covered columns.
+    let mut solutions: Vec<TupleSolution> = Vec::new();
+    for state in states {
+        let complete = partition
+            .covered
+            .iter()
+            .all(|&col| state.labels[col].is_some());
+        if !complete {
+            continue;
+        }
+        let is_candidate = member_tuples
+            .iter()
+            .any(|&t| relation.tuples[t].labels == state.labels);
+        let frequency = relation
+            .tuples
+            .iter()
+            .filter(|t| t.labels == state.labels)
+            .count();
+        let expressiveness = tuple_expressiveness(&state.labels, ctx);
+        solutions.push(TupleSolution {
+            labels: state.labels,
+            used_tuples: state.used,
+            is_candidate,
+            expressiveness,
+            frequency,
+        });
+    }
+    solutions
+}
+
+/// Several greedy solutions, seeded from each of the widest member tuples
+/// (deduplicated by label vector). Gives the ranking stage alternatives
+/// to choose from even when exhaustive enumeration is off the table.
+pub fn greedy_solutions(
+    relation: &GroupRelation,
+    partition: &TuplePartition,
+    level: ConsistencyLevel,
+    ctx: &NamingCtx<'_>,
+) -> Vec<TupleSolution> {
+    const MAX_SEEDS: usize = 8;
+    let mut seeds: Vec<usize> = partition.tuples.clone();
+    seeds.sort_by_key(|&t| (usize::MAX - relation.tuples[t].non_null_count(), t));
+    seeds.truncate(MAX_SEEDS);
+    let mut out: Vec<TupleSolution> = Vec::new();
+    let mut seen: BTreeSet<Vec<Option<String>>> = BTreeSet::new();
+    for seed in seeds {
+        if let Some(solution) = greedy_from(relation, partition, level, ctx, seed) {
+            if seen.insert(solution.labels.clone()) {
+                out.push(solution);
+            }
+        }
+    }
+    out
+}
+
+/// Greedy linear-time solution for a partition (§4.2.1: "if the time to
+/// retrieve a consistent solution is an issue then one can always be
+/// found in linear time by applying the Combine operator along a spanning
+/// tree of the connected component"). Starts from the widest tuple and
+/// repeatedly combines in the consistent tuple that fills the most nulls.
+/// Used when the exhaustive `Combine*` enumeration exceeds its state cap
+/// without producing a complete tuple (wide root groups).
+pub fn greedy_solution(
+    relation: &GroupRelation,
+    partition: &TuplePartition,
+    level: ConsistencyLevel,
+    ctx: &NamingCtx<'_>,
+) -> Option<TupleSolution> {
+    // Seed: the member tuple with the most non-null components
+    // (ties: lowest index, i.e. source order).
+    let seed = partition
+        .tuples
+        .iter()
+        .copied()
+        .max_by_key(|&t| (relation.tuples[t].non_null_count(), usize::MAX - t))?;
+    greedy_from(relation, partition, level, ctx, seed)
+}
+
+/// Greedy construction starting from a specific seed tuple.
+fn greedy_from(
+    relation: &GroupRelation,
+    partition: &TuplePartition,
+    level: ConsistencyLevel,
+    ctx: &NamingCtx<'_>,
+    seed: usize,
+) -> Option<TupleSolution> {
+    let mut remaining: Vec<usize> = partition.tuples.iter().copied().filter(|&t| t != seed).collect();
+    let mut labels = relation.tuples[seed].labels.clone();
+    let mut used = BTreeSet::from([seed]);
+    loop {
+        let complete = partition.covered.iter().all(|&col| labels[col].is_some());
+        if complete {
+            break;
+        }
+        // Best consistent extension: adds the most nulls.
+        let mut best: Option<(usize, usize)> = None; // (gain, tuple)
+        for &t in &remaining {
+            let other = &relation.tuples[t].labels;
+            let gain = labels
+                .iter()
+                .zip(other)
+                .filter(|(a, b)| a.is_none() && b.is_some())
+                .count();
+            if gain == 0 || !rows_consistent(&labels, other, level, ctx) {
+                continue;
+            }
+            if best.is_none_or(|(g, bt)| (gain, usize::MAX - t) > (g, usize::MAX - bt)) {
+                best = Some((gain, t));
+            }
+        }
+        match best {
+            Some((_, t)) => {
+                labels = combine(&labels, &relation.tuples[t].labels);
+                used.insert(t);
+                remaining.retain(|&x| x != t);
+            }
+            None => break, // no consistent extension left
+        }
+    }
+    let complete = partition.covered.iter().all(|&col| labels[col].is_some());
+    if !complete {
+        return None;
+    }
+    let is_candidate = used.len() == 1;
+    let frequency = relation.tuples.iter().filter(|t| t.labels == labels).count();
+    let expressiveness = tuple_expressiveness(&labels, ctx);
+    Some(TupleSolution {
+        labels,
+        used_tuples: used,
+        is_candidate,
+        expressiveness,
+        frequency,
+    })
+}
+
+/// Distinct content words across the non-null labels of a row (§4.2.1).
+pub fn tuple_expressiveness(labels: &[Option<String>], ctx: &NamingCtx<'_>) -> usize {
+    let mut keys: BTreeSet<String> = BTreeSet::new();
+    for label in labels.iter().flatten() {
+        for word in &ctx.text(label).words {
+            keys.insert(word.stem.clone());
+        }
+    }
+    keys.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_tuples;
+    use qi_lexicon::Lexicon;
+    use qi_mapping::ClusterId;
+
+    fn cids(n: u32) -> Vec<ClusterId> {
+        (0..n).map(ClusterId).collect()
+    }
+
+    #[test]
+    fn combine_overlays() {
+        let r = vec![Some("Seniors".to_string()), Some("Adults".to_string()), None];
+        let s = vec![None, Some("Adult".to_string()), Some("Infants".to_string())];
+        assert_eq!(
+            combine(&r, &s),
+            vec![
+                Some("Seniors".to_string()),
+                Some("Adults".to_string()), // r wins where both non-null
+                Some("Infants".to_string()),
+            ]
+        );
+    }
+
+    /// §4.1: Combine(british, economytravel) = (Seniors, Adults, Children,
+    /// Infants) — the paper's flagship example.
+    #[test]
+    fn table2_combined_solution() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(4),
+            &[
+                vec![None, Some("Adults"), Some("Children"), None],
+                vec![None, Some("Adult"), Some("Child"), Some("Infant")],
+                vec![None, Some("Adult"), Some("Child"), None],
+                vec![Some("Seniors"), Some("Adults"), Some("Children"), None],
+                vec![None, Some("Adults"), Some("Children"), Some("Infants")],
+                vec![Some("Seniors"), Some("Adults"), Some("Children"), None],
+            ],
+        );
+        let result = partition_tuples(&relation, ConsistencyLevel::String, &ctx);
+        let full = &result.partitions[result.full[0]];
+        let solutions = enumerate_solutions(&relation, full, ConsistencyLevel::String, &ctx);
+        let expected: Vec<Option<String>> =
+            ["Seniors", "Adults", "Children", "Infants"]
+                .iter()
+                .map(|s| Some(s.to_string()))
+                .collect();
+        assert!(
+            solutions.iter().any(|s| s.labels == expected),
+            "expected solution not derived: {solutions:?}"
+        );
+        // No solution is a candidate (no single interface covers all 4).
+        assert!(solutions.iter().all(|s| !s.is_candidate));
+    }
+
+    #[test]
+    fn candidate_solutions_and_frequency() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(2),
+            &[
+                vec![Some("Make"), Some("Model")],
+                vec![Some("Make"), Some("Model")],
+                vec![Some("Make"), None],
+            ],
+        );
+        let result = partition_tuples(&relation, ConsistencyLevel::String, &ctx);
+        assert!(result.has_full_cover());
+        let full = &result.partitions[result.full[0]];
+        let solutions = enumerate_solutions(&relation, full, ConsistencyLevel::String, &ctx);
+        let full_solution = solutions
+            .iter()
+            .find(|s| s.labels.iter().all(Option::is_some))
+            .unwrap();
+        assert!(full_solution.is_candidate);
+        assert_eq!(full_solution.frequency, 2);
+    }
+
+    /// §4.2.1's expressiveness example: (Max. Number of Stops, Class of
+    /// Ticket, Preferred Airline) beats (Number of Connections, Class of
+    /// Ticket, Airline Preference).
+    #[test]
+    fn expressiveness_prefers_descriptive() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let a: Vec<Option<String>> = vec![
+            Some("Max. Number of Stops".to_string()),
+            Some("Class of Ticket".to_string()),
+            Some("Preferred Airline".to_string()),
+        ];
+        let b: Vec<Option<String>> = vec![
+            Some("Number of Connections".to_string()),
+            Some("Class of Ticket".to_string()),
+            Some("Airline Preference".to_string()),
+        ];
+        assert!(tuple_expressiveness(&a, &ctx) > tuple_expressiveness(&b, &ctx));
+    }
+
+    #[test]
+    fn incomplete_partition_yields_partial_column_solutions() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        // Column 2 is labeled only by a tuple disconnected from the
+        // {State, City} partition.
+        let relation = GroupRelation::from_rows(
+            &cids(3),
+            &[
+                vec![Some("State"), Some("City"), None],
+                vec![Some("State"), None, None],
+                vec![None, None, Some("Zip")],
+            ],
+        );
+        let result = partition_tuples(&relation, ConsistencyLevel::String, &ctx);
+        assert!(!result.has_full_cover());
+        let p = result
+            .partitions
+            .iter()
+            .find(|p| p.covered.contains(&0))
+            .unwrap();
+        let solutions = enumerate_solutions(&relation, p, ConsistencyLevel::String, &ctx);
+        // The solution is complete on columns {0,1} and null on column 2.
+        assert!(solutions
+            .iter()
+            .any(|s| s.labels[0].is_some() && s.labels[1].is_some() && s.labels[2].is_none()));
+    }
+
+    #[test]
+    fn expressiveness_of_empty_row() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        assert_eq!(tuple_expressiveness(&[None, None], &ctx), 0);
+    }
+}

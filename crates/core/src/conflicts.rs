@@ -1,0 +1,196 @@
+//! Homonym detection and repair (§4.2.3).
+//!
+//! Two fields of one group must not end up with the same (or semantically
+//! equivalent) labels. When a tuple-solution contains such a pair, the
+//! repair looks for a source tuple that labels *both* clusters, agrees
+//! with the solution on one of them, and supplies a non-similar label for
+//! the other: designers of a single interface avoid evident ambiguities,
+//! so that tuple's pair of labels is a safe replacement.
+
+use crate::ctx::NamingCtx;
+use qi_mapping::GroupRelation;
+
+/// Column pairs of a solution whose labels are homonym-conflicted:
+/// identical up to word order and inflection (`Job Type` / `Type of
+/// Job`). Synonym-level pairs (`Job Type` / `Employment Type`) use
+/// visually distinct words and are acceptable on a form — the paper's own
+/// repair example substitutes exactly such a synonym.
+#[allow(clippy::needless_range_loop)] // index pairs (i, j) are the output
+pub fn find_conflicts(
+    labels: &[Option<String>],
+    ctx: &NamingCtx<'_>,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..labels.len() {
+        let Some(a) = &labels[i] else { continue };
+        for j in (i + 1)..labels.len() {
+            let Some(b) = &labels[j] else { continue };
+            if ctx.equal(a, b) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Attempt to repair every homonym conflict in `labels`. Returns
+/// `Some(true)` when conflicts were found and all were repaired,
+/// `Some(false)` when at least one conflict remains, and `None` when the
+/// solution had no conflicts.
+pub fn repair_conflicts(
+    labels: &mut [Option<String>],
+    relation: &GroupRelation,
+    ctx: &NamingCtx<'_>,
+) -> Option<bool> {
+    let conflicts = find_conflicts(labels, ctx);
+    if conflicts.is_empty() {
+        return None;
+    }
+    let mut all_repaired = true;
+    for (i, j) in conflicts {
+        if !repair_one(labels, i, j, relation, ctx) {
+            all_repaired = false;
+        }
+    }
+    Some(all_repaired)
+}
+
+/// Repair a single conflicting pair by borrowing a disambiguating pair of
+/// labels from a source tuple (§4.2.3's `Employment Type` example).
+fn repair_one(
+    labels: &mut [Option<String>],
+    i: usize,
+    j: usize,
+    relation: &GroupRelation,
+    ctx: &NamingCtx<'_>,
+) -> bool {
+    let (Some(li), Some(lj)) = (labels[i].clone(), labels[j].clone()) else {
+        return false;
+    };
+    for tuple in &relation.tuples {
+        let (Some(ti), Some(tj)) = (&tuple.labels[i], &tuple.labels[j]) else {
+            continue;
+        };
+        // The source itself must be unambiguous.
+        if ctx.equal(ti, tj) {
+            continue;
+        }
+        // Case 1: the tuple agrees with the solution on column i and
+        // offers a different label for column j.
+        if ctx.equal(ti, &li) && !ctx.equal(tj, &li) {
+            labels[j] = Some(tj.clone());
+            return true;
+        }
+        // Case 2: symmetric.
+        if ctx.equal(tj, &lj) && !ctx.equal(ti, &lj) {
+            labels[i] = Some(ti.clone());
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lexicon::Lexicon;
+    use qi_mapping::ClusterId;
+
+    fn cids(n: u32) -> Vec<ClusterId> {
+        (0..n).map(ClusterId).collect()
+    }
+
+    #[test]
+    fn detects_equal_level_conflicts() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let labels = vec![
+            Some("Job Type".to_string()),
+            Some("Type of Job".to_string()),
+            Some("Company Name".to_string()),
+        ];
+        let conflicts = find_conflicts(&labels, &ctx);
+        assert_eq!(conflicts, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn no_conflict_in_clean_solution() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let labels = vec![Some("Make".to_string()), Some("Model".to_string()), None];
+        assert!(find_conflicts(&labels, &ctx).is_empty());
+        let mut l = labels.clone();
+        let relation = GroupRelation::from_rows(&cids(3), &[]);
+        assert_eq!(repair_conflicts(&mut l, &relation, &ctx), None);
+    }
+
+    /// The paper's example: (Position Options, Job Type, Type of Job,
+    /// Company Name) repaired to (…, Job Type, Employment Type, …) using
+    /// a tuple (X, Job Type, Employment Type, X).
+    #[test]
+    fn paper_repair_example() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(4),
+            &[
+                vec![
+                    Some("Position Options"),
+                    Some("Job Type"),
+                    Some("Type of Job"),
+                    Some("Company Name"),
+                ],
+                vec![None, Some("Job Type"), Some("Employment Type"), None],
+            ],
+        );
+        let mut labels = vec![
+            Some("Position Options".to_string()),
+            Some("Job Type".to_string()),
+            Some("Type of Job".to_string()),
+            Some("Company Name".to_string()),
+        ];
+        let outcome = repair_conflicts(&mut labels, &relation, &ctx);
+        assert_eq!(outcome, Some(true));
+        assert_eq!(labels[2].as_deref(), Some("Employment Type"));
+        assert_eq!(labels[1].as_deref(), Some("Job Type"));
+        assert!(find_conflicts(&labels, &ctx).is_empty());
+    }
+
+    #[test]
+    fn unrepairable_conflict_reports_false() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        // No tuple labels both columns, so the conflict cannot be fixed.
+        let relation = GroupRelation::from_rows(
+            &cids(2),
+            &[
+                vec![Some("Job Type"), None],
+                vec![None, Some("Type of Job")],
+            ],
+        );
+        let mut labels = vec![
+            Some("Job Type".to_string()),
+            Some("Type of Job".to_string()),
+        ];
+        assert_eq!(repair_conflicts(&mut labels, &relation, &ctx), Some(false));
+        // The solution is untouched.
+        assert_eq!(labels[0].as_deref(), Some("Job Type"));
+        assert_eq!(labels[1].as_deref(), Some("Type of Job"));
+    }
+
+    #[test]
+    fn ambiguous_source_tuples_are_skipped() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        // The only both-columns tuple is itself ambiguous — useless.
+        let relation = GroupRelation::from_rows(
+            &cids(2),
+            &[vec![Some("Job Type"), Some("Type of Job")]],
+        );
+        let mut labels = vec![
+            Some("Job Type".to_string()),
+            Some("Type of Job".to_string()),
+        ];
+        assert_eq!(repair_conflicts(&mut labels, &relation, &ctx), Some(false));
+    }
+}

@@ -1,0 +1,178 @@
+//! The three levels of naming consistency (Definition 2).
+//!
+//! Two tuples of a group relation are consistent at a level when they
+//! share at least one cluster column whose labels relate at that level.
+//! Levels are cumulative when *relaxing*: the algorithm first demands
+//! plain string equality; failing that it accepts content-word equality;
+//! failing that, synonymy (§4.1, "the general directions of the
+//! algorithm").
+
+use crate::ctx::NamingCtx;
+use crate::relations::LabelRelation;
+use qi_mapping::GroupTuple;
+use serde::{Deserialize, Serialize};
+
+/// Consistency level of Definition 2, in relaxation order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum ConsistencyLevel {
+    /// Plain string comparison on display-normalized labels.
+    String,
+    /// Content-word set equality.
+    Equality,
+    /// Definition 1 synonymy.
+    Synonymy,
+}
+
+impl ConsistencyLevel {
+    /// The relaxation ladder, strongest first.
+    pub const LADDER: [ConsistencyLevel; 3] = [
+        ConsistencyLevel::String,
+        ConsistencyLevel::Equality,
+        ConsistencyLevel::Synonymy,
+    ];
+
+    /// Does `rel` satisfy this level (cumulatively)?
+    pub fn admits(self, rel: LabelRelation) -> bool {
+        match self {
+            ConsistencyLevel::String => rel == LabelRelation::StringEqual,
+            ConsistencyLevel::Equality => {
+                matches!(rel, LabelRelation::StringEqual | LabelRelation::Equal)
+            }
+            ConsistencyLevel::Synonymy => matches!(
+                rel,
+                LabelRelation::StringEqual | LabelRelation::Equal | LabelRelation::Synonym
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for ConsistencyLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsistencyLevel::String => write!(f, "string"),
+            ConsistencyLevel::Equality => write!(f, "equality"),
+            ConsistencyLevel::Synonymy => write!(f, "synonymy"),
+        }
+    }
+}
+
+/// Definition 2: two tuples are consistent at `level` if some shared
+/// cluster column carries labels related at that level.
+pub fn tuples_consistent(
+    a: &GroupTuple,
+    b: &GroupTuple,
+    level: ConsistencyLevel,
+    ctx: &NamingCtx<'_>,
+) -> bool {
+    a.labels.iter().zip(&b.labels).any(|(la, lb)| match (la, lb) {
+        (Some(la), Some(lb)) => level.admits(ctx.relate(la, lb)),
+        _ => false,
+    })
+}
+
+/// Consistency of label rows expressed as slices of options — used on
+/// combined (in-progress) tuples that no longer correspond to a single
+/// schema.
+pub fn rows_consistent(
+    a: &[Option<String>],
+    b: &[Option<String>],
+    level: ConsistencyLevel,
+    ctx: &NamingCtx<'_>,
+) -> bool {
+    a.iter().zip(b).any(|(la, lb)| match (la, lb) {
+        (Some(la), Some(lb)) => level.admits(ctx.relate(la, lb)),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lexicon::Lexicon;
+
+    fn tuple(schema: usize, labels: &[Option<&str>]) -> GroupTuple {
+        GroupTuple {
+            schema,
+            labels: labels.iter().map(|l| l.map(str::to_string)).collect(),
+        }
+    }
+
+    #[test]
+    fn ladder_order() {
+        assert!(ConsistencyLevel::String < ConsistencyLevel::Equality);
+        assert!(ConsistencyLevel::Equality < ConsistencyLevel::Synonymy);
+        assert_eq!(ConsistencyLevel::LADDER.len(), 3);
+    }
+
+    #[test]
+    fn admits_is_cumulative() {
+        use LabelRelation::*;
+        assert!(ConsistencyLevel::String.admits(StringEqual));
+        assert!(!ConsistencyLevel::String.admits(Equal));
+        assert!(ConsistencyLevel::Equality.admits(StringEqual));
+        assert!(ConsistencyLevel::Equality.admits(Equal));
+        assert!(!ConsistencyLevel::Equality.admits(Synonym));
+        assert!(ConsistencyLevel::Synonymy.admits(Synonym));
+        assert!(!ConsistencyLevel::Synonymy.admits(Hypernym));
+    }
+
+    /// Table 2: british and economytravel are string-level consistent via
+    /// the shared labels Adults and Children.
+    #[test]
+    fn table2_string_level() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let british = tuple(3, &[Some("Seniors"), Some("Adults"), Some("Children"), None]);
+        let economy = tuple(4, &[None, Some("Adults"), Some("Children"), Some("Infants")]);
+        assert!(tuples_consistent(&british, &economy, ConsistencyLevel::String, &ctx));
+        // aa vs airtravel share no label (aa: Adults/Children; airtravel
+        // after expansion: all nulls — modeled here with distinct labels).
+        let aa = tuple(0, &[None, Some("Adults"), Some("Children"), None]);
+        let airfareplanet = tuple(1, &[None, Some("Adult"), Some("Child"), Some("Infant")]);
+        assert!(!tuples_consistent(&aa, &airfareplanet, ConsistencyLevel::String, &ctx));
+        // …but Adult/Adults are content-word equal, so the equality level
+        // connects them.
+        assert!(tuples_consistent(
+            &aa,
+            &airfareplanet,
+            ConsistencyLevel::Equality,
+            &ctx
+        ));
+    }
+
+    /// Table 4: Preferred Airline vs Airline Preference is equality-level.
+    #[test]
+    fn table4_equality_level() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let alldest = tuple(2, &[None, Some("Class of Ticket"), Some("Preferred Airline")]);
+        let cheap = tuple(3, &[Some("Max. Number of Stops"), None, Some("Airline Preference")]);
+        assert!(!tuples_consistent(&alldest, &cheap, ConsistencyLevel::String, &ctx));
+        assert!(tuples_consistent(&alldest, &cheap, ConsistencyLevel::Equality, &ctx));
+    }
+
+    #[test]
+    fn synonymy_level() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let a = tuple(0, &[Some("Area of Study"), None]);
+        let b = tuple(1, &[Some("Field of Work"), Some("Company")]);
+        assert!(!tuples_consistent(&a, &b, ConsistencyLevel::Equality, &ctx));
+        assert!(tuples_consistent(&a, &b, ConsistencyLevel::Synonymy, &ctx));
+    }
+
+    #[test]
+    fn disjoint_columns_never_consistent() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        // Table 3: {State, City} rows vs {Zip, Distance} rows share no
+        // column.
+        let a = tuple(0, &[Some("State"), Some("City"), None, None]);
+        let b = tuple(1, &[None, None, Some("Zip Code"), Some("Distance")]);
+        for level in ConsistencyLevel::LADDER {
+            assert!(!tuples_consistent(&a, &b, level, &ctx));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The naming context: label normalization and relation memoization.
+//!
+//! Group relations compare the same labels over and over (every pair of
+//! tuples, at every consistency level, in every group). `NamingCtx`
+//! normalizes each raw label once and memoizes every pairwise relation.
+
+use crate::relations::{relate, LabelRelation};
+use qi_lexicon::Lexicon;
+use qi_text::LabelText;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Shared state for one naming run (one domain).
+///
+/// Not `Sync` — create one context per thread; the lexicon behind it is
+/// freely shareable.
+pub struct NamingCtx<'a> {
+    lexicon: &'a Lexicon,
+    texts: RefCell<HashMap<String, Rc<LabelText>>>,
+    relations: RefCell<HashMap<(String, String), LabelRelation>>,
+}
+
+impl<'a> NamingCtx<'a> {
+    /// Create a context over a lexicon.
+    pub fn new(lexicon: &'a Lexicon) -> Self {
+        NamingCtx {
+            lexicon,
+            texts: RefCell::new(HashMap::new()),
+            relations: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The lexicon in use.
+    pub fn lexicon(&self) -> &'a Lexicon {
+        self.lexicon
+    }
+
+    /// Normalized form of a raw label (memoized).
+    pub fn text(&self, raw: &str) -> Rc<LabelText> {
+        if let Some(t) = self.texts.borrow().get(raw) {
+            return Rc::clone(t);
+        }
+        let t = Rc::new(LabelText::new(raw, self.lexicon));
+        self.texts
+            .borrow_mut()
+            .insert(raw.to_string(), Rc::clone(&t));
+        t
+    }
+
+    /// Definition 1 relation between two raw labels (memoized, symmetric
+    /// up to [`LabelRelation::flip`]).
+    pub fn relate(&self, a: &str, b: &str) -> LabelRelation {
+        if let Some(&r) = self.relations.borrow().get(&(a.to_string(), b.to_string())) {
+            return r;
+        }
+        let ta = self.text(a);
+        let tb = self.text(b);
+        let r = relate(&ta, &tb, self.lexicon);
+        let mut cache = self.relations.borrow_mut();
+        cache.insert((a.to_string(), b.to_string()), r);
+        cache.insert((b.to_string(), a.to_string()), r.flip());
+        r
+    }
+
+    /// `a` and `b` have identical display forms.
+    pub fn string_equal(&self, a: &str, b: &str) -> bool {
+        self.relate(a, b) == LabelRelation::StringEqual
+    }
+
+    /// `a equal b` or stronger.
+    pub fn equal(&self, a: &str, b: &str) -> bool {
+        matches!(
+            self.relate(a, b),
+            LabelRelation::StringEqual | LabelRelation::Equal
+        )
+    }
+
+    /// `a synonym b` or stronger.
+    pub fn synonym(&self, a: &str, b: &str) -> bool {
+        matches!(
+            self.relate(a, b),
+            LabelRelation::StringEqual | LabelRelation::Equal | LabelRelation::Synonym
+        )
+    }
+
+    /// `a` is a strict hypernym of `b`.
+    pub fn hypernym(&self, a: &str, b: &str) -> bool {
+        self.relate(a, b) == LabelRelation::Hypernym
+    }
+
+    /// `a` is *semantically at least as general as* `b` by lexical
+    /// evidence alone: equal, synonym or hypernym (Definition 5 condition
+    /// (i); condition (ii), descendant-leaf containment, is structural and
+    /// checked by the caller).
+    pub fn at_least_as_general(&self, a: &str, b: &str) -> bool {
+        matches!(
+            self.relate(a, b),
+            LabelRelation::StringEqual
+                | LabelRelation::Equal
+                | LabelRelation::Synonym
+                | LabelRelation::Hypernym
+        )
+    }
+
+    /// Expressiveness (content-word count) of a raw label (§4.2.1).
+    pub fn expressiveness(&self, raw: &str) -> usize {
+        self.text(raw).expressiveness()
+    }
+
+    /// Number of labels normalized so far (diagnostics).
+    pub fn cached_labels(&self) -> usize {
+        self.texts.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_returns_same_rc() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let a = ctx.text("Zip Code");
+        let b = ctx.text("Zip Code");
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(ctx.cached_labels(), 1);
+    }
+
+    #[test]
+    fn relate_is_cached_symmetrically() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        assert_eq!(ctx.relate("Class", "Class of Tickets"), LabelRelation::Hypernym);
+        // The flipped direction is answered from cache.
+        assert_eq!(ctx.relate("Class of Tickets", "Class"), LabelRelation::Hyponym);
+    }
+
+    #[test]
+    fn predicate_helpers() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        assert!(ctx.string_equal("From", "from"));
+        assert!(ctx.equal("Job Type", "Type of Job"));
+        assert!(ctx.synonym("Area of Study", "Field of Work"));
+        assert!(ctx.hypernym("Location", "Property Location"));
+        assert!(ctx.at_least_as_general("Location", "Location"));
+        assert!(ctx.at_least_as_general("Class", "Flight Class"));
+        assert!(!ctx.at_least_as_general("Flight Class", "Class"));
+        assert_eq!(ctx.expressiveness("Max. Number of Stops"), 3);
+    }
+}

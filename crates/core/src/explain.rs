@@ -1,0 +1,192 @@
+//! Human-readable provenance for every label decision.
+//!
+//! A practical integrator needs more than a labeled tree — it needs to
+//! answer "*why* is this field called `Preferred Airline`?" This module
+//! renders a per-node narrative from the artifacts the labeler already
+//! records: group outcomes (level, conflict repair), isolated elections,
+//! internal-node candidate sets with their LI rules, and the Definition 6
+//! / blocked-by-ancestor verdicts.
+
+use crate::labeler::LabeledInterface;
+use qi_schema::NodeId;
+
+/// Render the full explanation as indented text.
+pub fn render(labeled: &LabeledInterface) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Naming explanation — {}\n",
+        match labeled.report.class {
+            Some(class) => format!("interface is {class}"),
+            None => "unclassified".to_string(),
+        }
+    ));
+    // Group-by-group narrative.
+    for group in &labeled.report.groups {
+        out.push_str(&format!("\ngroup [{}]\n", group.description));
+        match group.level {
+            Some(level) => out.push_str(&format!(
+                "  consistent naming found at the {level} level of Definition 2\n"
+            )),
+            None if group.consistent => {}
+            None => out.push_str(
+                "  no covering partition at any level: partially consistent solution (§4.2.2)\n",
+            ),
+        }
+        out.push_str(&format!(
+            "  labels: {}\n",
+            group
+                .labels
+                .iter()
+                .map(|l| l.as_deref().unwrap_or("∅"))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        ));
+        match group.conflict_repaired {
+            Some(true) => out.push_str("  homonym conflict detected and repaired (§4.2.3)\n"),
+            Some(false) => out.push_str("  homonym conflict detected but NOT repairable\n"),
+            None => {}
+        }
+        if group.labels.iter().any(Option::is_none) {
+            out.push_str("  an unlabeled member has no label on any source interface\n");
+        }
+    }
+    // Internal-node narrative, in document order.
+    out.push_str("\ninternal nodes:\n");
+    for id in labeled.tree.preorder() {
+        if id == NodeId::ROOT || labeled.tree.node(id).is_leaf() {
+            continue;
+        }
+        explain_internal(labeled, id, &mut out);
+    }
+    out
+}
+
+fn explain_internal(labeled: &LabeledInterface, id: NodeId, out: &mut String) {
+    let node = labeled.tree.node(id);
+    let depth = labeled.tree.node_depth(id).saturating_sub(1);
+    let indent = "  ".repeat(depth);
+    let Some(decision) = labeled.internal_decisions.get(&id) else {
+        return;
+    };
+    match &decision.chosen {
+        Some(label) => {
+            out.push_str(&format!("{indent}+ {label:?}"));
+            if decision.def6_consistent {
+                out.push_str(" — consistent with all descendant group solutions (Def. 6)");
+            } else {
+                out.push_str(" — weakly consistent: satisfies generality (Def. 5) only");
+            }
+        }
+        None if decision.candidate_count == 0 => {
+            out.push_str(&format!(
+                "{indent}+ (unlabeled) — no source interface labels any node covering exactly \
+                 this field set"
+            ));
+        }
+        None => {
+            out.push_str(&format!(
+                "{indent}+ (unlabeled) — all {} candidate label(s) already claimed by an \
+                 ancestor (the §7 \"promoted to its ancestors\" case)",
+                decision.candidate_count
+            ));
+        }
+    }
+    out.push('\n');
+    if let Some(candidates) = labeled.internal_candidates.get(&id) {
+        for candidate in candidates {
+            out.push_str(&format!(
+                "{indent}    candidate {:?} via {} (from {} source node(s))\n",
+                candidate.label,
+                candidate.rule,
+                candidate.frequency
+            ));
+        }
+    }
+    let _ = node;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Labeler, NamingPolicy};
+    use qi_lexicon::Lexicon;
+
+    fn airline_explanation() -> String {
+        let prepared = qi_datasets_shim();
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let labeled = labeler.label(&prepared.0, &prepared.1, &prepared.2);
+        render(&labeled)
+    }
+
+    /// A small two-interface fixture (the core crate cannot depend on the
+    /// corpus crate).
+    fn qi_datasets_shim() -> (
+        Vec<qi_schema::SchemaTree>,
+        qi_mapping::Mapping,
+        qi_mapping::Integrated,
+    ) {
+        use qi_mapping::{expand_one_to_many, FieldRef, Mapping};
+        use qi_schema::spec::{leaf, node};
+        use qi_schema::SchemaTree;
+        let a = SchemaTree::build(
+            "a",
+            vec![node(
+                "Passengers",
+                vec![leaf("Adults"), leaf("Children")],
+            )],
+        )
+        .unwrap();
+        let b = SchemaTree::build(
+            "b",
+            vec![
+                node(
+                    "Travelers",
+                    vec![leaf("Adults"), leaf("Children"), leaf("Infants")],
+                ),
+                leaf("Promo Code"),
+            ],
+        )
+        .unwrap();
+        let al = a.descendant_leaves(qi_schema::NodeId::ROOT);
+        let bl = b.descendant_leaves(qi_schema::NodeId::ROOT);
+        let mut mapping = Mapping::from_clusters(vec![
+            (
+                "adult".to_string(),
+                vec![FieldRef::new(0, al[0]), FieldRef::new(1, bl[0])],
+            ),
+            (
+                "child".to_string(),
+                vec![FieldRef::new(0, al[1]), FieldRef::new(1, bl[1])],
+            ),
+            ("infant".to_string(), vec![FieldRef::new(1, bl[2])]),
+            ("promo".to_string(), vec![FieldRef::new(1, bl[3])]),
+        ]);
+        let mut schemas = vec![a, b];
+        expand_one_to_many(&mut schemas, &mut mapping);
+        let integrated = qi_merge::merge(&schemas, &mapping);
+        (schemas, mapping, integrated)
+    }
+
+    #[test]
+    fn explanation_mentions_groups_and_levels() {
+        let text = airline_explanation();
+        assert!(text.contains("group ["), "{text}");
+        assert!(text.contains("string level"), "{text}");
+        assert!(text.contains("labels:"), "{text}");
+    }
+
+    #[test]
+    fn explanation_covers_internal_nodes() {
+        let text = airline_explanation();
+        assert!(text.contains("internal nodes:"), "{text}");
+        assert!(text.contains("candidate"), "{text}");
+        assert!(text.contains("LI2"), "{text}");
+    }
+
+    #[test]
+    fn explanation_reports_classification() {
+        let text = airline_explanation();
+        assert!(text.contains("interface is"), "{text}");
+    }
+}

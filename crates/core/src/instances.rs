@@ -1,0 +1,96 @@
+//! Instance-based reasoning (§6.1): the helpers behind LI5 (condition 1),
+//! LI6 and LI7.
+//!
+//! Query-interface fields often carry predefined domains (selection-list
+//! options). The paper uses them in three places:
+//!
+//! * **LI5 (1)** — a field set `Z` is *characterized by* `W` when `Z`'s
+//!   instances are a subset of `W`'s ([`instances_subset`]);
+//! * **LI6** — a general label whose domain is contained in a more
+//!   descriptive hyponym's domain is *bounded* to that hyponym's meaning
+//!   ([`instances_subset`] again, on label domains);
+//! * **LI7** — a label that occurs among the instances of a sibling field
+//!   is really a *value*, hence too specific ([`label_is_instance_of`]).
+
+use qi_text::display_normalize;
+
+/// Case- and punctuation-insensitive instance comparison key.
+fn instance_key(value: &str) -> String {
+    display_normalize(value).to_ascii_lowercase()
+}
+
+/// True if every instance of `a` occurs among the instances of `b`
+/// (case/punctuation-insensitive). Empty `a` is *not* considered a subset
+/// — the paper's rules compare observed domains, and an empty domain
+/// carries no evidence.
+pub fn instances_subset(a: &[String], b: &[String]) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    let b_keys: Vec<String> = b.iter().map(|v| instance_key(v)).collect();
+    a.iter().all(|v| b_keys.contains(&instance_key(v)))
+}
+
+/// True if `label` occurs among `instances` (LI7's trigger: the label is
+/// really a data value of another field).
+pub fn label_is_instance_of(label: &str, instances: &[String]) -> bool {
+    if instances.is_empty() {
+        return false;
+    }
+    let key = instance_key(label);
+    if key.is_empty() {
+        return false;
+    }
+    instances.iter().any(|v| instance_key(v) == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owned(values: &[&str]) -> Vec<String> {
+        values.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn subset_is_case_insensitive() {
+        let a = owned(&["Economy", "BUSINESS"]);
+        let b = owned(&["economy", "business", "first"]);
+        assert!(instances_subset(&a, &b));
+        assert!(!instances_subset(&b, &a));
+    }
+
+    #[test]
+    fn equal_domains_are_mutual_subsets() {
+        // LI6's example: Flight Class and Class have the same domain.
+        let class = owned(&["Economy", "Business", "First"]);
+        let flight_class = owned(&["economy", "business", "first"]);
+        assert!(instances_subset(&class, &flight_class));
+        assert!(instances_subset(&flight_class, &class));
+    }
+
+    #[test]
+    fn empty_domains_carry_no_evidence() {
+        let some = owned(&["a"]);
+        assert!(!instances_subset(&[], &some));
+        assert!(!instances_subset(&some, &[]));
+        assert!(!instances_subset(&[], &[]));
+    }
+
+    #[test]
+    fn label_as_value_detection() {
+        // §6.1.2: hardcover/paperback are instances of Format.
+        let format_domain = owned(&["Hardcover", "Paperback", "Audio"]);
+        assert!(label_is_instance_of("hardcover", &format_domain));
+        assert!(label_is_instance_of("Paperback", &format_domain));
+        assert!(!label_is_instance_of("Format", &format_domain));
+        assert!(!label_is_instance_of("", &format_domain));
+        assert!(!label_is_instance_of("hardcover", &[]));
+    }
+
+    #[test]
+    fn punctuation_is_normalized() {
+        let domain = owned(&["Hard-cover"]);
+        assert!(label_is_instance_of("hard cover", &domain));
+    }
+}

@@ -1,0 +1,705 @@
+//! The three-phase naming algorithm (§6, Definition 8).
+//!
+//! * **Phase 1** (bottom-up): build the group relations and name every
+//!   group (§4), elect labels for isolated clusters (§4.4), and derive the
+//!   candidate-label sets of all internal nodes (§5, LI1–LI5).
+//! * **Phase 2**: determine the consistency level the schema tree admits —
+//!   consistent, weakly consistent or inconsistent (Definition 8,
+//!   Propositions 1–2).
+//! * **Phase 3** (top-down): assign each node a label from its candidate
+//!   set complying with the established level: internal-node labels must
+//!   differ from their ancestors' labels, be at least as general as their
+//!   descendants' (Definition 5 via [`internal::at_least_as_general`]),
+//!   and — for full consistency — be consistent with the solutions chosen
+//!   for their descendant groups (Definitions 6–7).
+
+use crate::ctx::NamingCtx;
+use crate::internal::{self, CandidateLabel, ClusterInfo, PotentialLabel};
+use crate::isolated::{label_isolated_cluster, LabelOccurrence};
+use crate::policy::NamingPolicy;
+use crate::report::{ConsistencyClass, GroupOutcome, NamingReport};
+use crate::solution::{name_group, GroupNaming};
+use qi_lexicon::Lexicon;
+use qi_mapping::{ClusterId, GroupRelation, Integrated, Mapping};
+use qi_schema::{NodeId, SchemaTree};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The naming algorithm, configured once per domain run.
+pub struct Labeler<'a> {
+    lexicon: &'a Lexicon,
+    policy: NamingPolicy,
+}
+
+/// The labeled integrated interface plus the full naming report.
+#[derive(Debug, Clone)]
+pub struct LabeledInterface {
+    /// The integrated schema tree with labels assigned.
+    pub tree: SchemaTree,
+    /// Leaf → cluster correspondence (copied from the input).
+    pub leaf_cluster: BTreeMap<NodeId, ClusterId>,
+    /// What happened: consistency class, group outcomes, LI usage.
+    pub report: NamingReport,
+    /// Chosen candidate labels per internal node (diagnostics).
+    pub internal_candidates: BTreeMap<NodeId, Vec<CandidateLabel>>,
+    /// Why each internal node got (or failed to get) its label.
+    pub internal_decisions: BTreeMap<NodeId, InternalDecision>,
+}
+
+/// How the label assignment went for one internal node (phase 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalDecision {
+    /// The assigned label, if any.
+    pub chosen: Option<String>,
+    /// Number of candidate labels the node had.
+    pub candidate_count: usize,
+    /// Definition 6 held for the chosen label against every descendant
+    /// group's chosen solution (full vertical consistency).
+    pub def6_consistent: bool,
+    /// The node had candidates, but all of them duplicate an ancestor's
+    /// label — the "candidate promoted to its ancestors" failure (§7).
+    pub blocked_by_ancestor: bool,
+}
+
+/// Everything phase 1 computed for one group of the integrated interface.
+struct GroupWork {
+    /// The group's clusters, in column order.
+    clusters: Vec<ClusterId>,
+    /// The integrated leaves, parallel to `clusters`.
+    leaves: Vec<NodeId>,
+    /// The internal node the group hangs off (`None` for the root group).
+    parent: Option<NodeId>,
+    relation: GroupRelation,
+    naming: GroupNaming,
+}
+
+impl<'a> Labeler<'a> {
+    /// Create a labeler over a lexicon with the given policy.
+    pub fn new(lexicon: &'a Lexicon, policy: NamingPolicy) -> Self {
+        Labeler { lexicon, policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &NamingPolicy {
+        &self.policy
+    }
+
+    /// Run the naming algorithm.
+    ///
+    /// `schemas` and `mapping` must be in 1:1 form (after
+    /// [`qi_mapping::expand_one_to_many`]); `integrated` is the output of
+    /// [`qi_merge::merge`] (or any tree whose leaves map to clusters).
+    pub fn label(
+        &self,
+        schemas: &[SchemaTree],
+        mapping: &Mapping,
+        integrated: &Integrated,
+    ) -> LabeledInterface {
+        let ctx = NamingCtx::new(self.lexicon);
+        let mut report = NamingReport::default();
+        let mut tree = integrated.tree.clone();
+        let partition = integrated.partition();
+
+        // ---------- Phase 1a: name the groups -------------------------------
+        let mut groups: Vec<GroupWork> = Vec::new();
+        for group in &partition.groups {
+            let relation = GroupRelation::build(&group.clusters, mapping, schemas);
+            let naming = name_group(&relation, &ctx, &self.policy);
+            groups.push(GroupWork {
+                clusters: group.clusters.clone(),
+                leaves: group.leaves.clone(),
+                parent: Some(group.parent),
+                relation,
+                naming,
+            });
+        }
+        // The children of the root are treated as one special group for
+        // which partially consistent solutions are accepted (§4).
+        if !partition.root.is_empty() {
+            let clusters: Vec<ClusterId> = partition.root.iter().map(|&(_, c)| c).collect();
+            let leaves: Vec<NodeId> = partition.root.iter().map(|&(l, _)| l).collect();
+            let relation = GroupRelation::build(&clusters, mapping, schemas);
+            let naming = name_group(&relation, &ctx, &self.policy);
+            groups.push(GroupWork {
+                clusters,
+                leaves,
+                parent: None,
+                relation,
+                naming,
+            });
+        }
+
+        // ---------- Phase 1b: isolated clusters ------------------------------
+        for &(leaf, cluster) in &partition.isolated {
+            let occurrences = isolated_occurrences(schemas, mapping, cluster);
+            let label =
+                label_isolated_cluster(&occurrences, &ctx, &self.policy, &mut report.li_usage);
+            tree.set_label(leaf, label);
+        }
+
+        // ---------- Phase 1c: candidate labels for internal nodes -----------
+        let potentials = collect_potentials(schemas, mapping);
+        let info = collect_cluster_info(schemas, mapping);
+        let mut internal_candidates: BTreeMap<NodeId, Vec<CandidateLabel>> = BTreeMap::new();
+        let mut node_clusters: BTreeMap<NodeId, BTreeSet<ClusterId>> = BTreeMap::new();
+        for internal in integrated.tree.internal_nodes() {
+            let x: BTreeSet<ClusterId> = integrated
+                .tree
+                .descendant_leaves(internal.id)
+                .into_iter()
+                .filter_map(|l| integrated.cluster_of_leaf(l))
+                .collect();
+            let candidates =
+                internal::find_candidates(&x, &potentials, &info, &ctx, &mut report.li_usage);
+            node_clusters.insert(internal.id, x);
+            internal_candidates.insert(internal.id, candidates);
+        }
+
+        // ---------- Phase 3a: assign group-field labels ----------------------
+        for group in &groups {
+            let best = group.naming.best();
+            let labels: Vec<Option<String>> = match best {
+                Some(solution) => solution.labels.clone(),
+                None => vec![None; group.clusters.len()],
+            };
+            for (leaf, label) in group.leaves.iter().zip(&labels) {
+                tree.set_label(*leaf, label.clone());
+            }
+            report.groups.push(GroupOutcome {
+                description: group
+                    .clusters
+                    .iter()
+                    .map(|&c| mapping.cluster(c).concept.clone())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                level: group.naming.level,
+                consistent: group.naming.consistent,
+                labels,
+                conflict_repaired: best.and_then(|s| s.conflict_repaired),
+            });
+        }
+
+        // ---------- Phase 3b: assign internal-node labels (top-down) --------
+        // For Definition 6 checks: which group hangs under which internal
+        // node (descendant groups = groups whose parent is a descendant-or-
+        // self of the node).
+        let mut assigned: BTreeMap<NodeId, String> = BTreeMap::new();
+        let mut decisions: BTreeMap<NodeId, InternalDecision> = BTreeMap::new();
+        let mut weakly = 0usize;
+        for id in integrated.tree.preorder() {
+            if id == NodeId::ROOT || integrated.tree.node(id).is_leaf() {
+                continue;
+            }
+            let candidates = &internal_candidates[&id];
+            if candidates.is_empty() {
+                report.internal_without_candidates += 1;
+                decisions.insert(
+                    id,
+                    InternalDecision {
+                        chosen: None,
+                        candidate_count: 0,
+                        def6_consistent: false,
+                        blocked_by_ancestor: false,
+                    },
+                );
+                continue;
+            }
+            let path: Vec<NodeId> = integrated.tree.path_to_root(id);
+            let ancestor_labels: Vec<&String> =
+                path.iter().filter_map(|p| assigned.get(p)).collect();
+            let parent_label: Option<(&String, &BTreeSet<ClusterId>)> = path
+                .iter()
+                .find_map(|p| assigned.get(p).map(|l| (l, &node_clusters[p])));
+            let descendant_groups: Vec<&GroupWork> = groups
+                .iter()
+                .filter(|g| match g.parent {
+                    Some(p) => p == id || integrated.tree.path_to_root(p).contains(&id),
+                    None => false,
+                })
+                .collect();
+            let x = &node_clusters[&id];
+            // Score every candidate: must not duplicate an ancestor label;
+            // prefer Definition 6 consistency with the chosen group
+            // solutions, then Definition 5 generality wrt the parent.
+            let mut best: Option<(bool, bool, &CandidateLabel)> = None;
+            for candidate in candidates {
+                if ancestor_labels
+                    .iter()
+                    .any(|al| ctx.equal(al, &candidate.label))
+                {
+                    continue; // Le − L_path(e) requirement (Prop. 2)
+                }
+                let def6 = descendant_groups.iter().all(|g| {
+                    candidate_consistent_with_group(candidate, g)
+                });
+                let generality_ok = match parent_label {
+                    Some((pl, pbag)) => {
+                        internal::at_least_as_general(pl, pbag, &candidate.label, x, &ctx)
+                            || internal::at_least_as_general(
+                                pl,
+                                pbag,
+                                &candidate.label,
+                                &candidate.coverage,
+                                &ctx,
+                            )
+                    }
+                    None => true,
+                };
+                let better = match &best {
+                    None => true,
+                    Some((b_def6, b_gen, b_cand)) => {
+                        (def6, generality_ok, candidate.expressiveness, candidate.frequency)
+                            > (*b_def6, *b_gen, b_cand.expressiveness, b_cand.frequency)
+                    }
+                };
+                if better {
+                    best = Some((def6, generality_ok, candidate));
+                }
+            }
+            match best {
+                Some((def6, _generality, candidate)) => {
+                    assigned.insert(id, candidate.label.clone());
+                    tree.set_label(id, Some(candidate.label.clone()));
+                    report.labeled_internal += 1;
+                    decisions.insert(
+                        id,
+                        InternalDecision {
+                            chosen: Some(candidate.label.clone()),
+                            candidate_count: candidates.len(),
+                            def6_consistent: def6,
+                            blocked_by_ancestor: false,
+                        },
+                    );
+                    if !def6 {
+                        weakly += 1;
+                    }
+                }
+                None => {
+                    report.unlabeled_internal_with_candidates += 1;
+                    decisions.insert(
+                        id,
+                        InternalDecision {
+                            chosen: None,
+                            candidate_count: candidates.len(),
+                            def6_consistent: false,
+                            blocked_by_ancestor: true,
+                        },
+                    );
+                }
+            }
+        }
+
+        // ---------- Phase 2 (final): classify (Definition 8) ----------------
+        // Regular groups must have consistent solutions; the root group may
+        // be partially consistent (§4). Internal nodes with candidates must
+        // all be labeled.
+        let groups_ok = groups
+            .iter()
+            .filter(|g| g.parent.is_some())
+            .all(|g| g.naming.consistent || g.relation.tuples.is_empty());
+        let class = if !groups_ok || report.unlabeled_internal_with_candidates > 0 {
+            ConsistencyClass::Inconsistent
+        } else if weakly > 0 {
+            ConsistencyClass::WeaklyConsistent
+        } else {
+            ConsistencyClass::Consistent
+        };
+        report.class = Some(class);
+
+        // ---------- Field accounting -----------------------------------------
+        for leaf in tree.leaves() {
+            if leaf.label.is_none() {
+                report.unlabeled_fields += 1;
+                if !leaf.instances().is_empty() {
+                    report.unlabeled_fields_with_instances += 1;
+                }
+            }
+        }
+
+        LabeledInterface {
+            tree,
+            leaf_cluster: integrated.leaf_cluster.clone(),
+            report,
+            internal_candidates,
+            internal_decisions: decisions,
+        }
+    }
+}
+
+/// Definition 6: a candidate label is consistent with a group's chosen
+/// solution when one of its originating schemas supplies a tuple inside
+/// the partition that produced the solution (schemas supplying no tuple
+/// are vacuously consistent).
+fn candidate_consistent_with_group(candidate: &CandidateLabel, group: &GroupWork) -> bool {
+    let Some(solution) = group.naming.best() else {
+        return true;
+    };
+    if !group.naming.consistent {
+        // Partially consistent solutions span partitions; full Definition
+        // 6 consistency is unattainable (the node can only be weakly
+        // consistent through this group).
+        return false;
+    }
+    candidate.schemas.iter().any(|&schema| {
+        match group
+            .relation
+            .tuples
+            .iter()
+            .position(|t| t.schema == schema)
+        {
+            Some(idx) => solution.partition_tuples.contains(&idx),
+            None => true, // no tuple — no conflicting evidence
+        }
+    })
+}
+
+/// Label occurrences of an isolated cluster's member fields, grouped by
+/// display-normalized form.
+fn isolated_occurrences(
+    schemas: &[SchemaTree],
+    mapping: &Mapping,
+    cluster: ClusterId,
+) -> Vec<LabelOccurrence> {
+    let mut occurrences: Vec<LabelOccurrence> = Vec::new();
+    for member in &mapping.cluster(cluster).members {
+        let node = schemas[member.schema].node(member.node);
+        let Some(label) = &node.label else { continue };
+        let instances = node.instances().to_vec();
+        match occurrences
+            .iter_mut()
+            .find(|o| o.label.eq_ignore_ascii_case(label))
+        {
+            Some(o) => {
+                o.frequency += 1;
+                for i in instances {
+                    if !o.domain.contains(&i) {
+                        o.domain.push(i);
+                    }
+                }
+            }
+            None => occurrences.push(LabelOccurrence {
+                label: label.clone(),
+                frequency: 1,
+                domain: instances,
+            }),
+        }
+    }
+    occurrences
+}
+
+/// All labeled source internal nodes as potential labels (bags computed
+/// against the mapping).
+fn collect_potentials(schemas: &[SchemaTree], mapping: &Mapping) -> Vec<PotentialLabel> {
+    // Reverse index: field → cluster.
+    let mut field_cluster: BTreeMap<(usize, NodeId), ClusterId> = BTreeMap::new();
+    for cluster in &mapping.clusters {
+        for &member in &cluster.members {
+            field_cluster.insert((member.schema, member.node), cluster.id);
+        }
+    }
+    let mut potentials = Vec::new();
+    for (schema_idx, tree) in schemas.iter().enumerate() {
+        for internal in tree.internal_nodes() {
+            let Some(label) = &internal.label else { continue };
+            let bag: BTreeSet<ClusterId> = tree
+                .descendant_leaves(internal.id)
+                .into_iter()
+                .filter_map(|l| field_cluster.get(&(schema_idx, l)).copied())
+                .collect();
+            if !bag.is_empty() {
+                potentials.push(PotentialLabel {
+                    label: label.clone(),
+                    schema: schema_idx,
+                    bag,
+                });
+            }
+        }
+    }
+    potentials
+}
+
+/// Per-cluster instances and field labels (LI5–LI7 side information).
+fn collect_cluster_info(
+    schemas: &[SchemaTree],
+    mapping: &Mapping,
+) -> BTreeMap<ClusterId, ClusterInfo> {
+    let mut info: BTreeMap<ClusterId, ClusterInfo> = BTreeMap::new();
+    for cluster in &mapping.clusters {
+        let entry = info.entry(cluster.id).or_default();
+        for &member in &cluster.members {
+            let node = schemas[member.schema].node(member.node);
+            if let Some(label) = &node.label {
+                if !entry.field_labels.contains(label) {
+                    entry.field_labels.push(label.clone());
+                }
+            }
+            for instance in node.instances() {
+                if !entry.instances.contains(instance) {
+                    entry.instances.push(instance.clone());
+                }
+            }
+        }
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_mapping::{expand_one_to_many, FieldRef};
+    use qi_schema::spec::{leaf, node, select};
+
+    fn field(schemas: &[SchemaTree], schema: usize, label: &str) -> FieldRef {
+        let tree = &schemas[schema];
+        let id = tree
+            .descendant_leaves(NodeId::ROOT)
+            .into_iter()
+            .find(|&l| tree.node(l).label_str() == label)
+            .unwrap_or_else(|| panic!("{label} not found in schema {schema}"));
+        FieldRef::new(schema, id)
+    }
+
+    /// An airline micro-domain exercising groups, isolated clusters and
+    /// internal-node labeling in one run.
+    fn airline_fixture() -> (Vec<SchemaTree>, Mapping, Integrated) {
+        let a = SchemaTree::build(
+            "british",
+            vec![
+                node(
+                    "How many passengers?",
+                    vec![leaf("Seniors"), leaf("Adults"), leaf("Children")],
+                ),
+                node("Service", vec![select("Class", &["Economy", "First"])]),
+            ],
+        )
+        .unwrap();
+        let b = SchemaTree::build(
+            "economytravel",
+            vec![
+                node(
+                    "Passengers",
+                    vec![leaf("Adults"), leaf("Children"), leaf("Infants")],
+                ),
+                node(
+                    "Preferences",
+                    vec![select("Class of Ticket", &["Economy", "First"])],
+                ),
+            ],
+        )
+        .unwrap();
+        let schemas = vec![a, b];
+        let mut mapping = Mapping::from_clusters(vec![
+            ("c_Senior".to_string(), vec![field(&schemas, 0, "Seniors")]),
+            (
+                "c_Adult".to_string(),
+                vec![field(&schemas, 0, "Adults"), field(&schemas, 1, "Adults")],
+            ),
+            (
+                "c_Child".to_string(),
+                vec![field(&schemas, 0, "Children"), field(&schemas, 1, "Children")],
+            ),
+            ("c_Infant".to_string(), vec![field(&schemas, 1, "Infants")]),
+            (
+                "c_Class".to_string(),
+                vec![
+                    field(&schemas, 0, "Class"),
+                    field(&schemas, 1, "Class of Ticket"),
+                ],
+            ),
+        ]);
+        let mut schemas = schemas;
+        expand_one_to_many(&mut schemas, &mut mapping);
+        mapping.validate(&schemas).unwrap();
+        let integrated = qi_merge::merge(&schemas, &mapping);
+        (schemas, mapping, integrated)
+    }
+
+    #[test]
+    fn end_to_end_airline_micro_domain() {
+        let (schemas, mapping, integrated) = airline_fixture();
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let labeled = labeler.label(&schemas, &mapping, &integrated);
+        // Passenger group gets the intersect-and-union solution.
+        let mut leaf_labels: Vec<String> = labeled
+            .tree
+            .leaves()
+            .map(|l| l.label_str().to_string())
+            .collect();
+        leaf_labels.sort();
+        for expected in ["Seniors", "Adults", "Children", "Infants"] {
+            assert!(
+                leaf_labels.iter().any(|l| l == expected),
+                "missing {expected} in {leaf_labels:?}"
+            );
+        }
+        // The isolated class cluster is labeled (most descriptive:
+        // Class of Ticket).
+        assert!(
+            leaf_labels.iter().any(|l| l == "Class of Ticket"),
+            "isolated cluster unlabeled: {leaf_labels:?}"
+        );
+        // The passenger internal node receives a candidate label.
+        let internal_labels: Vec<String> = labeled
+            .tree
+            .internal_nodes()
+            .filter_map(|n| n.label.clone())
+            .collect();
+        assert!(
+            !internal_labels.is_empty(),
+            "no internal node labeled: {}",
+            labeled.tree.render()
+        );
+        assert!(labeled.report.class.is_some());
+        assert_eq!(labeled.report.unlabeled_fields, 0);
+    }
+
+    #[test]
+    fn unlabeled_everywhere_field_stays_unlabeled() {
+        // A cluster whose members are unlabeled in all sources (the
+        // Figure 11 "No Label" case).
+        let a = SchemaTree::build(
+            "a",
+            vec![node("Lease Rate", vec![leaf("From"), qi_schema::spec::unlabeled_leaf()])],
+        )
+        .unwrap();
+        let schemas = vec![a];
+        let al = schemas[0].descendant_leaves(NodeId::ROOT);
+        let mapping = Mapping::from_clusters(vec![
+            ("c_From".to_string(), vec![FieldRef::new(0, al[0])]),
+            ("c_To".to_string(), vec![FieldRef::new(0, al[1])]),
+        ]);
+        let integrated = qi_merge::merge(&schemas, &mapping);
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let labeled = labeler.label(&schemas, &mapping, &integrated);
+        assert_eq!(labeled.report.unlabeled_fields, 1);
+        // The labeled sibling still gets its label.
+        assert!(labeled
+            .tree
+            .leaves()
+            .any(|l| l.label_str() == "From"));
+    }
+
+    #[test]
+    fn report_counts_groups() {
+        let (schemas, mapping, integrated) = airline_fixture();
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let labeled = labeler.label(&schemas, &mapping, &integrated);
+        assert!(!labeled.report.groups.is_empty());
+        let passenger_group = labeled
+            .report
+            .groups
+            .iter()
+            .find(|g| g.description.contains("c_Adult"))
+            .expect("passenger group reported");
+        assert!(passenger_group.consistent);
+    }
+
+    /// The blocked-by-ancestor decision (§7's "promoted to its
+    /// ancestors") is recorded: the nested fare pair's only candidate is
+    /// claimed by the enclosing Fare section.
+    #[test]
+    fn blocked_candidate_is_recorded() {
+        use qi_schema::spec::unlabeled_node as gu;
+        let s1 = SchemaTree::build(
+            "s1",
+            vec![g_fare(vec![leaf("Lowest"), leaf("Highest")]), leaf("Promo")],
+        )
+        .unwrap();
+        let s2 = SchemaTree::build(
+            "s2",
+            vec![g_fare(vec![leaf("Lowest"), leaf("Highest"), leaf("Currency")])],
+        )
+        .unwrap();
+        let s3 = SchemaTree::build(
+            "s3",
+            vec![g_fare(vec![
+                gu(vec![leaf("Lowest"), leaf("Highest")]),
+                leaf("Currency"),
+            ])],
+        )
+        .unwrap();
+        fn g_fare(children: Vec<qi_schema::NodeSpec>) -> qi_schema::NodeSpec {
+            node("Fare", children)
+        }
+        let schemas = vec![s1, s2, s3];
+        let mapping = Mapping::from_clusters(vec![
+            (
+                "min".to_string(),
+                vec![
+                    field(&schemas, 0, "Lowest"),
+                    field(&schemas, 1, "Lowest"),
+                    field(&schemas, 2, "Lowest"),
+                ],
+            ),
+            (
+                "max".to_string(),
+                vec![
+                    field(&schemas, 0, "Highest"),
+                    field(&schemas, 1, "Highest"),
+                    field(&schemas, 2, "Highest"),
+                ],
+            ),
+            (
+                "currency".to_string(),
+                vec![field(&schemas, 1, "Currency"), field(&schemas, 2, "Currency")],
+            ),
+            ("promo".to_string(), vec![field(&schemas, 0, "Promo")]),
+        ]);
+        let integrated = qi_merge::merge(&schemas, &mapping);
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let labeled = labeler.label(&schemas, &mapping, &integrated);
+        // Exactly one node is blocked, and its decision says so.
+        let blocked: Vec<_> = labeled
+            .internal_decisions
+            .values()
+            .filter(|d| d.blocked_by_ancestor)
+            .collect();
+        assert_eq!(blocked.len(), 1, "{:?}", labeled.internal_decisions);
+        assert!(blocked[0].chosen.is_none());
+        assert!(blocked[0].candidate_count >= 1);
+        assert_eq!(
+            labeled.report.class,
+            Some(crate::ConsistencyClass::Inconsistent)
+        );
+        // The enclosing section got the contested label.
+        assert!(labeled
+            .tree
+            .internal_nodes()
+            .any(|n| n.label_str() == "Fare"));
+    }
+
+    /// Decisions for labeled nodes carry the Definition 6 verdict.
+    #[test]
+    fn decisions_record_def6_verdict() {
+        let (schemas, mapping, integrated) = airline_fixture();
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let labeled = labeler.label(&schemas, &mapping, &integrated);
+        for (id, decision) in &labeled.internal_decisions {
+            if let Some(chosen) = &decision.chosen {
+                assert_eq!(
+                    labeled.tree.node(*id).label.as_ref(),
+                    Some(chosen),
+                    "decision and tree disagree"
+                );
+            }
+        }
+        assert!(labeled
+            .internal_decisions
+            .values()
+            .any(|d| d.chosen.is_some() && d.def6_consistent));
+    }
+
+    #[test]
+    fn policy_accessor() {
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::most_general_baseline());
+        assert_eq!(
+            labeler.policy().selection,
+            crate::policy::LabelSelection::MostGeneral
+        );
+    }
+}

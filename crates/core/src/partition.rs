@@ -1,0 +1,235 @@
+//! Graph-closure partitioning of group-relation tuples (§4.1.1).
+//!
+//! Each tuple is a vertex; an edge joins two tuples consistent at the
+//! current level (Definition 2). Connected components are the *maximal
+//! partitions*: within one partition a consistent solution can be
+//! assembled by `Combine*`; the union of the members' non-null columns is
+//! the set of clusters the partition can name (Proposition 1).
+
+use crate::consistency::{tuples_consistent, ConsistencyLevel};
+use crate::ctx::NamingCtx;
+use qi_mapping::GroupRelation;
+use std::collections::BTreeSet;
+
+/// One maximal partition of consistent tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuplePartition {
+    /// Indices into `GroupRelation::tuples`, ascending.
+    pub tuples: Vec<usize>,
+    /// Cluster columns covered by at least one member tuple.
+    pub covered: BTreeSet<usize>,
+}
+
+impl TuplePartition {
+    /// Does this partition cover every column of a width-`n` relation?
+    pub fn covers_all(&self, n: usize) -> bool {
+        self.covered.len() == n
+    }
+}
+
+/// The partitions of a group relation at one consistency level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionResult {
+    /// Level the graph was built at.
+    pub level: ConsistencyLevel,
+    /// All partitions (connected components), ordered by smallest member
+    /// tuple index.
+    pub partitions: Vec<TuplePartition>,
+    /// Columns labeled by at least one tuple. Columns outside this set are
+    /// unlabeled in every source and can never receive a label (the
+    /// Real Estate "No Label" field of Figure 11) — they are excluded from
+    /// the full-cover requirement.
+    pub coverable: BTreeSet<usize>,
+    /// Indices (into `partitions`) of partitions covering all coverable
+    /// clusters — the partitions that *supply a consistent solution*
+    /// (Prop. 1).
+    pub full: Vec<usize>,
+}
+
+impl PartitionResult {
+    /// True if some partition covers every cluster of the group.
+    pub fn has_full_cover(&self) -> bool {
+        !self.full.is_empty()
+    }
+}
+
+/// Partition the tuples of `relation` at `level`.
+pub fn partition_tuples(
+    relation: &GroupRelation,
+    level: ConsistencyLevel,
+    ctx: &NamingCtx<'_>,
+) -> PartitionResult {
+    let n = relation.tuples.len();
+    // Union-find over tuple indices.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if tuples_consistent(&relation.tuples[i], &relation.tuples[j], level, ctx) {
+                let ri = find(&mut parent, i);
+                let rj = find(&mut parent, j);
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: Vec<(usize, TuplePartition)> = Vec::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let covered: Vec<usize> = relation.tuples[i].covered_columns();
+        match groups.iter_mut().find(|(r, _)| *r == root) {
+            Some((_, p)) => {
+                p.tuples.push(i);
+                p.covered.extend(covered);
+            }
+            None => {
+                groups.push((
+                    root,
+                    TuplePartition {
+                        tuples: vec![i],
+                        covered: covered.into_iter().collect(),
+                    },
+                ));
+            }
+        }
+    }
+    let partitions: Vec<TuplePartition> = groups.into_iter().map(|(_, p)| p).collect();
+    let coverable: BTreeSet<usize> = partitions
+        .iter()
+        .flat_map(|p| p.covered.iter().copied())
+        .collect();
+    let full = partitions
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.covered == coverable && !coverable.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    PartitionResult {
+        level,
+        partitions,
+        coverable,
+        full,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lexicon::Lexicon;
+    use qi_mapping::ClusterId;
+
+    fn cids(n: u32) -> Vec<ClusterId> {
+        (0..n).map(ClusterId).collect()
+    }
+
+    /// Table 2 / Figure 4 of the paper: at the string level the airline
+    /// passenger group partitions into {aa, british, economytravel,
+    /// vacations} and {airfareplanet, airtravel}; only the former covers
+    /// all four clusters.
+    #[test]
+    fn figure4_partitions() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(4),
+            &[
+                // aa
+                vec![None, Some("Adults"), Some("Children"), None],
+                // airfareplanet
+                vec![None, Some("Adult"), Some("Child"), Some("Infant")],
+                // airtravel
+                vec![None, Some("Adult"), Some("Child"), None],
+                // british
+                vec![Some("Seniors"), Some("Adults"), Some("Children"), None],
+                // economytravel
+                vec![None, Some("Adults"), Some("Children"), Some("Infants")],
+                // vacations
+                vec![Some("Seniors"), Some("Adults"), Some("Children"), None],
+            ],
+        );
+        let result = partition_tuples(&relation, ConsistencyLevel::String, &ctx);
+        assert_eq!(result.partitions.len(), 2);
+        let sizes: BTreeSet<usize> =
+            result.partitions.iter().map(|p| p.tuples.len()).collect();
+        assert_eq!(sizes, BTreeSet::from([2, 4]));
+        // Exactly one partition covers all clusters (Prop. 1 ⇒ a
+        // consistent solution exists).
+        assert_eq!(result.full.len(), 1);
+        let full = &result.partitions[result.full[0]];
+        assert_eq!(full.tuples.len(), 4);
+        assert!(full.covers_all(4));
+        assert!(result.has_full_cover());
+    }
+
+    /// Table 3: two disconnected sub-relations, neither covering all four
+    /// clusters — no consistent solution, at any level.
+    #[test]
+    fn table3_no_full_cover() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(4),
+            &[
+                vec![Some("State"), Some("City"), None, None],
+                vec![None, None, Some("Zip Code"), Some("Distance")],
+                vec![Some("State"), Some("City"), None, None],
+                vec![None, None, Some("Your Zip"), Some("Within")],
+            ],
+        );
+        for level in ConsistencyLevel::LADDER {
+            let result = partition_tuples(&relation, level, &ctx);
+            assert!(!result.has_full_cover(), "level {level}");
+            assert!(result.partitions.len() >= 2);
+        }
+    }
+
+    /// Table 4: string level leaves singletons; the equality level glues
+    /// the middle tuples into a full-cover partition.
+    #[test]
+    fn table4_equality_rescues() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(3),
+            &[
+                // aa
+                vec![Some("NonStop"), None, Some("Choose an Airline")],
+                // airfare
+                vec![Some("Number of Connections"), None, Some("Airline Preference")],
+                // alldest
+                vec![None, Some("Class of Ticket"), Some("Preferred Airline")],
+                // cheap
+                vec![Some("Max. Number of Stops"), None, Some("Airline Preference")],
+                // msn
+                vec![None, Some("Class"), Some("Airline")],
+            ],
+        );
+        let string_level = partition_tuples(&relation, ConsistencyLevel::String, &ctx);
+        assert!(!string_level.has_full_cover());
+        let equality = partition_tuples(&relation, ConsistencyLevel::Equality, &ctx);
+        assert!(equality.has_full_cover());
+        let full = &equality.partitions[equality.full[0]];
+        // airfare, alldest, cheap link up (Airline Preference ≍ Preferred
+        // Airline, shared Airline Preference string).
+        assert!(full.tuples.contains(&1));
+        assert!(full.tuples.contains(&2));
+        assert!(full.tuples.contains(&3));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(&cids(2), &[]);
+        let result = partition_tuples(&relation, ConsistencyLevel::String, &ctx);
+        assert!(result.partitions.is_empty());
+        assert!(!result.has_full_cover());
+    }
+}

@@ -1,0 +1,367 @@
+//! Semantic relations between labels (Definition 1 of the paper).
+//!
+//! Labels are compared through their content-word sets (the second
+//! normalization step of §3.1). Token-level relations come from the
+//! lexicon; label-level relations are assembled from them:
+//!
+//! * `A string_equal B` — identical display forms;
+//! * `A equal B` — identical content-word sets (`Type of Job` ≍ `Job
+//!   Type`);
+//! * `A synonym B` — same cardinality, a perfect token matching of
+//!   equality/synonymy pairs with at least one synonymy (`Area of Study` ∼
+//!   `Field of Work`);
+//! * `A hypernym B` — `|A| ≤ |B|` and every token of `A` relates
+//!   (equality/synonymy/hypernymy) to some token of `B`, with `|A| < |B|`
+//!   or at least one hypernymy (`Class` ⊐ `Class of Tickets`);
+//! * `A hyponym B` — `B hypernym A`.
+
+use qi_lexicon::Lexicon;
+use qi_text::{ContentWord, LabelText};
+use serde::{Deserialize, Serialize};
+
+/// Relation between two labels, strongest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelRelation {
+    /// Identical display strings.
+    StringEqual,
+    /// Identical content-word sets.
+    Equal,
+    /// Definition 1 synonymy.
+    Synonym,
+    /// The first label is more general.
+    Hypernym,
+    /// The first label is more specific.
+    Hyponym,
+    /// None of the above.
+    Unrelated,
+}
+
+impl LabelRelation {
+    /// True for any relation except [`LabelRelation::Unrelated`].
+    pub fn is_related(self) -> bool {
+        self != LabelRelation::Unrelated
+    }
+
+    /// The relation seen from the other side.
+    pub fn flip(self) -> Self {
+        match self {
+            LabelRelation::Hypernym => LabelRelation::Hyponym,
+            LabelRelation::Hyponym => LabelRelation::Hypernym,
+            other => other,
+        }
+    }
+}
+
+/// Token-level relation (Definition 1's `rel` between content words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenRel {
+    /// Same canonical key (stem of lemma).
+    Equal,
+    /// Shared synset.
+    Synonym,
+    /// First token more general.
+    Hypernym,
+    /// No relation.
+    None,
+}
+
+/// Relation between two content words.
+pub fn token_rel(a: &ContentWord, b: &ContentWord, lexicon: &Lexicon) -> TokenRel {
+    if a.key() == b.key() {
+        return TokenRel::Equal;
+    }
+    if lexicon.are_synonyms(&a.lemma, &b.lemma) {
+        return TokenRel::Synonym;
+    }
+    if lexicon.is_hypernym_of(&a.lemma, &b.lemma) {
+        return TokenRel::Hypernym;
+    }
+    TokenRel::None
+}
+
+/// Compute the strongest Definition 1 relation between two labels.
+pub fn relate(a: &LabelText, b: &LabelText, lexicon: &Lexicon) -> LabelRelation {
+    if a.is_empty() || b.is_empty() {
+        return LabelRelation::Unrelated;
+    }
+    if a.string_equal(b) {
+        return LabelRelation::StringEqual;
+    }
+    if a.word_equal(b) {
+        return LabelRelation::Equal;
+    }
+    if is_synonym(a, b, lexicon) {
+        return LabelRelation::Synonym;
+    }
+    if is_hypernym(a, b, lexicon) {
+        return LabelRelation::Hypernym;
+    }
+    if is_hypernym(b, a, lexicon) {
+        return LabelRelation::Hyponym;
+    }
+    LabelRelation::Unrelated
+}
+
+/// Definition 1 synonymy: `n = m`, all tokens participate in a perfect
+/// matching of equality/synonymy pairs, at least one pair is synonymy.
+pub fn is_synonym(a: &LabelText, b: &LabelText, lexicon: &Lexicon) -> bool {
+    let n = a.words.len();
+    if n == 0 || n != b.words.len() {
+        return false;
+    }
+    // Backtracking perfect matching (labels are short: n ≤ ~8).
+    let mut used = vec![false; n];
+    let mut any_syn = false;
+    fn assign(
+        i: usize,
+        a: &LabelText,
+        b: &LabelText,
+        lexicon: &Lexicon,
+        used: &mut [bool],
+        syn_count: usize,
+        any_syn: &mut bool,
+    ) -> bool {
+        if i == a.words.len() {
+            if syn_count > 0 {
+                *any_syn = true;
+            }
+            return syn_count > 0;
+        }
+        for j in 0..b.words.len() {
+            if used[j] {
+                continue;
+            }
+            let rel = token_rel(&a.words[i], &b.words[j], lexicon);
+            let syn_inc = match rel {
+                TokenRel::Equal => 0,
+                TokenRel::Synonym => 1,
+                _ => continue,
+            };
+            used[j] = true;
+            if assign(i + 1, a, b, lexicon, used, syn_count + syn_inc, any_syn) {
+                used[j] = false;
+                return true;
+            }
+            used[j] = false;
+        }
+        false
+    }
+    assign(0, a, b, lexicon, &mut used, 0, &mut any_syn) && any_syn
+}
+
+/// Definition 1 hypernymy: `A hypernym B`.
+pub fn is_hypernym(a: &LabelText, b: &LabelText, lexicon: &Lexicon) -> bool {
+    let n = a.words.len();
+    let m = b.words.len();
+    if n == 0 || m == 0 || n > m {
+        return false;
+    }
+    let mut any_hyper = false;
+    for wa in &a.words {
+        let mut matched = false;
+        for wb in &b.words {
+            match token_rel(wa, wb, lexicon) {
+                TokenRel::Equal | TokenRel::Synonym => {
+                    matched = true;
+                    break;
+                }
+                TokenRel::Hypernym => {
+                    matched = true;
+                    any_hyper = true;
+                    break;
+                }
+                TokenRel::None => {}
+            }
+        }
+        if !matched {
+            return false;
+        }
+    }
+    n < m || any_hyper
+}
+
+/// "Semantically similar" for homonym detection (§4.2.3): labels that are
+/// string-equal, equal or synonyms denote the same concept.
+pub fn is_similar(a: &LabelText, b: &LabelText, lexicon: &Lexicon) -> bool {
+    matches!(
+        relate(a, b, lexicon),
+        LabelRelation::StringEqual | LabelRelation::Equal | LabelRelation::Synonym
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lexicon::Lexicon;
+
+    fn lex() -> Lexicon {
+        Lexicon::builtin()
+    }
+
+    fn lt(s: &str, lexicon: &Lexicon) -> LabelText {
+        LabelText::new(s, lexicon)
+    }
+
+    #[test]
+    fn string_equal_beats_everything() {
+        let l = lex();
+        assert_eq!(
+            relate(&lt("From", &l), &lt("From", &l), &l),
+            LabelRelation::StringEqual
+        );
+        assert_eq!(
+            relate(&lt("Zip Code", &l), &lt("zip code:", &l), &l),
+            LabelRelation::StringEqual
+        );
+    }
+
+    #[test]
+    fn equal_ignores_order_and_inflection() {
+        let l = lex();
+        assert_eq!(
+            relate(&lt("Type of Job", &l), &lt("Job Type", &l), &l),
+            LabelRelation::Equal
+        );
+        // Table 4: Preferred Airline vs Airline Preference (Porter stems).
+        assert_eq!(
+            relate(&lt("Preferred Airline", &l), &lt("Airline Preference", &l), &l),
+            LabelRelation::Equal
+        );
+    }
+
+    #[test]
+    fn synonym_paper_example() {
+        let l = lex();
+        // Definition 1: Area of Study synonym Field of Work.
+        assert_eq!(
+            relate(&lt("Area of Study", &l), &lt("Field of Work", &l), &l),
+            LabelRelation::Synonym
+        );
+    }
+
+    #[test]
+    fn synonym_requires_equal_cardinality() {
+        let l = lex();
+        assert_ne!(
+            relate(&lt("Area", &l), &lt("Field of Work", &l), &l),
+            LabelRelation::Synonym
+        );
+    }
+
+    #[test]
+    fn synonym_requires_at_least_one_synonymy() {
+        let l = lex();
+        // All-equal token sets are Equal, not Synonym.
+        assert_eq!(
+            relate(&lt("Job Type", &l), &lt("Type of Job", &l), &l),
+            LabelRelation::Equal
+        );
+    }
+
+    #[test]
+    fn hypernym_paper_example() {
+        let l = lex();
+        // Definition 1: Class hypernym Class of Tickets.
+        assert_eq!(
+            relate(&lt("Class", &l), &lt("Class of Tickets", &l), &l),
+            LabelRelation::Hypernym
+        );
+        assert_eq!(
+            relate(&lt("Class of Tickets", &l), &lt("Class", &l), &l),
+            LabelRelation::Hyponym
+        );
+    }
+
+    #[test]
+    fn hypernym_via_token_hypernymy() {
+        let l = lex();
+        // location ⊐ area at token level, same cardinality.
+        assert_eq!(
+            relate(&lt("Location", &l), &lt("Area", &l), &l),
+            LabelRelation::Hypernym
+        );
+        // §5: Property Location hyponym of Location.
+        assert_eq!(
+            relate(&lt("Location", &l), &lt("Property Location", &l), &l),
+            LabelRelation::Hypernym
+        );
+    }
+
+    #[test]
+    fn question_labels_reduce_to_content() {
+        let l = lex();
+        // §5.1.2: both hyponyms of "Do you have any preferences?".
+        assert_eq!(
+            relate(
+                &lt("Do you have any preferences?", &l),
+                &lt("Airline Preferences", &l),
+                &l
+            ),
+            LabelRelation::Hypernym
+        );
+        assert_eq!(
+            relate(
+                &lt("What are your service preferences?", &l),
+                &lt("Do you have any preferences?", &l),
+                &l
+            ),
+            LabelRelation::Hyponym
+        );
+    }
+
+    #[test]
+    fn unrelated_labels() {
+        let l = lex();
+        assert_eq!(
+            relate(&lt("Make", &l), &lt("Model", &l), &l),
+            LabelRelation::Unrelated
+        );
+        assert_eq!(
+            relate(&lt("", &l), &lt("Make", &l), &l),
+            LabelRelation::Unrelated
+        );
+    }
+
+    #[test]
+    fn flip_and_is_related() {
+        assert_eq!(LabelRelation::Hypernym.flip(), LabelRelation::Hyponym);
+        assert_eq!(LabelRelation::Equal.flip(), LabelRelation::Equal);
+        assert!(LabelRelation::Synonym.is_related());
+        assert!(!LabelRelation::Unrelated.is_related());
+    }
+
+    #[test]
+    fn similar_for_homonym_detection() {
+        let l = lex();
+        assert!(is_similar(&lt("Job Type", &l), &lt("Type of Job", &l), &l));
+        assert!(!is_similar(&lt("Job Type", &l), &lt("Company Name", &l), &l));
+        // Hypernyms are related but NOT similar (different granularity is
+        // not a homonym conflict).
+        assert!(!is_similar(&lt("Class", &l), &lt("Class of Tickets", &l), &l));
+    }
+
+    #[test]
+    fn token_rel_precedence() {
+        let l = lex();
+        let a = ContentWord::new("city", &l);
+        let b = ContentWord::new("town", &l);
+        let c = ContentWord::new("location", &l);
+        assert_eq!(token_rel(&a, &a, &l), TokenRel::Equal);
+        assert_eq!(token_rel(&a, &b, &l), TokenRel::Synonym);
+        assert_eq!(token_rel(&c, &a, &l), TokenRel::Hypernym);
+        assert_eq!(token_rel(&a, &c, &l), TokenRel::None); // hyponym side
+    }
+
+    /// The backtracking matcher must not be fooled by greedy dead ends.
+    #[test]
+    fn synonym_matching_needs_backtracking() {
+        // Label A: {area, work}; Label B: {field, study}.
+        // area∼field, work∼study — but also area∼field only; a greedy
+        // matcher pairing work→field first would fail.
+        let l = lex();
+        assert_eq!(
+            relate(&lt("Work Area", &l), &lt("Field of Study", &l), &l),
+            LabelRelation::Synonym
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Naming outcomes: consistency classes, per-group reports and the
+//! inference-rule usage counters behind Figure 10.
+
+use crate::consistency::ConsistencyLevel;
+use serde::{Deserialize, Serialize};
+
+/// The logical inference rules of the paper (LI1–LI7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InferenceRule {
+    /// LI1 — semantic equivalence of internal-node labels (Definition 5).
+    Li1,
+    /// LI2 — overlapping descendant-leaf coverage (§5.1.1).
+    Li2,
+    /// LI3 — hypernymy between internal-node labels (§5.1.2).
+    Li3,
+    /// LI4 — hypernymy-hierarchy coverage propagation (§5.1.2).
+    Li4,
+    /// LI5 — extend-label-meaning over dependent concepts (§5.1.3).
+    Li5,
+    /// LI6 — reconcile most-general/most-descriptive via instance domains
+    /// (§6.1.1).
+    Li6,
+    /// LI7 — discard labels that are instances of sibling fields (§6.1.2).
+    Li7,
+}
+
+impl InferenceRule {
+    /// All rules, in order.
+    pub const ALL: [InferenceRule; 7] = [
+        InferenceRule::Li1,
+        InferenceRule::Li2,
+        InferenceRule::Li3,
+        InferenceRule::Li4,
+        InferenceRule::Li5,
+        InferenceRule::Li6,
+        InferenceRule::Li7,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            InferenceRule::Li1 => 0,
+            InferenceRule::Li2 => 1,
+            InferenceRule::Li3 => 2,
+            InferenceRule::Li4 => 3,
+            InferenceRule::Li5 => 4,
+            InferenceRule::Li6 => 5,
+            InferenceRule::Li7 => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for InferenceRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LI{}", self.index() + 1)
+    }
+}
+
+/// Counters of inference-rule involvement — the data behind the pie chart
+/// of Figure 10.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiUsage {
+    counts: [usize; 7],
+}
+
+impl LiUsage {
+    /// Record one use of a rule.
+    pub fn record(&mut self, rule: InferenceRule) {
+        self.counts[rule.index()] += 1;
+    }
+
+    /// Uses of one rule.
+    pub fn count(&self, rule: InferenceRule) -> usize {
+        self.counts[rule.index()]
+    }
+
+    /// Total uses across all rules.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of all uses attributable to `rule` (Figure 10's slices).
+    pub fn ratio(&self, rule: InferenceRule) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(rule) as f64 / total as f64
+        }
+    }
+
+    /// Merge another usage record into this one.
+    pub fn merge(&mut self, other: &LiUsage) {
+        for i in 0..7 {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+/// Definition 8: the consistency classification of a labeled integrated
+/// schema tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsistencyClass {
+    /// Consistent solutions for all groups, every internal node labeled
+    /// consistently with them, internal-node labels pairwise consistent
+    /// (Definition 7 in full).
+    Consistent,
+    /// Some internal node satisfies only Definition 7's generality
+    /// condition (Proposition 2).
+    WeaklyConsistent,
+    /// A group lacks a consistent solution, or an internal node with a
+    /// nonempty candidate set could not be labeled.
+    Inconsistent,
+}
+
+impl std::fmt::Display for ConsistencyClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsistencyClass::Consistent => write!(f, "consistent"),
+            ConsistencyClass::WeaklyConsistent => write!(f, "weakly consistent"),
+            ConsistencyClass::Inconsistent => write!(f, "inconsistent"),
+        }
+    }
+}
+
+/// Outcome of naming one group of the integrated interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupOutcome {
+    /// Human-readable description (cluster concepts).
+    pub description: String,
+    /// Level at which a consistent solution was found, if any.
+    pub level: Option<ConsistencyLevel>,
+    /// True if the labels form a consistent (not merely partially
+    /// consistent) solution.
+    pub consistent: bool,
+    /// The labels assigned, in cluster-column order (`None` = the field
+    /// stays unlabeled: no source labels it).
+    pub labels: Vec<Option<String>>,
+    /// Whether a homonym conflict was detected, and whether repair
+    /// succeeded.
+    pub conflict_repaired: Option<bool>,
+}
+
+/// Full report of one naming run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NamingReport {
+    /// Definition 8 classification.
+    pub class: Option<ConsistencyClass>,
+    /// Per-group outcomes (regular groups, then the root group).
+    pub groups: Vec<GroupOutcome>,
+    /// Inference-rule usage (Figure 10).
+    pub li_usage: LiUsage,
+    /// Fields left unlabeled (no source label anywhere).
+    pub unlabeled_fields: usize,
+    /// Unlabeled fields that at least carry instances.
+    pub unlabeled_fields_with_instances: usize,
+    /// Internal nodes that received a label.
+    pub labeled_internal: usize,
+    /// Internal nodes with a nonempty candidate set that could not be
+    /// labeled consistently (these make the tree inconsistent).
+    pub unlabeled_internal_with_candidates: usize,
+    /// Internal nodes with no potential label at all.
+    pub internal_without_candidates: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_counters() {
+        let mut u = LiUsage::default();
+        u.record(InferenceRule::Li2);
+        u.record(InferenceRule::Li2);
+        u.record(InferenceRule::Li3);
+        assert_eq!(u.count(InferenceRule::Li2), 2);
+        assert_eq!(u.total(), 3);
+        assert!((u.ratio(InferenceRule::Li2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(u.ratio(InferenceRule::Li7), 0.0);
+    }
+
+    #[test]
+    fn empty_usage_ratio_is_zero() {
+        let u = LiUsage::default();
+        assert_eq!(u.ratio(InferenceRule::Li1), 0.0);
+        assert_eq!(u.total(), 0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = LiUsage::default();
+        a.record(InferenceRule::Li1);
+        let mut b = LiUsage::default();
+        b.record(InferenceRule::Li1);
+        b.record(InferenceRule::Li5);
+        a.merge(&b);
+        assert_eq!(a.count(InferenceRule::Li1), 2);
+        assert_eq!(a.count(InferenceRule::Li5), 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(InferenceRule::Li4.to_string(), "LI4");
+        assert_eq!(ConsistencyClass::WeaklyConsistent.to_string(), "weakly consistent");
+    }
+}

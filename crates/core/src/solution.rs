@@ -1,0 +1,455 @@
+//! Naming the fields of a group (§4.1–§4.3).
+//!
+//! `name_group` walks the relaxation ladder of Definition 2: at each
+//! consistency level it partitions the group relation (§4.1.1); as soon as
+//! some partition covers every (coverable) cluster it extracts all
+//! tuple-solutions with `Combine*`, ranks them (§4.2.1: expressiveness,
+//! then frequency — or the most-general baseline ordering), repairs
+//! homonym conflicts (§4.2.3) and reports a *consistent* naming. If no
+//! level produces a covering partition, the greedy concatenation of
+//! §4.2.2 builds a *partially consistent* naming instead.
+
+use crate::combine::{enumerate_solutions, greedy_solutions, tuple_expressiveness, TupleSolution};
+use crate::partition::TuplePartition;
+use crate::conflicts::repair_conflicts;
+use crate::consistency::ConsistencyLevel;
+use crate::ctx::NamingCtx;
+use crate::partition::partition_tuples;
+use crate::policy::{LabelSelection, NamingPolicy};
+use qi_mapping::GroupRelation;
+use std::collections::BTreeSet;
+
+/// One ranked naming alternative for a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSolution {
+    /// Labels per cluster column (`None` = no source ever labels it).
+    pub labels: Vec<Option<String>>,
+    /// Relation tuples whose components were used.
+    pub used_tuples: BTreeSet<usize>,
+    /// Tuples of the partition that supplied the solution (empty for a
+    /// partially consistent solution assembled across partitions).
+    pub partition_tuples: Vec<usize>,
+    /// Distinct content words across the labels.
+    pub expressiveness: usize,
+    /// Verbatim occurrences among the relation's tuples.
+    pub frequency: usize,
+    /// True if one interface supplied the whole solution (Definition 4).
+    pub is_candidate: bool,
+    /// Homonym repair outcome (`None` = no conflict found).
+    pub conflict_repaired: Option<bool>,
+}
+
+/// The naming outcome for one group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupNaming {
+    /// Alternatives, best first. Non-empty whenever the relation has at
+    /// least one tuple.
+    pub alternatives: Vec<GroupSolution>,
+    /// Level at which consistency was achieved; `None` for partially
+    /// consistent outcomes.
+    pub level: Option<ConsistencyLevel>,
+    /// True when the labels form a consistent solution (Proposition 1).
+    pub consistent: bool,
+}
+
+impl GroupNaming {
+    /// The best alternative, if any.
+    pub fn best(&self) -> Option<&GroupSolution> {
+        self.alternatives.first()
+    }
+}
+
+/// Order solutions per the policy's selection strategy.
+fn rank(solutions: &mut [GroupSolution], selection: LabelSelection) {
+    match selection {
+        LabelSelection::MostDescriptive => solutions.sort_by(|a, b| {
+            b.expressiveness
+                .cmp(&a.expressiveness)
+                .then(b.frequency.cmp(&a.frequency))
+                .then(a.labels.cmp(&b.labels))
+        }),
+        LabelSelection::MostGeneral => solutions.sort_by(|a, b| {
+            b.frequency
+                .cmp(&a.frequency)
+                .then(a.expressiveness.cmp(&b.expressiveness))
+                .then(a.labels.cmp(&b.labels))
+        }),
+    }
+}
+
+/// Solutions of one partition: the exhaustive `Combine*` enumeration for
+/// normally sized groups, falling back to the linear-time spanning-tree
+/// construction (§4.2.1) when the group is too wide for enumeration or
+/// the state cap was reached without a complete tuple. Wide, loosely
+/// consistent collections of clusters are exactly the root "group" the
+/// paper accepts partially consistent solutions for (§4), so a single
+/// greedy solution is adequate there.
+fn partition_solutions(
+    relation: &GroupRelation,
+    partition: &TuplePartition,
+    level: ConsistencyLevel,
+    ctx: &NamingCtx<'_>,
+) -> Vec<TupleSolution> {
+    const MAX_EXHAUSTIVE_TUPLES: usize = 12;
+    const MAX_EXHAUSTIVE_WIDTH: usize = 8;
+    const ALWAYS_EXHAUSTIVE_WIDTH: usize = 6;
+    if partition.covered.len() <= ALWAYS_EXHAUSTIVE_WIDTH
+        || (partition.tuples.len() <= MAX_EXHAUSTIVE_TUPLES
+            && partition.covered.len() <= MAX_EXHAUSTIVE_WIDTH)
+    {
+        let solutions = enumerate_solutions(relation, partition, level, ctx);
+        if !solutions.is_empty() {
+            return solutions;
+        }
+    }
+    greedy_solutions(relation, partition, level, ctx)
+}
+
+fn to_group_solution(
+    solution: TupleSolution,
+    partition_tuples: Vec<usize>,
+) -> GroupSolution {
+    GroupSolution {
+        labels: solution.labels,
+        used_tuples: solution.used_tuples,
+        partition_tuples,
+        expressiveness: solution.expressiveness,
+        frequency: solution.frequency,
+        is_candidate: solution.is_candidate,
+        conflict_repaired: None,
+    }
+}
+
+/// Name the fields of one group (§4.1–§4.3).
+pub fn name_group(
+    relation: &GroupRelation,
+    ctx: &NamingCtx<'_>,
+    policy: &NamingPolicy,
+) -> GroupNaming {
+    if relation.tuples.is_empty() {
+        // Nothing is labeled anywhere: the group keeps null labels.
+        return GroupNaming {
+            alternatives: vec![GroupSolution {
+                labels: vec![None; relation.width()],
+                used_tuples: BTreeSet::new(),
+                partition_tuples: Vec::new(),
+                expressiveness: 0,
+                frequency: 0,
+                is_candidate: false,
+                conflict_repaired: None,
+            }],
+            level: None,
+            consistent: false,
+        };
+    }
+    for level in policy.levels() {
+        let result = partition_tuples(relation, level, ctx);
+        if !result.has_full_cover() {
+            continue;
+        }
+        let mut alternatives: Vec<GroupSolution> = Vec::new();
+        let mut seen: BTreeSet<Vec<Option<String>>> = BTreeSet::new();
+        for &pi in &result.full {
+            let partition = &result.partitions[pi];
+            for solution in partition_solutions(relation, partition, level, ctx) {
+                if seen.insert(solution.labels.clone()) {
+                    alternatives.push(to_group_solution(solution, partition.tuples.clone()));
+                }
+            }
+        }
+        if alternatives.is_empty() {
+            // A covering partition whose Combine* closure still cannot
+            // produce a complete tuple (possible when the connecting
+            // tuples disagree) — fall through to the next level.
+            continue;
+        }
+        rank(&mut alternatives, policy.selection);
+        if policy.repair_conflicts {
+            for alternative in &mut alternatives {
+                alternative.conflict_repaired =
+                    repair_conflicts(&mut alternative.labels, relation, ctx);
+            }
+        }
+        return GroupNaming {
+            alternatives,
+            level: Some(level),
+            consistent: true,
+        };
+    }
+    // Partially consistent solution (§4.2.2).
+    let max_level = *policy.levels().last().unwrap_or(&ConsistencyLevel::String);
+    let result = partition_tuples(relation, max_level, ctx);
+    let mut per_partition: Vec<GroupSolution> = Vec::new();
+    for partition in &result.partitions {
+        let mut solutions: Vec<GroupSolution> =
+            partition_solutions(relation, partition, max_level, ctx)
+                .into_iter()
+                .map(|s| to_group_solution(s, partition.tuples.clone()))
+                .collect();
+        if solutions.is_empty() {
+            continue;
+        }
+        rank(&mut solutions, policy.selection);
+        per_partition.push(solutions.remove(0));
+    }
+    // Greedy concatenation: start from the widest partial solution, fill
+    // nulls from the next widest, repeat.
+    per_partition.sort_by(|a, b| {
+        let na = a.labels.iter().filter(|l| l.is_some()).count();
+        let nb = b.labels.iter().filter(|l| l.is_some()).count();
+        nb.cmp(&na).then(a.labels.cmp(&b.labels))
+    });
+    let mut merged: GroupSolution = match per_partition.first() {
+        Some(first) => first.clone(),
+        None => GroupSolution {
+            labels: vec![None; relation.width()],
+            used_tuples: BTreeSet::new(),
+            partition_tuples: Vec::new(),
+            expressiveness: 0,
+            frequency: 0,
+            is_candidate: false,
+            conflict_repaired: None,
+        },
+    };
+    merged.partition_tuples = Vec::new(); // spans partitions
+    for other in per_partition.iter().skip(1) {
+        if merged.labels.iter().all(Option::is_some) {
+            break;
+        }
+        let mut added = false;
+        for (slot, label) in merged.labels.iter_mut().zip(&other.labels) {
+            if slot.is_none() && label.is_some() {
+                *slot = label.clone();
+                added = true;
+            }
+        }
+        if added {
+            merged.used_tuples.extend(other.used_tuples.iter().copied());
+        }
+    }
+    merged.expressiveness = tuple_expressiveness(&merged.labels, ctx);
+    merged.frequency = 0;
+    merged.is_candidate = false;
+    if policy.repair_conflicts {
+        merged.conflict_repaired = repair_conflicts(&mut merged.labels, relation, ctx);
+    }
+    GroupNaming {
+        alternatives: vec![merged],
+        level: None,
+        consistent: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lexicon::Lexicon;
+    use qi_mapping::ClusterId;
+
+    fn cids(n: u32) -> Vec<ClusterId> {
+        (0..n).map(ClusterId).collect()
+    }
+
+    fn labels(solution: &GroupSolution) -> Vec<&str> {
+        solution
+            .labels
+            .iter()
+            .map(|l| l.as_deref().unwrap_or("∅"))
+            .collect()
+    }
+
+    /// Table 2 end-to-end: the group resolves at the string level to
+    /// (Seniors, Adults, Children, Infants).
+    #[test]
+    fn table2_consistent_solution() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(4),
+            &[
+                vec![None, Some("Adults"), Some("Children"), None],
+                vec![None, Some("Adult"), Some("Child"), Some("Infant")],
+                vec![None, Some("Adult"), Some("Child"), None],
+                vec![Some("Seniors"), Some("Adults"), Some("Children"), None],
+                vec![None, Some("Adults"), Some("Children"), Some("Infants")],
+                vec![Some("Seniors"), Some("Adults"), Some("Children"), None],
+            ],
+        );
+        let naming = name_group(&relation, &ctx, &NamingPolicy::default());
+        assert!(naming.consistent);
+        assert_eq!(naming.level, Some(ConsistencyLevel::String));
+        assert_eq!(
+            labels(naming.best().unwrap()),
+            vec!["Seniors", "Adults", "Children", "Infants"]
+        );
+    }
+
+    /// Table 3 end-to-end: partially consistent [State, City, Zip Code,
+    /// Distance].
+    #[test]
+    fn table3_partially_consistent() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(4),
+            &[
+                vec![Some("State"), Some("City"), None, None],
+                vec![None, None, Some("Zip Code"), Some("Distance")],
+                vec![Some("State"), Some("City"), None, None],
+                vec![None, None, Some("Your Zip"), Some("Within")],
+            ],
+        );
+        let naming = name_group(&relation, &ctx, &NamingPolicy::default());
+        assert!(!naming.consistent);
+        assert_eq!(naming.level, None);
+        let best = naming.best().unwrap();
+        assert_eq!(best.labels[0].as_deref(), Some("State"));
+        assert_eq!(best.labels[1].as_deref(), Some("City"));
+        assert!(best.labels[2].is_some());
+        assert!(best.labels[3].is_some());
+    }
+
+    /// Table 4 end-to-end: resolves at the equality level; the
+    /// most-descriptive ranking prefers Max. Number of Stops over
+    /// Number of Connections (§4.2.1).
+    #[test]
+    fn table4_equality_and_expressiveness() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(3),
+            &[
+                vec![Some("NonStop"), None, Some("Choose an Airline")],
+                vec![Some("Number of Connections"), None, Some("Airline Preference")],
+                vec![None, Some("Class of Ticket"), Some("Preferred Airline")],
+                vec![Some("Max. Number of Stops"), None, Some("Airline Preference")],
+                vec![None, Some("Class"), Some("Airline")],
+            ],
+        );
+        let naming = name_group(&relation, &ctx, &NamingPolicy::default());
+        assert!(naming.consistent);
+        assert_eq!(naming.level, Some(ConsistencyLevel::Equality));
+        let best = naming.best().unwrap();
+        assert_eq!(best.labels[0].as_deref(), Some("Max. Number of Stops"));
+        assert_eq!(best.labels[1].as_deref(), Some("Class of Ticket"));
+    }
+
+    #[test]
+    fn most_general_baseline_prefers_frequent_short_labels() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(2),
+            &[
+                vec![Some("Make"), Some("Model")],
+                vec![Some("Make"), Some("Model")],
+                vec![Some("Vehicle Make"), Some("Vehicle Model")],
+            ],
+        );
+        let descriptive = name_group(&relation, &ctx, &NamingPolicy::default());
+        assert_eq!(
+            labels(descriptive.best().unwrap()),
+            vec!["Vehicle Make", "Vehicle Model"]
+        );
+        let general = name_group(&relation, &ctx, &NamingPolicy::most_general_baseline());
+        assert_eq!(labels(general.best().unwrap()), vec!["Make", "Model"]);
+    }
+
+    #[test]
+    fn level_ladder_respects_policy_cap() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        // Only connectable at the equality level; neither tuple alone
+        // covers all three columns.
+        let relation = GroupRelation::from_rows(
+            &cids(3),
+            &[
+                vec![Some("Job Type"), Some("Salary"), None],
+                vec![Some("Type of Job"), None, Some("Company")],
+            ],
+        );
+        let capped = NamingPolicy {
+            max_level: ConsistencyLevel::String,
+            ..NamingPolicy::default()
+        };
+        let naming = name_group(&relation, &ctx, &capped);
+        assert!(!naming.consistent, "string level alone cannot connect");
+        let full = name_group(&relation, &ctx, &NamingPolicy::default());
+        assert!(full.consistent);
+        assert_eq!(full.level, Some(ConsistencyLevel::Equality));
+    }
+
+    #[test]
+    fn empty_relation_yields_null_solution() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(&cids(3), &[]);
+        let naming = name_group(&relation, &ctx, &NamingPolicy::default());
+        assert!(!naming.consistent);
+        assert_eq!(naming.best().unwrap().labels, vec![None, None, None]);
+    }
+
+    #[test]
+    fn uncoverable_column_does_not_block_consistency() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        // Column 2 is never labeled (the Figure 11 "No Label" field).
+        let relation = GroupRelation::from_rows(
+            &cids(3),
+            &[
+                vec![Some("From"), Some("To"), None],
+                vec![Some("From"), Some("To"), None],
+            ],
+        );
+        let naming = name_group(&relation, &ctx, &NamingPolicy::default());
+        assert!(naming.consistent);
+        let best = naming.best().unwrap();
+        assert_eq!(best.labels[2], None);
+    }
+
+    /// With the default most-descriptive ranking, the expressiveness
+    /// criterion already prefers the conflict-free combination — the
+    /// repaired labels emerge from `Combine*` itself.
+    #[test]
+    fn expressiveness_ranking_avoids_conflicts() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(3),
+            &[
+                vec![Some("Job Type"), Some("Type of Job"), Some("Company Name")],
+                vec![Some("Job Type"), Some("Employment Type"), None],
+            ],
+        );
+        let naming = name_group(&relation, &ctx, &NamingPolicy::default());
+        assert!(naming.consistent);
+        let best = naming.best().unwrap();
+        assert_eq!(best.labels[1].as_deref(), Some("Employment Type"));
+        assert_eq!(best.conflict_repaired, None, "no conflict left to repair");
+    }
+
+    /// Frequency-first ranking picks the homonym-conflicted candidate;
+    /// the §4.2.3 repair then swaps in the disambiguating label.
+    #[test]
+    fn conflict_repair_is_applied() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let relation = GroupRelation::from_rows(
+            &cids(3),
+            &[
+                vec![Some("Job Type"), Some("Type of Job"), Some("Company Name")],
+                vec![Some("Job Type"), Some("Type of Job"), Some("Company Name")],
+                vec![Some("Job Type"), Some("Employment Type"), Some("Company Name")],
+            ],
+        );
+        let policy = NamingPolicy {
+            selection: LabelSelection::MostGeneral,
+            ..NamingPolicy::default()
+        };
+        let naming = name_group(&relation, &ctx, &policy);
+        assert!(naming.consistent);
+        let best = naming.best().unwrap();
+        assert_eq!(best.conflict_repaired, Some(true));
+        assert_eq!(best.labels[1].as_deref(), Some("Employment Type"));
+    }
+}

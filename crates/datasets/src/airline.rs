@@ -1,0 +1,612 @@
+//! The Airline domain: 20 interfaces.
+//!
+//! Faithful to the paper's published fragments:
+//!
+//! * the Table 2 group relation rows (`aa`, `airfareplanet`, `airtravel`,
+//!   `british`, `economytravel`, `vacations` passenger labels);
+//! * the Table 4 rows (`aa`, `airfareplanet`, `alldest`, `cheap`, `msn`
+//!   service-preference labels);
+//! * the Figure 2 1:m `Passengers` field on `airtravel`;
+//! * the troublesome structures of §7: the frequency-1 `[Return From,
+//!   Return To]` group whose internal node is unlabeled in its only
+//!   source, unlabeled date selects everywhere (LQ ≈ 53%), and a fare
+//!   subgroup whose only candidate label is claimed by its ancestor —
+//!   which leaves an internal node with a nonempty candidate set
+//!   unlabeled and makes the integrated interface *inconsistent*, as the
+//!   paper reports for Airline.
+//!
+//! 24 concepts; the integrated interface targets Table 6's airline row
+//! (24 leaves, 8 groups, ~0 isolated, 1 root leaf, ~13 internal nodes,
+//! depth 5).
+
+use crate::domain::Domain;
+use crate::spec::{f, fi, fm, fui, g, gu, FieldSpec};
+
+const MONTHS: &[&str] = &[
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+const DAYS: &[&str] = &["1", "5", "10", "15", "20", "25", "28"];
+const CABINS: &[&str] = &["Economy", "Business", "First"];
+const SEATS: &[&str] = &["Window", "Aisle", "No Preference"];
+const MEALS: &[&str] = &["Regular", "Vegetarian", "Kosher"];
+const TRIPS: &[&str] = &["Round Trip", "One Way"];
+const CURRENCIES: &[&str] = &["USD", "EUR", "GBP"];
+
+/// The ubiquitous unlabeled month/day select pair.
+fn date_pair(prefix: &str) -> Vec<FieldSpec> {
+    vec![
+        fui(&format!("{prefix}_month"), MONTHS),
+        fui(&format!("{prefix}_day"), DAYS),
+    ]
+}
+
+/// Build the Airline domain.
+pub fn domain() -> Domain {
+    let interfaces: Vec<(&str, Vec<FieldSpec>)> = vec![
+        // ---- Table 2 / Table 4 interfaces --------------------------------
+        (
+            "aa",
+            vec![
+                g(
+                    "Where and when do you want to travel?",
+                    vec![
+                        gu(vec![f("from", "From"), f("to", "To")]),
+                        g(
+                            "When do you want to travel?",
+                            vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                        ),
+                    ],
+                ),
+                g(
+                    "How many people are going?",
+                    vec![f("adult", "Adults"), f("child", "Children")],
+                ),
+                g(
+                    "Do you have any preferences?",
+                    vec![f("stops", "NonStop"), f("airline", "Choose an Airline")],
+                ),
+            ],
+        ),
+        (
+            "airfareplanet",
+            vec![
+                gu(vec![f("from", "Departure City"), f("to", "Destination City")]),
+                g(
+                    "Travel Dates",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                gu(vec![
+                    f("adult", "Adult"),
+                    f("child", "Child"),
+                    f("infant", "Infant"),
+                ]),
+                g(
+                    "Airline Preferences",
+                    vec![
+                        f("stops", "Number of Connections"),
+                        f("airline", "Airline Preference"),
+                    ],
+                ),
+                f("promo", "Promotion Code"),
+            ],
+        ),
+        (
+            "airtravel",
+            vec![
+                gu(vec![f("from", "Leaving from"), f("to", "Going to")]),
+                g(
+                    "When do you want to travel?",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                fm(&["adult", "senior", "child", "infant"], "Passengers"),
+                gu(vec![
+                    fi("trip_type", "Trip Type", TRIPS),
+                    f("flex", "My dates are flexible"),
+                ]),
+            ],
+        ),
+        (
+            "alldest",
+            vec![
+                gu(vec![f("from", "From"), f("to", "To")]),
+                g(
+                    "When do you want to travel?",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                g(
+                    "What are your service preferences?",
+                    vec![
+                        fi("class", "Class of Ticket", CABINS),
+                        f("airline", "Preferred Airline"),
+                    ],
+                ),
+                g(
+                    "Fare",
+                    vec![f("fare_min", "Lowest Fare"), f("fare_max", "Highest Fare")],
+                ),
+            ],
+        ),
+        (
+            "british",
+            vec![
+                g(
+                    "Where and when do you want to travel?",
+                    vec![
+                        gu(vec![f("from", "Departing from"), f("to", "Going to")]),
+                        g(
+                            "When do you want to travel?",
+                            vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                        ),
+                    ],
+                ),
+                g(
+                    "How many people are going?",
+                    vec![
+                        f("senior", "Seniors"),
+                        f("adult", "Adults"),
+                        f("child", "Children"),
+                    ],
+                ),
+                g(
+                    "Comfort",
+                    vec![
+                        fi("seat", "Seat Preference", SEATS),
+                        fi("meal", "Meal Preference", MEALS),
+                    ],
+                ),
+            ],
+        ),
+        (
+            "cheap",
+            vec![
+                gu(vec![f("from", "Leaving from"), f("to", "Going to")]),
+                g(
+                    "Travel Dates",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                g(
+                    "Service Preferences",
+                    vec![
+                        f("stops", "Max. Number of Stops"),
+                        f("airline", "Airline Preference"),
+                    ],
+                ),
+                gu(vec![
+                    fi("trip_type", "Type of Trip", TRIPS),
+                    f("flex", "Flexible Dates"),
+                ]),
+            ],
+        ),
+        (
+            "economytravel",
+            vec![
+                gu(vec![f("from", "Departure City"), f("to", "Arrival City")]),
+                g(
+                    "When do you want to travel?",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                g(
+                    "Passengers",
+                    vec![
+                        f("adult", "Adults"),
+                        f("child", "Children"),
+                        f("infant", "Infants"),
+                    ],
+                ),
+                gu(vec![
+                    f("fare_min", "Lowest Price"),
+                    f("fare_max", "Highest Price"),
+                ]),
+            ],
+        ),
+        (
+            "msn",
+            vec![
+                gu(vec![f("from", "From"), f("to", "To")]),
+                g(
+                    "Travel Dates",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                g(
+                    "Preferences",
+                    vec![fi("class", "Class", CABINS), f("airline", "Airline")],
+                ),
+                f("promo", "Promo Code"),
+            ],
+        ),
+        (
+            "vacations",
+            vec![
+                g(
+                    "Where do you want to go?",
+                    vec![f("from", "Departing from"), f("to", "Going to")],
+                ),
+                g(
+                    "How many people are going?",
+                    vec![
+                        f("senior", "Seniors"),
+                        f("adult", "Adults"),
+                        f("child", "Children"),
+                    ],
+                ),
+                g(
+                    "When do you want to travel?",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+            ],
+        ),
+        // ---- the rest of the corpus ---------------------------------------
+        (
+            "orbitz",
+            vec![
+                g(
+                    "Where and when do you want to travel?",
+                    vec![
+                        gu(vec![f("from", "From"), f("to", "To")]),
+                        g(
+                            "When do you want to travel?",
+                            vec![g("Leave", date_pair("dep")), g("Return", date_pair("ret"))],
+                        ),
+                    ],
+                ),
+                g(
+                    "Travelers",
+                    vec![
+                        f("adult", "Adults (19-64)"),
+                        f("senior", "Seniors (65+)"),
+                        f("child", "Children (2-18)"),
+                        f("infant", "Infants"),
+                    ],
+                ),
+                g(
+                    "Do you have any preferences?",
+                    vec![
+                        fi("class", "Class", CABINS),
+                        f("airline", "Airline"),
+                        f("stops", "Stops"),
+                    ],
+                ),
+            ],
+        ),
+        (
+            "expedia",
+            vec![
+                gu(vec![f("from", "Leaving from"), f("to", "Going to")]),
+                g(
+                    "When do you want to travel?",
+                    vec![g("Departing", date_pair("dep")), g("Returning", date_pair("ret"))],
+                ),
+                g(
+                    "Passengers",
+                    vec![
+                        f("adult", "Adults"),
+                        f("child", "Children"),
+                        f("infant", "Infants"),
+                    ],
+                ),
+                gu(vec![
+                    fi("trip_type", "Trip Type", TRIPS),
+                    f("flex", "My dates are flexible"),
+                ]),
+                f("promo", "Promotion Code"),
+            ],
+        ),
+        (
+            "travelocity",
+            vec![
+                gu(vec![f("from", "From"), f("to", "To")]),
+                g(
+                    "Travel Dates",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                g(
+                    "Who is traveling?",
+                    vec![
+                        f("adult", "Adults"),
+                        f("senior", "Seniors"),
+                        f("child", "Children"),
+                    ],
+                ),
+                g(
+                    "Comfort",
+                    vec![fi("seat", "Seating", SEATS), fi("meal", "Meal", MEALS)],
+                ),
+            ],
+        ),
+        (
+            "united",
+            vec![
+                gu(vec![f("from", "Departure City"), f("to", "Arrival City")]),
+                g(
+                    "When do you want to travel?",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                g("Passengers", vec![f("adult", "Adults"), f("child", "Children")]),
+                g(
+                    "Search Options",
+                    vec![
+                        fi("trip_type", "Trip Type", TRIPS),
+                        f("flex", "Flexible Dates"),
+                        f("nearby", "Include nearby airports"),
+                    ],
+                ),
+                // The nested fare section: an unlabeled min/max pair inside
+                // the labeled Fare group — the structure that later blocks
+                // the integrated fare subgroup's only candidate label.
+                g(
+                    "Fare",
+                    vec![
+                        gu(vec![
+                            f("fare_min", "Lowest Price"),
+                            f("fare_max", "Highest Price"),
+                        ]),
+                        fi("currency", "Currency", CURRENCIES),
+                    ],
+                ),
+            ],
+        ),
+        (
+            "delta",
+            vec![
+                gu(vec![f("from", "From"), f("to", "To")]),
+                g(
+                    "When do you want to travel?",
+                    vec![g("Departure Date", date_pair("dep")), g("Return Date", date_pair("ret"))],
+                ),
+                gu(vec![
+                    f("adult", "Adults"),
+                    f("child", "Children"),
+                    f("infant", "Infants"),
+                ]),
+                g(
+                    "Service Preferences",
+                    vec![
+                        fi("class", "Flight Class", CABINS),
+                        f("airline", "Preferred Airline"),
+                        f("stops", "Number of Stops"),
+                    ],
+                ),
+            ],
+        ),
+        (
+            "lufthansa",
+            vec![
+                g(
+                    "Where do you want to go?",
+                    vec![f("from", "Departing from"), f("to", "Going to")],
+                ),
+                g(
+                    "Travel Dates",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                g(
+                    "Passengers",
+                    vec![
+                        f("adult", "Adults"),
+                        f("senior", "Seniors"),
+                        f("child", "Children"),
+                    ],
+                ),
+                g(
+                    "Comfort",
+                    vec![
+                        fi("seat", "Seat Preference", SEATS),
+                        fi("meal", "Meal Preference", MEALS),
+                    ],
+                ),
+                f("promo", "Promotion Code"),
+            ],
+        ),
+        (
+            "kayak",
+            vec![
+                gu(vec![f("from", "Departing from"), f("to", "Destination")]),
+                g(
+                    "When do you want to travel?",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                fm(&["adult", "child"], "Travelers"),
+                g(
+                    "Preferences",
+                    vec![fi("class", "Cabin", CABINS), f("stops", "Stops")],
+                ),
+                gu(vec![fi("trip_type", "Trip", TRIPS), f("flex", "Flexible")]),
+            ],
+        ),
+        (
+            "priceline",
+            vec![
+                gu(vec![f("from", "Departure City"), f("to", "Destination City")]),
+                g(
+                    "Travel Dates",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                gu(vec![f("adult", "Adults"), f("child", "Children")]),
+                g(
+                    "Fare",
+                    vec![
+                        f("fare_min", "Lowest Fare"),
+                        f("fare_max", "Highest Fare"),
+                        fi("currency", "Currency", CURRENCIES),
+                    ],
+                ),
+                f("promo", "Promo Code"),
+            ],
+        ),
+        (
+            "hotwire",
+            vec![
+                gu(vec![f("from", "Leaving from"), f("to", "Going to")]),
+                g(
+                    "When do you want to travel?",
+                    vec![g("Departing", date_pair("dep")), g("Returning", date_pair("ret"))],
+                ),
+                g(
+                    "Who is traveling?",
+                    vec![
+                        f("adult", "Adults"),
+                        f("child", "Children"),
+                        f("infant", "Infants"),
+                    ],
+                ),
+                g(
+                    "Service Preferences",
+                    vec![fi("class", "Class of Service", CABINS), f("airline", "Airline")],
+                ),
+            ],
+        ),
+        // The interface carrying the troublesome frequency-1 group
+        // [Return From, Return To] (§7), in an unlabeled subgroup of its
+        // itinerary section.
+        (
+            "flightnet",
+            vec![
+                g(
+                    "Where and when do you want to travel?",
+                    vec![
+                        gu(vec![f("from", "From"), f("to", "To")]),
+                        gu(vec![f("ret_from", "Return From"), f("ret_to", "Return To")]),
+                        g(
+                            "When do you want to travel?",
+                            vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                        ),
+                    ],
+                ),
+                gu(vec![f("adult", "Adults"), f("child", "Children")]),
+                g(
+                    "Preferences",
+                    vec![fi("class", "Class", CABINS), f("airline", "Airline")],
+                ),
+            ],
+        ),
+        (
+            "jetblue",
+            vec![
+                gu(vec![f("from", "From"), f("to", "To")]),
+                g(
+                    "When do you want to travel?",
+                    vec![gu(date_pair("dep")), gu(date_pair("ret"))],
+                ),
+                g(
+                    "Passengers",
+                    vec![
+                        f("adult", "Adults"),
+                        f("senior", "Seniors"),
+                        f("child", "Children"),
+                        f("infant", "Infants"),
+                    ],
+                ),
+                g(
+                    "Search Options",
+                    vec![
+                        fi("trip_type", "Trip Type", TRIPS),
+                        f("flex", "Flexible Dates"),
+                        f("nearby", "Include nearby airports"),
+                    ],
+                ),
+            ],
+        ),
+    ];
+    Domain::from_interfaces("Airline", interfaces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_interfaces() {
+        let d = domain();
+        assert_eq!(d.schemas.len(), 20);
+    }
+
+    #[test]
+    fn source_shape_tracks_table6() {
+        let d = domain();
+        let stats = d.source_stats();
+        // Paper: 10.7 leaves, 5.1 internal nodes, depth 3.6, LQ 53%.
+        assert!(
+            (8.0..=13.0).contains(&stats.avg_leaves),
+            "avg leaves {}",
+            stats.avg_leaves
+        );
+        assert!(
+            (3.0..=7.0).contains(&stats.avg_internal_nodes),
+            "avg internal {}",
+            stats.avg_internal_nodes
+        );
+        assert!(
+            (3.0..=4.5).contains(&stats.avg_depth),
+            "avg depth {}",
+            stats.avg_depth
+        );
+        assert!(
+            (0.40..=0.70).contains(&stats.avg_labeling_quality),
+            "LQ {}",
+            stats.avg_labeling_quality
+        );
+    }
+
+    #[test]
+    fn has_24_concepts() {
+        let d = domain();
+        assert_eq!(
+            d.mapping.len(),
+            24,
+            "clusters: {:?}",
+            d.mapping
+                .clusters
+                .iter()
+                .map(|c| c.concept.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn passengers_is_one_to_many() {
+        let d = domain();
+        let airtravel = d
+            .schemas
+            .iter()
+            .position(|s| s.name() == "airtravel")
+            .unwrap();
+        let adult = d.mapping.by_concept("adult").unwrap();
+        let member = adult.member_of(airtravel).unwrap();
+        assert_eq!(d.mapping.clusters_of(member).len(), 4);
+    }
+
+    #[test]
+    fn integrated_shape_tracks_table6() {
+        let p = domain().prepare();
+        let partition = p.integrated.partition();
+        let leaves = p.integrated.tree.leaves().count();
+        assert_eq!(leaves, 24);
+        assert!(
+            (7..=10).contains(&partition.groups.len()),
+            "groups: {} in\n{}",
+            partition.groups.len(),
+            p.integrated.tree.render()
+        );
+        assert!(
+            partition.isolated.len() <= 1,
+            "isolated: {:?}",
+            partition.isolated
+        );
+        assert!(
+            partition.root.len() <= 2,
+            "root leaves: {}",
+            partition.root.len()
+        );
+        let internal = p.integrated.tree.internal_nodes().count();
+        assert!(
+            (9..=15).contains(&internal),
+            "internal nodes: {internal}\n{}",
+            p.integrated.tree.render()
+        );
+        assert!(
+            (4..=6).contains(&p.integrated.tree.depth()),
+            "depth {}",
+            p.integrated.tree.depth()
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! The Auto domain: 20 interfaces.
+//!
+//! Faithful to the paper's published fragments:
+//!
+//! * Table 3's location group rows (`100auto`, `Ads4autos`, `CarMarket`,
+//!   `cars-1` with `State`/`City` vs `Zip Code`/`Distance` vs
+//!   `Your Zip`/`Within`) — the four clusters end up as *one* group of
+//!   the integrated interface, exactly as the paper states;
+//! * Table 5's vertical-consistency setup: `Year Range` sources labeling
+//!   (`Min`, `Max`) and (`From`, `To`), a `Car Information` source
+//!   labeling (`Make`, `Model`, `Year`, `To Year`), and `Make/Model`
+//!   sources with `Keywords` — reproducing Figure 6's integrated tree
+//!   (`Car Information` over `Make/Model` and `Year Range`) via LI5;
+//! * `Brand`/`Make` synonym variants for the make cluster.
+//!
+//! 18 concepts; Table 6's auto row targets: 18 leaves, 5 groups, 0
+//! isolated, 4 root leaves, ~7 internal nodes, depth ~3–4; consistent;
+//! FldAcc = IntAcc = 100%.
+
+use crate::domain::Domain;
+use crate::spec::{f, fi, fu, fui, g, gu, FieldSpec};
+
+const CONDITIONS: &[&str] = &["New", "Used", "Certified Pre-Owned"];
+const TRANSMISSIONS: &[&str] = &["Automatic", "Manual"];
+const BODY_STYLES: &[&str] = &["Sedan", "SUV", "Coupe", "Truck"];
+const FUELS: &[&str] = &["Gasoline", "Diesel", "Hybrid"];
+const COLORS: &[&str] = &["Black", "White", "Silver", "Red", "Blue"];
+
+/// Build the Auto domain.
+pub fn domain() -> Domain {
+    let interfaces: Vec<(&str, Vec<FieldSpec>)> = vec![
+        // ---- Table 3 interfaces --------------------------------------------
+        (
+            "100auto",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                g("Location", vec![f("state", "State"), f("city", "City")]),
+                fui("condition", CONDITIONS),
+            ],
+        ),
+        (
+            "Ads4autos",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                g(
+                    "Search Area",
+                    vec![f("zip", "Zip Code"), f("distance", "Distance")],
+                ),
+                f("mileage", "Max Mileage"),
+            ],
+        ),
+        (
+            "CarMarket",
+            vec![
+                f("make", "Brand"),
+                f("model", "Model"),
+                g("Location", vec![f("state", "State"), f("city", "City")]),
+            ],
+        ),
+        (
+            "cars-1",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                gu(vec![f("zip", "Your Zip"), f("distance", "Within")]),
+                fi("condition", "Condition", CONDITIONS),
+            ],
+        ),
+        // ---- Table 5 / Figure 5–6 interfaces -------------------------------
+        (
+            "autoweb",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                g("Year Range", vec![f("year_from", "Min"), f("year_to", "Max")]),
+            ],
+        ),
+        (
+            "carsdirect",
+            vec![
+                g(
+                    "Car Information",
+                    vec![
+                        f("make", "Make"),
+                        f("model", "Model"),
+                        f("year_from", "Year"),
+                        f("year_to", "To Year"),
+                    ],
+                ),
+                fu("price_max"),
+            ],
+        ),
+        (
+            "usedcars",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                g("Year Range", vec![f("year_from", "From"), f("year_to", "To")]),
+                fu("mileage"),
+            ],
+        ),
+        (
+            "autotrader",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                g(
+                    "Location",
+                    vec![
+                        f("state", "State"),
+                        f("city", "City"),
+                        f("zip", "Zip Code"),
+                        f("distance", "Distance"),
+                    ],
+                ),
+                fi("condition", "Condition", CONDITIONS),
+            ],
+        ),
+        (
+            "edmunds",
+            vec![
+                g(
+                    "Make/Model",
+                    vec![f("make", "Make"), f("model", "Model"), f("keyword", "Keywords")],
+                ),
+                g(
+                    "Price Range",
+                    vec![
+                        f("price_min", "Lowest Price"),
+                        f("price_max", "Highest Price"),
+                    ],
+                ),
+            ],
+        ),
+        (
+            "megacars",
+            vec![
+                g(
+                    "Car Information",
+                    vec![
+                        g(
+                            "Make/Model",
+                            vec![
+                                f("make", "Make"),
+                                f("model", "Model"),
+                                f("keyword", "Keywords"),
+                            ],
+                        ),
+                        g("Year Range", vec![f("year_from", "From"), f("year_to", "To")]),
+                    ],
+                ),
+                fui("condition", CONDITIONS),
+            ],
+        ),
+        // ---- the rest of the corpus -----------------------------------------
+        (
+            "carmax",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                g(
+                    "Price Range",
+                    vec![f("price_min", "Min Price"), f("price_max", "Max Price")],
+                ),
+                f("doors", "Doors"),
+            ],
+        ),
+        (
+            "vehix",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                g(
+                    "Features",
+                    vec![
+                        fi("color", "Color", COLORS),
+                        fi("transmission", "Transmission", TRANSMISSIONS),
+                        fi("body", "Body Style", BODY_STYLES),
+                    ],
+                ),
+            ],
+        ),
+        (
+            "cargurus",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                fu("zip"),
+                f("price_max", "Highest Price"),
+                fi("body", "Body Style", BODY_STYLES),
+                fui("condition", CONDITIONS),
+            ],
+        ),
+        (
+            "autolist",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                g(
+                    "Features",
+                    vec![
+                        fi("color", "Color", COLORS),
+                        fui("transmission", TRANSMISSIONS),
+                    ],
+                ),
+                fi("fuel", "Fuel Type", FUELS),
+            ],
+        ),
+        (
+            "carfinder",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                f("keyword", "Keywords"),
+                f("mileage", "Mileage"),
+            ],
+        ),
+        (
+            "autonation",
+            vec![
+                f("make", "Brand"),
+                f("model", "Model"),
+                g("Year Range", vec![f("year_from", "From"), f("year_to", "To")]),
+                fui("fuel", FUELS),
+            ],
+        ),
+        (
+            "drivetime",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                g(
+                    "Price Range",
+                    vec![
+                        f("price_min", "Lowest Price"),
+                        f("price_max", "Highest Price"),
+                    ],
+                ),
+                fu("doors"),
+            ],
+        ),
+        (
+            "motors",
+            vec![
+                f("make", "Brand"),
+                f("model", "Model"),
+                g("Location", vec![f("state", "State"), f("city", "City")]),
+                fui("condition", CONDITIONS),
+            ],
+        ),
+        (
+            "buyacar",
+            vec![
+                f("make", "Make"),
+                f("model", "Model"),
+                fu("year_from"),
+                f("price_max", "Max Price"),
+                fu("mileage"),
+            ],
+        ),
+        (
+            "wheels",
+            vec![
+                g(
+                    "Car Information",
+                    vec![
+                        f("make", "Make"),
+                        f("model", "Model"),
+                        f("year_from", "Year"),
+                        f("year_to", "To Year"),
+                    ],
+                ),
+                fi("fuel", "Fuel Type", FUELS),
+            ],
+        ),
+    ];
+    Domain::from_interfaces("Auto", interfaces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_interfaces_18_concepts() {
+        let d = domain();
+        assert_eq!(d.schemas.len(), 20);
+        assert_eq!(
+            d.mapping.len(),
+            18,
+            "{:?}",
+            d.mapping
+                .clusters
+                .iter()
+                .map(|c| c.concept.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn source_shape_tracks_table6() {
+        let stats = domain().source_stats();
+        // Paper: 5.1 leaves, 1.7 internal, depth 2.4, LQ 79.7%.
+        assert!((4.0..=6.5).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (0.8..=2.5).contains(&stats.avg_internal_nodes),
+            "internal {}",
+            stats.avg_internal_nodes
+        );
+        assert!((2.0..=3.2).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (0.70..=0.92).contains(&stats.avg_labeling_quality),
+            "LQ {}",
+            stats.avg_labeling_quality
+        );
+    }
+
+    #[test]
+    fn integrated_shape_tracks_table6() {
+        let p = domain().prepare();
+        let partition = p.integrated.partition();
+        assert_eq!(p.integrated.tree.leaves().count(), 18);
+        // Paper: 5 groups, 0 isolated, 4 root leaves, 7 internal, depth 3.
+        assert!(
+            (4..=6).contains(&partition.groups.len()),
+            "groups {} in\n{}",
+            partition.groups.len(),
+            p.integrated.tree.render()
+        );
+        assert_eq!(partition.isolated.len(), 0, "{:?}", partition.isolated);
+        assert!(
+            (3..=6).contains(&partition.root.len()),
+            "root {}",
+            partition.root.len()
+        );
+        let internal = p.integrated.tree.internal_nodes().count();
+        assert!((5..=8).contains(&internal), "internal {internal}");
+    }
+
+    /// Table 3: the location clusters form one integrated group.
+    #[test]
+    fn location_is_one_group_of_four() {
+        let p = domain().prepare();
+        let partition = p.integrated.partition();
+        let location = partition
+            .groups
+            .iter()
+            .find(|g| {
+                let concepts: Vec<&str> = g
+                    .clusters
+                    .iter()
+                    .map(|&c| p.mapping.cluster(c).concept.as_str())
+                    .collect();
+                concepts.contains(&"state") && concepts.contains(&"zip")
+            })
+            .expect("location group");
+        assert_eq!(location.clusters.len(), 4);
+    }
+
+    /// Figure 6: Car Information sits above Make/Model and Year Range.
+    #[test]
+    fn car_information_hierarchy_exists() {
+        let p = domain().prepare();
+        let make = p.mapping.by_concept("make").unwrap().id;
+        let year = p.mapping.by_concept("year_from").unwrap().id;
+        let keyword = p.mapping.by_concept("keyword").unwrap().id;
+        let make_leaf = p.integrated.leaf_of_cluster(make).unwrap();
+        let year_leaf = p.integrated.leaf_of_cluster(year).unwrap();
+        let keyword_leaf = p.integrated.leaf_of_cluster(keyword).unwrap();
+        // Make & Keywords share the model group node.
+        let model_node = p.integrated.tree.lca(&[make_leaf, keyword_leaf]);
+        assert_ne!(model_node, qi_schema::NodeId::ROOT);
+        // Make & Year share a deeper ancestor than the root (Car Info).
+        let car_info = p.integrated.tree.lca(&[make_leaf, year_leaf]);
+        assert_ne!(car_info, qi_schema::NodeId::ROOT);
+        assert_ne!(car_info, model_node);
+    }
+}

@@ -1,0 +1,327 @@
+//! The Book domain: 20 interfaces.
+//!
+//! Flat-ish interfaces (Table 6: 5.4 fields, 1.3 internal nodes, depth
+//! 2.3, LQ 83.3%) with a few recurring groups. Notable corpus features:
+//!
+//! * the `Format`/`Binding` cluster with instance domains (`hardcover`,
+//!   `paperback`, …) — §6.1.2's *label-as-value* scenario: one source
+//!   labels the field `Hardcover`, which LI7 must discard;
+//! * the format cluster is the integrated interface's single *isolated*
+//!   field (Table 6: Iso. = 1), so the RAN-style election of §4.4 runs;
+//! * price/year range pairs in two label families bridged at the
+//!   equality/synonymy levels.
+
+use crate::domain::Domain;
+use crate::spec::{f, fi, fu, fui, g, gu, FieldSpec};
+
+const FORMATS: &[&str] = &["Hardcover", "Paperback", "Audio"];
+const CONDITIONS: &[&str] = &["New", "Used", "Like New"];
+const LANGUAGES: &[&str] = &["English", "Spanish", "French", "German"];
+const SUBJECTS: &[&str] = &["Fiction", "History", "Science", "Children"];
+
+/// Build the Book domain.
+pub fn domain() -> Domain {
+    let interfaces: Vec<(&str, Vec<FieldSpec>)> = vec![
+        (
+            "abebooks",
+            vec![
+                g(
+                    "Search by",
+                    vec![
+                        f("title", "Title"),
+                        f("author", "Author"),
+                        f("keyword", "Keywords"),
+                        f("isbn", "ISBN"),
+                    ],
+                ),
+                fi("format", "Binding", FORMATS),
+                f("publisher", "Publisher"),
+            ],
+        ),
+        (
+            "alibris",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                g(
+                    "Price Range",
+                    vec![f("price_min", "Lowest Price"), f("price_max", "Highest Price")],
+                ),
+                fi("condition", "Condition", CONDITIONS),
+            ],
+        ),
+        (
+            "biblio",
+            vec![
+                f("title", "Book Title"),
+                f("author", "Author Name"),
+                f("isbn", "ISBN Number"),
+                g(
+                    "Collectible Attributes",
+                    vec![f("signed", "Signed"), f("dustjacket", "Dust Jacket")],
+                ),
+            ],
+        ),
+        (
+            "powells",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                f("keyword", "Keyword"),
+                fui("subject", SUBJECTS),
+                g("Format", vec![fui("format", FORMATS)]),
+            ],
+        ),
+        (
+            "bookfinder",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                f("isbn", "ISBN"),
+                g(
+                    "Publication Year",
+                    vec![f("year_from", "From"), f("year_to", "To")],
+                ),
+                fi("format", "Format", FORMATS),
+            ],
+        ),
+        (
+            "half",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                g(
+                    "Price Range",
+                    vec![f("price_min", "Min Price"), f("price_max", "Max Price")],
+                ),
+                fui("condition", CONDITIONS),
+            ],
+        ),
+        (
+            "strandbooks",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                f("publisher", "Publisher"),
+                g(
+                    "Book Attributes",
+                    vec![fi("condition", "Condition", CONDITIONS), fi("language", "Language", LANGUAGES)],
+                ),
+            ],
+        ),
+        (
+            "bookdepot",
+            vec![
+                f("keyword", "Keywords"),
+                fi("subject", "Topic", SUBJECTS),
+                // One source labels the field by a *value* — the LI7 case.
+                f("format", "Hardcover"),
+                f("seller", "Bookseller"),
+            ],
+        ),
+        (
+            "textbookx",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                f("isbn", "ISBN"),
+                f("edition", "Edition"),
+                fui("condition", CONDITIONS),
+            ],
+        ),
+        (
+            "bookcloseouts",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                g(
+                    "Price Range",
+                    vec![f("price_min", "Lowest Price"), f("price_max", "Highest Price")],
+                ),
+                f("shipping", "Free Shipping Only"),
+            ],
+        ),
+        (
+            "ecampus",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                f("isbn", "ISBN"),
+                fui("format", FORMATS),
+                f("age", "Reader Age"),
+            ],
+        ),
+        (
+            "bookbyte",
+            vec![
+                gu(vec![
+                    f("title", "Title"),
+                    f("author", "Author"),
+                    f("keyword", "Keywords"),
+                ]),
+                fi("condition", "Condition", CONDITIONS),
+            ],
+        ),
+        (
+            "thriftbooks",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                fui("language", LANGUAGES),
+                fi("subject", "Subject", SUBJECTS),
+                f("age", "Age Range"),
+            ],
+        ),
+        (
+            "betterworld",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                g(
+                    "Publication Year",
+                    vec![f("year_from", "Year from"), f("year_to", "Year to")],
+                ),
+                fi("format", "Format", FORMATS),
+            ],
+        ),
+        (
+            "biblioquest",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                g(
+                    "Collectible Attributes",
+                    vec![f("signed", "Signed by Author"), f("dustjacket", "Dust Jacket")],
+                ),
+                f("edition", "First Edition"),
+            ],
+        ),
+        (
+            "valorebooks",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                f("isbn", "ISBN"),
+                fu("publisher"),
+                fui("condition", CONDITIONS),
+            ],
+        ),
+        (
+            "bookmooch",
+            vec![
+                g(
+                    "Find Books",
+                    vec![
+                        f("title", "Title"),
+                        f("author", "Author"),
+                        f("keyword", "Keywords"),
+                        f("isbn", "ISBN"),
+                    ],
+                ),
+                fi("language", "Language", LANGUAGES),
+            ],
+        ),
+        (
+            "paperbackswap",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                fui("format", FORMATS),
+                f("shipping", "Shipping"),
+            ],
+        ),
+        (
+            "bookrenter",
+            vec![
+                f("title", "Title"),
+                f("isbn", "ISBN"),
+                fu("edition"),
+                g(
+                    "Price Range",
+                    vec![f("price_min", "Min Price"), f("price_max", "Max Price")],
+                ),
+            ],
+        ),
+        (
+            "campusbooks",
+            vec![
+                f("title", "Title"),
+                f("author", "Author"),
+                f("isbn", "ISBN"),
+                g(
+                    "Publication Year",
+                    vec![f("year_from", "From"), f("year_to", "To")],
+                ),
+                f("publisher", "Publisher"),
+            ],
+        ),
+    ];
+    Domain::from_interfaces("Book", interfaces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_interfaces() {
+        let d = domain();
+        assert_eq!(d.schemas.len(), 20);
+        assert_eq!(
+            d.mapping.len(),
+            19,
+            "{:?}",
+            d.mapping
+                .clusters
+                .iter()
+                .map(|c| c.concept.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn source_shape_tracks_table6() {
+        let stats = domain().source_stats();
+        // Paper: 5.4 leaves, 1.3 internal, depth 2.3, LQ 83.3%.
+        assert!((4.2..=6.5).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (0.5..=2.0).contains(&stats.avg_internal_nodes),
+            "internal {}",
+            stats.avg_internal_nodes
+        );
+        assert!((2.0..=3.0).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (0.72..=0.95).contains(&stats.avg_labeling_quality),
+            "LQ {}",
+            stats.avg_labeling_quality
+        );
+    }
+
+    #[test]
+    fn integrated_shape_tracks_table6() {
+        let p = domain().prepare();
+        let partition = p.integrated.partition();
+        assert_eq!(p.integrated.tree.leaves().count(), 19);
+        // Paper: 5 groups, 1 isolated, 8 root leaves, 6 internal, depth 3.
+        assert!(
+            (4..=6).contains(&partition.groups.len()),
+            "groups {} in\n{}",
+            partition.groups.len(),
+            p.integrated.tree.render()
+        );
+        assert_eq!(partition.isolated.len(), 1, "{:?}", partition.isolated);
+        assert!(
+            (5..=9).contains(&partition.root.len()),
+            "root {}",
+            partition.root.len()
+        );
+    }
+
+    #[test]
+    fn format_is_the_isolated_cluster() {
+        let p = domain().prepare();
+        let partition = p.integrated.partition();
+        let (_, cluster) = partition.isolated[0];
+        assert_eq!(p.mapping.cluster(cluster).concept, "format");
+    }
+}

@@ -1,0 +1,447 @@
+//! The Car Rental domain: 20 interfaces.
+//!
+//! The widest integrated interface of the corpus (Table 6: 34 leaves, 9
+//! groups, 3 isolated fields, 15 internal nodes, depth 5), with low
+//! source labeling quality (LQ ≈ 52.5%: unlabeled date/time selects and
+//! unlabeled groups everywhere). Reproduces the paper's reported
+//! pathologies:
+//!
+//! * the integrated interface is *inconsistent*: the pick-up location
+//!   subgroup's only candidate label (`Pick Up Location`) is claimed by
+//!   its ancestor ("a node whose set of candidate labels is promoted to
+//!   its ancestors", §7), so the node stays unlabeled (IntAcc ≈ 93%);
+//! * frequency-1 loyalty-program fields (`Hertz Gold Number`,
+//!   `Avis Wizard Number`) that the human-acceptance panel flags as too
+//!   specific for a global interface.
+
+use crate::domain::Domain;
+use crate::spec::{f, fi, fui, g, gu, FieldSpec};
+
+const MONTHS: &[&str] = &[
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+const DAYS: &[&str] = &["1", "5", "10", "15", "20", "25", "28"];
+const HOURS: &[&str] = &["08:00", "10:00", "12:00", "16:00", "18:00"];
+const CAR_CLASSES: &[&str] = &["Economy", "Compact", "Midsize", "Full Size", "SUV"];
+const TRANSMISSIONS: &[&str] = &["Automatic", "Manual"];
+const RATE_TYPES: &[&str] = &["Daily", "Weekly", "Monthly"];
+const PAY_TYPES: &[&str] = &["Pay now", "Pay at counter"];
+
+/// An unlabeled month/day/hour triple.
+fn datetime(prefix: &str) -> Vec<FieldSpec> {
+    vec![
+        fui(&format!("{prefix}_month"), MONTHS),
+        fui(&format!("{prefix}_day"), DAYS),
+        fui(&format!("{prefix}_time"), HOURS),
+    ]
+}
+
+/// Build the Car Rental domain.
+pub fn domain() -> Domain {
+    let interfaces: Vec<(&str, Vec<FieldSpec>)> = vec![
+        // --- The three sources that set up the blocked-candidate node -----
+        (
+            "hertz",
+            vec![
+                g(
+                    "Pick Up Location",
+                    vec![f("pu_city", "City"), f("pu_state", "State")],
+                ),
+                g("Pick Up Date", datetime("pu")),
+                g(
+                    "Drop Off Location",
+                    vec![f("do_city", "City"), f("do_state", "State")],
+                ),
+                g("Drop Off Date", datetime("do")),
+                g("Membership", vec![f("hertz_gold", "Hertz Gold Number")]),
+            ],
+        ),
+        (
+            "avis",
+            vec![
+                g(
+                    "Pick Up",
+                    vec![
+                        g(
+                            "Pick Up Location",
+                            vec![
+                                f("pu_city", "City"),
+                                f("pu_state", "State"),
+                                f("pu_zip", "Zip Code"),
+                                f("pu_airport", "Airport"),
+                                f("pu_country", "Country"),
+                            ],
+                        ),
+                        gu(datetime("pu")),
+                    ],
+                ),
+                g(
+                    "Drop Off",
+                    vec![
+                        g(
+                            "Drop Off Location",
+                            vec![
+                            f("do_city", "City"),
+                            f("do_state", "State"),
+                            f("do_zip", "Zip Code"),
+                            f("do_airport", "Airport"),
+                            f("do_country", "Country"),
+                            ],
+                        ),
+                        gu(datetime("do")),
+                    ],
+                ),
+                g("Membership", vec![f("avis_wizard", "Avis Wizard Number")]),
+            ],
+        ),
+        (
+            "budget",
+            vec![
+                g(
+                    "Pick Up Location",
+                    vec![
+                        f("pu_city", "City"),
+                        f("pu_state", "State"),
+                        f("pu_zip", "Zip Code"),
+                        f("pu_airport", "Airport"),
+                        f("pu_country", "Country"),
+                    ],
+                ),
+                g("Pick Up Date", datetime("pu")),
+                g("Drop Off Date", datetime("do")),
+                g(
+                    "Car Preferences",
+                    vec![
+                        fi("car_class", "Car Class", CAR_CLASSES),
+                        fui("transmission", TRANSMISSIONS),
+                    ],
+                ),
+            ],
+        ),
+        // --- Super-grouped interfaces (depth 4–5) ---------------------------
+        (
+            "alamo",
+            vec![
+                g(
+                    "Pick Up",
+                    vec![
+                        f("pu_city", "City"),
+                        f("pu_airport", "Airport"),
+                        gu(datetime("pu")),
+                    ],
+                ),
+                g(
+                    "Drop Off",
+                    vec![
+                        f("do_city", "City"),
+                        f("do_airport", "Airport"),
+                        gu(datetime("do")),
+                    ],
+                ),
+                fi("car_class", "Car Type", CAR_CLASSES),
+                f("discount_code", "Discount Code"),
+            ],
+        ),
+        (
+            "national",
+            vec![
+                g(
+                    "Pick Up",
+                    vec![
+                        f("pu_city", "City"),
+                        f("pu_state", "State"),
+                        gu(datetime("pu")),
+                    ],
+                ),
+                g(
+                    "Drop Off",
+                    vec![
+                        f("do_city", "City"),
+                        f("do_state", "State"),
+                        gu(datetime("do")),
+                    ],
+                ),
+                g(
+                    "Driver",
+                    vec![f("driver_age", "Driver Age"), f("residence", "Country of Residence")],
+                ),
+            ],
+        ),
+        (
+            "enterprise",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_zip", "Zip Code")]),
+                g("Pick Up Date", datetime("pu")),
+                g("Drop Off Date", datetime("do")),
+                g(
+                    "Vehicle",
+                    vec![
+                        fi("car_class", "Vehicle Class", CAR_CLASSES),
+                        fui("transmission", TRANSMISSIONS),
+                        f("ac", "Air Conditioning"),
+                    ],
+                ),
+                f("coupon", "Coupon Number"),
+            ],
+        ),
+        (
+            "thrifty",
+            vec![
+                gu(vec![f("pu_city", "Pick Up City"), f("pu_airport", "Pick Up Airport")]),
+                gu(datetime("pu")),
+                gu(vec![f("do_city", "City"), f("do_airport", "Airport")]),
+                gu(datetime("do")),
+                g(
+                    "Rate",
+                    vec![fi("rate_type", "Rate Type", RATE_TYPES), fui("pay_type", PAY_TYPES)],
+                ),
+            ],
+        ),
+        (
+            "dollar",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_state", "State")]),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                g(
+                    "Extras",
+                    vec![
+                        f("gps", "GPS Navigation"),
+                        f("child_seat", "Child Seat"),
+                        f("insurance", "Insurance"),
+                    ],
+                ),
+                f("mileage_option", "Unlimited Mileage"),
+            ],
+        ),
+        (
+            "payless",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_zip", "Zip Code")]),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                g(
+                    "Discounts",
+                    vec![
+                        f("discount_code", "Discount Code"),
+                        f("coupon", "Coupon"),
+                        f("company_pref", "Rental Company"),
+                    ],
+                ),
+            ],
+        ),
+        (
+            "foxrent",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_airport", "Airport")]),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                fi("car_class", "Car Class", CAR_CLASSES),
+                f("driver_age", "Age of Driver"),
+            ],
+        ),
+        (
+            "aamcar",
+            vec![
+                f("pu_city", "Pick Up City"),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                g(
+                    "Extras",
+                    vec![f("gps", "GPS"), f("child_seat", "Child Seat")],
+                ),
+                g("Flight Information", vec![f("flight_number", "Flight Number")]),
+            ],
+        ),
+        (
+            "rentalcars",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_country", "Country")]),
+                gu(datetime("pu")),
+                gu(vec![f("do_city", "City"), f("do_country", "Country")]),
+                gu(datetime("do")),
+                g(
+                    "Driver",
+                    vec![f("driver_age", "Driver Age"), f("residence", "Residence")],
+                ),
+                f("currency", "Currency"),
+            ],
+        ),
+        (
+            "autoeurope",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_country", "Country")]),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                g(
+                    "Rate",
+                    vec![fi("rate_type", "Rate", RATE_TYPES), fui("pay_type", PAY_TYPES)],
+                ),
+                f("currency", "Preferred Currency"),
+            ],
+        ),
+        (
+            "kayakcars",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_airport", "Airport")]),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                g(
+                    "Car Preferences",
+                    vec![
+                        fi("car_class", "Car Class", CAR_CLASSES),
+                        f("ac", "Air Conditioning"),
+                    ],
+                ),
+                f("company_pref", "Preferred Company"),
+            ],
+        ),
+        (
+            "expediacars",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_airport", "Airport")]),
+                gu(datetime("pu")),
+                gu(vec![f("do_city", "City"), f("do_airport", "Airport")]),
+                gu(datetime("do")),
+                g(
+                    "Discounts",
+                    vec![f("discount_code", "Discount Code"), f("coupon", "Coupon Code")],
+                ),
+                g("Flight Information", vec![f("flight_number", "Flight Number")]),
+            ],
+        ),
+        (
+            "orbitzcars",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_state", "State")]),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                g(
+                    "Extras",
+                    vec![
+                        f("gps", "GPS Navigation"),
+                        f("child_seat", "Child Seat"),
+                        f("insurance", "Rental Insurance"),
+                    ],
+                ),
+                f("mileage_option", "Unlimited Mileage"),
+            ],
+        ),
+        (
+            "carrentals",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_zip", "Zip Code")]),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                fi("car_class", "Car Class", CAR_CLASSES),
+                fui("transmission", TRANSMISSIONS),
+                f("driver_age", "Driver Age"),
+            ],
+        ),
+        (
+            "economycarrentals",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_country", "Country")]),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                g(
+                    "Driver",
+                    vec![f("driver_age", "Age"), f("residence", "Country of Residence")],
+                ),
+                f("currency", "Currency"),
+            ],
+        ),
+        (
+            "sixt",
+            vec![
+                gu(vec![f("pu_city", "City"), f("pu_airport", "Airport")]),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                g(
+                    "Rate",
+                    vec![fi("rate_type", "Rate Type", RATE_TYPES), fui("pay_type", PAY_TYPES)],
+                ),
+                f("mileage_option", "Mileage Option"),
+            ],
+        ),
+        (
+            "zipcar",
+            vec![
+                f("pu_city", "City"),
+                f("pu_zip", "Zip Code"),
+                gu(datetime("pu")),
+                gu(datetime("do")),
+                g(
+                    "Vehicle",
+                    vec![
+                        fi("car_class", "Vehicle Class", CAR_CLASSES),
+                        fui("transmission", TRANSMISSIONS),
+                        f("ac", "Air Conditioning"),
+                    ],
+                ),
+            ],
+        ),
+    ];
+    Domain::from_interfaces("Car Rental", interfaces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_interfaces() {
+        let d = domain();
+        assert_eq!(d.schemas.len(), 20);
+    }
+
+    #[test]
+    fn source_shape_tracks_table6() {
+        let stats = domain().source_stats();
+        // Paper: 10.4 leaves, 2.4 internal, depth 2.5, LQ 52.5%.
+        assert!((9.0..=13.0).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (2.0..=5.0).contains(&stats.avg_internal_nodes),
+            "internal {}",
+            stats.avg_internal_nodes
+        );
+        assert!((2.3..=3.5).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (0.40..=0.65).contains(&stats.avg_labeling_quality),
+            "LQ {}",
+            stats.avg_labeling_quality
+        );
+    }
+
+    #[test]
+    fn loyalty_fields_have_frequency_one() {
+        let d = domain();
+        for concept in ["hertz_gold", "avis_wizard"] {
+            let cluster = d.mapping.by_concept(concept).unwrap();
+            assert_eq!(cluster.members.len(), 1, "{concept}");
+        }
+    }
+
+    #[test]
+    fn integrated_shape_tracks_table6() {
+        let p = domain().prepare();
+        let partition = p.integrated.partition();
+        // Paper: 34 leaves, 9 groups, 3 isolated, 3 root leaves, 15
+        // internal, depth 5.
+        let leaves = p.integrated.tree.leaves().count();
+        assert!((28..=36).contains(&leaves), "leaves {leaves}");
+        assert!(
+            (7..=11).contains(&partition.groups.len()),
+            "groups {} in\n{}",
+            partition.groups.len(),
+            p.integrated.tree.render()
+        );
+        assert!(
+            (4..=6).contains(&p.integrated.tree.depth()),
+            "depth {}",
+            p.integrated.tree.depth()
+        );
+        let internal = p.integrated.tree.internal_nodes().count();
+        assert!((10..=18).contains(&internal), "internal {internal}");
+    }
+}

@@ -1,0 +1,140 @@
+//! A corpus domain: interfaces + ground-truth clusters, and the prepared
+//! (expanded + merged) form the labeler consumes.
+
+use crate::spec::{build_interface, FieldSpec};
+use qi_mapping::{expand_one_to_many, FieldRef, Integrated, Mapping};
+use qi_schema::{DomainStats, InterfaceStats, SchemaTree};
+use std::collections::BTreeMap;
+
+/// One evaluation domain (e.g. Airline) in raw, 1:m form.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Display name (Table 6 row).
+    pub name: String,
+    /// Source interfaces.
+    pub schemas: Vec<SchemaTree>,
+    /// Ground-truth clusters (possibly 1:m, before expansion).
+    pub mapping: Mapping,
+}
+
+/// A domain after 1:m expansion and structural merge — the exact inputs
+/// of the naming algorithm (§3 Preliminaries).
+#[derive(Debug, Clone)]
+pub struct PreparedDomain {
+    /// Display name.
+    pub name: String,
+    /// Expanded source interfaces.
+    pub schemas: Vec<SchemaTree>,
+    /// 1:1 mapping.
+    pub mapping: Mapping,
+    /// The merged, unlabeled integrated interface.
+    pub integrated: Integrated,
+}
+
+impl Domain {
+    /// Build a domain from `(interface name, specs)` pairs. Cluster order
+    /// follows first appearance of each concept.
+    pub fn from_interfaces(name: &str, interfaces: Vec<(&str, Vec<FieldSpec>)>) -> Domain {
+        let mut schemas: Vec<SchemaTree> = Vec::with_capacity(interfaces.len());
+        let mut clusters: BTreeMap<String, Vec<FieldRef>> = BTreeMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for (schema_idx, (iface_name, specs)) in interfaces.into_iter().enumerate() {
+            let (tree, concepts) = build_interface(iface_name, &specs)
+                .unwrap_or_else(|e| panic!("{name}/{iface_name}: {e}"));
+            for (node, concept_names) in concepts {
+                for concept in concept_names {
+                    if !clusters.contains_key(&concept) {
+                        order.push(concept.clone());
+                    }
+                    clusters
+                        .entry(concept)
+                        .or_default()
+                        .push(FieldRef::new(schema_idx, node));
+                }
+            }
+            schemas.push(tree);
+        }
+        let mapping = Mapping::from_clusters(
+            order
+                .into_iter()
+                .map(|concept| {
+                    let members = clusters.remove(&concept).expect("concept recorded");
+                    (concept, members)
+                })
+                .collect::<Vec<_>>(),
+        );
+        Domain {
+            name: name.to_string(),
+            schemas,
+            mapping,
+        }
+    }
+
+    /// Average source-interface statistics (Table 6, columns 2–5).
+    pub fn source_stats(&self) -> DomainStats {
+        let stats: Vec<InterfaceStats> = self.schemas.iter().map(SchemaTree::stats).collect();
+        DomainStats::aggregate(&stats)
+    }
+
+    /// Expand 1:m matchings and merge: produce the labeler's inputs.
+    pub fn prepare(&self) -> PreparedDomain {
+        let mut schemas = self.schemas.clone();
+        let mut mapping = self.mapping.clone();
+        expand_one_to_many(&mut schemas, &mut mapping);
+        let integrated = qi_merge::merge(&schemas, &mapping);
+        PreparedDomain {
+            name: self.name.clone(),
+            schemas,
+            mapping,
+            integrated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{f, fm, g};
+
+    fn tiny() -> Domain {
+        Domain::from_interfaces(
+            "Tiny",
+            vec![
+                (
+                    "one",
+                    vec![g("People", vec![f("adult", "Adults"), f("child", "Children")])],
+                ),
+                ("two", vec![fm(&["adult", "child"], "Passengers")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn clusters_follow_first_appearance() {
+        let d = tiny();
+        assert_eq!(d.mapping.clusters[0].concept, "adult");
+        assert_eq!(d.mapping.clusters[1].concept, "child");
+        assert_eq!(d.mapping.clusters.len(), 2);
+        // The 1:m Passengers field is in both clusters pre-expansion.
+        assert_eq!(d.mapping.clusters[0].members.len(), 2);
+        assert_eq!(d.mapping.clusters[1].members.len(), 2);
+    }
+
+    #[test]
+    fn prepare_expands_and_merges() {
+        let d = tiny();
+        let p = d.prepare();
+        p.mapping.validate(&p.schemas).unwrap();
+        assert_eq!(p.integrated.tree.leaves().count(), 2);
+        // `Passengers` became an internal node in schema "two".
+        assert_eq!(p.schemas[1].internal_nodes().count(), 1);
+    }
+
+    #[test]
+    fn source_stats_aggregate() {
+        let d = tiny();
+        let stats = d.source_stats();
+        assert_eq!(stats.interfaces, 2);
+        assert!((stats.avg_leaves - 1.5).abs() < 1e-9); // 2 and 1 leaves
+    }
+}

@@ -1,0 +1,471 @@
+//! The Hotels domain: 30 interfaces (the largest domain of the corpus).
+//!
+//! Table 6 targets: 7.6 fields, 2.4 internal nodes, depth 2.3, LQ 70.1%;
+//! integrated: 26 leaves, 8 groups, 3 isolated, 2 root leaves, ~15
+//! internal nodes. Notable corpus features:
+//!
+//! * the amenity preference groups reproduce Figure 8 (middle): specific
+//!   labels (`Amenity Preferences`, `What are your service
+//!   preferences?`) are absorbed by the hypernym `Do you have any
+//!   preferences?` (LI3/LI4);
+//! * a chain-specific frequency-1 loyalty field (`Wyndham ByRequest No`)
+//!   that the acceptance panel flags as too specific (§7);
+//! * an all-unlabeled "near" group (airport/landmark) whose internal node
+//!   has no potential labels, costing IntAcc one node.
+
+use crate::domain::Domain;
+use crate::spec::{f, fi, fui, g, gu, FieldSpec};
+
+const MONTHS: &[&str] = &[
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+const DAYS: &[&str] = &["1", "5", "10", "15", "20", "25", "28"];
+const STARS: &[&str] = &["2 stars", "3 stars", "4 stars", "5 stars"];
+const ROOM_TYPES: &[&str] = &["Single", "Double", "Suite"];
+const CHAINS: &[&str] = &["Hilton", "Marriott", "Wyndham", "Best Western"];
+
+fn checkin() -> FieldSpec {
+    g(
+        "Check In",
+        vec![fui("ci_month", MONTHS), fui("ci_day", DAYS)],
+    )
+}
+
+fn checkout() -> FieldSpec {
+    g(
+        "Check Out",
+        vec![fui("co_month", MONTHS), fui("co_day", DAYS)],
+    )
+}
+
+/// Build the Hotels domain.
+pub fn domain() -> Domain {
+    let mut interfaces: Vec<(&str, Vec<FieldSpec>)> = vec![
+        (
+            "hilton",
+            vec![
+                g("Location", vec![f("city", "City"), f("state", "State")]),
+                checkin(),
+                checkout(),
+                g(
+                    "Occupancy",
+                    vec![f("rooms", "Rooms"), f("adults", "Adults"), f("children", "Children")],
+                ),
+            ],
+        ),
+        (
+            "marriott",
+            vec![
+                g(
+                    "Location",
+                    vec![f("city", "City"), f("state", "State"), f("country", "Country")],
+                ),
+                checkin(),
+                checkout(),
+                gu(vec![f("adults", "Adults"), f("children", "Children")]),
+                f("discount_code", "Discount Code"),
+            ],
+        ),
+        (
+            "wyndham",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                gu(vec![f("rooms", "Rooms"), f("adults", "Adults")]),
+                f("wyndham_byrequest", "Wyndham ByRequest No"),
+            ],
+        ),
+        (
+            "expediahotels",
+            vec![
+                g(
+                    "Where do you want to stay?",
+                    vec![f("city", "City"), f("state", "State"), f("zip", "Zip Code")],
+                ),
+                checkin(),
+                checkout(),
+                g(
+                    "Occupancy",
+                    vec![f("rooms", "Rooms"), f("adults", "Adults"), f("children", "Children")],
+                ),
+                g(
+                    "Price per Night",
+                    vec![f("price_min", "Min Price"), f("price_max", "Max Price")],
+                ),
+            ],
+        ),
+        (
+            "hotelscom",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                g("Length of Stay", vec![f("nights", "Number of Nights")]),
+                g(
+                    "Do you have any preferences?",
+                    vec![f("pool", "Pool"), f("pets", "Pets Allowed")],
+                ),
+            ],
+        ),
+        (
+            "orbitzhotels",
+            vec![
+                g("Location", vec![f("city", "City"), f("state", "State")]),
+                checkin(),
+                checkout(),
+                g(
+                    "Amenity Preferences",
+                    vec![f("pool", "Pool"), f("smoking", "Smoking Room")],
+                ),
+                fi("stars", "Star Rating", STARS),
+            ],
+        ),
+        (
+            "travelocityhotels",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                g(
+                    "What are your service preferences?",
+                    vec![f("breakfast", "Free Breakfast"), f("pets", "Pets Allowed")],
+                ),
+                g("Hotel Class", vec![fui("stars", STARS)]),
+            ],
+        ),
+        (
+            "choicehotels",
+            vec![
+                g("Location", vec![f("city", "City"), f("state", "State")]),
+                checkin(),
+                checkout(),
+                g("Hotel Chain", vec![fi("chain", "Chain", CHAINS)]),
+                fui("room_type", ROOM_TYPES),
+            ],
+        ),
+        (
+            "bestwestern",
+            vec![
+                f("city", "City"),
+                f("country", "Country"),
+                checkin(),
+                checkout(),
+                gu(vec![f("adults", "Adults"), f("children", "Children")]),
+                f("bw_corporate", "Corporate Rewards ID"),
+            ],
+        ),
+        (
+            "ichotels",
+            vec![
+                g(
+                    "Where do you want to stay?",
+                    vec![f("city", "City"), f("country", "Country")],
+                ),
+                checkin(),
+                checkout(),
+                g(
+                    "Room",
+                    vec![fi("room_type", "Room Type", ROOM_TYPES), f("beds", "Beds")],
+                ),
+            ],
+        ),
+    ];
+    // The long tail of the corpus: smaller chains and aggregators with
+    // recurring structures and label variants.
+    interfaces.extend(vec![
+        (
+            "kayakhotels",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                gu(vec![f("rooms", "Rooms"), f("adults", "Guests")]),
+                g(
+                    "Price per Night",
+                    vec![f("price_min", "Price from"), f("price_max", "Price to")],
+                ),
+            ],
+        ),
+        (
+            "pricelinehotels",
+            vec![
+                f("city", "City"),
+                gu(vec![f("near_airport", "Near Airport"), f("landmark", "Near Landmark")]),
+                checkin(),
+                checkout(),
+                fi("stars", "Hotel Class", STARS),
+            ],
+        ),
+        (
+            "hotwirehotels",
+            vec![
+                g("Location", vec![f("city", "City"), f("zip", "Zip Code")]),
+                checkin(),
+                checkout(),
+                gu(vec![f("rooms", "Rooms"), f("adults", "Adults"), f("children", "Children")]),
+            ],
+        ),
+        (
+            "lodgingcom",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                g("Length of Stay", vec![f("nights", "Nights")]),
+                g(
+                    "Hotel Amenities",
+                    vec![f("breakfast", "Breakfast Included"), f("smoking", "Smoking Room")],
+                ),
+            ],
+        ),
+        (
+            "venere",
+            vec![
+                f("city", "City"),
+                f("country", "Country"),
+                checkin(),
+                checkout(),
+                g(
+                    "Room",
+                    vec![fi("room_type", "Type of Room", ROOM_TYPES), f("beds", "Number of Beds")],
+                ),
+            ],
+        ),
+        (
+            "laterooms",
+            vec![
+                f("city", "City"),
+                gu(vec![f("near_airport", "Airport"), f("landmark", "Landmark")]),
+                checkin(),
+                g("Length of Stay", vec![f("nights", "Number of Nights")]),
+                fui("stars", STARS),
+            ],
+        ),
+        (
+            "hostelworld",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                gu(vec![f("adults", "Adults"), f("children", "Children")]),
+                g(
+                    "Price per Night",
+                    vec![f("price_min", "Min Price"), f("price_max", "Max Price")],
+                ),
+            ],
+        ),
+        (
+            "ratestogo",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                gu(vec![f("rooms", "Rooms"), f("adults", "Adults")]),
+                f("discount_code", "Promotional Code"),
+            ],
+        ),
+        (
+            "asiatravel",
+            vec![
+                g("Location", vec![f("city", "City"), f("country", "Country")]),
+                checkin(),
+                checkout(),
+                g(
+                    "Occupancy",
+                    vec![f("rooms", "Rooms"), f("adults", "Adults"), f("children", "Children")],
+                ),
+            ],
+        ),
+        (
+            "hotelclub",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                g("Hotel Chain", vec![fi("chain", "Hotel Chain", CHAINS)]),
+                fi("stars", "Star Rating", STARS),
+            ],
+        ),
+        (
+            "octopustravel",
+            vec![
+                f("city", "City"),
+                f("country", "Country"),
+                checkin(),
+                checkout(),
+                gu(vec![f("adults", "Adults"), f("children", "Children")]),
+            ],
+        ),
+        (
+            "quikbook",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                g(
+                    "What are your service preferences?",
+                    vec![f("pool", "Swimming Pool"), f("breakfast", "Free Breakfast")],
+                ),
+                fui("room_type", ROOM_TYPES),
+            ],
+        ),
+        (
+            "placestostay",
+            vec![
+                f("city", "City"),
+                f("state", "State"),
+                checkin(),
+                checkout(),
+                g("Length of Stay", vec![f("nights", "Nights")]),
+            ],
+        ),
+        (
+            "worldres",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                g(
+                    "Price per Night",
+                    vec![f("price_min", "Lowest Rate"), f("price_max", "Highest Rate")],
+                ),
+                fui("stars", STARS),
+            ],
+        ),
+        (
+            "all-hotels",
+            vec![
+                g("Location", vec![f("city", "City"), f("state", "State"), f("zip", "Zip Code")]),
+                checkin(),
+                checkout(),
+                gu(vec![f("rooms", "Rooms"), f("adults", "Adults")]),
+            ],
+        ),
+        (
+            "hoteldiscount",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                g(
+                    "Hotel Amenities",
+                    vec![
+                        f("pool", "Pool"),
+                        f("pets", "Pets Allowed"),
+                        f("smoking", "Smoking Room"),
+                        f("breakfast", "Free Breakfast"),
+                    ],
+                ),
+            ],
+        ),
+        (
+            "turbotrip",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                g(
+                    "Room",
+                    vec![fi("room_type", "Room Type", ROOM_TYPES), f("beds", "Beds")],
+                ),
+                f("discount_code", "Discount Code"),
+            ],
+        ),
+        (
+            "tablethotels",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                gu(vec![f("adults", "Adults"), f("children", "Children")]),
+                fi("stars", "Star Rating", STARS),
+            ],
+        ),
+        (
+            "skoosh",
+            vec![
+                f("city", "City"),
+                checkin(),
+                checkout(),
+                g("Length of Stay", vec![f("nights", "Number of Nights")]),
+                gu(vec![f("rooms", "Rooms"), f("adults", "Guests")]),
+            ],
+        ),
+        (
+            "easytobook",
+            vec![
+                g("Location", vec![f("city", "City"), f("country", "Country")]),
+                checkin(),
+                checkout(),
+                g(
+                    "Occupancy",
+                    vec![f("rooms", "Rooms"), f("adults", "Adults"), f("children", "Children")],
+                ),
+                fui("room_type", ROOM_TYPES),
+            ],
+        ),
+    ]);
+    Domain::from_interfaces("Hotels", interfaces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_interfaces() {
+        let d = domain();
+        assert_eq!(d.schemas.len(), 30);
+    }
+
+    #[test]
+    fn source_shape_tracks_table6() {
+        let stats = domain().source_stats();
+        // Paper: 7.6 leaves, 2.4 internal, depth 2.3, LQ 70.1%.
+        assert!((6.0..=9.0).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (2.0..=4.5).contains(&stats.avg_internal_nodes),
+            "internal {}",
+            stats.avg_internal_nodes
+        );
+        assert!((2.2..=3.2).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (0.55..=0.80).contains(&stats.avg_labeling_quality),
+            "LQ {}",
+            stats.avg_labeling_quality
+        );
+    }
+
+    #[test]
+    fn wyndham_field_is_frequency_one() {
+        let d = domain();
+        let cluster = d.mapping.by_concept("wyndham_byrequest").unwrap();
+        assert_eq!(cluster.members.len(), 1);
+    }
+
+    #[test]
+    fn integrated_shape_tracks_table6() {
+        let p = domain().prepare();
+        let partition = p.integrated.partition();
+        // Paper: 26 leaves, 8 groups, 3 isolated, 2 root leaves.
+        let leaves = p.integrated.tree.leaves().count();
+        assert!((22..=28).contains(&leaves), "leaves {leaves}");
+        assert!(
+            (6..=10).contains(&partition.groups.len()),
+            "groups {} in\n{}",
+            partition.groups.len(),
+            p.integrated.tree.render()
+        );
+        assert!(
+            (2..=4).contains(&partition.isolated.len()),
+            "isolated {:?}",
+            partition.isolated
+        );
+        assert!(
+            (2..=5).contains(&partition.root.len()),
+            "root {}",
+            partition.root.len()
+        );
+    }
+}

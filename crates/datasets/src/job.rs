@@ -1,0 +1,295 @@
+//! The Job domain: 20 interfaces.
+//!
+//! The flattest domain of the corpus (Table 6: 4.6 fields, 1.1 internal
+//! nodes, depth 2.1, LQ 80%): the integrated interface has a single group
+//! (location) and ~15 fields directly under the root. Notable corpus
+//! features, straight from the paper's running examples:
+//!
+//! * the `Job Category` cluster with labels {`Category`, `Job Category`,
+//!   `Area of Work`, `Function`} (§3.2.1's most-descriptive example);
+//! * the job-preference cluster whose labels {`Job Type`, `Type of Job`,
+//!   `Job Preferences`, `Employment Type`} collide with the *other*
+//!   `Job Type` field — the §4.2.3 homonym-repair scenario;
+//! * `Area of Study` / `Field of Work` synonym labels (Definition 1).
+
+use crate::domain::Domain;
+use crate::spec::{f, fi, fu, fui, g, FieldSpec};
+
+const JOB_TYPES: &[&str] = &["Permanent", "Contract", "Temporary"];
+const JOB_PREFS: &[&str] = &["Full-Time", "Part-Time", "Internship"];
+const SALARIES: &[&str] = &["30-50k", "50-80k", "80-120k", "120k+"];
+const EDUCATION: &[&str] = &["High School", "Bachelor", "Master", "PhD"];
+
+/// Build the Job domain.
+pub fn domain() -> Domain {
+    let interfaces: Vec<(&str, Vec<FieldSpec>)> = vec![
+        (
+            "monster",
+            vec![
+                f("keyword", "Keywords"),
+                f("category", "Job Category"),
+                fi("job_type", "Job Type", JOB_TYPES),
+                g(
+                    "Location",
+                    vec![f("state", "State"), f("city", "City"), f("zip", "Zip Code")],
+                ),
+            ],
+        ),
+        (
+            "hotjobs",
+            vec![
+                f("keyword", "Keywords"),
+                f("category", "Category"),
+                fi("job_pref", "Job Preferences", JOB_PREFS),
+                f("city", "City"),
+                fu("state"),
+            ],
+        ),
+        (
+            "careerbuilder",
+            vec![
+                f("keyword", "Keywords"),
+                f("category", "Job Category"),
+                fi("job_type", "Job Type", JOB_TYPES),
+                fi("job_pref", "Employment Type", JOB_PREFS),
+                fui("salary", SALARIES),
+            ],
+        ),
+        (
+            "dice",
+            vec![
+                f("keyword", "Keywords"),
+                f("title", "Job Title"),
+                fi("job_pref", "Type of Job", JOB_PREFS),
+                g("Location", vec![f("city", "City"), fu("zip"), f("radius", "Radius")]),
+            ],
+        ),
+        (
+            "indeed",
+            vec![
+                f("keyword", "Keywords"),
+                f("title", "Job Title"),
+                f("company", "Company Name"),
+                fu("city"),
+                fi("salary", "Salary", SALARIES),
+            ],
+        ),
+        (
+            "usajobs",
+            vec![
+                f("keyword", "Keywords"),
+                f("category", "Area of Work"),
+                f("state", "State"),
+                fui("education", EDUCATION),
+            ],
+        ),
+        (
+            "linkup",
+            vec![
+                f("keyword", "Keywords"),
+                fu("company"),
+                g("Location", vec![f("state", "State"), f("city", "City")]),
+                f("date_posted", "Date Posted"),
+            ],
+        ),
+        (
+            "theladders",
+            vec![
+                f("title", "Job Title"),
+                fui("salary", SALARIES),
+                f("industry", "Industry"),
+                f("level", "Experience Level"),
+            ],
+        ),
+        (
+            "jobsearch",
+            vec![
+                f("keyword", "Keywords"),
+                f("category", "Function"),
+                fui("job_type", JOB_TYPES),
+                f("country", "Country"),
+            ],
+        ),
+        (
+            "snagajob",
+            vec![
+                f("keyword", "Keywords"),
+                fi("job_pref", "Job Preferences", JOB_PREFS),
+                fu("zip"),
+                f("radius", "Distance"),
+            ],
+        ),
+        (
+            "efinancial",
+            vec![
+                f("keyword", "Keywords"),
+                f("study", "Area of Study"),
+                f("industry", "Sector"),
+                fui("salary", SALARIES),
+                f("experience", "Years of Experience"),
+            ],
+        ),
+        (
+            "healthjobs",
+            vec![
+                f("keyword", "Keywords"),
+                f("study", "Field of Work"),
+                f("state", "State"),
+                f("experience", "Experience"),
+            ],
+        ),
+        (
+            "govtjobs",
+            vec![
+                f("keyword", "Keywords"),
+                f("category", "Job Category"),
+                f("level", "Grade Level"),
+                fi("education", "Education", EDUCATION),
+                f("date_posted", "Posted Within"),
+            ],
+        ),
+        (
+            "techcareers",
+            vec![
+                f("keyword", "Keywords"),
+                f("title", "Job Title"),
+                f("company", "Company Name"),
+                fi("job_type", "Job Type", JOB_TYPES),
+                f("relocate", "Willing to Relocate"),
+            ],
+        ),
+        (
+            "campusjobs",
+            vec![
+                f("keyword", "Keywords"),
+                f("study", "Area of Study"),
+                fi("job_pref", "Employment Type", JOB_PREFS),
+                f("city", "City"),
+            ],
+        ),
+        (
+            "salesjobs",
+            vec![
+                f("keyword", "Keywords"),
+                f("industry", "Industry"),
+                fi("salary", "Salary Range", SALARIES),
+                g("Location", vec![f("state", "State"), f("city", "City"), f("radius", "Radius")]),
+            ],
+        ),
+        (
+            "engineerjobs",
+            vec![
+                f("keyword", "Keywords"),
+                f("title", "Job Title"),
+                f("experience", "Years of Experience"),
+                f("country", "Country"),
+                f("relocate", "Willing to Relocate"),
+            ],
+        ),
+        (
+            "jobbank",
+            vec![
+                f("keyword", "Keywords"),
+                f("category", "Category"),
+                f("company", "Company"),
+                f("date_posted", "Date Posted"),
+            ],
+        ),
+        (
+            "localwork",
+            vec![
+                f("keyword", "Keywords"),
+                f("city", "City"),
+                f("zip", "Zip Code"),
+                f("radius", "Distance"),
+                fui("job_pref", JOB_PREFS),
+            ],
+        ),
+        (
+            "summerjobs",
+            vec![
+                f("keyword", "Keywords"),
+                f("title", "Job Title"),
+                fi("job_pref", "Type of Job", JOB_PREFS),
+                f("level", "Experience Level"),
+            ],
+        ),
+    ];
+    Domain::from_interfaces("Job", interfaces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_interfaces() {
+        let d = domain();
+        assert_eq!(d.schemas.len(), 20);
+        assert_eq!(
+            d.mapping.len(),
+            19,
+            "{:?}",
+            d.mapping
+                .clusters
+                .iter()
+                .map(|c| c.concept.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn source_shape_tracks_table6() {
+        let stats = domain().source_stats();
+        // Paper: 4.6 leaves, 1.1 internal, depth 2.1, LQ 80%.
+        assert!((3.8..=5.5).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (0.1..=1.2).contains(&stats.avg_internal_nodes),
+            "internal {}",
+            stats.avg_internal_nodes
+        );
+        assert!((2.0..=2.6).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (0.72..=0.95).contains(&stats.avg_labeling_quality),
+            "LQ {}",
+            stats.avg_labeling_quality
+        );
+    }
+
+    #[test]
+    fn integrated_is_flat_with_one_location_group() {
+        let p = domain().prepare();
+        let partition = p.integrated.partition();
+        assert_eq!(p.integrated.tree.leaves().count(), 19);
+        // Paper: 1 group, 0 isolated, 15 root leaves, 2 internal nodes.
+        assert_eq!(partition.groups.len(), 1, "\n{}", p.integrated.tree.render());
+        assert_eq!(partition.isolated.len(), 0);
+        assert!(
+            (14..=16).contains(&partition.root.len()),
+            "root {}",
+            partition.root.len()
+        );
+        let location = &partition.groups[0];
+        let concepts: Vec<&str> = location
+            .clusters
+            .iter()
+            .map(|&c| p.mapping.cluster(c).concept.as_str())
+            .collect();
+        assert!(concepts.contains(&"state"));
+        assert!(concepts.contains(&"city"));
+    }
+
+    #[test]
+    fn category_cluster_has_paper_labels() {
+        let d = domain();
+        let category = d.mapping.by_concept("category").unwrap();
+        let labels: Vec<String> = category
+            .members
+            .iter()
+            .map(|m| d.schemas[m.schema].node(m.node).label_str().to_string())
+            .collect();
+        for expected in ["Category", "Job Category", "Area of Work", "Function"] {
+            assert!(labels.iter().any(|l| l == expected), "missing {expected}");
+        }
+    }
+}

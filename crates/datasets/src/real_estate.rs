@@ -1,0 +1,349 @@
+//! The Real Estate domain: 20 interfaces.
+//!
+//! Faithful to Figures 3 and 11 of the paper:
+//!
+//! * `C_groups` contains {State, City(, Zip)} and {Minimum, Maximum}
+//!   price, `C_int` contains {Garage}, and `C_root` holds Property Type,
+//!   Property Characteristics-style fields and Zone (Figure 3);
+//! * the `Lease Rate` group has a field (`lease_from`) that is unlabeled in
+//!   *every* source interface and carries no instances — "there is no way
+//!   the algorithm can assign a label to it" — giving the paper's
+//!   FldAcc = 96.4%;
+//! * the internal-node labels `Location` / `Property Location` with
+//!   nested coverage exercise LI1/LI3 (§5's running example);
+//! * the `Features` super-structure is only *weakly* consistent with its
+//!   descendant groups (two covering label families; the super label's
+//!   source sits in the losing partition).
+
+use crate::domain::Domain;
+use crate::spec::{f, fi, fu, fui, g, gu, FieldSpec};
+
+const PROPERTY_TYPES: &[&str] = &["House", "Condo", "Townhouse", "Land"];
+const AVAILABILITY: &[&str] = &["Immediately", "Within 30 days", "Within 90 days"];
+
+/// Build the Real Estate domain.
+pub fn domain() -> Domain {
+    let interfaces: Vec<(&str, Vec<FieldSpec>)> = vec![
+        (
+            "realtor",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                g("Location", vec![f("state", "State"), f("city", "City")]),
+                g(
+                    "Price",
+                    vec![f("price_min", "Minimum"), f("price_max", "Maximum")],
+                ),
+                g("Parking", vec![f("garage", "Garage")]),
+            ],
+        ),
+        (
+            "homes",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                g(
+                    "Property Location",
+                    vec![f("state", "State"), f("city", "City"), f("zip", "Zip Code")],
+                ),
+                g(
+                    "Price Range",
+                    vec![f("price_min", "Min Price"), f("price_max", "Max Price")],
+                ),
+                gu(vec![f("beds", "Bedrooms"), f("baths", "Bathrooms")]),
+            ],
+        ),
+        (
+            "zillow",
+            vec![
+                fi("prop_type", "Home Type", PROPERTY_TYPES),
+                g("Location", vec![f("state", "State"), f("city", "City")]),
+                g(
+                    "Price",
+                    vec![f("price_min", "Minimum"), f("price_max", "Maximum")],
+                ),
+                f("year_built", "Year Built"),
+            ],
+        ),
+        (
+            "trulia",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                f("city", "City"),
+                fu("zip"),
+                gu(vec![f("beds", "Beds"), f("baths", "Baths")]),
+                f("lot_size", "Lot Size"),
+            ],
+        ),
+        // Figure 11's Lease Rate group: the second field is unlabeled in
+        // every source that has it, and has no instances.
+        (
+            "loopnet",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                g("Lease Rate", vec![fu("lease_from"), f("lease_to", "To")]),
+                f("agent", "Listing Agent"),
+                f("zone", "Zone"),
+            ],
+        ),
+        (
+            "cityfeet",
+            vec![
+                f("city", "City"),
+                g("Lease Rate", vec![fu("lease_from"), f("lease_to", "To")]),
+                f("sqft_min", "Min Square Feet"),
+                f("zone", "Zoning"),
+            ],
+        ),
+        (
+            "remax",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                g("Location", vec![f("state", "State"), f("city", "City")]),
+                g(
+                    "Property Characteristics",
+                    vec![
+                        g("Rooms", vec![f("beds", "Bedrooms"), f("baths", "Bathrooms")]),
+                        g(
+                            "Features",
+                            vec![
+                                f("pool", "Pool"),
+                                f("fireplace", "Fireplace"),
+                                f("basement", "Basement"),
+                                f("stories", "Stories"),
+                            ],
+                        ),
+                    ],
+                ),
+            ],
+        ),
+        (
+            "coldwell",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                f("city", "City"),
+                g(
+                    "Features",
+                    vec![
+                        f("pool", "Swimming Pool"),
+                        f("fireplace", "Fireplaces"),
+                        f("basement", "Finished Basement"),
+                        f("stories", "Floors"),
+                    ],
+                ),
+                fi("availability", "Property Availability", AVAILABILITY),
+            ],
+        ),
+        (
+            "century21",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                g(
+                    "Property Location",
+                    vec![f("state", "State"), f("city", "City"), f("zip", "Zip Code")],
+                ),
+                gu(vec![f("beds", "Bedrooms"), f("baths", "Bathrooms")]),
+                f("school_district", "School District"),
+            ],
+        ),
+        (
+            "apartments",
+            vec![
+                f("city", "City"),
+                g(
+                    "Price Range",
+                    vec![f("price_min", "Min Price"), f("price_max", "Max Price")],
+                ),
+                g(
+                    "Unit Range",
+                    vec![f("units_min", "Min Units"), f("units_max", "Max Units")],
+                ),
+                fi("availability", "Availability", AVAILABILITY),
+            ],
+        ),
+        (
+            "landwatch",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                f("state", "State"),
+                g(
+                    "Acreage",
+                    vec![f("acreage_min", "Min Acres"), f("acreage_max", "Max Acres")],
+                ),
+                fu("lot_size"),
+            ],
+        ),
+        (
+            "landandfarm",
+            vec![
+                f("state", "State"),
+                f("city", "City"),
+                g(
+                    "Acreage",
+                    vec![f("acreage_min", "Acres from"), f("acreage_max", "Acres to")],
+                ),
+                f("keyword", "Keywords"),
+            ],
+        ),
+        (
+            "forsalebyowner",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                f("zip", "Zip Code"),
+                g(
+                    "Price",
+                    vec![f("price_min", "Minimum"), f("price_max", "Maximum")],
+                ),
+                gu(vec![f("beds", "Beds"), f("baths", "Baths")]),
+                f("listing_date", "Listed Within"),
+            ],
+        ),
+        (
+            "harmonhomes",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                f("city", "City"),
+                g("Parking", vec![f("garage", "Garage Spaces")]),
+                fu("year_built"),
+            ],
+        ),
+        (
+            "estately",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                g("Location", vec![f("state", "State"), f("city", "City")]),
+                g(
+                    "Size",
+                    vec![f("sqft_min", "Min Square Feet"), f("sqft_max", "Max Square Feet")],
+                ),
+                f("keyword", "Keywords"),
+            ],
+        ),
+        (
+            "movoto",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                f("city", "City"),
+                g(
+                    "Price Range",
+                    vec![f("price_min", "Min Price"), f("price_max", "Max Price")],
+                ),
+                f("listing_date", "Days on Market"),
+                fu("availability"),
+            ],
+        ),
+        (
+            "rentals",
+            vec![
+                f("city", "City"),
+                f("zip", "Zip Code"),
+                g(
+                    "Unit Range",
+                    vec![f("units_min", "Units from"), f("units_max", "Units to")],
+                ),
+                fui("availability", AVAILABILITY),
+            ],
+        ),
+        (
+            "propertyshark",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                g(
+                    "Property Location",
+                    vec![
+                        f("state", "State"),
+                        f("city", "City"),
+                        f("zip", "Zip Code"),
+                        f("county", "County"),
+                    ],
+                ),
+                f("agent", "Agent Name"),
+                f("zone", "Zone"),
+            ],
+        ),
+        (
+            "oodle",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                f("city", "City"),
+                g(
+                    "Size",
+                    vec![f("sqft_min", "Square Feet from"), f("sqft_max", "Square Feet to")],
+                ),
+                fu("school_district"),
+            ],
+        ),
+        (
+            "househunt",
+            vec![
+                fi("prop_type", "Property Type", PROPERTY_TYPES),
+                g("Location", vec![f("state", "State"), f("city", "City")]),
+                gu(vec![f("beds", "Bedrooms"), f("baths", "Bathrooms")]),
+                g("Parking", vec![f("garage", "Garage")]),
+                f("year_built", "Year Built"),
+            ],
+        ),
+    ];
+    Domain::from_interfaces("Real Estate", interfaces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_interfaces() {
+        let d = domain();
+        assert_eq!(d.schemas.len(), 20);
+    }
+
+    #[test]
+    fn source_shape_tracks_table6() {
+        let stats = domain().source_stats();
+        // Paper: 6.7 leaves, 2.4 internal, depth 2.7, LQ 79.1%.
+        assert!((4.5..=7.5).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (1.2..=3.0).contains(&stats.avg_internal_nodes),
+            "internal {}",
+            stats.avg_internal_nodes
+        );
+        assert!((2.2..=3.3).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (0.70..=0.95).contains(&stats.avg_labeling_quality),
+            "LQ {}",
+            stats.avg_labeling_quality
+        );
+    }
+
+    #[test]
+    fn lease_from_is_unlabeled_everywhere() {
+        let d = domain();
+        let lease_to = d.mapping.by_concept("lease_from").unwrap();
+        assert!(!lease_to.members.is_empty());
+        for member in &lease_to.members {
+            assert!(d.schemas[member.schema].node(member.node).label.is_none());
+            assert!(d.schemas[member.schema].node(member.node).instances().is_empty());
+        }
+    }
+
+    #[test]
+    fn integrated_shape() {
+        let p = domain().prepare();
+        let partition = p.integrated.partition();
+        // Paper: 28 leaves, 8 groups, 1 isolated, 7 root leaves.
+        let leaves = p.integrated.tree.leaves().count();
+        assert!((24..=30).contains(&leaves), "leaves {leaves}");
+        assert!(
+            (6..=9).contains(&partition.groups.len()),
+            "groups {} in\n{}",
+            partition.groups.len(),
+            p.integrated.tree.render()
+        );
+        assert_eq!(partition.isolated.len(), 1, "{:?}", partition.isolated);
+        let (_, garage) = partition.isolated[0];
+        assert_eq!(p.mapping.cluster(garage).concept, "garage");
+        assert!(
+            (5..=9).contains(&partition.root.len()),
+            "root {}",
+            partition.root.len()
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Concept-annotated interface specs — the corpus authoring toolkit.
+//!
+//! A corpus interface is written as a nested [`FieldSpec`] tree in which
+//! every field names its ground-truth *concept* (the cluster it belongs
+//! to). The domain builder converts the specs into schema trees and a
+//! [`qi_mapping::Mapping`] in one pass.
+//!
+//! ```
+//! use qi_datasets::{f, fu, g, spec};
+//!
+//! let iface = vec![
+//!     g("How many people are going?", vec![
+//!         f("adult", "Adults"),
+//!         f("child", "Children"),
+//!         fu("infant"), // unlabeled field, still mapped
+//!     ]),
+//! ];
+//! let (tree, concepts) = spec::build_interface("example", &iface).unwrap();
+//! assert_eq!(tree.leaves().count(), 3);
+//! assert_eq!(concepts.len(), 3);
+//! ```
+
+use qi_schema::{NodeId, SchemaError, SchemaTree, Widget};
+
+/// A corpus field/group spec with ground-truth concept annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldSpec {
+    /// A field mapped to one or more concepts (several = the coarse side
+    /// of a 1:m matching, e.g. `Passengers`).
+    Field {
+        /// Ground-truth concept names (cluster keys).
+        concepts: Vec<String>,
+        /// The label shown on the interface, if any.
+        label: Option<String>,
+        /// Predefined instance domain.
+        instances: Vec<String>,
+    },
+    /// A (super)group.
+    Group {
+        /// Group label, if any.
+        label: Option<String>,
+        /// Children in interface order.
+        children: Vec<FieldSpec>,
+    },
+}
+
+/// Labeled field.
+pub fn f(concept: &str, label: &str) -> FieldSpec {
+    FieldSpec::Field {
+        concepts: vec![concept.to_string()],
+        label: Some(label.to_string()),
+        instances: Vec::new(),
+    }
+}
+
+/// Labeled field with instances (selection list).
+pub fn fi(concept: &str, label: &str, instances: &[&str]) -> FieldSpec {
+    FieldSpec::Field {
+        concepts: vec![concept.to_string()],
+        label: Some(label.to_string()),
+        instances: instances.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Unlabeled field.
+pub fn fu(concept: &str) -> FieldSpec {
+    FieldSpec::Field {
+        concepts: vec![concept.to_string()],
+        label: None,
+        instances: Vec::new(),
+    }
+}
+
+/// Unlabeled field with instances.
+pub fn fui(concept: &str, instances: &[&str]) -> FieldSpec {
+    FieldSpec::Field {
+        concepts: vec![concept.to_string()],
+        label: None,
+        instances: instances.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Coarse field matching several concepts (1:m; expanded later), e.g.
+/// `fm(&["adult", "senior", "child", "infant"], "Passengers")`.
+pub fn fm(concepts: &[&str], label: &str) -> FieldSpec {
+    FieldSpec::Field {
+        concepts: concepts.iter().map(|s| s.to_string()).collect(),
+        label: Some(label.to_string()),
+        instances: Vec::new(),
+    }
+}
+
+/// Labeled group.
+pub fn g(label: &str, children: Vec<FieldSpec>) -> FieldSpec {
+    FieldSpec::Group {
+        label: Some(label.to_string()),
+        children,
+    }
+}
+
+/// Unlabeled group.
+pub fn gu(children: Vec<FieldSpec>) -> FieldSpec {
+    FieldSpec::Group {
+        label: None,
+        children,
+    }
+}
+
+/// Per-leaf ground-truth annotation: `(created node, concept names)`.
+pub type LeafConcepts = Vec<(NodeId, Vec<String>)>;
+
+/// Build one schema tree from specs; returns the tree and, for every
+/// created leaf, its `(node, concepts)` annotation.
+pub fn build_interface(
+    name: &str,
+    specs: &[FieldSpec],
+) -> Result<(SchemaTree, LeafConcepts), SchemaError> {
+    let mut tree = SchemaTree::new(name);
+    let mut concepts: Vec<(NodeId, Vec<String>)> = Vec::new();
+    for spec in specs {
+        add(&mut tree, NodeId::ROOT, spec, &mut concepts);
+    }
+    tree.validate()?;
+    Ok((tree, concepts))
+}
+
+fn add(
+    tree: &mut SchemaTree,
+    parent: NodeId,
+    spec: &FieldSpec,
+    concepts: &mut Vec<(NodeId, Vec<String>)>,
+) {
+    match spec {
+        FieldSpec::Field {
+            concepts: cs,
+            label,
+            instances,
+        } => {
+            let widget = if instances.is_empty() {
+                Widget::TextBox
+            } else {
+                Widget::SelectList
+            };
+            let id = tree.add_leaf_full(parent, label.as_deref(), widget, instances.clone());
+            concepts.push((id, cs.clone()));
+        }
+        FieldSpec::Group { label, children } => {
+            let id = tree.add_internal(parent, label.as_deref());
+            for child in children {
+                add(tree, id, child, concepts);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_construct_expected_specs() {
+        assert!(matches!(f("a", "A"), FieldSpec::Field { ref label, .. } if label.is_some()));
+        assert!(matches!(fu("a"), FieldSpec::Field { label: None, .. }));
+        let m = fm(&["a", "b"], "AB");
+        match m {
+            FieldSpec::Field { concepts, .. } => assert_eq!(concepts.len(), 2),
+            _ => unreachable!(),
+        }
+        let sel = fi("c", "C", &["x", "y"]);
+        match sel {
+            FieldSpec::Field { instances, .. } => assert_eq!(instances.len(), 2),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn build_interface_maps_all_leaves() {
+        let specs = vec![
+            g("G", vec![f("a", "A"), fu("b")]),
+            fui("c", &["1", "2"]),
+        ];
+        let (tree, concepts) = build_interface("t", &specs).unwrap();
+        assert_eq!(tree.leaves().count(), 3);
+        assert_eq!(concepts.len(), 3);
+        assert_eq!(concepts[0].1, vec!["a".to_string()]);
+        // The select widget is inferred from instances.
+        let select_leaf = tree.node(concepts[2].0);
+        assert_eq!(select_leaf.instances().len(), 2);
+    }
+
+    #[test]
+    fn nested_groups() {
+        let specs = vec![g("Outer", vec![gu(vec![f("x", "X")])])];
+        let (tree, _) = build_interface("t", &specs).unwrap();
+        assert_eq!(tree.internal_nodes().count(), 2);
+        assert_eq!(tree.depth(), 4);
+    }
+}

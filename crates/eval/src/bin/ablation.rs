@@ -1,0 +1,84 @@
+//! Policy ablations: most-descriptive vs most-general, the consistency
+//! ladder, and the instance rules.
+
+use qi_core::NamingPolicy;
+use qi_eval::ablation::{compare_policies, ladder_sweep};
+use qi_lexicon::Lexicon;
+
+fn main() {
+    let domains = qi_datasets::all_domains();
+    let lexicon = Lexicon::builtin();
+    println!("== Ablation A: most-descriptive (paper) vs most-general ([12]) ==");
+    for domain in &domains {
+        let cmp = compare_policies(
+            domain,
+            &lexicon,
+            ("descriptive", NamingPolicy::default()),
+            ("general", NamingPolicy::most_general_baseline()),
+        );
+        println!(
+            "{:<12} fields changed {:>2}/{:<2}  internal changed {:>2}  expressiveness {:.2} vs {:.2}  class {} vs {}",
+            cmp.domain,
+            cmp.differing_fields,
+            cmp.total_fields,
+            cmp.differing_internal,
+            cmp.left_expressiveness,
+            cmp.right_expressiveness,
+            cmp.classes.0,
+            cmp.classes.1
+        );
+    }
+    println!();
+    println!("   e.g. the exact Real Estate label changes:");
+    if let Some(re) = domains.iter().find(|d| d.name == "Real Estate") {
+        for difference in qi_eval::ablation::policy_label_diff(
+            re,
+            &lexicon,
+            NamingPolicy::default(),
+            NamingPolicy::most_general_baseline(),
+        ) {
+            println!("     {difference}");
+        }
+    }
+    println!();
+    println!("== Ablation B: consistency-level ladder (Definition 2) ==");
+    for domain in &domains {
+        for point in ladder_sweep(domain, &lexicon) {
+            println!(
+                "{:<12} cap={:<9} consistent groups {:>2}/{:<2}",
+                point.domain, point.cap, point.consistent_groups, point.total_groups
+            );
+        }
+    }
+    println!();
+    println!("== Ablation B': the ladder on a purpose-built domain ==");
+    println!("   (3 equality-level groups + 3 synonymy-level groups;");
+    println!("    no group is solvable by plain string comparison)");
+    let ladder_domain = qi_datasets::generate_ladder(3, 3);
+    for point in ladder_sweep(&ladder_domain, &lexicon) {
+        println!(
+            "{:<12} cap={:<9} consistent groups {:>2}/{:<2}",
+            point.domain, point.cap, point.consistent_groups, point.total_groups
+        );
+    }
+    println!();
+    println!("== Ablation C: instance rules (LI6/LI7) on vs off ==");
+    for domain in &domains {
+        let cmp = compare_policies(
+            domain,
+            &lexicon,
+            ("instances on", NamingPolicy::default()),
+            (
+                "instances off",
+                NamingPolicy {
+                    use_instances: false,
+                    ..NamingPolicy::default()
+                },
+            ),
+        );
+        println!(
+            "{:<12} fields changed {:>2}/{:<2}  internal changed {:>2}",
+            cmp.domain, cmp.differing_fields, cmp.total_fields, cmp.differing_internal
+        );
+    }
+}

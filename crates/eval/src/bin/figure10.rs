@@ -1,0 +1,12 @@
+//! Regenerate Figure 10 (inference-rule involvement) on the full corpus.
+
+use qi_core::NamingPolicy;
+use qi_eval::{evaluate_corpus, table, Panel};
+use qi_lexicon::Lexicon;
+
+fn main() {
+    let domains = qi_datasets::all_domains();
+    let lexicon = Lexicon::builtin();
+    let result = evaluate_corpus(&domains, &lexicon, NamingPolicy::default(), Panel::default());
+    print!("{}", table::render_figure10(&result.li_usage));
+}

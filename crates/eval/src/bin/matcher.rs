@@ -1,0 +1,13 @@
+//! Score the label-similarity matcher against the corpus ground truth.
+
+use qi_eval::matcher_eval::{evaluate_matcher, render, MatcherReport};
+use qi_lexicon::Lexicon;
+
+fn main() {
+    let lexicon = Lexicon::builtin();
+    let reports: Vec<MatcherReport> = qi_datasets::all_domains()
+        .iter()
+        .map(|domain| evaluate_matcher(domain, &lexicon))
+        .collect();
+    print!("{}", render(&reports));
+}

@@ -1,0 +1,128 @@
+//! Minimal JSON rendering of evaluation results (hand-rolled writer — the
+//! sanctioned dependency set has serde but no JSON backend, and the
+//! output schema is small and fixed).
+
+use crate::metrics::DomainEvaluation;
+use crate::runner::CorpusEvaluation;
+use qi_core::InferenceRule;
+
+/// Escape a string for a JSON string literal.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One Table 6 row as a JSON object.
+pub fn domain_to_json(row: &DomainEvaluation) -> String {
+    format!(
+        concat!(
+            "{{\"domain\":\"{}\",",
+            "\"source\":{{\"interfaces\":{},\"avg_leaves\":{},\"avg_internal_nodes\":{},",
+            "\"avg_depth\":{},\"avg_labeling_quality\":{}}},",
+            "\"integrated\":{{\"leaves\":{},\"groups\":{},\"isolated\":{},\"root_leaves\":{},",
+            "\"internal_nodes\":{},\"depth\":{}}},",
+            "\"fld_acc\":{},\"int_acc\":{},\"ha\":{},\"ha_star\":{},\"class\":\"{}\"}}"
+        ),
+        escape(&row.name),
+        row.source.interfaces,
+        number(row.source.avg_leaves),
+        number(row.source.avg_internal_nodes),
+        number(row.source.avg_depth),
+        number(row.source.avg_labeling_quality),
+        row.shape.leaves,
+        row.shape.groups,
+        row.shape.isolated,
+        row.shape.root_leaves,
+        row.shape.internal_nodes,
+        row.shape.depth,
+        number(row.fld_acc),
+        number(row.int_acc),
+        number(row.ha),
+        number(row.ha_star),
+        escape(&row.class.to_string()),
+    )
+}
+
+/// The whole evaluation (Table 6 + Figure 10) as one JSON document.
+pub fn corpus_to_json(result: &CorpusEvaluation) -> String {
+    let domains: Vec<String> = result.domains.iter().map(domain_to_json).collect();
+    let li: Vec<String> = InferenceRule::ALL
+        .iter()
+        .map(|&rule| {
+            format!(
+                "\"{}\":{{\"count\":{},\"ratio\":{}}}",
+                rule,
+                result.li_usage.count(rule),
+                number(result.li_usage.ratio(rule))
+            )
+        })
+        .collect();
+    format!(
+        "{{\"table6\":[{}],\"figure10\":{{{}}}}}",
+        domains.join(","),
+        li.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_core::NamingPolicy;
+    use qi_lexicon::Lexicon;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn corpus_json_is_well_formed_enough() {
+        let lexicon = Lexicon::builtin();
+        let domains = vec![qi_datasets::auto::domain()];
+        let result = crate::runner::evaluate_corpus(
+            &domains,
+            &lexicon,
+            NamingPolicy::default(),
+            crate::panel::Panel::default(),
+        );
+        let json = corpus_to_json(&result);
+        // Structural sanity: balanced braces/brackets, expected keys.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.starts_with("{\"table6\":["));
+        assert!(json.contains("\"domain\":\"Auto\""));
+        assert!(json.contains("\"fld_acc\":1.000000"));
+        assert!(json.contains("\"figure10\":{\"LI1\""));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(1.5), "1.500000");
+    }
+}

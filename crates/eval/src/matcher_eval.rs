@@ -1,0 +1,119 @@
+//! Evaluate the label-similarity matcher against the corpus ground truth.
+//!
+//! The paper takes the clusters as given (§2.1, citing \[10, 23, 24\]); the
+//! library nevertheless ships a matcher for users without ground truth.
+//! This module measures how much of the pipeline's input quality that
+//! shortcut sacrifices, per domain, in pairwise precision/recall.
+
+use qi_datasets::Domain;
+use qi_lexicon::Lexicon;
+use qi_mapping::{matcher::match_by_labels, pairwise_quality, MatchQuality};
+
+/// Matcher quality on one domain.
+#[derive(Debug, Clone)]
+pub struct MatcherReport {
+    /// Domain name.
+    pub domain: String,
+    /// Pairwise precision/recall against ground truth.
+    pub quality: MatchQuality,
+    /// Cluster counts, derived vs truth.
+    pub derived_clusters: usize,
+    /// Ground-truth cluster count.
+    pub truth_clusters: usize,
+}
+
+/// Run the matcher on a domain's raw interfaces and score it.
+pub fn evaluate_matcher(domain: &Domain, lexicon: &Lexicon) -> MatcherReport {
+    let derived = match_by_labels(&domain.schemas, lexicon);
+    let quality = pairwise_quality(&derived, &domain.mapping);
+    MatcherReport {
+        domain: domain.name.clone(),
+        quality,
+        derived_clusters: derived.len(),
+        truth_clusters: domain.mapping.len(),
+    }
+}
+
+/// Render a per-domain matcher-quality table.
+pub fn render(reports: &[MatcherReport]) -> String {
+    let mut out = String::new();
+    out.push_str("Matcher quality vs ground-truth clusters (pairwise)\n");
+    out.push_str("Domain         Precision  Recall     F1   clusters (derived/truth)\n");
+    for report in reports {
+        out.push_str(&format!(
+            "{:<14} {:>8.1}% {:>7.1}% {:>6.2}   {}/{}\n",
+            report.domain,
+            report.quality.precision * 100.0,
+            report.quality.recall * 100.0,
+            report.quality.f1(),
+            report.derived_clusters,
+            report.truth_clusters
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matcher_is_high_precision_everywhere() {
+        let lexicon = Lexicon::builtin();
+        for domain in qi_datasets::all_domains() {
+            let report = evaluate_matcher(&domain, &lexicon);
+            assert!(
+                report.quality.precision > 0.85,
+                "{}: precision {}",
+                report.domain,
+                report.quality.precision
+            );
+        }
+    }
+
+    #[test]
+    fn matcher_recall_suffers_on_unlabeled_domains() {
+        let lexicon = Lexicon::builtin();
+        let auto = evaluate_matcher(&qi_datasets::auto::domain(), &lexicon);
+        let airline = evaluate_matcher(&qi_datasets::airline::domain(), &lexicon);
+        // Airline is full of unlabeled date selects and a 1:m field the
+        // matcher cannot see — its recall must trail Auto's.
+        assert!(
+            airline.quality.recall < auto.quality.recall,
+            "airline {} vs auto {}",
+            airline.quality.recall,
+            auto.quality.recall
+        );
+        assert!(auto.quality.recall > 0.7, "auto recall {}", auto.quality.recall);
+    }
+
+    #[test]
+    fn derived_cluster_count_is_bounded_sensibly() {
+        let lexicon = Lexicon::builtin();
+        for domain in qi_datasets::all_domains() {
+            let report = evaluate_matcher(&domain, &lexicon);
+            // The matcher never merges within a schema, so it can only
+            // over-segment: at least as many clusters as ground truth.
+            assert!(
+                report.derived_clusters >= report.truth_clusters,
+                "{}: derived {} < truth {}",
+                report.domain,
+                report.derived_clusters,
+                report.truth_clusters
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_domains() {
+        let lexicon = Lexicon::builtin();
+        let reports: Vec<MatcherReport> = qi_datasets::all_domains()
+            .iter()
+            .map(|d| evaluate_matcher(d, &lexicon))
+            .collect();
+        let text = render(&reports);
+        for domain in ["Airline", "Auto", "Book", "Job", "Real Estate", "Car Rental", "Hotels"] {
+            assert!(text.contains(domain), "{domain} missing from\n{text}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The evaluation metrics of §7.
+
+use qi_core::{ConsistencyClass, LabeledInterface, LiUsage};
+use qi_schema::DomainStats;
+
+/// Shape of an integrated interface (Table 6, columns 6–11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegratedShape {
+    /// Number of fields.
+    pub leaves: usize,
+    /// Number of groups (≥ 2 sibling fields).
+    pub groups: usize,
+    /// Isolated fields (`C_int`).
+    pub isolated: usize,
+    /// Fields directly under the root (`C_root`).
+    pub root_leaves: usize,
+    /// Internal nodes (root excluded).
+    pub internal_nodes: usize,
+    /// Tree depth (nodes on the longest root-to-leaf path).
+    pub depth: usize,
+}
+
+/// Everything Table 6 reports for one domain.
+#[derive(Debug, Clone)]
+pub struct DomainEvaluation {
+    /// Domain name.
+    pub name: String,
+    /// Source-interface averages (columns 2–5).
+    pub source: DomainStats,
+    /// Integrated-interface shape (columns 6–11).
+    pub shape: IntegratedShape,
+    /// Fields-consistency accuracy: fields labeled (or unlabeled but
+    /// carrying instances) over all fields (§7, column FldAcc).
+    pub fld_acc: f64,
+    /// Internal-nodes accuracy: labeled internal nodes over all internal
+    /// nodes (§7, column IntAcc).
+    pub int_acc: f64,
+    /// Simulated human acceptance (column HA).
+    pub ha: f64,
+    /// HA after discounting errors attributable to source interfaces
+    /// (column HA*).
+    pub ha_star: f64,
+    /// Definition 8 classification of the labeled tree.
+    pub class: ConsistencyClass,
+    /// Inference-rule usage for this domain (Figure 10 input).
+    pub li_usage: LiUsage,
+}
+
+/// Compute the integrated-interface shape statistics.
+pub fn integrated_shape(labeled: &LabeledInterface) -> IntegratedShape {
+    let tree = &labeled.tree;
+    let mut groups = 0usize;
+    let mut isolated = 0usize;
+    for group in tree.leaf_groups() {
+        if group.leaves.len() >= 2 {
+            groups += 1;
+        } else {
+            isolated += 1;
+        }
+    }
+    IntegratedShape {
+        leaves: tree.leaves().count(),
+        groups,
+        isolated,
+        root_leaves: tree.root_leaves().len(),
+        internal_nodes: tree.internal_nodes().count(),
+        depth: tree.depth(),
+    }
+}
+
+/// FldAcc (§7): a field counts as accurately handled when it carries a
+/// label, or carries no label but has an instance domain the user can
+/// read the semantics from (the paper's allowance for the Figure 11
+/// unlabeled field is the *complement*: unlabeled fields without
+/// instances are the failures).
+pub fn fields_accuracy(labeled: &LabeledInterface) -> f64 {
+    let mut total = 0usize;
+    let mut ok = 0usize;
+    for leaf in labeled.tree.leaves() {
+        total += 1;
+        if leaf.label.is_some() || !leaf.instances().is_empty() {
+            ok += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        ok as f64 / total as f64
+    }
+}
+
+/// IntAcc (§7): labeled internal nodes over all internal nodes.
+pub fn internal_accuracy(labeled: &LabeledInterface) -> f64 {
+    let mut total = 0usize;
+    let mut ok = 0usize;
+    for node in labeled.tree.internal_nodes() {
+        total += 1;
+        if node.label.is_some() {
+            ok += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        ok as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_core::{Labeler, NamingPolicy};
+    use qi_lexicon::Lexicon;
+
+    fn labeled_airline() -> LabeledInterface {
+        let prepared = qi_datasets::airline::domain().prepare();
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated)
+    }
+
+    #[test]
+    fn airline_field_accuracy_is_perfect() {
+        // The only unlabeled airline fields are date selects with
+        // instances, so FldAcc = 100% (Table 6).
+        let labeled = labeled_airline();
+        assert!((fields_accuracy(&labeled) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn airline_internal_accuracy_near_paper() {
+        // Paper: 84.6%. Two of the twelve internal nodes stay unlabeled
+        // (the frequency-1 return-route group, the blocked fare pair).
+        let labeled = labeled_airline();
+        let acc = internal_accuracy(&labeled);
+        assert!((0.78..=0.92).contains(&acc), "IntAcc {acc}");
+    }
+
+    #[test]
+    fn shape_is_consistent_with_tree() {
+        let labeled = labeled_airline();
+        let shape = integrated_shape(&labeled);
+        assert_eq!(shape.leaves, 24);
+        assert_eq!(
+            shape.groups + shape.isolated,
+            labeled.tree.leaf_groups().len()
+        );
+        assert!(shape.depth >= 4);
+    }
+}

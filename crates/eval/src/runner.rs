@@ -1,0 +1,132 @@
+//! Whole-pipeline evaluation: one domain, or the whole corpus.
+
+use crate::metrics::{fields_accuracy, integrated_shape, internal_accuracy, DomainEvaluation};
+use crate::panel::Panel;
+use qi_core::{ConsistencyClass, Labeler, LiUsage, NamingPolicy};
+use qi_datasets::Domain;
+use qi_lexicon::Lexicon;
+
+/// Corpus-level results: per-domain rows plus the aggregate LI usage
+/// (Figure 10).
+#[derive(Debug, Clone)]
+pub struct CorpusEvaluation {
+    /// One row per domain, Table 6 order.
+    pub domains: Vec<DomainEvaluation>,
+    /// LI usage summed across domains.
+    pub li_usage: LiUsage,
+}
+
+/// Run the full pipeline on one domain and compute its Table 6 row.
+pub fn evaluate_domain(
+    domain: &Domain,
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+    panel: Panel,
+) -> DomainEvaluation {
+    let source = domain.source_stats();
+    let prepared = domain.prepare();
+    let labeler = Labeler::new(lexicon, policy);
+    let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+    let (ha, ha_star) = panel.survey(&prepared.name, &labeled, &prepared.schemas, &prepared.mapping);
+    DomainEvaluation {
+        name: prepared.name.clone(),
+        source,
+        shape: integrated_shape(&labeled),
+        fld_acc: fields_accuracy(&labeled),
+        int_acc: internal_accuracy(&labeled),
+        ha,
+        ha_star,
+        class: labeled
+            .report
+            .class
+            .unwrap_or(ConsistencyClass::Inconsistent),
+        li_usage: labeled.report.li_usage,
+    }
+}
+
+/// Evaluate a set of domains in parallel (one thread per domain).
+pub fn evaluate_corpus(
+    domains: &[Domain],
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+    panel: Panel,
+) -> CorpusEvaluation {
+    let mut rows: Vec<Option<DomainEvaluation>> = Vec::new();
+    rows.resize_with(domains.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, domain) in domains.iter().enumerate() {
+            handles.push((
+                i,
+                scope.spawn(move |_| evaluate_domain(domain, lexicon, policy, panel)),
+            ));
+        }
+        for (i, handle) in handles {
+            rows[i] = Some(handle.join().expect("domain evaluation panicked"));
+        }
+    })
+    .expect("evaluation threads");
+    let domains: Vec<DomainEvaluation> = rows.into_iter().map(Option::unwrap).collect();
+    let mut li_usage = LiUsage::default();
+    for row in &domains {
+        li_usage.merge(&row.li_usage);
+    }
+    CorpusEvaluation {
+        domains,
+        li_usage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_core::InferenceRule;
+
+    #[test]
+    fn corpus_evaluation_has_seven_rows() {
+        let domains = qi_datasets::all_domains();
+        let lexicon = Lexicon::builtin();
+        let result = evaluate_corpus(
+            &domains,
+            &lexicon,
+            NamingPolicy::default(),
+            Panel::default(),
+        );
+        assert_eq!(result.domains.len(), 7);
+        for row in &result.domains {
+            assert!((0.0..=1.0).contains(&row.fld_acc), "{}: {}", row.name, row.fld_acc);
+            assert!((0.0..=1.0).contains(&row.int_acc));
+            assert!(row.shape.leaves > 0);
+        }
+        // Figure 10's headline: LI2 (and LI3/LI5 family) dominate.
+        assert!(result.li_usage.total() > 0);
+        assert!(
+            result.li_usage.ratio(InferenceRule::Li2) > 0.3,
+            "LI2 ratio {}",
+            result.li_usage.ratio(InferenceRule::Li2)
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let domains = vec![qi_datasets::auto::domain(), qi_datasets::job::domain()];
+        let lexicon = Lexicon::builtin();
+        let parallel = evaluate_corpus(
+            &domains,
+            &lexicon,
+            NamingPolicy::default(),
+            Panel::default(),
+        );
+        let sequential: Vec<DomainEvaluation> = domains
+            .iter()
+            .map(|d| evaluate_domain(d, &lexicon, NamingPolicy::default(), Panel::default()))
+            .collect();
+        for (p, s) in parallel.domains.iter().zip(&sequential) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.fld_acc, s.fld_acc);
+            assert_eq!(p.int_acc, s.int_acc);
+            assert_eq!(p.ha, s.ha);
+            assert_eq!(p.class, s.class);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Plain-text rendering of Table 6 and Figure 10.
+
+use crate::metrics::DomainEvaluation;
+use qi_core::{InferenceRule, LiUsage};
+
+/// Render Table 6 (all columns) as fixed-width text.
+pub fn render_table6(rows: &[DomainEvaluation]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Domain            | Source interfaces (avg)        | Integrated query interface                      | Statistics\n",
+    );
+    out.push_str(
+        "                  | Leaves IntNod Depth  LQ        | Leaves Groups Iso Root IntNod Depth             | FldAcc  IntAcc  HA      HA*     Class\n",
+    );
+    out.push_str(&"-".repeat(150));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!(
+            "{:<17} | {:>6.1} {:>6.1} {:>5.1} {:>4.1}% | {:>6} {:>6} {:>3} {:>4} {:>6} {:>5} | {:>5.1}% {:>6.1}% {:>6.1}% {:>6.1}%  {}\n",
+            format!("{} ({})", row.name, row.source.interfaces),
+            row.source.avg_leaves,
+            row.source.avg_internal_nodes,
+            row.source.avg_depth,
+            row.source.avg_labeling_quality * 100.0,
+            row.shape.leaves,
+            row.shape.groups,
+            row.shape.isolated,
+            row.shape.root_leaves,
+            row.shape.internal_nodes,
+            row.shape.depth,
+            row.fld_acc * 100.0,
+            row.int_acc * 100.0,
+            row.ha * 100.0,
+            row.ha_star * 100.0,
+            row.class,
+        ));
+    }
+    out
+}
+
+/// Render Figure 10 (LI involvement ratios) as text with bars.
+pub fn render_figure10(usage: &LiUsage) -> String {
+    let mut out = String::new();
+    out.push_str("Inference-rule involvement (Figure 10)\n");
+    out.push_str(&format!("total candidate-label derivations: {}\n", usage.total()));
+    for rule in InferenceRule::ALL {
+        let ratio = usage.ratio(rule);
+        let bar = "#".repeat((ratio * 50.0).round() as usize);
+        out.push_str(&format!(
+            "{rule}: {:>5.1}% ({:>4})  {bar}\n",
+            ratio * 100.0,
+            usage.count(rule)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::IntegratedShape;
+    use qi_core::ConsistencyClass;
+    use qi_schema::DomainStats;
+
+    fn row() -> DomainEvaluation {
+        DomainEvaluation {
+            name: "Airline".to_string(),
+            source: DomainStats {
+                interfaces: 20,
+                avg_leaves: 10.7,
+                avg_internal_nodes: 5.1,
+                avg_depth: 3.6,
+                avg_labeling_quality: 0.53,
+            },
+            shape: IntegratedShape {
+                leaves: 24,
+                groups: 8,
+                isolated: 0,
+                root_leaves: 1,
+                internal_nodes: 13,
+                depth: 5,
+            },
+            fld_acc: 1.0,
+            int_acc: 0.846,
+            ha: 0.966,
+            ha_star: 0.983,
+            class: ConsistencyClass::Inconsistent,
+            li_usage: qi_core::LiUsage::default(),
+        }
+    }
+
+    #[test]
+    fn table6_renders_all_rows() {
+        let text = render_table6(&[row()]);
+        assert!(text.contains("Airline (20)"));
+        assert!(text.contains("84.6"));
+        assert!(text.contains("inconsistent"));
+    }
+
+    #[test]
+    fn figure10_renders_all_rules() {
+        let mut usage = qi_core::LiUsage::default();
+        usage.record(InferenceRule::Li2);
+        usage.record(InferenceRule::Li2);
+        usage.record(InferenceRule::Li3);
+        let text = render_figure10(&usage);
+        for rule in InferenceRule::ALL {
+            assert!(text.contains(&rule.to_string()), "{rule} missing");
+        }
+        assert!(text.contains("66.7%"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Fluent construction of [`Lexicon`]s.
+
+use crate::synset::SynsetId;
+use crate::Lexicon;
+use std::collections::HashMap;
+
+/// Builder for a [`Lexicon`].
+///
+/// ```
+/// use qi_lexicon::LexiconBuilder;
+///
+/// let lex = LexiconBuilder::new()
+///     .synset(&["car", "auto", "automobile"])
+///     .synset(&["vehicle"])
+///     .hypernym("vehicle", "car")
+///     .exception("children", "child")
+///     .build();
+/// assert!(lex.are_synonyms("car", "auto"));
+/// assert!(lex.is_hypernym_of("vehicle", "automobile"));
+/// ```
+#[derive(Debug, Default)]
+pub struct LexiconBuilder {
+    synsets: Vec<Vec<String>>,
+    /// Hypernym edges expressed on representative words, resolved at build.
+    word_edges: Vec<(String, String)>,
+    exceptions: HashMap<String, String>,
+}
+
+impl LexiconBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a synset with the given member lemmas (lowercase). A lemma may
+    /// belong to multiple synsets (word senses).
+    pub fn synset(mut self, members: &[&str]) -> Self {
+        assert!(!members.is_empty(), "synset must have at least one member");
+        self.synsets
+            .push(members.iter().map(|m| m.to_lowercase()).collect());
+        self
+    }
+
+    /// Declare that every synset containing `general` is a direct hypernym
+    /// of every synset containing `specific`. Resolved at [`build`].
+    ///
+    /// [`build`]: LexiconBuilder::build
+    pub fn hypernym(mut self, general: &str, specific: &str) -> Self {
+        self.word_edges
+            .push((general.to_lowercase(), specific.to_lowercase()));
+        self
+    }
+
+    /// Register an irregular base form (`children` → `child`).
+    pub fn exception(mut self, surface: &str, base: &str) -> Self {
+        self.exceptions
+            .insert(surface.to_lowercase(), base.to_lowercase());
+        self
+    }
+
+    /// Finalize the lexicon. Hypernym edges whose endpoint words are not
+    /// members of any synset panic — an edge on an unknown word is a
+    /// construction bug, not a runtime condition.
+    pub fn build(self) -> Lexicon {
+        let mut membership: HashMap<&str, Vec<SynsetId>> = HashMap::new();
+        for (i, members) in self.synsets.iter().enumerate() {
+            for m in members {
+                membership.entry(m.as_str()).or_default().push(SynsetId(i as u32));
+            }
+        }
+        let mut hypernyms: Vec<Vec<SynsetId>> = vec![Vec::new(); self.synsets.len()];
+        for (general, specific) in &self.word_edges {
+            let parents = membership
+                .get(general.as_str())
+                .unwrap_or_else(|| panic!("hypernym endpoint {general:?} not in any synset"));
+            let children = membership
+                .get(specific.as_str())
+                .unwrap_or_else(|| panic!("hypernym endpoint {specific:?} not in any synset"));
+            for &child in children {
+                for &parent in parents {
+                    if parent != child && !hypernyms[child.0 as usize].contains(&parent) {
+                        hypernyms[child.0 as usize].push(parent);
+                    }
+                }
+            }
+        }
+        Lexicon::from_parts(self.synsets, hypernyms, self.exceptions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_edges_between_all_matching_synsets() {
+        let lex = LexiconBuilder::new()
+            .synset(&["bank", "riverbank"])
+            .synset(&["bank", "depository"])
+            .synset(&["institution"])
+            .hypernym("institution", "bank")
+            .build();
+        // Both senses of "bank" get the institution parent (coarse but
+        // adequate for short interface labels).
+        assert!(lex.is_hypernym_of("institution", "riverbank"));
+        assert!(lex.is_hypernym_of("institution", "depository"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in any synset")]
+    fn unknown_edge_endpoint_panics() {
+        let _ = LexiconBuilder::new()
+            .synset(&["car"])
+            .hypernym("vehicle", "car")
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_synset_panics() {
+        let _ = LexiconBuilder::new().synset(&[]).build();
+    }
+
+    #[test]
+    fn lowercases_input() {
+        let lex = LexiconBuilder::new()
+            .synset(&["Car", "AUTO"])
+            .build();
+        assert!(lex.are_synonyms("car", "auto"));
+    }
+
+    #[test]
+    fn self_edge_is_ignored() {
+        let lex = LexiconBuilder::new()
+            .synset(&["car"])
+            .hypernym("car", "car")
+            .build();
+        assert!(!lex.is_hypernym_of("car", "car"));
+    }
+}

@@ -1,0 +1,389 @@
+//! The embedded lexicon covering the seven evaluation domains.
+//!
+//! This is the reproduction's stand-in for WordNet 2.x (see `DESIGN.md`
+//! §3): a curated set of synsets, hypernym edges and irregular base forms
+//! covering the label vocabulary of the Airline, Auto, Book, Job, Real
+//! Estate, Car Rental and Hotels corpora. Every lexical fact the paper's
+//! worked examples rely on is encoded here:
+//!
+//! * `area` ∼ `field`, `study` ∼ `work` — so `Area of Study` *synonym*
+//!   `Field of Work` (§3.2, Definition 1);
+//! * `location` ⊐ `area` — the LI3/LI4 combination example of §5.1;
+//! * `children` → `child` and friends — irregular morphology;
+//! * auto (`make` ∼ `brand`), travel (`stop` ∼ `connection`), lodging
+//!   (`lodging` ⊐ `hotel`), person (`person` ⊐ `adult`/`child`/…) facts the
+//!   corpus clusters and RAN hierarchies exercise.
+//!
+//! Some synsets are *domain-bound* rather than strict WordNet facts — e.g.
+//! `{format, binding}` (Book) and `{bed, bedroom}` (Real Estate/Hotels) —
+//! mirroring how the paper bounds general senses to domain meaning (LI6).
+
+use crate::builder::LexiconBuilder;
+use crate::Lexicon;
+
+/// Synonym sets. One row per synset; a lemma may appear in several rows
+/// (word senses), exactly like WordNet.
+const SYNSETS: &[&[&str]] = &[
+    // ---- people -------------------------------------------------------
+    &["person", "individual"],
+    &["adult", "grownup"],
+    &["senior", "elder"],
+    &["child", "kid", "minor"],
+    &["infant", "baby"],
+    &["passenger", "traveler", "flyer"],
+    &["guest", "occupant", "visitor"],
+    &["driver", "motorist"],
+    &["man"],
+    &["woman"],
+    &["people"],
+    // ---- travel / airline ---------------------------------------------
+    &["depart", "leave"],
+    &["departure"],
+    &["arrive"],
+    &["arrival"],
+    &["return"],
+    &["destination"],
+    &["origin", "source"],
+    &["trip", "journey", "travel"],
+    &["go", "travel", "move"],
+    &["flight"],
+    &["fly"],
+    &["airline", "carrier", "airways"],
+    &["airport"],
+    &["stop", "stopover", "connection", "layover"],
+    &["nonstop", "direct"],
+    &["ticket", "fare"],
+    &["cabin"],
+    &["seat"],
+    &["class", "category"],
+    &["type", "kind", "sort"],
+    &["preference"],
+    &["prefer"],
+    &["option", "choice", "alternative"],
+    &["select", "choose"],
+    &["date"],
+    &["day"],
+    &["month"],
+    &["year"],
+    &["time"],
+    &["adults"],
+    // ---- auto ----------------------------------------------------------
+    &["make", "brand", "manufacturer"],
+    &["model"],
+    &["car", "auto", "automobile"],
+    &["vehicle"],
+    &["truck"],
+    // `fare` is both a ticket (document) and a price (charge) — two
+    // senses, like WordNet.
+    &["price", "cost", "rate", "fare"],
+    &["mileage", "odometer"],
+    &["mile"],
+    &["condition"],
+    &["new"],
+    &["used", "preowned", "secondhand"],
+    &["dealer", "seller", "vendor"],
+    &["color", "colour"],
+    &["engine", "motor"],
+    &["transmission", "gearbox"],
+    &["keyword"],
+    &["search", "find", "locate", "look"],
+    &["distance", "radius"],
+    &["within"],
+    // `zipcode` is deliberately NOT a lemma: the compound splitter
+    // decomposes it into `zip` + `code`, making `Zipcode` ≍ `Zip Code`.
+    &["zip", "postcode"],
+    &["code"],
+    // ---- location -------------------------------------------------------
+    &["location"],
+    &["place", "spot"],
+    &["area", "field", "region"],
+    &["city", "town"],
+    &["state", "province"],
+    &["county"],
+    &["country", "nation"],
+    &["address"],
+    &["neighborhood", "district"],
+    // ---- job -------------------------------------------------------------
+    &["job", "employment", "position", "occupation", "work"],
+    &["study", "work", "discipline"],
+    &["career"],
+    &["salary", "pay", "wage", "compensation", "income"],
+    &["company", "employer", "firm", "organization"],
+    &["agency", "bureau"],
+    &["industry", "sector"],
+    &["title"],
+    &["name"],
+    &["skill", "expertise"],
+    &["experience"],
+    &["education", "schooling"],
+    &["degree"],
+    &["resume"],
+    &["level", "grade"],
+    &["function", "role"],
+    &["description"],
+    // ---- book -------------------------------------------------------------
+    &["book", "volume"],
+    &["author", "writer"],
+    &["publisher"],
+    &["publication"],
+    &["format", "binding"],
+    &["subject", "topic", "theme"],
+    &["genre"],
+    &["isbn"],
+    &["edition"],
+    &["language"],
+    &["age"],
+    &["reader", "audience"],
+    // ---- real estate --------------------------------------------------------
+    &["property", "realty"],
+    &["home", "house", "residence", "dwelling"],
+    &["condo", "condominium"],
+    &["apartment", "flat"],
+    &["bedroom", "bed"],
+    &["bathroom", "bath"],
+    &["room"],
+    &["garage"],
+    &["acre", "acreage"],
+    &["lot", "parcel"],
+    &["size"],
+    &["square"],
+    &["foot"],
+    &["rent", "lease"],
+    &["sale", "sell"],
+    &["buy", "purchase"],
+    &["listing"],
+    &["agent", "realtor", "broker"],
+    &["feature", "characteristic", "amenity"],
+    &["unit"],
+    &["floor", "story"],
+    &["school"],
+    &["tax"],
+    &["availability"],
+    &["zone", "zoning"],
+    // ---- car rental / hotels ------------------------------------------------
+    &["rental", "hire"],
+    &["pick"],
+    &["drop"],
+    &["license", "licence"],
+    &["insurance", "coverage"],
+    &["discount", "coupon", "promotion"],
+    &["hotel", "motel", "inn", "lodge"],
+    &["lodging", "accommodation"],
+    &["night"],
+    &["stay"],
+    &["check"],
+    &["reservation", "booking"],
+    &["smoking"],
+    &["star"],
+    &["rating", "rank"],
+    &["chain", "franchise"],
+    // ---- quantities / ranges --------------------------------------------------
+    &["number", "quantity", "count", "amount"],
+    &["minimum", "min"],
+    &["maximum", "max"],
+    &["total"],
+    &["budget"],
+    &["range", "span"],
+    &["maximal"],
+    &["low"],
+    &["high"],
+    &["from"],
+    &["to"],
+    // ---- misc -------------------------------------------------------------------
+    &["want", "wish", "desire"],
+    &["need", "require"],
+    &["information", "info", "detail"],
+    &["service"],
+    &["pet", "animal"],
+    &["payment"],
+    &["currency"],
+];
+
+/// Direct hypernym edges, `(general, specific)`. Resolved on representative
+/// words: every synset containing `general` becomes a parent of every
+/// synset containing `specific`.
+const HYPERNYMS: &[(&str, &str)] = &[
+    // person hierarchy — used by RAN hierarchies in passenger clusters
+    ("person", "adult"),
+    ("person", "senior"),
+    ("person", "child"),
+    ("person", "infant"),
+    ("person", "passenger"),
+    ("person", "guest"),
+    ("person", "driver"),
+    ("person", "man"),
+    ("person", "woman"),
+    ("adult", "senior"),
+    // location hierarchy — LI3/LI4 combination example (§5.1)
+    ("location", "area"),
+    ("location", "address"),
+    ("location", "place"),
+    ("area", "city"),
+    ("area", "state"),
+    ("area", "county"),
+    ("area", "country"),
+    ("area", "neighborhood"),
+    ("area", "zone"),
+    // vehicles
+    ("vehicle", "car"),
+    ("vehicle", "truck"),
+    // lodging
+    ("lodging", "hotel"),
+    ("lodging", "apartment"),
+    ("property", "home"),
+    ("property", "condo"),
+    ("property", "lot"),
+    ("home", "condo"),
+    ("home", "apartment"),
+    // rooms
+    ("room", "bedroom"),
+    ("room", "bathroom"),
+    ("room", "cabin"),
+    // classification — `class`/`category` are generic containers
+    ("class", "genre"),
+    ("category", "type"),
+    // quantities
+    ("number", "minimum"),
+    ("number", "maximum"),
+    ("number", "total"),
+    // money
+    ("payment", "salary"),
+    ("price", "budget"),
+    // documents / publications
+    ("publication", "book"),
+    // work hierarchy
+    ("work", "career"),
+    // time
+    ("time", "date"),
+    ("date", "day"),
+    ("date", "month"),
+    ("date", "year"),
+    ("time", "night"),
+];
+
+/// Irregular base forms (the WordNet `exc` files, restricted to the corpus
+/// vocabulary).
+const EXCEPTIONS: &[(&str, &str)] = &[
+    ("children", "child"),
+    ("people", "person"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("feet", "foot"),
+    ("mice", "mouse"),
+    ("stories", "story"),
+    ("went", "go"),
+    ("left", "leave"),
+    ("chose", "choose"),
+    ("chosen", "choose"),
+    ("sold", "sell"),
+    ("bought", "buy"),
+];
+
+/// Build the embedded lexicon.
+pub fn build() -> Lexicon {
+    let mut b = LexiconBuilder::new();
+    for members in SYNSETS {
+        b = b.synset(members);
+    }
+    for (general, specific) in HYPERNYMS {
+        b = b.hypernym(general, specific);
+    }
+    for (surface, base) in EXCEPTIONS {
+        b = b.exception(surface, base);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_facts_are_encoded() {
+        let lex = build();
+        // §3.2 Definition 1 example: Area of Study synonym Field of Work.
+        assert!(lex.are_synonyms("area", "field"));
+        assert!(lex.are_synonyms("study", "work"));
+        // §5.1 combination example: Location hypernym Area.
+        assert!(lex.is_hypernym_of("location", "area"));
+        // Morphology.
+        assert_eq!(lex.base_form("children").as_deref(), Some("child"));
+        assert_eq!(lex.base_form("people").as_deref(), Some("person"));
+    }
+
+    #[test]
+    fn polysemy_does_not_leak() {
+        let lex = build();
+        // `work` bridges the job and study synsets without making
+        // job ∼ study.
+        assert!(lex.are_synonyms("job", "work"));
+        assert!(lex.are_synonyms("study", "work"));
+        assert!(!lex.are_synonyms("job", "study"));
+    }
+
+    #[test]
+    fn person_hierarchy() {
+        let lex = build();
+        for specific in ["adult", "senior", "child", "infant", "passenger"] {
+            assert!(
+                lex.is_hypernym_of("person", specific),
+                "person should cover {specific}"
+            );
+        }
+        assert!(!lex.is_hypernym_of("adult", "person"));
+        assert!(lex.is_hypernym_of("adult", "senior"));
+    }
+
+    #[test]
+    fn location_hierarchy_is_transitive() {
+        let lex = build();
+        for specific in ["city", "state", "county", "country", "zone"] {
+            assert!(
+                lex.is_hypernym_of("location", specific),
+                "location should cover {specific}"
+            );
+        }
+        assert!(!lex.is_hypernym_of("city", "state"));
+    }
+
+    #[test]
+    fn auto_vocabulary() {
+        let lex = build();
+        assert!(lex.are_synonyms("make", "brand"));
+        assert!(lex.are_synonyms("car", "auto"));
+        assert!(lex.is_hypernym_of("vehicle", "automobile"));
+        assert!(!lex.are_synonyms("make", "model"));
+    }
+
+    #[test]
+    fn travel_vocabulary() {
+        let lex = build();
+        assert!(lex.are_synonyms("stop", "connection"));
+        assert!(lex.are_synonyms("depart", "leave"));
+        assert!(lex.are_synonyms("airline", "carrier"));
+        assert!(!lex.are_synonyms("cabin", "class"));
+    }
+
+    #[test]
+    fn quantity_vocabulary() {
+        let lex = build();
+        assert!(lex.are_synonyms("min", "minimum"));
+        assert!(lex.are_synonyms("max", "maximum"));
+        assert!(lex.is_hypernym_of("number", "minimum"));
+    }
+
+    #[test]
+    fn no_empty_synsets_and_reasonable_size() {
+        let lex = build();
+        assert!(lex.synset_count() > 100, "synsets: {}", lex.synset_count());
+        assert!(lex.lemma_count() > 250, "lemmas: {}", lex.lemma_count());
+    }
+
+    #[test]
+    fn morphology_resolves_plurals_into_synsets() {
+        let lex = build();
+        assert!(lex.are_synonyms("stops", "connections"));
+        assert!(lex.is_hypernym_of("person", "seniors"));
+        assert!(lex.are_synonyms("preferences", "preference"));
+    }
+}

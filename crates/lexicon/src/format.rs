@@ -1,0 +1,219 @@
+//! A plain-text lexicon exchange format.
+//!
+//! WordNet ships as the `data.*`/`index.*`/`*.exc` files; this crate's
+//! equivalent is a single line-oriented text file that can be versioned,
+//! diffed and hand-edited:
+//!
+//! ```text
+//! # comment
+//! syn: area, field, region
+//! hyp: location > area
+//! exc: children -> child
+//! ```
+//!
+//! * `syn:` declares a synset by listing its member lemmas;
+//! * `hyp:` declares a direct hypernym edge between (the synsets of) two
+//!   representative words — both must already be members of some synset;
+//! * `exc:` declares an irregular base form.
+//!
+//! [`parse`] builds a [`Lexicon`]; [`render`] writes one back out.
+//! Round-tripping preserves all queries (synsets may be reordered).
+
+use crate::builder::LexiconBuilder;
+use crate::synset::SynsetId;
+use crate::Lexicon;
+
+/// Parse errors with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the text format into a [`Lexicon`].
+pub fn parse(text: &str) -> Result<Lexicon, ParseError> {
+    let mut builder = LexiconBuilder::new();
+    let mut declared: Vec<String> = Vec::new();
+    let mut edges: Vec<(usize, String, String)> = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((kind, rest)) = line.split_once(':') else {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("expected `syn:`, `hyp:` or `exc:`, got {line:?}"),
+            });
+        };
+        let rest = rest.trim();
+        match kind.trim() {
+            "syn" => {
+                let members: Vec<&str> = rest
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|m| !m.is_empty())
+                    .collect();
+                if members.is_empty() {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: "empty synset".to_string(),
+                    });
+                }
+                for m in &members {
+                    declared.push(m.to_lowercase());
+                }
+                builder = builder.synset(&members);
+            }
+            "hyp" => {
+                let Some((general, specific)) = rest.split_once('>') else {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!("expected `general > specific`, got {rest:?}"),
+                    });
+                };
+                edges.push((
+                    line_no,
+                    general.trim().to_lowercase(),
+                    specific.trim().to_lowercase(),
+                ));
+            }
+            "exc" => {
+                let Some((surface, base)) = rest.split_once("->") else {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!("expected `surface -> base`, got {rest:?}"),
+                    });
+                };
+                builder = builder.exception(surface.trim(), base.trim());
+            }
+            other => {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("unknown record kind {other:?}"),
+                });
+            }
+        }
+    }
+    // Validate hypernym endpoints before handing them to the builder
+    // (whose contract is panic-on-bug, not error-on-input).
+    for (line, general, specific) in edges {
+        for word in [&general, &specific] {
+            if !declared.contains(word) {
+                return Err(ParseError {
+                    line,
+                    message: format!("hypernym endpoint {word:?} not in any synset"),
+                });
+            }
+        }
+        builder = builder.hypernym(&general, &specific);
+    }
+    Ok(builder.build())
+}
+
+/// Render a lexicon in the text format.
+pub fn render(lexicon: &Lexicon) -> String {
+    let mut out = String::new();
+    out.push_str("# lexicon text format: syn / hyp / exc records\n");
+    for members in &lexicon.synsets {
+        out.push_str("syn: ");
+        out.push_str(&members.join(", "));
+        out.push('\n');
+    }
+    for (child_idx, parents) in lexicon.hypernyms.iter().enumerate() {
+        let child = SynsetId(child_idx as u32);
+        for &parent in parents {
+            out.push_str(&format!(
+                "hyp: {} > {}\n",
+                lexicon.synset_members(parent)[0],
+                lexicon.synset_members(child)[0]
+            ));
+        }
+    }
+    let mut exceptions: Vec<(&String, &String)> = lexicon.exceptions.iter().collect();
+    exceptions.sort();
+    for (surface, base) in exceptions {
+        out.push_str(&format!("exc: {surface} -> {base}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# test lexicon
+syn: area, field, region
+syn: location
+syn: city, town
+hyp: location > area
+hyp: area > city
+exc: children -> child
+";
+
+    #[test]
+    fn parse_builds_working_lexicon() {
+        let lex = parse(SAMPLE).unwrap();
+        assert!(lex.are_synonyms("area", "field"));
+        assert!(lex.is_hypernym_of("location", "city"));
+        assert_eq!(lex.base_form("children").as_deref(), Some("child"));
+    }
+
+    #[test]
+    fn round_trip_preserves_queries() {
+        let lex = parse(SAMPLE).unwrap();
+        let text = render(&lex);
+        let again = parse(&text).unwrap();
+        assert!(again.are_synonyms("area", "region"));
+        assert!(again.is_hypernym_of("location", "town"));
+        assert_eq!(again.base_form("children").as_deref(), Some("child"));
+        assert_eq!(again.synset_count(), lex.synset_count());
+    }
+
+    #[test]
+    fn builtin_round_trips() {
+        let builtin = Lexicon::builtin();
+        let text = render(&builtin);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.synset_count(), builtin.synset_count());
+        assert_eq!(parsed.lemma_count(), builtin.lemma_count());
+        // Spot-check the load-bearing facts.
+        assert!(parsed.are_synonyms("area", "field"));
+        assert!(parsed.is_hypernym_of("location", "city"));
+        assert!(parsed.is_hypernym_of("person", "seniors"));
+        assert_eq!(parsed.base_form("people").as_deref(), Some("person"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("syn: a\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("hyp: a > b\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("not in any synset"));
+        let err = parse("syn:\n").unwrap_err();
+        assert!(err.message.contains("empty synset"));
+        let err = parse("exc: children child\n").unwrap_err();
+        assert!(err.message.contains("surface -> base"));
+        let err = parse("wat: x\n").unwrap_err();
+        assert!(err.message.contains("unknown record"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let lex = parse("\n# hi\n\nsyn: a, b\n").unwrap();
+        assert!(lex.are_synonyms("a", "b"));
+    }
+}

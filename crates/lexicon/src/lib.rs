@@ -1,0 +1,380 @@
+//! A WordNet-style lexical database substrate.
+//!
+//! The paper relies on WordNet \[9\] for exactly three queries during label
+//! processing:
+//!
+//! 1. **base forms** — the morphological reduction of a token to its
+//!    dictionary form (`children` → `child`), used in the second
+//!    normalization step (§3.1);
+//! 2. **token synonymy** — `area` ∼ `field`, `study` ∼ `work`, used by the
+//!    `synonym` label relation (Definition 1);
+//! 3. **token hypernymy** — `location` ⊐ `area`, used by the
+//!    `hypernym`/`hyponym` label relations (Definition 1) and the logical
+//!    inference rules of §5.
+//!
+//! The original WordNet database is not redistributable inside this
+//! reproduction, so this crate implements the same storage model from
+//! scratch — synsets, a lemma index, a hypernym DAG between synsets, and a
+//! Morphy-style rule lemmatizer with an exception list — and ships an
+//! embedded lexicon ([`Lexicon::builtin`]) covering the full vocabulary of
+//! the seven evaluation domains. `DESIGN.md` §3 documents why this
+//! substitution preserves the paper's behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use qi_lexicon::Lexicon;
+//!
+//! let lex = Lexicon::builtin();
+//! assert!(lex.are_synonyms("area", "field"));
+//! assert!(lex.is_hypernym_of("location", "city"));
+//! assert_eq!(lex.base_form("children").as_deref(), Some("child"));
+//! ```
+
+pub mod builder;
+pub mod builtin;
+pub mod format;
+pub mod morphy;
+pub mod synset;
+
+pub use builder::LexiconBuilder;
+pub use synset::SynsetId;
+
+use parking_lot::RwLock;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The lexical database: synsets, lemma index, hypernym DAG, morphology.
+///
+/// All queries take `&self` and the transitive-hypernymy cache is behind an
+/// `RwLock`, so one instance can serve a whole evaluation run across
+/// threads.
+#[derive(Debug)]
+pub struct Lexicon {
+    /// Synset membership: `synsets[id]` is the list of member lemmas.
+    pub(crate) synsets: Vec<Vec<String>>,
+    /// Lemma → synsets containing it.
+    pub(crate) lemma_index: HashMap<String, Vec<SynsetId>>,
+    /// Porter stem → lemmas sharing that stem (fallback resolution).
+    pub(crate) stem_index: HashMap<String, Vec<String>>,
+    /// `hypernyms[id]` = direct parent synsets of `id`.
+    pub(crate) hypernyms: Vec<Vec<SynsetId>>,
+    /// Irregular morphology: surface form → base form.
+    pub(crate) exceptions: HashMap<String, String>,
+    /// Memoized transitive-hypernymy answers.
+    hypernym_cache: Arc<RwLock<HashMap<(SynsetId, SynsetId), bool>>>,
+}
+
+impl Lexicon {
+    /// An empty lexicon (no synsets, no morphology beyond the identity).
+    pub fn empty() -> Self {
+        LexiconBuilder::new().build()
+    }
+
+    /// The embedded lexicon covering the seven evaluation domains.
+    pub fn builtin() -> Self {
+        builtin::build()
+    }
+
+    /// Number of synsets.
+    pub fn synset_count(&self) -> usize {
+        self.synsets.len()
+    }
+
+    /// Number of distinct lemmas.
+    pub fn lemma_count(&self) -> usize {
+        self.lemma_index.len()
+    }
+
+    /// True if `word` is a known lemma (exact match, no morphology).
+    pub fn is_lemma(&self, word: &str) -> bool {
+        self.lemma_index.contains_key(word)
+    }
+
+    /// The members of a synset.
+    pub fn synset_members(&self, id: SynsetId) -> &[String] {
+        &self.synsets[id.0 as usize]
+    }
+
+    /// Morphological base form of `token` (lowercase), like WordNet's
+    /// Morphy: exception list first, then detachment rules validated
+    /// against the lemma index. Returns `None` when no reduction applies.
+    pub fn base_form(&self, token: &str) -> Option<String> {
+        if let Some(base) = self.exceptions.get(token) {
+            return Some(base.clone());
+        }
+        if self.is_lemma(token) {
+            return None; // already a base form
+        }
+        morphy::reduce(token, |candidate| self.is_lemma(candidate))
+    }
+
+    /// Resolve a word to the synsets it may denote: exact lemma match,
+    /// else morphological base form, else lemmas sharing its Porter stem.
+    pub fn resolve(&self, word: &str) -> Vec<SynsetId> {
+        if let Some(ids) = self.lemma_index.get(word) {
+            return ids.clone();
+        }
+        if let Some(base) = self.base_form(word) {
+            if let Some(ids) = self.lemma_index.get(&base) {
+                return ids.clone();
+            }
+        }
+        let stem = qi_text::stem(word);
+        if let Some(lemmas) = self.stem_index.get(&stem) {
+            let mut out: Vec<SynsetId> = Vec::new();
+            for lemma in lemmas {
+                if let Some(ids) = self.lemma_index.get(lemma) {
+                    for id in ids {
+                        if !out.contains(id) {
+                            out.push(*id);
+                        }
+                    }
+                }
+            }
+            return out;
+        }
+        Vec::new()
+    }
+
+    /// True if the two words share a synset (after resolution). Callers
+    /// implementing Definition 1 check *equality* before synonymy, so the
+    /// self-synonym case never decides a label relation.
+    pub fn are_synonyms(&self, a: &str, b: &str) -> bool {
+        let sa = self.resolve(a);
+        if sa.is_empty() {
+            return false;
+        }
+        let sb = self.resolve(b);
+        sa.iter().any(|id| sb.contains(id))
+    }
+
+    /// True if `general` denotes a (transitive, strict) hypernym of
+    /// `specific`: some synset of `specific` reaches some synset of
+    /// `general` by one or more hypernym edges.
+    pub fn is_hypernym_of(&self, general: &str, specific: &str) -> bool {
+        let targets = self.resolve(general);
+        if targets.is_empty() {
+            return false;
+        }
+        let sources = self.resolve(specific);
+        sources
+            .iter()
+            .any(|&src| targets.iter().any(|&dst| self.synset_hypernym(dst, src)))
+    }
+
+    /// True if synset `general` is a strict ancestor of synset `specific`
+    /// in the hypernym DAG. Memoized.
+    pub fn synset_hypernym(&self, general: SynsetId, specific: SynsetId) -> bool {
+        if general == specific {
+            return false;
+        }
+        if let Some(&hit) = self.hypernym_cache.read().get(&(general, specific)) {
+            return hit;
+        }
+        let mut visited: HashSet<SynsetId> = HashSet::new();
+        let mut stack: Vec<SynsetId> = self.hypernyms[specific.0 as usize].clone();
+        let mut found = false;
+        while let Some(node) = stack.pop() {
+            if node == general {
+                found = true;
+                break;
+            }
+            if visited.insert(node) {
+                stack.extend_from_slice(&self.hypernyms[node.0 as usize]);
+            }
+        }
+        self.hypernym_cache
+            .write()
+            .insert((general, specific), found);
+        found
+    }
+
+    /// All strict ancestors (transitive hypernym synsets) of a word.
+    pub fn ancestors(&self, word: &str) -> Vec<SynsetId> {
+        let mut visited: HashSet<SynsetId> = HashSet::new();
+        let mut stack: Vec<SynsetId> = Vec::new();
+        for id in self.resolve(word) {
+            stack.extend_from_slice(&self.hypernyms[id.0 as usize]);
+        }
+        let mut out = Vec::new();
+        while let Some(node) = stack.pop() {
+            if visited.insert(node) {
+                out.push(node);
+                stack.extend_from_slice(&self.hypernyms[node.0 as usize]);
+            }
+        }
+        out
+    }
+
+    pub(crate) fn from_parts(
+        synsets: Vec<Vec<String>>,
+        hypernyms: Vec<Vec<SynsetId>>,
+        exceptions: HashMap<String, String>,
+    ) -> Self {
+        let mut lemma_index: HashMap<String, Vec<SynsetId>> = HashMap::new();
+        let mut stem_index: HashMap<String, Vec<String>> = HashMap::new();
+        for (i, members) in synsets.iter().enumerate() {
+            for lemma in members {
+                lemma_index
+                    .entry(lemma.clone())
+                    .or_default()
+                    .push(SynsetId(i as u32));
+                let stem = qi_text::stem(lemma);
+                match stem_index.entry(stem) {
+                    Entry::Occupied(mut e) => {
+                        if !e.get().contains(lemma) {
+                            e.get_mut().push(lemma.clone());
+                        }
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(vec![lemma.clone()]);
+                    }
+                }
+            }
+        }
+        Lexicon {
+            synsets,
+            lemma_index,
+            stem_index,
+            hypernyms,
+            exceptions,
+            hypernym_cache: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+}
+
+impl qi_text::Lemmatizer for Lexicon {
+    fn lemma(&self, token: &str) -> Option<String> {
+        self.base_form(token)
+    }
+
+    fn is_word(&self, token: &str) -> bool {
+        self.is_lemma(token) || self.base_form(token).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_text::Lemmatizer;
+
+    fn sample() -> Lexicon {
+        LexiconBuilder::new()
+            .synset(&["area", "field", "region"])
+            .synset(&["study", "work"])
+            .synset(&["location"])
+            .synset(&["city", "town"])
+            .synset(&["child", "kid"])
+            .hypernym("location", "area")
+            .hypernym("area", "city")
+            .exception("children", "child")
+            .build()
+    }
+
+    #[test]
+    fn synonyms_share_synset() {
+        let lex = sample();
+        assert!(lex.are_synonyms("area", "field"));
+        assert!(lex.are_synonyms("field", "region"));
+        assert!(!lex.are_synonyms("area", "study"));
+    }
+
+    #[test]
+    fn unknown_words_are_not_synonyms() {
+        let lex = sample();
+        assert!(!lex.are_synonyms("zzz", "area"));
+        assert!(!lex.are_synonyms("area", "zzz"));
+        assert!(!lex.are_synonyms("zzz", "zzz"));
+    }
+
+    #[test]
+    fn hypernymy_is_transitive_and_strict() {
+        let lex = sample();
+        assert!(lex.is_hypernym_of("location", "area"));
+        assert!(lex.is_hypernym_of("location", "city"));
+        assert!(lex.is_hypernym_of("area", "town")); // via synonym city
+        assert!(!lex.is_hypernym_of("city", "location"));
+        assert!(!lex.is_hypernym_of("area", "area")); // strict
+        assert!(!lex.is_hypernym_of("area", "field")); // synonyms, not hypernyms
+    }
+
+    #[test]
+    fn base_form_uses_exceptions_then_rules() {
+        let lex = sample();
+        assert_eq!(lex.base_form("children").as_deref(), Some("child"));
+        assert_eq!(lex.base_form("cities").as_deref(), Some("city"));
+        assert_eq!(lex.base_form("areas").as_deref(), Some("area"));
+        assert_eq!(lex.base_form("city"), None); // already base
+        assert_eq!(lex.base_form("qwerty"), None); // unknown
+    }
+
+    #[test]
+    fn resolve_falls_back_to_morphology_and_stem() {
+        let lex = sample();
+        assert!(!lex.resolve("cities").is_empty());
+        assert!(lex.are_synonyms("cities", "town"));
+        assert!(lex.is_hypernym_of("location", "cities"));
+    }
+
+    #[test]
+    fn lemmatizer_impl_delegates() {
+        let lex = sample();
+        assert_eq!(lex.lemma("children").as_deref(), Some("child"));
+        assert_eq!(lex.lemma("child"), None);
+    }
+
+    #[test]
+    fn empty_lexicon_answers_negatively() {
+        let lex = Lexicon::empty();
+        assert_eq!(lex.synset_count(), 0);
+        assert!(!lex.are_synonyms("a", "b"));
+        assert!(!lex.is_hypernym_of("a", "b"));
+        assert_eq!(lex.base_form("children"), None);
+    }
+
+    #[test]
+    fn ancestors_collects_transitive_closure() {
+        let lex = sample();
+        let city_ancestors = lex.ancestors("city");
+        assert_eq!(city_ancestors.len(), 2); // {area-synset, location-synset}
+        assert!(lex.ancestors("location").is_empty());
+    }
+
+    #[test]
+    fn multi_sense_words_resolve_to_all_synsets() {
+        let lex = LexiconBuilder::new()
+            .synset(&["class", "category"])
+            .synset(&["class", "course"])
+            .build();
+        assert_eq!(lex.resolve("class").len(), 2);
+        assert!(lex.are_synonyms("class", "category"));
+        assert!(lex.are_synonyms("class", "course"));
+        assert!(!lex.are_synonyms("category", "course"));
+    }
+}
+
+#[cfg(test)]
+mod compound_integration {
+    use super::*;
+
+    /// The builtin lexicon splits `zipcode` via the compound rule, so
+    /// `Zipcode` is *equal* to `Zip Code` (a ubiquitous real-Web variant).
+    #[test]
+    fn zipcode_equals_zip_code() {
+        let lex = Lexicon::builtin();
+        let a = qi_text::LabelText::new("Zipcode", &lex);
+        let b = qi_text::LabelText::new("Zip Code", &lex);
+        assert!(a.word_equal(&b), "{:?} vs {:?}", a.keys(), b.keys());
+    }
+
+    /// Known lemmas never split, even when halves happen to be words.
+    #[test]
+    fn known_lemmas_do_not_split() {
+        let lex = Lexicon::builtin();
+        // `mileage` is a lemma even though `mile` + `age` are both words.
+        let m = qi_text::LabelText::new("Mileage", &lex);
+        assert_eq!(m.expressiveness(), 1, "{:?}", m.keys());
+    }
+}

@@ -1,0 +1,33 @@
+//! Synset identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a synonym set (synset) inside a [`crate::Lexicon`].
+///
+/// Synsets are stored in a dense arena, so the id is a plain index. Ids are
+/// only meaningful relative to the lexicon that produced them.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SynsetId(pub u32);
+
+impl std::fmt::Display for SynsetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "synset#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SynsetId(7).to_string(), "synset#7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(SynsetId(1) < SynsetId(2));
+    }
+}

@@ -1,0 +1,377 @@
+//! Clusters of semantically equivalent fields and 1:m expansion (§2.1).
+
+use qi_schema::{NodeId, SchemaTree};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a cluster within a [`Mapping`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// Index into `Mapping::clusters`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A field of one schema: `(schema index, node id)`. Schema indices refer
+/// to the slice of source trees the mapping was built against.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct FieldRef {
+    /// Index of the source schema within the domain's interface list.
+    pub schema: usize,
+    /// Field node inside that schema.
+    pub node: NodeId,
+}
+
+impl FieldRef {
+    /// Convenience constructor.
+    pub fn new(schema: usize, node: NodeId) -> Self {
+        FieldRef { schema, node }
+    }
+}
+
+/// A cluster: all fields, across schemas, denoting the same concept
+/// (Table 1 of the paper). After [`expand_one_to_many`] every schema
+/// contributes at most one field per cluster; schemas without an
+/// equivalent field simply have no entry (the paper's null entries).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// This cluster's id.
+    pub id: ClusterId,
+    /// Human-readable concept name for diagnostics and ground truth
+    /// (e.g. `c_Adult`). Never used by the labeling algorithm itself.
+    pub concept: String,
+    /// Member fields.
+    pub members: Vec<FieldRef>,
+}
+
+impl Cluster {
+    /// The member contributed by `schema`, if any.
+    pub fn member_of(&self, schema: usize) -> Option<FieldRef> {
+        self.members.iter().copied().find(|m| m.schema == schema)
+    }
+}
+
+/// The domain-wide set of clusters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Clusters, indexed by [`ClusterId`].
+    pub clusters: Vec<Cluster>,
+}
+
+/// Mapping validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// A member points at a schema index outside the domain.
+    SchemaOutOfRange { cluster: ClusterId, schema: usize },
+    /// A member points at a node that is not a leaf of its schema.
+    NotAField { cluster: ClusterId, field: FieldRef },
+    /// A schema contributes two fields to one cluster.
+    DuplicateSchema { cluster: ClusterId, schema: usize },
+    /// A field occurs in more than one cluster — the mapping is still in
+    /// 1:m form and needs [`expand_one_to_many`].
+    OneToMany { field: FieldRef },
+}
+
+impl std::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingError::SchemaOutOfRange { cluster, schema } => {
+                write!(f, "cluster {cluster}: schema index {schema} out of range")
+            }
+            MappingError::NotAField { cluster, field } => write!(
+                f,
+                "cluster {cluster}: node {} of schema {} is not a field",
+                field.node, field.schema
+            ),
+            MappingError::DuplicateSchema { cluster, schema } => write!(
+                f,
+                "cluster {cluster}: schema {schema} contributes more than one field"
+            ),
+            MappingError::OneToMany { field } => write!(
+                f,
+                "field {} of schema {} occurs in multiple clusters (run 1:m expansion first)",
+                field.node, field.schema
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+impl Mapping {
+    /// Create a mapping from `(concept, members)` pairs.
+    pub fn from_clusters<I, M>(clusters: I) -> Self
+    where
+        I: IntoIterator<Item = (String, M)>,
+        M: IntoIterator<Item = FieldRef>,
+    {
+        let clusters = clusters
+            .into_iter()
+            .enumerate()
+            .map(|(i, (concept, members))| Cluster {
+                id: ClusterId(i as u32),
+                concept,
+                members: members.into_iter().collect(),
+            })
+            .collect();
+        Mapping { clusters }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True if there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Lookup by id.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// Lookup by ground-truth concept name.
+    pub fn by_concept(&self, concept: &str) -> Option<&Cluster> {
+        self.clusters.iter().find(|c| c.concept == concept)
+    }
+
+    /// The clusters a given field belongs to. More than one before 1:m
+    /// expansion; at most one afterwards.
+    pub fn clusters_of(&self, field: FieldRef) -> Vec<ClusterId> {
+        self.clusters
+            .iter()
+            .filter(|c| c.members.contains(&field))
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Validate the mapping against the source schemas. Requires 1:1 form
+    /// (run [`expand_one_to_many`] first for raw 1:m mappings).
+    pub fn validate(&self, schemas: &[SchemaTree]) -> Result<(), MappingError> {
+        let mut field_seen: HashMap<FieldRef, ()> = HashMap::new();
+        for cluster in &self.clusters {
+            for &member in &cluster.members {
+                if field_seen.insert(member, ()).is_some() {
+                    return Err(MappingError::OneToMany { field: member });
+                }
+            }
+        }
+        for cluster in &self.clusters {
+            let mut seen: HashMap<usize, ()> = HashMap::new();
+            for &member in &cluster.members {
+                let Some(tree) = schemas.get(member.schema) else {
+                    return Err(MappingError::SchemaOutOfRange {
+                        cluster: cluster.id,
+                        schema: member.schema,
+                    });
+                };
+                if member.node.index() >= tree.len() || !tree.node(member.node).is_leaf() {
+                    return Err(MappingError::NotAField {
+                        cluster: cluster.id,
+                        field: member,
+                    });
+                }
+                if seen.insert(member.schema, ()).is_some() {
+                    return Err(MappingError::DuplicateSchema {
+                        cluster: cluster.id,
+                        schema: member.schema,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of 1:m expansion: the labels harvested from expanded fields,
+/// which become candidate labels for internal nodes (§2.1: "the label
+/// `Passengers` becomes a candidate label for an internal node and it is
+/// removed from all the clusters it occurs \[in\]").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpansionOutcome {
+    /// `(schema, new internal node, harvested label)` per expanded field.
+    pub expanded: Vec<(usize, NodeId, String)>,
+}
+
+/// Reduce 1:m correspondences to 1:1 (§2.1).
+///
+/// A field that occurs in more than one cluster is the coarse side of a
+/// 1:m matching. It is converted into an internal node that keeps the
+/// original label, and for each cluster it belonged to a fresh *unlabeled*
+/// leaf child is created and substituted for it in that cluster (the new
+/// fields have no label of their own on the source interface — they will
+/// contribute null entries to group relations).
+pub fn expand_one_to_many(schemas: &mut [SchemaTree], mapping: &mut Mapping) -> ExpansionOutcome {
+    // Collect fields appearing in more than one cluster.
+    let mut occurrence: HashMap<FieldRef, Vec<ClusterId>> = HashMap::new();
+    for cluster in &mapping.clusters {
+        for &member in &cluster.members {
+            occurrence.entry(member).or_default().push(cluster.id);
+        }
+    }
+    let mut outcome = ExpansionOutcome::default();
+    let mut multi: Vec<(FieldRef, Vec<ClusterId>)> = occurrence
+        .into_iter()
+        .filter(|(_, ids)| ids.len() > 1)
+        .collect();
+    // Deterministic order regardless of hash-map iteration.
+    multi.sort_by_key(|(field, _)| *field);
+    for (field, mut cluster_ids) in multi {
+        cluster_ids.sort();
+        let tree = &mut schemas[field.schema];
+        let label = tree.node(field.node).label_str().to_string();
+        tree.convert_leaf_to_internal(field.node);
+        for cluster_id in cluster_ids {
+            let child = tree.add_leaf(field.node, None);
+            let cluster = &mut mapping.clusters[cluster_id.index()];
+            let pos = cluster
+                .members
+                .iter()
+                .position(|&m| m == field)
+                .expect("occurrence map is consistent with clusters");
+            cluster.members[pos] = FieldRef::new(field.schema, child);
+        }
+        outcome.expanded.push((field.schema, field.node, label));
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_schema::spec::{leaf, node};
+
+    /// Figure 2 of the paper: three airline schemas; `airtravel` has the
+    /// coarse `Passengers` field matching four finer concepts.
+    fn figure2() -> (Vec<SchemaTree>, Mapping) {
+        let aa = SchemaTree::build(
+            "aa",
+            vec![node(
+                "Passengers",
+                vec![leaf("Adults"), leaf("Seniors"), leaf("Children"), leaf("Infants")],
+            )],
+        )
+        .unwrap();
+        let airtravel = SchemaTree::build("airtravel", vec![leaf("Passengers")]).unwrap();
+        let aa_leaves = aa.descendant_leaves(qi_schema::NodeId::ROOT);
+        let at_leaves = airtravel.descendant_leaves(qi_schema::NodeId::ROOT);
+        let passengers = FieldRef::new(1, at_leaves[0]);
+        let mapping = Mapping::from_clusters(vec![
+            (
+                "c_Adult".to_string(),
+                vec![FieldRef::new(0, aa_leaves[0]), passengers],
+            ),
+            (
+                "c_Senior".to_string(),
+                vec![FieldRef::new(0, aa_leaves[1]), passengers],
+            ),
+            (
+                "c_Child".to_string(),
+                vec![FieldRef::new(0, aa_leaves[2]), passengers],
+            ),
+            (
+                "c_Infant".to_string(),
+                vec![FieldRef::new(0, aa_leaves[3]), passengers],
+            ),
+        ]);
+        (vec![aa, airtravel], mapping)
+    }
+
+    #[test]
+    fn expansion_replaces_coarse_field() {
+        let (mut schemas, mut mapping) = figure2();
+        assert!(mapping.validate(&schemas).is_err(), "1:m violates 1:1 form");
+        let outcome = expand_one_to_many(&mut schemas, &mut mapping);
+        assert_eq!(outcome.expanded.len(), 1);
+        let (schema, node, label) = &outcome.expanded[0];
+        assert_eq!(*schema, 1);
+        assert_eq!(label, "Passengers");
+        // The expanded node is now internal with 4 unlabeled leaf children.
+        let tree = &schemas[1];
+        assert!(!tree.node(*node).is_leaf());
+        assert_eq!(tree.children(*node).len(), 4);
+        for &child in tree.children(*node) {
+            assert!(tree.node(child).is_leaf());
+            assert!(tree.node(child).label.is_none());
+        }
+        // Mapping is now valid 1:1 and every cluster kept both schemas.
+        mapping.validate(&schemas).unwrap();
+        for cluster in &mapping.clusters {
+            assert_eq!(cluster.members.len(), 2);
+            assert!(cluster.member_of(0).is_some());
+            assert!(cluster.member_of(1).is_some());
+        }
+    }
+
+    #[test]
+    fn expansion_is_noop_on_one_to_one() {
+        let a = SchemaTree::build("a", vec![leaf("X")]).unwrap();
+        let b = SchemaTree::build("b", vec![leaf("X")]).unwrap();
+        let fa = FieldRef::new(0, a.descendant_leaves(qi_schema::NodeId::ROOT)[0]);
+        let fb = FieldRef::new(1, b.descendant_leaves(qi_schema::NodeId::ROOT)[0]);
+        let mut schemas = vec![a, b];
+        let mut mapping = Mapping::from_clusters(vec![("c_X".to_string(), vec![fa, fb])]);
+        let before = mapping.clone();
+        let outcome = expand_one_to_many(&mut schemas, &mut mapping);
+        assert!(outcome.expanded.is_empty());
+        assert_eq!(mapping, before);
+    }
+
+    #[test]
+    fn validate_catches_duplicates_and_bad_refs() {
+        let a = SchemaTree::build("a", vec![leaf("X"), leaf("Y")]).unwrap();
+        let leaves = a.descendant_leaves(qi_schema::NodeId::ROOT);
+        let schemas = vec![a];
+        let dup = Mapping::from_clusters(vec![(
+            "c".to_string(),
+            vec![FieldRef::new(0, leaves[0]), FieldRef::new(0, leaves[1])],
+        )]);
+        assert!(matches!(
+            dup.validate(&schemas),
+            Err(MappingError::DuplicateSchema { .. })
+        ));
+        let bad_schema = Mapping::from_clusters(vec![(
+            "c".to_string(),
+            vec![FieldRef::new(7, leaves[0])],
+        )]);
+        assert!(matches!(
+            bad_schema.validate(&schemas),
+            Err(MappingError::SchemaOutOfRange { .. })
+        ));
+        let not_field = Mapping::from_clusters(vec![(
+            "c".to_string(),
+            vec![FieldRef::new(0, qi_schema::NodeId::ROOT)],
+        )]);
+        assert!(matches!(
+            not_field.validate(&schemas),
+            Err(MappingError::NotAField { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let (schemas, mapping) = figure2();
+        let _ = &schemas;
+        assert_eq!(mapping.len(), 4);
+        assert!(!mapping.is_empty());
+        assert!(mapping.by_concept("c_Adult").is_some());
+        assert!(mapping.by_concept("c_Missing").is_none());
+        let passengers = mapping.by_concept("c_Adult").unwrap().members[1];
+        assert_eq!(mapping.clusters_of(passengers).len(), 4);
+    }
+}

@@ -1,0 +1,232 @@
+//! A plain-text format for ground-truth clusters.
+//!
+//! The paper's pipeline takes the field correspondences as *input* (§2.1);
+//! this format lets users supply them explicitly instead of relying on
+//! the heuristic matcher:
+//!
+//! ```text
+//! # clusters for the airline domain
+//! cluster adult
+//!   british: Adults
+//!   airtravel: Passengers
+//! cluster child
+//!   british: Children
+//!   airtravel: Passengers     # 1:m — same field in several clusters
+//! ```
+//!
+//! Each member line names a source interface and a field label on it;
+//! the field is resolved by exact label match (first match in document
+//! order). The same `interface: label` pair may appear in several
+//! clusters — that is precisely a 1:m correspondence, reduced later by
+//! [`crate::expand_one_to_many`].
+
+use crate::cluster::{FieldRef, Mapping};
+use qi_schema::{NodeId, SchemaTree};
+
+/// Parse errors with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a clusters file against the source interfaces.
+pub fn parse(text: &str, schemas: &[SchemaTree]) -> Result<Mapping, ParseError> {
+    let mut clusters: Vec<(String, Vec<FieldRef>)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip end-of-line comments.
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if line.trim() == "cluster" {
+            return Err(ParseError {
+                line: line_no,
+                message: "cluster needs a concept name".to_string(),
+            });
+        }
+        if let Some(concept) = line.trim().strip_prefix("cluster ") {
+            let concept = concept.trim();
+            if concept.is_empty() {
+                return Err(ParseError {
+                    line: line_no,
+                    message: "cluster needs a concept name".to_string(),
+                });
+            }
+            clusters.push((concept.to_string(), Vec::new()));
+            continue;
+        }
+        // Member line: `<interface>: <label>`.
+        let Some((interface, label)) = line.split_once(':') else {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("expected `cluster <name>` or `<interface>: <label>`, got {:?}", line.trim()),
+            });
+        };
+        let Some((_, members)) = clusters.last_mut() else {
+            return Err(ParseError {
+                line: line_no,
+                message: "member line before any `cluster` header".to_string(),
+            });
+        };
+        let interface = interface.trim();
+        let label = label.trim();
+        let Some(schema_idx) = schemas.iter().position(|s| s.name() == interface) else {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("unknown interface {interface:?}"),
+            });
+        };
+        let tree = &schemas[schema_idx];
+        let Some(leaf) = tree
+            .descendant_leaves(NodeId::ROOT)
+            .into_iter()
+            .find(|&l| tree.node(l).label_str() == label)
+        else {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("no field labeled {label:?} on interface {interface:?}"),
+            });
+        };
+        let field = FieldRef::new(schema_idx, leaf);
+        if members.contains(&field) {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("duplicate member {interface}: {label}"),
+            });
+        }
+        members.push(field);
+    }
+    if clusters.is_empty() {
+        return Err(ParseError {
+            line: 1,
+            message: "no clusters defined".to_string(),
+        });
+    }
+    Ok(Mapping::from_clusters(clusters))
+}
+
+/// Render a mapping back to the text format (labels resolved from the
+/// schemas; unlabeled members are skipped with a comment).
+pub fn render(mapping: &Mapping, schemas: &[SchemaTree]) -> String {
+    let mut out = String::new();
+    for cluster in &mapping.clusters {
+        out.push_str(&format!("cluster {}\n", cluster.concept));
+        for member in &cluster.members {
+            let tree = &schemas[member.schema];
+            match &tree.node(member.node).label {
+                Some(label) => {
+                    out.push_str(&format!("  {}: {}\n", tree.name(), label));
+                }
+                None => {
+                    out.push_str(&format!(
+                        "  # {}: <unlabeled field {}>\n",
+                        tree.name(),
+                        member.node
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_schema::spec::{leaf, node};
+
+    fn schemas() -> Vec<SchemaTree> {
+        vec![
+            SchemaTree::build(
+                "british",
+                vec![node("Who", vec![leaf("Adults"), leaf("Children")])],
+            )
+            .unwrap(),
+            SchemaTree::build("airtravel", vec![leaf("Passengers")]).unwrap(),
+        ]
+    }
+
+    const SAMPLE: &str = "\
+# airline clusters
+cluster adult
+  british: Adults
+  airtravel: Passengers
+cluster child
+  british: Children
+  airtravel: Passengers   # 1:m
+";
+
+    #[test]
+    fn parse_resolves_fields_and_supports_one_to_many() {
+        let schemas = schemas();
+        let mapping = parse(SAMPLE, &schemas).unwrap();
+        assert_eq!(mapping.len(), 2);
+        assert_eq!(mapping.by_concept("adult").unwrap().members.len(), 2);
+        // The Passengers field appears in both clusters (1:m).
+        let passengers = mapping.by_concept("adult").unwrap().members[1];
+        assert_eq!(mapping.clusters_of(passengers).len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_precise() {
+        let schemas = schemas();
+        let e = parse("british: Adults\n", &schemas).unwrap_err();
+        assert!(e.message.contains("before any"), "{e}");
+        let e = parse("cluster a\n  nowhere: X\n", &schemas).unwrap_err();
+        assert!(e.message.contains("unknown interface"), "{e}");
+        assert_eq!(e.line, 2);
+        let e = parse("cluster a\n  british: Nope\n", &schemas).unwrap_err();
+        assert!(e.message.contains("no field labeled"), "{e}");
+        let e = parse("cluster a\n  british: Adults\n  british: Adults\n", &schemas)
+            .unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+        let e = parse("cluster \n", &schemas).unwrap_err();
+        assert!(e.message.contains("concept name"), "{e}");
+        let e = parse("", &schemas).unwrap_err();
+        assert!(e.message.contains("no clusters"), "{e}");
+        let e = parse("gibberish\n", &schemas).unwrap_err();
+        assert!(e.message.contains("expected"), "{e}");
+    }
+
+    #[test]
+    fn round_trip() {
+        let schemas = schemas();
+        let mapping = parse(SAMPLE, &schemas).unwrap();
+        let text = render(&mapping, &schemas);
+        let again = parse(&text, &schemas).unwrap();
+        assert_eq!(again, mapping);
+    }
+
+    #[test]
+    fn render_marks_unlabeled_members() {
+        let tree = SchemaTree::build(
+            "a",
+            vec![qi_schema::spec::unlabeled_leaf(), leaf("B")],
+        )
+        .unwrap();
+        let leaves = tree.descendant_leaves(NodeId::ROOT);
+        let schemas = vec![tree];
+        let mapping = Mapping::from_clusters(vec![(
+            "c".to_string(),
+            vec![FieldRef::new(0, leaves[0]), FieldRef::new(0, leaves[1])],
+        )]);
+        let text = render(&mapping, &schemas);
+        assert!(text.contains("<unlabeled field"));
+        assert!(text.contains("a: B"));
+    }
+}

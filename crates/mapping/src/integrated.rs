@@ -1,0 +1,208 @@
+//! The integrated interface and the partition of clusters (§3).
+//!
+//! The merge algorithm produces an integrated schema tree whose leaves
+//! stand for clusters. Based on their placement, clusters fall into three
+//! disjoint classes (the paper's `C_groups`, `C_root`, `C_int`): members
+//! of a multi-field group, direct children of the root, and isolated
+//! single-leaf children of non-root internal nodes.
+
+use crate::cluster::ClusterId;
+use qi_schema::{NodeId, SchemaTree};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a group inside a [`ClusterPartition`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Index into `ClusterPartition::groups`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A group of the integrated interface: ≥2 leaf siblings under one
+/// non-root internal node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegratedGroup {
+    /// The internal node the group hangs off.
+    pub parent: NodeId,
+    /// The group's leaves, in interface order.
+    pub leaves: Vec<NodeId>,
+    /// The clusters those leaves stand for (parallel to `leaves`).
+    pub clusters: Vec<ClusterId>,
+}
+
+/// Which class a cluster falls into (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterClass {
+    /// Member of `C_groups`, with its group.
+    Grouped(GroupId),
+    /// Member of `C_root` (direct child of the root).
+    Root,
+    /// Member of `C_int` (isolated child of a non-root internal node).
+    Isolated,
+}
+
+/// The partition of an integrated interface's clusters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ClusterPartition {
+    /// The groups (`C_groups`, grouped by parent node).
+    pub groups: Vec<IntegratedGroup>,
+    /// `C_root`, in interface order.
+    pub root: Vec<(NodeId, ClusterId)>,
+    /// `C_int`, in interface order.
+    pub isolated: Vec<(NodeId, ClusterId)>,
+}
+
+impl ClusterPartition {
+    /// Class of a cluster, if it appears in the partition.
+    pub fn class_of(&self, cluster: ClusterId) -> Option<ClusterClass> {
+        for (i, g) in self.groups.iter().enumerate() {
+            if g.clusters.contains(&cluster) {
+                return Some(ClusterClass::Grouped(GroupId(i as u32)));
+            }
+        }
+        if self.root.iter().any(|&(_, c)| c == cluster) {
+            return Some(ClusterClass::Root);
+        }
+        if self.isolated.iter().any(|&(_, c)| c == cluster) {
+            return Some(ClusterClass::Isolated);
+        }
+        None
+    }
+}
+
+/// The integrated query interface: the merged schema tree plus the
+/// correspondence from its leaves to clusters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Integrated {
+    /// The merged, initially unlabeled (or partially labeled) schema tree.
+    pub tree: SchemaTree,
+    /// Integrated leaf → cluster. Ordered map for deterministic iteration.
+    pub leaf_cluster: BTreeMap<NodeId, ClusterId>,
+}
+
+impl Integrated {
+    /// The integrated leaf standing for a cluster, if any.
+    pub fn leaf_of_cluster(&self, cluster: ClusterId) -> Option<NodeId> {
+        self.leaf_cluster
+            .iter()
+            .find(|&(_, &c)| c == cluster)
+            .map(|(&n, _)| n)
+    }
+
+    /// The cluster a leaf stands for.
+    pub fn cluster_of_leaf(&self, leaf: NodeId) -> Option<ClusterId> {
+        self.leaf_cluster.get(&leaf).copied()
+    }
+
+    /// Partition the clusters into `C_groups` / `C_root` / `C_int`
+    /// according to leaf placement (§3).
+    pub fn partition(&self) -> ClusterPartition {
+        let mut partition = ClusterPartition::default();
+        for group in self.tree.leaf_groups() {
+            let clusters: Vec<ClusterId> = group
+                .leaves
+                .iter()
+                .filter_map(|&l| self.cluster_of_leaf(l))
+                .collect();
+            if group.leaves.len() >= 2 {
+                partition.groups.push(IntegratedGroup {
+                    parent: group.parent,
+                    leaves: group.leaves.clone(),
+                    clusters,
+                });
+            } else if let (Some(&leaf), Some(&cluster)) =
+                (group.leaves.first(), clusters.first())
+            {
+                partition.isolated.push((leaf, cluster));
+            }
+        }
+        for leaf in self.tree.root_leaves() {
+            if let Some(cluster) = self.cluster_of_leaf(leaf) {
+                partition.root.push((leaf, cluster));
+            }
+        }
+        partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_schema::spec::{leaf, node};
+
+    /// The Real Estate fragment of Figure 3: `C_groups` = {State, City},
+    /// {Minimum, Maximum}; `C_int` = {Garage}; `C_root` = {Property Type,
+    /// …, Zone}.
+    fn figure3() -> Integrated {
+        let tree = SchemaTree::build(
+            "real-estate-integrated",
+            vec![
+                leaf("Property Type"),
+                node("Location", vec![leaf("State"), leaf("City")]),
+                node("Price", vec![leaf("Minimum"), leaf("Maximum")]),
+                node("Parking", vec![leaf("Garage")]),
+                leaf("Property Characteristics"),
+                leaf("Property Availability"),
+                leaf("Zone"),
+            ],
+        )
+        .unwrap();
+        let leaves = tree.descendant_leaves(qi_schema::NodeId::ROOT);
+        let leaf_cluster: BTreeMap<NodeId, ClusterId> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, ClusterId(i as u32)))
+            .collect();
+        Integrated { tree, leaf_cluster }
+    }
+
+    #[test]
+    fn partition_matches_figure3() {
+        let integrated = figure3();
+        let p = integrated.partition();
+        assert_eq!(p.groups.len(), 2);
+        assert_eq!(p.groups[0].clusters.len(), 2); // State, City
+        assert_eq!(p.groups[1].clusters.len(), 2); // Minimum, Maximum
+        assert_eq!(p.isolated.len(), 1); // Garage
+        assert_eq!(p.root.len(), 4); // Property Type/Characteristics/Availability, Zone
+    }
+
+    #[test]
+    fn class_of_each_cluster() {
+        let integrated = figure3();
+        let p = integrated.partition();
+        // Leaf order: PT, State, City, Min, Max, Garage, PC, PA, Zone.
+        assert_eq!(p.class_of(ClusterId(0)), Some(ClusterClass::Root));
+        assert_eq!(
+            p.class_of(ClusterId(1)),
+            Some(ClusterClass::Grouped(GroupId(0)))
+        );
+        assert_eq!(
+            p.class_of(ClusterId(4)),
+            Some(ClusterClass::Grouped(GroupId(1)))
+        );
+        assert_eq!(p.class_of(ClusterId(5)), Some(ClusterClass::Isolated));
+        assert_eq!(p.class_of(ClusterId(8)), Some(ClusterClass::Root));
+        assert_eq!(p.class_of(ClusterId(99)), None);
+    }
+
+    #[test]
+    fn leaf_cluster_lookups() {
+        let integrated = figure3();
+        let leaf = integrated.leaf_of_cluster(ClusterId(3)).unwrap();
+        assert_eq!(integrated.cluster_of_leaf(leaf), Some(ClusterId(3)));
+        assert_eq!(integrated.leaf_of_cluster(ClusterId(42)), None);
+    }
+}

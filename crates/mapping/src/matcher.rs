@@ -1,0 +1,308 @@
+//! A label-similarity matcher deriving clusters when ground truth is
+//! absent.
+//!
+//! The paper assumes the clusters are given ("we assume the semantic
+//! relationships between the attributes ... have been already computed",
+//! §2.1, citing \[10, 23, 24\]). The curated corpus ships ground-truth
+//! clusters; this module provides a simple matcher for the synthetic
+//! corpus and for users bringing their own interfaces: fields across
+//! schemas are clustered by union-find over label similarity (string
+//! equality, content-word-set equality, or token-wise synonymy against the
+//! lexicon), with the constraint that two fields of the *same* schema are
+//! never merged (intra-interface labels are assumed distinct concepts).
+
+use crate::cluster::{FieldRef, Mapping};
+use qi_lexicon::Lexicon;
+use qi_schema::{NodeId, SchemaTree};
+use qi_text::{normalized_levenshtein, prefix_abbreviation, ContentWord, LabelText};
+use std::collections::HashSet;
+
+/// Matcher configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatcherConfig {
+    /// Enable the fuzzy token tier: abbreviations (`qty` ~ `quantity`)
+    /// and near-identical spellings (`adress` ~ `address`). Off by
+    /// default — fuzzy matching trades precision for recall.
+    pub fuzzy: bool,
+    /// Minimum normalized Levenshtein similarity for the fuzzy tier.
+    pub min_similarity: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            fuzzy: false,
+            min_similarity: 0.85,
+        }
+    }
+}
+
+/// Union-find with path compression.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// True when two normalized labels should fall into the same cluster:
+/// string-equal, content-word-set equal, or pairwise token synonymy with
+/// equal cardinality (a lightweight version of Definition 1's `synonym`).
+pub fn labels_match(a: &LabelText, b: &LabelText, lexicon: &Lexicon) -> bool {
+    labels_match_with(a, b, lexicon, MatcherConfig::default())
+}
+
+/// [`labels_match`] with an explicit configuration.
+pub fn labels_match_with(
+    a: &LabelText,
+    b: &LabelText,
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    if a.string_equal(b) || a.word_equal(b) {
+        return true;
+    }
+    if a.words.len() != b.words.len() {
+        return false;
+    }
+    a.words.iter().all(|wa| {
+        b.words.iter().any(|wb| {
+            wa.key() == wb.key()
+                || lexicon.are_synonyms(&wa.lemma, &wb.lemma)
+                || (config.fuzzy && fuzzy_token_match(wa, wb, config))
+        })
+    })
+}
+
+/// Fuzzy token tier: abbreviation in either direction, or near-identical
+/// stems.
+fn fuzzy_token_match(a: &ContentWord, b: &ContentWord, config: MatcherConfig) -> bool {
+    prefix_abbreviation(&a.lemma, &b.lemma)
+        || prefix_abbreviation(&b.lemma, &a.lemma)
+        || normalized_levenshtein(&a.stem, &b.stem) >= config.min_similarity
+}
+
+/// Derive a [`Mapping`] by clustering similarly labeled fields across
+/// schemas. Unlabeled fields become singleton clusters.
+pub fn match_by_labels(schemas: &[SchemaTree], lexicon: &Lexicon) -> Mapping {
+    match_by_labels_with(schemas, lexicon, MatcherConfig::default())
+}
+
+/// [`match_by_labels`] with an explicit configuration.
+pub fn match_by_labels_with(
+    schemas: &[SchemaTree],
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+) -> Mapping {
+    // Collect all fields with their normalized labels.
+    let mut fields: Vec<(FieldRef, Option<LabelText>)> = Vec::new();
+    for (schema_idx, tree) in schemas.iter().enumerate() {
+        for leaf in tree.descendant_leaves(NodeId::ROOT) {
+            let label = tree
+                .node(leaf)
+                .label
+                .as_deref()
+                .map(|raw| LabelText::new(raw, lexicon));
+            fields.push((FieldRef::new(schema_idx, leaf), label));
+        }
+    }
+    let mut uf = UnionFind::new(fields.len());
+    for i in 0..fields.len() {
+        let Some(label_i) = &fields[i].1 else { continue };
+        for j in (i + 1)..fields.len() {
+            if fields[i].0.schema == fields[j].0.schema {
+                continue;
+            }
+            let Some(label_j) = &fields[j].1 else { continue };
+            if !labels_match_with(label_i, label_j, lexicon, config) {
+                continue;
+            }
+            // Merging must not put two fields of one schema in a cluster.
+            let ri = uf.find(i);
+            let rj = uf.find(j);
+            if ri == rj {
+                continue;
+            }
+            let schemas_i: HashSet<usize> = (0..fields.len())
+                .filter(|&k| uf.find(k) == ri)
+                .map(|k| fields[k].0.schema)
+                .collect();
+            let clash = (0..fields.len())
+                .filter(|&k| uf.find(k) == rj)
+                .any(|k| schemas_i.contains(&fields[k].0.schema));
+            if !clash {
+                uf.union(i, j);
+            }
+        }
+    }
+    // Emit clusters in first-member order for determinism.
+    let mut root_order: Vec<usize> = Vec::new();
+    let mut members: Vec<Vec<FieldRef>> = Vec::new();
+    let roots: Vec<usize> = (0..fields.len()).map(|i| uf.find(i)).collect();
+    for (&root, (field, _)) in roots.iter().zip(&fields) {
+        let pos = match root_order.iter().position(|&r| r == root) {
+            Some(p) => p,
+            None => {
+                root_order.push(root);
+                members.push(Vec::new());
+                members.len() - 1
+            }
+        };
+        members[pos].push(*field);
+    }
+    Mapping::from_clusters(members.into_iter().enumerate().map(|(i, m)| {
+        let concept = fields
+            .iter()
+            .find(|(f, _)| *f == m[0])
+            .and_then(|(_, l)| l.as_ref())
+            .map(|l| l.display.clone())
+            .unwrap_or_else(|| format!("unlabeled_{i}"));
+        (concept, m)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_schema::spec::{leaf, unlabeled_leaf};
+
+    fn lt(s: &str, lex: &Lexicon) -> LabelText {
+        LabelText::new(s, lex)
+    }
+
+    #[test]
+    fn labels_match_levels() {
+        let lex = Lexicon::builtin();
+        assert!(labels_match(&lt("Zip Code", &lex), &lt("zip code:", &lex), &lex));
+        assert!(labels_match(&lt("Type of Job", &lex), &lt("Job Type", &lex), &lex));
+        assert!(labels_match(
+            &lt("Area of Study", &lex),
+            &lt("Field of Work", &lex),
+            &lex
+        ));
+        assert!(!labels_match(&lt("Make", &lex), &lt("Model", &lex), &lex));
+        assert!(!labels_match(&lt("", &lex), &lt("Make", &lex), &lex));
+    }
+
+    #[test]
+    fn cardinality_mismatch_is_not_synonymy() {
+        let lex = Lexicon::builtin();
+        assert!(!labels_match(
+            &lt("Class", &lex),
+            &lt("Class of Ticket", &lex),
+            &lex
+        ));
+    }
+
+    #[test]
+    fn match_by_labels_clusters_across_schemas() {
+        let lex = Lexicon::builtin();
+        let a = SchemaTree::build("a", vec![leaf("Make"), leaf("Model")]).unwrap();
+        let b = SchemaTree::build("b", vec![leaf("Brand"), leaf("Model")]).unwrap();
+        let mapping = match_by_labels(&[a, b], &lex);
+        assert_eq!(mapping.len(), 2); // {Make,Brand}, {Model,Model}
+        let make = &mapping.clusters[0];
+        assert_eq!(make.members.len(), 2);
+    }
+
+    #[test]
+    fn same_schema_fields_never_merge() {
+        let lex = Lexicon::builtin();
+        // Both labels in schema `a` are synonyms, but they must stay apart.
+        let a = SchemaTree::build("a", vec![leaf("Make"), leaf("Brand")]).unwrap();
+        let b = SchemaTree::build("b", vec![leaf("Manufacturer")]).unwrap();
+        let mapping = match_by_labels(&[a, b], &lex);
+        // Manufacturer joins exactly one of Make/Brand; the other stays
+        // its own cluster.
+        assert_eq!(mapping.len(), 2);
+        let sizes: Vec<usize> = mapping.clusters.iter().map(|c| c.members.len()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+        mapping.validate(&[
+            SchemaTree::build("a", vec![leaf("Make"), leaf("Brand")]).unwrap(),
+            SchemaTree::build("b", vec![leaf("Manufacturer")]).unwrap(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn fuzzy_tier_catches_abbreviations_and_typos() {
+        let lex = Lexicon::builtin();
+        let fuzzy = MatcherConfig {
+            fuzzy: true,
+            ..MatcherConfig::default()
+        };
+        // Abbreviation: `Qty` for `Quantity`.
+        assert!(!labels_match(&lt("Qty", &lex), &lt("Quantity", &lex), &lex));
+        assert!(labels_match_with(
+            &lt("Qty", &lex),
+            &lt("Quantity", &lex),
+            &lex,
+            fuzzy
+        ));
+        // Typo: `Adress` for `Address`.
+        assert!(labels_match_with(
+            &lt("Adress", &lex),
+            &lt("Address", &lex),
+            &lex,
+            fuzzy
+        ));
+        // Still rejects genuinely different labels.
+        assert!(!labels_match_with(
+            &lt("Make", &lex),
+            &lt("Model", &lex),
+            &lex,
+            fuzzy
+        ));
+    }
+
+    #[test]
+    fn fuzzy_matcher_improves_recall() {
+        let lex = Lexicon::builtin();
+        let a = SchemaTree::build("a", vec![leaf("Quantity"), leaf("Address")]).unwrap();
+        let b = SchemaTree::build("b", vec![leaf("Qty"), leaf("Adress")]).unwrap();
+        let strict = match_by_labels(&[a.clone(), b.clone()], &lex);
+        assert_eq!(strict.len(), 4, "strict matcher keeps all apart");
+        let fuzzy = match_by_labels_with(
+            &[a, b],
+            &lex,
+            MatcherConfig {
+                fuzzy: true,
+                ..MatcherConfig::default()
+            },
+        );
+        assert_eq!(fuzzy.len(), 2, "fuzzy matcher pairs them up");
+    }
+
+    #[test]
+    fn unlabeled_fields_are_singletons() {
+        let lex = Lexicon::builtin();
+        let a = SchemaTree::build("a", vec![unlabeled_leaf()]).unwrap();
+        let b = SchemaTree::build("b", vec![unlabeled_leaf()]).unwrap();
+        let mapping = match_by_labels(&[a, b], &lex);
+        assert_eq!(mapping.len(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Matching quality: compare a derived mapping against ground truth.
+//!
+//! The paper assumes perfect clusters; when the [`crate::matcher`] derives
+//! them instead, these pairwise precision/recall metrics quantify the
+//! damage — the standard evaluation for interface matching (\[10, 24\]).
+
+use crate::cluster::{FieldRef, Mapping};
+use std::collections::BTreeSet;
+
+/// Pairwise matching quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchQuality {
+    /// Fraction of derived co-cluster pairs that are true pairs.
+    pub precision: f64,
+    /// Fraction of true co-cluster pairs that were derived.
+    pub recall: f64,
+    /// True/derived/correct pair counts, for reporting.
+    pub truth_pairs: usize,
+    /// Number of derived pairs.
+    pub derived_pairs: usize,
+    /// Number of derived pairs that are correct.
+    pub correct_pairs: usize,
+}
+
+impl MatchQuality {
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+fn pairs(mapping: &Mapping) -> BTreeSet<(FieldRef, FieldRef)> {
+    let mut out = BTreeSet::new();
+    for cluster in &mapping.clusters {
+        for (i, &a) in cluster.members.iter().enumerate() {
+            for &b in &cluster.members[i + 1..] {
+                out.insert(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+    }
+    out
+}
+
+/// Pairwise precision/recall of `derived` against `truth`.
+pub fn pairwise_quality(derived: &Mapping, truth: &Mapping) -> MatchQuality {
+    let truth_pairs = pairs(truth);
+    let derived_pairs = pairs(derived);
+    let correct = derived_pairs.intersection(&truth_pairs).count();
+    let precision = if derived_pairs.is_empty() {
+        1.0
+    } else {
+        correct as f64 / derived_pairs.len() as f64
+    };
+    let recall = if truth_pairs.is_empty() {
+        1.0
+    } else {
+        correct as f64 / truth_pairs.len() as f64
+    };
+    MatchQuality {
+        precision,
+        recall,
+        truth_pairs: truth_pairs.len(),
+        derived_pairs: derived_pairs.len(),
+        correct_pairs: correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_schema::NodeId;
+
+    fn field(schema: usize, node: u32) -> FieldRef {
+        FieldRef::new(schema, NodeId(node))
+    }
+
+    fn mapping(clusters: &[&[FieldRef]]) -> Mapping {
+        Mapping::from_clusters(
+            clusters
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (format!("c{i}"), m.to_vec())),
+        )
+    }
+
+    #[test]
+    fn identical_mappings_are_perfect() {
+        let truth = mapping(&[&[field(0, 1), field(1, 1)], &[field(0, 2), field(1, 2)]]);
+        let q = pairwise_quality(&truth, &truth);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1(), 1.0);
+        assert_eq!(q.truth_pairs, 2);
+    }
+
+    #[test]
+    fn singletons_only_give_full_precision_zero_recall() {
+        let truth = mapping(&[&[field(0, 1), field(1, 1)]]);
+        let derived = mapping(&[&[field(0, 1)], &[field(1, 1)]]);
+        let q = pairwise_quality(&derived, &truth);
+        assert_eq!(q.precision, 1.0); // vacuous: no derived pairs
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1(), 0.0);
+    }
+
+    #[test]
+    fn over_merging_hurts_precision() {
+        let truth = mapping(&[&[field(0, 1), field(1, 1)], &[field(0, 2), field(1, 2)]]);
+        let derived = mapping(&[&[field(0, 1), field(1, 1), field(0, 2), field(1, 2)]]);
+        let q = pairwise_quality(&derived, &truth);
+        assert!(q.precision < 1.0, "precision {}", q.precision);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.derived_pairs, 6);
+        assert_eq!(q.correct_pairs, 2);
+    }
+
+    #[test]
+    fn partial_splits_hurt_recall() {
+        let truth = mapping(&[&[field(0, 1), field(1, 1), field(2, 1)]]);
+        let derived = mapping(&[&[field(0, 1), field(1, 1)], &[field(2, 1)]]);
+        let q = pairwise_quality(&derived, &truth);
+        assert_eq!(q.precision, 1.0);
+        assert!((q.recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_is_vacuously_recalled() {
+        let truth = mapping(&[&[field(0, 1)]]);
+        let derived = mapping(&[&[field(0, 1)]]);
+        let q = pairwise_quality(&derived, &truth);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.precision, 1.0);
+    }
+}

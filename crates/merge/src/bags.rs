@@ -1,0 +1,241 @@
+//! Bag collection: the cluster sets covered by source internal nodes.
+
+use qi_mapping::{ClusterId, FieldRef, Mapping};
+use qi_schema::{NodeId, SchemaTree};
+use std::collections::{BTreeMap, HashMap};
+
+/// A deduplicated bag: the set of clusters some source internal node's
+/// descendant fields map to, plus how many source nodes produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bag {
+    /// Sorted cluster ids.
+    pub clusters: Vec<ClusterId>,
+    /// Number of source internal nodes with exactly this coverage.
+    pub frequency: usize,
+}
+
+/// Collect the bags of all source internal nodes (root excluded),
+/// deduplicated and sorted by (size desc, frequency desc, lexicographic).
+/// Bags from internal nodes whose descendants include unmapped fields
+/// still contribute the mapped subset.
+///
+/// **Redundancy filtering.** A bag `B` that is a strict subset of another
+/// bag `A` represents real nested structure only when some single source
+/// interface contains internal nodes with *both* coverages — i.e. a
+/// designer actually drew the distinction. When the subset relation
+/// arises merely because different sources cover different numbers of
+/// fields of one semantic unit ({Adults, Children} ⊂ {Adults, Children,
+/// Infants} ⊂ {Adults, Seniors, Children, Infants}), materializing every
+/// bag would wrap the integrated group in gratuitous single-child
+/// nesting. Such bags are dropped: their fields attach directly to the
+/// enclosing group, which is what the paper's integrated interfaces show
+/// (one flat passenger group in Figure 2).
+pub fn collect_bags(schemas: &[SchemaTree], mapping: &Mapping) -> Vec<Bag> {
+    // field -> cluster reverse index.
+    let mut field_cluster: HashMap<FieldRef, ClusterId> = HashMap::new();
+    for cluster in &mapping.clusters {
+        for &member in &cluster.members {
+            field_cluster.insert(member, cluster.id);
+        }
+    }
+    let mut freq: BTreeMap<Vec<ClusterId>, usize> = BTreeMap::new();
+    // Per-schema bag sets, for the co-occurrence (redundancy) test.
+    let mut per_schema: Vec<Vec<Vec<ClusterId>>> = Vec::with_capacity(schemas.len());
+    for (schema_idx, tree) in schemas.iter().enumerate() {
+        let mut local: Vec<Vec<ClusterId>> = Vec::new();
+        for internal in tree.internal_nodes() {
+            let mut clusters: Vec<ClusterId> = tree
+                .descendant_leaves(internal.id)
+                .into_iter()
+                .filter_map(|leaf| field_cluster.get(&FieldRef::new(schema_idx, leaf)).copied())
+                .collect();
+            clusters.sort();
+            clusters.dedup();
+            if clusters.is_empty() {
+                continue;
+            }
+            *freq.entry(clusters.clone()).or_insert(0) += 1;
+            if !local.contains(&clusters) {
+                local.push(clusters);
+            }
+        }
+        per_schema.push(local);
+    }
+    let mut bags: Vec<Bag> = freq
+        .into_iter()
+        .map(|(clusters, frequency)| Bag {
+            clusters,
+            frequency,
+        })
+        .collect();
+    // Redundancy filter: drop strict-subset bags whose distinction no
+    // single source draws.
+    let all: Vec<Vec<ClusterId>> = bags.iter().map(|b| b.clusters.clone()).collect();
+    bags.retain(|b| {
+        let supersets: Vec<&Vec<ClusterId>> = all
+            .iter()
+            .filter(|a| {
+                a.len() > b.clusters.len()
+                    && b.clusters.iter().all(|c| a.binary_search(c).is_ok())
+            })
+            .collect();
+        if supersets.is_empty() {
+            return true; // maximal bag
+        }
+        supersets.iter().any(|a| {
+            per_schema
+                .iter()
+                .any(|local| local.contains(&b.clusters) && local.contains(a))
+        })
+    });
+    bags.sort_by(|a, b| {
+        b.clusters
+            .len()
+            .cmp(&a.clusters.len())
+            .then(b.frequency.cmp(&a.frequency))
+            .then(a.clusters.cmp(&b.clusters))
+    });
+    bags
+}
+
+/// The bag of one specific internal node of one schema (used by the
+/// labeler's candidate-label search).
+pub fn bag_of_node(
+    tree: &SchemaTree,
+    schema_idx: usize,
+    internal: NodeId,
+    mapping: &Mapping,
+) -> Vec<ClusterId> {
+    let mut clusters: Vec<ClusterId> = tree
+        .descendant_leaves(internal)
+        .into_iter()
+        .filter_map(|leaf| {
+            mapping
+                .clusters
+                .iter()
+                .find(|c| c.members.contains(&FieldRef::new(schema_idx, leaf)))
+                .map(|c| c.id)
+        })
+        .collect();
+    clusters.sort();
+    clusters.dedup();
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_schema::spec::{leaf, node};
+
+    #[test]
+    fn bags_are_deduped_counted_and_sorted() {
+        let a = SchemaTree::build(
+            "a",
+            vec![node("G", vec![leaf("X"), leaf("Y")])],
+        )
+        .unwrap();
+        let b = SchemaTree::build(
+            "b",
+            vec![node("H", vec![leaf("X"), leaf("Y"), leaf("Z")]), node("K", vec![leaf("W")])],
+        )
+        .unwrap();
+        let c = SchemaTree::build(
+            "c",
+            vec![node("G2", vec![leaf("X"), leaf("Y")])],
+        )
+        .unwrap();
+        let schemas = vec![a, b, c];
+        let f = |s: usize, l: &str| {
+            let t = &schemas[s];
+            let id = t
+                .descendant_leaves(NodeId::ROOT)
+                .into_iter()
+                .find(|&x| t.node(x).label_str() == l)
+                .unwrap();
+            FieldRef::new(s, id)
+        };
+        let mapping = Mapping::from_clusters(vec![
+            ("c_X".to_string(), vec![f(0, "X"), f(1, "X"), f(2, "X")]),
+            ("c_Y".to_string(), vec![f(0, "Y"), f(1, "Y"), f(2, "Y")]),
+            ("c_Z".to_string(), vec![f(1, "Z")]),
+            ("c_W".to_string(), vec![f(1, "W")]),
+        ]);
+        let bags = collect_bags(&schemas, &mapping);
+        // {X,Y} ⊂ {X,Y,Z} and no single source draws the distinction, so
+        // {X,Y} is filtered as redundant coverage variation.
+        assert_eq!(bags.len(), 2);
+        assert_eq!(bags[0].clusters.len(), 3);
+        assert_eq!(bags[0].frequency, 1);
+        assert_eq!(bags[1].clusters.len(), 1);
+    }
+
+    #[test]
+    fn nested_bags_kept_when_one_source_draws_the_distinction() {
+        let a = SchemaTree::build(
+            "a",
+            vec![node(
+                "Outer",
+                vec![node("Inner", vec![leaf("X"), leaf("Y")]), leaf("Z")],
+            )],
+        )
+        .unwrap();
+        let schemas = vec![a];
+        let f = |l: &str| {
+            let t = &schemas[0];
+            let id = t
+                .descendant_leaves(NodeId::ROOT)
+                .into_iter()
+                .find(|&x| t.node(x).label_str() == l)
+                .unwrap();
+            FieldRef::new(0, id)
+        };
+        let mapping = Mapping::from_clusters(vec![
+            ("c_X".to_string(), vec![f("X")]),
+            ("c_Y".to_string(), vec![f("Y")]),
+            ("c_Z".to_string(), vec![f("Z")]),
+        ]);
+        let bags = collect_bags(&schemas, &mapping);
+        assert_eq!(bags.len(), 2); // Outer {X,Y,Z} and Inner {X,Y} both kept
+    }
+
+    #[test]
+    fn unmapped_fields_are_skipped() {
+        let a = SchemaTree::build("a", vec![node("G", vec![leaf("X"), leaf("Y")])]).unwrap();
+        let schemas = [a];
+        let x = {
+            let t = &schemas[0];
+            let id = t
+                .descendant_leaves(NodeId::ROOT)
+                .into_iter()
+                .find(|&l| t.node(l).label_str() == "X")
+                .unwrap();
+            FieldRef::new(0, id)
+        };
+        let mapping = Mapping::from_clusters(vec![("c_X".to_string(), vec![x])]);
+        let bags = collect_bags(&schemas, &mapping);
+        assert_eq!(bags.len(), 1);
+        assert_eq!(bags[0].clusters.len(), 1);
+    }
+
+    #[test]
+    fn bag_of_node_matches_collect() {
+        let a = SchemaTree::build("a", vec![node("G", vec![leaf("X"), leaf("Y")])]).unwrap();
+        let schemas = [a];
+        let f = |l: &str| {
+            let t = &schemas[0];
+            let id = t
+                .descendant_leaves(NodeId::ROOT)
+                .into_iter()
+                .find(|&x| t.node(x).label_str() == l)
+                .unwrap();
+            FieldRef::new(0, id)
+        };
+        let mapping = Mapping::from_clusters(vec![
+            ("c_X".to_string(), vec![f("X")]),
+            ("c_Y".to_string(), vec![f("Y")]),
+        ]);
+        let g = schemas[0].internal_nodes().next().unwrap().id;
+        let bag = bag_of_node(&schemas[0], 0, g, &mapping);
+        assert_eq!(bag, vec![ClusterId(0), ClusterId(1)]);
+    }
+}

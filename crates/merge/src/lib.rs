@@ -1,0 +1,488 @@
+//! Structural merge of ordered schema trees (the paper's reference \[8\]:
+//! Dragut, Wu, Sistla, Yu, Meng — *Merging source query interfaces on web
+//! databases*, ICDE 2006).
+//!
+//! The labeling paper builds on a merge algorithm with two guarantees
+//! (§2.3):
+//!
+//! 1. all ancestor–descendant relationships of the individual schema trees
+//!    are preserved (under laminarity constraints), and
+//! 2. the grouping constraints are satisfied as much as possible.
+//!
+//! This crate reproduces that substrate. Every internal node of every
+//! source schema contributes a *bag*: the set of clusters its descendant
+//! fields map to. The deduplicated bags are arranged into a laminar family
+//! greedily (largest, then most frequent, first; partially overlapping
+//! bags are dropped), which yields the internal-node skeleton of the
+//! integrated tree; every cluster becomes one leaf attached under the
+//! smallest bag containing it. Sibling order follows the average
+//! normalized position of the member fields on the source interfaces, so
+//! the integrated interface reads in the order users saw fields on the
+//! sources.
+//!
+//! The output is an *unlabeled* [`Integrated`] interface — assigning
+//! meaningful labels is precisely the job of `qi-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use qi_schema::{SchemaTree, spec::{leaf, node}};
+//! use qi_mapping::{Mapping, FieldRef, expand_one_to_many};
+//! use qi_merge::merge;
+//!
+//! let a = SchemaTree::build("a", vec![node("Trip", vec![leaf("From"), leaf("To")])]).unwrap();
+//! let b = SchemaTree::build("b", vec![leaf("Departing from"), leaf("Going to")]).unwrap();
+//! let (al, bl) = (
+//!     a.descendant_leaves(qi_schema::NodeId::ROOT),
+//!     b.descendant_leaves(qi_schema::NodeId::ROOT),
+//! );
+//! let mut mapping = Mapping::from_clusters(vec![
+//!     ("c_From".into(), vec![FieldRef::new(0, al[0]), FieldRef::new(1, bl[0])]),
+//!     ("c_To".into(),   vec![FieldRef::new(0, al[1]), FieldRef::new(1, bl[1])]),
+//! ]);
+//! let mut schemas = vec![a, b];
+//! expand_one_to_many(&mut schemas, &mut mapping);
+//! let integrated = merge(&schemas, &mapping);
+//! assert_eq!(integrated.tree.leaves().count(), 2);
+//! // The "Trip" grouping of schema `a` covers *all* clusters, so it
+//! // coincides with the integrated root rather than adding a redundant
+//! // single wrapper group.
+//! assert_eq!(integrated.tree.internal_nodes().count(), 0);
+//! ```
+
+pub mod bags;
+pub mod order;
+
+use bags::{collect_bags, Bag};
+use order::cluster_positions;
+use qi_mapping::{ClusterId, Integrated, Mapping};
+use qi_schema::{NodeId, SchemaTree, Widget};
+use std::collections::BTreeMap;
+
+/// Merge the source schemas into an integrated interface.
+///
+/// Expects a 1:1 mapping (run [`qi_mapping::expand_one_to_many`] first);
+/// violations are a caller bug and panic in debug builds via the
+/// validation inside `collect_bags`.
+pub fn merge(schemas: &[SchemaTree], mapping: &Mapping) -> Integrated {
+    let all: Vec<ClusterId> = mapping.clusters.iter().map(|c| c.id).collect();
+    let bags = collect_bags(schemas, mapping);
+    let skeleton = build_laminar_family(&bags, all.len());
+    let positions = cluster_positions(schemas, mapping);
+    build_tree(schemas, mapping, &all, &skeleton, &positions)
+}
+
+/// One node of the laminar skeleton: a bag and its children (indices into
+/// the skeleton vector). Index 0 is the implicit root (all clusters).
+#[derive(Debug, Clone)]
+struct SkeletonNode {
+    clusters: Vec<ClusterId>,
+    children: Vec<usize>,
+}
+
+/// Greedily arrange the bags into a laminar family under an implicit root.
+fn build_laminar_family(bags: &[Bag], total_clusters: usize) -> Vec<SkeletonNode> {
+    let mut skeleton = vec![SkeletonNode {
+        clusters: Vec::new(), // root: represents "everything"
+        children: Vec::new(),
+    }];
+    for bag in bags {
+        // A bag covering every cluster coincides with the root.
+        if bag.clusters.len() >= total_clusters {
+            continue;
+        }
+        insert_bag(&mut skeleton, bag);
+    }
+    skeleton
+}
+
+/// Insert a bag under the smallest node that contains it, unless it
+/// partially overlaps an existing sibling (laminarity conflict → the bag
+/// is dropped: "grouping constraints satisfied as much as possible").
+fn insert_bag(skeleton: &mut Vec<SkeletonNode>, bag: &Bag) {
+    let mut parent = 0usize;
+    loop {
+        let mut descended = false;
+        for &child in &skeleton[parent].children {
+            let child_set = &skeleton[child].clusters;
+            if contains(child_set, &bag.clusters) {
+                parent = child;
+                descended = true;
+                break;
+            }
+        }
+        if !descended {
+            break;
+        }
+    }
+    // Check overlap with the chosen parent's children.
+    for &child in &skeleton[parent].children {
+        if overlaps_partially(&skeleton[child].clusters, &bag.clusters) {
+            return; // conflict — drop this bag
+        }
+    }
+    // Equal to an existing child? (bags are deduped, but a child could
+    // equal the bag if inserted via a different path) — drop.
+    if skeleton[parent]
+        .children
+        .iter()
+        .any(|&c| skeleton[c].clusters == bag.clusters)
+    {
+        return;
+    }
+    let idx = skeleton.len();
+    skeleton.push(SkeletonNode {
+        clusters: bag.clusters.clone(),
+        children: Vec::new(),
+    });
+    // Children of `parent` that are subsets of the new bag move under it.
+    let (moved, kept): (Vec<usize>, Vec<usize>) = skeleton[parent]
+        .children
+        .clone()
+        .into_iter()
+        .partition(|&c| contains(&bag.clusters, &skeleton[c].clusters));
+    skeleton[parent].children = kept;
+    skeleton[idx].children = moved;
+    skeleton[parent].children.push(idx);
+}
+
+/// `outer ⊇ inner` on sorted cluster vectors.
+fn contains(outer: &[ClusterId], inner: &[ClusterId]) -> bool {
+    inner.iter().all(|c| outer.binary_search(c).is_ok())
+}
+
+/// Non-empty intersection without containment either way.
+fn overlaps_partially(a: &[ClusterId], b: &[ClusterId]) -> bool {
+    let inter = a.iter().filter(|c| b.binary_search(c).is_ok()).count();
+    inter > 0 && inter < a.len() && inter < b.len()
+}
+
+/// Materialize the integrated [`SchemaTree`] from the skeleton.
+fn build_tree(
+    schemas: &[SchemaTree],
+    mapping: &Mapping,
+    all: &[ClusterId],
+    skeleton: &[SkeletonNode],
+    positions: &BTreeMap<ClusterId, f64>,
+) -> Integrated {
+    // Attach every cluster to the smallest skeleton node containing it.
+    let mut attach: BTreeMap<ClusterId, usize> = BTreeMap::new();
+    for &cluster in all {
+        let mut node = 0usize;
+        loop {
+            let next = skeleton[node]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| skeleton[c].clusters.binary_search(&cluster).is_ok());
+            match next {
+                Some(n) => node = n,
+                None => break,
+            }
+        }
+        attach.insert(cluster, node);
+    }
+    let mut tree = SchemaTree::new("integrated");
+    let mut leaf_cluster: BTreeMap<NodeId, ClusterId> = BTreeMap::new();
+    emit(
+        0,
+        NodeId::ROOT,
+        schemas,
+        mapping,
+        skeleton,
+        &attach,
+        positions,
+        &mut tree,
+        &mut leaf_cluster,
+    );
+    Integrated { tree, leaf_cluster }
+}
+
+/// Child of a skeleton node during ordering: either a sub-skeleton node or
+/// a directly attached cluster leaf.
+enum Child {
+    Skeleton(usize),
+    Leaf(ClusterId),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    skeleton_idx: usize,
+    parent: NodeId,
+    schemas: &[SchemaTree],
+    mapping: &Mapping,
+    skeleton: &[SkeletonNode],
+    attach: &BTreeMap<ClusterId, usize>,
+    positions: &BTreeMap<ClusterId, f64>,
+    tree: &mut SchemaTree,
+    leaf_cluster: &mut BTreeMap<NodeId, ClusterId>,
+) {
+    let mut children: Vec<(f64, Child)> = Vec::new();
+    for &sub in &skeleton[skeleton_idx].children {
+        let pos = skeleton[sub]
+            .clusters
+            .iter()
+            .filter_map(|c| positions.get(c))
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        children.push((pos, Child::Skeleton(sub)));
+    }
+    for (&cluster, &at) in attach {
+        if at == skeleton_idx {
+            let pos = positions.get(&cluster).copied().unwrap_or(1.0);
+            children.push((pos, Child::Leaf(cluster)));
+        }
+    }
+    children.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    for (_, child) in children {
+        match child {
+            Child::Skeleton(sub) => {
+                let id = tree.add_internal(parent, None);
+                emit(
+                    sub,
+                    id,
+                    schemas,
+                    mapping,
+                    skeleton,
+                    attach,
+                    positions,
+                    tree,
+                    leaf_cluster,
+                );
+            }
+            Child::Leaf(cluster) => {
+                let (widget, instances) = leaf_payload(schemas, mapping, cluster);
+                let id = tree.add_leaf_full(parent, None, widget, instances);
+                leaf_cluster.insert(id, cluster);
+            }
+        }
+    }
+}
+
+/// Widget and instance domain for an integrated leaf: the most common
+/// member widget and the union of member instance domains (the domain
+/// computation of \[12\], which the paper defers to).
+fn leaf_payload(
+    schemas: &[SchemaTree],
+    mapping: &Mapping,
+    cluster: ClusterId,
+) -> (Widget, Vec<String>) {
+    let mut widget_votes: BTreeMap<&'static str, (usize, Widget)> = BTreeMap::new();
+    let mut instances: Vec<String> = Vec::new();
+    for member in &mapping.cluster(cluster).members {
+        let node = schemas[member.schema].node(member.node);
+        if let qi_schema::NodeKind::Leaf { widget, instances: inst } = &node.kind {
+            let key = match widget {
+                Widget::TextBox => "text",
+                Widget::SelectList => "select",
+                Widget::RadioButtons => "radio",
+                Widget::CheckBoxes => "check",
+            };
+            let entry = widget_votes.entry(key).or_insert((0, *widget));
+            entry.0 += 1;
+            for i in inst {
+                if !instances.contains(i) {
+                    instances.push(i.clone());
+                }
+            }
+        }
+    }
+    let widget = widget_votes
+        .values()
+        .max_by_key(|(count, _)| *count)
+        .map(|&(_, w)| w)
+        .unwrap_or_default();
+    (widget, instances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_mapping::FieldRef;
+    use qi_schema::spec::{leaf, node, select};
+
+    fn field(schemas: &[SchemaTree], schema: usize, label: &str) -> FieldRef {
+        let tree = &schemas[schema];
+        let id = tree
+            .descendant_leaves(NodeId::ROOT)
+            .into_iter()
+            .find(|&l| tree.node(l).label_str() == label)
+            .unwrap_or_else(|| panic!("{label} not in schema {schema}"));
+        FieldRef::new(schema, id)
+    }
+
+    /// Two airline-ish schemas with compatible grouping.
+    fn sample() -> (Vec<SchemaTree>, Mapping) {
+        let a = SchemaTree::build(
+            "a",
+            vec![
+                node("Trip", vec![leaf("From"), leaf("To")]),
+                node("Who", vec![leaf("Adults"), leaf("Children")]),
+            ],
+        )
+        .unwrap();
+        let b = SchemaTree::build(
+            "b",
+            vec![
+                node("Route", vec![leaf("Departing from"), leaf("Going to")]),
+                leaf("Seniors"),
+            ],
+        )
+        .unwrap();
+        let schemas = vec![a, b];
+        let mapping = Mapping::from_clusters(vec![
+            (
+                "c_From".to_string(),
+                vec![field(&schemas, 0, "From"), field(&schemas, 1, "Departing from")],
+            ),
+            (
+                "c_To".to_string(),
+                vec![field(&schemas, 0, "To"), field(&schemas, 1, "Going to")],
+            ),
+            ("c_Adult".to_string(), vec![field(&schemas, 0, "Adults")]),
+            ("c_Child".to_string(), vec![field(&schemas, 0, "Children")]),
+            ("c_Senior".to_string(), vec![field(&schemas, 1, "Seniors")]),
+        ]);
+        (schemas, mapping)
+    }
+
+    #[test]
+    fn merge_preserves_groups() {
+        let (schemas, mapping) = sample();
+        mapping.validate(&schemas).unwrap();
+        let integrated = merge(&schemas, &mapping);
+        assert_eq!(integrated.tree.leaves().count(), 5);
+        let partition = integrated.partition();
+        // {From,To} group; {Adults,Children,Seniors}? Seniors is grouped
+        // with Adults/Children only if some source groups it with them —
+        // none does, so it lands at the root.
+        assert_eq!(partition.groups.len(), 2);
+        let mut sizes: Vec<usize> = partition.groups.iter().map(|g| g.clusters.len()).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![2, 2]);
+        assert_eq!(partition.root.len(), 1);
+    }
+
+    #[test]
+    fn merge_keeps_source_field_order() {
+        let (schemas, mapping) = sample();
+        let integrated = merge(&schemas, &mapping);
+        let leaves = integrated.tree.descendant_leaves(NodeId::ROOT);
+        let concepts: Vec<&str> = leaves
+            .iter()
+            .map(|&l| {
+                let c = integrated.cluster_of_leaf(l).unwrap();
+                mapping.cluster(c).concept.as_str()
+            })
+            .collect();
+        // Trip fields first (they come first on both sources), then the
+        // passenger fields.
+        assert_eq!(concepts[0], "c_From");
+        assert_eq!(concepts[1], "c_To");
+    }
+
+    #[test]
+    fn ancestor_descendant_preserved() {
+        // Schema with nested structure: Where > (City, State); a second
+        // flat schema must not break the nesting.
+        let a = SchemaTree::build(
+            "a",
+            vec![node(
+                "Where",
+                vec![node("Fine", vec![leaf("City")]), leaf("State")],
+            )],
+        )
+        .unwrap();
+        let b = SchemaTree::build("b", vec![leaf("City"), leaf("State"), leaf("Price")]).unwrap();
+        let schemas = vec![a, b];
+        let mapping = Mapping::from_clusters(vec![
+            (
+                "c_City".to_string(),
+                vec![field(&schemas, 0, "City"), field(&schemas, 1, "City")],
+            ),
+            (
+                "c_State".to_string(),
+                vec![field(&schemas, 0, "State"), field(&schemas, 1, "State")],
+            ),
+            ("c_Price".to_string(), vec![field(&schemas, 1, "Price")]),
+        ]);
+        let integrated = merge(&schemas, &mapping);
+        let city = integrated
+            .leaf_of_cluster(qi_mapping::ClusterId(0))
+            .unwrap();
+        let state = integrated
+            .leaf_of_cluster(qi_mapping::ClusterId(1))
+            .unwrap();
+        // City sits strictly deeper than State (Fine ⊂ Where preserved).
+        assert!(integrated.tree.node_depth(city) > integrated.tree.node_depth(state));
+        // And both are under a common internal node (Where).
+        let lca = integrated.tree.lca(&[city, state]);
+        assert_ne!(lca, NodeId::ROOT);
+    }
+
+    #[test]
+    fn conflicting_groupings_drop_smaller_bag() {
+        // Schema a groups {X,Y}; schema b groups {Y,Z}: partial overlap.
+        let a = SchemaTree::build("a", vec![node("G1", vec![leaf("X"), leaf("Y")])]).unwrap();
+        let b = SchemaTree::build("b", vec![node("G2", vec![leaf("Y"), leaf("Z")])]).unwrap();
+        let schemas = vec![a, b];
+        let mapping = Mapping::from_clusters(vec![
+            ("c_X".to_string(), vec![field(&schemas, 0, "X")]),
+            (
+                "c_Y".to_string(),
+                vec![field(&schemas, 0, "Y"), field(&schemas, 1, "Y")],
+            ),
+            ("c_Z".to_string(), vec![field(&schemas, 1, "Z")]),
+        ]);
+        let integrated = merge(&schemas, &mapping);
+        // Exactly one of the two groupings survives; the third leaf is at
+        // the root.
+        let partition = integrated.partition();
+        assert_eq!(partition.groups.len(), 1);
+        assert_eq!(partition.groups[0].clusters.len(), 2);
+        assert_eq!(partition.root.len(), 1);
+    }
+
+    #[test]
+    fn instances_and_widget_are_unioned() {
+        let a = SchemaTree::build("a", vec![select("Format", &["hardcover", "paperback"])])
+            .unwrap();
+        let b = SchemaTree::build("b", vec![select("Binding", &["paperback", "audio"])]).unwrap();
+        let schemas = vec![a, b];
+        let mapping = Mapping::from_clusters(vec![(
+            "c_Format".to_string(),
+            vec![field(&schemas, 0, "Format"), field(&schemas, 1, "Binding")],
+        )]);
+        let integrated = merge(&schemas, &mapping);
+        let leaf_id = integrated.leaf_of_cluster(qi_mapping::ClusterId(0)).unwrap();
+        let node = integrated.tree.node(leaf_id);
+        assert_eq!(node.instances(), &["hardcover", "paperback", "audio"]);
+        match node.kind {
+            qi_schema::NodeKind::Leaf { widget, .. } => {
+                assert_eq!(widget, Widget::SelectList)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn merge_of_single_flat_schema_is_flat() {
+        let a = SchemaTree::build("a", vec![leaf("X"), leaf("Y")]).unwrap();
+        let schemas = vec![a];
+        let mapping = Mapping::from_clusters(vec![
+            ("c_X".to_string(), vec![field(&schemas, 0, "X")]),
+            ("c_Y".to_string(), vec![field(&schemas, 0, "Y")]),
+        ]);
+        let integrated = merge(&schemas, &mapping);
+        assert_eq!(integrated.tree.internal_nodes().count(), 0);
+        assert_eq!(integrated.tree.root_leaves().len(), 2);
+    }
+
+    #[test]
+    fn integrated_leaves_are_unlabeled() {
+        let (schemas, mapping) = sample();
+        let integrated = merge(&schemas, &mapping);
+        for leaf in integrated.tree.leaves() {
+            assert!(leaf.label.is_none());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Sibling ordering: average normalized positions of fields.
+
+use qi_mapping::{ClusterId, Mapping};
+use qi_schema::{NodeId, SchemaTree};
+use std::collections::BTreeMap;
+
+/// For every cluster, the average normalized document-order position
+/// (0.0 = first field, →1.0 = last field) of its member fields across the
+/// source interfaces. Integrated siblings are ordered by this value, so
+/// the merged interface reads in the order users saw the fields.
+pub fn cluster_positions(
+    schemas: &[SchemaTree],
+    mapping: &Mapping,
+) -> BTreeMap<ClusterId, f64> {
+    // Per-schema positions of all leaves.
+    let mut leaf_pos: Vec<BTreeMap<NodeId, f64>> = Vec::with_capacity(schemas.len());
+    for tree in schemas {
+        let leaves = tree.descendant_leaves(NodeId::ROOT);
+        let denom = leaves.len().max(1) as f64;
+        leaf_pos.push(
+            leaves
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (l, i as f64 / denom))
+                .collect(),
+        );
+    }
+    let mut out = BTreeMap::new();
+    for cluster in &mapping.clusters {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for member in &cluster.members {
+            if let Some(&p) = leaf_pos
+                .get(member.schema)
+                .and_then(|m| m.get(&member.node))
+            {
+                sum += p;
+                count += 1;
+            }
+        }
+        let avg = if count == 0 { 1.0 } else { sum / count as f64 };
+        out.insert(cluster.id, avg);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_mapping::FieldRef;
+    use qi_schema::spec::leaf;
+
+    #[test]
+    fn positions_reflect_document_order() {
+        let a = SchemaTree::build("a", vec![leaf("X"), leaf("Y"), leaf("Z")]).unwrap();
+        let leaves = a.descendant_leaves(NodeId::ROOT);
+        let schemas = vec![a];
+        let mapping = Mapping::from_clusters(vec![
+            ("c_X".to_string(), vec![FieldRef::new(0, leaves[0])]),
+            ("c_Y".to_string(), vec![FieldRef::new(0, leaves[1])]),
+            ("c_Z".to_string(), vec![FieldRef::new(0, leaves[2])]),
+        ]);
+        let pos = cluster_positions(&schemas, &mapping);
+        assert!(pos[&ClusterId(0)] < pos[&ClusterId(1)]);
+        assert!(pos[&ClusterId(1)] < pos[&ClusterId(2)]);
+    }
+
+    #[test]
+    fn averaging_across_schemas() {
+        let a = SchemaTree::build("a", vec![leaf("X"), leaf("Y")]).unwrap();
+        let b = SchemaTree::build("b", vec![leaf("Y"), leaf("X")]).unwrap();
+        let al = a.descendant_leaves(NodeId::ROOT);
+        let bl = b.descendant_leaves(NodeId::ROOT);
+        let schemas = vec![a, b];
+        let mapping = Mapping::from_clusters(vec![
+            (
+                "c_X".to_string(),
+                vec![FieldRef::new(0, al[0]), FieldRef::new(1, bl[1])],
+            ),
+            (
+                "c_Y".to_string(),
+                vec![FieldRef::new(0, al[1]), FieldRef::new(1, bl[0])],
+            ),
+        ]);
+        let pos = cluster_positions(&schemas, &mapping);
+        // Both average to 0.25: ties are fine — the merge sorts stably by
+        // cluster id through the BTreeMap iteration.
+        assert!((pos[&ClusterId(0)] - pos[&ClusterId(1)]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memberless_cluster_sorts_last() {
+        let a = SchemaTree::build("a", vec![leaf("X")]).unwrap();
+        let al = a.descendant_leaves(NodeId::ROOT);
+        let schemas = vec![a];
+        let mapping = Mapping::from_clusters(vec![
+            ("c_X".to_string(), vec![FieldRef::new(0, al[0])]),
+            ("c_Empty".to_string(), Vec::<FieldRef>::new()),
+        ]);
+        let pos = cluster_positions(&schemas, &mapping);
+        assert_eq!(pos[&ClusterId(1)], 1.0);
+        assert!(pos[&ClusterId(0)] < pos[&ClusterId(1)]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Structural diff between two schema trees.
+//!
+//! Compares trees positionally (same child order — the order the merge
+//! emits is deterministic) and reports label changes, widget/instance
+//! changes, and inserted/removed subtrees. Built for the golden-snapshot
+//! workflow and for comparing the integrated interfaces two policies
+//! produce.
+
+use crate::node::{NodeId, NodeKind};
+use crate::tree::SchemaTree;
+
+/// One difference between two trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Difference {
+    /// Interface names differ.
+    Name {
+        /// Left name.
+        left: String,
+        /// Right name.
+        right: String,
+    },
+    /// Same position, different label.
+    Label {
+        /// Path of child indices from the root.
+        path: Vec<usize>,
+        /// Left label (`None` = unlabeled).
+        left: Option<String>,
+        /// Right label.
+        right: Option<String>,
+    },
+    /// Same position, one side is a field and the other a group.
+    Kind {
+        /// Path of child indices from the root.
+        path: Vec<usize>,
+    },
+    /// Same position, both fields, different widget or instances.
+    FieldPayload {
+        /// Path of child indices from the root.
+        path: Vec<usize>,
+    },
+    /// The left tree has extra children at this position.
+    RemovedChildren {
+        /// Path of the parent.
+        path: Vec<usize>,
+        /// How many extra children the left side has.
+        count: usize,
+    },
+    /// The right tree has extra children at this position.
+    AddedChildren {
+        /// Path of the parent.
+        path: Vec<usize>,
+        /// How many extra children the right side has.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for Difference {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn fmt_path(path: &[usize]) -> String {
+            if path.is_empty() {
+                "/".to_string()
+            } else {
+                path.iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/")
+            }
+        }
+        match self {
+            Difference::Name { left, right } => {
+                write!(f, "interface name: {left:?} vs {right:?}")
+            }
+            Difference::Label { path, left, right } => write!(
+                f,
+                "label at {}: {:?} vs {:?}",
+                fmt_path(path),
+                left.as_deref().unwrap_or("∅"),
+                right.as_deref().unwrap_or("∅")
+            ),
+            Difference::Kind { path } => {
+                write!(f, "node kind differs at {}", fmt_path(path))
+            }
+            Difference::FieldPayload { path } => {
+                write!(f, "field widget/instances differ at {}", fmt_path(path))
+            }
+            Difference::RemovedChildren { path, count } => {
+                write!(f, "{count} children removed under {}", fmt_path(path))
+            }
+            Difference::AddedChildren { path, count } => {
+                write!(f, "{count} children added under {}", fmt_path(path))
+            }
+        }
+    }
+}
+
+/// Compute the differences between two trees. Empty = identical (up to
+/// node ids, which are arena artifacts).
+pub fn diff(left: &SchemaTree, right: &SchemaTree) -> Vec<Difference> {
+    let mut out = Vec::new();
+    if left.name() != right.name() {
+        out.push(Difference::Name {
+            left: left.name().to_string(),
+            right: right.name().to_string(),
+        });
+    }
+    diff_children(left, NodeId::ROOT, right, NodeId::ROOT, &mut Vec::new(), &mut out);
+    out
+}
+
+fn diff_children(
+    left: &SchemaTree,
+    left_id: NodeId,
+    right: &SchemaTree,
+    right_id: NodeId,
+    path: &mut Vec<usize>,
+    out: &mut Vec<Difference>,
+) {
+    let left_children = left.children(left_id);
+    let right_children = right.children(right_id);
+    let common = left_children.len().min(right_children.len());
+    for i in 0..common {
+        path.push(i);
+        diff_node(left, left_children[i], right, right_children[i], path, out);
+        path.pop();
+    }
+    if left_children.len() > common {
+        out.push(Difference::RemovedChildren {
+            path: path.clone(),
+            count: left_children.len() - common,
+        });
+    }
+    if right_children.len() > common {
+        out.push(Difference::AddedChildren {
+            path: path.clone(),
+            count: right_children.len() - common,
+        });
+    }
+}
+
+fn diff_node(
+    left: &SchemaTree,
+    left_id: NodeId,
+    right: &SchemaTree,
+    right_id: NodeId,
+    path: &mut Vec<usize>,
+    out: &mut Vec<Difference>,
+) {
+    let l = left.node(left_id);
+    let r = right.node(right_id);
+    if l.label != r.label {
+        out.push(Difference::Label {
+            path: path.clone(),
+            left: l.label.clone(),
+            right: r.label.clone(),
+        });
+    }
+    match (&l.kind, &r.kind) {
+        (NodeKind::Internal, NodeKind::Internal) => {
+            diff_children(left, left_id, right, right_id, path, out);
+        }
+        (
+            NodeKind::Leaf {
+                widget: lw,
+                instances: li,
+            },
+            NodeKind::Leaf {
+                widget: rw,
+                instances: ri,
+            },
+        ) => {
+            if lw != rw || li != ri {
+                out.push(Difference::FieldPayload { path: path.clone() });
+            }
+        }
+        _ => out.push(Difference::Kind { path: path.clone() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{leaf, node, select, unlabeled_leaf};
+
+    fn base() -> SchemaTree {
+        SchemaTree::build(
+            "t",
+            vec![
+                node("G", vec![leaf("A"), leaf("B")]),
+                select("S", &["x", "y"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_trees_have_no_diff() {
+        assert!(diff(&base(), &base()).is_empty());
+    }
+
+    #[test]
+    fn label_change_is_reported_with_path() {
+        let other = SchemaTree::build(
+            "t",
+            vec![
+                node("G", vec![leaf("A"), leaf("B2")]),
+                select("S", &["x", "y"]),
+            ],
+        )
+        .unwrap();
+        let differences = diff(&base(), &other);
+        assert_eq!(differences.len(), 1);
+        match &differences[0] {
+            Difference::Label { path, left, right } => {
+                assert_eq!(path, &vec![0, 1]);
+                assert_eq!(left.as_deref(), Some("B"));
+                assert_eq!(right.as_deref(), Some("B2"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(differences[0].to_string().contains("0/1"));
+    }
+
+    #[test]
+    fn unlabeled_vs_labeled() {
+        let other = SchemaTree::build(
+            "t",
+            vec![
+                node("G", vec![leaf("A"), unlabeled_leaf()]),
+                select("S", &["x", "y"]),
+            ],
+        )
+        .unwrap();
+        let differences = diff(&base(), &other);
+        assert!(matches!(
+            &differences[0],
+            Difference::Label { right: None, .. }
+        ));
+    }
+
+    #[test]
+    fn kind_and_payload_changes() {
+        let kind_change = SchemaTree::build(
+            "t",
+            vec![leaf("G"), select("S", &["x", "y"])],
+        )
+        .unwrap();
+        let differences = diff(&base(), &kind_change);
+        assert!(differences.iter().any(|d| matches!(d, Difference::Kind { .. })));
+        let payload_change = SchemaTree::build(
+            "t",
+            vec![node("G", vec![leaf("A"), leaf("B")]), select("S", &["x"])],
+        )
+        .unwrap();
+        let differences = diff(&base(), &payload_change);
+        assert!(differences
+            .iter()
+            .any(|d| matches!(d, Difference::FieldPayload { .. })));
+    }
+
+    #[test]
+    fn added_and_removed_children() {
+        let extra = SchemaTree::build(
+            "t",
+            vec![
+                node("G", vec![leaf("A"), leaf("B"), leaf("C")]),
+                select("S", &["x", "y"]),
+            ],
+        )
+        .unwrap();
+        let differences = diff(&base(), &extra);
+        assert!(matches!(
+            &differences[0],
+            Difference::AddedChildren { path, count: 1 } if path == &vec![0]
+        ));
+        let differences = diff(&extra, &base());
+        assert!(matches!(
+            &differences[0],
+            Difference::RemovedChildren { count: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn name_change() {
+        let renamed = SchemaTree::build(
+            "other",
+            vec![
+                node("G", vec![leaf("A"), leaf("B")]),
+                select("S", &["x", "y"]),
+            ],
+        )
+        .unwrap();
+        let differences = diff(&base(), &renamed);
+        assert!(matches!(&differences[0], Difference::Name { .. }));
+    }
+}

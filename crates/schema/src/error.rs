@@ -1,0 +1,45 @@
+//! Schema construction and validation errors.
+
+use crate::node::NodeId;
+
+/// Errors raised while building or validating a schema tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The tree has no fields at all.
+    NoFields,
+    /// A leaf node was given children.
+    LeafWithChildren(NodeId),
+    /// A node's parent pointer does not match the parent's child list.
+    BrokenParentLink(NodeId),
+    /// An interface name is empty.
+    EmptyName,
+    /// A label is present but blank after trimming.
+    BlankLabel(NodeId),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::NoFields => write!(f, "schema tree has no fields"),
+            SchemaError::LeafWithChildren(id) => write!(f, "leaf node {id} has children"),
+            SchemaError::BrokenParentLink(id) => write!(f, "node {id} has a broken parent link"),
+            SchemaError::EmptyName => write!(f, "interface name is empty"),
+            SchemaError::BlankLabel(id) => write!(f, "node {id} has a blank label"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(SchemaError::NoFields.to_string(), "schema tree has no fields");
+        assert!(SchemaError::LeafWithChildren(NodeId(2))
+            .to_string()
+            .contains("n2"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Render a schema tree as a semantic HTML form.
+//!
+//! The whole point of the paper is producing an interface a user can
+//! actually read; this module materializes a labeled (integrated) schema
+//! tree as accessible HTML: groups become `<fieldset>`/`<legend>`, fields
+//! become `<label>` + `<input>`/`<select>`, unlabeled fields fall back to
+//! an `aria-label` derived from their instances. Output is deterministic
+//! and escaped.
+
+use crate::node::{NodeId, NodeKind, Widget};
+use crate::tree::SchemaTree;
+
+/// Escape text for HTML element content and attribute values.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Stable, readable id for a field.
+fn field_id(tree: &SchemaTree, id: NodeId) -> String {
+    let label = tree.node(id).label_str();
+    let mut slug = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+        } else if !slug.ends_with('-') && !slug.is_empty() {
+            slug.push('-');
+        }
+    }
+    let slug = slug.trim_matches('-').to_string();
+    if slug.is_empty() {
+        format!("field-{}", id.0)
+    } else {
+        format!("{slug}-{}", id.0)
+    }
+}
+
+/// Render the tree as an HTML `<form>` fragment.
+pub fn render_form(tree: &SchemaTree) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<form class=\"qi-form\" data-interface=\"{}\">\n",
+        escape(tree.name())
+    ));
+    for &child in tree.children(NodeId::ROOT) {
+        render_node(tree, child, 1, &mut out);
+    }
+    out.push_str("</form>\n");
+    out
+}
+
+fn indent(depth: usize) -> String {
+    "  ".repeat(depth)
+}
+
+fn render_node(tree: &SchemaTree, id: NodeId, depth: usize, out: &mut String) {
+    let node = tree.node(id);
+    match &node.kind {
+        NodeKind::Internal => {
+            out.push_str(&format!("{}<fieldset>\n", indent(depth)));
+            if let Some(label) = &node.label {
+                out.push_str(&format!(
+                    "{}<legend>{}</legend>\n",
+                    indent(depth + 1),
+                    escape(label)
+                ));
+            }
+            for &child in &node.children {
+                render_node(tree, child, depth + 1, out);
+            }
+            out.push_str(&format!("{}</fieldset>\n", indent(depth)));
+        }
+        NodeKind::Leaf { widget, instances } => {
+            let fid = field_id(tree, id);
+            out.push_str(&format!("{}<div class=\"qi-field\">\n", indent(depth)));
+            if let Some(label) = &node.label {
+                out.push_str(&format!(
+                    "{}<label for=\"{fid}\">{}</label>\n",
+                    indent(depth + 1),
+                    escape(label)
+                ));
+            }
+            let aria = if node.label.is_none() {
+                // Fall back to the instances so screen readers get
+                // *something* (the §7 inferable-field situation).
+                let hint = if instances.is_empty() {
+                    "unlabeled field".to_string()
+                } else {
+                    instances.join(", ")
+                };
+                format!(" aria-label=\"{}\"", escape(&hint))
+            } else {
+                String::new()
+            };
+            match widget {
+                Widget::SelectList => {
+                    out.push_str(&format!(
+                        "{}<select id=\"{fid}\" name=\"{fid}\"{aria}>\n",
+                        indent(depth + 1)
+                    ));
+                    for value in instances {
+                        out.push_str(&format!(
+                            "{}<option value=\"{}\">{}</option>\n",
+                            indent(depth + 2),
+                            escape(value),
+                            escape(value)
+                        ));
+                    }
+                    out.push_str(&format!("{}</select>\n", indent(depth + 1)));
+                }
+                Widget::RadioButtons | Widget::CheckBoxes => {
+                    let kind = if *widget == Widget::RadioButtons {
+                        "radio"
+                    } else {
+                        "checkbox"
+                    };
+                    for (i, value) in instances.iter().enumerate() {
+                        out.push_str(&format!(
+                            "{}<label><input type=\"{kind}\" name=\"{fid}\" \
+                             value=\"{}\"{}/> {}</label>\n",
+                            indent(depth + 1),
+                            escape(value),
+                            if i == 0 { &aria } else { "" },
+                            escape(value)
+                        ));
+                    }
+                    if instances.is_empty() {
+                        out.push_str(&format!(
+                            "{}<input type=\"{kind}\" id=\"{fid}\" name=\"{fid}\"{aria}/>\n",
+                            indent(depth + 1)
+                        ));
+                    }
+                }
+                Widget::TextBox => {
+                    out.push_str(&format!(
+                        "{}<input type=\"text\" id=\"{fid}\" name=\"{fid}\"{aria}/>\n",
+                        indent(depth + 1)
+                    ));
+                }
+            }
+            out.push_str(&format!("{}</div>\n", indent(depth)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{leaf, node, select, unlabeled_select};
+
+    fn sample() -> SchemaTree {
+        SchemaTree::build(
+            "demo",
+            vec![
+                node(
+                    "Trip <details>",
+                    vec![leaf("From \"city\""), select("Class & Co", &["A<B", "C>D"])],
+                ),
+                unlabeled_select(&["x", "y"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_fieldsets_labels_and_selects() {
+        let html = render_form(&sample());
+        assert!(html.starts_with("<form class=\"qi-form\" data-interface=\"demo\">"));
+        assert!(html.contains("<fieldset>"));
+        assert!(html.contains("<legend>Trip &lt;details&gt;</legend>"));
+        assert!(html.contains("<label for="));
+        assert!(html.contains("<select id="));
+        assert!(html.contains("<option value=\"A&lt;B\">A&lt;B</option>"));
+        assert!(html.ends_with("</form>\n"));
+    }
+
+    #[test]
+    fn escapes_everything() {
+        let html = render_form(&sample());
+        assert!(!html.contains("Trip <details>"));
+        assert!(!html.contains("A<B"));
+        assert!(html.contains("From &quot;city&quot;"));
+        assert!(html.contains("Class &amp; Co"));
+    }
+
+    #[test]
+    fn unlabeled_fields_get_aria_labels() {
+        let html = render_form(&sample());
+        assert!(html.contains("aria-label=\"x, y\""), "{html}");
+    }
+
+    #[test]
+    fn field_ids_are_stable_slugs() {
+        let html = render_form(&sample());
+        assert!(html.contains("id=\"from-city-"), "{html}");
+    }
+
+    #[test]
+    fn text_and_radio_widgets() {
+        let tree = SchemaTree::build(
+            "w",
+            vec![
+                leaf("Keyword"),
+                crate::spec::NodeSpec::Leaf {
+                    label: Some("Trip Type".to_string()),
+                    widget: Widget::RadioButtons,
+                    instances: vec!["One Way".to_string(), "Round Trip".to_string()],
+                },
+            ],
+        )
+        .unwrap();
+        let html = render_form(&tree);
+        assert!(html.contains("input type=\"text\""));
+        assert!(html.contains("input type=\"radio\""));
+        assert!(html.contains("value=\"One Way\""));
+    }
+}

@@ -1,0 +1,50 @@
+//! Ordered schema trees modeling Deep-Web query interfaces.
+//!
+//! Following §2 of the paper, a query interface is abstracted as an
+//! *ordered schema tree*: leaves are form fields (text boxes, selection
+//! lists, radio buttons, check boxes), internal nodes are (super)groups of
+//! semantically related fields, and sibling order mirrors the visual order
+//! of fields on the interface. Fields may carry a label and a predefined
+//! instance domain (the values of a selection list).
+//!
+//! The same representation serves both the source interfaces and the
+//! integrated interface produced by the merge algorithm (`qi-merge`).
+//!
+//! # Example
+//!
+//! ```
+//! use qi_schema::{SchemaTree, spec};
+//!
+//! // A fragment of the Vacations interface of Figure 1/2 of the paper.
+//! let tree = SchemaTree::build(
+//!     "vacations",
+//!     vec![
+//!         spec::node(
+//!             "Where and when do you want to travel?",
+//!             vec![spec::leaf("Departing from"), spec::leaf("Going to")],
+//!         ),
+//!         spec::node(
+//!             "How many people are going?",
+//!             vec![spec::leaf("Adults"), spec::leaf("Seniors"), spec::leaf("Children")],
+//!         ),
+//!     ],
+//! )
+//! .unwrap();
+//! assert_eq!(tree.leaves().count(), 5);
+//! assert_eq!(tree.stats().depth, 3);
+//! ```
+
+pub mod diff;
+pub mod error;
+pub mod html;
+pub mod node;
+pub mod spec;
+pub mod stats;
+pub mod text_format;
+pub mod tree;
+
+pub use error::SchemaError;
+pub use node::{NodeId, NodeKind, Widget};
+pub use spec::NodeSpec;
+pub use stats::{DomainStats, InterfaceStats};
+pub use tree::{LeafGroup, SchemaTree};

@@ -1,0 +1,149 @@
+//! Schema-tree nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node inside a [`crate::SchemaTree`] arena. The root is
+/// always `NodeId(0)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root node id.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The widget kind of a form field (§2 of the paper: "text boxes,
+/// selection lists, radio buttons, and check boxes ... generically called
+/// fields").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Widget {
+    /// Free-text input.
+    #[default]
+    TextBox,
+    /// Drop-down / selection list with a predefined domain.
+    SelectList,
+    /// Radio-button set.
+    RadioButtons,
+    /// Check-box (set).
+    CheckBoxes,
+}
+
+/// Payload distinguishing fields (leaves) from (super)groups (internal
+/// nodes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A form field.
+    Leaf {
+        /// Widget rendering the field.
+        widget: Widget,
+        /// Predefined instance domain, e.g. the options of a selection
+        /// list. Empty for free-text fields (the common case — see \[23\]).
+        instances: Vec<String>,
+    },
+    /// A logical (super)group of fields.
+    Internal,
+}
+
+impl NodeKind {
+    /// A leaf with no instances and the default widget.
+    pub fn plain_leaf() -> Self {
+        NodeKind::Leaf {
+            widget: Widget::TextBox,
+            instances: Vec::new(),
+        }
+    }
+
+    /// True for fields.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, NodeKind::Leaf { .. })
+    }
+}
+
+/// One node of a schema tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// This node's id (its arena index).
+    pub id: NodeId,
+    /// The label shown on the interface, if any. Fields and groups on real
+    /// interfaces are frequently unlabeled (Table 6, column LQ).
+    pub label: Option<String>,
+    /// Leaf/internal payload.
+    pub kind: NodeKind,
+    /// Parent node; `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Ordered children (visual order of the interface).
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// True for fields.
+    pub fn is_leaf(&self) -> bool {
+        self.kind.is_leaf()
+    }
+
+    /// The label, or `""` when absent.
+    pub fn label_str(&self) -> &str {
+        self.label.as_deref().unwrap_or("")
+    }
+
+    /// The predefined instance domain (empty for internal nodes and
+    /// free-text fields).
+    pub fn instances(&self) -> &[String] {
+        match &self.kind {
+            NodeKind::Leaf { instances, .. } => instances,
+            NodeKind::Internal => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_root_and_display() {
+        assert_eq!(NodeId::ROOT, NodeId(0));
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeId(3).index(), 3);
+    }
+
+    #[test]
+    fn plain_leaf_has_no_instances() {
+        let kind = NodeKind::plain_leaf();
+        assert!(kind.is_leaf());
+        match kind {
+            NodeKind::Leaf { widget, instances } => {
+                assert_eq!(widget, Widget::TextBox);
+                assert!(instances.is_empty());
+            }
+            NodeKind::Internal => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn node_accessors() {
+        let node = Node {
+            id: NodeId(1),
+            label: None,
+            kind: NodeKind::Internal,
+            parent: Some(NodeId::ROOT),
+            children: vec![],
+        };
+        assert_eq!(node.label_str(), "");
+        assert!(node.instances().is_empty());
+        assert!(!node.is_leaf());
+    }
+}

@@ -1,0 +1,133 @@
+//! Declarative construction of schema trees.
+//!
+//! The corpus crate builds 150 interfaces; a terse, readable builder
+//! matters. A tree is described by nesting [`NodeSpec`] values:
+//!
+//! ```
+//! use qi_schema::{SchemaTree, spec::{leaf, select, node, unlabeled_leaf}};
+//!
+//! let tree = SchemaTree::build(
+//!     "example",
+//!     vec![
+//!         node("Trip", vec![leaf("From"), leaf("To")]),
+//!         select("Format", &["hardcover", "paperback"]),
+//!         unlabeled_leaf(),
+//!     ],
+//! ).unwrap();
+//! assert_eq!(tree.leaves().count(), 4);
+//! ```
+
+use crate::node::Widget;
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of a subtree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeSpec {
+    /// A field.
+    Leaf {
+        /// Field label; `None` for unlabeled fields.
+        label: Option<String>,
+        /// Widget kind.
+        widget: Widget,
+        /// Predefined instance domain.
+        instances: Vec<String>,
+    },
+    /// A (super)group.
+    Internal {
+        /// Group label; `None` for unlabeled groups.
+        label: Option<String>,
+        /// Ordered children.
+        children: Vec<NodeSpec>,
+    },
+}
+
+/// A labeled free-text field.
+pub fn leaf(label: &str) -> NodeSpec {
+    NodeSpec::Leaf {
+        label: Some(label.to_string()),
+        widget: Widget::TextBox,
+        instances: Vec::new(),
+    }
+}
+
+/// An unlabeled free-text field (real interfaces have plenty — Table 6,
+/// column LQ).
+pub fn unlabeled_leaf() -> NodeSpec {
+    NodeSpec::Leaf {
+        label: None,
+        widget: Widget::TextBox,
+        instances: Vec::new(),
+    }
+}
+
+/// A labeled selection list with a predefined instance domain.
+pub fn select(label: &str, instances: &[&str]) -> NodeSpec {
+    NodeSpec::Leaf {
+        label: Some(label.to_string()),
+        widget: Widget::SelectList,
+        instances: instances.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// An unlabeled selection list with a predefined instance domain.
+pub fn unlabeled_select(instances: &[&str]) -> NodeSpec {
+    NodeSpec::Leaf {
+        label: None,
+        widget: Widget::SelectList,
+        instances: instances.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// A labeled internal node.
+pub fn node(label: &str, children: Vec<NodeSpec>) -> NodeSpec {
+    NodeSpec::Internal {
+        label: Some(label.to_string()),
+        children,
+    }
+}
+
+/// An unlabeled internal node (a visual group with no caption).
+pub fn unlabeled_node(children: Vec<NodeSpec>) -> NodeSpec {
+    NodeSpec::Internal {
+        label: None,
+        children,
+    }
+}
+
+impl NodeSpec {
+    /// Number of fields in this subtree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            NodeSpec::Leaf { .. } => 1,
+            NodeSpec::Internal { children, .. } => children.iter().map(NodeSpec::leaf_count).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(matches!(leaf("A"), NodeSpec::Leaf { label: Some(_), .. }));
+        assert!(matches!(unlabeled_leaf(), NodeSpec::Leaf { label: None, .. }));
+        let s = select("Format", &["hardcover", "paperback"]);
+        match s {
+            NodeSpec::Leaf { widget, instances, .. } => {
+                assert_eq!(widget, Widget::SelectList);
+                assert_eq!(instances.len(), 2);
+            }
+            NodeSpec::Internal { .. } => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn leaf_count_recursive() {
+        let spec = node(
+            "G",
+            vec![leaf("a"), node("H", vec![leaf("b"), leaf("c")]), unlabeled_leaf()],
+        );
+        assert_eq!(spec.leaf_count(), 4);
+    }
+}

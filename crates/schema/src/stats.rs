@@ -1,0 +1,131 @@
+//! Interface statistics (the per-domain characteristics of Table 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Shape and labeling statistics of one schema tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceStats {
+    /// Number of fields.
+    pub leaves: usize,
+    /// Number of internal nodes, excluding the root.
+    pub internal_nodes: usize,
+    /// Maximum number of nodes on a root-to-leaf path (root counted).
+    pub depth: usize,
+    /// Nodes (fields + internal, root excluded) that carry a label.
+    pub labeled: usize,
+    /// Nodes that could carry a label (everything but the root).
+    pub labelable: usize,
+}
+
+impl InterfaceStats {
+    /// The paper's LQ metric for one interface: fraction of labeled nodes.
+    pub fn labeling_quality(&self) -> f64 {
+        if self.labelable == 0 {
+            0.0
+        } else {
+            self.labeled as f64 / self.labelable as f64
+        }
+    }
+}
+
+/// Average of per-interface statistics across a domain (Table 6 columns
+/// 2–5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainStats {
+    /// Number of interfaces aggregated.
+    pub interfaces: usize,
+    /// Average number of fields per interface.
+    pub avg_leaves: f64,
+    /// Average number of internal nodes per interface.
+    pub avg_internal_nodes: f64,
+    /// Average tree depth.
+    pub avg_depth: f64,
+    /// Average labeling quality (LQ).
+    pub avg_labeling_quality: f64,
+}
+
+impl DomainStats {
+    /// Aggregate per-interface statistics.
+    pub fn aggregate(stats: &[InterfaceStats]) -> DomainStats {
+        let n = stats.len();
+        if n == 0 {
+            return DomainStats {
+                interfaces: 0,
+                avg_leaves: 0.0,
+                avg_internal_nodes: 0.0,
+                avg_depth: 0.0,
+                avg_labeling_quality: 0.0,
+            };
+        }
+        let nf = n as f64;
+        DomainStats {
+            interfaces: n,
+            avg_leaves: stats.iter().map(|s| s.leaves as f64).sum::<f64>() / nf,
+            avg_internal_nodes: stats.iter().map(|s| s.internal_nodes as f64).sum::<f64>() / nf,
+            avg_depth: stats.iter().map(|s| s.depth as f64).sum::<f64>() / nf,
+            avg_labeling_quality: stats.iter().map(InterfaceStats::labeling_quality).sum::<f64>()
+                / nf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeling_quality_ratio() {
+        let s = InterfaceStats {
+            leaves: 4,
+            internal_nodes: 2,
+            depth: 3,
+            labeled: 3,
+            labelable: 6,
+        };
+        assert!((s.labeling_quality() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labeling_quality_empty() {
+        let s = InterfaceStats {
+            leaves: 0,
+            internal_nodes: 0,
+            depth: 1,
+            labeled: 0,
+            labelable: 0,
+        };
+        assert_eq!(s.labeling_quality(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_averages() {
+        let a = InterfaceStats {
+            leaves: 10,
+            internal_nodes: 4,
+            depth: 3,
+            labeled: 10,
+            labelable: 14,
+        };
+        let b = InterfaceStats {
+            leaves: 6,
+            internal_nodes: 2,
+            depth: 2,
+            labeled: 4,
+            labelable: 8,
+        };
+        let d = DomainStats::aggregate(&[a, b]);
+        assert_eq!(d.interfaces, 2);
+        assert!((d.avg_leaves - 8.0).abs() < 1e-12);
+        assert!((d.avg_internal_nodes - 3.0).abs() < 1e-12);
+        assert!((d.avg_depth - 2.5).abs() < 1e-12);
+        let expected_lq = (10.0 / 14.0 + 0.5) / 2.0;
+        assert!((d.avg_labeling_quality - expected_lq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_empty() {
+        let d = DomainStats::aggregate(&[]);
+        assert_eq!(d.interfaces, 0);
+        assert_eq!(d.avg_leaves, 0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! A round-trippable plain-text format for schema trees.
+//!
+//! [`crate::SchemaTree::render`] is for human eyes (it truncates instance
+//! lists); this module defines a lossless serialization for versioning
+//! corpora and exchanging interfaces:
+//!
+//! ```text
+//! interface british
+//! + Where and when do you want to travel?
+//!   - Departing from
+//!   - Going to
+//! + How many people are going?
+//!   - Seniors
+//!   - ?
+//!   - Children [select] {2-11 | 12-17}
+//! ```
+//!
+//! * the header names the interface;
+//! * `+` opens an internal node, `-` a field; indentation is two spaces
+//!   per level;
+//! * `?` stands for "no label";
+//! * an optional `[select]` / `[radio]` / `[check]` widget tag and an
+//!   optional trailing `{v1 | v2 | …}` instance list decorate fields.
+//!
+//! Labels may not contain `{`, `}` or start with `?` — the corpus never
+//! needs those, and the parser rejects ambiguity instead of guessing.
+
+use crate::node::{NodeId, Widget};
+use crate::tree::SchemaTree;
+
+/// Parse errors with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn widget_tag(widget: Widget) -> Option<&'static str> {
+    match widget {
+        Widget::TextBox => None,
+        Widget::SelectList => Some("[select]"),
+        Widget::RadioButtons => Some("[radio]"),
+        Widget::CheckBoxes => Some("[check]"),
+    }
+}
+
+fn widget_from_tag(tag: &str) -> Option<Widget> {
+    match tag {
+        "[select]" => Some(Widget::SelectList),
+        "[radio]" => Some(Widget::RadioButtons),
+        "[check]" => Some(Widget::CheckBoxes),
+        _ => None,
+    }
+}
+
+/// Serialize a tree losslessly.
+pub fn render(tree: &SchemaTree) -> String {
+    let mut out = format!("interface {}\n", tree.name());
+    fn emit(tree: &SchemaTree, id: NodeId, depth: usize, out: &mut String) {
+        for &child in tree.children(id) {
+            let node = tree.node(child);
+            out.push_str(&"  ".repeat(depth));
+            out.push(if node.is_leaf() { '-' } else { '+' });
+            out.push(' ');
+            out.push_str(node.label.as_deref().unwrap_or("?"));
+            if let crate::node::NodeKind::Leaf { widget, instances } = &node.kind {
+                if let Some(tag) = widget_tag(*widget) {
+                    out.push(' ');
+                    out.push_str(tag);
+                }
+                if !instances.is_empty() {
+                    out.push_str(" {");
+                    out.push_str(&instances.join(" | "));
+                    out.push('}');
+                }
+            }
+            out.push('\n');
+            emit(tree, child, depth + 1, out);
+        }
+    }
+    emit(tree, NodeId::ROOT, 0, &mut out);
+    out
+}
+
+/// Parse the text format back into a tree (validated).
+pub fn parse(text: &str) -> Result<SchemaTree, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError {
+            line: 1,
+            message: "empty input".to_string(),
+        })?;
+    let name = header
+        .strip_prefix("interface ")
+        .ok_or_else(|| ParseError {
+            line: 1,
+            message: format!("expected `interface <name>`, got {header:?}"),
+        })?
+        .trim();
+    let mut tree = SchemaTree::new(name);
+    // Stack of (depth, node id); the root is depth -1 conceptually.
+    let mut stack: Vec<(usize, NodeId)> = vec![(usize::MAX, NodeId::ROOT)];
+    for (idx, raw) in lines {
+        let line_no = idx + 2;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let indent_chars = raw.len() - raw.trim_start_matches(' ').len();
+        if indent_chars % 2 != 0 {
+            return Err(ParseError {
+                line: line_no,
+                message: "odd indentation".to_string(),
+            });
+        }
+        let depth = indent_chars / 2;
+        let body = raw.trim_start();
+        let (marker, rest) = body.split_at(1);
+        let rest = rest.trim_start();
+        // Pop to the parent of this depth.
+        while let Some(&(d, _)) = stack.last() {
+            if d != usize::MAX && d >= depth {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        let parent = stack.last().map(|&(_, id)| id).ok_or(ParseError {
+            line: line_no,
+            message: "dangling indentation".to_string(),
+        })?;
+        if stack.len() - 1 != depth {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("indentation jumps to depth {depth}"),
+            });
+        }
+        match marker {
+            "+" => {
+                let label = parse_label(rest, line_no)?;
+                let id = tree.add_internal(parent, label.as_deref());
+                stack.push((depth, id));
+            }
+            "-" => {
+                let (label_part, instances) = split_instances(rest, line_no)?;
+                let (label_part, widget) = split_widget(label_part);
+                let label = parse_label(label_part.trim_end(), line_no)?;
+                tree.add_leaf_full(parent, label.as_deref(), widget, instances);
+            }
+            other => {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("expected `+` or `-`, got {other:?}"),
+                });
+            }
+        }
+    }
+    tree.validate().map_err(|e| ParseError {
+        line: 1,
+        message: e.to_string(),
+    })?;
+    Ok(tree)
+}
+
+fn parse_label(text: &str, line: usize) -> Result<Option<String>, ParseError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(ParseError {
+            line,
+            message: "missing label (use `?` for unlabeled)".to_string(),
+        });
+    }
+    if text == "?" {
+        return Ok(None);
+    }
+    if text.contains('{') || text.contains('}') {
+        return Err(ParseError {
+            line,
+            message: format!("label {text:?} contains braces"),
+        });
+    }
+    Ok(Some(text.to_string()))
+}
+
+fn split_instances(text: &str, line: usize) -> Result<(&str, Vec<String>), ParseError> {
+    match text.find('{') {
+        None => Ok((text, Vec::new())),
+        Some(open) => {
+            let Some(stripped) = text[open..].strip_prefix('{') else {
+                unreachable!()
+            };
+            let Some(inner) = stripped.strip_suffix('}') else {
+                return Err(ParseError {
+                    line,
+                    message: "unterminated instance list".to_string(),
+                });
+            };
+            let instances = inner
+                .split('|')
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .collect();
+            Ok((&text[..open], instances))
+        }
+    }
+}
+
+fn split_widget(text: &str) -> (&str, Widget) {
+    let trimmed = text.trim_end();
+    for tag in ["[select]", "[radio]", "[check]"] {
+        if let Some(stripped) = trimmed.strip_suffix(tag) {
+            return (stripped, widget_from_tag(tag).expect("known tag"));
+        }
+    }
+    (text, Widget::TextBox)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{leaf, node, select, unlabeled_leaf, unlabeled_node};
+
+    fn sample() -> SchemaTree {
+        SchemaTree::build(
+            "sample",
+            vec![
+                node(
+                    "Trip",
+                    vec![leaf("From"), unlabeled_leaf(), select("Class", &["Economy", "First"])],
+                ),
+                unlabeled_node(vec![leaf("Adults")]),
+                leaf("Promo Code"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_sample() {
+        let tree = sample();
+        let text = render(&tree);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, tree);
+    }
+
+    #[test]
+    fn round_trip_entire_corpus() {
+        // Every one of the 150 corpus interfaces must survive the trip.
+        for domain in qi_datasets_placeholder() {
+            let text = render(&domain);
+            let parsed = parse(&text).unwrap();
+            assert_eq!(parsed, domain);
+        }
+    }
+
+    /// The schema crate cannot depend on the corpus crate (it is the
+    /// other way around), so exercise a corpus-shaped zoo locally.
+    fn qi_datasets_placeholder() -> Vec<SchemaTree> {
+        vec![
+            sample(),
+            SchemaTree::build("flat", vec![leaf("A"), leaf("B C D")]).unwrap(),
+            SchemaTree::build(
+                "deep",
+                vec![node(
+                    "L1",
+                    vec![node("L2", vec![node("L3", vec![unlabeled_leaf()])])],
+                )],
+            )
+            .unwrap(),
+            SchemaTree::build(
+                "widgets",
+                vec![
+                    select("S", &["a b", "c-d? no"]),
+                    crate::spec::unlabeled_select(&["x"]),
+                ],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse("").unwrap_err().message.contains("empty"));
+        assert!(parse("nope\n- A").unwrap_err().message.contains("interface"));
+        let e = parse("interface x\n* A\n").unwrap_err();
+        assert!(e.message.contains("expected `+` or `-`"), "{e}");
+        let e = parse("interface x\n - A\n").unwrap_err();
+        assert!(e.message.contains("odd indentation"), "{e}");
+        let e = parse("interface x\n    - A\n").unwrap_err();
+        assert!(e.message.contains("depth"), "{e}");
+        let e = parse("interface x\n- A {a | b\n").unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+        let e = parse("interface x\n-\n").unwrap_err();
+        assert!(e.message.contains("missing label"), "{e}");
+        // Structural validation still applies.
+        let e = parse("interface x\n+ OnlyGroups\n").unwrap_err();
+        assert!(e.message.contains("no fields"), "{e}");
+    }
+
+    #[test]
+    fn pipe_in_instances_splits() {
+        // Instance values containing `|` cannot round-trip; the parser
+        // splits them (documented limitation).
+        let text = "interface x\n- F {a | b}\n";
+        let tree = parse(text).unwrap();
+        let leaf_node = tree.leaves().next().unwrap();
+        assert_eq!(leaf_node.instances(), &["a", "b"]);
+    }
+
+    #[test]
+    fn unlabeled_everything() {
+        let text = "interface x\n+ ?\n  - ?\n";
+        let tree = parse(text).unwrap();
+        assert_eq!(tree.leaves().count(), 1);
+        assert!(tree.leaves().next().unwrap().label.is_none());
+        assert_eq!(render(&tree), text);
+    }
+}

@@ -1,0 +1,538 @@
+//! The ordered schema tree and its queries.
+
+use crate::error::SchemaError;
+use crate::node::{Node, NodeId, NodeKind, Widget};
+use crate::spec::NodeSpec;
+use crate::stats::InterfaceStats;
+use serde::{Deserialize, Serialize};
+
+/// An ordered schema tree abstracting one query interface (§2.3 of the
+/// paper). Nodes live in an arena; the root (`NodeId::ROOT`) stands for
+/// the interface itself and is never labeled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaTree {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+/// A maximal set of field siblings under one non-root internal node — the
+/// paper's *group* of fields (§2.2). Groups with a single leaf are the
+/// *isolated* fields of `C_int`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafGroup {
+    /// The internal node the fields hang off.
+    pub parent: NodeId,
+    /// The fields, in interface order.
+    pub leaves: Vec<NodeId>,
+}
+
+impl SchemaTree {
+    /// Create a tree holding only the (unlabeled) root.
+    pub fn new(name: &str) -> Self {
+        SchemaTree {
+            name: name.to_string(),
+            nodes: vec![Node {
+                id: NodeId::ROOT,
+                label: None,
+                kind: NodeKind::Internal,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Build and validate a tree from declarative specs (children of the
+    /// root, in interface order).
+    pub fn build(name: &str, specs: Vec<NodeSpec>) -> Result<Self, SchemaError> {
+        let mut tree = SchemaTree::new(name);
+        for spec in specs {
+            tree.add_spec(NodeId::ROOT, &spec);
+        }
+        tree.validate()?;
+        Ok(tree)
+    }
+
+    fn add_spec(&mut self, parent: NodeId, spec: &NodeSpec) -> NodeId {
+        match spec {
+            NodeSpec::Leaf {
+                label,
+                widget,
+                instances,
+            } => self.add_leaf_full(parent, label.as_deref(), *widget, instances.clone()),
+            NodeSpec::Internal { label, children } => {
+                let id = self.add_internal(parent, label.as_deref());
+                for child in children {
+                    self.add_spec(id, child);
+                }
+                id
+            }
+        }
+    }
+
+    /// Interface name (e.g. `aa`, `british`, `economytravel`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total node count, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Never true: a tree always has its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.nodes[0]
+    }
+
+    /// Node lookup. Panics on a foreign id — ids are only valid for the
+    /// tree that created them.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in arena order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// All fields (leaves), in arena order.
+    pub fn leaves(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.is_leaf())
+    }
+
+    /// Internal nodes other than the root.
+    pub fn internal_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_leaf() && n.id != NodeId::ROOT)
+    }
+
+    /// Ordered children of a node.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Append a labeled/unlabeled internal node under `parent`.
+    pub fn add_internal(&mut self, parent: NodeId, label: Option<&str>) -> NodeId {
+        self.push_node(parent, label, NodeKind::Internal)
+    }
+
+    /// Append a plain text-box leaf under `parent`.
+    pub fn add_leaf(&mut self, parent: NodeId, label: Option<&str>) -> NodeId {
+        self.push_node(parent, label, NodeKind::plain_leaf())
+    }
+
+    /// Append a leaf with explicit widget and instance domain.
+    pub fn add_leaf_full(
+        &mut self,
+        parent: NodeId,
+        label: Option<&str>,
+        widget: Widget,
+        instances: Vec<String>,
+    ) -> NodeId {
+        self.push_node(parent, label, NodeKind::Leaf { widget, instances })
+    }
+
+    fn push_node(&mut self, parent: NodeId, label: Option<&str>, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            label: label.map(|l| l.to_string()),
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Replace a node's label.
+    pub fn set_label(&mut self, id: NodeId, label: Option<String>) {
+        self.nodes[id.index()].label = label;
+    }
+
+    /// Turn a leaf into an internal node, dropping its widget/instances.
+    /// Used by 1:m expansion (§2.1: the `Passengers` leaf becomes an
+    /// internal node whose children match the finer-grained fields).
+    pub fn convert_leaf_to_internal(&mut self, id: NodeId) {
+        debug_assert!(self.nodes[id.index()].is_leaf());
+        self.nodes[id.index()].kind = NodeKind::Internal;
+    }
+
+    /// Ids of all descendant leaves of `id` (in document order); if `id`
+    /// is itself a leaf, returns just `id`.
+    pub fn descendant_leaves(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.collect_leaves(id, &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        let node = &self.nodes[id.index()];
+        if node.is_leaf() {
+            out.push(id);
+        } else {
+            for &child in &node.children {
+                self.collect_leaves(child, out);
+            }
+        }
+    }
+
+    /// Nodes from `id`'s parent up to and including the root — the paper's
+    /// `path(e)` (§6), which excludes `e` itself.
+    pub fn path_to_root(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut current = self.nodes[id.index()].parent;
+        while let Some(p) = current {
+            out.push(p);
+            current = self.nodes[p.index()].parent;
+        }
+        out
+    }
+
+    /// Lowest common ancestor of a non-empty id set.
+    pub fn lca(&self, ids: &[NodeId]) -> NodeId {
+        assert!(!ids.is_empty(), "lca of empty set");
+        let mut acc: Vec<NodeId> = {
+            let mut path = self.path_to_root(ids[0]);
+            path.insert(0, ids[0]);
+            path
+        };
+        for &id in &ids[1..] {
+            let mut path = self.path_to_root(id);
+            path.insert(0, id);
+            acc.retain(|n| path.contains(n));
+        }
+        acc[0]
+    }
+
+    /// Depth of a node: number of nodes on the path from the root to it,
+    /// inclusive (root has depth 1).
+    pub fn node_depth(&self, id: NodeId) -> usize {
+        1 + self.path_to_root(id).len()
+    }
+
+    /// Tree depth: maximum leaf depth.
+    pub fn depth(&self) -> usize {
+        self.leaves()
+            .map(|leaf| self.node_depth(leaf.id))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Pre-order traversal (root first).
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            for &child in self.nodes[id.index()].children.iter().rev() {
+                stack.push(child);
+            }
+        }
+        out
+    }
+
+    /// Post-order traversal (root last) — the bottom-up order of the
+    /// labeling algorithm's first phase (§6).
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.postorder_into(NodeId::ROOT, &mut out);
+        out
+    }
+
+    fn postorder_into(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        for &child in &self.nodes[id.index()].children {
+            self.postorder_into(child, out);
+        }
+        out.push(id);
+    }
+
+    /// The field groups of the interface: for every non-root internal
+    /// node, its leaf children form one group (singleton groups are the
+    /// isolated fields of `C_int`).
+    pub fn leaf_groups(&self) -> Vec<LeafGroup> {
+        let mut out = Vec::new();
+        for node in self.internal_nodes() {
+            let leaves: Vec<NodeId> = node
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| self.nodes[c.index()].is_leaf())
+                .collect();
+            if !leaves.is_empty() {
+                out.push(LeafGroup {
+                    parent: node.id,
+                    leaves,
+                });
+            }
+        }
+        out
+    }
+
+    /// Fields that are direct children of the root (`C_root`).
+    pub fn root_leaves(&self) -> Vec<NodeId> {
+        self.root()
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| self.nodes[c.index()].is_leaf())
+            .collect()
+    }
+
+    /// Interface statistics (Table 6, columns 2–5 per interface).
+    pub fn stats(&self) -> InterfaceStats {
+        let leaves = self.leaves().count();
+        let internal = self.internal_nodes().count();
+        let labelable = self.nodes.len() - 1; // all but root
+        let labeled = self
+            .nodes
+            .iter()
+            .filter(|n| n.id != NodeId::ROOT && n.label.is_some())
+            .count();
+        InterfaceStats {
+            leaves,
+            internal_nodes: internal,
+            depth: self.depth(),
+            labeled,
+            labelable,
+        }
+    }
+
+    /// Structural validation; `build` runs this automatically.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if self.name.trim().is_empty() {
+            return Err(SchemaError::EmptyName);
+        }
+        if self.leaves().next().is_none() {
+            return Err(SchemaError::NoFields);
+        }
+        for node in &self.nodes {
+            if node.is_leaf() && !node.children.is_empty() {
+                return Err(SchemaError::LeafWithChildren(node.id));
+            }
+            if let Some(label) = &node.label {
+                if label.trim().is_empty() {
+                    return Err(SchemaError::BlankLabel(node.id));
+                }
+            }
+            for &child in &node.children {
+                if self.nodes[child.index()].parent != Some(node.id) {
+                    return Err(SchemaError::BrokenParentLink(child));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the tree as indented ASCII, for examples and debugging.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("[{}]\n", self.name));
+        self.render_into(NodeId::ROOT, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, id: NodeId, depth: usize, out: &mut String) {
+        if id != NodeId::ROOT {
+            let node = &self.nodes[id.index()];
+            let marker = if node.is_leaf() { "-" } else { "+" };
+            let label = node.label.as_deref().unwrap_or("(no label)");
+            out.push_str(&format!("{}{} {}", "  ".repeat(depth), marker, label));
+            let inst = node.instances();
+            if !inst.is_empty() {
+                let preview: Vec<&str> = inst.iter().take(3).map(String::as_str).collect();
+                out.push_str(&format!(
+                    " {{{}{}}}",
+                    preview.join(", "),
+                    if inst.len() > 3 { ", …" } else { "" }
+                ));
+            }
+            out.push('\n');
+        }
+        for &child in &self.nodes[id.index()].children {
+            self.render_into(child, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{leaf, node, select, unlabeled_leaf, unlabeled_node};
+
+    /// The Vacations fragment of Figure 2.
+    fn vacations() -> SchemaTree {
+        SchemaTree::build(
+            "vacations",
+            vec![
+                node(
+                    "Where and when do you want to travel?",
+                    vec![leaf("Departing from"), leaf("Going to")],
+                ),
+                node(
+                    "How many people are going?",
+                    vec![leaf("Adults"), leaf("Seniors"), leaf("Children")],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_counts() {
+        let t = vacations();
+        assert_eq!(t.len(), 8); // root + 2 groups + 5 fields
+        assert_eq!(t.leaves().count(), 5);
+        assert_eq!(t.internal_nodes().count(), 2);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn groups_and_root_leaves() {
+        let t = vacations();
+        let groups = t.leaf_groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].leaves.len(), 2);
+        assert_eq!(groups[1].leaves.len(), 3);
+        assert!(t.root_leaves().is_empty());
+    }
+
+    #[test]
+    fn flat_interface_root_leaves() {
+        let t = SchemaTree::build("flat", vec![leaf("A"), leaf("B")]).unwrap();
+        assert_eq!(t.root_leaves().len(), 2);
+        assert!(t.leaf_groups().is_empty());
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn descendant_leaves_in_document_order() {
+        let t = vacations();
+        let all = t.descendant_leaves(NodeId::ROOT);
+        let labels: Vec<&str> = all.iter().map(|&id| t.node(id).label_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["Departing from", "Going to", "Adults", "Seniors", "Children"]
+        );
+    }
+
+    #[test]
+    fn lca_and_paths() {
+        let t = vacations();
+        let leaves = t.descendant_leaves(NodeId::ROOT);
+        // Adults & Seniors share the "How many people" group.
+        let lca = t.lca(&[leaves[2], leaves[3]]);
+        assert_eq!(t.node(lca).label_str(), "How many people are going?");
+        // Across groups the LCA is the root.
+        assert_eq!(t.lca(&[leaves[0], leaves[2]]), NodeId::ROOT);
+        // path(e) excludes e and ends at the root.
+        let path = t.path_to_root(leaves[2]);
+        assert_eq!(path.len(), 2);
+        assert_eq!(*path.last().unwrap(), NodeId::ROOT);
+    }
+
+    #[test]
+    fn lca_of_single_node_is_itself() {
+        let t = vacations();
+        let leaves = t.descendant_leaves(NodeId::ROOT);
+        assert_eq!(t.lca(&[leaves[0]]), leaves[0]);
+    }
+
+    #[test]
+    fn traversal_orders() {
+        let t = vacations();
+        let pre = t.preorder();
+        assert_eq!(pre[0], NodeId::ROOT);
+        assert_eq!(pre.len(), t.len());
+        let post = t.postorder();
+        assert_eq!(*post.last().unwrap(), NodeId::ROOT);
+        assert_eq!(post.len(), t.len());
+        // In postorder every child precedes its parent.
+        for (i, &id) in post.iter().enumerate() {
+            if let Some(p) = t.parent(id) {
+                let pi = post.iter().position(|&x| x == p).unwrap();
+                assert!(pi > i);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_and_labeling_quality() {
+        let t = SchemaTree::build(
+            "half-labeled",
+            vec![
+                node("G", vec![leaf("a"), unlabeled_leaf()]),
+                unlabeled_node(vec![leaf("b"), unlabeled_leaf()]),
+            ],
+        )
+        .unwrap();
+        let stats = t.stats();
+        assert_eq!(stats.leaves, 4);
+        assert_eq!(stats.internal_nodes, 2);
+        assert_eq!(stats.labeled, 3);
+        assert_eq!(stats.labelable, 6);
+        assert!((stats.labeling_quality() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_blank_label() {
+        let err = SchemaTree::build("x", vec![leaf("  ")]).unwrap_err();
+        assert!(matches!(err, SchemaError::BlankLabel(_)));
+    }
+
+    #[test]
+    fn validation_catches_empty_tree_and_name() {
+        assert_eq!(
+            SchemaTree::build("x", vec![]).unwrap_err(),
+            SchemaError::NoFields
+        );
+        assert_eq!(
+            SchemaTree::build("  ", vec![leaf("a")]).unwrap_err(),
+            SchemaError::EmptyName
+        );
+    }
+
+    #[test]
+    fn convert_leaf_to_internal_for_expansion() {
+        let mut t = SchemaTree::build("m", vec![leaf("Passengers")]).unwrap();
+        let passengers = t.descendant_leaves(NodeId::ROOT)[0];
+        t.convert_leaf_to_internal(passengers);
+        t.add_leaf(passengers, Some("Adults"));
+        t.add_leaf(passengers, Some("Children"));
+        assert_eq!(t.leaves().count(), 2);
+        assert_eq!(t.node(passengers).label_str(), "Passengers");
+        assert!(!t.node(passengers).is_leaf());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn render_shows_structure_and_instances() {
+        let t = SchemaTree::build(
+            "r",
+            vec![node("G", vec![select("Format", &["hardcover", "paperback"])])],
+        )
+        .unwrap();
+        let s = t.render();
+        assert!(s.contains("+ G"));
+        assert!(s.contains("- Format {hardcover, paperback}"));
+    }
+
+    #[test]
+    fn serde_round_trip_via_clone_eq() {
+        // serde derives exist for corpus snapshots; structural equality is
+        // the contract they rely on.
+        let t = vacations();
+        assert_eq!(t, t.clone());
+    }
+}

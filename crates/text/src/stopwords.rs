@@ -1,0 +1,77 @@
+//! Stop-word filtering for label content-word extraction.
+//!
+//! The paper's second normalization step removes stop words so that, e.g.,
+//! `Do you have any preferences?` reduces to the single content word
+//! `prefer` (§5.1.2), and `Area of Study` reduces to `{area, study}`
+//! (§3.2). The list below covers the function words that occur in
+//! query-interface labels: determiners, prepositions, pronouns, auxiliary
+//! verbs, conjunctions and a few interface-generic fillers.
+
+/// The stop-word list, kept sorted for binary search.
+///
+/// Note: `number`, `type`, `date` and similar carrier nouns are *not* stop
+/// words — the paper treats them as content words (`Number of Connections`
+/// has content words `{number, connect}`). The particles `in` and `out` are
+/// also kept: they are the only distinguishing tokens of label pairs such
+/// as `Check In` / `Check Out`, which must not collapse to the same
+/// content-word set (that would be a manufactured homonym conflict).
+static STOP_WORDS: &[&str] = &[
+    "a", "about", "after", "all", "an", "and", "any", "are", "as", "at", "be", "been", "before",
+    "below", "between", "both", "but", "by", "can", "could", "did", "do", "does", "doing", "down",
+    "during", "each", "for", "from", "had", "has", "have", "having", "he", "her", "here", "hers",
+    "him", "his", "how", "i", "if", "into", "is", "it", "its", "itself", "just", "me",
+    "more", "most", "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or",
+    "other", "our", "ours", "over", "own", "per", "please", "same", "she", "should", "so",
+    "some", "such", "than", "that", "the", "their", "theirs", "them", "then", "there", "these",
+    "they", "this", "those", "through", "to", "too", "under", "until", "up", "very", "was", "we",
+    "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with",
+    "would", "you", "your", "yours",
+];
+
+/// True if `word` (already lowercased) is a stop word.
+///
+/// ```
+/// use qi_text::is_stop_word;
+/// assert!(is_stop_word("of"));
+/// assert!(is_stop_word("the"));
+/// assert!(!is_stop_word("airline"));
+/// assert!(!is_stop_word("number"));
+/// ```
+pub fn is_stop_word(word: &str) -> bool {
+    STOP_WORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        for pair in STOP_WORDS.windows(2) {
+            assert!(pair[0] < pair[1], "{:?} >= {:?}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn function_words_are_stopped() {
+        for w in ["a", "of", "the", "do", "you", "have", "any", "from", "to", "your", "what"] {
+            assert!(is_stop_word(w), "{w:?} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_are_kept() {
+        for w in [
+            "number", "type", "date", "airline", "adults", "class", "preferences", "going",
+            "departing", "city", "state", "zip", "area", "study", "work", "field", "in", "out",
+        ] {
+            assert!(!is_stop_word(w), "{w:?} must not be a stop word");
+        }
+    }
+
+    #[test]
+    fn case_sensitive_lowercase_contract() {
+        // Caller contract: input is lowercased first.
+        assert!(!is_stop_word("The"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Full evaluation report: Table 6 and Figure 10 over all seven domains.
+//!
+//! ```text
+//! cargo run --release --example corpus_report
+//! ```
+//!
+//! Equivalent to running the `table6` and `figure10` binaries of
+//! `qi-eval` back to back, plus a per-domain consistency summary.
+
+use qi_core::NamingPolicy;
+use qi_eval::{evaluate_corpus, table, Panel};
+use qi_lexicon::Lexicon;
+
+fn main() {
+    let domains = qi_datasets::all_domains();
+    let lexicon = Lexicon::builtin();
+    let result = evaluate_corpus(&domains, &lexicon, NamingPolicy::default(), Panel::default());
+
+    println!("{}", table::render_table6(&result.domains));
+    println!();
+    println!("{}", table::render_figure10(&result.li_usage));
+
+    println!("\nconsistency classes (Definition 8):");
+    for row in &result.domains {
+        println!("  {:<12} {}", row.name, row.class);
+    }
+}

@@ -1,0 +1,103 @@
+//! Quickstart: integrate and label two small airline interfaces.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds two source query interfaces by hand, declares which fields
+//! correspond (the clusters), runs the full pipeline — 1:m expansion,
+//! structural merge, naming — and prints the labeled integrated
+//! interface together with the naming report.
+
+use qi::{integrate_and_label, Lexicon, NamingPolicy};
+use qi_mapping::{FieldRef, Mapping};
+use qi_schema::{
+    spec::{leaf, node, select},
+    NodeId, SchemaTree,
+};
+
+fn field(schemas: &[SchemaTree], schema: usize, label: &str) -> FieldRef {
+    let tree = &schemas[schema];
+    let id = tree
+        .descendant_leaves(NodeId::ROOT)
+        .into_iter()
+        .find(|&l| tree.node(l).label_str() == label)
+        .unwrap_or_else(|| panic!("{label} not found"));
+    FieldRef::new(schema, id)
+}
+
+fn main() {
+    // Source interface 1 — in the style of british airways (Figure 1).
+    let british = SchemaTree::build(
+        "british",
+        vec![
+            node(
+                "Where and when do you want to travel?",
+                vec![leaf("Departing from"), leaf("Going to")],
+            ),
+            node(
+                "How many people are going?",
+                vec![leaf("Seniors"), leaf("Adults"), leaf("Children")],
+            ),
+        ],
+    )
+    .unwrap();
+    // Source interface 2 — a coarser site: one `Passengers` field (a 1:m
+    // matching, Figure 2) and a class-of-ticket select.
+    let economy = SchemaTree::build(
+        "economytravel",
+        vec![
+            node("Route", vec![leaf("From"), leaf("To")]),
+            leaf("Passengers"),
+            select("Class of Ticket", &["Economy", "Business", "First"]),
+        ],
+    )
+    .unwrap();
+    let schemas = vec![british, economy];
+
+    // Ground-truth correspondences. `Passengers` matches three finer
+    // concepts — the pipeline expands it automatically.
+    let passengers = field(&schemas, 1, "Passengers");
+    let mapping = Mapping::from_clusters(vec![
+        (
+            "from".to_string(),
+            vec![field(&schemas, 0, "Departing from"), field(&schemas, 1, "From")],
+        ),
+        (
+            "to".to_string(),
+            vec![field(&schemas, 0, "Going to"), field(&schemas, 1, "To")],
+        ),
+        ("senior".to_string(), vec![field(&schemas, 0, "Seniors"), passengers]),
+        ("adult".to_string(), vec![field(&schemas, 0, "Adults"), passengers]),
+        ("child".to_string(), vec![field(&schemas, 0, "Children"), passengers]),
+        (
+            "class".to_string(),
+            vec![field(&schemas, 1, "Class of Ticket")],
+        ),
+    ]);
+
+    let lexicon = Lexicon::builtin();
+    let labeled = integrate_and_label(schemas, mapping, &lexicon, NamingPolicy::default());
+
+    println!("Integrated query interface:\n");
+    println!("{}", labeled.tree.render());
+    println!(
+        "consistency class: {}",
+        labeled.report.class.expect("classified")
+    );
+    for group in &labeled.report.groups {
+        println!(
+            "group [{}] -> {:?} ({})",
+            group.description,
+            group
+                .labels
+                .iter()
+                .map(|l| l.as_deref().unwrap_or("∅"))
+                .collect::<Vec<_>>(),
+            match group.level {
+                Some(level) => format!("consistent at the {level} level"),
+                None => "partially consistent".to_string(),
+            }
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! `qi` — command-line front end for the query-interface labeling
+//! library.
+//!
+//! ```text
+//! qi help                         show usage
+//! qi stem <word>...               Porter-stem words
+//! qi relate <label-a> <label-b>   Definition 1 relation between labels
+//! qi label [opts] <file>...       integrate + label interface files
+//!     --lexicon <file>            use a custom lexicon (text format)
+//!     --explain                   print the label-provenance narrative
+//!     --html                      print the integrated form as HTML
+//!     --most-general              use the \[12\]-style baseline policy
+//! qi corpus export <dir>          write the 150-interface corpus + the
+//!                                 builtin lexicon as text files
+//! qi eval table6|figure10|matcher|ablation-ladder
+//!                                 regenerate evaluation artifacts
+//! ```
+//!
+//! Interface files use the `qi-schema` text format (see
+//! `qi_schema::text_format`); clusters are derived with the
+//! label-similarity matcher.
+
+use qi::{Lexicon, NamingPolicy};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some("stem") => cmd_stem(&args[1..]),
+        Some("relate") => cmd_relate(&args[1..]),
+        Some("label") => cmd_label(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}; try `qi help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+qi — meaningful labeling of integrated query interfaces (VLDB 2006)
+
+usage:
+  qi stem <word>...               Porter-stem words
+  qi relate <label-a> <label-b>   Definition 1 relation between labels
+  qi label [opts] <file>...       integrate + label interface files
+      --lexicon <file>            custom lexicon (text format)
+      --clusters <file>           ground-truth clusters (text format)
+      --explain                   print label provenance
+      --html                      print the integrated form as HTML
+      --most-general              use the most-general baseline policy
+  qi corpus export <dir>          dump the 150-interface corpus
+  qi eval <artifact>              table6 | figure10 | matcher | ablation-ladder
+";
+
+fn cmd_stem(words: &[String]) -> Result<(), String> {
+    if words.is_empty() {
+        return Err("usage: qi stem <word>...".to_string());
+    }
+    for word in words {
+        println!("{word} -> {}", qi_text::stem(&word.to_lowercase()));
+    }
+    Ok(())
+}
+
+fn cmd_relate(args: &[String]) -> Result<(), String> {
+    let [a, b] = args else {
+        return Err("usage: qi relate <label-a> <label-b>".to_string());
+    };
+    let lexicon = Lexicon::builtin();
+    let ta = qi_text::LabelText::new(a, &lexicon);
+    let tb = qi_text::LabelText::new(b, &lexicon);
+    let rel = qi_core::relations::relate(&ta, &tb, &lexicon);
+    println!(
+        "{a:?} ({}) vs {b:?} ({}) -> {rel:?}",
+        ta.keys().into_iter().collect::<Vec<_>>().join(","),
+        tb.keys().into_iter().collect::<Vec<_>>().join(","),
+    );
+    Ok(())
+}
+
+fn cmd_label(args: &[String]) -> Result<(), String> {
+    let mut files: Vec<&str> = Vec::new();
+    let mut lexicon_path: Option<&str> = None;
+    let mut clusters_path: Option<&str> = None;
+    let mut explain = false;
+    let mut html = false;
+    let mut policy = NamingPolicy::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--lexicon" => {
+                lexicon_path = Some(
+                    iter.next()
+                        .ok_or("--lexicon needs a file argument")?
+                        .as_str(),
+                )
+            }
+            "--clusters" => {
+                clusters_path = Some(
+                    iter.next()
+                        .ok_or("--clusters needs a file argument")?
+                        .as_str(),
+                )
+            }
+            "--explain" => explain = true,
+            "--html" => html = true,
+            "--most-general" => policy = NamingPolicy::most_general_baseline(),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            file => files.push(file),
+        }
+    }
+    if files.is_empty() {
+        return Err("usage: qi label [opts] <file>...".to_string());
+    }
+    let lexicon = match lexicon_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            qi_lexicon::format::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => Lexicon::builtin(),
+    };
+    let mut schemas = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+        let tree = qi_schema::text_format::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+        schemas.push(tree);
+    }
+    let mapping = match clusters_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            qi_mapping::clusters_format::parse(&text, &schemas)
+                .map_err(|e| format!("{path}: {e}"))?
+        }
+        None => qi_mapping::matcher::match_by_labels(&schemas, &lexicon),
+    };
+    eprintln!(
+        "matched {} fields into {} clusters",
+        schemas
+            .iter()
+            .map(|s| s.leaves().count())
+            .sum::<usize>(),
+        mapping.len()
+    );
+    let labeled = qi::integrate_and_label(schemas, mapping, &lexicon, policy);
+    if html {
+        print!("{}", qi_schema::html::render_form(&labeled.tree));
+    } else {
+        print!("{}", labeled.tree.render());
+    }
+    if let Some(class) = labeled.report.class {
+        eprintln!("consistency class: {class}");
+    }
+    if explain {
+        println!();
+        print!("{}", qi_core::explain::render(&labeled));
+    }
+    Ok(())
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    let [action, dir] = args else {
+        return Err("usage: qi corpus export <dir>".to_string());
+    };
+    if action != "export" {
+        return Err(format!("unknown corpus action {action:?}"));
+    }
+    let root = Path::new(dir);
+    std::fs::create_dir_all(root).map_err(|e| format!("creating {dir}: {e}"))?;
+    let mut written = 0usize;
+    for domain in qi_datasets::all_domains() {
+        let domain_dir = root.join(domain.name.replace(' ', "_").to_lowercase());
+        std::fs::create_dir_all(&domain_dir).map_err(|e| e.to_string())?;
+        for tree in &domain.schemas {
+            let path = domain_dir.join(format!("{}.qis", tree.name()));
+            std::fs::write(&path, qi_schema::text_format::render(tree))
+                .map_err(|e| e.to_string())?;
+            written += 1;
+        }
+    }
+    let lexicon_path = root.join("lexicon.txt");
+    std::fs::write(
+        &lexicon_path,
+        qi_lexicon::format::render(&Lexicon::builtin()),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {written} interfaces and {} to {dir}",
+        lexicon_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let [artifact] = args else {
+        return Err("usage: qi eval <table6|table6-json|figure10|matcher|ablation-ladder>".to_string());
+    };
+    let lexicon = Lexicon::builtin();
+    match artifact.as_str() {
+        "table6" => {
+            let result = qi_eval::evaluate_corpus(
+                &qi_datasets::all_domains(),
+                &lexicon,
+                NamingPolicy::default(),
+                qi_eval::Panel::default(),
+            );
+            print!("{}", qi_eval::table::render_table6(&result.domains));
+        }
+        "figure10" => {
+            let result = qi_eval::evaluate_corpus(
+                &qi_datasets::all_domains(),
+                &lexicon,
+                NamingPolicy::default(),
+                qi_eval::Panel::default(),
+            );
+            print!("{}", qi_eval::table::render_figure10(&result.li_usage));
+        }
+        "table6-json" => {
+            let result = qi_eval::evaluate_corpus(
+                &qi_datasets::all_domains(),
+                &lexicon,
+                NamingPolicy::default(),
+                qi_eval::Panel::default(),
+            );
+            println!("{}", qi_eval::json::corpus_to_json(&result));
+        }
+        "matcher" => {
+            let reports: Vec<_> = qi_datasets::all_domains()
+                .iter()
+                .map(|d| qi_eval::matcher_eval::evaluate_matcher(d, &lexicon))
+                .collect();
+            print!("{}", qi_eval::matcher_eval::render(&reports));
+        }
+        "ablation-ladder" => {
+            let domain = qi_datasets::generate_ladder(3, 3);
+            for point in qi_eval::ablation::ladder_sweep(&domain, &lexicon) {
+                println!(
+                    "cap={:<9} consistent groups {}/{}",
+                    point.cap, point.consistent_groups, point.total_groups
+                );
+            }
+        }
+        other => return Err(format!("unknown artifact {other:?}")),
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! **qi** — Meaningful Labeling of Integrated Query Interfaces.
+//!
+//! A from-scratch Rust reproduction of Dragut, Yu & Meng, *Meaningful
+//! Labeling of Integrated Query Interfaces*, VLDB 2006, including every
+//! substrate the paper builds on. This facade crate re-exports the
+//! workspace's public API and offers a one-call pipeline.
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`text`] | tokenization, Porter stemming, label normalization (§3.1) |
+//! | [`lexicon`] | WordNet-style synsets / hypernyms / lemmatization |
+//! | [`schema`] | ordered schema trees of query interfaces (§2) |
+//! | [`mapping`] | clusters, 1:m expansion, group relations (§2.1, §4) |
+//! | [`merge`] | structural merge into the integrated tree (\[8\]) |
+//! | [`core`] | the naming algorithm (§3–§6, LI1–LI7) |
+//! | [`datasets`] | the 7-domain / 150-interface evaluation corpus |
+//! | [`eval`] | Table 6 / Figure 10 harness, acceptance panel, ablations |
+//!
+//! # One-call pipeline
+//!
+//! ```
+//! use qi::{integrate_and_label, NamingPolicy};
+//! use qi_lexicon::Lexicon;
+//!
+//! let domain = qi_datasets::auto::domain();
+//! let lexicon = Lexicon::builtin();
+//! let labeled = integrate_and_label(
+//!     domain.schemas.clone(),
+//!     domain.mapping.clone(),
+//!     &lexicon,
+//!     NamingPolicy::default(),
+//! );
+//! // Figure 6's integrated Auto interface, fully labeled.
+//! assert!(labeled.tree.leaves().all(|l| l.label.is_some()));
+//! ```
+
+pub use qi_core as core;
+pub use qi_datasets as datasets;
+pub use qi_eval as eval;
+pub use qi_lexicon as lexicon;
+pub use qi_mapping as mapping;
+pub use qi_merge as merge;
+pub use qi_schema as schema;
+pub use qi_text as text;
+
+pub use qi_core::{ConsistencyClass, ConsistencyLevel, LabelRelation, LabeledInterface, Labeler, NamingPolicy};
+pub use qi_lexicon::Lexicon;
+pub use qi_mapping::{expand_one_to_many, FieldRef, Integrated, Mapping};
+pub use qi_schema::SchemaTree;
+
+/// Run the complete pipeline of the paper on raw inputs: reduce 1:m
+/// matchings to 1:1 (§2.1), merge the schema trees structurally (\[8\]),
+/// and assign meaningful labels to every node of the integrated interface
+/// (§3–§6).
+pub fn integrate_and_label(
+    mut schemas: Vec<SchemaTree>,
+    mut mapping: Mapping,
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+) -> LabeledInterface {
+    expand_one_to_many(&mut schemas, &mut mapping);
+    let integrated = qi_merge::merge(&schemas, &mapping);
+    let labeler = Labeler::new(lexicon, policy);
+    labeler.label(&schemas, &mapping, &integrated)
+}

@@ -1,0 +1,155 @@
+//! End-to-end tests of the `qi` command-line binary.
+
+use std::process::Command;
+
+fn qi(args: &[&str]) -> (String, String, bool) {
+    let output = Command::new(env!("CARGO_BIN_EXE_qi"))
+        .args(args)
+        .output()
+        .expect("run qi binary");
+    (
+        String::from_utf8_lossy(&output.stdout).to_string(),
+        String::from_utf8_lossy(&output.stderr).to_string(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = qi(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage:"));
+    assert!(stdout.contains("qi label"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (_, stderr, ok) = qi(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn stem_words() {
+    let (stdout, _, ok) = qi(&["stem", "connections", "Preferred"]);
+    assert!(ok);
+    assert!(stdout.contains("connections -> connect"));
+    assert!(stdout.contains("Preferred -> prefer"));
+}
+
+#[test]
+fn relate_labels() {
+    let (stdout, _, ok) = qi(&["relate", "Type of Job", "Job Type"]);
+    assert!(ok);
+    assert!(stdout.contains("Equal"));
+    let (stdout, _, ok) = qi(&["relate", "Class", "Class of Tickets"]);
+    assert!(ok);
+    assert!(stdout.contains("Hypernym"));
+}
+
+#[test]
+fn label_pipeline_from_files() {
+    let dir = std::env::temp_dir().join(format!("qi-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.qis");
+    let b = dir.join("b.qis");
+    std::fs::write(
+        &a,
+        "interface a\n+ Passengers\n  - Adults\n  - Children\n- Promo Code\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        "interface b\n+ Travelers\n  - Adults\n  - Children\n  - Infants\n",
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = qi(&["label", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Adults"), "{stdout}");
+    assert!(stdout.contains("Infants"), "{stdout}");
+    assert!(stderr.contains("clusters"), "{stderr}");
+    // --html mode produces a form.
+    let (html, _, ok) = qi(&["label", "--html", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(ok);
+    assert!(html.contains("<form"), "{html}");
+    assert!(html.contains("<fieldset>"));
+    // --explain mode narrates.
+    let (explained, _, ok) = qi(&["label", "--explain", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(ok);
+    assert!(explained.contains("Naming explanation"), "{explained}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corpus_export_writes_150_files() {
+    let dir = std::env::temp_dir().join(format!("qi-corpus-test-{}", std::process::id()));
+    let (stdout, stderr, ok) = qi(&["corpus", "export", dir.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("wrote 150 interfaces"), "{stdout}");
+    // Every exported interface parses back.
+    let mut parsed = 0usize;
+    for domain_dir in std::fs::read_dir(&dir).unwrap() {
+        let domain_dir = domain_dir.unwrap().path();
+        if !domain_dir.is_dir() {
+            continue;
+        }
+        for file in std::fs::read_dir(&domain_dir).unwrap() {
+            let text = std::fs::read_to_string(file.unwrap().path()).unwrap();
+            qi_schema::text_format::parse(&text).unwrap();
+            parsed += 1;
+        }
+    }
+    assert_eq!(parsed, 150);
+    // And the lexicon parses back too.
+    let lexicon_text = std::fs::read_to_string(dir.join("lexicon.txt")).unwrap();
+    qi_lexicon::format::parse(&lexicon_text).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn eval_ladder_shows_progression() {
+    let (stdout, _, ok) = qi(&["eval", "ablation-ladder"]);
+    assert!(ok);
+    assert!(stdout.contains("cap=string    consistent groups 0/6"), "{stdout}");
+    assert!(stdout.contains("cap=synonymy  consistent groups 6/6"), "{stdout}");
+}
+
+#[test]
+fn label_with_explicit_clusters() {
+    let dir = std::env::temp_dir().join(format!("qi-clusters-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.qis");
+    let b = dir.join("b.qis");
+    let clusters = dir.join("clusters.txt");
+    std::fs::write(&a, "interface a\n- Departing from\n- Going to\n").unwrap();
+    std::fs::write(&b, "interface b\n- From\n- To\n").unwrap();
+    std::fs::write(
+        &clusters,
+        "cluster from\n  a: Departing from\n  b: From\ncluster to\n  a: Going to\n  b: To\n",
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = qi(&[
+        "label",
+        "--clusters",
+        clusters.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    // Two clusters — the heuristic matcher would have produced four,
+    // since `From` and `Departing from` are not lexically related.
+    assert!(stderr.contains("2 clusters"), "{stderr}");
+    assert!(stdout.contains("Departing from"), "{stdout}");
+    // Bad clusters file fails with a located error.
+    std::fs::write(&clusters, "cluster x\n  a: Nope\n").unwrap();
+    let (_, stderr, ok) = qi(&[
+        "label",
+        "--clusters",
+        clusters.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,54 @@
+//! Serialization round-trips over the full corpus: the schema-tree text
+//! format and the lexicon text format must reproduce every artifact the
+//! evaluation relies on.
+
+use qi_lexicon::{format as lexicon_format, Lexicon};
+use qi_schema::text_format;
+
+/// All 150 corpus interfaces survive the schema text format unchanged.
+#[test]
+fn corpus_interfaces_round_trip() {
+    let mut count = 0usize;
+    for domain in qi_datasets::all_domains() {
+        for tree in &domain.schemas {
+            let text = text_format::render(tree);
+            let parsed = text_format::parse(&text)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", domain.name, tree.name()));
+            assert_eq!(&parsed, tree, "{}/{}", domain.name, tree.name());
+            count += 1;
+        }
+    }
+    assert_eq!(count, 150);
+}
+
+/// Integrated (merged + labeled) trees also round-trip.
+#[test]
+fn labeled_integrated_trees_round_trip() {
+    let lexicon = Lexicon::builtin();
+    for domain in qi_datasets::all_domains() {
+        let prepared = domain.prepare();
+        let labeler = qi_core::Labeler::new(&lexicon, qi_core::NamingPolicy::default());
+        let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+        let text = text_format::render(&labeled.tree);
+        let parsed = text_format::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", domain.name));
+        assert_eq!(parsed, labeled.tree, "{}", domain.name);
+    }
+}
+
+/// The builtin lexicon round-trips through its text format and still
+/// drives the pipeline to the same Table 6 row.
+#[test]
+fn lexicon_round_trip_preserves_evaluation() {
+    let builtin = Lexicon::builtin();
+    let text = lexicon_format::render(&builtin);
+    let reparsed = lexicon_format::parse(&text).unwrap();
+    let domain = qi_datasets::auto::domain();
+    let policy = qi_core::NamingPolicy::default();
+    let panel = qi_eval::Panel::default();
+    let a = qi_eval::evaluate_domain(&domain, &builtin, policy, panel);
+    let b = qi_eval::evaluate_domain(&domain, &reparsed, policy, panel);
+    assert_eq!(a.fld_acc, b.fld_acc);
+    assert_eq!(a.int_acc, b.int_acc);
+    assert_eq!(a.class, b.class);
+    assert_eq!(a.shape.leaves, b.shape.leaves);
+}

@@ -1,0 +1,94 @@
+//! Golden-snapshot tests: the fully labeled integrated interface of every
+//! corpus domain, byte-for-byte. Any change to the text pipeline, the
+//! lexicon, the merge, or the naming algorithm that alters an output
+//! label shows up here as a readable diff.
+//!
+//! To regenerate after an *intentional* change, write the new render of
+//! each labeled tree to `tests/golden/<domain>.qis` (see
+//! `qi_schema::text_format::render`) and review the diff.
+
+use qi_core::{Labeler, NamingPolicy};
+use qi_lexicon::Lexicon;
+
+fn labeled_render(domain: qi_datasets::Domain) -> String {
+    let prepared = domain.prepare();
+    let lexicon = Lexicon::builtin();
+    let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+    let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+    qi_schema::text_format::render(&labeled.tree)
+}
+
+fn check(domain: qi_datasets::Domain, golden: &str) {
+    let name = domain.name.clone();
+    let actual = labeled_render(domain);
+    assert_eq!(
+        actual, golden,
+        "{name}: labeled integrated interface changed; \
+         if intentional, update tests/golden/"
+    );
+}
+
+#[test]
+fn golden_airline() {
+    check(
+        qi_datasets::airline::domain(),
+        include_str!("golden/airline.qis"),
+    );
+}
+
+#[test]
+fn golden_auto() {
+    check(qi_datasets::auto::domain(), include_str!("golden/auto.qis"));
+}
+
+#[test]
+fn golden_book() {
+    check(qi_datasets::book::domain(), include_str!("golden/book.qis"));
+}
+
+#[test]
+fn golden_job() {
+    check(qi_datasets::job::domain(), include_str!("golden/job.qis"));
+}
+
+#[test]
+fn golden_real_estate() {
+    check(
+        qi_datasets::real_estate::domain(),
+        include_str!("golden/real_estate.qis"),
+    );
+}
+
+#[test]
+fn golden_car_rental() {
+    check(
+        qi_datasets::car_rental::domain(),
+        include_str!("golden/car_rental.qis"),
+    );
+}
+
+#[test]
+fn golden_hotels() {
+    check(
+        qi_datasets::hotels::domain(),
+        include_str!("golden/hotels.qis"),
+    );
+}
+
+/// The golden snapshots themselves parse back (they are valid corpus
+/// artifacts, not just strings).
+#[test]
+fn golden_files_parse() {
+    for text in [
+        include_str!("golden/airline.qis"),
+        include_str!("golden/auto.qis"),
+        include_str!("golden/book.qis"),
+        include_str!("golden/job.qis"),
+        include_str!("golden/real_estate.qis"),
+        include_str!("golden/car_rental.qis"),
+        include_str!("golden/hotels.qis"),
+    ] {
+        let tree = qi_schema::text_format::parse(text).unwrap();
+        assert!(tree.leaves().count() >= 18);
+    }
+}

@@ -1,0 +1,229 @@
+//! End-to-end pipeline tests: every Table 6 statistic lands in the
+//! paper's band, per domain, and the labeling output satisfies the
+//! global invariants the algorithm promises.
+
+use qi::{ConsistencyClass, Lexicon, NamingPolicy};
+use qi_core::{InferenceRule, Labeler};
+use qi_eval::{evaluate_domain, Panel};
+
+fn eval(domain: qi_datasets::Domain) -> qi_eval::DomainEvaluation {
+    let lexicon = Lexicon::builtin();
+    evaluate_domain(&domain, &lexicon, NamingPolicy::default(), Panel::default())
+}
+
+#[test]
+fn airline_row_matches_paper_shape() {
+    let row = eval(qi_datasets::airline::domain());
+    // Paper: FldAcc 100%, IntAcc 84.6%, HA 96.6%, HA* 98.3%, inconsistent.
+    assert!((row.fld_acc - 1.0).abs() < 1e-12, "FldAcc {}", row.fld_acc);
+    assert!((0.78..=0.90).contains(&row.int_acc), "IntAcc {}", row.int_acc);
+    assert!((0.92..=0.995).contains(&row.ha), "HA {}", row.ha);
+    assert!(row.ha_star >= row.ha);
+    assert_eq!(row.class, ConsistencyClass::Inconsistent);
+    assert_eq!(row.shape.leaves, 24);
+}
+
+#[test]
+fn auto_row_matches_paper_shape() {
+    let row = eval(qi_datasets::auto::domain());
+    // Paper: everything at 100%, consistent.
+    assert!((row.fld_acc - 1.0).abs() < 1e-12);
+    assert!((row.int_acc - 1.0).abs() < 1e-12);
+    assert!(row.ha > 0.99, "HA {}", row.ha);
+    assert_eq!(row.class, ConsistencyClass::Consistent);
+    assert_eq!(row.shape.leaves, 18);
+    assert_eq!(row.shape.isolated, 0);
+}
+
+#[test]
+fn book_row_matches_paper_shape() {
+    let row = eval(qi_datasets::book::domain());
+    // Paper: FldAcc/IntAcc 100%, HA 98.9%, HA* 100% (errors blamed on
+    // sources), consistent or weakly consistent.
+    assert!((row.fld_acc - 1.0).abs() < 1e-12);
+    assert!((row.int_acc - 1.0).abs() < 1e-12);
+    assert!((0.95..1.0).contains(&row.ha), "HA {}", row.ha);
+    assert!(row.ha_star > row.ha, "source attribution should lift HA*");
+    assert_ne!(row.class, ConsistencyClass::Inconsistent);
+    assert_eq!(row.shape.isolated, 1);
+}
+
+#[test]
+fn job_row_matches_paper_shape() {
+    let row = eval(qi_datasets::job::domain());
+    // Paper: all 100%, one group, flat interface.
+    assert!((row.fld_acc - 1.0).abs() < 1e-12);
+    assert!((row.int_acc - 1.0).abs() < 1e-12);
+    assert!(row.ha > 0.99, "HA {}", row.ha);
+    assert_eq!(row.shape.groups, 1);
+    assert!(row.shape.root_leaves >= 14);
+    assert_eq!(row.class, ConsistencyClass::Consistent);
+}
+
+#[test]
+fn real_estate_row_matches_paper_shape() {
+    let row = eval(qi_datasets::real_estate::domain());
+    // Paper: FldAcc 96.4% (one unlabeled field with no instances),
+    // IntAcc 100%, weakly consistent.
+    assert!((0.93..1.0).contains(&row.fld_acc), "FldAcc {}", row.fld_acc);
+    assert!((row.int_acc - 1.0).abs() < 1e-12, "IntAcc {}", row.int_acc);
+    assert_eq!(row.class, ConsistencyClass::WeaklyConsistent);
+    assert_eq!(row.shape.isolated, 1);
+}
+
+#[test]
+fn car_rental_row_matches_paper_shape() {
+    let row = eval(qi_datasets::car_rental::domain());
+    // Paper: FldAcc 100%, IntAcc 93.4% (a candidate label promoted to an
+    // ancestor), inconsistent, widest integrated interface.
+    assert!((row.fld_acc - 1.0).abs() < 1e-12);
+    assert!((0.88..0.99).contains(&row.int_acc), "IntAcc {}", row.int_acc);
+    assert_eq!(row.class, ConsistencyClass::Inconsistent);
+    assert_eq!(row.shape.leaves, 34);
+    assert_eq!(row.shape.isolated, 3);
+    assert_eq!(row.shape.depth, 4);
+}
+
+#[test]
+fn hotels_row_matches_paper_shape() {
+    let row = eval(qi_datasets::hotels::domain());
+    // Paper: FldAcc 100%, IntAcc 93.4%, HA lowest of the corpus family
+    // (chain-specific frequency-1 fields), HA* above HA.
+    assert!((row.fld_acc - 1.0).abs() < 1e-12);
+    assert!((0.85..0.99).contains(&row.int_acc), "IntAcc {}", row.int_acc);
+    assert!(row.ha < 1.0);
+    assert!(row.ha_star > row.ha);
+    assert!((2..=4).contains(&row.shape.isolated));
+}
+
+/// HA ordering: the domains with frequency-1 / unreadable material score
+/// below the clean ones, mirroring Table 6's ordering.
+#[test]
+fn human_acceptance_ordering() {
+    let auto = eval(qi_datasets::auto::domain());
+    let job = eval(qi_datasets::job::domain());
+    let airline = eval(qi_datasets::airline::domain());
+    let hotels = eval(qi_datasets::hotels::domain());
+    assert!(auto.ha >= airline.ha);
+    assert!(job.ha >= hotels.ha);
+    assert!(auto.ha >= hotels.ha);
+}
+
+/// Figure 10's headline shape: LI2 dominates, the structural rules
+/// (LI2/LI3/LI4/LI5 family) carry most derivations, and every rule fires
+/// at least once across the corpus.
+#[test]
+fn figure10_rule_mix() {
+    let lexicon = Lexicon::builtin();
+    let result = qi_eval::evaluate_corpus(
+        &qi_datasets::all_domains(),
+        &lexicon,
+        NamingPolicy::default(),
+        Panel::default(),
+    );
+    let usage = &result.li_usage;
+    assert!(usage.total() > 30, "total {}", usage.total());
+    let li2 = usage.ratio(InferenceRule::Li2);
+    for rule in InferenceRule::ALL {
+        assert!(
+            li2 >= usage.ratio(rule),
+            "LI2 ({li2}) should dominate {rule} ({})",
+            usage.ratio(rule)
+        );
+    }
+    for rule in [
+        InferenceRule::Li1,
+        InferenceRule::Li2,
+        InferenceRule::Li5,
+        InferenceRule::Li6,
+        InferenceRule::Li7,
+    ] {
+        assert!(usage.count(rule) > 0, "{rule} never fired");
+    }
+    assert!(
+        usage.count(InferenceRule::Li3) + usage.count(InferenceRule::Li4) > 0,
+        "hierarchy rules never fired"
+    );
+}
+
+/// Label provenance: every assigned field label occurs verbatim on some
+/// member field of that cluster; every internal-node label occurs on some
+/// source internal node. The algorithm never invents text.
+#[test]
+fn labels_are_always_sourced() {
+    let lexicon = Lexicon::builtin();
+    for domain in qi_datasets::all_domains() {
+        let prepared = domain.prepare();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+        for leaf in labeled.tree.leaves() {
+            let Some(label) = &leaf.label else { continue };
+            let cluster = labeled.leaf_cluster[&leaf.id];
+            let group_sourced = prepared
+                .mapping
+                .clusters
+                .iter()
+                .flat_map(|c| &c.members)
+                .any(|m| prepared.schemas[m.schema].node(m.node).label.as_ref() == Some(label));
+            assert!(
+                group_sourced,
+                "{}: invented field label {label:?} (cluster {})",
+                prepared.name,
+                prepared.mapping.cluster(cluster).concept
+            );
+        }
+        let source_internal_labels: Vec<&str> = prepared
+            .schemas
+            .iter()
+            .flat_map(|s| s.internal_nodes())
+            .filter_map(|n| n.label.as_deref())
+            .collect();
+        for node in labeled.tree.internal_nodes() {
+            if let Some(label) = &node.label {
+                assert!(
+                    source_internal_labels.contains(&label.as_str()),
+                    "{}: invented internal label {label:?}",
+                    prepared.name
+                );
+            }
+        }
+    }
+}
+
+/// The synthetic generator flows through the entire pipeline too.
+#[test]
+fn synthetic_domain_end_to_end() {
+    let synth = qi_datasets::SynthDomain::generate(qi_datasets::SynthConfig::default());
+    let lexicon = Lexicon::builtin();
+    let row = evaluate_domain(
+        &synth.domain,
+        &lexicon,
+        NamingPolicy::default(),
+        Panel::default(),
+    );
+    assert_eq!(row.shape.leaves, synth.config.concepts);
+    assert!(row.fld_acc > 0.8, "FldAcc {}", row.fld_acc);
+}
+
+/// The most-general baseline produces shorter labels on average — the
+/// §3.2.1 motivation for preferring descriptive names.
+#[test]
+fn baseline_is_less_descriptive() {
+    let lexicon = Lexicon::builtin();
+    let mut descriptive_total = 0.0;
+    let mut general_total = 0.0;
+    for domain in [qi_datasets::airline::domain(), qi_datasets::auto::domain()] {
+        let cmp = qi_eval::ablation::compare_policies(
+            &domain,
+            &lexicon,
+            ("descriptive", NamingPolicy::default()),
+            ("general", NamingPolicy::most_general_baseline()),
+        );
+        descriptive_total += cmp.left_expressiveness;
+        general_total += cmp.right_expressiveness;
+    }
+    assert!(
+        descriptive_total >= general_total,
+        "descriptive {descriptive_total} < general {general_total}"
+    );
+}

@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: the text pipeline, Definition 1 relations, the merge
+//! substrate and the naming algorithm on randomly generated domains.
+
+use proptest::prelude::*;
+use qi::{Lexicon, NamingPolicy};
+use qi_core::{ctx::NamingCtx, relations::relate, Labeler};
+use qi_datasets::{SynthConfig, SynthDomain};
+use qi_schema::NodeId;
+use qi_text::{display_normalize, stem, tokenize, LabelText};
+
+proptest! {
+    /// The stemmer never panics, never grows a word, and is
+    /// deterministic on arbitrary (including non-ASCII) input.
+    #[test]
+    fn porter_stem_total_and_shrinking(word in ".{0,24}") {
+        let once = stem(&word);
+        prop_assert!(once.len() <= word.len().max(2) + 1);
+        prop_assert_eq!(stem(&word), once);
+    }
+
+    /// Lowercase ASCII words stem to lowercase ASCII.
+    #[test]
+    fn porter_stem_preserves_ascii(word in "[a-z]{1,16}") {
+        let stemmed = stem(&word);
+        prop_assert!(stemmed.bytes().all(|b| b.is_ascii_lowercase()));
+        prop_assert!(!stemmed.is_empty());
+    }
+
+    /// Tokenization yields lowercase alphanumeric tokens only, and
+    /// display normalization is idempotent.
+    #[test]
+    fn tokenize_and_normalize_shape(label in ".{0,48}") {
+        for token in tokenize(&label) {
+            prop_assert!(!token.is_empty());
+            prop_assert!(token.chars().all(|c| c.is_ascii_alphanumeric()));
+            prop_assert!(!token.chars().any(|c| c.is_ascii_uppercase()));
+        }
+        let display = display_normalize(&label);
+        prop_assert_eq!(display_normalize(&display), display.clone());
+    }
+
+    /// Definition 1 relations are antisymmetric under flip: computing in
+    /// the opposite order yields the flipped relation.
+    #[test]
+    fn relations_flip_symmetry(a in "[A-Za-z ]{1,20}", b in "[A-Za-z ]{1,20}") {
+        let lexicon = Lexicon::builtin();
+        let ta = LabelText::new(&a, &lexicon);
+        let tb = LabelText::new(&b, &lexicon);
+        let ab = relate(&ta, &tb, &lexicon);
+        let ba = relate(&tb, &ta, &lexicon);
+        prop_assert_eq!(ab.flip(), ba);
+    }
+
+    /// A label always relates to itself at the string-equal level (unless
+    /// empty).
+    #[test]
+    fn relations_reflexive(a in "[A-Za-z ]{1,20}") {
+        let lexicon = Lexicon::builtin();
+        let ta = LabelText::new(&a, &lexicon);
+        let rel = relate(&ta, &ta, &lexicon);
+        if ta.is_empty() {
+            prop_assert_eq!(rel, qi_core::LabelRelation::Unrelated);
+        } else {
+            prop_assert_eq!(rel, qi_core::LabelRelation::StringEqual);
+        }
+    }
+
+    /// The memoizing context agrees with the direct computation.
+    #[test]
+    fn ctx_matches_direct(a in "[A-Za-z ]{1,16}", b in "[A-Za-z ]{1,16}") {
+        let lexicon = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lexicon);
+        let direct = relate(
+            &LabelText::new(&a, &lexicon),
+            &LabelText::new(&b, &lexicon),
+            &lexicon,
+        );
+        prop_assert_eq!(ctx.relate(&a, &b), direct);
+        prop_assert_eq!(ctx.relate(&a, &b), direct); // cached path
+    }
+}
+
+/// Strategy for small synthetic domain configurations.
+fn synth_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        any::<u64>(),
+        3usize..10,
+        4usize..16,
+        1usize..5,
+        0.3f64..0.9,
+        0.0f64..0.4,
+    )
+        .prop_map(|(seed, interfaces, concepts, groups, coverage, unlabeled)| SynthConfig {
+            seed,
+            interfaces,
+            concepts,
+            groups,
+            coverage,
+            unlabeled_prob: unlabeled,
+            group_label_prob: 0.7,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Merge invariants on random domains: every cluster appears as
+    /// exactly one integrated leaf, the tree validates, and the partition
+    /// classes cover the clusters disjointly.
+    #[test]
+    fn merge_invariants(config in synth_config()) {
+        let synth = SynthDomain::generate(config);
+        let prepared = synth.domain.prepare();
+        prepared.mapping.validate(&prepared.schemas).unwrap();
+        prepared.integrated.tree.validate().unwrap();
+        let leaves = prepared.integrated.tree.leaves().count();
+        prop_assert_eq!(leaves, prepared.mapping.len());
+        // Each cluster maps to exactly one leaf.
+        for cluster in &prepared.mapping.clusters {
+            prop_assert!(prepared.integrated.leaf_of_cluster(cluster.id).is_some());
+        }
+        // Partition classes are disjoint and complete.
+        let partition = prepared.integrated.partition();
+        let grouped: usize = partition.groups.iter().map(|g| g.clusters.len()).sum();
+        prop_assert_eq!(
+            grouped + partition.root.len() + partition.isolated.len(),
+            prepared.mapping.len()
+        );
+    }
+
+    /// Grouping constraint: fields grouped together on EVERY source that
+    /// carries both stay together in the integrated interface whenever
+    /// their group's bag survives (they are never split to the root if a
+    /// source grouped them and no conflicting evidence exists). Weak form:
+    /// the merge never *loses* leaves and never duplicates them.
+    #[test]
+    fn merge_preserves_leaf_multiplicity(config in synth_config()) {
+        let synth = SynthDomain::generate(config);
+        let prepared = synth.domain.prepare();
+        let mut seen = std::collections::BTreeSet::new();
+        for leaf in prepared.integrated.tree.descendant_leaves(NodeId::ROOT) {
+            let cluster = prepared.integrated.cluster_of_leaf(leaf).unwrap();
+            prop_assert!(seen.insert(cluster), "cluster duplicated");
+        }
+    }
+
+    /// Naming invariants on random domains: assigned field labels come
+    /// from the cluster's own members; the report classification exists;
+    /// label assignment is deterministic.
+    #[test]
+    fn naming_invariants(config in synth_config()) {
+        let synth = SynthDomain::generate(config);
+        let prepared = synth.domain.prepare();
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let a = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+        let b = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+        prop_assert_eq!(a.tree.clone(), b.tree.clone(), "nondeterministic labeling");
+        prop_assert!(a.report.class.is_some());
+        for leaf in a.tree.leaves() {
+            let Some(label) = &leaf.label else { continue };
+            let cluster = a.leaf_cluster[&leaf.id];
+            let members = &prepared.mapping.cluster(cluster).members;
+            let sourced = members.iter().any(|m| {
+                prepared.schemas[m.schema].node(m.node).label.as_ref() == Some(label)
+            });
+            prop_assert!(sourced, "label {:?} not sourced from its cluster", label);
+        }
+    }
+
+    /// FldAcc is 100% whenever every cluster has at least one labeled
+    /// member (the synthetic generator guarantees it).
+    #[test]
+    fn synthetic_fields_all_labeled(config in synth_config()) {
+        let synth = SynthDomain::generate(config);
+        let prepared = synth.domain.prepare();
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+        for leaf in labeled.tree.leaves() {
+            prop_assert!(
+                leaf.label.is_some(),
+                "cluster {} unlabeled despite labeled members",
+                prepared.mapping.cluster(labeled.leaf_cluster[&leaf.id]).concept
+            );
+        }
+    }
+}

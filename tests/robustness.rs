@@ -1,0 +1,220 @@
+//! Robustness: degenerate inputs, degraded modes and failure injection.
+//! The library must error (or degrade) cleanly, never panic, on the
+//! inputs a careless caller can produce.
+
+use qi::{Lexicon, NamingPolicy};
+use qi_core::Labeler;
+use qi_eval::{Panel, PanelConfig};
+use qi_mapping::{expand_one_to_many, FieldRef, Mapping, MappingError};
+use qi_schema::{
+    spec::{leaf, unlabeled_leaf},
+    NodeId, SchemaTree,
+};
+
+/// A single source interface is a valid "integration".
+#[test]
+fn single_interface_pipeline() {
+    let a = SchemaTree::build("solo", vec![leaf("Make"), leaf("Model")]).unwrap();
+    let leaves = a.descendant_leaves(NodeId::ROOT);
+    let mapping = Mapping::from_clusters(vec![
+        ("make".to_string(), vec![FieldRef::new(0, leaves[0])]),
+        ("model".to_string(), vec![FieldRef::new(0, leaves[1])]),
+    ]);
+    let lexicon = Lexicon::builtin();
+    let labeled = qi::integrate_and_label(vec![a], mapping, &lexicon, NamingPolicy::default());
+    let labels: Vec<&str> = labeled.tree.leaves().map(|l| l.label_str()).collect();
+    assert_eq!(labels, vec!["Make", "Model"]);
+}
+
+/// An empty mapping produces an empty (but valid) integrated tree — the
+/// merge has nothing to place.
+#[test]
+fn empty_mapping_merges_to_root_only() {
+    let a = SchemaTree::build("a", vec![leaf("X")]).unwrap();
+    let schemas = vec![a];
+    let mapping = Mapping::from_clusters(Vec::<(String, Vec<FieldRef>)>::new());
+    let integrated = qi_merge::merge(&schemas, &mapping);
+    assert_eq!(integrated.tree.leaves().count(), 0);
+    // Labeling it is a no-op, not a panic.
+    let lexicon = Lexicon::builtin();
+    let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+    let labeled = labeler.label(&schemas, &mapping, &integrated);
+    assert!(labeled.report.class.is_some());
+}
+
+/// All-unlabeled sources: the pipeline runs; every field stays unlabeled
+/// and the report says so.
+#[test]
+fn fully_unlabeled_domain_degrades_cleanly() {
+    let a = SchemaTree::build("a", vec![unlabeled_leaf(), unlabeled_leaf()]).unwrap();
+    let b = SchemaTree::build("b", vec![unlabeled_leaf(), unlabeled_leaf()]).unwrap();
+    let (al, bl) = (
+        a.descendant_leaves(NodeId::ROOT),
+        b.descendant_leaves(NodeId::ROOT),
+    );
+    let mapping = Mapping::from_clusters(vec![
+        (
+            "c0".to_string(),
+            vec![FieldRef::new(0, al[0]), FieldRef::new(1, bl[0])],
+        ),
+        (
+            "c1".to_string(),
+            vec![FieldRef::new(0, al[1]), FieldRef::new(1, bl[1])],
+        ),
+    ]);
+    let lexicon = Lexicon::builtin();
+    let labeled =
+        qi::integrate_and_label(vec![a, b], mapping, &lexicon, NamingPolicy::default());
+    assert_eq!(labeled.report.unlabeled_fields, 2);
+    assert!(labeled.tree.leaves().all(|l| l.label.is_none()));
+}
+
+/// The empty lexicon is a degraded mode, not a failure: string and
+/// equality levels still work (Porter stemming needs no lexicon), so the
+/// corpus still labels nearly everything.
+#[test]
+fn empty_lexicon_degrades_not_fails() {
+    let lexicon = Lexicon::empty();
+    let prepared = qi_datasets::auto::domain().prepare();
+    let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+    let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+    let labeled_fields = labeled.tree.leaves().filter(|l| l.label.is_some()).count();
+    let total = labeled.tree.leaves().count();
+    assert!(
+        labeled_fields as f64 / total as f64 > 0.9,
+        "{labeled_fields}/{total}"
+    );
+}
+
+/// Unicode labels flow through tokenization, stemming, normalization and
+/// the full pipeline without panicking.
+#[test]
+fn unicode_labels_are_safe() {
+    let a = SchemaTree::build("a", vec![leaf("Prix €"), leaf("Ciudad 城市")]).unwrap();
+    let b = SchemaTree::build("b", vec![leaf("Prix €"), leaf("Ciudad 城市")]).unwrap();
+    let (al, bl) = (
+        a.descendant_leaves(NodeId::ROOT),
+        b.descendant_leaves(NodeId::ROOT),
+    );
+    let mapping = Mapping::from_clusters(vec![
+        (
+            "price".to_string(),
+            vec![FieldRef::new(0, al[0]), FieldRef::new(1, bl[0])],
+        ),
+        (
+            "city".to_string(),
+            vec![FieldRef::new(0, al[1]), FieldRef::new(1, bl[1])],
+        ),
+    ]);
+    let lexicon = Lexicon::builtin();
+    let labeled =
+        qi::integrate_and_label(vec![a, b], mapping, &lexicon, NamingPolicy::default());
+    assert!(labeled.tree.leaves().all(|l| l.label.is_some()));
+}
+
+/// Mapping validation rejects every malformed shape with the right error.
+#[test]
+fn mapping_validation_error_taxonomy() {
+    let a = SchemaTree::build("a", vec![leaf("X"), leaf("Y")]).unwrap();
+    let leaves = a.descendant_leaves(NodeId::ROOT);
+    let schemas = vec![a];
+    // 1:m form.
+    let one_to_many = Mapping::from_clusters(vec![
+        ("c0".to_string(), vec![FieldRef::new(0, leaves[0])]),
+        ("c1".to_string(), vec![FieldRef::new(0, leaves[0])]),
+    ]);
+    assert!(matches!(
+        one_to_many.validate(&schemas),
+        Err(MappingError::OneToMany { .. })
+    ));
+    // Dangling schema index.
+    let dangling = Mapping::from_clusters(vec![(
+        "c0".to_string(),
+        vec![FieldRef::new(9, leaves[0])],
+    )]);
+    assert!(matches!(
+        dangling.validate(&schemas),
+        Err(MappingError::SchemaOutOfRange { .. })
+    ));
+    // Non-leaf reference.
+    let non_leaf = Mapping::from_clusters(vec![(
+        "c0".to_string(),
+        vec![FieldRef::new(0, NodeId::ROOT)],
+    )]);
+    assert!(matches!(
+        non_leaf.validate(&schemas),
+        Err(MappingError::NotAField { .. })
+    ));
+    // Errors render as messages.
+    for error in [
+        one_to_many.validate(&schemas).unwrap_err(),
+        dangling.validate(&schemas).unwrap_err(),
+        non_leaf.validate(&schemas).unwrap_err(),
+    ] {
+        assert!(!error.to_string().is_empty());
+    }
+}
+
+/// 1:m expansion is idempotent: running it twice changes nothing.
+#[test]
+fn expansion_is_idempotent() {
+    let domain = qi_datasets::airline::domain();
+    let mut schemas = domain.schemas.clone();
+    let mut mapping = domain.mapping.clone();
+    expand_one_to_many(&mut schemas, &mut mapping);
+    let (schemas_snapshot, mapping_snapshot) = (schemas.clone(), mapping.clone());
+    let second = expand_one_to_many(&mut schemas, &mut mapping);
+    assert!(second.expanded.is_empty());
+    assert_eq!(schemas, schemas_snapshot);
+    assert_eq!(mapping, mapping_snapshot);
+}
+
+/// Degenerate panels behave: zero judges, zero probabilities, huge seeds.
+#[test]
+fn panel_degenerate_configs() {
+    let prepared = qi_datasets::auto::domain().prepare();
+    let lexicon = Lexicon::builtin();
+    let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+    let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+    for config in [
+        PanelConfig {
+            judges: 0,
+            ..PanelConfig::default()
+        },
+        PanelConfig {
+            flag_probability: 0.0,
+            source_blame_probability: 0.0,
+            ..PanelConfig::default()
+        },
+        PanelConfig {
+            flag_probability: 1.0,
+            source_blame_probability: 1.0,
+            seed: u64::MAX,
+            ..PanelConfig::default()
+        },
+    ] {
+        let (ha, ha_star) = Panel::new(config).survey(
+            "Auto",
+            &labeled,
+            &prepared.schemas,
+            &prepared.mapping,
+        );
+        assert!((0.0..=1.0).contains(&ha), "{config:?}: HA {ha}");
+        assert!(ha_star >= ha - 1e-12, "{config:?}");
+        assert!(ha_star <= 1.0 + 1e-12);
+    }
+}
+
+/// The labeler is a pure function of its inputs: corpus-wide determinism.
+#[test]
+fn corpus_labeling_is_deterministic() {
+    let lexicon = Lexicon::builtin();
+    for domain in [qi_datasets::hotels::domain(), qi_datasets::car_rental::domain()] {
+        let prepared = domain.prepare();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let a = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+        let b = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+        assert_eq!(a.tree, b.tree);
+        assert_eq!(a.report, b.report);
+    }
+}
