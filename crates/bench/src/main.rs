@@ -1,0 +1,273 @@
+//! Self-contained benchmark harness for the labeling pipeline.
+//!
+//! Times each pipeline stage over the seven builtin domains on
+//! `std::time::Instant` (median of `--iters` runs after `--warmup`
+//! discards) and reports the runtime caches' hit rates, writing one JSON
+//! document (default `BENCH_core.json`) plus a human-readable summary on
+//! stdout.
+//!
+//! Stages:
+//! * `normalize` — display-normalize every distinct source field label
+//!   (tokenization, stopwording, Porter stemming, WordNet base forms);
+//! * `cluster`   — run the label-similarity matcher against the ground
+//!   truth in every domain;
+//! * `merge`     — 1:m expansion + structural merge per domain;
+//! * `label`     — the three-phase naming algorithm per domain (fanned
+//!   out over `--threads` workers);
+//! * `evaluate`  — Table 6 metrics + the simulated acceptance panel.
+//!
+//! `--no-cache --threads 1` is the baseline configuration: memo-caches
+//! off, one worker everywhere — the speedup quoted for the cached
+//! parallel configuration is measured against exactly that run.
+
+use qi_core::{LabeledInterface, Labeler, NamingPolicy};
+use qi_datasets::PreparedDomain;
+use qi_eval::matcher_eval::evaluate_matcher;
+use qi_eval::metrics::{fields_accuracy, integrated_shape, internal_accuracy};
+use qi_eval::Panel;
+use qi_lexicon::Lexicon;
+use qi_runtime::{parallel_map, resolve_threads, CacheStats};
+use qi_text::LabelText;
+use std::time::Instant;
+
+struct Config {
+    threads: usize,
+    cache: bool,
+    warmup: usize,
+    iters: usize,
+    out: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            threads: 0,
+            cache: true,
+            warmup: 1,
+            iters: 5,
+            out: "BENCH_core.json".to_string(),
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("qi-bench: {message}");
+    eprintln!("usage: qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut config = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_error(&format!("{flag} requires a value")))
+        };
+        let int_for = |flag: &str, value: String| {
+            value
+                .parse::<usize>()
+                .unwrap_or_else(|_| usage_error(&format!("{flag} expects an integer, got {value:?}")))
+        };
+        match arg.as_str() {
+            "--no-cache" => config.cache = false,
+            "--threads" => config.threads = int_for("--threads", value_for("--threads")),
+            "--warmup" => config.warmup = int_for("--warmup", value_for("--warmup")),
+            "--iters" => config.iters = int_for("--iters", value_for("--iters")).max(1),
+            "--out" => config.out = value_for("--out"),
+            "--help" | "-h" => {
+                println!(
+                    "qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    config
+}
+
+/// Run `f` `warmup + iters` times; return the last `iters` durations in
+/// milliseconds.
+fn time_stage(warmup: usize, iters: usize, mut f: impl FnMut()) -> Vec<f64> {
+    for _ in 0..warmup {
+        f();
+    }
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+fn median(runs: &[f64]) -> f64 {
+    let mut sorted = runs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn stage_json(name: &str, runs: &[f64]) -> String {
+    let list: Vec<String> = runs.iter().map(|&r| number(r)).collect();
+    format!(
+        "{{\"name\":\"{}\",\"median_ms\":{},\"runs_ms\":[{}]}}",
+        name,
+        number(median(runs)),
+        list.join(",")
+    )
+}
+
+fn cache_json(stats: &CacheStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{}}}",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        number(stats.hit_rate())
+    )
+}
+
+fn main() {
+    let config = parse_args();
+    let lexicon = Lexicon::builtin();
+    lexicon.set_cache_enabled(config.cache);
+    qi_text::porter::set_stem_cache_enabled(config.cache);
+    let domains = qi_datasets::all_domains();
+    let outer = resolve_threads(config.threads).min(domains.len());
+    let inner = if outer > 1 { 1 } else { config.threads };
+    let total_start = Instant::now();
+
+    // ---- normalize ------------------------------------------------------
+    let mut labels: Vec<String> = Vec::new();
+    for domain in &domains {
+        for schema in &domain.schemas {
+            for id in schema.preorder() {
+                if let Some(label) = &schema.node(id).label {
+                    labels.push(label.clone());
+                }
+            }
+        }
+    }
+    let normalize = time_stage(config.warmup, config.iters, || {
+        for label in &labels {
+            let text = LabelText::new(label, &lexicon);
+            std::hint::black_box(&text);
+        }
+    });
+
+    // ---- cluster --------------------------------------------------------
+    let cluster = time_stage(config.warmup, config.iters, || {
+        for domain in &domains {
+            std::hint::black_box(evaluate_matcher(domain, &lexicon));
+        }
+    });
+
+    // ---- merge ----------------------------------------------------------
+    let merge = time_stage(config.warmup, config.iters, || {
+        for domain in &domains {
+            std::hint::black_box(domain.prepare());
+        }
+    });
+    let prepared: Vec<PreparedDomain> = domains.iter().map(|d| d.prepare()).collect();
+
+    // ---- label ----------------------------------------------------------
+    let mut labeled: Vec<LabeledInterface> = Vec::new();
+    let label = time_stage(config.warmup, config.iters, || {
+        labeled = parallel_map(&prepared, config.threads, |_, p| {
+            Labeler::new(&lexicon, NamingPolicy::default())
+                .with_threads(inner)
+                .with_cache(config.cache)
+                .label(&p.schemas, &p.mapping, &p.integrated)
+        });
+    });
+    let naming_cache = labeled.iter().fold(CacheStats::default(), |acc, l| {
+        acc.merge(&l.report.naming_cache)
+    });
+
+    // ---- evaluate -------------------------------------------------------
+    let panel = Panel::default();
+    let mut fld_acc_sum = 0.0;
+    let evaluate = time_stage(config.warmup, config.iters, || {
+        fld_acc_sum = 0.0;
+        for (p, l) in prepared.iter().zip(&labeled) {
+            let (ha, ha_star) = panel.survey(&p.name, l, &p.schemas, &p.mapping);
+            std::hint::black_box((integrated_shape(l), internal_accuracy(l), ha, ha_star));
+            fld_acc_sum += fields_accuracy(l);
+        }
+    });
+
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+    let stages = [
+        ("normalize", &normalize),
+        ("cluster", &cluster),
+        ("merge", &merge),
+        ("label", &label),
+        ("evaluate", &evaluate),
+    ];
+    let stage_list: Vec<String> = stages
+        .iter()
+        .map(|(name, runs)| stage_json(name, runs))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"config\":{{\"threads\":{},\"resolved_workers\":{},\"cache\":{},",
+            "\"warmup\":{},\"iters\":{}}},",
+            "\"stages\":[{}],",
+            "\"caches\":{{\"stemmer\":{},\"lexicon\":{},\"naming_ctx\":{}}},",
+            "\"corpus\":{{\"domains\":{},\"mean_fld_acc\":{}}},",
+            "\"total_ms\":{}}}"
+        ),
+        config.threads,
+        outer,
+        config.cache,
+        config.warmup,
+        config.iters,
+        stage_list.join(","),
+        cache_json(&qi_text::porter::stem_cache_stats()),
+        cache_json(&lexicon.cache_stats()),
+        cache_json(&naming_cache),
+        domains.len(),
+        number(fld_acc_sum / domains.len() as f64),
+        number(total_ms),
+    );
+    if let Err(e) = std::fs::write(&config.out, &json) {
+        eprintln!("qi-bench: writing {}: {e}", config.out);
+        std::process::exit(1);
+    }
+
+    println!(
+        "qi-bench: {} domains, threads={} (workers={}), cache={}",
+        domains.len(),
+        config.threads,
+        outer,
+        config.cache
+    );
+    for (name, runs) in &stages {
+        println!(
+            "  {name:<9} {:>9.3} ms (median of {})",
+            median(runs),
+            runs.len()
+        );
+    }
+    println!(
+        "  caches: stemmer {:.1}%  lexicon {:.1}%  naming-ctx {:.1}% hit rate",
+        qi_text::porter::stem_cache_stats().hit_rate() * 100.0,
+        lexicon.cache_stats().hit_rate() * 100.0,
+        naming_cache.hit_rate() * 100.0
+    );
+    println!("  wrote {}", config.out);
+}

@@ -10,11 +10,10 @@
 use crate::ctx::NamingCtx;
 use crate::relations::LabelRelation;
 use qi_mapping::GroupTuple;
-use serde::{Deserialize, Serialize};
 
 /// Consistency level of Definition 2, in relaxation order.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub enum ConsistencyLevel {
     /// Plain string comparison on display-normalized labels.

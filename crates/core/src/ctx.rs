@@ -1,24 +1,28 @@
-//! The naming context: label normalization and relation memoization.
+//! The naming context: label interning, normalization and relation
+//! memoization.
 //!
 //! Group relations compare the same labels over and over (every pair of
 //! tuples, at every consistency level, in every group). `NamingCtx`
-//! normalizes each raw label once and memoizes every pairwise relation.
+//! interns each raw label into a dense [`Symbol`] on first sight,
+//! normalizes it once, and memoizes every pairwise relation keyed by
+//! `(Symbol, Symbol)` — so the steady-state cost of a comparison is one
+//! integer-pair cache probe, with no `String` clones or hashes of raw
+//! label text. All state is lock-striped ([`qi_runtime::ShardedCache`])
+//! and the context is `Sync`: one context serves a whole domain run,
+//! including phase-1 group naming fanned out across threads.
 
 use crate::relations::{relate, LabelRelation};
 use qi_lexicon::Lexicon;
+use qi_runtime::{CacheStats, Interner, ShardedCache, Symbol};
 use qi_text::LabelText;
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Shared state for one naming run (one domain).
-///
-/// Not `Sync` — create one context per thread; the lexicon behind it is
-/// freely shareable.
 pub struct NamingCtx<'a> {
     lexicon: &'a Lexicon,
-    texts: RefCell<HashMap<String, Rc<LabelText>>>,
-    relations: RefCell<HashMap<(String, String), LabelRelation>>,
+    interner: Interner,
+    texts: ShardedCache<Symbol, Arc<LabelText>>,
+    relations: ShardedCache<(Symbol, Symbol), LabelRelation>,
 }
 
 impl<'a> NamingCtx<'a> {
@@ -26,8 +30,9 @@ impl<'a> NamingCtx<'a> {
     pub fn new(lexicon: &'a Lexicon) -> Self {
         NamingCtx {
             lexicon,
-            texts: RefCell::new(HashMap::new()),
-            relations: RefCell::new(HashMap::new()),
+            interner: Interner::new(),
+            texts: ShardedCache::default(),
+            relations: ShardedCache::default(),
         }
     }
 
@@ -36,30 +41,48 @@ impl<'a> NamingCtx<'a> {
         self.lexicon
     }
 
+    /// Intern a raw label.
+    pub fn sym(&self, raw: &str) -> Symbol {
+        self.interner.intern(raw)
+    }
+
+    /// A shared lease on the canonical spelling of an interned label.
+    pub fn spelling(&self, sym: Symbol) -> Arc<str> {
+        self.interner.resolve(sym)
+    }
+
     /// Normalized form of a raw label (memoized).
-    pub fn text(&self, raw: &str) -> Rc<LabelText> {
-        if let Some(t) = self.texts.borrow().get(raw) {
-            return Rc::clone(t);
+    pub fn text(&self, raw: &str) -> Arc<LabelText> {
+        self.text_sym(self.sym(raw))
+    }
+
+    /// Normalized form of an interned label (memoized).
+    pub fn text_sym(&self, sym: Symbol) -> Arc<LabelText> {
+        if let Some(t) = self.texts.get(&sym) {
+            return t;
         }
-        let t = Rc::new(LabelText::new(raw, self.lexicon));
-        self.texts
-            .borrow_mut()
-            .insert(raw.to_string(), Rc::clone(&t));
+        let raw = self.interner.resolve(sym);
+        let t = Arc::new(LabelText::new(&raw, self.lexicon));
+        self.texts.insert(sym, Arc::clone(&t));
         t
     }
 
     /// Definition 1 relation between two raw labels (memoized, symmetric
     /// up to [`LabelRelation::flip`]).
     pub fn relate(&self, a: &str, b: &str) -> LabelRelation {
-        if let Some(&r) = self.relations.borrow().get(&(a.to_string(), b.to_string())) {
+        self.relate_sym(self.sym(a), self.sym(b))
+    }
+
+    /// Definition 1 relation between two interned labels.
+    pub fn relate_sym(&self, a: Symbol, b: Symbol) -> LabelRelation {
+        if let Some(r) = self.relations.get(&(a, b)) {
             return r;
         }
-        let ta = self.text(a);
-        let tb = self.text(b);
+        let ta = self.text_sym(a);
+        let tb = self.text_sym(b);
         let r = relate(&ta, &tb, self.lexicon);
-        let mut cache = self.relations.borrow_mut();
-        cache.insert((a.to_string(), b.to_string()), r);
-        cache.insert((b.to_string(), a.to_string()), r.flip());
+        self.relations.insert((a, b), r);
+        self.relations.insert((b, a), r.flip());
         r
     }
 
@@ -70,10 +93,17 @@ impl<'a> NamingCtx<'a> {
 
     /// `a equal b` or stronger.
     pub fn equal(&self, a: &str, b: &str) -> bool {
-        matches!(
-            self.relate(a, b),
-            LabelRelation::StringEqual | LabelRelation::Equal
-        )
+        self.equal_sym(self.sym(a), self.sym(b))
+    }
+
+    /// `a equal b` or stronger, on interned labels. Identical symbols
+    /// short-circuit to `true` without touching the relation cache.
+    pub fn equal_sym(&self, a: Symbol, b: Symbol) -> bool {
+        a == b
+            || matches!(
+                self.relate_sym(a, b),
+                LabelRelation::StringEqual | LabelRelation::Equal
+            )
     }
 
     /// `a synonym b` or stronger.
@@ -87,6 +117,16 @@ impl<'a> NamingCtx<'a> {
     /// `a` is a strict hypernym of `b`.
     pub fn hypernym(&self, a: &str, b: &str) -> bool {
         self.relate(a, b) == LabelRelation::Hypernym
+    }
+
+    /// `a` is a strict hypernym of `b`, on interned labels.
+    pub fn hypernym_sym(&self, a: Symbol, b: Symbol) -> bool {
+        a != b && self.relate_sym(a, b) == LabelRelation::Hypernym
+    }
+
+    /// Expressiveness of an interned label.
+    pub fn expressiveness_sym(&self, sym: Symbol) -> usize {
+        self.text_sym(sym).expressiveness()
     }
 
     /// `a` is *semantically at least as general as* `b` by lexical
@@ -110,7 +150,20 @@ impl<'a> NamingCtx<'a> {
 
     /// Number of labels normalized so far (diagnostics).
     pub fn cached_labels(&self) -> usize {
-        self.texts.borrow().len()
+        self.texts.stats().entries
+    }
+
+    /// Aggregated hit/miss counters of the context's memo-caches
+    /// (normalized texts + pairwise relations).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.texts.stats().merge(&self.relations.stats())
+    }
+
+    /// Enable or disable the context's memo-caches (benchmarks measure
+    /// the uncached pipeline through this).
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        self.texts.set_enabled(enabled);
+        self.relations.set_enabled(enabled);
     }
 }
 
@@ -119,13 +172,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn memoization_returns_same_rc() {
+    fn memoization_returns_same_arc() {
         let lex = Lexicon::builtin();
         let ctx = NamingCtx::new(&lex);
         let a = ctx.text("Zip Code");
         let b = ctx.text("Zip Code");
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(ctx.cached_labels(), 1);
+    }
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        let a = ctx.sym("Departure City");
+        let b = ctx.sym("Departure City");
+        assert_eq!(a, b);
+        assert_eq!(&*ctx.spelling(a), "Departure City");
+        assert_ne!(ctx.sym("Arrival City"), a);
     }
 
     #[test]
@@ -149,5 +213,22 @@ mod tests {
         assert!(ctx.at_least_as_general("Class", "Flight Class"));
         assert!(!ctx.at_least_as_general("Flight Class", "Class"));
         assert_eq!(ctx.expressiveness("Max. Number of Stops"), 3);
+    }
+
+    #[test]
+    fn context_is_shareable_across_threads() {
+        let lex = Lexicon::builtin();
+        let ctx = NamingCtx::new(&lex);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    assert!(ctx.equal("Job Type", "Type of Job"));
+                    assert!(ctx.hypernym("Location", "Property Location"));
+                });
+            }
+        });
+        let stats = ctx.cache_stats();
+        assert!(stats.hits + stats.misses > 0);
     }
 }

@@ -24,7 +24,9 @@ use crate::ctx::NamingCtx;
 use crate::instances::instances_subset;
 use crate::report::{InferenceRule, LiUsage};
 use qi_mapping::ClusterId;
+use qi_runtime::Symbol;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A potential label: one labeled source internal node whose bag is
 /// contained in the global node's descendant clusters.
@@ -41,8 +43,12 @@ pub struct PotentialLabel {
 /// A candidate label for a global internal node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateLabel {
-    /// The elected raw form of the label.
-    pub label: String,
+    /// The elected raw form of the label (a lease on the naming context's
+    /// interner arena — cloning is a reference-count bump).
+    pub label: Arc<str>,
+    /// The label's interned symbol; ancestor-duplication checks in phase
+    /// 3 compare these as integers.
+    pub sym: Symbol,
     /// Schemas whose internal nodes supplied (an equal form of) it.
     pub schemas: BTreeSet<usize>,
     /// The inference rule that established full coverage.
@@ -66,11 +72,14 @@ pub struct ClusterInfo {
     pub field_labels: Vec<String>,
 }
 
-/// Equivalence class of equal potential labels.
+/// Equivalence class of equal potential labels. Variants are interned
+/// symbols, so membership tests inside the class are integer compares.
 struct LabelClass {
-    /// Raw label variants with occurrence counts; `variants[0]` is the
-    /// representative (most frequent, then lexicographically first).
-    variants: Vec<(String, usize)>,
+    /// Interned label variants with occurrence counts; `variants[0]` is
+    /// the representative (most frequent, then lexicographically first —
+    /// ties broken on spelling, not symbol order, so results do not
+    /// depend on interning order).
+    variants: Vec<(Symbol, usize)>,
     schemas: BTreeSet<usize>,
     direct: BTreeSet<ClusterId>,
     coverage: BTreeSet<ClusterId>,
@@ -78,8 +87,8 @@ struct LabelClass {
 }
 
 impl LabelClass {
-    fn representative(&self) -> &str {
-        &self.variants[0].0
+    fn representative(&self) -> Symbol {
+        self.variants[0].0
     }
 
     fn frequency(&self) -> usize {
@@ -110,24 +119,21 @@ pub fn find_candidates(
         {
             continue;
         }
+        let psym = ctx.sym(&potential.label);
         match classes
             .iter_mut()
-            .find(|c| ctx.equal(c.representative(), &potential.label))
+            .find(|c| ctx.equal_sym(c.representative(), psym))
         {
             Some(class) => {
                 class.schemas.insert(potential.schema);
                 class.direct.extend(potential.bag.iter().copied());
-                match class
-                    .variants
-                    .iter_mut()
-                    .find(|(v, _)| v == &potential.label)
-                {
+                match class.variants.iter_mut().find(|(v, _)| *v == psym) {
                     Some((_, n)) => *n += 1,
-                    None => class.variants.push((potential.label.clone(), 1)),
+                    None => class.variants.push((psym, 1)),
                 }
             }
             None => classes.push(LabelClass {
-                variants: vec![(potential.label.clone(), 1)],
+                variants: vec![(psym, 1)],
                 schemas: BTreeSet::from([potential.schema]),
                 direct: potential.bag.clone(),
                 coverage: potential.bag.clone(),
@@ -136,7 +142,9 @@ pub fn find_candidates(
         }
     }
     for class in &mut classes {
-        class.variants.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        class
+            .variants
+            .sort_by(|a, b| b.1.cmp(&a.1).then(ctx.spelling(a.0).cmp(&ctx.spelling(b.0))));
         class.coverage = class.direct.clone();
     }
     // LI3/LI4 fixpoint: a class absorbs the coverage of classes its
@@ -148,11 +156,8 @@ pub fn find_candidates(
                 if i == j {
                     continue;
                 }
-                let (rep_i, rep_j) = (
-                    classes[i].representative().to_string(),
-                    classes[j].representative().to_string(),
-                );
-                if !ctx.hypernym(&rep_i, &rep_j) {
+                let (rep_i, rep_j) = (classes[i].representative(), classes[j].representative());
+                if !ctx.hypernym_sym(rep_i, rep_j) {
                     continue;
                 }
                 let addition: Vec<ClusterId> = classes[j]
@@ -188,11 +193,13 @@ pub fn find_candidates(
         };
         if let Some(rule) = rule {
             usage.record(rule);
+            let rep = class.representative();
             candidates.push(CandidateLabel {
-                label: class.representative().to_string(),
+                label: ctx.spelling(rep),
+                sym: rep,
                 schemas: class.schemas.clone(),
                 rule,
-                expressiveness: ctx.expressiveness(class.representative()),
+                expressiveness: ctx.expressiveness_sym(rep),
                 frequency: class.frequency(),
                 coverage: class.direct.clone(),
             });
@@ -280,10 +287,10 @@ fn collapse_equivalent(
     ctx: &NamingCtx<'_>,
     usage: &mut LiUsage,
 ) {
-    let coverage_of = |label: &str| -> Option<&BTreeSet<ClusterId>> {
+    let coverage_of = |sym: Symbol| -> Option<&BTreeSet<ClusterId>> {
         classes
             .iter()
-            .find(|c| c.representative() == label)
+            .find(|c| c.representative() == sym)
             .map(|c| &c.coverage)
     };
     let mut removed: BTreeSet<usize> = BTreeSet::new();
@@ -293,13 +300,13 @@ fn collapse_equivalent(
                 continue;
             }
             let (a, b) = (&candidates[i], &candidates[j]);
-            let (Some(cov_a), Some(cov_b)) = (coverage_of(&a.label), coverage_of(&b.label))
+            let (Some(cov_a), Some(cov_b)) = (coverage_of(a.sym), coverage_of(b.sym))
             else {
                 continue;
             };
             // a's bag ⊆ b's bag and a's label lexically ⊒ b's label ⇒
             // equivalent (LI1). Prefer the more descriptive label.
-            if cov_a.is_subset(cov_b) && ctx.hypernym(&a.label, &b.label) {
+            if cov_a.is_subset(cov_b) && ctx.hypernym_sym(a.sym, b.sym) {
                 usage.record(InferenceRule::Li1);
                 let drop = if a.expressiveness >= b.expressiveness { j } else { i };
                 removed.insert(drop);
@@ -368,12 +375,12 @@ mod tests {
             pot("Address", 2, &[0]),
         ];
         let (candidates, usage) = run(&x, &potentials, &BTreeMap::new());
-        let location = candidates.iter().find(|c| c.label == "Location").unwrap();
+        let location = candidates.iter().find(|c| &*c.label == "Location").unwrap();
         assert_eq!(location.rule, InferenceRule::Li2);
         assert_eq!(location.schemas, BTreeSet::from([0, 1]));
         assert_eq!(usage.count(InferenceRule::Li2), 1);
         // Address covers only {0} and cannot be extended — no candidate.
-        assert!(candidates.iter().all(|c| c.label != "Address"));
+        assert!(candidates.iter().all(|c| &*c.label != "Address"));
     }
 
     /// Figure 8 (middle): "Do you have any preferences?" is a hypernym of
@@ -390,7 +397,7 @@ mod tests {
         let (candidates, usage) = run(&x, &potentials, &BTreeMap::new());
         let general = candidates
             .iter()
-            .find(|c| c.label == "Do you have any preferences?")
+            .find(|c| &*c.label == "Do you have any preferences?")
             .expect("hierarchy root must be a candidate");
         assert!(matches!(
             general.rule,
@@ -429,7 +436,7 @@ mod tests {
         let (candidates, usage) = run(&x, &potentials, &info);
         let car_info = candidates
             .iter()
-            .find(|c| c.label == "Car Information")
+            .find(|c| &*c.label == "Car Information")
             .expect("LI5 must extend Car Information over Keywords");
         assert_eq!(car_info.rule, InferenceRule::Li5);
         assert_eq!(usage.count(InferenceRule::Li5), 1);
@@ -476,7 +483,7 @@ mod tests {
         let (candidates, usage) = run(&x, &potentials, &BTreeMap::new());
         assert_eq!(usage.count(InferenceRule::Li1), 1);
         assert_eq!(candidates.len(), 1);
-        assert_eq!(candidates[0].label, "Property Location");
+        assert_eq!(&*candidates[0].label, "Property Location");
     }
 
     #[test]

@@ -28,6 +28,14 @@ use std::collections::{BTreeMap, BTreeSet};
 pub struct Labeler<'a> {
     lexicon: &'a Lexicon,
     policy: NamingPolicy,
+    /// Worker count for phase-1 group naming: `1` = sequential (the
+    /// default), `0` = one worker per hardware thread (clamped), `n` = at
+    /// most `n` workers. Parallelism never changes the output — groups
+    /// are named independently and collected in order.
+    threads: usize,
+    /// When false, the naming context's memo-caches are disabled
+    /// (benchmark baseline mode).
+    cache_enabled: bool,
 }
 
 /// The labeled integrated interface plus the full naming report.
@@ -75,7 +83,26 @@ struct GroupWork {
 impl<'a> Labeler<'a> {
     /// Create a labeler over a lexicon with the given policy.
     pub fn new(lexicon: &'a Lexicon, policy: NamingPolicy) -> Self {
-        Labeler { lexicon, policy }
+        Labeler {
+            lexicon,
+            policy,
+            threads: 1,
+            cache_enabled: true,
+        }
+    }
+
+    /// Fan phase-1 group naming out over up to `threads` workers
+    /// (`0` = hardware parallelism). Output is identical to a sequential
+    /// run.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enable or disable the naming context's memo-caches for this run.
+    pub fn with_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
     }
 
     /// The active policy.
@@ -95,38 +122,39 @@ impl<'a> Labeler<'a> {
         integrated: &Integrated,
     ) -> LabeledInterface {
         let ctx = NamingCtx::new(self.lexicon);
+        ctx.set_cache_enabled(self.cache_enabled);
         let mut report = NamingReport::default();
         let mut tree = integrated.tree.clone();
         let partition = integrated.partition();
 
         // ---------- Phase 1a: name the groups -------------------------------
-        let mut groups: Vec<GroupWork> = Vec::new();
-        for group in &partition.groups {
-            let relation = GroupRelation::build(&group.clusters, mapping, schemas);
-            let naming = name_group(&relation, &ctx, &self.policy);
-            groups.push(GroupWork {
-                clusters: group.clusters.clone(),
-                leaves: group.leaves.clone(),
-                parent: Some(group.parent),
-                relation,
-                naming,
-            });
-        }
+        // Groups are independent: each worker builds the relation and names
+        // the group against the shared (Sync) context; results come back in
+        // input order, so the parallel run is byte-identical to sequential.
         // The children of the root are treated as one special group for
         // which partially consistent solutions are accepted (§4).
+        let mut specs: Vec<(Vec<ClusterId>, Vec<NodeId>, Option<NodeId>)> = partition
+            .groups
+            .iter()
+            .map(|g| (g.clusters.clone(), g.leaves.clone(), Some(g.parent)))
+            .collect();
         if !partition.root.is_empty() {
             let clusters: Vec<ClusterId> = partition.root.iter().map(|&(_, c)| c).collect();
             let leaves: Vec<NodeId> = partition.root.iter().map(|&(l, _)| l).collect();
-            let relation = GroupRelation::build(&clusters, mapping, schemas);
-            let naming = name_group(&relation, &ctx, &self.policy);
-            groups.push(GroupWork {
-                clusters,
-                leaves,
-                parent: None,
-                relation,
-                naming,
-            });
+            specs.push((clusters, leaves, None));
         }
+        let groups: Vec<GroupWork> =
+            qi_runtime::parallel_map(&specs, self.threads, |_, (clusters, leaves, parent)| {
+                let relation = GroupRelation::build(clusters, mapping, schemas);
+                let naming = name_group(&relation, &ctx, &self.policy);
+                GroupWork {
+                    clusters: clusters.clone(),
+                    leaves: leaves.clone(),
+                    parent: *parent,
+                    relation,
+                    naming,
+                }
+            });
 
         // ---------- Phase 1b: isolated clusters ------------------------------
         for &(leaf, cluster) in &partition.isolated {
@@ -182,7 +210,10 @@ impl<'a> Labeler<'a> {
         // For Definition 6 checks: which group hangs under which internal
         // node (descendant groups = groups whose parent is a descendant-or-
         // self of the node).
-        let mut assigned: BTreeMap<NodeId, String> = BTreeMap::new();
+        // Ancestor labels are tracked as interned symbols: the Prop. 2
+        // duplication check and the Definition 5 parent lookup become
+        // integer comparisons / cache probes instead of String compares.
+        let mut assigned: BTreeMap<NodeId, qi_runtime::Symbol> = BTreeMap::new();
         let mut decisions: BTreeMap<NodeId, InternalDecision> = BTreeMap::new();
         let mut weakly = 0usize;
         for id in integrated.tree.preorder() {
@@ -204,11 +235,11 @@ impl<'a> Labeler<'a> {
                 continue;
             }
             let path: Vec<NodeId> = integrated.tree.path_to_root(id);
-            let ancestor_labels: Vec<&String> =
-                path.iter().filter_map(|p| assigned.get(p)).collect();
-            let parent_label: Option<(&String, &BTreeSet<ClusterId>)> = path
+            let ancestor_labels: Vec<qi_runtime::Symbol> =
+                path.iter().filter_map(|p| assigned.get(p).copied()).collect();
+            let parent_label: Option<(qi_runtime::Symbol, &BTreeSet<ClusterId>)> = path
                 .iter()
-                .find_map(|p| assigned.get(p).map(|l| (l, &node_clusters[p])));
+                .find_map(|p| assigned.get(p).map(|&l| (l, &node_clusters[p])));
             let descendant_groups: Vec<&GroupWork> = groups
                 .iter()
                 .filter(|g| match g.parent {
@@ -224,7 +255,7 @@ impl<'a> Labeler<'a> {
             for candidate in candidates {
                 if ancestor_labels
                     .iter()
-                    .any(|al| ctx.equal(al, &candidate.label))
+                    .any(|&al| ctx.equal_sym(al, candidate.sym))
                 {
                     continue; // Le − L_path(e) requirement (Prop. 2)
                 }
@@ -233,9 +264,10 @@ impl<'a> Labeler<'a> {
                 });
                 let generality_ok = match parent_label {
                     Some((pl, pbag)) => {
-                        internal::at_least_as_general(pl, pbag, &candidate.label, x, &ctx)
+                        let pl = ctx.spelling(pl);
+                        internal::at_least_as_general(&pl, pbag, &candidate.label, x, &ctx)
                             || internal::at_least_as_general(
-                                pl,
+                                &pl,
                                 pbag,
                                 &candidate.label,
                                 &candidate.coverage,
@@ -257,13 +289,13 @@ impl<'a> Labeler<'a> {
             }
             match best {
                 Some((def6, _generality, candidate)) => {
-                    assigned.insert(id, candidate.label.clone());
-                    tree.set_label(id, Some(candidate.label.clone()));
+                    assigned.insert(id, candidate.sym);
+                    tree.set_label(id, Some(candidate.label.to_string()));
                     report.labeled_internal += 1;
                     decisions.insert(
                         id,
                         InternalDecision {
-                            chosen: Some(candidate.label.clone()),
+                            chosen: Some(candidate.label.to_string()),
                             candidate_count: candidates.len(),
                             def6_consistent: def6,
                             blocked_by_ancestor: false,
@@ -314,6 +346,8 @@ impl<'a> Labeler<'a> {
                 }
             }
         }
+
+        report.naming_cache = ctx.cache_stats();
 
         LabeledInterface {
             tree,

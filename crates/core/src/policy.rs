@@ -1,11 +1,10 @@
 //! Naming policy: the configuration and ablation axes of the algorithm.
 
 use crate::consistency::ConsistencyLevel;
-use serde::{Deserialize, Serialize};
 
 /// How to pick one label (or solution) among semantically acceptable
 /// alternatives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LabelSelection {
     /// The paper's choice (§3.2.1): prefer the most descriptive label —
     /// more distinct content words first, frequency as tie-break.
@@ -27,7 +26,7 @@ pub enum LabelSelection {
 ///   and §6.1.1);
 /// * `use_instances` — whether the LI6/LI7 instance rules run (§6.1);
 /// * `repair_conflicts` — whether homonym conflicts are repaired (§4.2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NamingPolicy {
     /// Deepest consistency level to try.
     pub max_level: ConsistencyLevel,

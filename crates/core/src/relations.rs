@@ -17,10 +17,9 @@
 
 use qi_lexicon::Lexicon;
 use qi_text::{ContentWord, LabelText};
-use serde::{Deserialize, Serialize};
 
 /// Relation between two labels, strongest first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LabelRelation {
     /// Identical display strings.
     StringEqual,

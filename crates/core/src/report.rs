@@ -2,10 +2,9 @@
 //! inference-rule usage counters behind Figure 10.
 
 use crate::consistency::ConsistencyLevel;
-use serde::{Deserialize, Serialize};
 
 /// The logical inference rules of the paper (LI1–LI7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InferenceRule {
     /// LI1 — semantic equivalence of internal-node labels (Definition 5).
     Li1,
@@ -57,7 +56,7 @@ impl std::fmt::Display for InferenceRule {
 
 /// Counters of inference-rule involvement — the data behind the pie chart
 /// of Figure 10.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LiUsage {
     counts: [usize; 7],
 }
@@ -98,7 +97,7 @@ impl LiUsage {
 
 /// Definition 8: the consistency classification of a labeled integrated
 /// schema tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConsistencyClass {
     /// Consistent solutions for all groups, every internal node labeled
     /// consistently with them, internal-node labels pairwise consistent
@@ -123,7 +122,7 @@ impl std::fmt::Display for ConsistencyClass {
 }
 
 /// Outcome of naming one group of the integrated interface.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupOutcome {
     /// Human-readable description (cluster concepts).
     pub description: String,
@@ -141,7 +140,7 @@ pub struct GroupOutcome {
 }
 
 /// Full report of one naming run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NamingReport {
     /// Definition 8 classification.
     pub class: Option<ConsistencyClass>,
@@ -160,6 +159,9 @@ pub struct NamingReport {
     pub unlabeled_internal_with_candidates: usize,
     /// Internal nodes with no potential label at all.
     pub internal_without_candidates: usize,
+    /// Hit/miss counters of the naming context's memo-caches for this
+    /// run (normalized texts + pairwise relations).
+    pub naming_cache: qi_runtime::CacheStats,
 }
 
 #[cfg(test)]

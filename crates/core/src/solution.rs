@@ -148,11 +148,19 @@ pub fn name_group(
             continue;
         }
         let mut alternatives: Vec<GroupSolution> = Vec::new();
-        let mut seen: BTreeSet<Vec<Option<String>>> = BTreeSet::new();
+        // Dedup on interned label symbols: equality matches exact-string
+        // dedup, but each key is a handful of u32s instead of cloned
+        // Strings.
+        let mut seen: BTreeSet<Vec<Option<qi_runtime::Symbol>>> = BTreeSet::new();
         for &pi in &result.full {
             let partition = &result.partitions[pi];
             for solution in partition_solutions(relation, partition, level, ctx) {
-                if seen.insert(solution.labels.clone()) {
+                let key: Vec<Option<qi_runtime::Symbol>> = solution
+                    .labels
+                    .iter()
+                    .map(|l| l.as_deref().map(|s| ctx.sym(s)))
+                    .collect();
+                if seen.insert(key) {
                     alternatives.push(to_group_solution(solution, partition.tuples.clone()));
                 }
             }

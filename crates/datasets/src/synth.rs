@@ -8,8 +8,7 @@
 
 use crate::domain::Domain;
 use crate::spec::{FieldSpec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use qi_runtime::SplitMix64;
 
 /// Generator configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,7 +55,7 @@ pub struct SynthDomain {
 impl SynthDomain {
     /// Generate a domain.
     pub fn generate(config: SynthConfig) -> SynthDomain {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = SplitMix64::new(config.seed);
         let nouns = [
             "city", "state", "price", "date", "name", "type", "size", "color", "year", "code",
             "rating", "count", "area", "level", "brand", "style",
@@ -98,7 +97,7 @@ impl SynthDomain {
                         instances: Vec::new(),
                     }
                 } else {
-                    let variant = if iface < 2 { 0 } else { rng.gen_range(0..3) };
+                    let variant = if iface < 2 { 0 } else { rng.gen_range(3) };
                     FieldSpec::Field {
                         concepts: vec![concept_key],
                         label: Some(variants[concept][variant].clone()),

@@ -1,6 +1,6 @@
-//! Minimal JSON rendering of evaluation results (hand-rolled writer — the
-//! sanctioned dependency set has serde but no JSON backend, and the
-//! output schema is small and fixed).
+//! Minimal JSON rendering of evaluation results (hand-rolled writer —
+//! the workspace is dependency-free, and the output schema is small and
+//! fixed).
 
 use crate::metrics::DomainEvaluation;
 use crate::runner::CorpusEvaluation;

@@ -1,19 +1,61 @@
 //! Whole-pipeline evaluation: one domain, or the whole corpus.
+//!
+//! The corpus sweep fans out over a bounded scoped pool
+//! ([`qi_runtime::parallel_try_map`]): worker count is clamped to the
+//! hardware (never one unbounded thread per domain), results come back
+//! in input order, and a panicking domain is recorded in
+//! [`CorpusEvaluation::failed`] instead of sinking the whole run.
 
 use crate::metrics::{fields_accuracy, integrated_shape, internal_accuracy, DomainEvaluation};
 use crate::panel::Panel;
 use qi_core::{ConsistencyClass, Labeler, LiUsage, NamingPolicy};
 use qi_datasets::Domain;
 use qi_lexicon::Lexicon;
+use qi_runtime::{parallel_try_map, resolve_threads};
+
+/// Runtime options for an evaluation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Worker bound for the corpus fan-out (`0` = hardware parallelism,
+    /// clamped; `1` = sequential). When more than one corpus worker is
+    /// active, each domain runs its labeler single-threaded to avoid
+    /// oversubscription; with one worker the labeler itself fans phase-1
+    /// group naming out over this many threads.
+    pub threads: usize,
+    /// Naming-context memo-caches on (default) or off (benchmark
+    /// baseline).
+    pub cache: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: 0,
+            cache: true,
+        }
+    }
+}
+
+/// A domain whose evaluation panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainFailure {
+    /// Display name of the domain.
+    pub name: String,
+    /// The panic message.
+    pub error: String,
+}
 
 /// Corpus-level results: per-domain rows plus the aggregate LI usage
 /// (Figure 10).
 #[derive(Debug, Clone)]
 pub struct CorpusEvaluation {
-    /// One row per domain, Table 6 order.
+    /// One row per successfully evaluated domain, Table 6 order.
     pub domains: Vec<DomainEvaluation>,
     /// LI usage summed across domains.
     pub li_usage: LiUsage,
+    /// Domains whose evaluation panicked; they contribute no row but do
+    /// not abort the sweep.
+    pub failed: Vec<DomainFailure>,
 }
 
 /// Run the full pipeline on one domain and compute its Table 6 row.
@@ -23,9 +65,31 @@ pub fn evaluate_domain(
     policy: NamingPolicy,
     panel: Panel,
 ) -> DomainEvaluation {
+    evaluate_domain_with(
+        domain,
+        lexicon,
+        policy,
+        panel,
+        RunConfig {
+            threads: 1,
+            cache: true,
+        },
+    )
+}
+
+/// [`evaluate_domain`] with explicit runtime options.
+pub fn evaluate_domain_with(
+    domain: &Domain,
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+    panel: Panel,
+    config: RunConfig,
+) -> DomainEvaluation {
     let source = domain.source_stats();
     let prepared = domain.prepare();
-    let labeler = Labeler::new(lexicon, policy);
+    let labeler = Labeler::new(lexicon, policy)
+        .with_threads(config.threads)
+        .with_cache(config.cache);
     let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
     let (ha, ha_star) = panel.survey(&prepared.name, &labeled, &prepared.schemas, &prepared.mapping);
     DomainEvaluation {
@@ -44,36 +108,52 @@ pub fn evaluate_domain(
     }
 }
 
-/// Evaluate a set of domains in parallel (one thread per domain).
+/// Evaluate a set of domains on a bounded worker pool (hardware
+/// parallelism by default).
 pub fn evaluate_corpus(
     domains: &[Domain],
     lexicon: &Lexicon,
     policy: NamingPolicy,
     panel: Panel,
 ) -> CorpusEvaluation {
-    let mut rows: Vec<Option<DomainEvaluation>> = Vec::new();
-    rows.resize_with(domains.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, domain) in domains.iter().enumerate() {
-            handles.push((
-                i,
-                scope.spawn(move |_| evaluate_domain(domain, lexicon, policy, panel)),
-            ));
+    evaluate_corpus_with(domains, lexicon, policy, panel, RunConfig::default())
+}
+
+/// [`evaluate_corpus`] with explicit runtime options.
+pub fn evaluate_corpus_with(
+    domains: &[Domain],
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+    panel: Panel,
+    config: RunConfig,
+) -> CorpusEvaluation {
+    let outer = resolve_threads(config.threads).min(domains.len().max(1));
+    let per_domain = RunConfig {
+        threads: if outer > 1 { 1 } else { config.threads },
+        cache: config.cache,
+    };
+    let results = parallel_try_map(domains, config.threads, |_, domain| {
+        evaluate_domain_with(domain, lexicon, policy, panel, per_domain)
+    });
+    let mut rows: Vec<DomainEvaluation> = Vec::with_capacity(domains.len());
+    let mut failed: Vec<DomainFailure> = Vec::new();
+    for (domain, result) in domains.iter().zip(results) {
+        match result {
+            Ok(row) => rows.push(row),
+            Err(error) => failed.push(DomainFailure {
+                name: domain.name.clone(),
+                error,
+            }),
         }
-        for (i, handle) in handles {
-            rows[i] = Some(handle.join().expect("domain evaluation panicked"));
-        }
-    })
-    .expect("evaluation threads");
-    let domains: Vec<DomainEvaluation> = rows.into_iter().map(Option::unwrap).collect();
+    }
     let mut li_usage = LiUsage::default();
-    for row in &domains {
+    for row in &rows {
         li_usage.merge(&row.li_usage);
     }
     CorpusEvaluation {
-        domains,
+        domains: rows,
         li_usage,
+        failed,
     }
 }
 
@@ -93,6 +173,7 @@ mod tests {
             Panel::default(),
         );
         assert_eq!(result.domains.len(), 7);
+        assert!(result.failed.is_empty());
         for row in &result.domains {
             assert!((0.0..=1.0).contains(&row.fld_acc), "{}: {}", row.name, row.fld_acc);
             assert!((0.0..=1.0).contains(&row.int_acc));
@@ -107,26 +188,100 @@ mod tests {
         );
     }
 
+    /// The determinism acceptance check: a parallel corpus run over all
+    /// seven builtin domains is byte-identical (Debug form, which covers
+    /// every Table 6 column and the LI counters) to a sequential one.
     #[test]
     fn parallel_matches_sequential() {
+        let domains = qi_datasets::all_domains();
+        let lexicon = Lexicon::builtin();
+        let parallel = evaluate_corpus_with(
+            &domains,
+            &lexicon,
+            NamingPolicy::default(),
+            Panel::default(),
+            RunConfig {
+                threads: 0,
+                cache: true,
+            },
+        );
+        let sequential = evaluate_corpus_with(
+            &domains,
+            &lexicon,
+            NamingPolicy::default(),
+            Panel::default(),
+            RunConfig {
+                threads: 1,
+                cache: true,
+            },
+        );
+        assert!(parallel.failed.is_empty());
+        assert!(sequential.failed.is_empty());
+        assert_eq!(
+            format!("{:?}", parallel.domains),
+            format!("{:?}", sequential.domains)
+        );
+        assert_eq!(
+            format!("{:?}", parallel.li_usage),
+            format!("{:?}", sequential.li_usage)
+        );
+    }
+
+    /// Disabling the memo-caches must not change any result either.
+    #[test]
+    fn cache_off_matches_cache_on() {
         let domains = vec![qi_datasets::auto::domain(), qi_datasets::job::domain()];
         let lexicon = Lexicon::builtin();
-        let parallel = evaluate_corpus(
+        let on = evaluate_corpus_with(
+            &domains,
+            &lexicon,
+            NamingPolicy::default(),
+            Panel::default(),
+            RunConfig {
+                threads: 1,
+                cache: true,
+            },
+        );
+        let off = evaluate_corpus_with(
+            &domains,
+            &lexicon,
+            NamingPolicy::default(),
+            Panel::default(),
+            RunConfig {
+                threads: 1,
+                cache: false,
+            },
+        );
+        assert_eq!(format!("{:?}", on.domains), format!("{:?}", off.domains));
+    }
+
+    /// A domain that panics mid-pipeline is reported in `failed`; the
+    /// healthy domains still produce their rows.
+    #[test]
+    fn panicking_domain_does_not_sink_the_corpus() {
+        let mut domains = vec![qi_datasets::auto::domain()];
+        // A mapping that references a non-existent source schema panics
+        // during preparation.
+        let mut broken = qi_datasets::job::domain();
+        broken.name = "Broken".to_string();
+        broken.mapping = qi_mapping::Mapping::from_clusters(vec![(
+            "ghost".to_string(),
+            vec![qi_mapping::FieldRef::new(99, qi_schema::NodeId::ROOT)],
+        )]);
+        domains.push(broken);
+        domains.push(qi_datasets::job::domain());
+        let lexicon = Lexicon::builtin();
+        let result = evaluate_corpus(
             &domains,
             &lexicon,
             NamingPolicy::default(),
             Panel::default(),
         );
-        let sequential: Vec<DomainEvaluation> = domains
-            .iter()
-            .map(|d| evaluate_domain(d, &lexicon, NamingPolicy::default(), Panel::default()))
-            .collect();
-        for (p, s) in parallel.domains.iter().zip(&sequential) {
-            assert_eq!(p.name, s.name);
-            assert_eq!(p.fld_acc, s.fld_acc);
-            assert_eq!(p.int_acc, s.int_acc);
-            assert_eq!(p.ha, s.ha);
-            assert_eq!(p.class, s.class);
-        }
+        assert_eq!(result.domains.len(), 2);
+        assert_eq!(result.failed.len(), 1);
+        assert_eq!(result.failed[0].name, "Broken");
+        assert!(!result.failed[0].error.is_empty());
+        assert_eq!(result.domains[0].name, domains[0].name);
+        assert_eq!(result.domains[1].name, domains[2].name);
     }
 }

@@ -40,16 +40,16 @@ pub mod synset;
 pub use builder::LexiconBuilder;
 pub use synset::SynsetId;
 
-use parking_lot::RwLock;
+use qi_runtime::{CacheStats, ShardedCache};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 
 /// The lexical database: synsets, lemma index, hypernym DAG, morphology.
 ///
-/// All queries take `&self` and the transitive-hypernymy cache is behind an
-/// `RwLock`, so one instance can serve a whole evaluation run across
-/// threads.
+/// All queries take `&self`; the transitive-hypernymy and base-form
+/// memo-caches are lock-striped ([`qi_runtime::ShardedCache`]), so one
+/// instance can serve a whole evaluation run across threads without the
+/// hot path serializing behind a single global lock.
 #[derive(Debug)]
 pub struct Lexicon {
     /// Synset membership: `synsets[id]` is the list of member lemmas.
@@ -63,7 +63,10 @@ pub struct Lexicon {
     /// Irregular morphology: surface form → base form.
     pub(crate) exceptions: HashMap<String, String>,
     /// Memoized transitive-hypernymy answers.
-    hypernym_cache: Arc<RwLock<HashMap<(SynsetId, SynsetId), bool>>>,
+    hypernym_cache: ShardedCache<(SynsetId, SynsetId), bool>,
+    /// Memoized morphological reductions (`base_form` results, covering
+    /// the Morphy detachment-rule walk).
+    base_form_cache: ShardedCache<String, Option<String>>,
 }
 
 impl Lexicon {
@@ -100,7 +103,19 @@ impl Lexicon {
     /// Morphological base form of `token` (lowercase), like WordNet's
     /// Morphy: exception list first, then detachment rules validated
     /// against the lemma index. Returns `None` when no reduction applies.
+    /// Memoized — the same few hundred tokens are reduced once per
+    /// cluster per domain otherwise.
     pub fn base_form(&self, token: &str) -> Option<String> {
+        if let Some(hit) = self.base_form_cache.get(token) {
+            return hit;
+        }
+        let reduced = self.base_form_uncached(token);
+        self.base_form_cache
+            .insert(token.to_string(), reduced.clone());
+        reduced
+    }
+
+    fn base_form_uncached(&self, token: &str) -> Option<String> {
         if let Some(base) = self.exceptions.get(token) {
             return Some(base.clone());
         }
@@ -108,6 +123,18 @@ impl Lexicon {
             return None; // already a base form
         }
         morphy::reduce(token, |candidate| self.is_lemma(candidate))
+    }
+
+    /// Enable or disable the lexicon's memo-caches (hypernymy and
+    /// base-form). Benchmarks disable them to measure the raw pipeline.
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        self.hypernym_cache.set_enabled(enabled);
+        self.base_form_cache.set_enabled(enabled);
+    }
+
+    /// Aggregated hit/miss counters of the lexicon's memo-caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.hypernym_cache.stats().merge(&self.base_form_cache.stats())
     }
 
     /// Resolve a word to the synsets it may denote: exact lemma match,
@@ -170,7 +197,7 @@ impl Lexicon {
         if general == specific {
             return false;
         }
-        if let Some(&hit) = self.hypernym_cache.read().get(&(general, specific)) {
+        if let Some(hit) = self.hypernym_cache.get(&(general, specific)) {
             return hit;
         }
         let mut visited: HashSet<SynsetId> = HashSet::new();
@@ -185,9 +212,7 @@ impl Lexicon {
                 stack.extend_from_slice(&self.hypernyms[node.0 as usize]);
             }
         }
-        self.hypernym_cache
-            .write()
-            .insert((general, specific), found);
+        self.hypernym_cache.insert((general, specific), found);
         found
     }
 
@@ -240,7 +265,8 @@ impl Lexicon {
             stem_index,
             hypernyms,
             exceptions,
-            hypernym_cache: Arc::new(RwLock::new(HashMap::new())),
+            hypernym_cache: ShardedCache::default(),
+            base_form_cache: ShardedCache::default(),
         }
     }
 }

@@ -1,13 +1,12 @@
 //! Synset identifiers.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a synonym set (synset) inside a [`crate::Lexicon`].
 ///
 /// Synsets are stored in a dense arena, so the id is a plain index. Ids are
 /// only meaningful relative to the lexicon that produced them.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct SynsetId(pub u32);
 

@@ -1,12 +1,11 @@
 //! Clusters of semantically equivalent fields and 1:m expansion (§2.1).
 
 use qi_schema::{NodeId, SchemaTree};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a cluster within a [`Mapping`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct ClusterId(pub u32);
 
@@ -26,7 +25,7 @@ impl std::fmt::Display for ClusterId {
 /// A field of one schema: `(schema index, node id)`. Schema indices refer
 /// to the slice of source trees the mapping was built against.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub struct FieldRef {
     /// Index of the source schema within the domain's interface list.
@@ -46,7 +45,7 @@ impl FieldRef {
 /// (Table 1 of the paper). After [`expand_one_to_many`] every schema
 /// contributes at most one field per cluster; schemas without an
 /// equivalent field simply have no entry (the paper's null entries).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cluster {
     /// This cluster's id.
     pub id: ClusterId,
@@ -65,7 +64,7 @@ impl Cluster {
 }
 
 /// The domain-wide set of clusters.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Mapping {
     /// Clusters, indexed by [`ClusterId`].
     pub clusters: Vec<Cluster>,

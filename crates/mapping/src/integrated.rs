@@ -8,12 +8,11 @@
 
 use crate::cluster::ClusterId;
 use qi_schema::{NodeId, SchemaTree};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identifier of a group inside a [`ClusterPartition`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct GroupId(pub u32);
 
@@ -32,7 +31,7 @@ impl std::fmt::Display for GroupId {
 
 /// A group of the integrated interface: ≥2 leaf siblings under one
 /// non-root internal node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntegratedGroup {
     /// The internal node the group hangs off.
     pub parent: NodeId,
@@ -43,7 +42,7 @@ pub struct IntegratedGroup {
 }
 
 /// Which class a cluster falls into (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClusterClass {
     /// Member of `C_groups`, with its group.
     Grouped(GroupId),
@@ -54,7 +53,7 @@ pub enum ClusterClass {
 }
 
 /// The partition of an integrated interface's clusters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ClusterPartition {
     /// The groups (`C_groups`, grouped by parent node).
     pub groups: Vec<IntegratedGroup>,
@@ -84,7 +83,7 @@ impl ClusterPartition {
 
 /// The integrated query interface: the merged schema tree plus the
 /// correspondence from its leaves to clusters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Integrated {
     /// The merged, initially unlabeled (or partially labeled) schema tree.
     pub tree: SchemaTree,

@@ -7,11 +7,10 @@
 
 use crate::cluster::{ClusterId, Mapping};
 use qi_schema::SchemaTree;
-use serde::{Deserialize, Serialize};
 
 /// One tuple of a group relation: the labels one interface supplies for
 /// the clusters of the group (`None` = the paper's null entry).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupTuple {
     /// Source schema index.
     pub schema: usize,
@@ -36,7 +35,7 @@ impl GroupTuple {
 }
 
 /// The group relation of one group of clusters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupRelation {
     /// The group's clusters (column order).
     pub clusters: Vec<ClusterId>,

@@ -1,0 +1,29 @@
+//! Zero-dependency parallel runtime for the labeling pipeline.
+//!
+//! The paper's pipeline is dominated by repeated lexical queries —
+//! normalization, Porter stemming, WordNet base-form lookup and transitive
+//! hypernymy tests (Definition 1) — executed once per token per cluster
+//! per domain. This crate supplies the concurrency substrate those hot
+//! paths run through, built exclusively on `std`:
+//!
+//! * [`ShardedCache`] — an N-way lock-striped concurrent memo-cache with
+//!   hit/miss counters and a global enable switch (so benchmarks can
+//!   measure the uncached pipeline);
+//! * [`Interner`] — an append-only string arena mapping labels to dense
+//!   [`Symbol`]s, with `Arc<str>` leases for the public API, turning label
+//!   equality into integer equality;
+//! * [`pool`] — a bounded scoped thread pool (`std::thread::scope`,
+//!   worker count clamped to [`pool::max_threads`]) with ordered results
+//!   and per-item panic isolation;
+//! * [`SplitMix64`] — a tiny deterministic PRNG for synthetic-domain
+//!   generation (replaces the external `rand` crate).
+
+pub mod cache;
+pub mod intern;
+pub mod pool;
+pub mod rng;
+
+pub use cache::{CacheStats, ShardedCache};
+pub use intern::{Interner, Symbol};
+pub use pool::{parallel_map, parallel_try_map, resolve_threads};
+pub use rng::SplitMix64;

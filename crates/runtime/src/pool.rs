@@ -1,0 +1,180 @@
+//! Bounded scoped thread pool over `std::thread::scope`.
+//!
+//! Replaces the one-unbounded-thread-per-domain `crossbeam` scope: a
+//! fixed roster of workers pulls item indices from a shared atomic
+//! cursor (self-balancing — cheap items don't idle a worker while an
+//! expensive one runs), results come back in input order, and panics are
+//! either propagated ([`parallel_map`]) or isolated per item
+//! ([`parallel_try_map`]) so one poisoned domain cannot sink a corpus
+//! run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on worker count: evaluation items (domains, groups) are
+/// coarse, so more threads than this only adds scheduling noise.
+pub const MAX_THREADS: usize = 16;
+
+/// Resolve a requested thread count: `0` means "use the hardware",
+/// anything else is clamped to `[1, MAX_THREADS]`.
+pub fn resolve_threads(requested: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n = if requested == 0 { hw } else { requested };
+    n.clamp(1, MAX_THREADS)
+}
+
+/// Map `f` over `items` on up to `threads` scoped workers, returning
+/// results in input order. Panics in `f` are propagated to the caller.
+///
+/// `threads` is resolved via [`resolve_threads`] and additionally capped
+/// at `items.len()`; with one worker (or one item) the map degenerates to
+/// a plain sequential loop with no thread spawned at all, so a
+/// single-threaded run is exactly the code the benchmark baseline times.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let results = run(items, threads, |i, item| f(i, item));
+    results
+        .into_iter()
+        .map(|r| r.expect("worker panicked"))
+        .collect()
+}
+
+/// Like [`parallel_map`], but a panic in `f` yields `Err(message)` for
+/// that item instead of aborting the whole map.
+pub fn parallel_try_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run(items, threads, f)
+}
+
+fn run<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len().max(1));
+    let guarded_call = |i: usize, item: &T| -> Result<R, String> {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "worker panicked".to_string()
+            }
+        })
+    };
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| guarded_call(i, item))
+            .collect();
+    }
+    let mut slots: Vec<Option<Result<R, String>>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let slots = Mutex::new(slots);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = guarded_call(i, &items[i]);
+                slots.lock().expect("result slots poisoned")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("worker skipped an item"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 4, 16] {
+            let out = parallel_map(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn try_map_isolates_panics() {
+        let items = vec![1u32, 2, 3, 4];
+        let out = parallel_try_map(&items, 4, |_, &x| {
+            if x == 3 {
+                panic!("bad domain {x}");
+            }
+            x * 10
+        });
+        assert_eq!(out[0], Ok(10));
+        assert_eq!(out[1], Ok(20));
+        assert_eq!(out[3], Ok(40));
+        let err = out[2].as_ref().unwrap_err();
+        assert!(err.contains("bad domain 3"), "{err}");
+    }
+
+    #[test]
+    fn sequential_path_isolates_panics_too() {
+        let items = vec![1u32, 2];
+        let out = parallel_try_map(&items, 1, |_, &x| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+        assert!(out[0].is_err());
+        assert_eq!(out[1], Ok(2));
+    }
+
+    #[test]
+    fn resolve_threads_clamps() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(MAX_THREADS + 50), MAX_THREADS);
+        let auto = resolve_threads(0);
+        assert!((1..=MAX_THREADS).contains(&auto));
+    }
+
+    #[test]
+    fn work_is_shared_across_workers() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        parallel_map(&items, 4, |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(seen.lock().unwrap().len() > 1, "expected multiple workers");
+    }
+}

@@ -1,11 +1,10 @@
 //! Schema-tree nodes.
 
-use serde::{Deserialize, Serialize};
 
 /// Index of a node inside a [`crate::SchemaTree`] arena. The root is
 /// always `NodeId(0)`.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct NodeId(pub u32);
 
@@ -28,7 +27,7 @@ impl std::fmt::Display for NodeId {
 /// The widget kind of a form field (§2 of the paper: "text boxes,
 /// selection lists, radio buttons, and check boxes ... generically called
 /// fields").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Widget {
     /// Free-text input.
     #[default]
@@ -43,7 +42,7 @@ pub enum Widget {
 
 /// Payload distinguishing fields (leaves) from (super)groups (internal
 /// nodes).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
     /// A form field.
     Leaf {
@@ -73,7 +72,7 @@ impl NodeKind {
 }
 
 /// One node of a schema tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     /// This node's id (its arena index).
     pub id: NodeId,

@@ -18,10 +18,9 @@
 //! ```
 
 use crate::node::Widget;
-use serde::{Deserialize, Serialize};
 
 /// Declarative description of a subtree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeSpec {
     /// A field.
     Leaf {

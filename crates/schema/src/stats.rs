@@ -1,9 +1,8 @@
 //! Interface statistics (the per-domain characteristics of Table 6).
 
-use serde::{Deserialize, Serialize};
 
 /// Shape and labeling statistics of one schema tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InterfaceStats {
     /// Number of fields.
     pub leaves: usize,
@@ -30,7 +29,7 @@ impl InterfaceStats {
 
 /// Average of per-interface statistics across a domain (Table 6 columns
 /// 2–5).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DomainStats {
     /// Number of interfaces aggregated.
     pub interfaces: usize,

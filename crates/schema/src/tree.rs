@@ -4,12 +4,11 @@ use crate::error::SchemaError;
 use crate::node::{Node, NodeId, NodeKind, Widget};
 use crate::spec::NodeSpec;
 use crate::stats::InterfaceStats;
-use serde::{Deserialize, Serialize};
 
 /// An ordered schema tree abstracting one query interface (§2.3 of the
 /// paper). Nodes live in an arena; the root (`NodeId::ROOT`) stands for
 /// the interface itself and is never labeled.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchemaTree {
     name: String,
     nodes: Vec<Node>,
@@ -529,9 +528,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_via_clone_eq() {
-        // serde derives exist for corpus snapshots; structural equality is
-        // the contract they rely on.
+    fn round_trip_via_clone_eq() {
+        // Corpus snapshots rely on structural equality being a full
+        // deep-content contract.
         let t = vacations();
         assert_eq!(t, t.clone());
     }

@@ -12,7 +12,6 @@
 use crate::porter;
 use crate::stopwords::is_stop_word;
 use crate::token::{strip_comments, tokenize};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Supplies the base (dictionary) form of a token — the role WordNet's
@@ -78,7 +77,7 @@ pub fn display_normalize(label: &str) -> String {
 /// of the lemma, which conflates both regular inflection (`Preferred` /
 /// `Preference` → `prefer`) and irregular forms handled by the lemmatizer
 /// (`Children` → `child`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ContentWord {
     /// Lowercased surface token as it appeared in the label.
     pub surface: String,
@@ -164,7 +163,7 @@ pub fn content_words(label: &str, lemmatizer: &dyn Lemmatizer) -> Vec<ContentWor
 /// A fully normalized label: the raw text, its display-normalized form, and
 /// its content-word set. This is the representation every semantic label
 /// relation (Definition 1 of the paper) is computed over.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LabelText {
     /// The label exactly as it appears on the source interface.
     pub raw: String,

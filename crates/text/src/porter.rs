@@ -11,7 +11,30 @@
 //! returned unchanged. All five steps (1a, 1b, 1c, 2, 3, 4, 5a, 5b) of the
 //! original algorithm are implemented.
 
-/// Stem a single lowercase word with the Porter algorithm.
+use qi_runtime::{CacheStats, ShardedCache};
+use std::sync::OnceLock;
+
+/// Process-wide stem memo-cache. The corpus vocabulary is a few thousand
+/// distinct tokens stemmed millions of times across clusters and domains,
+/// so the cache converges quickly and then answers from a shard read
+/// lock. `stem` is pure, so memoization is transparent.
+fn stem_cache() -> &'static ShardedCache<String, String> {
+    static CACHE: OnceLock<ShardedCache<String, String>> = OnceLock::new();
+    CACHE.get_or_init(ShardedCache::default)
+}
+
+/// Enable or disable the process-wide stem memo-cache (benchmarks use
+/// this to time the uncached pipeline).
+pub fn set_stem_cache_enabled(enabled: bool) {
+    stem_cache().set_enabled(enabled);
+}
+
+/// Hit/miss counters of the stem memo-cache.
+pub fn stem_cache_stats() -> CacheStats {
+    stem_cache().stats()
+}
+
+/// Stem a single lowercase word with the Porter algorithm (memoized).
 ///
 /// ```
 /// use qi_text::stem;
@@ -24,6 +47,16 @@ pub fn stem(word: &str) -> String {
     if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
         return word.to_string();
     }
+    if let Some(hit) = stem_cache().get(word) {
+        return hit;
+    }
+    let stemmed = stem_uncached(word);
+    stem_cache().insert(word.to_string(), stemmed.clone());
+    stemmed
+}
+
+/// The raw algorithm, no memoization.
+fn stem_uncached(word: &str) -> String {
     let mut w: Vec<u8> = word.as_bytes().to_vec();
     step_1a(&mut w);
     step_1b(&mut w);

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Build the benchmark harness, run the cached/parallel configuration and
+# the uncached single-threaded baseline, and print per-stage speedups.
+# Writes BENCH_core.json (cached run) and BENCH_baseline.json at the
+# repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release -p qi-bench
+
+./target/release/qi-bench --out BENCH_core.json "$@"
+./target/release/qi-bench --no-cache --threads 1 --out BENCH_baseline.json "$@"
+
+awk '
+    function grab(file, out,   line, n, parts, i, name, ms) {
+        getline line < file
+        close(file)
+        n = split(line, parts, /"name":"/)
+        for (i = 2; i <= n; i++) {
+            name = parts[i]; sub(/".*/, "", name)
+            ms = parts[i]; sub(/.*"median_ms":/, "", ms); sub(/[,}].*/, "", ms)
+            out[name] = ms
+        }
+    }
+    BEGIN {
+        grab("BENCH_core.json", cached)
+        grab("BENCH_baseline.json", base)
+        printf "%-10s %12s %12s %9s\n", "stage", "cached ms", "baseline ms", "speedup"
+        split("normalize cluster merge label evaluate", order, " ")
+        for (i = 1; i <= 5; i++) {
+            s = order[i]
+            if (cached[s] + 0 > 0)
+                printf "%-10s %12.3f %12.3f %8.2fx\n", s, cached[s], base[s], base[s] / cached[s]
+        }
+    }'

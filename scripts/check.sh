@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Tier-1 verification: offline release build + full test suite.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace

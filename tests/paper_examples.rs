@@ -223,7 +223,7 @@ fn figure8_preferences_hierarchy() {
     let candidates = &labeled.internal_candidates[&parent];
     let question = candidates
         .iter()
-        .find(|c| c.label == "Do you have any preferences?")
+        .find(|c| &*c.label == "Do you have any preferences?")
         .expect("hierarchy root must be a candidate");
     assert!(matches!(
         question.rule,
