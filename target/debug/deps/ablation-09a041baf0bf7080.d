@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-09a041baf0bf7080.d: crates/eval/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-09a041baf0bf7080: crates/eval/src/bin/ablation.rs
+
+crates/eval/src/bin/ablation.rs:

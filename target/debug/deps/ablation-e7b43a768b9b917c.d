@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e7b43a768b9b917c.d: crates/eval/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-e7b43a768b9b917c: crates/eval/src/bin/ablation.rs
+
+crates/eval/src/bin/ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-dd0fa612413326c6.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-dd0fa612413326c6: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_qi=/root/repo/target/debug/qi

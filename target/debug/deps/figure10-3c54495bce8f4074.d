@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure10-3c54495bce8f4074.d: crates/eval/src/bin/figure10.rs
+
+/root/repo/target/debug/deps/figure10-3c54495bce8f4074: crates/eval/src/bin/figure10.rs
+
+crates/eval/src/bin/figure10.rs:

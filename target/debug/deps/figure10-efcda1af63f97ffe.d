@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure10-efcda1af63f97ffe.d: crates/eval/src/bin/figure10.rs
+
+/root/repo/target/debug/deps/figure10-efcda1af63f97ffe: crates/eval/src/bin/figure10.rs
+
+crates/eval/src/bin/figure10.rs:

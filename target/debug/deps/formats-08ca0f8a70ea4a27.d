@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/formats-08ca0f8a70ea4a27.d: tests/formats.rs
+
+/root/repo/target/debug/deps/formats-08ca0f8a70ea4a27: tests/formats.rs
+
+tests/formats.rs:

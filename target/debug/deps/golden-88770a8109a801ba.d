@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/golden-88770a8109a801ba.d: tests/golden.rs tests/golden/airline.qis tests/golden/auto.qis tests/golden/book.qis tests/golden/job.qis tests/golden/real_estate.qis tests/golden/car_rental.qis tests/golden/hotels.qis
+
+/root/repo/target/debug/deps/golden-88770a8109a801ba: tests/golden.rs tests/golden/airline.qis tests/golden/auto.qis tests/golden/book.qis tests/golden/job.qis tests/golden/real_estate.qis tests/golden/car_rental.qis tests/golden/hotels.qis
+
+tests/golden.rs:
+tests/golden/airline.qis:
+tests/golden/auto.qis:
+tests/golden/book.qis:
+tests/golden/job.qis:
+tests/golden/real_estate.qis:
+tests/golden/car_rental.qis:
+tests/golden/hotels.qis:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matcher-ba17ee11ef61bbb1.d: crates/eval/src/bin/matcher.rs
+
+/root/repo/target/debug/deps/matcher-ba17ee11ef61bbb1: crates/eval/src/bin/matcher.rs
+
+crates/eval/src/bin/matcher.rs:

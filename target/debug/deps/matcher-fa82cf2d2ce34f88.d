@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matcher-fa82cf2d2ce34f88.d: crates/eval/src/bin/matcher.rs
+
+/root/repo/target/debug/deps/matcher-fa82cf2d2ce34f88: crates/eval/src/bin/matcher.rs
+
+crates/eval/src/bin/matcher.rs:

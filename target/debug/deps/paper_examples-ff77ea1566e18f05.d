@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-ff77ea1566e18f05.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-ff77ea1566e18f05: tests/paper_examples.rs
+
+tests/paper_examples.rs:

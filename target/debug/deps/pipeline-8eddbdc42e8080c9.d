@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-8eddbdc42e8080c9.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-8eddbdc42e8080c9: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-08d1d5cda2e22434.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-08d1d5cda2e22434: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qi-0af882cc19a66e3d.d: src/bin/qi.rs
+
+/root/repo/target/debug/deps/qi-0af882cc19a66e3d: src/bin/qi.rs
+
+src/bin/qi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qi-634ba80f83a3e449.d: src/lib.rs
+
+/root/repo/target/debug/deps/qi-634ba80f83a3e449: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qi-a1946847594cd542.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqi-a1946847594cd542.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqi-a1946847594cd542.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qi-fb0d612fdde02ef7.d: src/bin/qi.rs
+
+/root/repo/target/debug/deps/qi-fb0d612fdde02ef7: src/bin/qi.rs
+
+src/bin/qi.rs:

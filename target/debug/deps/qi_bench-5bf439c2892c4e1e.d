@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qi_bench-5bf439c2892c4e1e.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/qi_bench-5bf439c2892c4e1e: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qi_bench-e84cedf547728e95.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/qi_bench-e84cedf547728e95: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

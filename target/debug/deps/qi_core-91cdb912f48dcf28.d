@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/qi_core-91cdb912f48dcf28.d: crates/core/src/lib.rs crates/core/src/combine.rs crates/core/src/conflicts.rs crates/core/src/consistency.rs crates/core/src/ctx.rs crates/core/src/explain.rs crates/core/src/instances.rs crates/core/src/internal.rs crates/core/src/isolated.rs crates/core/src/labeler.rs crates/core/src/partition.rs crates/core/src/policy.rs crates/core/src/relations.rs crates/core/src/report.rs crates/core/src/solution.rs
+
+/root/repo/target/debug/deps/libqi_core-91cdb912f48dcf28.rlib: crates/core/src/lib.rs crates/core/src/combine.rs crates/core/src/conflicts.rs crates/core/src/consistency.rs crates/core/src/ctx.rs crates/core/src/explain.rs crates/core/src/instances.rs crates/core/src/internal.rs crates/core/src/isolated.rs crates/core/src/labeler.rs crates/core/src/partition.rs crates/core/src/policy.rs crates/core/src/relations.rs crates/core/src/report.rs crates/core/src/solution.rs
+
+/root/repo/target/debug/deps/libqi_core-91cdb912f48dcf28.rmeta: crates/core/src/lib.rs crates/core/src/combine.rs crates/core/src/conflicts.rs crates/core/src/consistency.rs crates/core/src/ctx.rs crates/core/src/explain.rs crates/core/src/instances.rs crates/core/src/internal.rs crates/core/src/isolated.rs crates/core/src/labeler.rs crates/core/src/partition.rs crates/core/src/policy.rs crates/core/src/relations.rs crates/core/src/report.rs crates/core/src/solution.rs
+
+crates/core/src/lib.rs:
+crates/core/src/combine.rs:
+crates/core/src/conflicts.rs:
+crates/core/src/consistency.rs:
+crates/core/src/ctx.rs:
+crates/core/src/explain.rs:
+crates/core/src/instances.rs:
+crates/core/src/internal.rs:
+crates/core/src/isolated.rs:
+crates/core/src/labeler.rs:
+crates/core/src/partition.rs:
+crates/core/src/policy.rs:
+crates/core/src/relations.rs:
+crates/core/src/report.rs:
+crates/core/src/solution.rs:

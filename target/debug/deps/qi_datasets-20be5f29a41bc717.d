@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qi_datasets-20be5f29a41bc717.d: crates/datasets/src/lib.rs crates/datasets/src/airline.rs crates/datasets/src/auto.rs crates/datasets/src/book.rs crates/datasets/src/car_rental.rs crates/datasets/src/domain.rs crates/datasets/src/hotels.rs crates/datasets/src/job.rs crates/datasets/src/real_estate.rs crates/datasets/src/spec.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/qi_datasets-20be5f29a41bc717: crates/datasets/src/lib.rs crates/datasets/src/airline.rs crates/datasets/src/auto.rs crates/datasets/src/book.rs crates/datasets/src/car_rental.rs crates/datasets/src/domain.rs crates/datasets/src/hotels.rs crates/datasets/src/job.rs crates/datasets/src/real_estate.rs crates/datasets/src/spec.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/airline.rs:
+crates/datasets/src/auto.rs:
+crates/datasets/src/book.rs:
+crates/datasets/src/car_rental.rs:
+crates/datasets/src/domain.rs:
+crates/datasets/src/hotels.rs:
+crates/datasets/src/job.rs:
+crates/datasets/src/real_estate.rs:
+crates/datasets/src/spec.rs:
+crates/datasets/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qi_eval-192c8d202d58c42d.d: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/json.rs crates/eval/src/matcher_eval.rs crates/eval/src/metrics.rs crates/eval/src/panel.rs crates/eval/src/runner.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/qi_eval-192c8d202d58c42d: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/json.rs crates/eval/src/matcher_eval.rs crates/eval/src/metrics.rs crates/eval/src/panel.rs crates/eval/src/runner.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/ablation.rs:
+crates/eval/src/json.rs:
+crates/eval/src/matcher_eval.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/panel.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/table.rs:

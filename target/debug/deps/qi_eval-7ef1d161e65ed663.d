@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qi_eval-7ef1d161e65ed663.d: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/json.rs crates/eval/src/matcher_eval.rs crates/eval/src/metrics.rs crates/eval/src/panel.rs crates/eval/src/runner.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/libqi_eval-7ef1d161e65ed663.rlib: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/json.rs crates/eval/src/matcher_eval.rs crates/eval/src/metrics.rs crates/eval/src/panel.rs crates/eval/src/runner.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/libqi_eval-7ef1d161e65ed663.rmeta: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/json.rs crates/eval/src/matcher_eval.rs crates/eval/src/metrics.rs crates/eval/src/panel.rs crates/eval/src/runner.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/ablation.rs:
+crates/eval/src/json.rs:
+crates/eval/src/matcher_eval.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/panel.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/table.rs:

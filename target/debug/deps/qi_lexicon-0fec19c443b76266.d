@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qi_lexicon-0fec19c443b76266.d: crates/lexicon/src/lib.rs crates/lexicon/src/builder.rs crates/lexicon/src/builtin.rs crates/lexicon/src/format.rs crates/lexicon/src/morphy.rs crates/lexicon/src/synset.rs
+
+/root/repo/target/debug/deps/qi_lexicon-0fec19c443b76266: crates/lexicon/src/lib.rs crates/lexicon/src/builder.rs crates/lexicon/src/builtin.rs crates/lexicon/src/format.rs crates/lexicon/src/morphy.rs crates/lexicon/src/synset.rs
+
+crates/lexicon/src/lib.rs:
+crates/lexicon/src/builder.rs:
+crates/lexicon/src/builtin.rs:
+crates/lexicon/src/format.rs:
+crates/lexicon/src/morphy.rs:
+crates/lexicon/src/synset.rs:

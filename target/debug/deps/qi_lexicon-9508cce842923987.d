@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qi_lexicon-9508cce842923987.d: crates/lexicon/src/lib.rs crates/lexicon/src/builder.rs crates/lexicon/src/builtin.rs crates/lexicon/src/format.rs crates/lexicon/src/morphy.rs crates/lexicon/src/synset.rs
+
+/root/repo/target/debug/deps/libqi_lexicon-9508cce842923987.rlib: crates/lexicon/src/lib.rs crates/lexicon/src/builder.rs crates/lexicon/src/builtin.rs crates/lexicon/src/format.rs crates/lexicon/src/morphy.rs crates/lexicon/src/synset.rs
+
+/root/repo/target/debug/deps/libqi_lexicon-9508cce842923987.rmeta: crates/lexicon/src/lib.rs crates/lexicon/src/builder.rs crates/lexicon/src/builtin.rs crates/lexicon/src/format.rs crates/lexicon/src/morphy.rs crates/lexicon/src/synset.rs
+
+crates/lexicon/src/lib.rs:
+crates/lexicon/src/builder.rs:
+crates/lexicon/src/builtin.rs:
+crates/lexicon/src/format.rs:
+crates/lexicon/src/morphy.rs:
+crates/lexicon/src/synset.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qi_mapping-0ca0825f6512aaee.d: crates/mapping/src/lib.rs crates/mapping/src/cluster.rs crates/mapping/src/clusters_format.rs crates/mapping/src/integrated.rs crates/mapping/src/matcher.rs crates/mapping/src/quality.rs crates/mapping/src/relation.rs
+
+/root/repo/target/debug/deps/qi_mapping-0ca0825f6512aaee: crates/mapping/src/lib.rs crates/mapping/src/cluster.rs crates/mapping/src/clusters_format.rs crates/mapping/src/integrated.rs crates/mapping/src/matcher.rs crates/mapping/src/quality.rs crates/mapping/src/relation.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/cluster.rs:
+crates/mapping/src/clusters_format.rs:
+crates/mapping/src/integrated.rs:
+crates/mapping/src/matcher.rs:
+crates/mapping/src/quality.rs:
+crates/mapping/src/relation.rs:

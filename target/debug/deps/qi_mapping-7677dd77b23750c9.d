@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qi_mapping-7677dd77b23750c9.d: crates/mapping/src/lib.rs crates/mapping/src/cluster.rs crates/mapping/src/clusters_format.rs crates/mapping/src/integrated.rs crates/mapping/src/matcher.rs crates/mapping/src/quality.rs crates/mapping/src/relation.rs
+
+/root/repo/target/debug/deps/libqi_mapping-7677dd77b23750c9.rlib: crates/mapping/src/lib.rs crates/mapping/src/cluster.rs crates/mapping/src/clusters_format.rs crates/mapping/src/integrated.rs crates/mapping/src/matcher.rs crates/mapping/src/quality.rs crates/mapping/src/relation.rs
+
+/root/repo/target/debug/deps/libqi_mapping-7677dd77b23750c9.rmeta: crates/mapping/src/lib.rs crates/mapping/src/cluster.rs crates/mapping/src/clusters_format.rs crates/mapping/src/integrated.rs crates/mapping/src/matcher.rs crates/mapping/src/quality.rs crates/mapping/src/relation.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/cluster.rs:
+crates/mapping/src/clusters_format.rs:
+crates/mapping/src/integrated.rs:
+crates/mapping/src/matcher.rs:
+crates/mapping/src/quality.rs:
+crates/mapping/src/relation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qi_merge-458f1e0ccde5cf8a.d: crates/merge/src/lib.rs crates/merge/src/bags.rs crates/merge/src/order.rs
+
+/root/repo/target/debug/deps/qi_merge-458f1e0ccde5cf8a: crates/merge/src/lib.rs crates/merge/src/bags.rs crates/merge/src/order.rs
+
+crates/merge/src/lib.rs:
+crates/merge/src/bags.rs:
+crates/merge/src/order.rs:

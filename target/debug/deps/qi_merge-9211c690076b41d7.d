@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qi_merge-9211c690076b41d7.d: crates/merge/src/lib.rs crates/merge/src/bags.rs crates/merge/src/order.rs
+
+/root/repo/target/debug/deps/libqi_merge-9211c690076b41d7.rlib: crates/merge/src/lib.rs crates/merge/src/bags.rs crates/merge/src/order.rs
+
+/root/repo/target/debug/deps/libqi_merge-9211c690076b41d7.rmeta: crates/merge/src/lib.rs crates/merge/src/bags.rs crates/merge/src/order.rs
+
+crates/merge/src/lib.rs:
+crates/merge/src/bags.rs:
+crates/merge/src/order.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qi_runtime-1743c0cf25c83d0f.d: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/intern.rs crates/runtime/src/pool.rs crates/runtime/src/rng.rs
+
+/root/repo/target/debug/deps/qi_runtime-1743c0cf25c83d0f: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/intern.rs crates/runtime/src/pool.rs crates/runtime/src/rng.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/intern.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/rng.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qi_runtime-e6c689b8020f78b7.d: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/intern.rs crates/runtime/src/pool.rs crates/runtime/src/rng.rs
+
+/root/repo/target/debug/deps/libqi_runtime-e6c689b8020f78b7.rlib: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/intern.rs crates/runtime/src/pool.rs crates/runtime/src/rng.rs
+
+/root/repo/target/debug/deps/libqi_runtime-e6c689b8020f78b7.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/intern.rs crates/runtime/src/pool.rs crates/runtime/src/rng.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/intern.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/rng.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qi_schema-6ef270243da3cad3.d: crates/schema/src/lib.rs crates/schema/src/diff.rs crates/schema/src/error.rs crates/schema/src/html.rs crates/schema/src/node.rs crates/schema/src/spec.rs crates/schema/src/stats.rs crates/schema/src/text_format.rs crates/schema/src/tree.rs
+
+/root/repo/target/debug/deps/qi_schema-6ef270243da3cad3: crates/schema/src/lib.rs crates/schema/src/diff.rs crates/schema/src/error.rs crates/schema/src/html.rs crates/schema/src/node.rs crates/schema/src/spec.rs crates/schema/src/stats.rs crates/schema/src/text_format.rs crates/schema/src/tree.rs
+
+crates/schema/src/lib.rs:
+crates/schema/src/diff.rs:
+crates/schema/src/error.rs:
+crates/schema/src/html.rs:
+crates/schema/src/node.rs:
+crates/schema/src/spec.rs:
+crates/schema/src/stats.rs:
+crates/schema/src/text_format.rs:
+crates/schema/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qi_schema-9a5f2e99ade8ef3f.d: crates/schema/src/lib.rs crates/schema/src/diff.rs crates/schema/src/error.rs crates/schema/src/html.rs crates/schema/src/node.rs crates/schema/src/spec.rs crates/schema/src/stats.rs crates/schema/src/text_format.rs crates/schema/src/tree.rs
+
+/root/repo/target/debug/deps/libqi_schema-9a5f2e99ade8ef3f.rlib: crates/schema/src/lib.rs crates/schema/src/diff.rs crates/schema/src/error.rs crates/schema/src/html.rs crates/schema/src/node.rs crates/schema/src/spec.rs crates/schema/src/stats.rs crates/schema/src/text_format.rs crates/schema/src/tree.rs
+
+/root/repo/target/debug/deps/libqi_schema-9a5f2e99ade8ef3f.rmeta: crates/schema/src/lib.rs crates/schema/src/diff.rs crates/schema/src/error.rs crates/schema/src/html.rs crates/schema/src/node.rs crates/schema/src/spec.rs crates/schema/src/stats.rs crates/schema/src/text_format.rs crates/schema/src/tree.rs
+
+crates/schema/src/lib.rs:
+crates/schema/src/diff.rs:
+crates/schema/src/error.rs:
+crates/schema/src/html.rs:
+crates/schema/src/node.rs:
+crates/schema/src/spec.rs:
+crates/schema/src/stats.rs:
+crates/schema/src/text_format.rs:
+crates/schema/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qi_text-343e295eb16d15f4.d: crates/text/src/lib.rs crates/text/src/normalize.rs crates/text/src/porter.rs crates/text/src/similarity.rs crates/text/src/stopwords.rs crates/text/src/token.rs
+
+/root/repo/target/debug/deps/qi_text-343e295eb16d15f4: crates/text/src/lib.rs crates/text/src/normalize.rs crates/text/src/porter.rs crates/text/src/similarity.rs crates/text/src/stopwords.rs crates/text/src/token.rs
+
+crates/text/src/lib.rs:
+crates/text/src/normalize.rs:
+crates/text/src/porter.rs:
+crates/text/src/similarity.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/token.rs:

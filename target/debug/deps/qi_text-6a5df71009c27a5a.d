@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qi_text-6a5df71009c27a5a.d: crates/text/src/lib.rs crates/text/src/normalize.rs crates/text/src/porter.rs crates/text/src/similarity.rs crates/text/src/stopwords.rs crates/text/src/token.rs
+
+/root/repo/target/debug/deps/libqi_text-6a5df71009c27a5a.rlib: crates/text/src/lib.rs crates/text/src/normalize.rs crates/text/src/porter.rs crates/text/src/similarity.rs crates/text/src/stopwords.rs crates/text/src/token.rs
+
+/root/repo/target/debug/deps/libqi_text-6a5df71009c27a5a.rmeta: crates/text/src/lib.rs crates/text/src/normalize.rs crates/text/src/porter.rs crates/text/src/similarity.rs crates/text/src/stopwords.rs crates/text/src/token.rs
+
+crates/text/src/lib.rs:
+crates/text/src/normalize.rs:
+crates/text/src/porter.rs:
+crates/text/src/similarity.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/token.rs:

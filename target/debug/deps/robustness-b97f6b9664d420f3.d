@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-b97f6b9664d420f3.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-b97f6b9664d420f3: tests/robustness.rs
+
+tests/robustness.rs:

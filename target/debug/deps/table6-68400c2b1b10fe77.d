@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-68400c2b1b10fe77.d: crates/eval/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-68400c2b1b10fe77: crates/eval/src/bin/table6.rs
+
+crates/eval/src/bin/table6.rs:

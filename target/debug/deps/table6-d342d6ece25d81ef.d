@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-d342d6ece25d81ef.d: crates/eval/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-d342d6ece25d81ef: crates/eval/src/bin/table6.rs
+
+crates/eval/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/auto_domain-207ba3131ab99480.d: examples/auto_domain.rs
+
+/root/repo/target/debug/examples/auto_domain-207ba3131ab99480: examples/auto_domain.rs
+
+examples/auto_domain.rs:

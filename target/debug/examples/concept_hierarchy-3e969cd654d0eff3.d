@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/concept_hierarchy-3e969cd654d0eff3.d: examples/concept_hierarchy.rs
+
+/root/repo/target/debug/examples/concept_hierarchy-3e969cd654d0eff3: examples/concept_hierarchy.rs
+
+examples/concept_hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/corpus_report-770f3b6dc177e737.d: examples/corpus_report.rs
+
+/root/repo/target/debug/examples/corpus_report-770f3b6dc177e737: examples/corpus_report.rs
+
+examples/corpus_report.rs:

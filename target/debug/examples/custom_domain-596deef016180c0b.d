@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_domain-596deef016180c0b.d: examples/custom_domain.rs
+
+/root/repo/target/debug/examples/custom_domain-596deef016180c0b: examples/custom_domain.rs
+
+examples/custom_domain.rs:

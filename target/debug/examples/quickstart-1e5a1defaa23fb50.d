@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1e5a1defaa23fb50.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1e5a1defaa23fb50: examples/quickstart.rs
+
+examples/quickstart.rs:

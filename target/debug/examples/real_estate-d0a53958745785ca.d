@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/real_estate-d0a53958745785ca.d: examples/real_estate.rs
+
+/root/repo/target/debug/examples/real_estate-d0a53958745785ca: examples/real_estate.rs
+
+examples/real_estate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-5dd9f98413792f71.d: crates/eval/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-5dd9f98413792f71: crates/eval/src/bin/ablation.rs
+
+crates/eval/src/bin/ablation.rs:

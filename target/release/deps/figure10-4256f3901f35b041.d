@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure10-4256f3901f35b041.d: crates/eval/src/bin/figure10.rs
+
+/root/repo/target/release/deps/figure10-4256f3901f35b041: crates/eval/src/bin/figure10.rs
+
+crates/eval/src/bin/figure10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/matcher-f2942878a33bfd54.d: crates/eval/src/bin/matcher.rs
+
+/root/repo/target/release/deps/matcher-f2942878a33bfd54: crates/eval/src/bin/matcher.rs
+
+crates/eval/src/bin/matcher.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qi-da8a31d39689b2f4.d: src/lib.rs
+
+/root/repo/target/release/deps/libqi-da8a31d39689b2f4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqi-da8a31d39689b2f4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qi-e76673d0059ee70b.d: src/bin/qi.rs
+
+/root/repo/target/release/deps/qi-e76673d0059ee70b: src/bin/qi.rs
+
+src/bin/qi.rs:

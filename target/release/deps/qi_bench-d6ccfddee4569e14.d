@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qi_bench-d6ccfddee4569e14.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/qi_bench-d6ccfddee4569e14: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

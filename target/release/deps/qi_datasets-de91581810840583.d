@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/qi_datasets-de91581810840583.d: crates/datasets/src/lib.rs crates/datasets/src/airline.rs crates/datasets/src/auto.rs crates/datasets/src/book.rs crates/datasets/src/car_rental.rs crates/datasets/src/domain.rs crates/datasets/src/hotels.rs crates/datasets/src/job.rs crates/datasets/src/real_estate.rs crates/datasets/src/spec.rs crates/datasets/src/synth.rs
+
+/root/repo/target/release/deps/libqi_datasets-de91581810840583.rlib: crates/datasets/src/lib.rs crates/datasets/src/airline.rs crates/datasets/src/auto.rs crates/datasets/src/book.rs crates/datasets/src/car_rental.rs crates/datasets/src/domain.rs crates/datasets/src/hotels.rs crates/datasets/src/job.rs crates/datasets/src/real_estate.rs crates/datasets/src/spec.rs crates/datasets/src/synth.rs
+
+/root/repo/target/release/deps/libqi_datasets-de91581810840583.rmeta: crates/datasets/src/lib.rs crates/datasets/src/airline.rs crates/datasets/src/auto.rs crates/datasets/src/book.rs crates/datasets/src/car_rental.rs crates/datasets/src/domain.rs crates/datasets/src/hotels.rs crates/datasets/src/job.rs crates/datasets/src/real_estate.rs crates/datasets/src/spec.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/airline.rs:
+crates/datasets/src/auto.rs:
+crates/datasets/src/book.rs:
+crates/datasets/src/car_rental.rs:
+crates/datasets/src/domain.rs:
+crates/datasets/src/hotels.rs:
+crates/datasets/src/job.rs:
+crates/datasets/src/real_estate.rs:
+crates/datasets/src/spec.rs:
+crates/datasets/src/synth.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qi_eval-bfa0458f19cec020.d: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/json.rs crates/eval/src/matcher_eval.rs crates/eval/src/metrics.rs crates/eval/src/panel.rs crates/eval/src/runner.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/libqi_eval-bfa0458f19cec020.rlib: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/json.rs crates/eval/src/matcher_eval.rs crates/eval/src/metrics.rs crates/eval/src/panel.rs crates/eval/src/runner.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/libqi_eval-bfa0458f19cec020.rmeta: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/json.rs crates/eval/src/matcher_eval.rs crates/eval/src/metrics.rs crates/eval/src/panel.rs crates/eval/src/runner.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/ablation.rs:
+crates/eval/src/json.rs:
+crates/eval/src/matcher_eval.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/panel.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qi_lexicon-c84a6920c535845c.d: crates/lexicon/src/lib.rs crates/lexicon/src/builder.rs crates/lexicon/src/builtin.rs crates/lexicon/src/format.rs crates/lexicon/src/morphy.rs crates/lexicon/src/synset.rs
+
+/root/repo/target/release/deps/libqi_lexicon-c84a6920c535845c.rlib: crates/lexicon/src/lib.rs crates/lexicon/src/builder.rs crates/lexicon/src/builtin.rs crates/lexicon/src/format.rs crates/lexicon/src/morphy.rs crates/lexicon/src/synset.rs
+
+/root/repo/target/release/deps/libqi_lexicon-c84a6920c535845c.rmeta: crates/lexicon/src/lib.rs crates/lexicon/src/builder.rs crates/lexicon/src/builtin.rs crates/lexicon/src/format.rs crates/lexicon/src/morphy.rs crates/lexicon/src/synset.rs
+
+crates/lexicon/src/lib.rs:
+crates/lexicon/src/builder.rs:
+crates/lexicon/src/builtin.rs:
+crates/lexicon/src/format.rs:
+crates/lexicon/src/morphy.rs:
+crates/lexicon/src/synset.rs:

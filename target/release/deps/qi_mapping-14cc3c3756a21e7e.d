@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qi_mapping-14cc3c3756a21e7e.d: crates/mapping/src/lib.rs crates/mapping/src/cluster.rs crates/mapping/src/clusters_format.rs crates/mapping/src/integrated.rs crates/mapping/src/matcher.rs crates/mapping/src/quality.rs crates/mapping/src/relation.rs
+
+/root/repo/target/release/deps/libqi_mapping-14cc3c3756a21e7e.rlib: crates/mapping/src/lib.rs crates/mapping/src/cluster.rs crates/mapping/src/clusters_format.rs crates/mapping/src/integrated.rs crates/mapping/src/matcher.rs crates/mapping/src/quality.rs crates/mapping/src/relation.rs
+
+/root/repo/target/release/deps/libqi_mapping-14cc3c3756a21e7e.rmeta: crates/mapping/src/lib.rs crates/mapping/src/cluster.rs crates/mapping/src/clusters_format.rs crates/mapping/src/integrated.rs crates/mapping/src/matcher.rs crates/mapping/src/quality.rs crates/mapping/src/relation.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/cluster.rs:
+crates/mapping/src/clusters_format.rs:
+crates/mapping/src/integrated.rs:
+crates/mapping/src/matcher.rs:
+crates/mapping/src/quality.rs:
+crates/mapping/src/relation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qi_merge-0818abb5605161c3.d: crates/merge/src/lib.rs crates/merge/src/bags.rs crates/merge/src/order.rs
+
+/root/repo/target/release/deps/libqi_merge-0818abb5605161c3.rlib: crates/merge/src/lib.rs crates/merge/src/bags.rs crates/merge/src/order.rs
+
+/root/repo/target/release/deps/libqi_merge-0818abb5605161c3.rmeta: crates/merge/src/lib.rs crates/merge/src/bags.rs crates/merge/src/order.rs
+
+crates/merge/src/lib.rs:
+crates/merge/src/bags.rs:
+crates/merge/src/order.rs:

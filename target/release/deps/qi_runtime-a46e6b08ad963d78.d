@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qi_runtime-a46e6b08ad963d78.d: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/intern.rs crates/runtime/src/pool.rs crates/runtime/src/rng.rs
+
+/root/repo/target/release/deps/libqi_runtime-a46e6b08ad963d78.rlib: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/intern.rs crates/runtime/src/pool.rs crates/runtime/src/rng.rs
+
+/root/repo/target/release/deps/libqi_runtime-a46e6b08ad963d78.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/intern.rs crates/runtime/src/pool.rs crates/runtime/src/rng.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/intern.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/rng.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/qi_schema-03de2a58ee76ace9.d: crates/schema/src/lib.rs crates/schema/src/diff.rs crates/schema/src/error.rs crates/schema/src/html.rs crates/schema/src/node.rs crates/schema/src/spec.rs crates/schema/src/stats.rs crates/schema/src/text_format.rs crates/schema/src/tree.rs
+
+/root/repo/target/release/deps/libqi_schema-03de2a58ee76ace9.rlib: crates/schema/src/lib.rs crates/schema/src/diff.rs crates/schema/src/error.rs crates/schema/src/html.rs crates/schema/src/node.rs crates/schema/src/spec.rs crates/schema/src/stats.rs crates/schema/src/text_format.rs crates/schema/src/tree.rs
+
+/root/repo/target/release/deps/libqi_schema-03de2a58ee76ace9.rmeta: crates/schema/src/lib.rs crates/schema/src/diff.rs crates/schema/src/error.rs crates/schema/src/html.rs crates/schema/src/node.rs crates/schema/src/spec.rs crates/schema/src/stats.rs crates/schema/src/text_format.rs crates/schema/src/tree.rs
+
+crates/schema/src/lib.rs:
+crates/schema/src/diff.rs:
+crates/schema/src/error.rs:
+crates/schema/src/html.rs:
+crates/schema/src/node.rs:
+crates/schema/src/spec.rs:
+crates/schema/src/stats.rs:
+crates/schema/src/text_format.rs:
+crates/schema/src/tree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qi_text-52a596b014b983b2.d: crates/text/src/lib.rs crates/text/src/normalize.rs crates/text/src/porter.rs crates/text/src/similarity.rs crates/text/src/stopwords.rs crates/text/src/token.rs
+
+/root/repo/target/release/deps/libqi_text-52a596b014b983b2.rlib: crates/text/src/lib.rs crates/text/src/normalize.rs crates/text/src/porter.rs crates/text/src/similarity.rs crates/text/src/stopwords.rs crates/text/src/token.rs
+
+/root/repo/target/release/deps/libqi_text-52a596b014b983b2.rmeta: crates/text/src/lib.rs crates/text/src/normalize.rs crates/text/src/porter.rs crates/text/src/similarity.rs crates/text/src/stopwords.rs crates/text/src/token.rs
+
+crates/text/src/lib.rs:
+crates/text/src/normalize.rs:
+crates/text/src/porter.rs:
+crates/text/src/similarity.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/token.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-3b7da4ce6b7798eb.d: crates/eval/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-3b7da4ce6b7798eb: crates/eval/src/bin/table6.rs
+
+crates/eval/src/bin/table6.rs:
