@@ -11,6 +11,12 @@
 //!   (tokenization, stopwording, Porter stemming, WordNet base forms);
 //! * `cluster`   — run the label-similarity matcher against the ground
 //!   truth in every domain;
+//! * `cluster_scaled_10x` / `cluster_scaled_100x` — the indexed matcher
+//!   over each domain's corpus replicated 10× / 100× with disjoint
+//!   replica vocabularies ([`qi_datasets::replicate_schemas`]), the
+//!   regime where candidate generation scales linearly but the naive
+//!   pair space scales quadratically; `--verify-naive` additionally
+//!   asserts the indexed 10× mappings equal the naive reference engine;
 //! * `merge`     — 1:m expansion + structural merge per domain;
 //! * `label`     — the three-phase naming algorithm per domain (fanned
 //!   out over `--threads` workers);
@@ -21,11 +27,12 @@
 //! parallel configuration is measured against exactly that run.
 
 use qi_core::{LabeledInterface, Labeler, NamingPolicy};
-use qi_datasets::PreparedDomain;
+use qi_datasets::{replicate_schemas, PreparedDomain};
 use qi_eval::matcher_eval::evaluate_matcher;
 use qi_eval::metrics::{fields_accuracy, integrated_shape, internal_accuracy};
 use qi_eval::Panel;
 use qi_lexicon::Lexicon;
+use qi_mapping::matcher::{match_by_labels_with, MatcherConfig};
 use qi_runtime::{parallel_map, resolve_threads, CacheStats};
 use qi_text::LabelText;
 use std::time::Instant;
@@ -35,6 +42,7 @@ struct Config {
     cache: bool,
     warmup: usize,
     iters: usize,
+    verify_naive: bool,
     out: String,
 }
 
@@ -45,6 +53,7 @@ impl Default for Config {
             cache: true,
             warmup: 1,
             iters: 5,
+            verify_naive: false,
             out: "BENCH_core.json".to_string(),
         }
     }
@@ -52,7 +61,10 @@ impl Default for Config {
 
 fn usage_error(message: &str) -> ! {
     eprintln!("qi-bench: {message}");
-    eprintln!("usage: qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] [--out PATH]");
+    eprintln!(
+        "usage: qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] \
+         [--verify-naive] [--out PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -65,19 +77,21 @@ fn parse_args() -> Config {
                 .unwrap_or_else(|| usage_error(&format!("{flag} requires a value")))
         };
         let int_for = |flag: &str, value: String| {
-            value
-                .parse::<usize>()
-                .unwrap_or_else(|_| usage_error(&format!("{flag} expects an integer, got {value:?}")))
+            value.parse::<usize>().unwrap_or_else(|_| {
+                usage_error(&format!("{flag} expects an integer, got {value:?}"))
+            })
         };
         match arg.as_str() {
             "--no-cache" => config.cache = false,
             "--threads" => config.threads = int_for("--threads", value_for("--threads")),
             "--warmup" => config.warmup = int_for("--warmup", value_for("--warmup")),
             "--iters" => config.iters = int_for("--iters", value_for("--iters")).max(1),
+            "--verify-naive" => config.verify_naive = true,
             "--out" => config.out = value_for("--out"),
             "--help" | "-h" => {
                 println!(
-                    "qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] [--out PATH]"
+                    "qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] \
+                     [--verify-naive] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -176,6 +190,53 @@ fn main() {
         }
     });
 
+    // ---- cluster_scaled -------------------------------------------------
+    // Replicated corpora with disjoint replica vocabularies: candidate
+    // generation sees k× the postings, while a naive matcher would see
+    // k²× the pair space. Corpus construction is outside the timed
+    // region. The 100× stage runs fewer iterations — it exists to show
+    // the scaling exponent, not to need five samples.
+    let scaled_10: Vec<_> = domains
+        .iter()
+        .map(|d| replicate_schemas(&d.schemas, 10))
+        .collect();
+    let scaled_100: Vec<_> = domains
+        .iter()
+        .map(|d| replicate_schemas(&d.schemas, 100))
+        .collect();
+    let matcher_config = MatcherConfig {
+        threads: config.threads,
+        ..MatcherConfig::default()
+    };
+    let cluster_scaled_10x = time_stage(config.warmup, config.iters, || {
+        for corpus in &scaled_10 {
+            std::hint::black_box(match_by_labels_with(corpus, &lexicon, matcher_config));
+        }
+    });
+    let cluster_scaled_100x = time_stage(config.warmup.min(1), config.iters.min(3), || {
+        for corpus in &scaled_100 {
+            std::hint::black_box(match_by_labels_with(corpus, &lexicon, matcher_config));
+        }
+    });
+    if config.verify_naive {
+        let naive_config = MatcherConfig {
+            naive: true,
+            ..matcher_config
+        };
+        for (domain, corpus) in domains.iter().zip(&scaled_10) {
+            let indexed = match_by_labels_with(corpus, &lexicon, matcher_config);
+            let naive = match_by_labels_with(corpus, &lexicon, naive_config);
+            if indexed != naive {
+                eprintln!(
+                    "qi-bench: indexed/naive mapping mismatch on 10x {}",
+                    domain.name
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("qi-bench: verify-naive OK (indexed == naive on all 10x corpora)");
+    }
+
     // ---- merge ----------------------------------------------------------
     let merge = time_stage(config.warmup, config.iters, || {
         for domain in &domains {
@@ -214,6 +275,8 @@ fn main() {
     let stages = [
         ("normalize", &normalize),
         ("cluster", &cluster),
+        ("cluster_scaled_10x", &cluster_scaled_10x),
+        ("cluster_scaled_100x", &cluster_scaled_100x),
         ("merge", &merge),
         ("label", &label),
         ("evaluate", &evaluate),
@@ -258,7 +321,7 @@ fn main() {
     );
     for (name, runs) in &stages {
         println!(
-            "  {name:<9} {:>9.3} ms (median of {})",
+            "  {name:<20} {:>9.3} ms (median of {})",
             median(runs),
             runs.len()
         );

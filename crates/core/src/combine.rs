@@ -197,7 +197,12 @@ fn greedy_from(
     ctx: &NamingCtx<'_>,
     seed: usize,
 ) -> Option<TupleSolution> {
-    let mut remaining: Vec<usize> = partition.tuples.iter().copied().filter(|&t| t != seed).collect();
+    let mut remaining: Vec<usize> = partition
+        .tuples
+        .iter()
+        .copied()
+        .filter(|&t| t != seed)
+        .collect();
     let mut labels = relation.tuples[seed].labels.clone();
     let mut used = BTreeSet::from([seed]);
     loop {
@@ -235,7 +240,11 @@ fn greedy_from(
         return None;
     }
     let is_candidate = used.len() == 1;
-    let frequency = relation.tuples.iter().filter(|t| t.labels == labels).count();
+    let frequency = relation
+        .tuples
+        .iter()
+        .filter(|t| t.labels == labels)
+        .count();
     let expressiveness = tuple_expressiveness(&labels, ctx);
     Some(TupleSolution {
         labels,
@@ -270,7 +279,11 @@ mod tests {
 
     #[test]
     fn combine_overlays() {
-        let r = vec![Some("Seniors".to_string()), Some("Adults".to_string()), None];
+        let r = vec![
+            Some("Seniors".to_string()),
+            Some("Adults".to_string()),
+            None,
+        ];
         let s = vec![None, Some("Adult".to_string()), Some("Infants".to_string())];
         assert_eq!(
             combine(&r, &s),
@@ -302,11 +315,10 @@ mod tests {
         let result = partition_tuples(&relation, ConsistencyLevel::String, &ctx);
         let full = &result.partitions[result.full[0]];
         let solutions = enumerate_solutions(&relation, full, ConsistencyLevel::String, &ctx);
-        let expected: Vec<Option<String>> =
-            ["Seniors", "Adults", "Children", "Infants"]
-                .iter()
-                .map(|s| Some(s.to_string()))
-                .collect();
+        let expected: Vec<Option<String>> = ["Seniors", "Adults", "Children", "Infants"]
+            .iter()
+            .map(|s| Some(s.to_string()))
+            .collect();
         assert!(
             solutions.iter().any(|s| s.labels == expected),
             "expected solution not derived: {solutions:?}"

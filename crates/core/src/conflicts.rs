@@ -16,10 +16,7 @@ use qi_mapping::GroupRelation;
 /// visually distinct words and are acceptable on a form — the paper's own
 /// repair example substitutes exactly such a synonym.
 #[allow(clippy::needless_range_loop)] // index pairs (i, j) are the output
-pub fn find_conflicts(
-    labels: &[Option<String>],
-    ctx: &NamingCtx<'_>,
-) -> Vec<(usize, usize)> {
+pub fn find_conflicts(labels: &[Option<String>], ctx: &NamingCtx<'_>) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for i in 0..labels.len() {
         let Some(a) = &labels[i] else { continue };
@@ -183,10 +180,8 @@ mod tests {
         let lex = Lexicon::builtin();
         let ctx = NamingCtx::new(&lex);
         // The only both-columns tuple is itself ambiguous — useless.
-        let relation = GroupRelation::from_rows(
-            &cids(2),
-            &[vec![Some("Job Type"), Some("Type of Job")]],
-        );
+        let relation =
+            GroupRelation::from_rows(&cids(2), &[vec![Some("Job Type"), Some("Type of Job")]]);
         let mut labels = vec![
             Some("Job Type".to_string()),
             Some("Type of Job".to_string()),

@@ -12,9 +12,7 @@ use crate::relations::LabelRelation;
 use qi_mapping::GroupTuple;
 
 /// Consistency level of Definition 2, in relaxation order.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ConsistencyLevel {
     /// Plain string comparison on display-normalized labels.
     String,
@@ -65,10 +63,13 @@ pub fn tuples_consistent(
     level: ConsistencyLevel,
     ctx: &NamingCtx<'_>,
 ) -> bool {
-    a.labels.iter().zip(&b.labels).any(|(la, lb)| match (la, lb) {
-        (Some(la), Some(lb)) => level.admits(ctx.relate(la, lb)),
-        _ => false,
-    })
+    a.labels
+        .iter()
+        .zip(&b.labels)
+        .any(|(la, lb)| match (la, lb) {
+            (Some(la), Some(lb)) => level.admits(ctx.relate(la, lb)),
+            _ => false,
+        })
 }
 
 /// Consistency of label rows expressed as slices of options — used on
@@ -123,14 +124,30 @@ mod tests {
     fn table2_string_level() {
         let lex = Lexicon::builtin();
         let ctx = NamingCtx::new(&lex);
-        let british = tuple(3, &[Some("Seniors"), Some("Adults"), Some("Children"), None]);
-        let economy = tuple(4, &[None, Some("Adults"), Some("Children"), Some("Infants")]);
-        assert!(tuples_consistent(&british, &economy, ConsistencyLevel::String, &ctx));
+        let british = tuple(
+            3,
+            &[Some("Seniors"), Some("Adults"), Some("Children"), None],
+        );
+        let economy = tuple(
+            4,
+            &[None, Some("Adults"), Some("Children"), Some("Infants")],
+        );
+        assert!(tuples_consistent(
+            &british,
+            &economy,
+            ConsistencyLevel::String,
+            &ctx
+        ));
         // aa vs airtravel share no label (aa: Adults/Children; airtravel
         // after expansion: all nulls — modeled here with distinct labels).
         let aa = tuple(0, &[None, Some("Adults"), Some("Children"), None]);
         let airfareplanet = tuple(1, &[None, Some("Adult"), Some("Child"), Some("Infant")]);
-        assert!(!tuples_consistent(&aa, &airfareplanet, ConsistencyLevel::String, &ctx));
+        assert!(!tuples_consistent(
+            &aa,
+            &airfareplanet,
+            ConsistencyLevel::String,
+            &ctx
+        ));
         // …but Adult/Adults are content-word equal, so the equality level
         // connects them.
         assert!(tuples_consistent(
@@ -146,10 +163,30 @@ mod tests {
     fn table4_equality_level() {
         let lex = Lexicon::builtin();
         let ctx = NamingCtx::new(&lex);
-        let alldest = tuple(2, &[None, Some("Class of Ticket"), Some("Preferred Airline")]);
-        let cheap = tuple(3, &[Some("Max. Number of Stops"), None, Some("Airline Preference")]);
-        assert!(!tuples_consistent(&alldest, &cheap, ConsistencyLevel::String, &ctx));
-        assert!(tuples_consistent(&alldest, &cheap, ConsistencyLevel::Equality, &ctx));
+        let alldest = tuple(
+            2,
+            &[None, Some("Class of Ticket"), Some("Preferred Airline")],
+        );
+        let cheap = tuple(
+            3,
+            &[
+                Some("Max. Number of Stops"),
+                None,
+                Some("Airline Preference"),
+            ],
+        );
+        assert!(!tuples_consistent(
+            &alldest,
+            &cheap,
+            ConsistencyLevel::String,
+            &ctx
+        ));
+        assert!(tuples_consistent(
+            &alldest,
+            &cheap,
+            ConsistencyLevel::Equality,
+            &ctx
+        ));
     }
 
     #[test]

@@ -196,9 +196,15 @@ mod tests {
     fn relate_is_cached_symmetrically() {
         let lex = Lexicon::builtin();
         let ctx = NamingCtx::new(&lex);
-        assert_eq!(ctx.relate("Class", "Class of Tickets"), LabelRelation::Hypernym);
+        assert_eq!(
+            ctx.relate("Class", "Class of Tickets"),
+            LabelRelation::Hypernym
+        );
         // The flipped direction is answered from cache.
-        assert_eq!(ctx.relate("Class of Tickets", "Class"), LabelRelation::Hyponym);
+        assert_eq!(
+            ctx.relate("Class of Tickets", "Class"),
+            LabelRelation::Hyponym
+        );
     }
 
     #[test]

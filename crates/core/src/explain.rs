@@ -96,9 +96,7 @@ fn explain_internal(labeled: &LabeledInterface, id: NodeId, out: &mut String) {
         for candidate in candidates {
             out.push_str(&format!(
                 "{indent}    candidate {:?} via {} (from {} source node(s))\n",
-                candidate.label,
-                candidate.rule,
-                candidate.frequency
+                candidate.label, candidate.rule, candidate.frequency
             ));
         }
     }
@@ -131,10 +129,7 @@ mod tests {
         use qi_schema::SchemaTree;
         let a = SchemaTree::build(
             "a",
-            vec![node(
-                "Passengers",
-                vec![leaf("Adults"), leaf("Children")],
-            )],
+            vec![node("Passengers", vec![leaf("Adults"), leaf("Children")])],
         )
         .unwrap();
         let b = SchemaTree::build(

@@ -142,9 +142,10 @@ pub fn find_candidates(
         }
     }
     for class in &mut classes {
-        class
-            .variants
-            .sort_by(|a, b| b.1.cmp(&a.1).then(ctx.spelling(a.0).cmp(&ctx.spelling(b.0))));
+        class.variants.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(ctx.spelling(a.0).cmp(&ctx.spelling(b.0)))
+        });
         class.coverage = class.direct.clone();
     }
     // LI3/LI4 fixpoint: a class absorbs the coverage of classes its
@@ -300,15 +301,18 @@ fn collapse_equivalent(
                 continue;
             }
             let (a, b) = (&candidates[i], &candidates[j]);
-            let (Some(cov_a), Some(cov_b)) = (coverage_of(a.sym), coverage_of(b.sym))
-            else {
+            let (Some(cov_a), Some(cov_b)) = (coverage_of(a.sym), coverage_of(b.sym)) else {
                 continue;
             };
             // a's bag ⊆ b's bag and a's label lexically ⊒ b's label ⇒
             // equivalent (LI1). Prefer the more descriptive label.
             if cov_a.is_subset(cov_b) && ctx.hypernym_sym(a.sym, b.sym) {
                 usage.record(InferenceRule::Li1);
-                let drop = if a.expressiveness >= b.expressiveness { j } else { i };
+                let drop = if a.expressiveness >= b.expressiveness {
+                    j
+                } else {
+                    i
+                };
                 removed.insert(drop);
             }
         }
@@ -489,10 +493,7 @@ mod tests {
     #[test]
     fn equal_label_variants_are_one_class() {
         let x = set(&[0, 1]);
-        let potentials = vec![
-            pot("Job Type", 0, &[0]),
-            pot("Type of Job", 1, &[1]),
-        ];
+        let potentials = vec![pot("Job Type", 0, &[0]), pot("Type of Job", 1, &[1])];
         let (candidates, _) = run(&x, &potentials, &BTreeMap::new());
         assert_eq!(candidates.len(), 1);
         assert_eq!(candidates[0].rule, InferenceRule::Li2);

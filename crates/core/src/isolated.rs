@@ -71,7 +71,11 @@ pub fn label_isolated_cluster(
                 .any(|other| other.label != cand.label && ctx.hypernym(&other.label, &cand.label))
         })
         .collect();
-    let roots = if roots.is_empty() { candidates.clone() } else { roots };
+    let roots = if roots.is_empty() {
+        candidates.clone()
+    } else {
+        roots
+    };
     // LI6: a root whose observed domain is contained in a descendant's
     // domain is semantically bounded to that descendant — substitute the
     // most descriptive such hyponym.
@@ -116,7 +120,10 @@ fn order(candidates: &mut [&LabelOccurrence], ctx: &NamingCtx<'_>, selection: La
         LabelSelection::MostGeneral => candidates.sort_by(|a, b| {
             b.frequency
                 .cmp(&a.frequency)
-                .then(ctx.expressiveness(&a.label).cmp(&ctx.expressiveness(&b.label)))
+                .then(
+                    ctx.expressiveness(&a.label)
+                        .cmp(&ctx.expressiveness(&b.label)),
+                )
                 .then(a.label.cmp(&b.label))
         }),
     }

@@ -235,8 +235,10 @@ impl<'a> Labeler<'a> {
                 continue;
             }
             let path: Vec<NodeId> = integrated.tree.path_to_root(id);
-            let ancestor_labels: Vec<qi_runtime::Symbol> =
-                path.iter().filter_map(|p| assigned.get(p).copied()).collect();
+            let ancestor_labels: Vec<qi_runtime::Symbol> = path
+                .iter()
+                .filter_map(|p| assigned.get(p).copied())
+                .collect();
             let parent_label: Option<(qi_runtime::Symbol, &BTreeSet<ClusterId>)> = path
                 .iter()
                 .find_map(|p| assigned.get(p).map(|&l| (l, &node_clusters[p])));
@@ -259,9 +261,9 @@ impl<'a> Labeler<'a> {
                 {
                     continue; // Le − L_path(e) requirement (Prop. 2)
                 }
-                let def6 = descendant_groups.iter().all(|g| {
-                    candidate_consistent_with_group(candidate, g)
-                });
+                let def6 = descendant_groups
+                    .iter()
+                    .all(|g| candidate_consistent_with_group(candidate, g));
                 let generality_ok = match parent_label {
                     Some((pl, pbag)) => {
                         let pl = ctx.spelling(pl);
@@ -279,8 +281,12 @@ impl<'a> Labeler<'a> {
                 let better = match &best {
                     None => true,
                     Some((b_def6, b_gen, b_cand)) => {
-                        (def6, generality_ok, candidate.expressiveness, candidate.frequency)
-                            > (*b_def6, *b_gen, b_cand.expressiveness, b_cand.frequency)
+                        (
+                            def6,
+                            generality_ok,
+                            candidate.expressiveness,
+                            candidate.frequency,
+                        ) > (*b_def6, *b_gen, b_cand.expressiveness, b_cand.frequency)
                     }
                 };
                 if better {
@@ -433,7 +439,9 @@ fn collect_potentials(schemas: &[SchemaTree], mapping: &Mapping) -> Vec<Potentia
     let mut potentials = Vec::new();
     for (schema_idx, tree) in schemas.iter().enumerate() {
         for internal in tree.internal_nodes() {
-            let Some(label) = &internal.label else { continue };
+            let Some(label) = &internal.label else {
+                continue;
+            };
             let bag: BTreeSet<ClusterId> = tree
                 .descendant_leaves(internal.id)
                 .into_iter()
@@ -529,7 +537,10 @@ mod tests {
             ),
             (
                 "c_Child".to_string(),
-                vec![field(&schemas, 0, "Children"), field(&schemas, 1, "Children")],
+                vec![
+                    field(&schemas, 0, "Children"),
+                    field(&schemas, 1, "Children"),
+                ],
             ),
             ("c_Infant".to_string(), vec![field(&schemas, 1, "Infants")]),
             (
@@ -593,7 +604,10 @@ mod tests {
         // Figure 11 "No Label" case).
         let a = SchemaTree::build(
             "a",
-            vec![node("Lease Rate", vec![leaf("From"), qi_schema::spec::unlabeled_leaf()])],
+            vec![node(
+                "Lease Rate",
+                vec![leaf("From"), qi_schema::spec::unlabeled_leaf()],
+            )],
         )
         .unwrap();
         let schemas = vec![a];
@@ -608,10 +622,7 @@ mod tests {
         let labeled = labeler.label(&schemas, &mapping, &integrated);
         assert_eq!(labeled.report.unlabeled_fields, 1);
         // The labeled sibling still gets its label.
-        assert!(labeled
-            .tree
-            .leaves()
-            .any(|l| l.label_str() == "From"));
+        assert!(labeled.tree.leaves().any(|l| l.label_str() == "From"));
     }
 
     #[test]
@@ -643,7 +654,11 @@ mod tests {
         .unwrap();
         let s2 = SchemaTree::build(
             "s2",
-            vec![g_fare(vec![leaf("Lowest"), leaf("Highest"), leaf("Currency")])],
+            vec![g_fare(vec![
+                leaf("Lowest"),
+                leaf("Highest"),
+                leaf("Currency"),
+            ])],
         )
         .unwrap();
         let s3 = SchemaTree::build(
@@ -677,7 +692,10 @@ mod tests {
             ),
             (
                 "currency".to_string(),
-                vec![field(&schemas, 1, "Currency"), field(&schemas, 2, "Currency")],
+                vec![
+                    field(&schemas, 1, "Currency"),
+                    field(&schemas, 2, "Currency"),
+                ],
             ),
             ("promo".to_string(), vec![field(&schemas, 0, "Promo")]),
         ]);

@@ -156,8 +156,7 @@ mod tests {
         );
         let result = partition_tuples(&relation, ConsistencyLevel::String, &ctx);
         assert_eq!(result.partitions.len(), 2);
-        let sizes: BTreeSet<usize> =
-            result.partitions.iter().map(|p| p.tuples.len()).collect();
+        let sizes: BTreeSet<usize> = result.partitions.iter().map(|p| p.tuples.len()).collect();
         assert_eq!(sizes, BTreeSet::from([2, 4]));
         // Exactly one partition covers all clusters (Prop. 1 ⇒ a
         // consistent solution exists).
@@ -202,11 +201,19 @@ mod tests {
                 // aa
                 vec![Some("NonStop"), None, Some("Choose an Airline")],
                 // airfare
-                vec![Some("Number of Connections"), None, Some("Airline Preference")],
+                vec![
+                    Some("Number of Connections"),
+                    None,
+                    Some("Airline Preference"),
+                ],
                 // alldest
                 vec![None, Some("Class of Ticket"), Some("Preferred Airline")],
                 // cheap
-                vec![Some("Max. Number of Stops"), None, Some("Airline Preference")],
+                vec![
+                    Some("Max. Number of Stops"),
+                    None,
+                    Some("Airline Preference"),
+                ],
                 // msn
                 vec![None, Some("Class"), Some("Airline")],
             ],

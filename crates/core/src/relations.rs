@@ -223,7 +223,11 @@ mod tests {
         );
         // Table 4: Preferred Airline vs Airline Preference (Porter stems).
         assert_eq!(
-            relate(&lt("Preferred Airline", &l), &lt("Airline Preference", &l), &l),
+            relate(
+                &lt("Preferred Airline", &l),
+                &lt("Airline Preference", &l),
+                &l
+            ),
             LabelRelation::Equal
         );
     }
@@ -333,10 +337,18 @@ mod tests {
     fn similar_for_homonym_detection() {
         let l = lex();
         assert!(is_similar(&lt("Job Type", &l), &lt("Type of Job", &l), &l));
-        assert!(!is_similar(&lt("Job Type", &l), &lt("Company Name", &l), &l));
+        assert!(!is_similar(
+            &lt("Job Type", &l),
+            &lt("Company Name", &l),
+            &l
+        ));
         // Hypernyms are related but NOT similar (different granularity is
         // not a homonym conflict).
-        assert!(!is_similar(&lt("Class", &l), &lt("Class of Tickets", &l), &l));
+        assert!(!is_similar(
+            &lt("Class", &l),
+            &lt("Class of Tickets", &l),
+            &l
+        ));
     }
 
     #[test]

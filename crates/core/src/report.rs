@@ -202,6 +202,9 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(InferenceRule::Li4.to_string(), "LI4");
-        assert_eq!(ConsistencyClass::WeaklyConsistent.to_string(), "weakly consistent");
+        assert_eq!(
+            ConsistencyClass::WeaklyConsistent.to_string(),
+            "weakly consistent"
+        );
     }
 }

@@ -10,11 +10,11 @@
 //! §4.2.2 builds a *partially consistent* naming instead.
 
 use crate::combine::{enumerate_solutions, greedy_solutions, tuple_expressiveness, TupleSolution};
-use crate::partition::TuplePartition;
 use crate::conflicts::repair_conflicts;
 use crate::consistency::ConsistencyLevel;
 use crate::ctx::NamingCtx;
 use crate::partition::partition_tuples;
+use crate::partition::TuplePartition;
 use crate::policy::{LabelSelection, NamingPolicy};
 use qi_mapping::GroupRelation;
 use std::collections::BTreeSet;
@@ -105,10 +105,7 @@ fn partition_solutions(
     greedy_solutions(relation, partition, level, ctx)
 }
 
-fn to_group_solution(
-    solution: TupleSolution,
-    partition_tuples: Vec<usize>,
-) -> GroupSolution {
+fn to_group_solution(solution: TupleSolution, partition_tuples: Vec<usize>) -> GroupSolution {
     GroupSolution {
         labels: solution.labels,
         used_tuples: solution.used_tuples,
@@ -328,9 +325,17 @@ mod tests {
             &cids(3),
             &[
                 vec![Some("NonStop"), None, Some("Choose an Airline")],
-                vec![Some("Number of Connections"), None, Some("Airline Preference")],
+                vec![
+                    Some("Number of Connections"),
+                    None,
+                    Some("Airline Preference"),
+                ],
                 vec![None, Some("Class of Ticket"), Some("Preferred Airline")],
-                vec![Some("Max. Number of Stops"), None, Some("Airline Preference")],
+                vec![
+                    Some("Max. Number of Stops"),
+                    None,
+                    Some("Airline Preference"),
+                ],
                 vec![None, Some("Class"), Some("Airline")],
             ],
         );
@@ -447,7 +452,11 @@ mod tests {
             &[
                 vec![Some("Job Type"), Some("Type of Job"), Some("Company Name")],
                 vec![Some("Job Type"), Some("Type of Job"), Some("Company Name")],
-                vec![Some("Job Type"), Some("Employment Type"), Some("Company Name")],
+                vec![
+                    Some("Job Type"),
+                    Some("Employment Type"),
+                    Some("Company Name"),
+                ],
             ],
         );
         let policy = NamingPolicy {

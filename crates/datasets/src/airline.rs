@@ -70,7 +70,10 @@ pub fn domain() -> Domain {
         (
             "airfareplanet",
             vec![
-                gu(vec![f("from", "Departure City"), f("to", "Destination City")]),
+                gu(vec![
+                    f("from", "Departure City"),
+                    f("to", "Destination City"),
+                ]),
                 g(
                     "Travel Dates",
                     vec![gu(date_pair("dep")), gu(date_pair("ret"))],
@@ -274,7 +277,10 @@ pub fn domain() -> Domain {
                 gu(vec![f("from", "Leaving from"), f("to", "Going to")]),
                 g(
                     "When do you want to travel?",
-                    vec![g("Departing", date_pair("dep")), g("Returning", date_pair("ret"))],
+                    vec![
+                        g("Departing", date_pair("dep")),
+                        g("Returning", date_pair("ret")),
+                    ],
                 ),
                 g(
                     "Passengers",
@@ -321,7 +327,10 @@ pub fn domain() -> Domain {
                     "When do you want to travel?",
                     vec![gu(date_pair("dep")), gu(date_pair("ret"))],
                 ),
-                g("Passengers", vec![f("adult", "Adults"), f("child", "Children")]),
+                g(
+                    "Passengers",
+                    vec![f("adult", "Adults"), f("child", "Children")],
+                ),
                 g(
                     "Search Options",
                     vec![
@@ -351,7 +360,10 @@ pub fn domain() -> Domain {
                 gu(vec![f("from", "From"), f("to", "To")]),
                 g(
                     "When do you want to travel?",
-                    vec![g("Departure Date", date_pair("dep")), g("Return Date", date_pair("ret"))],
+                    vec![
+                        g("Departure Date", date_pair("dep")),
+                        g("Return Date", date_pair("ret")),
+                    ],
                 ),
                 gu(vec![
                     f("adult", "Adults"),
@@ -416,7 +428,10 @@ pub fn domain() -> Domain {
         (
             "priceline",
             vec![
-                gu(vec![f("from", "Departure City"), f("to", "Destination City")]),
+                gu(vec![
+                    f("from", "Departure City"),
+                    f("to", "Destination City"),
+                ]),
                 g(
                     "Travel Dates",
                     vec![gu(date_pair("dep")), gu(date_pair("ret"))],
@@ -439,7 +454,10 @@ pub fn domain() -> Domain {
                 gu(vec![f("from", "Leaving from"), f("to", "Going to")]),
                 g(
                     "When do you want to travel?",
-                    vec![g("Departing", date_pair("dep")), g("Returning", date_pair("ret"))],
+                    vec![
+                        g("Departing", date_pair("dep")),
+                        g("Returning", date_pair("ret")),
+                    ],
                 ),
                 g(
                     "Who is traveling?",
@@ -451,7 +469,10 @@ pub fn domain() -> Domain {
                 ),
                 g(
                     "Service Preferences",
-                    vec![fi("class", "Class of Service", CABINS), f("airline", "Airline")],
+                    vec![
+                        fi("class", "Class of Service", CABINS),
+                        f("airline", "Airline"),
+                    ],
                 ),
             ],
         ),

@@ -74,7 +74,10 @@ pub fn domain() -> Domain {
             vec![
                 f("make", "Make"),
                 f("model", "Model"),
-                g("Year Range", vec![f("year_from", "Min"), f("year_to", "Max")]),
+                g(
+                    "Year Range",
+                    vec![f("year_from", "Min"), f("year_to", "Max")],
+                ),
             ],
         ),
         (
@@ -97,7 +100,10 @@ pub fn domain() -> Domain {
             vec![
                 f("make", "Make"),
                 f("model", "Model"),
-                g("Year Range", vec![f("year_from", "From"), f("year_to", "To")]),
+                g(
+                    "Year Range",
+                    vec![f("year_from", "From"), f("year_to", "To")],
+                ),
                 fu("mileage"),
             ],
         ),
@@ -123,7 +129,11 @@ pub fn domain() -> Domain {
             vec![
                 g(
                     "Make/Model",
-                    vec![f("make", "Make"), f("model", "Model"), f("keyword", "Keywords")],
+                    vec![
+                        f("make", "Make"),
+                        f("model", "Model"),
+                        f("keyword", "Keywords"),
+                    ],
                 ),
                 g(
                     "Price Range",
@@ -148,7 +158,10 @@ pub fn domain() -> Domain {
                                 f("keyword", "Keywords"),
                             ],
                         ),
-                        g("Year Range", vec![f("year_from", "From"), f("year_to", "To")]),
+                        g(
+                            "Year Range",
+                            vec![f("year_from", "From"), f("year_to", "To")],
+                        ),
                     ],
                 ),
                 fui("condition", CONDITIONS),
@@ -222,7 +235,10 @@ pub fn domain() -> Domain {
             vec![
                 f("make", "Brand"),
                 f("model", "Model"),
-                g("Year Range", vec![f("year_from", "From"), f("year_to", "To")]),
+                g(
+                    "Year Range",
+                    vec![f("year_from", "From"), f("year_to", "To")],
+                ),
                 fui("fuel", FUELS),
             ],
         ),
@@ -303,13 +319,21 @@ mod tests {
     fn source_shape_tracks_table6() {
         let stats = domain().source_stats();
         // Paper: 5.1 leaves, 1.7 internal, depth 2.4, LQ 79.7%.
-        assert!((4.0..=6.5).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (4.0..=6.5).contains(&stats.avg_leaves),
+            "leaves {}",
+            stats.avg_leaves
+        );
         assert!(
             (0.8..=2.5).contains(&stats.avg_internal_nodes),
             "internal {}",
             stats.avg_internal_nodes
         );
-        assert!((2.0..=3.2).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (2.0..=3.2).contains(&stats.avg_depth),
+            "depth {}",
+            stats.avg_depth
+        );
         assert!(
             (0.70..=0.92).contains(&stats.avg_labeling_quality),
             "LQ {}",

@@ -45,7 +45,10 @@ pub fn domain() -> Domain {
                 f("author", "Author"),
                 g(
                     "Price Range",
-                    vec![f("price_min", "Lowest Price"), f("price_max", "Highest Price")],
+                    vec![
+                        f("price_min", "Lowest Price"),
+                        f("price_max", "Highest Price"),
+                    ],
                 ),
                 fi("condition", "Condition", CONDITIONS),
             ],
@@ -105,7 +108,10 @@ pub fn domain() -> Domain {
                 f("publisher", "Publisher"),
                 g(
                     "Book Attributes",
-                    vec![fi("condition", "Condition", CONDITIONS), fi("language", "Language", LANGUAGES)],
+                    vec![
+                        fi("condition", "Condition", CONDITIONS),
+                        fi("language", "Language", LANGUAGES),
+                    ],
                 ),
             ],
         ),
@@ -136,7 +142,10 @@ pub fn domain() -> Domain {
                 f("author", "Author"),
                 g(
                     "Price Range",
-                    vec![f("price_min", "Lowest Price"), f("price_max", "Highest Price")],
+                    vec![
+                        f("price_min", "Lowest Price"),
+                        f("price_max", "Highest Price"),
+                    ],
                 ),
                 f("shipping", "Free Shipping Only"),
             ],
@@ -191,7 +200,10 @@ pub fn domain() -> Domain {
                 f("author", "Author"),
                 g(
                     "Collectible Attributes",
-                    vec![f("signed", "Signed by Author"), f("dustjacket", "Dust Jacket")],
+                    vec![
+                        f("signed", "Signed by Author"),
+                        f("dustjacket", "Dust Jacket"),
+                    ],
                 ),
                 f("edition", "First Edition"),
             ],
@@ -283,13 +295,21 @@ mod tests {
     fn source_shape_tracks_table6() {
         let stats = domain().source_stats();
         // Paper: 5.4 leaves, 1.3 internal, depth 2.3, LQ 83.3%.
-        assert!((4.2..=6.5).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (4.2..=6.5).contains(&stats.avg_leaves),
+            "leaves {}",
+            stats.avg_leaves
+        );
         assert!(
             (0.5..=2.0).contains(&stats.avg_internal_nodes),
             "internal {}",
             stats.avg_internal_nodes
         );
-        assert!((2.0..=3.0).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (2.0..=3.0).contains(&stats.avg_depth),
+            "depth {}",
+            stats.avg_depth
+        );
         assert!(
             (0.72..=0.95).contains(&stats.avg_labeling_quality),
             "LQ {}",

@@ -81,11 +81,11 @@ pub fn domain() -> Domain {
                         g(
                             "Drop Off Location",
                             vec![
-                            f("do_city", "City"),
-                            f("do_state", "State"),
-                            f("do_zip", "Zip Code"),
-                            f("do_airport", "Airport"),
-                            f("do_country", "Country"),
+                                f("do_city", "City"),
+                                f("do_state", "State"),
+                                f("do_zip", "Zip Code"),
+                                f("do_airport", "Airport"),
+                                f("do_country", "Country"),
                             ],
                         ),
                         gu(datetime("do")),
@@ -163,7 +163,10 @@ pub fn domain() -> Domain {
                 ),
                 g(
                     "Driver",
-                    vec![f("driver_age", "Driver Age"), f("residence", "Country of Residence")],
+                    vec![
+                        f("driver_age", "Driver Age"),
+                        f("residence", "Country of Residence"),
+                    ],
                 ),
             ],
         ),
@@ -187,13 +190,19 @@ pub fn domain() -> Domain {
         (
             "thrifty",
             vec![
-                gu(vec![f("pu_city", "Pick Up City"), f("pu_airport", "Pick Up Airport")]),
+                gu(vec![
+                    f("pu_city", "Pick Up City"),
+                    f("pu_airport", "Pick Up Airport"),
+                ]),
                 gu(datetime("pu")),
                 gu(vec![f("do_city", "City"), f("do_airport", "Airport")]),
                 gu(datetime("do")),
                 g(
                     "Rate",
-                    vec![fi("rate_type", "Rate Type", RATE_TYPES), fui("pay_type", PAY_TYPES)],
+                    vec![
+                        fi("rate_type", "Rate Type", RATE_TYPES),
+                        fui("pay_type", PAY_TYPES),
+                    ],
                 ),
             ],
         ),
@@ -250,7 +259,10 @@ pub fn domain() -> Domain {
                     "Extras",
                     vec![f("gps", "GPS"), f("child_seat", "Child Seat")],
                 ),
-                g("Flight Information", vec![f("flight_number", "Flight Number")]),
+                g(
+                    "Flight Information",
+                    vec![f("flight_number", "Flight Number")],
+                ),
             ],
         ),
         (
@@ -275,7 +287,10 @@ pub fn domain() -> Domain {
                 gu(datetime("do")),
                 g(
                     "Rate",
-                    vec![fi("rate_type", "Rate", RATE_TYPES), fui("pay_type", PAY_TYPES)],
+                    vec![
+                        fi("rate_type", "Rate", RATE_TYPES),
+                        fui("pay_type", PAY_TYPES),
+                    ],
                 ),
                 f("currency", "Preferred Currency"),
             ],
@@ -305,9 +320,15 @@ pub fn domain() -> Domain {
                 gu(datetime("do")),
                 g(
                     "Discounts",
-                    vec![f("discount_code", "Discount Code"), f("coupon", "Coupon Code")],
+                    vec![
+                        f("discount_code", "Discount Code"),
+                        f("coupon", "Coupon Code"),
+                    ],
                 ),
-                g("Flight Information", vec![f("flight_number", "Flight Number")]),
+                g(
+                    "Flight Information",
+                    vec![f("flight_number", "Flight Number")],
+                ),
             ],
         ),
         (
@@ -346,7 +367,10 @@ pub fn domain() -> Domain {
                 gu(datetime("do")),
                 g(
                     "Driver",
-                    vec![f("driver_age", "Age"), f("residence", "Country of Residence")],
+                    vec![
+                        f("driver_age", "Age"),
+                        f("residence", "Country of Residence"),
+                    ],
                 ),
                 f("currency", "Currency"),
             ],
@@ -359,7 +383,10 @@ pub fn domain() -> Domain {
                 gu(datetime("do")),
                 g(
                     "Rate",
-                    vec![fi("rate_type", "Rate Type", RATE_TYPES), fui("pay_type", PAY_TYPES)],
+                    vec![
+                        fi("rate_type", "Rate Type", RATE_TYPES),
+                        fui("pay_type", PAY_TYPES),
+                    ],
                 ),
                 f("mileage_option", "Mileage Option"),
             ],
@@ -399,13 +426,21 @@ mod tests {
     fn source_shape_tracks_table6() {
         let stats = domain().source_stats();
         // Paper: 10.4 leaves, 2.4 internal, depth 2.5, LQ 52.5%.
-        assert!((9.0..=13.0).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (9.0..=13.0).contains(&stats.avg_leaves),
+            "leaves {}",
+            stats.avg_leaves
+        );
         assert!(
             (2.0..=5.0).contains(&stats.avg_internal_nodes),
             "internal {}",
             stats.avg_internal_nodes
         );
-        assert!((2.3..=3.5).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (2.3..=3.5).contains(&stats.avg_depth),
+            "depth {}",
+            stats.avg_depth
+        );
         assert!(
             (0.40..=0.65).contains(&stats.avg_labeling_quality),
             "LQ {}",

@@ -102,7 +102,10 @@ mod tests {
             vec![
                 (
                     "one",
-                    vec![g("People", vec![f("adult", "Adults"), f("child", "Children")])],
+                    vec![g(
+                        "People",
+                        vec![f("adult", "Adults"), f("child", "Children")],
+                    )],
                 ),
                 ("two", vec![fm(&["adult", "child"], "Passengers")]),
             ],

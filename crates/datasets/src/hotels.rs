@@ -49,7 +49,11 @@ pub fn domain() -> Domain {
                 checkout(),
                 g(
                     "Occupancy",
-                    vec![f("rooms", "Rooms"), f("adults", "Adults"), f("children", "Children")],
+                    vec![
+                        f("rooms", "Rooms"),
+                        f("adults", "Adults"),
+                        f("children", "Children"),
+                    ],
                 ),
             ],
         ),
@@ -58,7 +62,11 @@ pub fn domain() -> Domain {
             vec![
                 g(
                     "Location",
-                    vec![f("city", "City"), f("state", "State"), f("country", "Country")],
+                    vec![
+                        f("city", "City"),
+                        f("state", "State"),
+                        f("country", "Country"),
+                    ],
                 ),
                 checkin(),
                 checkout(),
@@ -87,7 +95,11 @@ pub fn domain() -> Domain {
                 checkout(),
                 g(
                     "Occupancy",
-                    vec![f("rooms", "Rooms"), f("adults", "Adults"), f("children", "Children")],
+                    vec![
+                        f("rooms", "Rooms"),
+                        f("adults", "Adults"),
+                        f("children", "Children"),
+                    ],
                 ),
                 g(
                     "Price per Night",
@@ -191,7 +203,10 @@ pub fn domain() -> Domain {
             "pricelinehotels",
             vec![
                 f("city", "City"),
-                gu(vec![f("near_airport", "Near Airport"), f("landmark", "Near Landmark")]),
+                gu(vec![
+                    f("near_airport", "Near Airport"),
+                    f("landmark", "Near Landmark"),
+                ]),
                 checkin(),
                 checkout(),
                 fi("stars", "Hotel Class", STARS),
@@ -203,7 +218,11 @@ pub fn domain() -> Domain {
                 g("Location", vec![f("city", "City"), f("zip", "Zip Code")]),
                 checkin(),
                 checkout(),
-                gu(vec![f("rooms", "Rooms"), f("adults", "Adults"), f("children", "Children")]),
+                gu(vec![
+                    f("rooms", "Rooms"),
+                    f("adults", "Adults"),
+                    f("children", "Children"),
+                ]),
             ],
         ),
         (
@@ -215,7 +234,10 @@ pub fn domain() -> Domain {
                 g("Length of Stay", vec![f("nights", "Nights")]),
                 g(
                     "Hotel Amenities",
-                    vec![f("breakfast", "Breakfast Included"), f("smoking", "Smoking Room")],
+                    vec![
+                        f("breakfast", "Breakfast Included"),
+                        f("smoking", "Smoking Room"),
+                    ],
                 ),
             ],
         ),
@@ -228,7 +250,10 @@ pub fn domain() -> Domain {
                 checkout(),
                 g(
                     "Room",
-                    vec![fi("room_type", "Type of Room", ROOM_TYPES), f("beds", "Number of Beds")],
+                    vec![
+                        fi("room_type", "Type of Room", ROOM_TYPES),
+                        f("beds", "Number of Beds"),
+                    ],
                 ),
             ],
         ),
@@ -236,7 +261,10 @@ pub fn domain() -> Domain {
             "laterooms",
             vec![
                 f("city", "City"),
-                gu(vec![f("near_airport", "Airport"), f("landmark", "Landmark")]),
+                gu(vec![
+                    f("near_airport", "Airport"),
+                    f("landmark", "Landmark"),
+                ]),
                 checkin(),
                 g("Length of Stay", vec![f("nights", "Number of Nights")]),
                 fui("stars", STARS),
@@ -273,7 +301,11 @@ pub fn domain() -> Domain {
                 checkout(),
                 g(
                     "Occupancy",
-                    vec![f("rooms", "Rooms"), f("adults", "Adults"), f("children", "Children")],
+                    vec![
+                        f("rooms", "Rooms"),
+                        f("adults", "Adults"),
+                        f("children", "Children"),
+                    ],
                 ),
             ],
         ),
@@ -328,7 +360,10 @@ pub fn domain() -> Domain {
                 checkout(),
                 g(
                     "Price per Night",
-                    vec![f("price_min", "Lowest Rate"), f("price_max", "Highest Rate")],
+                    vec![
+                        f("price_min", "Lowest Rate"),
+                        f("price_max", "Highest Rate"),
+                    ],
                 ),
                 fui("stars", STARS),
             ],
@@ -336,7 +371,10 @@ pub fn domain() -> Domain {
         (
             "all-hotels",
             vec![
-                g("Location", vec![f("city", "City"), f("state", "State"), f("zip", "Zip Code")]),
+                g(
+                    "Location",
+                    vec![f("city", "City"), f("state", "State"), f("zip", "Zip Code")],
+                ),
                 checkin(),
                 checkout(),
                 gu(vec![f("rooms", "Rooms"), f("adults", "Adults")]),
@@ -400,7 +438,11 @@ pub fn domain() -> Domain {
                 checkout(),
                 g(
                     "Occupancy",
-                    vec![f("rooms", "Rooms"), f("adults", "Adults"), f("children", "Children")],
+                    vec![
+                        f("rooms", "Rooms"),
+                        f("adults", "Adults"),
+                        f("children", "Children"),
+                    ],
                 ),
                 fui("room_type", ROOM_TYPES),
             ],
@@ -423,13 +465,21 @@ mod tests {
     fn source_shape_tracks_table6() {
         let stats = domain().source_stats();
         // Paper: 7.6 leaves, 2.4 internal, depth 2.3, LQ 70.1%.
-        assert!((6.0..=9.0).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (6.0..=9.0).contains(&stats.avg_leaves),
+            "leaves {}",
+            stats.avg_leaves
+        );
         assert!(
             (2.0..=4.5).contains(&stats.avg_internal_nodes),
             "internal {}",
             stats.avg_internal_nodes
         );
-        assert!((2.2..=3.2).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (2.2..=3.2).contains(&stats.avg_depth),
+            "depth {}",
+            stats.avg_depth
+        );
         assert!(
             (0.55..=0.80).contains(&stats.avg_labeling_quality),
             "LQ {}",

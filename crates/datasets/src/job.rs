@@ -61,7 +61,10 @@ pub fn domain() -> Domain {
                 f("keyword", "Keywords"),
                 f("title", "Job Title"),
                 fi("job_pref", "Type of Job", JOB_PREFS),
-                g("Location", vec![f("city", "City"), fu("zip"), f("radius", "Radius")]),
+                g(
+                    "Location",
+                    vec![f("city", "City"), fu("zip"), f("radius", "Radius")],
+                ),
             ],
         ),
         (
@@ -173,7 +176,14 @@ pub fn domain() -> Domain {
                 f("keyword", "Keywords"),
                 f("industry", "Industry"),
                 fi("salary", "Salary Range", SALARIES),
-                g("Location", vec![f("state", "State"), f("city", "City"), f("radius", "Radius")]),
+                g(
+                    "Location",
+                    vec![
+                        f("state", "State"),
+                        f("city", "City"),
+                        f("radius", "Radius"),
+                    ],
+                ),
             ],
         ),
         (
@@ -242,13 +252,21 @@ mod tests {
     fn source_shape_tracks_table6() {
         let stats = domain().source_stats();
         // Paper: 4.6 leaves, 1.1 internal, depth 2.1, LQ 80%.
-        assert!((3.8..=5.5).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (3.8..=5.5).contains(&stats.avg_leaves),
+            "leaves {}",
+            stats.avg_leaves
+        );
         assert!(
             (0.1..=1.2).contains(&stats.avg_internal_nodes),
             "internal {}",
             stats.avg_internal_nodes
         );
-        assert!((2.0..=2.6).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (2.0..=2.6).contains(&stats.avg_depth),
+            "depth {}",
+            stats.avg_depth
+        );
         assert!(
             (0.72..=0.95).contains(&stats.avg_labeling_quality),
             "LQ {}",
@@ -262,7 +280,12 @@ mod tests {
         let partition = p.integrated.partition();
         assert_eq!(p.integrated.tree.leaves().count(), 19);
         // Paper: 1 group, 0 isolated, 15 root leaves, 2 internal nodes.
-        assert_eq!(partition.groups.len(), 1, "\n{}", p.integrated.tree.render());
+        assert_eq!(
+            partition.groups.len(),
+            1,
+            "\n{}",
+            p.integrated.tree.render()
+        );
         assert_eq!(partition.isolated.len(), 0);
         assert!(
             (14..=16).contains(&partition.root.len()),

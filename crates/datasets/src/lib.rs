@@ -39,7 +39,7 @@ pub mod synth;
 
 pub use domain::{Domain, PreparedDomain};
 pub use spec::{f, fi, fm, fu, fui, g, gu, FieldSpec};
-pub use synth::{generate_ladder, SynthConfig, SynthDomain};
+pub use synth::{generate_ladder, replicate_schemas, SynthConfig, SynthDomain};
 
 /// All seven evaluation domains, in Table 6 order.
 pub fn all_domains() -> Vec<Domain> {

@@ -101,7 +101,10 @@ pub fn domain() -> Domain {
                 g(
                     "Property Characteristics",
                     vec![
-                        g("Rooms", vec![f("beds", "Bedrooms"), f("baths", "Bathrooms")]),
+                        g(
+                            "Rooms",
+                            vec![f("beds", "Bedrooms"), f("baths", "Bathrooms")],
+                        ),
                         g(
                             "Features",
                             vec![
@@ -212,7 +215,10 @@ pub fn domain() -> Domain {
                 g("Location", vec![f("state", "State"), f("city", "City")]),
                 g(
                     "Size",
-                    vec![f("sqft_min", "Min Square Feet"), f("sqft_max", "Max Square Feet")],
+                    vec![
+                        f("sqft_min", "Min Square Feet"),
+                        f("sqft_max", "Max Square Feet"),
+                    ],
                 ),
                 f("keyword", "Keywords"),
             ],
@@ -266,7 +272,10 @@ pub fn domain() -> Domain {
                 f("city", "City"),
                 g(
                     "Size",
-                    vec![f("sqft_min", "Square Feet from"), f("sqft_max", "Square Feet to")],
+                    vec![
+                        f("sqft_min", "Square Feet from"),
+                        f("sqft_max", "Square Feet to"),
+                    ],
                 ),
                 fu("school_district"),
             ],
@@ -299,13 +308,21 @@ mod tests {
     fn source_shape_tracks_table6() {
         let stats = domain().source_stats();
         // Paper: 6.7 leaves, 2.4 internal, depth 2.7, LQ 79.1%.
-        assert!((4.5..=7.5).contains(&stats.avg_leaves), "leaves {}", stats.avg_leaves);
+        assert!(
+            (4.5..=7.5).contains(&stats.avg_leaves),
+            "leaves {}",
+            stats.avg_leaves
+        );
         assert!(
             (1.2..=3.0).contains(&stats.avg_internal_nodes),
             "internal {}",
             stats.avg_internal_nodes
         );
-        assert!((2.2..=3.3).contains(&stats.avg_depth), "depth {}", stats.avg_depth);
+        assert!(
+            (2.2..=3.3).contains(&stats.avg_depth),
+            "depth {}",
+            stats.avg_depth
+        );
         assert!(
             (0.70..=0.95).contains(&stats.avg_labeling_quality),
             "LQ {}",
@@ -320,7 +337,10 @@ mod tests {
         assert!(!lease_to.members.is_empty());
         for member in &lease_to.members {
             assert!(d.schemas[member.schema].node(member.node).label.is_none());
-            assert!(d.schemas[member.schema].node(member.node).instances().is_empty());
+            assert!(d.schemas[member.schema]
+                .node(member.node)
+                .instances()
+                .is_empty());
         }
     }
 

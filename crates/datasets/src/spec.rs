@@ -175,10 +175,7 @@ mod tests {
 
     #[test]
     fn build_interface_maps_all_leaves() {
-        let specs = vec![
-            g("G", vec![f("a", "A"), fu("b")]),
-            fui("c", &["1", "2"]),
-        ];
+        let specs = vec![g("G", vec![f("a", "A"), fu("b")]), fui("c", &["1", "2"])];
         let (tree, concepts) = build_interface("t", &specs).unwrap();
         assert_eq!(tree.leaves().count(), 3);
         assert_eq!(concepts.len(), 3);

@@ -7,8 +7,9 @@
 //! per interface. Deterministic for a given seed.
 
 use crate::domain::Domain;
-use crate::spec::{FieldSpec};
+use crate::spec::FieldSpec;
 use qi_runtime::SplitMix64;
+use qi_schema::{NodeId, SchemaTree};
 
 /// Generator configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -234,9 +235,121 @@ pub fn generate_ladder(equality_groups: usize, synonymy_groups: usize) -> Domain
     )
 }
 
+/// Replicate a schema corpus `k`× with per-replica vocabulary renaming,
+/// for matcher scaling benchmarks.
+///
+/// Replica 0 is the input corpus verbatim. In every later replica `r`
+/// the digits of `r` are appended to each maximal alphanumeric token
+/// run of every label (`Departure City` → `Departure7 City7` for
+/// replica 7) and `__r{r}` to the schema name. The tokenizer treats a
+/// maximal alphanumeric run as one token, so each renamed token
+/// carries a replica-specific stem and misses the lexicon entirely:
+/// under the default **non-fuzzy** matcher no label of one replica can
+/// match a label of another (string, word-set, stem and synonym tiers
+/// all fail on the digit suffix), and every stem / synset posting list
+/// stays confined to one replica. Candidate-generation work in an
+/// indexed matcher therefore scales *linearly* in `k` while the raw
+/// pair space a naive matcher scans scales *quadratically* — the
+/// regime the `cluster_scaled` benchmark stages measure. (A fuzzy
+/// matcher with a low similarity floor may still connect long renamed
+/// twins like `departure1`/`departure2`; scaling runs use the default
+/// configuration.)
+///
+/// Renaming rewrites stop words and lexicon lemmas too, so the
+/// *internal* cluster structure of a renamed replica is not byte-for-
+/// byte the base clustering — synonym- and stopword-dependent matches
+/// dissolve. All renamed replicas are isomorphic to each other, and
+/// no cluster ever spans two replicas.
+pub fn replicate_schemas(schemas: &[SchemaTree], k: usize) -> Vec<SchemaTree> {
+    let mut out: Vec<SchemaTree> = Vec::with_capacity(schemas.len() * k);
+    out.extend_from_slice(schemas);
+    for r in 1..k {
+        let suffix = r.to_string();
+        for tree in schemas {
+            let mut replica = SchemaTree::new(&format!("{}__r{r}", tree.name()));
+            copy_renamed(tree, NodeId::ROOT, &mut replica, NodeId::ROOT, &suffix);
+            out.push(replica);
+        }
+    }
+    out
+}
+
+/// Recursively copy `src`'s subtree under `dst_parent`, renaming labels.
+fn copy_renamed(
+    src: &SchemaTree,
+    src_id: NodeId,
+    dst: &mut SchemaTree,
+    dst_parent: NodeId,
+    suffix: &str,
+) {
+    for &child in src.children(src_id) {
+        let node = src.node(child);
+        let label = node.label.as_deref().map(|l| rename_tokens(l, suffix));
+        let dst_id = if node.is_leaf() {
+            dst.add_leaf(dst_parent, label.as_deref())
+        } else {
+            dst.add_internal(dst_parent, label.as_deref())
+        };
+        copy_renamed(src, child, dst, dst_id, suffix);
+    }
+}
+
+/// Append `suffix` to every maximal alphanumeric run in `label`.
+fn rename_tokens(label: &str, suffix: &str) -> String {
+    let mut out = String::with_capacity(label.len() + suffix.len() * 4);
+    let mut in_run = false;
+    for ch in label.chars() {
+        if in_run && !ch.is_ascii_alphanumeric() {
+            out.push_str(suffix);
+        }
+        in_run = ch.is_ascii_alphanumeric();
+        out.push(ch);
+    }
+    if in_run {
+        out.push_str(suffix);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rename_tokens_suffixes_each_run() {
+        assert_eq!(rename_tokens("Departure City", "7"), "Departure7 City7");
+        assert_eq!(rename_tokens("Zip Code:", "12"), "Zip12 Code12:");
+        assert_eq!(rename_tokens("", "3"), "");
+    }
+
+    #[test]
+    fn replicated_corpus_clusters_independently() {
+        let lex = qi_lexicon::Lexicon::builtin();
+        let base = crate::airline::domain().schemas;
+        let replicated = replicate_schemas(&base, 3);
+        assert_eq!(replicated.len(), base.len() * 3);
+        // Replica 0 is the base corpus verbatim.
+        assert_eq!(&replicated[..base.len()], &base[..]);
+        let base_map = qi_mapping::matcher::match_by_labels(&base, &lex);
+        let rep_map = qi_mapping::matcher::match_by_labels(&replicated, &lex);
+        // Renamed replicas are isomorphic to each other: the replicated
+        // clustering is replica 0's verbatim clustering plus (k − 1)
+        // independent copies of one renamed replica's clustering.
+        let r1_map =
+            qi_mapping::matcher::match_by_labels(&replicated[base.len()..2 * base.len()], &lex);
+        assert_eq!(rep_map.len(), base_map.len() + 2 * r1_map.len());
+        // Disjoint replica vocabularies: no cluster spans two replicas.
+        for cluster in &rep_map.clusters {
+            let replica = cluster.members[0].schema / base.len();
+            assert!(
+                cluster
+                    .members
+                    .iter()
+                    .all(|m| m.schema / base.len() == replica),
+                "cluster crosses replica boundary"
+            );
+        }
+    }
 
     #[test]
     fn deterministic_for_seed() {
@@ -295,9 +408,10 @@ mod tests {
     fn every_concept_is_labeled_somewhere() {
         let synth = SynthDomain::generate(SynthConfig::default());
         for cluster in &synth.domain.mapping.clusters {
-            let labeled = cluster.members.iter().any(|m| {
-                synth.domain.schemas[m.schema].node(m.node).label.is_some()
-            });
+            let labeled = cluster
+                .members
+                .iter()
+                .any(|m| synth.domain.schemas[m.schema].node(m.node).label.is_some());
             assert!(labeled, "{} never labeled", cluster.concept);
         }
     }

@@ -53,11 +53,7 @@ fn label_set(domain: &Domain, lexicon: &Lexicon, policy: NamingPolicy) -> Labele
     let prepared = domain.prepare();
     let labeler = Labeler::new(lexicon, policy);
     let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
-    let fields: Vec<Option<String>> = labeled
-        .tree
-        .leaves()
-        .map(|l| l.label.clone())
-        .collect();
+    let fields: Vec<Option<String>> = labeled.tree.leaves().map(|l| l.label.clone()).collect();
     let internal: Vec<Option<String>> = labeled
         .tree
         .internal_nodes()
@@ -70,7 +66,12 @@ fn label_set(domain: &Domain, lexicon: &Lexicon, policy: NamingPolicy) -> Labele
             .report
             .class
             .unwrap_or(ConsistencyClass::Inconsistent),
-        consistent_groups: labeled.report.groups.iter().filter(|g| g.consistent).count(),
+        consistent_groups: labeled
+            .report
+            .groups
+            .iter()
+            .filter(|g| g.consistent)
+            .count(),
         total_groups: labeled.report.groups.len(),
     }
 }
@@ -140,8 +141,16 @@ pub fn policy_label_diff(
     right: NamingPolicy,
 ) -> Vec<qi_schema::diff::Difference> {
     let prepared = domain.prepare();
-    let l = Labeler::new(lexicon, left).label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
-    let r = Labeler::new(lexicon, right).label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+    let l = Labeler::new(lexicon, left).label(
+        &prepared.schemas,
+        &prepared.mapping,
+        &prepared.integrated,
+    );
+    let r = Labeler::new(lexicon, right).label(
+        &prepared.schemas,
+        &prepared.mapping,
+        &prepared.integrated,
+    );
     qi_schema::diff::diff(&l.tree, &r.tree)
 }
 
@@ -211,7 +220,10 @@ mod tests {
             NamingPolicy::default(),
             NamingPolicy::most_general_baseline(),
         );
-        assert!(!differences.is_empty(), "policies should disagree somewhere");
+        assert!(
+            !differences.is_empty(),
+            "policies should disagree somewhere"
+        );
         // Policies change labels only — never the structure.
         for difference in &differences {
             assert!(

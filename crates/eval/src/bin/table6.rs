@@ -7,6 +7,11 @@ use qi_lexicon::Lexicon;
 fn main() {
     let domains = qi_datasets::all_domains();
     let lexicon = Lexicon::builtin();
-    let result = evaluate_corpus(&domains, &lexicon, NamingPolicy::default(), Panel::default());
+    let result = evaluate_corpus(
+        &domains,
+        &lexicon,
+        NamingPolicy::default(),
+        Panel::default(),
+    );
     print!("{}", table::render_table6(&result.domains));
 }

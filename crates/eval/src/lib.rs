@@ -25,6 +25,6 @@ pub mod table;
 pub use metrics::{DomainEvaluation, IntegratedShape};
 pub use panel::{Panel, PanelConfig};
 pub use runner::{
-    evaluate_corpus, evaluate_corpus_with, evaluate_domain, evaluate_domain_with,
-    CorpusEvaluation, DomainFailure, RunConfig,
+    evaluate_corpus, evaluate_corpus_with, evaluate_domain, evaluate_domain_with, CorpusEvaluation,
+    DomainFailure, RunConfig,
 };

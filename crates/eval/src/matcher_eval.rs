@@ -84,7 +84,11 @@ mod tests {
             airline.quality.recall,
             auto.quality.recall
         );
-        assert!(auto.quality.recall > 0.7, "auto recall {}", auto.quality.recall);
+        assert!(
+            auto.quality.recall > 0.7,
+            "auto recall {}",
+            auto.quality.recall
+        );
     }
 
     #[test]
@@ -112,7 +116,15 @@ mod tests {
             .map(|d| evaluate_matcher(d, &lexicon))
             .collect();
         let text = render(&reports);
-        for domain in ["Airline", "Auto", "Book", "Job", "Real Estate", "Car Rental", "Hotels"] {
+        for domain in [
+            "Airline",
+            "Auto",
+            "Book",
+            "Job",
+            "Real Estate",
+            "Car Rental",
+            "Hotels",
+        ] {
             assert!(text.contains(domain), "{domain} missing from\n{text}");
         }
     }

@@ -91,7 +91,12 @@ pub fn evaluate_domain_with(
         .with_threads(config.threads)
         .with_cache(config.cache);
     let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
-    let (ha, ha_star) = panel.survey(&prepared.name, &labeled, &prepared.schemas, &prepared.mapping);
+    let (ha, ha_star) = panel.survey(
+        &prepared.name,
+        &labeled,
+        &prepared.schemas,
+        &prepared.mapping,
+    );
     DomainEvaluation {
         name: prepared.name.clone(),
         source,
@@ -175,7 +180,12 @@ mod tests {
         assert_eq!(result.domains.len(), 7);
         assert!(result.failed.is_empty());
         for row in &result.domains {
-            assert!((0.0..=1.0).contains(&row.fld_acc), "{}: {}", row.name, row.fld_acc);
+            assert!(
+                (0.0..=1.0).contains(&row.fld_acc),
+                "{}: {}",
+                row.name,
+                row.fld_acc
+            );
             assert!((0.0..=1.0).contains(&row.int_acc));
             assert!(row.shape.leaves > 0);
         }

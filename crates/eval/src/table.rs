@@ -42,7 +42,10 @@ pub fn render_table6(rows: &[DomainEvaluation]) -> String {
 pub fn render_figure10(usage: &LiUsage) -> String {
     let mut out = String::new();
     out.push_str("Inference-rule involvement (Figure 10)\n");
-    out.push_str(&format!("total candidate-label derivations: {}\n", usage.total()));
+    out.push_str(&format!(
+        "total candidate-label derivations: {}\n",
+        usage.total()
+    ));
     for rule in InferenceRule::ALL {
         let ratio = usage.ratio(rule);
         let bar = "#".repeat((ratio * 50.0).round() as usize);

@@ -65,7 +65,10 @@ impl LexiconBuilder {
         let mut membership: HashMap<&str, Vec<SynsetId>> = HashMap::new();
         for (i, members) in self.synsets.iter().enumerate() {
             for m in members {
-                membership.entry(m.as_str()).or_default().push(SynsetId(i as u32));
+                membership
+                    .entry(m.as_str())
+                    .or_default()
+                    .push(SynsetId(i as u32));
             }
         }
         let mut hypernyms: Vec<Vec<SynsetId>> = vec![Vec::new(); self.synsets.len()];
@@ -123,9 +126,7 @@ mod tests {
 
     #[test]
     fn lowercases_input() {
-        let lex = LexiconBuilder::new()
-            .synset(&["Car", "AUTO"])
-            .build();
+        let lex = LexiconBuilder::new().synset(&["Car", "AUTO"]).build();
         assert!(lex.are_synonyms("car", "auto"));
     }
 

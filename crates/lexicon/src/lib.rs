@@ -67,6 +67,11 @@ pub struct Lexicon {
     /// Memoized morphological reductions (`base_form` results, covering
     /// the Morphy detachment-rule walk).
     base_form_cache: ShardedCache<String, Option<String>>,
+    /// Memoized word → synset-id resolutions ([`Lexicon::resolve`]).
+    /// The matcher's candidate generator keys its synonym postings on
+    /// these ids, so the same few hundred tokens resolve once per corpus
+    /// instead of once per pairwise `are_synonyms` probe.
+    resolve_cache: ShardedCache<String, Vec<SynsetId>>,
 }
 
 impl Lexicon {
@@ -130,16 +135,31 @@ impl Lexicon {
     pub fn set_cache_enabled(&self, enabled: bool) {
         self.hypernym_cache.set_enabled(enabled);
         self.base_form_cache.set_enabled(enabled);
+        self.resolve_cache.set_enabled(enabled);
     }
 
     /// Aggregated hit/miss counters of the lexicon's memo-caches.
     pub fn cache_stats(&self) -> CacheStats {
-        self.hypernym_cache.stats().merge(&self.base_form_cache.stats())
+        self.hypernym_cache
+            .stats()
+            .merge(&self.base_form_cache.stats())
+            .merge(&self.resolve_cache.stats())
     }
 
     /// Resolve a word to the synsets it may denote: exact lemma match,
     /// else morphological base form, else lemmas sharing its Porter stem.
+    /// Memoized — this is the hottest lexicon query on the matcher path
+    /// (every synonym probe and every posting key resolves its tokens).
     pub fn resolve(&self, word: &str) -> Vec<SynsetId> {
+        if let Some(hit) = self.resolve_cache.get(word) {
+            return hit;
+        }
+        let ids = self.resolve_uncached(word);
+        self.resolve_cache.insert(word.to_string(), ids.clone());
+        ids
+    }
+
+    fn resolve_uncached(&self, word: &str) -> Vec<SynsetId> {
         if let Some(ids) = self.lemma_index.get(word) {
             return ids.clone();
         }
@@ -267,6 +287,7 @@ impl Lexicon {
             exceptions,
             hypernym_cache: ShardedCache::default(),
             base_form_cache: ShardedCache::default(),
+            resolve_cache: ShardedCache::default(),
         }
     }
 }

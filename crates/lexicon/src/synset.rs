@@ -1,13 +1,10 @@
 //! Synset identifiers.
 
-
 /// Identifier of a synonym set (synset) inside a [`crate::Lexicon`].
 ///
 /// Synsets are stored in a dense arena, so the id is a plain index. Ids are
 /// only meaningful relative to the lexicon that produced them.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct SynsetId(pub u32);
 
 impl std::fmt::Display for SynsetId {

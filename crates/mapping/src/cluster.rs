@@ -4,9 +4,7 @@ use qi_schema::{NodeId, SchemaTree};
 use std::collections::HashMap;
 
 /// Identifier of a cluster within a [`Mapping`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ClusterId(pub u32);
 
 impl ClusterId {
@@ -24,9 +22,7 @@ impl std::fmt::Display for ClusterId {
 
 /// A field of one schema: `(schema index, node id)`. Schema indices refer
 /// to the slice of source trees the mapping was built against.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FieldRef {
     /// Index of the source schema within the domain's interface list.
     pub schema: usize,
@@ -262,7 +258,12 @@ mod tests {
             "aa",
             vec![node(
                 "Passengers",
-                vec![leaf("Adults"), leaf("Seniors"), leaf("Children"), leaf("Infants")],
+                vec![
+                    leaf("Adults"),
+                    leaf("Seniors"),
+                    leaf("Children"),
+                    leaf("Infants"),
+                ],
             )],
         )
         .unwrap();
@@ -344,10 +345,8 @@ mod tests {
             dup.validate(&schemas),
             Err(MappingError::DuplicateSchema { .. })
         ));
-        let bad_schema = Mapping::from_clusters(vec![(
-            "c".to_string(),
-            vec![FieldRef::new(7, leaves[0])],
-        )]);
+        let bad_schema =
+            Mapping::from_clusters(vec![("c".to_string(), vec![FieldRef::new(7, leaves[0])])]);
         assert!(matches!(
             bad_schema.validate(&schemas),
             Err(MappingError::SchemaOutOfRange { .. })

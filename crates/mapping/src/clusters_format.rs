@@ -74,7 +74,10 @@ pub fn parse(text: &str, schemas: &[SchemaTree]) -> Result<Mapping, ParseError> 
         let Some((interface, label)) = line.split_once(':') else {
             return Err(ParseError {
                 line: line_no,
-                message: format!("expected `cluster <name>` or `<interface>: <label>`, got {:?}", line.trim()),
+                message: format!(
+                    "expected `cluster <name>` or `<interface>: <label>`, got {:?}",
+                    line.trim()
+                ),
             });
         };
         let Some((_, members)) = clusters.last_mut() else {
@@ -192,8 +195,11 @@ cluster child
         assert_eq!(e.line, 2);
         let e = parse("cluster a\n  british: Nope\n", &schemas).unwrap_err();
         assert!(e.message.contains("no field labeled"), "{e}");
-        let e = parse("cluster a\n  british: Adults\n  british: Adults\n", &schemas)
-            .unwrap_err();
+        let e = parse(
+            "cluster a\n  british: Adults\n  british: Adults\n",
+            &schemas,
+        )
+        .unwrap_err();
         assert!(e.message.contains("duplicate"), "{e}");
         let e = parse("cluster \n", &schemas).unwrap_err();
         assert!(e.message.contains("concept name"), "{e}");
@@ -214,11 +220,8 @@ cluster child
 
     #[test]
     fn render_marks_unlabeled_members() {
-        let tree = SchemaTree::build(
-            "a",
-            vec![qi_schema::spec::unlabeled_leaf(), leaf("B")],
-        )
-        .unwrap();
+        let tree =
+            SchemaTree::build("a", vec![qi_schema::spec::unlabeled_leaf(), leaf("B")]).unwrap();
         let leaves = tree.descendant_leaves(NodeId::ROOT);
         let schemas = vec![tree];
         let mapping = Mapping::from_clusters(vec![(

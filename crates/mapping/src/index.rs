@@ -1,0 +1,356 @@
+//! Indexed candidate generation for the label-similarity matcher.
+//!
+//! The naive matcher compares every cross-schema field pair and rescans
+//! all fields on each merge to enforce the same-schema invariant —
+//! O(n²) comparisons with an O(n) scan per union, effectively cubic.
+//! This module replaces both bottlenecks while producing the *identical*
+//! [`crate::Mapping`]:
+//!
+//! 1. **Candidate generation** — inverted postings over each field's
+//!    normalized label: interned stem keys, lexicon synset ids (so
+//!    synonym pairs land in the same posting list without pairwise
+//!    `are_synonyms` probes), and, under the fuzzy tier, first/second
+//!    character signature buckets covering the abbreviation and
+//!    bounded-Levenshtein predicates. Only fields sharing at least one
+//!    posting are ever compared.
+//! 2. **Schema-aware union-find** — each root carries a schema bitset
+//!    (`words × u64`); the clash check becomes a bitwise AND over
+//!    `words` machine words and unions OR the bitsets together.
+//! 3. **Parallel candidate scoring** — the match predicate is pure, so
+//!    candidate pairs are scored on the `qi-runtime` bounded pool
+//!    (chunk-partitioned) and the verdicts are merged *sequentially in
+//!    ascending `(i, j)` order*, exactly the order the naive double loop
+//!    visits matching pairs. The union-find therefore evolves through
+//!    the same state sequence and the output clusters are equal to the
+//!    naive path's, regardless of worker count.
+//!
+//! # Why the candidate set is exhaustive
+//!
+//! [`labels_match_with`] accepts a pair only if (a) the display strings
+//! are ASCII-case-equal, (b) the content-word key sets are equal, or
+//! (c) word counts agree and every word of one label matches a word of
+//! the other via stem equality, synonymy, or the fuzzy tier. Case (a)
+//! implies (b) (tokenization lowercases), and (b) and (c) both require
+//! at least one word-level connection, which the postings cover:
+//! stem-equal words share a stem posting; synonymous words resolve to
+//! intersecting synset id sets and share a synset posting; fuzzy
+//! connections share a signature bucket (see below). Hence every
+//! matching pair co-occurs in some posting list.
+//!
+//! The fuzzy signature posts each content word under the first **and**
+//! second characters of its stem and lemma. Abbreviations preserve the
+//! first character, so abbreviation pairs share a first-character
+//! bucket. For the Levenshtein predicate the blocking is sound whenever
+//! every accepted pair is within edit distance 1 — guaranteed when
+//! `(1 − min_similarity) · max_stem_len < 2` with a positive threshold:
+//! a distance-1 pair either keeps its first character (shared first
+//! bucket) or edits position 0, in which case the second characters
+//! align with the other string's first or second character (shared
+//! bucket either way). Outside that regime the index degrades to a
+//! single universal fuzzy bucket — still exact, no longer sub-quadratic.
+
+use crate::cluster::FieldRef;
+use crate::matcher::{labels_match_with, MatcherConfig};
+use qi_lexicon::{Lexicon, SynsetId};
+use qi_runtime::{parallel_map_chunked, Interner};
+use qi_text::LabelText;
+use std::collections::HashMap;
+
+/// Candidate counts below this are scored sequentially — the corpus is
+/// small enough that spawning workers costs more than the scoring.
+const PARALLEL_SCORING_THRESHOLD: usize = 4096;
+
+/// Candidates handed to a pool worker per claim (see
+/// [`parallel_map_chunked`]).
+const SCORING_CHUNK: usize = 1024;
+
+type Field = (FieldRef, Option<LabelText>);
+
+fn pack(i: u32, j: u32) -> u64 {
+    ((i as u64) << 32) | j as u64
+}
+
+fn unpack(packed: u64) -> (usize, usize) {
+    ((packed >> 32) as usize, (packed & 0xFFFF_FFFF) as usize)
+}
+
+/// Compute the connected components of the match graph without
+/// materializing it: generate candidates from postings, score them (in
+/// parallel when worthwhile), and merge in deterministic pair order.
+/// Returns the union-find root of every field.
+pub(crate) fn indexed_components(
+    fields: &[Field],
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+) -> Vec<usize> {
+    let candidates = generate_candidates(fields, lexicon, config);
+    let verdicts = score_candidates(fields, &candidates, lexicon, config);
+    let schema_count = fields.iter().map(|(f, _)| f.schema + 1).max().unwrap_or(0);
+    let mut uf = SchemaUnionFind::new(fields, schema_count);
+    for (&packed, &matched) in candidates.iter().zip(&verdicts) {
+        if matched {
+            let (i, j) = unpack(packed);
+            uf.merge(i, j);
+        }
+    }
+    (0..fields.len()).map(|i| uf.find(i)).collect()
+}
+
+/// Build the inverted postings and emit the deduplicated candidate pair
+/// list in ascending `(i, j)` order.
+fn generate_candidates(fields: &[Field], lexicon: &Lexicon, config: MatcherConfig) -> Vec<u64> {
+    // Stem keys are interned to dense symbols so stem postings live in a
+    // plain Vec instead of a string-keyed map.
+    let stems = Interner::new();
+    let mut stem_postings: Vec<Vec<u32>> = Vec::new();
+    let mut synset_postings: HashMap<SynsetId, Vec<u32>> = HashMap::new();
+    let mut fuzzy_postings: HashMap<char, Vec<u32>> = HashMap::new();
+    let mut fuzzy_universal: Vec<u32> = Vec::new();
+    let fuzzy_prefix_sound = config.fuzzy && prefix_blocking_sound(fields, config);
+
+    let push_unique = |list: &mut Vec<u32>, i: u32| {
+        // Posting lists grow in field order, so duplicates from one
+        // field's words are always adjacent.
+        if list.last() != Some(&i) {
+            list.push(i);
+        }
+    };
+    for (idx, (_, label)) in fields.iter().enumerate() {
+        let Some(label) = label else { continue };
+        if label.is_empty() {
+            continue;
+        }
+        let i = idx as u32;
+        for word in &label.words {
+            let sym = stems.intern(&word.stem);
+            if sym.0 as usize == stem_postings.len() {
+                stem_postings.push(Vec::new());
+            }
+            push_unique(&mut stem_postings[sym.0 as usize], i);
+            for sid in lexicon.resolve(&word.lemma) {
+                push_unique(synset_postings.entry(sid).or_default(), i);
+            }
+            if config.fuzzy {
+                if fuzzy_prefix_sound {
+                    for c in signature_chars(&word.stem, &word.lemma) {
+                        push_unique(fuzzy_postings.entry(c).or_default(), i);
+                    }
+                } else {
+                    push_unique(&mut fuzzy_universal, i);
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<u64> = Vec::new();
+    {
+        let mut add_list = |list: &[u32]| {
+            for (x, &i) in list.iter().enumerate() {
+                let schema_i = fields[i as usize].0.schema;
+                for &j in &list[x + 1..] {
+                    if fields[j as usize].0.schema != schema_i {
+                        pairs.push(pack(i, j));
+                    }
+                }
+            }
+        };
+        for list in &stem_postings {
+            add_list(list);
+        }
+        for list in synset_postings.values() {
+            add_list(list);
+        }
+        for list in fuzzy_postings.values() {
+            add_list(list);
+        }
+        add_list(&fuzzy_universal);
+    }
+    // Posting-map iteration order is arbitrary; sorting restores the
+    // naive loop's ascending (i, j) order and drops duplicates from
+    // fields sharing several postings.
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// True when first/second-character buckets are an exhaustive blocking
+/// for the fuzzy Levenshtein predicate: threshold positive and every
+/// acceptable pair within edit distance 1.
+fn prefix_blocking_sound(fields: &[Field], config: MatcherConfig) -> bool {
+    if config.min_similarity <= 0.0 {
+        return false;
+    }
+    let max_stem_chars = fields
+        .iter()
+        .filter_map(|(_, l)| l.as_ref())
+        .flat_map(|l| l.words.iter())
+        .map(|w| {
+            if w.stem.is_ascii() {
+                w.stem.len()
+            } else {
+                w.stem.chars().count()
+            }
+        })
+        .max()
+        .unwrap_or(0);
+    (1.0 - config.min_similarity) * (max_stem_chars as f64) < 2.0
+}
+
+/// The signature characters of one content word: first and second
+/// characters of its stem and of its lemma (deduplicated).
+fn signature_chars(stem: &str, lemma: &str) -> impl Iterator<Item = char> {
+    let mut out: [Option<char>; 4] = [None; 4];
+    let mut n = 0;
+    for c in stem.chars().take(2).chain(lemma.chars().take(2)) {
+        if !out[..n].contains(&Some(c)) {
+            out[n] = Some(c);
+            n += 1;
+        }
+    }
+    out.into_iter().flatten()
+}
+
+/// Score every candidate pair with the full match predicate. Pure, so
+/// large candidate sets fan out on the bounded pool; the verdict vector
+/// is in candidate order either way.
+fn score_candidates(
+    fields: &[Field],
+    candidates: &[u64],
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+) -> Vec<bool> {
+    let score_one = |packed: u64| {
+        let (i, j) = unpack(packed);
+        match (&fields[i].1, &fields[j].1) {
+            (Some(a), Some(b)) => labels_match_with(a, b, lexicon, config),
+            _ => false,
+        }
+    };
+    if candidates.len() >= PARALLEL_SCORING_THRESHOLD {
+        parallel_map_chunked(candidates, config.threads, SCORING_CHUNK, |_, &c| {
+            score_one(c)
+        })
+    } else {
+        candidates.iter().map(|&c| score_one(c)).collect()
+    }
+}
+
+/// Union-find whose roots carry a schema bitset, turning the
+/// same-schema clash check from an O(n) membership scan into an
+/// O(words) bitwise AND.
+struct SchemaUnionFind {
+    parent: Vec<u32>,
+    /// Row-major `n × words` bitset storage; only root rows are kept
+    /// current.
+    bits: Vec<u64>,
+    words: usize,
+}
+
+impl SchemaUnionFind {
+    fn new(fields: &[Field], schema_count: usize) -> Self {
+        let words = schema_count.div_ceil(64).max(1);
+        let mut bits = vec![0u64; fields.len() * words];
+        for (i, (field, _)) in fields.iter().enumerate() {
+            bits[i * words + field.schema / 64] |= 1u64 << (field.schema % 64);
+        }
+        SchemaUnionFind {
+            parent: (0..fields.len() as u32).collect(),
+            bits,
+            words,
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Union the components of `i` and `j` unless they share a schema.
+    /// Mirrors the naive merge exactly: same no-op on equal roots, same
+    /// clash predicate, same root orientation (`root(i) → root(j)`).
+    fn merge(&mut self, i: usize, j: usize) {
+        let ri = self.find(i);
+        let rj = self.find(j);
+        if ri == rj {
+            return;
+        }
+        let clash = (0..self.words)
+            .any(|w| self.bits[ri * self.words + w] & self.bits[rj * self.words + w] != 0);
+        if clash {
+            return;
+        }
+        self.parent[ri] = rj as u32;
+        for w in 0..self.words {
+            let from = self.bits[ri * self.words + w];
+            self.bits[rj * self.words + w] |= from;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (i, j) in [(0u32, 1u32), (7, 4_000_000), (u32::MAX - 1, u32::MAX)] {
+            assert_eq!(unpack(pack(i, j)), (i as usize, j as usize));
+        }
+        // Packed order is (i, j) lexicographic order.
+        assert!(pack(1, 9) < pack(2, 3));
+        assert!(pack(2, 3) < pack(2, 4));
+    }
+
+    #[test]
+    fn signature_chars_dedup() {
+        let sig: Vec<char> = signature_chars("aa", "ab").collect();
+        assert_eq!(sig, vec!['a', 'b']);
+        let sig: Vec<char> = signature_chars("qty", "quantity").collect();
+        assert_eq!(sig, vec!['q', 't', 'u']);
+        let sig: Vec<char> = signature_chars("x", "x").collect();
+        assert_eq!(sig, vec!['x']);
+    }
+
+    #[test]
+    fn bitset_union_find_enforces_schema_invariant() {
+        // Three fields: schemas 0, 1, 0. (0,1) may merge; (1,2) then
+        // clashes because the component already contains schema 0.
+        let fields: Vec<Field> = vec![
+            (FieldRef::new(0, qi_schema::NodeId::ROOT), None),
+            (FieldRef::new(1, qi_schema::NodeId::ROOT), None),
+            (FieldRef::new(0, qi_schema::NodeId::ROOT), None),
+        ];
+        let mut uf = SchemaUnionFind::new(&fields, 2);
+        uf.merge(0, 1);
+        assert_eq!(uf.find(0), uf.find(1));
+        uf.merge(1, 2);
+        assert_ne!(uf.find(1), uf.find(2), "clash must block the merge");
+        // Merging inside one component is a no-op, not a clash panic.
+        uf.merge(0, 1);
+        assert_eq!(uf.find(0), uf.find(1));
+    }
+
+    #[test]
+    fn bitset_union_find_spans_many_words() {
+        // 130 schemas forces a 3-word bitset; chain unions across words.
+        let fields: Vec<Field> = (0..130)
+            .map(|s| (FieldRef::new(s, qi_schema::NodeId::ROOT), None))
+            .collect();
+        let mut uf = SchemaUnionFind::new(&fields, 130);
+        for i in 1..130 {
+            uf.merge(0, i);
+        }
+        let root = uf.find(0);
+        assert!((0..130).all(|i| uf.find(i) == root));
+    }
+}

@@ -11,9 +11,7 @@ use qi_schema::{NodeId, SchemaTree};
 use std::collections::BTreeMap;
 
 /// Identifier of a group inside a [`ClusterPartition`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct GroupId(pub u32);
 
 impl GroupId {
@@ -121,9 +119,7 @@ impl Integrated {
                     leaves: group.leaves.clone(),
                     clusters,
                 });
-            } else if let (Some(&leaf), Some(&cluster)) =
-                (group.leaves.first(), clusters.first())
-            {
+            } else if let (Some(&leaf), Some(&cluster)) = (group.leaves.first(), clusters.first()) {
                 partition.isolated.push((leaf, cluster));
             }
         }

@@ -17,12 +17,15 @@
 
 pub mod cluster;
 pub mod clusters_format;
+mod index;
 pub mod integrated;
 pub mod matcher;
 pub mod quality;
 pub mod relation;
 
-pub use cluster::{expand_one_to_many, Cluster, ClusterId, ExpansionOutcome, FieldRef, Mapping, MappingError};
+pub use cluster::{
+    expand_one_to_many, Cluster, ClusterId, ExpansionOutcome, FieldRef, Mapping, MappingError,
+};
 pub use integrated::{ClusterClass, ClusterPartition, GroupId, Integrated, IntegratedGroup};
 pub use quality::{pairwise_quality, MatchQuality};
 pub use relation::{GroupRelation, GroupTuple};

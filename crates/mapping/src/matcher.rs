@@ -4,18 +4,28 @@
 //! The paper assumes the clusters are given ("we assume the semantic
 //! relationships between the attributes ... have been already computed",
 //! §2.1, citing \[10, 23, 24\]). The curated corpus ships ground-truth
-//! clusters; this module provides a simple matcher for the synthetic
-//! corpus and for users bringing their own interfaces: fields across
-//! schemas are clustered by union-find over label similarity (string
-//! equality, content-word-set equality, or token-wise synonymy against the
+//! clusters; this module provides a matcher for the synthetic corpus and
+//! for users bringing their own interfaces: fields across schemas are
+//! clustered by union-find over label similarity (string equality,
+//! content-word-set equality, or token-wise synonymy against the
 //! lexicon), with the constraint that two fields of the *same* schema are
 //! never merged (intra-interface labels are assumed distinct concepts).
+//!
+//! Two equivalent engines implement the clustering. The default is the
+//! indexed candidate-generation engine of [`crate::index`] — inverted
+//! postings (interned stems, synset ids, fuzzy signature buckets) feed a
+//! schema-bitset union-find, so only fields sharing a posting are ever
+//! compared. The original brute-force double loop is kept as a reference
+//! implementation behind [`MatcherConfig::naive`]; both produce
+//! bit-identical [`Mapping`]s, which the test suite asserts on randomized
+//! corpora.
 
 use crate::cluster::{FieldRef, Mapping};
+use crate::index::indexed_components;
 use qi_lexicon::Lexicon;
 use qi_schema::{NodeId, SchemaTree};
 use qi_text::{normalized_levenshtein, prefix_abbreviation, ContentWord, LabelText};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Matcher configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +36,16 @@ pub struct MatcherConfig {
     pub fuzzy: bool,
     /// Minimum normalized Levenshtein similarity for the fuzzy tier.
     pub min_similarity: f64,
+    /// Use the quadratic reference implementation instead of the indexed
+    /// candidate-generation engine. The two produce identical mappings;
+    /// the naive path exists as the equivalence oracle for tests and
+    /// benchmarks.
+    pub naive: bool,
+    /// Worker threads for candidate scoring in the indexed engine
+    /// (`0` = use the hardware, clamped by `qi-runtime`). Scoring only
+    /// fans out on corpora large enough to repay the spawn cost, and the
+    /// result is identical for every worker count.
+    pub threads: usize,
 }
 
 impl Default for MatcherConfig {
@@ -33,6 +53,8 @@ impl Default for MatcherConfig {
         MatcherConfig {
             fuzzy: false,
             min_similarity: 0.85,
+            naive: false,
+            threads: 0,
         }
     }
 }
@@ -100,10 +122,28 @@ pub fn labels_match_with(
 
 /// Fuzzy token tier: abbreviation in either direction, or near-identical
 /// stems.
-fn fuzzy_token_match(a: &ContentWord, b: &ContentWord, config: MatcherConfig) -> bool {
-    prefix_abbreviation(&a.lemma, &b.lemma)
-        || prefix_abbreviation(&b.lemma, &a.lemma)
-        || normalized_levenshtein(&a.stem, &b.stem) >= config.min_similarity
+pub(crate) fn fuzzy_token_match(a: &ContentWord, b: &ContentWord, config: MatcherConfig) -> bool {
+    if prefix_abbreviation(&a.lemma, &b.lemma) || prefix_abbreviation(&b.lemma, &a.lemma) {
+        return true;
+    }
+    // Length bound: edit distance is at least the length difference, so
+    // the best reachable similarity is min_len/max_len — when even that
+    // falls short of the threshold, skip the dynamic program entirely.
+    // Computed with the same expression `normalized_levenshtein` uses so
+    // the cutoff can never disagree with the full computation.
+    let char_len = |s: &str| {
+        if s.is_ascii() {
+            s.len()
+        } else {
+            s.chars().count()
+        }
+    };
+    let (la, lb) = (char_len(&a.stem), char_len(&b.stem));
+    let (min_len, max_len) = (la.min(lb), la.max(lb));
+    if max_len > 0 && 1.0 - (max_len - min_len) as f64 / (max_len as f64) < config.min_similarity {
+        return false;
+    }
+    normalized_levenshtein(&a.stem, &b.stem) >= config.min_similarity
 }
 
 /// Derive a [`Mapping`] by clustering similarly labeled fields across
@@ -118,7 +158,19 @@ pub fn match_by_labels_with(
     lexicon: &Lexicon,
     config: MatcherConfig,
 ) -> Mapping {
-    // Collect all fields with their normalized labels.
+    let fields = collect_fields(schemas, lexicon);
+    let roots = if config.naive {
+        naive_components(&fields, lexicon, config)
+    } else {
+        indexed_components(&fields, lexicon, config)
+    };
+    emit_clusters(&fields, &roots)
+}
+
+/// Collect all fields with their normalized labels, in schema order then
+/// leaf preorder — the field order every downstream determinism claim is
+/// stated against.
+fn collect_fields(schemas: &[SchemaTree], lexicon: &Lexicon) -> Vec<(FieldRef, Option<LabelText>)> {
     let mut fields: Vec<(FieldRef, Option<LabelText>)> = Vec::new();
     for (schema_idx, tree) in schemas.iter().enumerate() {
         for leaf in tree.descendant_leaves(NodeId::ROOT) {
@@ -130,14 +182,31 @@ pub fn match_by_labels_with(
             fields.push((FieldRef::new(schema_idx, leaf), label));
         }
     }
+    fields
+}
+
+/// The reference clustering: compare every cross-schema pair in
+/// ascending `(i, j)` order, rescanning the whole field list for the
+/// same-schema clash check on each tentative merge. O(n²) comparisons,
+/// O(n) per merge — kept verbatim as the equivalence oracle for the
+/// indexed engine.
+fn naive_components(
+    fields: &[(FieldRef, Option<LabelText>)],
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+) -> Vec<usize> {
     let mut uf = UnionFind::new(fields.len());
     for i in 0..fields.len() {
-        let Some(label_i) = &fields[i].1 else { continue };
+        let Some(label_i) = &fields[i].1 else {
+            continue;
+        };
         for j in (i + 1)..fields.len() {
             if fields[i].0.schema == fields[j].0.schema {
                 continue;
             }
-            let Some(label_j) = &fields[j].1 else { continue };
+            let Some(label_j) = &fields[j].1 else {
+                continue;
+            };
             if !labels_match_with(label_i, label_j, lexicon, config) {
                 continue;
             }
@@ -159,26 +228,26 @@ pub fn match_by_labels_with(
             }
         }
     }
-    // Emit clusters in first-member order for determinism.
-    let mut root_order: Vec<usize> = Vec::new();
+    (0..fields.len()).map(|i| uf.find(i)).collect()
+}
+
+/// Emit clusters in first-member order: the partition (and the concept
+/// naming) depends only on which fields share a root, so both engines
+/// funnel through this one function.
+fn emit_clusters(fields: &[(FieldRef, Option<LabelText>)], roots: &[usize]) -> Mapping {
+    let mut pos_of: HashMap<usize, usize> = HashMap::new();
     let mut members: Vec<Vec<FieldRef>> = Vec::new();
-    let roots: Vec<usize> = (0..fields.len()).map(|i| uf.find(i)).collect();
-    for (&root, (field, _)) in roots.iter().zip(&fields) {
-        let pos = match root_order.iter().position(|&r| r == root) {
-            Some(p) => p,
-            None => {
-                root_order.push(root);
-                members.push(Vec::new());
-                members.len() - 1
-            }
-        };
+    let mut first_label: Vec<Option<&LabelText>> = Vec::new();
+    for (&root, (field, label)) in roots.iter().zip(fields) {
+        let pos = *pos_of.entry(root).or_insert_with(|| {
+            members.push(Vec::new());
+            first_label.push(label.as_ref());
+            members.len() - 1
+        });
         members[pos].push(*field);
     }
     Mapping::from_clusters(members.into_iter().enumerate().map(|(i, m)| {
-        let concept = fields
-            .iter()
-            .find(|(f, _)| *f == m[0])
-            .and_then(|(_, l)| l.as_ref())
+        let concept = first_label[i]
             .map(|l| l.display.clone())
             .unwrap_or_else(|| format!("unlabeled_{i}"));
         (concept, m)
@@ -197,8 +266,16 @@ mod tests {
     #[test]
     fn labels_match_levels() {
         let lex = Lexicon::builtin();
-        assert!(labels_match(&lt("Zip Code", &lex), &lt("zip code:", &lex), &lex));
-        assert!(labels_match(&lt("Type of Job", &lex), &lt("Job Type", &lex), &lex));
+        assert!(labels_match(
+            &lt("Zip Code", &lex),
+            &lt("zip code:", &lex),
+            &lex
+        ));
+        assert!(labels_match(
+            &lt("Type of Job", &lex),
+            &lt("Job Type", &lex),
+            &lex
+        ));
         assert!(labels_match(
             &lt("Area of Study", &lex),
             &lt("Field of Work", &lex),
@@ -241,11 +318,12 @@ mod tests {
         assert_eq!(mapping.len(), 2);
         let sizes: Vec<usize> = mapping.clusters.iter().map(|c| c.members.len()).collect();
         assert!(sizes.contains(&2) && sizes.contains(&1));
-        mapping.validate(&[
-            SchemaTree::build("a", vec![leaf("Make"), leaf("Brand")]).unwrap(),
-            SchemaTree::build("b", vec![leaf("Manufacturer")]).unwrap(),
-        ])
-        .unwrap();
+        mapping
+            .validate(&[
+                SchemaTree::build("a", vec![leaf("Make"), leaf("Brand")]).unwrap(),
+                SchemaTree::build("b", vec![leaf("Manufacturer")]).unwrap(),
+            ])
+            .unwrap();
     }
 
     #[test]
@@ -304,5 +382,93 @@ mod tests {
         let b = SchemaTree::build("b", vec![unlabeled_leaf()]).unwrap();
         let mapping = match_by_labels(&[a, b], &lex);
         assert_eq!(mapping.len(), 2);
+    }
+
+    /// Hand-built corpus exercising every match tier: exact strings,
+    /// reordered words, synonyms, abbreviations, typos, unlabeled
+    /// fields, and same-schema clash pressure.
+    fn mixed_corpus() -> Vec<SchemaTree> {
+        vec![
+            SchemaTree::build(
+                "airfare",
+                vec![
+                    leaf("Departure City"),
+                    leaf("Destination City"),
+                    leaf("Quantity"),
+                    leaf("Class of Ticket"),
+                    unlabeled_leaf(),
+                ],
+            )
+            .unwrap(),
+            SchemaTree::build(
+                "flights",
+                vec![
+                    leaf("City of Departure"),
+                    leaf("Qty"),
+                    leaf("Adress"),
+                    leaf("Make"),
+                    leaf("Brand"),
+                ],
+            )
+            .unwrap(),
+            SchemaTree::build(
+                "travel",
+                vec![
+                    leaf("departure city:"),
+                    leaf("Address"),
+                    leaf("Manufacturer"),
+                    leaf("Ticket Class"),
+                    unlabeled_leaf(),
+                ],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn indexed_engine_matches_naive_exactly() {
+        let lex = Lexicon::builtin();
+        let schemas = mixed_corpus();
+        for fuzzy in [false, true] {
+            let base = MatcherConfig {
+                fuzzy,
+                ..MatcherConfig::default()
+            };
+            let indexed = match_by_labels_with(&schemas, &lex, base);
+            let naive = match_by_labels_with(
+                &schemas,
+                &lex,
+                MatcherConfig {
+                    naive: true,
+                    ..base
+                },
+            );
+            assert_eq!(indexed, naive, "fuzzy={fuzzy}");
+            indexed.validate(&schemas).expect("valid mapping");
+        }
+    }
+
+    #[test]
+    fn indexed_engine_matches_naive_with_low_similarity_floor() {
+        // min_similarity low enough that the first-letter signature
+        // blocking is unsound; the index must fall back to the
+        // universal fuzzy bucket and still agree with naive.
+        let lex = Lexicon::builtin();
+        let schemas = mixed_corpus();
+        let config = MatcherConfig {
+            fuzzy: true,
+            min_similarity: 0.3,
+            ..MatcherConfig::default()
+        };
+        let indexed = match_by_labels_with(&schemas, &lex, config);
+        let naive = match_by_labels_with(
+            &schemas,
+            &lex,
+            MatcherConfig {
+                naive: true,
+                ..config
+            },
+        );
+        assert_eq!(indexed, naive);
     }
 }

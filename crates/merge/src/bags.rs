@@ -75,8 +75,7 @@ pub fn collect_bags(schemas: &[SchemaTree], mapping: &Mapping) -> Vec<Bag> {
         let supersets: Vec<&Vec<ClusterId>> = all
             .iter()
             .filter(|a| {
-                a.len() > b.clusters.len()
-                    && b.clusters.iter().all(|c| a.binary_search(c).is_ok())
+                a.len() > b.clusters.len() && b.clusters.iter().all(|c| a.binary_search(c).is_ok())
             })
             .collect();
         if supersets.is_empty() {
@@ -129,21 +128,16 @@ mod tests {
 
     #[test]
     fn bags_are_deduped_counted_and_sorted() {
-        let a = SchemaTree::build(
-            "a",
-            vec![node("G", vec![leaf("X"), leaf("Y")])],
-        )
-        .unwrap();
+        let a = SchemaTree::build("a", vec![node("G", vec![leaf("X"), leaf("Y")])]).unwrap();
         let b = SchemaTree::build(
             "b",
-            vec![node("H", vec![leaf("X"), leaf("Y"), leaf("Z")]), node("K", vec![leaf("W")])],
+            vec![
+                node("H", vec![leaf("X"), leaf("Y"), leaf("Z")]),
+                node("K", vec![leaf("W")]),
+            ],
         )
         .unwrap();
-        let c = SchemaTree::build(
-            "c",
-            vec![node("G2", vec![leaf("X"), leaf("Y")])],
-        )
-        .unwrap();
+        let c = SchemaTree::build("c", vec![node("G2", vec![leaf("X"), leaf("Y")])]).unwrap();
         let schemas = vec![a, b, c];
         let f = |s: usize, l: &str| {
             let t = &schemas[s];

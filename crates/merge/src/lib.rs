@@ -270,7 +270,11 @@ fn leaf_payload(
     let mut instances: Vec<String> = Vec::new();
     for member in &mapping.cluster(cluster).members {
         let node = schemas[member.schema].node(member.node);
-        if let qi_schema::NodeKind::Leaf { widget, instances: inst } = &node.kind {
+        if let qi_schema::NodeKind::Leaf {
+            widget,
+            instances: inst,
+        } = &node.kind
+        {
             let key = match widget {
                 Widget::TextBox => "text",
                 Widget::SelectList => "select",
@@ -332,7 +336,10 @@ mod tests {
         let mapping = Mapping::from_clusters(vec![
             (
                 "c_From".to_string(),
-                vec![field(&schemas, 0, "From"), field(&schemas, 1, "Departing from")],
+                vec![
+                    field(&schemas, 0, "From"),
+                    field(&schemas, 1, "Departing from"),
+                ],
             ),
             (
                 "c_To".to_string(),
@@ -444,8 +451,8 @@ mod tests {
 
     #[test]
     fn instances_and_widget_are_unioned() {
-        let a = SchemaTree::build("a", vec![select("Format", &["hardcover", "paperback"])])
-            .unwrap();
+        let a =
+            SchemaTree::build("a", vec![select("Format", &["hardcover", "paperback"])]).unwrap();
         let b = SchemaTree::build("b", vec![select("Binding", &["paperback", "audio"])]).unwrap();
         let schemas = vec![a, b];
         let mapping = Mapping::from_clusters(vec![(
@@ -453,7 +460,9 @@ mod tests {
             vec![field(&schemas, 0, "Format"), field(&schemas, 1, "Binding")],
         )]);
         let integrated = merge(&schemas, &mapping);
-        let leaf_id = integrated.leaf_of_cluster(qi_mapping::ClusterId(0)).unwrap();
+        let leaf_id = integrated
+            .leaf_of_cluster(qi_mapping::ClusterId(0))
+            .unwrap();
         let node = integrated.tree.node(leaf_id);
         assert_eq!(node.instances(), &["hardcover", "paperback", "audio"]);
         match node.kind {

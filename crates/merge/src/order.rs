@@ -8,10 +8,7 @@ use std::collections::BTreeMap;
 /// (0.0 = first field, →1.0 = last field) of its member fields across the
 /// source interfaces. Integrated siblings are ordered by this value, so
 /// the merged interface reads in the order users saw the fields.
-pub fn cluster_positions(
-    schemas: &[SchemaTree],
-    mapping: &Mapping,
-) -> BTreeMap<ClusterId, f64> {
+pub fn cluster_positions(schemas: &[SchemaTree], mapping: &Mapping) -> BTreeMap<ClusterId, f64> {
     // Per-schema positions of all leaves.
     let mut leaf_pos: Vec<BTreeMap<NodeId, f64>> = Vec::with_capacity(schemas.len());
     for tree in schemas {

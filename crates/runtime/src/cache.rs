@@ -9,7 +9,7 @@
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::RwLock;
 
@@ -84,9 +84,7 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     }
 
     fn shard_of<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
-        let mut h = self.hasher.build_hasher();
-        key.hash(&mut h);
-        (h.finish() as usize) & (self.shards.len() - 1)
+        (self.hasher.hash_one(key) as usize) & (self.shards.len() - 1)
     }
 
     /// Turn memoization on or off. Disabling does not clear stored
@@ -112,7 +110,11 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
             return None;
         }
         let shard = &self.shards[self.shard_of(key)];
-        let found = shard.read().expect("cache shard poisoned").get(key).cloned();
+        let found = shard
+            .read()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);

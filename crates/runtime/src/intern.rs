@@ -38,7 +38,13 @@ impl Interner {
 
     /// Intern `text`, returning its (new or existing) symbol.
     pub fn intern(&self, text: &str) -> Symbol {
-        if let Some(&sym) = self.inner.read().expect("interner poisoned").index.get(text) {
+        if let Some(&sym) = self
+            .inner
+            .read()
+            .expect("interner poisoned")
+            .index
+            .get(text)
+        {
             return sym;
         }
         let mut inner = self.inner.write().expect("interner poisoned");

@@ -25,5 +25,5 @@ pub mod rng;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use intern::{Interner, Symbol};
-pub use pool::{parallel_map, parallel_try_map, resolve_threads};
+pub use pool::{parallel_map, parallel_map_chunked, parallel_try_map, resolve_threads};
 pub use rng::SplitMix64;

@@ -51,14 +51,18 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<u64> = (0..8).map({
-            let mut rng = SplitMix64::new(42);
-            move |_| rng.next_u64()
-        }).collect();
-        let b: Vec<u64> = (0..8).map({
-            let mut rng = SplitMix64::new(42);
-            move |_| rng.next_u64()
-        }).collect();
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut rng = SplitMix64::new(42);
+                move |_| rng.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut rng = SplitMix64::new(42);
+                move |_| rng.next_u64()
+            })
+            .collect();
         assert_eq!(a, b);
         let mut other = SplitMix64::new(7);
         assert_ne!(a[0], other.next_u64());

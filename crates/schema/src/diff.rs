@@ -103,7 +103,14 @@ pub fn diff(left: &SchemaTree, right: &SchemaTree) -> Vec<Difference> {
             right: right.name().to_string(),
         });
     }
-    diff_children(left, NodeId::ROOT, right, NodeId::ROOT, &mut Vec::new(), &mut out);
+    diff_children(
+        left,
+        NodeId::ROOT,
+        right,
+        NodeId::ROOT,
+        &mut Vec::new(),
+        &mut out,
+    );
     out
 }
 
@@ -239,13 +246,12 @@ mod tests {
 
     #[test]
     fn kind_and_payload_changes() {
-        let kind_change = SchemaTree::build(
-            "t",
-            vec![leaf("G"), select("S", &["x", "y"])],
-        )
-        .unwrap();
+        let kind_change =
+            SchemaTree::build("t", vec![leaf("G"), select("S", &["x", "y"])]).unwrap();
         let differences = diff(&base(), &kind_change);
-        assert!(differences.iter().any(|d| matches!(d, Difference::Kind { .. })));
+        assert!(differences
+            .iter()
+            .any(|d| matches!(d, Difference::Kind { .. })));
         let payload_change = SchemaTree::build(
             "t",
             vec![node("G", vec![leaf("A"), leaf("B")]), select("S", &["x"])],

@@ -37,7 +37,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(SchemaError::NoFields.to_string(), "schema tree has no fields");
+        assert_eq!(
+            SchemaError::NoFields.to_string(),
+            "schema tree has no fields"
+        );
         assert!(SchemaError::LeafWithChildren(NodeId(2))
             .to_string()
             .contains("n2"));

@@ -1,11 +1,8 @@
 //! Schema-tree nodes.
 
-
 /// Index of a node inside a [`crate::SchemaTree`] arena. The root is
 /// always `NodeId(0)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -110,10 +110,15 @@ mod tests {
     #[test]
     fn constructors() {
         assert!(matches!(leaf("A"), NodeSpec::Leaf { label: Some(_), .. }));
-        assert!(matches!(unlabeled_leaf(), NodeSpec::Leaf { label: None, .. }));
+        assert!(matches!(
+            unlabeled_leaf(),
+            NodeSpec::Leaf { label: None, .. }
+        ));
         let s = select("Format", &["hardcover", "paperback"]);
         match s {
-            NodeSpec::Leaf { widget, instances, .. } => {
+            NodeSpec::Leaf {
+                widget, instances, ..
+            } => {
                 assert_eq!(widget, Widget::SelectList);
                 assert_eq!(instances.len(), 2);
             }
@@ -125,7 +130,11 @@ mod tests {
     fn leaf_count_recursive() {
         let spec = node(
             "G",
-            vec![leaf("a"), node("H", vec![leaf("b"), leaf("c")]), unlabeled_leaf()],
+            vec![
+                leaf("a"),
+                node("H", vec![leaf("b"), leaf("c")]),
+                unlabeled_leaf(),
+            ],
         );
         assert_eq!(spec.leaf_count(), 4);
     }

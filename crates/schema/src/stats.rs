@@ -1,6 +1,5 @@
 //! Interface statistics (the per-domain characteristics of Table 6).
 
-
 /// Shape and labeling statistics of one schema tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InterfaceStats {
@@ -62,7 +61,10 @@ impl DomainStats {
             avg_leaves: stats.iter().map(|s| s.leaves as f64).sum::<f64>() / nf,
             avg_internal_nodes: stats.iter().map(|s| s.internal_nodes as f64).sum::<f64>() / nf,
             avg_depth: stats.iter().map(|s| s.depth as f64).sum::<f64>() / nf,
-            avg_labeling_quality: stats.iter().map(InterfaceStats::labeling_quality).sum::<f64>()
+            avg_labeling_quality: stats
+                .iter()
+                .map(InterfaceStats::labeling_quality)
+                .sum::<f64>()
                 / nf,
         }
     }

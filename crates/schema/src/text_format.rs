@@ -95,12 +95,10 @@ pub fn render(tree: &SchemaTree) -> String {
 /// Parse the text format back into a tree (validated).
 pub fn parse(text: &str) -> Result<SchemaTree, ParseError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ParseError {
-            line: 1,
-            message: "empty input".to_string(),
-        })?;
+    let (_, header) = lines.next().ok_or_else(|| ParseError {
+        line: 1,
+        message: "empty input".to_string(),
+    })?;
     let name = header
         .strip_prefix("interface ")
         .ok_or_else(|| ParseError {
@@ -236,7 +234,11 @@ mod tests {
             vec![
                 node(
                     "Trip",
-                    vec![leaf("From"), unlabeled_leaf(), select("Class", &["Economy", "First"])],
+                    vec![
+                        leaf("From"),
+                        unlabeled_leaf(),
+                        select("Class", &["Economy", "First"]),
+                    ],
                 ),
                 unlabeled_node(vec![leaf("Adults")]),
                 leaf("Promo Code"),
@@ -291,7 +293,10 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         assert!(parse("").unwrap_err().message.contains("empty"));
-        assert!(parse("nope\n- A").unwrap_err().message.contains("interface"));
+        assert!(parse("nope\n- A")
+            .unwrap_err()
+            .message
+            .contains("interface"));
         let e = parse("interface x\n* A\n").unwrap_err();
         assert!(e.message.contains("expected `+` or `-`"), "{e}");
         let e = parse("interface x\n - A\n").unwrap_err();

@@ -422,7 +422,13 @@ mod tests {
         let labels: Vec<&str> = all.iter().map(|&id| t.node(id).label_str()).collect();
         assert_eq!(
             labels,
-            vec!["Departing from", "Going to", "Adults", "Seniors", "Children"]
+            vec![
+                "Departing from",
+                "Going to",
+                "Adults",
+                "Seniors",
+                "Children"
+            ]
         );
     }
 
@@ -519,7 +525,10 @@ mod tests {
     fn render_shows_structure_and_instances() {
         let t = SchemaTree::build(
             "r",
-            vec![node("G", vec![select("Format", &["hardcover", "paperback"])])],
+            vec![node(
+                "G",
+                vec![select("Format", &["hardcover", "paperback"])],
+            )],
         )
         .unwrap();
         let s = t.render();

@@ -25,8 +25,8 @@ pub mod stopwords;
 pub mod token;
 
 pub use normalize::{
-    content_words, display_normalize, split_compound, ContentWord, IdentityLemmatizer,
-    LabelText, Lemmatizer,
+    content_words, display_normalize, split_compound, ContentWord, IdentityLemmatizer, LabelText,
+    Lemmatizer,
 };
 pub use porter::stem;
 pub use similarity::{dice, jaccard, levenshtein, normalized_levenshtein, prefix_abbreviation};

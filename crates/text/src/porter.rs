@@ -145,7 +145,12 @@ fn ends_with(w: &[u8], suffix: &str) -> bool {
 
 /// If the word ends with `suffix` and the measure of the stem before it is
 /// `> min_measure`, replace the suffix with `replacement` and return true.
-fn replace_if_measure(w: &mut Vec<u8>, suffix: &str, replacement: &str, min_measure: usize) -> bool {
+fn replace_if_measure(
+    w: &mut Vec<u8>,
+    suffix: &str,
+    replacement: &str,
+    min_measure: usize,
+) -> bool {
     if !ends_with(w, suffix) {
         return false;
     }

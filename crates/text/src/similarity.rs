@@ -14,10 +14,20 @@
 use std::collections::BTreeSet;
 
 /// Classic Levenshtein edit distance (two-row dynamic program), over
-/// Unicode scalar values.
+/// Unicode scalar values. ASCII inputs run directly on the byte slices,
+/// skipping the per-call `Vec<char>` collection — token stems on the
+/// matcher's fuzzy tier are almost always ASCII, and the allocation
+/// dominated the DP for short strings.
 pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        return levenshtein_units(a.as_bytes(), b.as_bytes());
+    }
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    levenshtein_units(&a, &b)
+}
+
+fn levenshtein_units<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     if a.is_empty() {
         return b.len();
     }
@@ -26,9 +36,9 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     }
     let mut prev: Vec<usize> = (0..=b.len()).collect();
     let mut current: Vec<usize> = vec![0; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
+    for (i, ca) in a.iter().enumerate() {
         current[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
+        for (j, cb) in b.iter().enumerate() {
             let substitution = prev[j] + usize::from(ca != cb);
             current[j + 1] = substitution.min(prev[j + 1] + 1).min(current[j] + 1);
         }
@@ -40,7 +50,14 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 /// Levenshtein similarity normalized to `[0, 1]`: `1.0` for equal
 /// strings, `0.0` for maximally different ones.
 pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
+    let char_len = |s: &str| {
+        if s.is_ascii() {
+            s.len()
+        } else {
+            s.chars().count()
+        }
+    };
+    let max_len = char_len(a).max(char_len(b));
     if max_len == 0 {
         return 1.0;
     }

@@ -19,13 +19,13 @@ static STOP_WORDS: &[&str] = &[
     "a", "about", "after", "all", "an", "and", "any", "are", "as", "at", "be", "been", "before",
     "below", "between", "both", "but", "by", "can", "could", "did", "do", "does", "doing", "down",
     "during", "each", "for", "from", "had", "has", "have", "having", "he", "her", "here", "hers",
-    "him", "his", "how", "i", "if", "into", "is", "it", "its", "itself", "just", "me",
-    "more", "most", "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or",
-    "other", "our", "ours", "over", "own", "per", "please", "same", "she", "should", "so",
-    "some", "such", "than", "that", "the", "their", "theirs", "them", "then", "there", "these",
-    "they", "this", "those", "through", "to", "too", "under", "until", "up", "very", "was", "we",
-    "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with",
-    "would", "you", "your", "yours",
+    "him", "his", "how", "i", "if", "into", "is", "it", "its", "itself", "just", "me", "more",
+    "most", "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other",
+    "our", "ours", "over", "own", "per", "please", "same", "she", "should", "so", "some", "such",
+    "than", "that", "the", "their", "theirs", "them", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were", "what",
+    "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would", "you",
+    "your", "yours",
 ];
 
 /// True if `word` (already lowercased) is a stop word.
@@ -54,7 +54,9 @@ mod tests {
 
     #[test]
     fn function_words_are_stopped() {
-        for w in ["a", "of", "the", "do", "you", "have", "any", "from", "to", "your", "what"] {
+        for w in [
+            "a", "of", "the", "do", "you", "have", "any", "from", "to", "your", "what",
+        ] {
             assert!(is_stop_word(w), "{w:?} should be a stop word");
         }
     }
@@ -62,8 +64,24 @@ mod tests {
     #[test]
     fn content_words_are_kept() {
         for w in [
-            "number", "type", "date", "airline", "adults", "class", "preferences", "going",
-            "departing", "city", "state", "zip", "area", "study", "work", "field", "in", "out",
+            "number",
+            "type",
+            "date",
+            "airline",
+            "adults",
+            "class",
+            "preferences",
+            "going",
+            "departing",
+            "city",
+            "state",
+            "zip",
+            "area",
+            "study",
+            "work",
+            "field",
+            "in",
+            "out",
         ] {
             assert!(!is_stop_word(w), "{w:?} must not be a stop word");
         }

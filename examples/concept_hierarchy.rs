@@ -49,7 +49,11 @@ fn main() {
             ),
             node(
                 "Sound",
-                vec![leaf("Headphones"), leaf("Loudspeakers"), leaf("Microphones")],
+                vec![
+                    leaf("Headphones"),
+                    leaf("Loudspeakers"),
+                    leaf("Microphones"),
+                ],
             ),
         ],
     )
@@ -60,15 +64,24 @@ fn main() {
     let mapping = Mapping::from_clusters(vec![
         (
             "laptop".to_string(),
-            vec![field(&taxonomies, 0, "Laptops"), field(&taxonomies, 1, "Notebooks")],
+            vec![
+                field(&taxonomies, 0, "Laptops"),
+                field(&taxonomies, 1, "Notebooks"),
+            ],
         ),
         (
             "desktop".to_string(),
-            vec![field(&taxonomies, 0, "Desktops"), field(&taxonomies, 1, "Desktops")],
+            vec![
+                field(&taxonomies, 0, "Desktops"),
+                field(&taxonomies, 1, "Desktops"),
+            ],
         ),
         (
             "monitor".to_string(),
-            vec![field(&taxonomies, 0, "Monitors"), field(&taxonomies, 1, "Displays")],
+            vec![
+                field(&taxonomies, 0, "Monitors"),
+                field(&taxonomies, 1, "Displays"),
+            ],
         ),
         (
             "headphones".to_string(),

@@ -14,7 +14,12 @@ use qi_lexicon::Lexicon;
 fn main() {
     let domains = qi_datasets::all_domains();
     let lexicon = Lexicon::builtin();
-    let result = evaluate_corpus(&domains, &lexicon, NamingPolicy::default(), Panel::default());
+    let result = evaluate_corpus(
+        &domains,
+        &lexicon,
+        NamingPolicy::default(),
+        Panel::default(),
+    );
 
     println!("{}", table::render_table6(&result.domains));
     println!();

@@ -61,15 +61,27 @@ fn main() {
     let mapping = Mapping::from_clusters(vec![
         (
             "from".to_string(),
-            vec![field(&schemas, 0, "Departing from"), field(&schemas, 1, "From")],
+            vec![
+                field(&schemas, 0, "Departing from"),
+                field(&schemas, 1, "From"),
+            ],
         ),
         (
             "to".to_string(),
             vec![field(&schemas, 0, "Going to"), field(&schemas, 1, "To")],
         ),
-        ("senior".to_string(), vec![field(&schemas, 0, "Seniors"), passengers]),
-        ("adult".to_string(), vec![field(&schemas, 0, "Adults"), passengers]),
-        ("child".to_string(), vec![field(&schemas, 0, "Children"), passengers]),
+        (
+            "senior".to_string(),
+            vec![field(&schemas, 0, "Seniors"), passengers],
+        ),
+        (
+            "adult".to_string(),
+            vec![field(&schemas, 0, "Adults"), passengers],
+        ),
+        (
+            "child".to_string(),
+            vec![field(&schemas, 0, "Children"), passengers],
+        ),
         (
             "class".to_string(),
             vec![field(&schemas, 1, "Class of Ticket")],

@@ -2,9 +2,21 @@
 # Build the benchmark harness, run the cached/parallel configuration and
 # the uncached single-threaded baseline, and print per-stage speedups.
 # Writes BENCH_core.json (cached run) and BENCH_baseline.json at the
-# repo root.
+# repo root. If a committed BENCH_core.json exists in git HEAD, the new
+# cluster median is diffed against it and a regression beyond 25% is
+# warned about (the run still succeeds — timing noise is not an error).
 set -eu
 cd "$(dirname "$0")/.."
+
+# Snapshot the reference cluster median before overwriting the file:
+# prefer the committed copy, fall back to the pre-run working copy.
+reference=""
+if git show HEAD:BENCH_core.json >/tmp/bench_ref.json 2>/dev/null; then
+    reference=/tmp/bench_ref.json
+elif [ -f BENCH_core.json ]; then
+    cp BENCH_core.json /tmp/bench_ref.json
+    reference=/tmp/bench_ref.json
+fi
 
 cargo build --release -p qi-bench
 
@@ -25,11 +37,36 @@ awk '
     BEGIN {
         grab("BENCH_core.json", cached)
         grab("BENCH_baseline.json", base)
-        printf "%-10s %12s %12s %9s\n", "stage", "cached ms", "baseline ms", "speedup"
-        split("normalize cluster merge label evaluate", order, " ")
-        for (i = 1; i <= 5; i++) {
+        printf "%-20s %12s %12s %9s\n", "stage", "cached ms", "baseline ms", "speedup"
+        n = split("normalize cluster cluster_scaled_10x cluster_scaled_100x merge label evaluate", order, " ")
+        for (i = 1; i <= n; i++) {
             s = order[i]
             if (cached[s] + 0 > 0)
-                printf "%-10s %12.3f %12.3f %8.2fx\n", s, cached[s], base[s], base[s] / cached[s]
+                printf "%-20s %12.3f %12.3f %8.2fx\n", s, cached[s], base[s], base[s] / cached[s]
         }
     }'
+
+if [ -n "$reference" ]; then
+    awk -v ref="$reference" '
+        function grab(file, out,   line, n, parts, i, name, ms) {
+            getline line < file
+            close(file)
+            n = split(line, parts, /"name":"/)
+            for (i = 2; i <= n; i++) {
+                name = parts[i]; sub(/".*/, "", name)
+                ms = parts[i]; sub(/.*"median_ms":/, "", ms); sub(/[,}].*/, "", ms)
+                out[name] = ms
+            }
+        }
+        BEGIN {
+            grab("BENCH_core.json", now)
+            grab(ref, was)
+            if (was["cluster"] + 0 > 0 && now["cluster"] + 0 > 0) {
+                delta = (now["cluster"] - was["cluster"]) / was["cluster"] * 100
+                printf "cluster median: %.3f ms (reference %.3f ms, %+.1f%%)\n", \
+                    now["cluster"], was["cluster"], delta
+                if (delta > 25)
+                    printf "WARNING: cluster stage regressed by %.1f%% vs committed reference\n", delta
+            }
+        }'
+fi

@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
-# Tier-1 verification: offline release build + full test suite.
+# Tier-1 verification: offline release build + full test suite, plus
+# lint gates (clippy warnings are errors, formatting must be canonical).
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check

@@ -125,8 +125,7 @@ fn cmd_label(args: &[String]) -> Result<(), String> {
     }
     let lexicon = match lexicon_path {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             qi_lexicon::format::parse(&text).map_err(|e| format!("{path}: {e}"))?
         }
         None => Lexicon::builtin(),
@@ -139,8 +138,7 @@ fn cmd_label(args: &[String]) -> Result<(), String> {
     }
     let mapping = match clusters_path {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             qi_mapping::clusters_format::parse(&text, &schemas)
                 .map_err(|e| format!("{path}: {e}"))?
         }
@@ -148,10 +146,7 @@ fn cmd_label(args: &[String]) -> Result<(), String> {
     };
     eprintln!(
         "matched {} fields into {} clusters",
-        schemas
-            .iter()
-            .map(|s| s.leaves().count())
-            .sum::<usize>(),
+        schemas.iter().map(|s| s.leaves().count()).sum::<usize>(),
         mapping.len()
     );
     let labeled = qi::integrate_and_label(schemas, mapping, &lexicon, policy);
@@ -205,7 +200,9 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
 
 fn cmd_eval(args: &[String]) -> Result<(), String> {
     let [artifact] = args else {
-        return Err("usage: qi eval <table6|table6-json|figure10|matcher|ablation-ladder>".to_string());
+        return Err(
+            "usage: qi eval <table6|table6-json|figure10|matcher|ablation-ladder>".to_string(),
+        );
     };
     let lexicon = Lexicon::builtin();
     match artifact.as_str() {

@@ -43,7 +43,9 @@ pub use qi_merge as merge;
 pub use qi_schema as schema;
 pub use qi_text as text;
 
-pub use qi_core::{ConsistencyClass, ConsistencyLevel, LabelRelation, LabeledInterface, Labeler, NamingPolicy};
+pub use qi_core::{
+    ConsistencyClass, ConsistencyLevel, LabelRelation, LabeledInterface, Labeler, NamingPolicy,
+};
 pub use qi_lexicon::Lexicon;
 pub use qi_mapping::{expand_one_to_many, FieldRef, Integrated, Mapping};
 pub use qi_schema::SchemaTree;

@@ -74,7 +74,12 @@ fn label_pipeline_from_files() {
     assert!(html.contains("<form"), "{html}");
     assert!(html.contains("<fieldset>"));
     // --explain mode narrates.
-    let (explained, _, ok) = qi(&["label", "--explain", a.to_str().unwrap(), b.to_str().unwrap()]);
+    let (explained, _, ok) = qi(&[
+        "label",
+        "--explain",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
     assert!(ok);
     assert!(explained.contains("Naming explanation"), "{explained}");
     std::fs::remove_dir_all(&dir).ok();
@@ -110,8 +115,14 @@ fn corpus_export_writes_150_files() {
 fn eval_ladder_shows_progression() {
     let (stdout, _, ok) = qi(&["eval", "ablation-ladder"]);
     assert!(ok);
-    assert!(stdout.contains("cap=string    consistent groups 0/6"), "{stdout}");
-    assert!(stdout.contains("cap=synonymy  consistent groups 6/6"), "{stdout}");
+    assert!(
+        stdout.contains("cap=string    consistent groups 0/6"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("cap=synonymy  consistent groups 6/6"),
+        "{stdout}"
+    );
 }
 
 #[test]

@@ -1,0 +1,261 @@
+//! Randomized property tests for the clustering engines — dependency-free
+//! (driven by the in-repo [`SplitMix64`] PRNG, so they run under the
+//! default `cargo test -q`, unlike the proptest suite).
+//!
+//! Three invariants:
+//!
+//! 1. **Engine equivalence** — the indexed candidate-generation engine
+//!    produces the *identical* `Mapping` (cluster ids, concepts, member
+//!    order) as the naive reference double loop, on arbitrary randomized
+//!    corpora, fuzzy tier on and off, and on a ~100× replicated corpus.
+//! 2. **Schema invariant** — no cluster ever holds two fields of one
+//!    schema ([`Mapping::validate`]'s `DuplicateSchema` check).
+//! 3. **Order invariance on collision-free corpora** — when label
+//!    matching restricts to an equivalence relation with at most one
+//!    field per class per schema (single distinct non-synonym words), the
+//!    clustering is invariant under permutation of the schema input
+//!    order. (This is deliberately *not* asserted for general corpora:
+//!    with multi-sense synonymy the greedy merge order is load-bearing —
+//!    different schema orders can legitimately resolve clashes
+//!    differently.)
+
+use qi_datasets::replicate_schemas;
+use qi_lexicon::Lexicon;
+use qi_mapping::matcher::{match_by_labels_with, MatcherConfig};
+use qi_mapping::Mapping;
+use qi_runtime::SplitMix64;
+use qi_schema::spec::{leaf, unlabeled_leaf, NodeSpec};
+use qi_schema::SchemaTree;
+
+/// Label pool exercising every match tier: exact strings, punctuation
+/// variants, word-order permutations, lexicon synonyms, abbreviations,
+/// typos and stop words.
+const LABEL_POOL: &[&str] = &[
+    "Departure City",
+    "City of Departure",
+    "departure city:",
+    "Destination City",
+    "Arrival City",
+    "Town of Departure",
+    "Quantity",
+    "Qty",
+    "Address",
+    "Adress",
+    "Make",
+    "Brand",
+    "Model",
+    "Price",
+    "Cost",
+    "Ticket Price",
+    "Price of Ticket",
+    "Class of Ticket",
+    "Ticket Class",
+    "Number of Stops",
+    "Type of Job",
+    "Job Type",
+    "Area of Study",
+    "Field of Work",
+    "Zip Code",
+    "zip code",
+    "State",
+    "Province",
+    "Author",
+    "Writer",
+];
+
+fn random_corpus(rng: &mut SplitMix64) -> Vec<SchemaTree> {
+    let n_schemas = 3 + rng.gen_range(6);
+    (0..n_schemas)
+        .map(|s| {
+            let n_fields = 2 + rng.gen_range(11);
+            let specs: Vec<NodeSpec> = (0..n_fields)
+                .map(|_| {
+                    if rng.gen_bool(0.15) {
+                        unlabeled_leaf()
+                    } else {
+                        leaf(LABEL_POOL[rng.gen_range(LABEL_POOL.len())])
+                    }
+                })
+                .collect();
+            SchemaTree::build(&format!("schema-{s}"), specs).unwrap()
+        })
+        .collect()
+}
+
+fn cluster(schemas: &[SchemaTree], lexicon: &Lexicon, config: MatcherConfig) -> Mapping {
+    match_by_labels_with(schemas, lexicon, config)
+}
+
+#[test]
+fn indexed_equals_naive_on_random_corpora() {
+    let lexicon = Lexicon::builtin();
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let schemas = random_corpus(&mut rng);
+        for fuzzy in [false, true] {
+            let config = MatcherConfig {
+                fuzzy,
+                ..MatcherConfig::default()
+            };
+            let indexed = cluster(&schemas, &lexicon, config);
+            let naive = cluster(
+                &schemas,
+                &lexicon,
+                MatcherConfig {
+                    naive: true,
+                    ..config
+                },
+            );
+            assert_eq!(indexed, naive, "seed={seed} fuzzy={fuzzy}");
+        }
+    }
+}
+
+#[test]
+fn no_cluster_holds_two_fields_of_one_schema() {
+    let lexicon = Lexicon::builtin();
+    for seed in 100..116u64 {
+        let mut rng = SplitMix64::new(seed);
+        let schemas = random_corpus(&mut rng);
+        for fuzzy in [false, true] {
+            let config = MatcherConfig {
+                fuzzy,
+                ..MatcherConfig::default()
+            };
+            let mapping = cluster(&schemas, &lexicon, config);
+            mapping
+                .validate(&schemas)
+                .unwrap_or_else(|e| panic!("seed={seed} fuzzy={fuzzy}: {e:?}"));
+        }
+    }
+}
+
+/// A cluster partition keyed by schema *name* (stable under input
+/// reordering) instead of schema index.
+fn partition_by_name(mapping: &Mapping, schemas: &[SchemaTree]) -> Vec<Vec<(String, u32)>> {
+    let mut clusters: Vec<Vec<(String, u32)>> = mapping
+        .clusters
+        .iter()
+        .map(|c| {
+            let mut members: Vec<(String, u32)> = c
+                .members
+                .iter()
+                .map(|m| (schemas[m.schema].name().to_string(), m.node.index() as u32))
+                .collect();
+            members.sort();
+            members
+        })
+        .collect();
+    clusters.sort();
+    clusters
+}
+
+#[test]
+fn clustering_invariant_under_schema_order_on_collision_free_corpora() {
+    // Single distinct non-synonym words: label matching degenerates to
+    // exact equality (an equivalence relation), and each schema carries
+    // a concept at most once, so no merge can ever clash — the regime
+    // where order invariance genuinely holds.
+    let lexicon = Lexicon::builtin();
+    let concepts: Vec<String> = (0..12).map(|i| format!("concept{i}")).collect();
+    for seed in 200..208u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n_schemas = 3 + rng.gen_range(4);
+        let mut schemas: Vec<SchemaTree> = (0..n_schemas)
+            .map(|s| {
+                let specs: Vec<NodeSpec> = concepts
+                    .iter()
+                    .filter(|_| rng.gen_bool(0.6))
+                    .map(|c| leaf(c))
+                    .collect();
+                let specs = if specs.is_empty() {
+                    vec![leaf(&concepts[0])]
+                } else {
+                    specs
+                };
+                SchemaTree::build(&format!("schema-{s}"), specs).unwrap()
+            })
+            .collect();
+        let reference = partition_by_name(
+            &cluster(&schemas, &lexicon, MatcherConfig::default()),
+            &schemas,
+        );
+        for _ in 0..4 {
+            // Fisher–Yates shuffle of the schema order.
+            for i in (1..schemas.len()).rev() {
+                let j = rng.gen_range(i + 1);
+                schemas.swap(i, j);
+            }
+            let shuffled = partition_by_name(
+                &cluster(&schemas, &lexicon, MatcherConfig::default()),
+                &schemas,
+            );
+            assert_eq!(shuffled, reference, "seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn scaled_100x_indexed_equals_naive() {
+    // A small base corpus keeps the naive O(n²) reference tractable in
+    // debug builds while the 100× replication still yields a corpus two
+    // orders of magnitude beyond anything the seed benchmark clustered.
+    let lexicon = Lexicon::builtin();
+    let base = vec![
+        SchemaTree::build(
+            "a",
+            vec![
+                leaf("Departure City"),
+                leaf("Quantity"),
+                leaf("Make"),
+                leaf("Class of Ticket"),
+                unlabeled_leaf(),
+            ],
+        )
+        .unwrap(),
+        SchemaTree::build(
+            "b",
+            vec![
+                leaf("City of Departure"),
+                leaf("Qty"),
+                leaf("Brand"),
+                leaf("Ticket Class"),
+            ],
+        )
+        .unwrap(),
+        SchemaTree::build(
+            "c",
+            vec![leaf("departure city:"), leaf("Adress"), leaf("Model")],
+        )
+        .unwrap(),
+    ];
+    let scaled = replicate_schemas(&base, 100);
+    assert_eq!(scaled.len(), 300);
+    for fuzzy in [false, true] {
+        let config = MatcherConfig {
+            fuzzy,
+            ..MatcherConfig::default()
+        };
+        let indexed = cluster(&scaled, &lexicon, config);
+        let naive = cluster(
+            &scaled,
+            &lexicon,
+            MatcherConfig {
+                naive: true,
+                ..config
+            },
+        );
+        assert_eq!(indexed, naive, "fuzzy={fuzzy}");
+        indexed.validate(&scaled).expect("valid scaled mapping");
+        if !fuzzy {
+            // Replica vocabularies are disjoint under the non-fuzzy
+            // matcher: no cluster crosses replicas. (The fuzzy tier may
+            // legitimately connect long renamed twins like
+            // `departure1` / `departure2` — similarity 0.9.)
+            for c in &indexed.clusters {
+                let replica = c.members[0].schema / base.len();
+                assert!(c.members.iter().all(|m| m.schema / base.len() == replica));
+            }
+        }
+    }
+}

@@ -3,7 +3,9 @@
 //! evaluation corpus.
 
 use qi::{ConsistencyLevel, Lexicon, NamingPolicy};
-use qi_core::{ctx::NamingCtx, partition::partition_tuples, solution::name_group, InferenceRule, Labeler};
+use qi_core::{
+    ctx::NamingCtx, partition::partition_tuples, solution::name_group, InferenceRule, Labeler,
+};
 use qi_datasets::PreparedDomain;
 use qi_mapping::GroupRelation;
 use qi_schema::NodeId;
@@ -139,7 +141,10 @@ fn table3_auto_location_rows() {
         by_name("Ads4autos"),
         vec![None, None, s("Zip Code"), s("Distance")]
     );
-    assert_eq!(by_name("CarMarket"), vec![s("State"), s("City"), None, None]);
+    assert_eq!(
+        by_name("CarMarket"),
+        vec![s("State"), s("City"), None, None]
+    );
     assert_eq!(
         by_name("cars-1"),
         vec![None, None, s("Your Zip"), s("Within")]
@@ -302,11 +307,7 @@ fn job_homonyms_resolved() {
     let lexicon = Lexicon::builtin();
     let out = labeled(&prepared, &lexicon);
     let ctx = NamingCtx::new(&lexicon);
-    let labels: Vec<String> = out
-        .tree
-        .leaves()
-        .filter_map(|l| l.label.clone())
-        .collect();
+    let labels: Vec<String> = out.tree.leaves().filter_map(|l| l.label.clone()).collect();
     for i in 0..labels.len() {
         for j in (i + 1)..labels.len() {
             assert!(

@@ -16,7 +16,11 @@ fn airline_row_matches_paper_shape() {
     let row = eval(qi_datasets::airline::domain());
     // Paper: FldAcc 100%, IntAcc 84.6%, HA 96.6%, HA* 98.3%, inconsistent.
     assert!((row.fld_acc - 1.0).abs() < 1e-12, "FldAcc {}", row.fld_acc);
-    assert!((0.78..=0.90).contains(&row.int_acc), "IntAcc {}", row.int_acc);
+    assert!(
+        (0.78..=0.90).contains(&row.int_acc),
+        "IntAcc {}",
+        row.int_acc
+    );
     assert!((0.92..=0.995).contains(&row.ha), "HA {}", row.ha);
     assert!(row.ha_star >= row.ha);
     assert_eq!(row.class, ConsistencyClass::Inconsistent);
@@ -77,7 +81,11 @@ fn car_rental_row_matches_paper_shape() {
     // Paper: FldAcc 100%, IntAcc 93.4% (a candidate label promoted to an
     // ancestor), inconsistent, widest integrated interface.
     assert!((row.fld_acc - 1.0).abs() < 1e-12);
-    assert!((0.88..0.99).contains(&row.int_acc), "IntAcc {}", row.int_acc);
+    assert!(
+        (0.88..0.99).contains(&row.int_acc),
+        "IntAcc {}",
+        row.int_acc
+    );
     assert_eq!(row.class, ConsistencyClass::Inconsistent);
     assert_eq!(row.shape.leaves, 34);
     assert_eq!(row.shape.isolated, 3);
@@ -90,7 +98,11 @@ fn hotels_row_matches_paper_shape() {
     // Paper: FldAcc 100%, IntAcc 93.4%, HA lowest of the corpus family
     // (chain-specific frequency-1 fields), HA* above HA.
     assert!((row.fld_acc - 1.0).abs() < 1e-12);
-    assert!((0.85..0.99).contains(&row.int_acc), "IntAcc {}", row.int_acc);
+    assert!(
+        (0.85..0.99).contains(&row.int_acc),
+        "IntAcc {}",
+        row.int_acc
+    );
     assert!(row.ha < 1.0);
     assert!(row.ha_star > row.ha);
     assert!((2..=4).contains(&row.shape.isolated));

@@ -98,15 +98,17 @@ fn synth_config() -> impl Strategy<Value = SynthConfig> {
         0.3f64..0.9,
         0.0f64..0.4,
     )
-        .prop_map(|(seed, interfaces, concepts, groups, coverage, unlabeled)| SynthConfig {
-            seed,
-            interfaces,
-            concepts,
-            groups,
-            coverage,
-            unlabeled_prob: unlabeled,
-            group_label_prob: 0.7,
-        })
+        .prop_map(
+            |(seed, interfaces, concepts, groups, coverage, unlabeled)| SynthConfig {
+                seed,
+                interfaces,
+                concepts,
+                groups,
+                coverage,
+                unlabeled_prob: unlabeled,
+                group_label_prob: 0.7,
+            },
+        )
 }
 
 proptest! {

@@ -63,8 +63,7 @@ fn fully_unlabeled_domain_degrades_cleanly() {
         ),
     ]);
     let lexicon = Lexicon::builtin();
-    let labeled =
-        qi::integrate_and_label(vec![a, b], mapping, &lexicon, NamingPolicy::default());
+    let labeled = qi::integrate_and_label(vec![a, b], mapping, &lexicon, NamingPolicy::default());
     assert_eq!(labeled.report.unlabeled_fields, 2);
     assert!(labeled.tree.leaves().all(|l| l.label.is_none()));
 }
@@ -107,8 +106,7 @@ fn unicode_labels_are_safe() {
         ),
     ]);
     let lexicon = Lexicon::builtin();
-    let labeled =
-        qi::integrate_and_label(vec![a, b], mapping, &lexicon, NamingPolicy::default());
+    let labeled = qi::integrate_and_label(vec![a, b], mapping, &lexicon, NamingPolicy::default());
     assert!(labeled.tree.leaves().all(|l| l.label.is_some()));
 }
 
@@ -128,10 +126,8 @@ fn mapping_validation_error_taxonomy() {
         Err(MappingError::OneToMany { .. })
     ));
     // Dangling schema index.
-    let dangling = Mapping::from_clusters(vec![(
-        "c0".to_string(),
-        vec![FieldRef::new(9, leaves[0])],
-    )]);
+    let dangling =
+        Mapping::from_clusters(vec![("c0".to_string(), vec![FieldRef::new(9, leaves[0])])]);
     assert!(matches!(
         dangling.validate(&schemas),
         Err(MappingError::SchemaOutOfRange { .. })
@@ -193,12 +189,8 @@ fn panel_degenerate_configs() {
             ..PanelConfig::default()
         },
     ] {
-        let (ha, ha_star) = Panel::new(config).survey(
-            "Auto",
-            &labeled,
-            &prepared.schemas,
-            &prepared.mapping,
-        );
+        let (ha, ha_star) =
+            Panel::new(config).survey("Auto", &labeled, &prepared.schemas, &prepared.mapping);
         assert!((0.0..=1.0).contains(&ha), "{config:?}: HA {ha}");
         assert!(ha_star >= ha - 1e-12, "{config:?}");
         assert!(ha_star <= 1.0 + 1e-12);
@@ -209,7 +201,10 @@ fn panel_degenerate_configs() {
 #[test]
 fn corpus_labeling_is_deterministic() {
     let lexicon = Lexicon::builtin();
-    for domain in [qi_datasets::hotels::domain(), qi_datasets::car_rental::domain()] {
+    for domain in [
+        qi_datasets::hotels::domain(),
+        qi_datasets::car_rental::domain(),
+    ] {
         let prepared = domain.prepare();
         let labeler = Labeler::new(&lexicon, NamingPolicy::default());
         let a = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
