@@ -41,13 +41,17 @@
 //! second characters of its stem and lemma. Abbreviations preserve the
 //! first character, so abbreviation pairs share a first-character
 //! bucket. For the Levenshtein predicate the blocking is sound whenever
-//! every accepted pair is within edit distance 1 — guaranteed when
-//! `(1 − min_similarity) · max_stem_len < 2` with a positive threshold:
-//! a distance-1 pair either keeps its first character (shared first
-//! bucket) or edits position 0, in which case the second characters
-//! align with the other string's first or second character (shared
-//! bucket either way). Outside that regime the index degrades to a
-//! single universal fuzzy bucket — still exact, no longer sub-quadratic.
+//! every accepted pair is within edit distance 1: a distance-1 pair
+//! either keeps its first character (shared first bucket) or edits
+//! position 0, in which case the second characters align with the other
+//! string's first or second character (shared bucket either way).
+//! Whether a distance-2 pair can be accepted is decided with the *same*
+//! floating-point expression the similarity DP uses (see
+//! [`prefix_blocking_sound`]), so rounding can never make the DP accept
+//! a pair the blocking argument classified as rejected. Outside the
+//! sound regime every labeled cross-schema pair is a candidate; those
+//! pairs are streamed through fixed-size blocks — still exact, no
+//! longer sub-quadratic in time, but O(block) rather than O(n²) memory.
 
 use crate::cluster::FieldRef;
 use crate::matcher::{labels_match_with, MatcherConfig};
@@ -83,21 +87,79 @@ pub(crate) fn indexed_components(
     lexicon: &Lexicon,
     config: MatcherConfig,
 ) -> Vec<usize> {
-    let candidates = generate_candidates(fields, lexicon, config);
-    let verdicts = score_candidates(fields, &candidates, lexicon, config);
     let schema_count = fields.iter().map(|(f, _)| f.schema + 1).max().unwrap_or(0);
     let mut uf = SchemaUnionFind::new(fields, schema_count);
-    for (&packed, &matched) in candidates.iter().zip(&verdicts) {
-        if matched {
-            let (i, j) = unpack(packed);
-            uf.merge(i, j);
+    if config.fuzzy && !prefix_blocking_sound(fields, config) {
+        merge_all_pairs_streaming(fields, lexicon, config, &mut uf);
+    } else {
+        let candidates = generate_candidates(fields, lexicon, config);
+        let verdicts = score_candidates(fields, &candidates, lexicon, config);
+        for (&packed, &matched) in candidates.iter().zip(&verdicts) {
+            if matched {
+                let (i, j) = unpack(packed);
+                uf.merge(i, j);
+            }
         }
     }
     (0..fields.len()).map(|i| uf.find(i)).collect()
 }
 
+/// Pairs buffered per scoring block in the universal-fuzzy regime; caps
+/// peak candidate memory at `BLOCK_PAIRS × 8` bytes while keeping blocks
+/// large enough for [`score_candidates`] to fan out on the pool.
+const BLOCK_PAIRS: usize = 1 << 16;
+
+/// Universal-fuzzy regime: signature buckets cannot block the
+/// Levenshtein tier, so every labeled cross-schema pair is a candidate.
+/// Rather than materializing the O(n²) candidate list (the naive engine
+/// only pays time there, not memory), the pairs are streamed through a
+/// fixed-size block — scored, then merged in ascending `(i, j)` order —
+/// so the union-find still evolves through exactly the naive state
+/// sequence. Scoring never reads the union-find, so interleaving the
+/// block merges cannot change any verdict.
+fn merge_all_pairs_streaming(
+    fields: &[Field],
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+    uf: &mut SchemaUnionFind,
+) {
+    let labeled: Vec<bool> = fields
+        .iter()
+        .map(|(_, l)| l.as_ref().is_some_and(|l| !l.is_empty()))
+        .collect();
+    let mut block: Vec<u64> = Vec::with_capacity(BLOCK_PAIRS);
+    let flush = |block: &mut Vec<u64>, uf: &mut SchemaUnionFind| {
+        let verdicts = score_candidates(fields, block, lexicon, config);
+        for (&packed, &matched) in block.iter().zip(&verdicts) {
+            if matched {
+                let (i, j) = unpack(packed);
+                uf.merge(i, j);
+            }
+        }
+        block.clear();
+    };
+    for i in 0..fields.len() {
+        if !labeled[i] {
+            continue;
+        }
+        for j in (i + 1)..fields.len() {
+            if !labeled[j] || fields[j].0.schema == fields[i].0.schema {
+                continue;
+            }
+            block.push(pack(i as u32, j as u32));
+            if block.len() == BLOCK_PAIRS {
+                flush(&mut block, uf);
+            }
+        }
+    }
+    flush(&mut block, uf);
+}
+
 /// Build the inverted postings and emit the deduplicated candidate pair
-/// list in ascending `(i, j)` order.
+/// list in ascending `(i, j)` order. Callers must have established that
+/// signature blocking is exhaustive ([`prefix_blocking_sound`]) before
+/// relying on this under `config.fuzzy`; the universal regime goes
+/// through [`merge_all_pairs_streaming`] instead.
 fn generate_candidates(fields: &[Field], lexicon: &Lexicon, config: MatcherConfig) -> Vec<u64> {
     // Stem keys are interned to dense symbols so stem postings live in a
     // plain Vec instead of a string-keyed map.
@@ -105,8 +167,6 @@ fn generate_candidates(fields: &[Field], lexicon: &Lexicon, config: MatcherConfi
     let mut stem_postings: Vec<Vec<u32>> = Vec::new();
     let mut synset_postings: HashMap<SynsetId, Vec<u32>> = HashMap::new();
     let mut fuzzy_postings: HashMap<char, Vec<u32>> = HashMap::new();
-    let mut fuzzy_universal: Vec<u32> = Vec::new();
-    let fuzzy_prefix_sound = config.fuzzy && prefix_blocking_sound(fields, config);
 
     let push_unique = |list: &mut Vec<u32>, i: u32| {
         // Posting lists grow in field order, so duplicates from one
@@ -131,12 +191,8 @@ fn generate_candidates(fields: &[Field], lexicon: &Lexicon, config: MatcherConfi
                 push_unique(synset_postings.entry(sid).or_default(), i);
             }
             if config.fuzzy {
-                if fuzzy_prefix_sound {
-                    for c in signature_chars(&word.stem, &word.lemma) {
-                        push_unique(fuzzy_postings.entry(c).or_default(), i);
-                    }
-                } else {
-                    push_unique(&mut fuzzy_universal, i);
+                for c in signature_chars(&word.stem, &word.lemma) {
+                    push_unique(fuzzy_postings.entry(c).or_default(), i);
                 }
             }
         }
@@ -163,7 +219,6 @@ fn generate_candidates(fields: &[Field], lexicon: &Lexicon, config: MatcherConfi
         for list in fuzzy_postings.values() {
             add_list(list);
         }
-        add_list(&fuzzy_universal);
     }
     // Posting-map iteration order is arbitrary; sorting restores the
     // naive loop's ascending (i, j) order and drops duplicates from
@@ -176,8 +231,22 @@ fn generate_candidates(fields: &[Field], lexicon: &Lexicon, config: MatcherConfi
 /// True when first/second-character buckets are an exhaustive blocking
 /// for the fuzzy Levenshtein predicate: threshold positive and every
 /// acceptable pair within edit distance 1.
+///
+/// Whether a distance-2 pair can be accepted is decided with the *same*
+/// floating-point expression `normalized_levenshtein` acceptance uses —
+/// `1.0 - distance / length >= min_similarity` — never an algebraic
+/// rearrangement of it. E.g. at `min_similarity = 0.8` with 10-char
+/// stems, `1.0 - 2.0 / 10.0` rounds to exactly `0.8` (accepted by the
+/// DP) while the rearranged `(1 - 0.8) * 10` rounds to
+/// `1.9999999999999996 < 2` — deciding with the latter would declare
+/// blocking sound and silently drop the match. Division is monotone, so
+/// if no stem length admits an accepted distance-2 pair, no distance ≥ 2
+/// pair is accepted at all.
 fn prefix_blocking_sound(fields: &[Field], config: MatcherConfig) -> bool {
     if config.min_similarity <= 0.0 {
+        // Distance-1 substitutions between single-character stems score
+        // 0.0 and share no signature bucket, so a non-positive threshold
+        // is never bucket-blockable.
         return false;
     }
     let max_stem_chars = fields
@@ -193,7 +262,7 @@ fn prefix_blocking_sound(fields: &[Field], config: MatcherConfig) -> bool {
         })
         .max()
         .unwrap_or(0);
-    (1.0 - config.min_similarity) * (max_stem_chars as f64) < 2.0
+    !(2..=max_stem_chars).any(|len| 1.0 - 2.0 / (len as f64) >= config.min_similarity)
 }
 
 /// The signature characters of one content word: first and second
@@ -319,6 +388,38 @@ mod tests {
         assert_eq!(sig, vec!['q', 't', 'u']);
         let sig: Vec<char> = signature_chars("x", "x").collect();
         assert_eq!(sig, vec!['x']);
+    }
+
+    #[test]
+    fn prefix_blocking_soundness_uses_dp_expression() {
+        let lex = Lexicon::builtin();
+        let field = |raw: &str| {
+            (
+                FieldRef::new(0, qi_schema::NodeId::ROOT),
+                Some(LabelText::new(raw, &lex)),
+            )
+        };
+        let config = |min_similarity: f64| MatcherConfig {
+            fuzzy: true,
+            min_similarity,
+            ..MatcherConfig::default()
+        };
+        // 10-char stem at min_similarity = 0.8: 1 - 2/10 rounds to
+        // exactly 0.8, so the DP accepts a distance-2 pair and blocking
+        // must be declared unsound. The rearranged (1 - 0.8)*10 < 2
+        // check got this wrong.
+        let ten = vec![field("abcdefghij")];
+        assert!(!prefix_blocking_sound(&ten, config(0.8)));
+        // Nudged above the boundary, distance-2 pairs are rejected again.
+        assert!(prefix_blocking_sound(&ten, config(0.8 + 1e-9)));
+        // Other round thresholds that tripped the rearranged check.
+        let twenty = vec![field("abcdefghijklmnopqrst")];
+        assert!(!prefix_blocking_sound(&twenty, config(0.9)));
+        let six = vec![field("abcdef")];
+        assert!(!prefix_blocking_sound(&six, config(2.0 / 3.0)));
+        // Short stems stay sound at a strict threshold.
+        let three = vec![field("abc")];
+        assert!(prefix_blocking_sound(&three, config(0.8)));
     }
 
     #[test]

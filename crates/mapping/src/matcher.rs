@@ -471,4 +471,38 @@ mod tests {
         );
         assert_eq!(indexed, naive);
     }
+
+    #[test]
+    fn indexed_engine_matches_naive_at_fp_threshold_boundary() {
+        // Regression: at min_similarity = 0.8 these 10-char stems differ
+        // in their first two characters, so the pair shares no signature
+        // bucket, yet its similarity 1 - 2/10 rounds to exactly 0.8 and
+        // the fuzzy tier accepts it. The soundness check must classify
+        // this regime as unsound and fall back to streaming all pairs —
+        // a check using the rearranged (1 - 0.8)*10 < 2 expression kept
+        // the buckets and silently dropped the match.
+        let lex = Lexicon::builtin();
+        let schemas = vec![
+            SchemaTree::build("a", vec![leaf("abcdefghij")]).unwrap(),
+            SchemaTree::build("b", vec![leaf("xycdefghij")]).unwrap(),
+        ];
+        let config = MatcherConfig {
+            fuzzy: true,
+            min_similarity: 0.8,
+            ..MatcherConfig::default()
+        };
+        let indexed = match_by_labels_with(&schemas, &lex, config);
+        let naive = match_by_labels_with(
+            &schemas,
+            &lex,
+            MatcherConfig {
+                naive: true,
+                ..config
+            },
+        );
+        assert_eq!(indexed, naive);
+        // Both engines must actually cluster the pair — otherwise this
+        // test could pass with both of them missing the match.
+        assert_eq!(indexed.len(), 1);
+    }
 }
