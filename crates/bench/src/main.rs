@@ -43,6 +43,7 @@ struct Config {
     warmup: usize,
     iters: usize,
     verify_naive: bool,
+    telemetry: bool,
     out: String,
 }
 
@@ -54,6 +55,7 @@ impl Default for Config {
             warmup: 1,
             iters: 5,
             verify_naive: false,
+            telemetry: false,
             out: "BENCH_core.json".to_string(),
         }
     }
@@ -63,7 +65,7 @@ fn usage_error(message: &str) -> ! {
     eprintln!("qi-bench: {message}");
     eprintln!(
         "usage: qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] \
-         [--verify-naive] [--out PATH]"
+         [--verify-naive] [--telemetry] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -87,11 +89,12 @@ fn parse_args() -> Config {
             "--warmup" => config.warmup = int_for("--warmup", value_for("--warmup")),
             "--iters" => config.iters = int_for("--iters", value_for("--iters")).max(1),
             "--verify-naive" => config.verify_naive = true,
+            "--telemetry" => config.telemetry = true,
             "--out" => config.out = value_for("--out"),
             "--help" | "-h" => {
                 println!(
                     "qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] \
-                     [--verify-naive] [--out PATH]"
+                     [--verify-naive] [--telemetry] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -160,6 +163,15 @@ fn main() {
     let lexicon = Lexicon::builtin();
     lexicon.set_cache_enabled(config.cache);
     qi_text::porter::set_stem_cache_enabled(config.cache);
+    // With --telemetry the *timed* label stage carries a live registry,
+    // so the reported medians measure the instrumented pipeline — the
+    // off-vs-on comparison in scripts/check.sh is honest. Off is the
+    // default: one pointer check per phase boundary.
+    let telemetry = if config.telemetry {
+        qi_runtime::Telemetry::new()
+    } else {
+        qi_runtime::Telemetry::off()
+    };
     let domains = qi_datasets::all_domains();
     let outer = resolve_threads(config.threads).min(domains.len());
     let inner = if outer > 1 { 1 } else { config.threads };
@@ -252,6 +264,7 @@ fn main() {
             Labeler::new(&lexicon, NamingPolicy::default())
                 .with_threads(inner)
                 .with_cache(config.cache)
+                .with_telemetry(telemetry.clone())
                 .label(&p.schemas, &p.mapping, &p.integrated)
         });
     });
@@ -270,6 +283,27 @@ fn main() {
             fld_acc_sum += fields_accuracy(l);
         }
     });
+
+    // ---- metrics section (untimed) --------------------------------------
+    // Matcher counters come from a dedicated probe pass: the timed
+    // cluster stage goes through `evaluate_matcher`, which has no
+    // telemetry seam, and the probe costs one extra matcher run.
+    let metrics_json = if telemetry.is_enabled() {
+        for domain in &domains {
+            let span = telemetry.span("bench.cluster");
+            let (_, stats) =
+                qi_mapping::match_by_labels_stats(&domain.schemas, &lexicon, matcher_config);
+            drop(span);
+            stats.record(&telemetry);
+        }
+        telemetry.record_cache("stemmer", &qi_text::porter::stem_cache_stats());
+        for (name, stats) in lexicon.named_cache_stats() {
+            telemetry.record_cache(name, &stats);
+        }
+        telemetry.snapshot().to_json()
+    } else {
+        "null".to_string()
+    };
 
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
     let stages = [
@@ -292,6 +326,7 @@ fn main() {
             "\"stages\":[{}],",
             "\"caches\":{{\"stemmer\":{},\"lexicon\":{},\"naming_ctx\":{}}},",
             "\"corpus\":{{\"domains\":{},\"mean_fld_acc\":{}}},",
+            "\"metrics\":{},",
             "\"total_ms\":{}}}"
         ),
         config.threads,
@@ -305,6 +340,7 @@ fn main() {
         cache_json(&naming_cache),
         domains.len(),
         number(fld_acc_sum / domains.len() as f64),
+        metrics_json,
         number(total_ms),
     );
     if let Err(e) = std::fs::write(&config.out, &json) {
@@ -313,11 +349,12 @@ fn main() {
     }
 
     println!(
-        "qi-bench: {} domains, threads={} (workers={}), cache={}",
+        "qi-bench: {} domains, threads={} (workers={}), cache={}, telemetry={}",
         domains.len(),
         config.threads,
         outer,
-        config.cache
+        config.cache,
+        config.telemetry
     );
     for (name, runs) in &stages {
         println!(

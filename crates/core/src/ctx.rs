@@ -159,6 +159,15 @@ impl<'a> NamingCtx<'a> {
         self.texts.stats().merge(&self.relations.stats())
     }
 
+    /// Per-cache hit/miss counters, keyed by stable cache names
+    /// (`naming.texts`, `naming.relations`) for the telemetry registry.
+    pub fn named_cache_stats(&self) -> [(&'static str, CacheStats); 2] {
+        [
+            ("naming.relations", self.relations.stats()),
+            ("naming.texts", self.texts.stats()),
+        ]
+    }
+
     /// Enable or disable the context's memo-caches (benchmarks measure
     /// the uncached pipeline through this).
     pub fn set_cache_enabled(&self, enabled: bool) {

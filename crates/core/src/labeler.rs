@@ -36,6 +36,10 @@ pub struct Labeler<'a> {
     /// When false, the naming context's memo-caches are disabled
     /// (benchmark baseline mode).
     cache_enabled: bool,
+    /// Metrics registry for per-phase timings, conflict counters and
+    /// naming-cache stats. The default disabled handle costs one pointer
+    /// check per phase boundary — nothing inside the phase loops.
+    telemetry: qi_runtime::Telemetry,
 }
 
 /// The labeled integrated interface plus the full naming report.
@@ -88,6 +92,7 @@ impl<'a> Labeler<'a> {
             policy,
             threads: 1,
             cache_enabled: true,
+            telemetry: qi_runtime::Telemetry::off(),
         }
     }
 
@@ -102,6 +107,14 @@ impl<'a> Labeler<'a> {
     /// Enable or disable the naming context's memo-caches for this run.
     pub fn with_cache(mut self, enabled: bool) -> Self {
         self.cache_enabled = enabled;
+        self
+    }
+
+    /// Record per-phase span timings, group/conflict counters and
+    /// naming-cache stats into `telemetry` on every [`Labeler::label`]
+    /// call. The default is the disabled registry.
+    pub fn with_telemetry(mut self, telemetry: qi_runtime::Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -121,6 +134,7 @@ impl<'a> Labeler<'a> {
         mapping: &Mapping,
         integrated: &Integrated,
     ) -> LabeledInterface {
+        let run_span = self.telemetry.span("label");
         let ctx = NamingCtx::new(self.lexicon);
         ctx.set_cache_enabled(self.cache_enabled);
         let mut report = NamingReport::default();
@@ -143,6 +157,7 @@ impl<'a> Labeler<'a> {
             let leaves: Vec<NodeId> = partition.root.iter().map(|&(l, _)| l).collect();
             specs.push((clusters, leaves, None));
         }
+        let phase_span = self.telemetry.span("label.phase1.groups");
         let groups: Vec<GroupWork> =
             qi_runtime::parallel_map(&specs, self.threads, |_, (clusters, leaves, parent)| {
                 let relation = GroupRelation::build(clusters, mapping, schemas);
@@ -155,16 +170,20 @@ impl<'a> Labeler<'a> {
                     naming,
                 }
             });
+        drop(phase_span);
 
         // ---------- Phase 1b: isolated clusters ------------------------------
+        let phase_span = self.telemetry.span("label.phase1.isolated");
         for &(leaf, cluster) in &partition.isolated {
             let occurrences = isolated_occurrences(schemas, mapping, cluster);
             let label =
                 label_isolated_cluster(&occurrences, &ctx, &self.policy, &mut report.li_usage);
             tree.set_label(leaf, label);
         }
+        drop(phase_span);
 
         // ---------- Phase 1c: candidate labels for internal nodes -----------
+        let phase_span = self.telemetry.span("label.phase1.candidates");
         let potentials = collect_potentials(schemas, mapping);
         let info = collect_cluster_info(schemas, mapping);
         let mut internal_candidates: BTreeMap<NodeId, Vec<CandidateLabel>> = BTreeMap::new();
@@ -181,8 +200,10 @@ impl<'a> Labeler<'a> {
             node_clusters.insert(internal.id, x);
             internal_candidates.insert(internal.id, candidates);
         }
+        drop(phase_span);
 
         // ---------- Phase 3a: assign group-field labels ----------------------
+        let phase_span = self.telemetry.span("label.phase3.groups");
         for group in &groups {
             let best = group.naming.best();
             let labels: Vec<Option<String>> = match best {
@@ -205,8 +226,10 @@ impl<'a> Labeler<'a> {
                 conflict_repaired: best.and_then(|s| s.conflict_repaired),
             });
         }
+        drop(phase_span);
 
         // ---------- Phase 3b: assign internal-node labels (top-down) --------
+        let phase_span = self.telemetry.span("label.phase3.internal");
         // For Definition 6 checks: which group hangs under which internal
         // node (descendant groups = groups whose parent is a descendant-or-
         // self of the node).
@@ -325,8 +348,10 @@ impl<'a> Labeler<'a> {
                 }
             }
         }
+        drop(phase_span);
 
         // ---------- Phase 2 (final): classify (Definition 8) ----------------
+        let phase_span = self.telemetry.span("label.phase2.classify");
         // Regular groups must have consistent solutions; the root group may
         // be partially consistent (§4). Internal nodes with candidates must
         // all be labeled.
@@ -342,6 +367,7 @@ impl<'a> Labeler<'a> {
             ConsistencyClass::Consistent
         };
         report.class = Some(class);
+        drop(phase_span);
 
         // ---------- Field accounting -----------------------------------------
         for leaf in tree.leaves() {
@@ -354,6 +380,8 @@ impl<'a> Labeler<'a> {
         }
 
         report.naming_cache = ctx.cache_stats();
+        drop(run_span);
+        self.record_telemetry(&report, &ctx);
 
         LabeledInterface {
             tree,
@@ -361,6 +389,53 @@ impl<'a> Labeler<'a> {
             report,
             internal_candidates,
             internal_decisions: decisions,
+        }
+    }
+
+    /// Copy the run's counters and cache stats into the registry. One
+    /// pointer check and out when telemetry is off — the phase loops
+    /// above never touch the registry directly.
+    fn record_telemetry(&self, report: &NamingReport, ctx: &NamingCtx) {
+        let telemetry = &self.telemetry;
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.add("labeler.groups_named", report.groups.len() as u64);
+        telemetry.add(
+            "labeler.groups_consistent",
+            report.groups.iter().filter(|g| g.consistent).count() as u64,
+        );
+        telemetry.add(
+            "labeler.conflicts_repaired",
+            report
+                .groups
+                .iter()
+                .filter(|g| g.conflict_repaired == Some(true))
+                .count() as u64,
+        );
+        telemetry.add(
+            "labeler.conflicts_unrepaired",
+            report
+                .groups
+                .iter()
+                .filter(|g| g.conflict_repaired == Some(false))
+                .count() as u64,
+        );
+        telemetry.add("labeler.internal_labeled", report.labeled_internal as u64);
+        telemetry.add(
+            "labeler.internal_without_candidates",
+            report.internal_without_candidates as u64,
+        );
+        telemetry.add(
+            "labeler.internal_blocked",
+            report.unlabeled_internal_with_candidates as u64,
+        );
+        telemetry.add("labeler.unlabeled_fields", report.unlabeled_fields as u64);
+        // Only the per-run naming-ctx caches belong to this labeler; the
+        // shared lexicon/stemmer caches are recorded as per-domain deltas
+        // by the eval runner to avoid double-counting across runs.
+        for (name, stats) in ctx.named_cache_stats() {
+            telemetry.record_cache(name, &stats);
         }
     }
 }

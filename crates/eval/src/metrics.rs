@@ -44,6 +44,9 @@ pub struct DomainEvaluation {
     pub class: ConsistencyClass,
     /// Inference-rule usage for this domain (Figure 10 input).
     pub li_usage: LiUsage,
+    /// Operational metrics of this domain's run (empty when telemetry
+    /// was off — the default).
+    pub metrics: qi_runtime::MetricsSnapshot,
 }
 
 /// Compute the integrated-interface shape statistics.

@@ -11,7 +11,7 @@ use crate::panel::Panel;
 use qi_core::{ConsistencyClass, Labeler, LiUsage, NamingPolicy};
 use qi_datasets::Domain;
 use qi_lexicon::Lexicon;
-use qi_runtime::{parallel_try_map, resolve_threads};
+use qi_runtime::{parallel_try_map, resolve_threads, MetricsSnapshot, TelemetryMode};
 
 /// Runtime options for an evaluation run.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +25,12 @@ pub struct RunConfig {
     /// Naming-context memo-caches on (default) or off (benchmark
     /// baseline).
     pub cache: bool,
+    /// Telemetry collection mode. `Off` (the default) skips all metric
+    /// recording at the cost of one pointer check per boundary; the
+    /// other modes attach a [`MetricsSnapshot`] to every
+    /// [`DomainEvaluation`] — each domain gets a *fresh* registry, so
+    /// parallel sweeps attribute work deterministically.
+    pub telemetry: TelemetryMode,
 }
 
 impl Default for RunConfig {
@@ -32,6 +38,7 @@ impl Default for RunConfig {
         RunConfig {
             threads: 0,
             cache: true,
+            telemetry: TelemetryMode::Off,
         }
     }
 }
@@ -56,6 +63,9 @@ pub struct CorpusEvaluation {
     /// Domains whose evaluation panicked; they contribute no row but do
     /// not abort the sweep.
     pub failed: Vec<DomainFailure>,
+    /// Per-domain metrics merged in row order (empty when telemetry is
+    /// off).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Run the full pipeline on one domain and compute its Table 6 row.
@@ -72,7 +82,7 @@ pub fn evaluate_domain(
         panel,
         RunConfig {
             threads: 1,
-            cache: true,
+            ..RunConfig::default()
         },
     )
 }
@@ -85,18 +95,52 @@ pub fn evaluate_domain_with(
     panel: Panel,
     config: RunConfig,
 ) -> DomainEvaluation {
+    // A fresh registry per domain: sequential recording inside one
+    // domain is deterministic even when the corpus sweep runs domains
+    // concurrently, and the merge happens in row order.
+    let telemetry = config.telemetry.build();
+    // The lexicon and the Porter stem cache outlive this run, so their
+    // activity is attributed as a delta across it.
+    let lexicon_before = lexicon.named_cache_stats();
+    let stemmer_before = qi_text::porter::stem_cache_stats();
+
+    let domain_span = telemetry.span("eval.domain");
     let source = domain.source_stats();
+    let prepare_span = telemetry.span("eval.domain.prepare");
     let prepared = domain.prepare();
+    drop(prepare_span);
     let labeler = Labeler::new(lexicon, policy)
         .with_threads(config.threads)
-        .with_cache(config.cache);
+        .with_cache(config.cache)
+        .with_telemetry(telemetry.clone());
+    let label_span = telemetry.span("eval.domain.label");
     let labeled = labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+    drop(label_span);
+    let survey_span = telemetry.span("eval.domain.survey");
     let (ha, ha_star) = panel.survey(
         &prepared.name,
         &labeled,
         &prepared.schemas,
         &prepared.mapping,
     );
+    drop(survey_span);
+    drop(domain_span);
+
+    if telemetry.is_enabled() {
+        telemetry.incr("eval.domains");
+        for ((name, after), (_, before)) in lexicon
+            .named_cache_stats()
+            .iter()
+            .zip(lexicon_before.iter())
+        {
+            telemetry.record_cache(name, &after.delta_since(before));
+        }
+        telemetry.record_cache(
+            "stemmer",
+            &qi_text::porter::stem_cache_stats().delta_since(&stemmer_before),
+        );
+    }
+
     DomainEvaluation {
         name: prepared.name.clone(),
         source,
@@ -110,6 +154,7 @@ pub fn evaluate_domain_with(
             .class
             .unwrap_or(ConsistencyClass::Inconsistent),
         li_usage: labeled.report.li_usage,
+        metrics: telemetry.snapshot(),
     }
 }
 
@@ -135,7 +180,7 @@ pub fn evaluate_corpus_with(
     let outer = resolve_threads(config.threads).min(domains.len().max(1));
     let per_domain = RunConfig {
         threads: if outer > 1 { 1 } else { config.threads },
-        cache: config.cache,
+        ..config
     };
     let results = parallel_try_map(domains, config.threads, |_, domain| {
         evaluate_domain_with(domain, lexicon, policy, panel, per_domain)
@@ -152,13 +197,16 @@ pub fn evaluate_corpus_with(
         }
     }
     let mut li_usage = LiUsage::default();
+    let mut metrics = MetricsSnapshot::default();
     for row in &rows {
         li_usage.merge(&row.li_usage);
+        metrics.merge(&row.metrics);
     }
     CorpusEvaluation {
         domains: rows,
         li_usage,
         failed,
+        metrics,
     }
 }
 
@@ -212,7 +260,7 @@ mod tests {
             Panel::default(),
             RunConfig {
                 threads: 0,
-                cache: true,
+                ..RunConfig::default()
             },
         );
         let sequential = evaluate_corpus_with(
@@ -222,7 +270,7 @@ mod tests {
             Panel::default(),
             RunConfig {
                 threads: 1,
-                cache: true,
+                ..RunConfig::default()
             },
         );
         assert!(parallel.failed.is_empty());
@@ -249,7 +297,7 @@ mod tests {
             Panel::default(),
             RunConfig {
                 threads: 1,
-                cache: true,
+                ..RunConfig::default()
             },
         );
         let off = evaluate_corpus_with(
@@ -260,6 +308,7 @@ mod tests {
             RunConfig {
                 threads: 1,
                 cache: false,
+                ..RunConfig::default()
             },
         );
         assert_eq!(format!("{:?}", on.domains), format!("{:?}", off.domains));

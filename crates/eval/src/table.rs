@@ -89,6 +89,7 @@ mod tests {
             ha_star: 0.983,
             class: ConsistencyClass::Inconsistent,
             li_usage: qi_core::LiUsage::default(),
+            metrics: qi_runtime::MetricsSnapshot::default(),
         }
     }
 

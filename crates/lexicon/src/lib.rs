@@ -146,6 +146,26 @@ impl Lexicon {
             .merge(&self.resolve_cache.stats())
     }
 
+    /// Per-cache hit/miss counters, keyed by stable cache names
+    /// (`lexicon.hypernym`, `lexicon.base_form`, `lexicon.resolve`) —
+    /// the telemetry registry records each under `cache.<name>.*`.
+    pub fn named_cache_stats(&self) -> [(&'static str, CacheStats); 3] {
+        [
+            ("lexicon.base_form", self.base_form_cache.stats()),
+            ("lexicon.hypernym", self.hypernym_cache.stats()),
+            ("lexicon.resolve", self.resolve_cache.stats()),
+        ]
+    }
+
+    /// Drop all memoized entries and reset hit/miss counters — used by
+    /// determinism tests so a second run sees the same cold-cache world
+    /// as the first.
+    pub fn reset_caches(&self) {
+        self.hypernym_cache.clear();
+        self.base_form_cache.clear();
+        self.resolve_cache.clear();
+    }
+
     /// Resolve a word to the synsets it may denote: exact lemma match,
     /// else morphological base form, else lemmas sharing its Porter stem.
     /// Memoized — this is the hottest lexicon query on the matcher path

@@ -54,7 +54,7 @@
 //! longer sub-quadratic in time, but O(block) rather than O(n²) memory.
 
 use crate::cluster::FieldRef;
-use crate::matcher::{labels_match_with, MatcherConfig};
+use crate::matcher::{labels_match_with, MatchStats, MatcherConfig};
 use qi_lexicon::{Lexicon, SynsetId};
 use qi_runtime::{parallel_map_chunked, Interner};
 use qi_text::LabelText;
@@ -81,23 +81,31 @@ fn unpack(packed: u64) -> (usize, usize) {
 /// Compute the connected components of the match graph without
 /// materializing it: generate candidates from postings, score them (in
 /// parallel when worthwhile), and merge in deterministic pair order.
-/// Returns the union-find root of every field.
+/// Returns the union-find root of every field. Pair volumes and index
+/// shape are accumulated into `stats` (plain local counters — no
+/// telemetry calls on this path).
 pub(crate) fn indexed_components(
     fields: &[Field],
     lexicon: &Lexicon,
     config: MatcherConfig,
+    stats: &mut MatchStats,
 ) -> Vec<usize> {
     let schema_count = fields.iter().map(|(f, _)| f.schema + 1).max().unwrap_or(0);
     let mut uf = SchemaUnionFind::new(fields, schema_count);
     if config.fuzzy && !prefix_blocking_sound(fields, config) {
-        merge_all_pairs_streaming(fields, lexicon, config, &mut uf);
+        stats.streaming_fallback = true;
+        merge_all_pairs_streaming(fields, lexicon, config, &mut uf, stats);
     } else {
-        let candidates = generate_candidates(fields, lexicon, config);
+        let candidates = generate_candidates(fields, lexicon, config, stats);
         let verdicts = score_candidates(fields, &candidates, lexicon, config);
+        stats.pairs_scored += candidates.len() as u64;
         for (&packed, &matched) in candidates.iter().zip(&verdicts) {
             if matched {
+                stats.pairs_accepted += 1;
                 let (i, j) = unpack(packed);
-                uf.merge(i, j);
+                if uf.merge(i, j) {
+                    stats.clusters_merged += 1;
+                }
             }
         }
     }
@@ -122,18 +130,28 @@ fn merge_all_pairs_streaming(
     lexicon: &Lexicon,
     config: MatcherConfig,
     uf: &mut SchemaUnionFind,
+    stats: &mut MatchStats,
 ) {
     let labeled: Vec<bool> = fields
         .iter()
         .map(|(_, l)| l.as_ref().is_some_and(|l| !l.is_empty()))
         .collect();
     let mut block: Vec<u64> = Vec::with_capacity(BLOCK_PAIRS);
-    let flush = |block: &mut Vec<u64>, uf: &mut SchemaUnionFind| {
+    let flush = |block: &mut Vec<u64>, uf: &mut SchemaUnionFind, stats: &mut MatchStats| {
+        if block.is_empty() {
+            return;
+        }
+        stats.streaming_blocks += 1;
+        stats.pairs_generated += block.len() as u64;
+        stats.pairs_scored += block.len() as u64;
         let verdicts = score_candidates(fields, block, lexicon, config);
         for (&packed, &matched) in block.iter().zip(&verdicts) {
             if matched {
+                stats.pairs_accepted += 1;
                 let (i, j) = unpack(packed);
-                uf.merge(i, j);
+                if uf.merge(i, j) {
+                    stats.clusters_merged += 1;
+                }
             }
         }
         block.clear();
@@ -148,11 +166,11 @@ fn merge_all_pairs_streaming(
             }
             block.push(pack(i as u32, j as u32));
             if block.len() == BLOCK_PAIRS {
-                flush(&mut block, uf);
+                flush(&mut block, uf, stats);
             }
         }
     }
-    flush(&mut block, uf);
+    flush(&mut block, uf, stats);
 }
 
 /// Build the inverted postings and emit the deduplicated candidate pair
@@ -160,7 +178,12 @@ fn merge_all_pairs_streaming(
 /// signature blocking is exhaustive ([`prefix_blocking_sound`]) before
 /// relying on this under `config.fuzzy`; the universal regime goes
 /// through [`merge_all_pairs_streaming`] instead.
-fn generate_candidates(fields: &[Field], lexicon: &Lexicon, config: MatcherConfig) -> Vec<u64> {
+fn generate_candidates(
+    fields: &[Field],
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+    stats: &mut MatchStats,
+) -> Vec<u64> {
     // Stem keys are interned to dense symbols so stem postings live in a
     // plain Vec instead of a string-keyed map.
     let stems = Interner::new();
@@ -198,6 +221,17 @@ fn generate_candidates(fields: &[Field], lexicon: &Lexicon, config: MatcherConfi
         }
     }
 
+    stats.stem_buckets = stem_postings.len() as u64;
+    stats.synset_buckets = synset_postings.len() as u64;
+    stats.fuzzy_buckets = fuzzy_postings.len() as u64;
+    stats.max_bucket_size = stem_postings
+        .iter()
+        .chain(synset_postings.values())
+        .chain(fuzzy_postings.values())
+        .map(|list| list.len() as u64)
+        .max()
+        .unwrap_or(0);
+
     let mut pairs: Vec<u64> = Vec::new();
     {
         let mut add_list = |list: &[u32]| {
@@ -225,6 +259,7 @@ fn generate_candidates(fields: &[Field], lexicon: &Lexicon, config: MatcherConfi
     // fields sharing several postings.
     pairs.sort_unstable();
     pairs.dedup();
+    stats.pairs_generated += pairs.len() as u64;
     pairs
 }
 
@@ -347,22 +382,24 @@ impl SchemaUnionFind {
     /// Union the components of `i` and `j` unless they share a schema.
     /// Mirrors the naive merge exactly: same no-op on equal roots, same
     /// clash predicate, same root orientation (`root(i) → root(j)`).
-    fn merge(&mut self, i: usize, j: usize) {
+    /// Returns whether two components were actually united.
+    fn merge(&mut self, i: usize, j: usize) -> bool {
         let ri = self.find(i);
         let rj = self.find(j);
         if ri == rj {
-            return;
+            return false;
         }
         let clash = (0..self.words)
             .any(|w| self.bits[ri * self.words + w] & self.bits[rj * self.words + w] != 0);
         if clash {
-            return;
+            return false;
         }
         self.parent[ri] = rj as u32;
         for w in 0..self.words {
             let from = self.bits[ri * self.words + w];
             self.bits[rj * self.words + w] |= from;
         }
+        true
     }
 }
 

@@ -27,5 +27,9 @@ pub use cluster::{
     expand_one_to_many, Cluster, ClusterId, ExpansionOutcome, FieldRef, Mapping, MappingError,
 };
 pub use integrated::{ClusterClass, ClusterPartition, GroupId, Integrated, IntegratedGroup};
+pub use matcher::{
+    labels_match, labels_match_with, match_by_labels, match_by_labels_stats, match_by_labels_with,
+    MatchStats, MatcherConfig,
+};
 pub use quality::{pairwise_quality, MatchQuality};
 pub use relation::{GroupRelation, GroupTuple};

@@ -59,6 +59,76 @@ impl Default for MatcherConfig {
     }
 }
 
+/// Operational counters of one matcher run. Always collected — every
+/// field is a plain `u64` bumped on paths that already do real work, so
+/// the cost is a handful of register increments per stage, not an
+/// atomic or a lock. [`MatchStats::record`] copies the totals into a
+/// [`qi_runtime::Telemetry`] registry at the run boundary.
+///
+/// Cross-engine invariant (asserted by `tests/matcher_props.rs`): the
+/// indexed and naive engines report identical `pairs_accepted` and
+/// `clusters_merged` on every corpus — the indexed candidate set is a
+/// superset of the matching pairs and both engines merge accepted pairs
+/// in ascending `(i, j)` order with the same clash predicate.
+/// `pairs_generated`/`pairs_scored` legitimately differ (that gap is the
+/// work the index saves).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Fields collected across all schemas.
+    pub fields_total: u64,
+    /// Fields carrying a non-empty normalized label.
+    pub fields_labeled: u64,
+    /// Distinct stem posting lists built by the indexed engine.
+    pub stem_buckets: u64,
+    /// Distinct synset-id posting lists.
+    pub synset_buckets: u64,
+    /// Distinct fuzzy signature-character buckets.
+    pub fuzzy_buckets: u64,
+    /// Largest posting list over all three index families.
+    pub max_bucket_size: u64,
+    /// Candidate pairs emitted by the postings (deduplicated); for the
+    /// naive engine, every labeled cross-schema pair.
+    pub pairs_generated: u64,
+    /// Pairs run through the full match predicate.
+    pub pairs_scored: u64,
+    /// Pairs the predicate accepted.
+    pub pairs_accepted: u64,
+    /// Accepted pairs that actually united two components (root merges
+    /// not blocked by the same-schema clash check).
+    pub clusters_merged: u64,
+    /// Whether the fuzzy tier fell back into the streaming unsound
+    /// regime (signature blocking not exhaustive at this threshold).
+    pub streaming_fallback: bool,
+    /// Scoring blocks flushed by the streaming regime.
+    pub streaming_blocks: u64,
+}
+
+impl MatchStats {
+    /// Copy the totals into a telemetry registry under `matcher.*`:
+    /// volumes as counters, index shape as gauges. A disabled registry
+    /// makes this a no-op after one pointer check.
+    pub fn record(&self, telemetry: &qi_runtime::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.add("matcher.fields_total", self.fields_total);
+        telemetry.add("matcher.fields_labeled", self.fields_labeled);
+        telemetry.add("matcher.pairs_generated", self.pairs_generated);
+        telemetry.add("matcher.pairs_scored", self.pairs_scored);
+        telemetry.add("matcher.pairs_accepted", self.pairs_accepted);
+        telemetry.add("matcher.clusters_merged", self.clusters_merged);
+        telemetry.add("matcher.streaming_blocks", self.streaming_blocks);
+        telemetry.add(
+            "matcher.streaming_fallbacks",
+            u64::from(self.streaming_fallback),
+        );
+        telemetry.gauge("matcher.postings.stem_buckets", self.stem_buckets);
+        telemetry.gauge("matcher.postings.synset_buckets", self.synset_buckets);
+        telemetry.gauge("matcher.postings.fuzzy_buckets", self.fuzzy_buckets);
+        telemetry.gauge_max("matcher.postings.max_bucket_size", self.max_bucket_size);
+    }
+}
+
 /// Union-find with path compression.
 struct UnionFind {
     parent: Vec<usize>,
@@ -158,13 +228,31 @@ pub fn match_by_labels_with(
     lexicon: &Lexicon,
     config: MatcherConfig,
 ) -> Mapping {
+    match_by_labels_stats(schemas, lexicon, config).0
+}
+
+/// [`match_by_labels_with`], additionally returning the run's
+/// [`MatchStats`].
+pub fn match_by_labels_stats(
+    schemas: &[SchemaTree],
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+) -> (Mapping, MatchStats) {
     let fields = collect_fields(schemas, lexicon);
-    let roots = if config.naive {
-        naive_components(&fields, lexicon, config)
-    } else {
-        indexed_components(&fields, lexicon, config)
+    let mut stats = MatchStats {
+        fields_total: fields.len() as u64,
+        fields_labeled: fields
+            .iter()
+            .filter(|(_, l)| l.as_ref().is_some_and(|l| !l.is_empty()))
+            .count() as u64,
+        ..MatchStats::default()
     };
-    emit_clusters(&fields, &roots)
+    let roots = if config.naive {
+        naive_components(&fields, lexicon, config, &mut stats)
+    } else {
+        indexed_components(&fields, lexicon, config, &mut stats)
+    };
+    (emit_clusters(&fields, &roots), stats)
 }
 
 /// Collect all fields with their normalized labels, in schema order then
@@ -194,6 +282,7 @@ fn naive_components(
     fields: &[(FieldRef, Option<LabelText>)],
     lexicon: &Lexicon,
     config: MatcherConfig,
+    stats: &mut MatchStats,
 ) -> Vec<usize> {
     let mut uf = UnionFind::new(fields.len());
     for i in 0..fields.len() {
@@ -207,9 +296,12 @@ fn naive_components(
             let Some(label_j) = &fields[j].1 else {
                 continue;
             };
+            stats.pairs_generated += 1;
+            stats.pairs_scored += 1;
             if !labels_match_with(label_i, label_j, lexicon, config) {
                 continue;
             }
+            stats.pairs_accepted += 1;
             // Merging must not put two fields of one schema in a cluster.
             let ri = uf.find(i);
             let rj = uf.find(j);
@@ -225,6 +317,7 @@ fn naive_components(
                 .any(|k| schemas_i.contains(&fields[k].0.schema));
             if !clash {
                 uf.union(i, j);
+                stats.clusters_merged += 1;
             }
         }
     }

@@ -1,0 +1,169 @@
+//! An offline, zero-dependency stand-in for the [`proptest`] crate.
+//!
+//! The real crate is unfetchable in this build environment (no registry
+//! access), so this shim implements exactly the API subset the
+//! workspace's property suite uses, with the same names and shapes:
+//!
+//! - the [`proptest!`] macro (doc comments, `#[test]`, multiple
+//!   `name in strategy` arguments, an optional leading
+//!   `#![proptest_config(...)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! - [`strategy::Strategy`] with `prop_map`, integer and float range
+//!   strategies, tuple strategies, [`strategy::any`], and string
+//!   strategies from a regex subset (`.`, character classes, `{m,n}`
+//!   quantifiers),
+//! - [`test_runner::ProptestConfig`] with `with_cases`,
+//! - a [`regressions`] parser for `*.proptest-regressions` corpora, so
+//!   shrunken failures recorded by the real crate stay replayable.
+//!
+//! Deliberate differences from the real crate: case generation is
+//! **deterministic** (a fixed-seed SplitMix64 stream per test, so CI
+//! runs are reproducible without a persisted seed file) and there is
+//! **no shrinking** — on failure the offending inputs are printed
+//! verbatim instead. Both trade debugging convenience for a dependency
+//! surface of zero.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod regressions;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the property suite imports, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Mirrors the real macro's surface: an optional
+/// `#![proptest_config(expr)]` header, then `#[test]` functions whose
+/// arguments are drawn from strategies (`word in ".{0,24}"`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(stringify!($name), |__rng| {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strategy), __rng);
+                )+
+                // Capture the inputs before the body may consume them;
+                // without shrinking, the verbatim case is the failure
+                // report.
+                let mut __case = ::std::string::String::new();
+                $(
+                    __case.push_str(stringify!($arg));
+                    __case.push_str(" = ");
+                    __case.push_str(&::std::format!("{:?}; ", $arg));
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let ::std::result::Result::Err(panic) = __outcome {
+                    ::std::eprintln!(
+                        "proptest case failed in {}: {}",
+                        stringify!($name),
+                        __case
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            });
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Assert inside a property body (plain `assert!` here — the shim has
+/// no shrinking machinery to feed a structured failure into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro compiles a plain default-config block and draws
+        /// from range strategies.
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..10, x in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        /// Multiple arguments, trailing comma, and string strategies.
+        #[test]
+        fn string_strategies_obey_their_patterns(
+            word in "[a-z]{1,16}",
+            free in ".{0,24}",
+        ) {
+            prop_assert!((1..=16).contains(&word.chars().count()));
+            prop_assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(free.chars().count() <= 24);
+            prop_assert!(!free.contains('\n'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The config header parses; `any` + tuples + `prop_map`
+        /// compose the way the synth-config strategy does.
+        #[test]
+        fn mapped_tuple_strategy(pair in (any::<u64>(), 1usize..5).prop_map(|(s, n)| (s, n * 2))) {
+            let (_, doubled) = pair;
+            prop_assert!(doubled % 2 == 0);
+            prop_assert_ne!(doubled, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let draw = || {
+            let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8));
+            let mut out = Vec::new();
+            runner.run("draw", |rng| {
+                out.push(crate::strategy::Strategy::generate(&"[A-Za-z ]{1,20}", rng));
+            });
+            out
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,164 @@
+//! Parser for `*.proptest-regressions` corpora.
+//!
+//! The real crate records every shrunken failure as a line like
+//!
+//! ```text
+//! cc <hash> # shrinks to config = SynthConfig { seed: 47880…, interfaces: 3, … }
+//! ```
+//!
+//! and replays it from the hash before generating novel cases. The
+//! shim cannot reproduce inputs from the hash (that needs the original
+//! strategy's value tree), but the human-readable comment carries the
+//! full shrunken value — so this module parses those struct literals
+//! back out, letting a plain `#[test]` replay the committed corpus
+//! explicitly.
+
+/// One recorded failure: the shrunken struct's fields, in file order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    fields: Vec<(String, String)>,
+}
+
+impl Case {
+    /// Raw text of one field, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(field, _)| field == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// Parse one field into its typed form; panics (with the field and
+    /// value in the message) when missing or malformed — a corrupt
+    /// regression corpus should fail loudly, not skip silently.
+    pub fn parse<T>(&self, name: &str) -> T
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Debug,
+    {
+        let raw = self
+            .get(name)
+            .unwrap_or_else(|| panic!("regression case has no field {name:?}: {self:?}"));
+        raw.parse()
+            .unwrap_or_else(|err| panic!("field {name} = {raw:?} unparsable: {err:?}"))
+    }
+}
+
+/// Extract every `type_name { field: value, … }` literal recorded in a
+/// regressions file. Lines starting with `#` are comments; any other
+/// line may carry one case in its trailing `# shrinks to …` comment.
+pub fn parse(contents: &str, type_name: &str) -> Vec<Case> {
+    let needle = format!("{type_name} {{");
+    let mut cases = Vec::new();
+    for line in contents.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        let Some(start) = trimmed.find(&needle) else {
+            continue;
+        };
+        let body_start = start + needle.len();
+        let Some(length) = brace_span(&trimmed[body_start..]) else {
+            continue;
+        };
+        let body = &trimmed[body_start..body_start + length];
+        cases.push(Case {
+            fields: split_fields(body)
+                .into_iter()
+                .filter_map(|field| {
+                    let (name, value) = field.split_once(':')?;
+                    Some((name.trim().to_string(), value.trim().to_string()))
+                })
+                .collect(),
+        });
+    }
+    cases
+}
+
+/// Length of the text up to the brace closing an already-open literal
+/// (depth starts at 1).
+fn brace_span(text: &str) -> Option<usize> {
+    let mut depth = 1usize;
+    for (offset, ch) in text.char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(offset);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split a struct body on top-level commas (nested literals stay
+/// intact).
+fn split_fields(body: &str) -> Vec<&str> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (offset, ch) in body.char_indices() {
+        match ch {
+            '{' | '[' | '(' => depth += 1,
+            '}' | ']' | ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                fields.push(&body[start..offset]);
+                start = offset + ch.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    if !body[start..].trim().is_empty() {
+        fields.push(&body[start..]);
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &str = "\
+# Seeds for failure cases proptest has generated in the past.
+cc deadbeef # shrinks to config = SynthConfig { seed: 42, interfaces: 3, coverage: 0.3 }
+cc feedface # shrinks to input = Other { nested: Inner { x: 1 }, flag: true }
+";
+
+    #[test]
+    fn parses_matching_literals_only() {
+        let cases = parse(CORPUS, "SynthConfig");
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].get("seed"), Some("42"));
+        assert_eq!(cases[0].parse::<usize>("interfaces"), 3);
+        assert_eq!(cases[0].parse::<f64>("coverage"), 0.3);
+        assert_eq!(cases[0].get("missing"), None);
+    }
+
+    #[test]
+    fn nested_literals_survive_field_splitting() {
+        let cases = parse(CORPUS, "Other");
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].get("nested"), Some("Inner { x: 1 }"));
+        assert_eq!(cases[0].parse::<bool>("flag"), true);
+    }
+
+    #[test]
+    fn comment_lines_are_ignored() {
+        assert!(parse("# SynthConfig { seed: 1 }", "SynthConfig").is_empty());
+    }
+
+    #[test]
+    fn real_corpus_shape_round_trips() {
+        let line = "cc c213610e # shrinks to config = SynthConfig { seed: 4788076064470418072, \
+                    interfaces: 3, concepts: 4, groups: 1, coverage: 0.3, unlabeled_prob: 0.0, \
+                    group_label_prob: 0.7 }";
+        let cases = parse(line, "SynthConfig");
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].parse::<u64>("seed"), 4788076064470418072);
+        assert_eq!(cases[0].parse::<f64>("group_label_prob"), 0.7);
+    }
+}

@@ -1,0 +1,404 @@
+//! Value-generation strategies: the [`Strategy`] trait, range / tuple /
+//! `any` strategies, `prop_map`, and string generation from a regex
+//! subset.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of one type. The shim's version has
+/// no value tree and no shrinking: `generate` draws a value directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values (the real crate's `prop_map`).
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical whole-domain strategy (the real crate's
+/// `Arbitrary`, reduced to the primitives the suite draws).
+pub trait ArbitraryValue: std::fmt::Debug + Sized {
+    /// Draw a value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryValue for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl ArbitraryValue for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The whole-domain strategy for `T` — `any::<u64>()` etc.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % width) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let x = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against rounding up onto the excluded endpoint.
+        x.min(self.end - (self.end - self.start) * f64::EPSILON)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// String-literal strategies: the pattern is a regex subset — atoms are
+/// `.`, `[...]` character classes (with ranges) or literal / escaped
+/// characters, each optionally quantified with `{m}`, `{m,n}`, `?`,
+/// `*` or `+` (the unbounded forms are capped at 8 repetitions). The
+/// pattern is parsed on every draw; patterns are tiny and the parse is
+/// linear, so this stays far off any hot path.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = atom.min + rng.below(atom.max - atom.min + 1);
+            for _ in 0..count {
+                out.push(atom.set.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+/// One quantified pattern atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// The characters an atom may produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CharSet {
+    /// `.` — any character except newline. Draws mostly printable
+    /// ASCII, with a deliberate admixture of multi-byte, combining and
+    /// control characters so "arbitrary input" properties see hostile
+    /// text the way they would under the real crate.
+    Dot,
+    /// `[...]` — inclusive character ranges (singletons are one-char
+    /// ranges).
+    Ranges(Vec<(char, char)>),
+}
+
+/// Non-ASCII / non-printable specimens `Dot` mixes in.
+const HOSTILE_CHARS: &[char] = &[
+    'é', 'ß', 'Ω', '中', 'क', '🚀', '\u{0301}', '\u{00a0}', '\u{2028}', '\t', '\u{7}', '\u{1b}',
+];
+
+impl CharSet {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Dot => {
+                if rng.below(5) == 0 {
+                    HOSTILE_CHARS[rng.below(HOSTILE_CHARS.len())]
+                } else {
+                    // Printable ASCII, space through tilde.
+                    char::from(b' ' + rng.below(95) as u8)
+                }
+            }
+            CharSet::Ranges(ranges) => {
+                let total: usize = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as usize) - (*lo as usize) + 1)
+                    .sum();
+                let mut index = rng.below(total);
+                for (lo, hi) in ranges {
+                    let size = (*hi as usize) - (*lo as usize) + 1;
+                    if index < size {
+                        return char::from_u32(*lo as u32 + index as u32)
+                            .expect("class range crosses a surrogate");
+                    }
+                    index -= size;
+                }
+                unreachable!("index within total")
+            }
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Dot
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|offset| i + offset)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let set = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                let literal = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 2;
+                CharSet::Ranges(vec![(literal, literal)])
+            }
+            literal => {
+                i += 1;
+                CharSet::Ranges(vec![(literal, literal)])
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> CharSet {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            assert!(
+                body[i] <= body[i + 2],
+                "inverted range in pattern {pattern:?}"
+            );
+            ranges.push((body[i], body[i + 2]));
+            i += 3;
+        } else {
+            ranges.push((body[i], body[i]));
+            i += 1;
+        }
+    }
+    CharSet::Ranges(ranges)
+}
+
+/// Cap for the open-ended `*` / `+` quantifiers.
+const UNBOUNDED_CAP: usize = 8;
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|offset| *i + offset)
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let parse = |text: &str| -> usize {
+                text.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier {body:?} in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((min, max)) => (parse(min), parse(max)),
+                None => (parse(&body), parse(&body)),
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn pattern_parses_the_suite_vocabulary() {
+        assert_eq!(
+            parse_pattern(".{0,24}"),
+            vec![Atom {
+                set: CharSet::Dot,
+                min: 0,
+                max: 24
+            }]
+        );
+        assert_eq!(
+            parse_pattern("[A-Za-z ]{1,20}"),
+            vec![Atom {
+                set: CharSet::Ranges(vec![('A', 'Z'), ('a', 'z'), (' ', ' ')]),
+                min: 1,
+                max: 20
+            }]
+        );
+        assert_eq!(
+            parse_pattern("ab?c+"),
+            vec![
+                Atom {
+                    set: CharSet::Ranges(vec![('a', 'a')]),
+                    min: 1,
+                    max: 1
+                },
+                Atom {
+                    set: CharSet::Ranges(vec![('b', 'b')]),
+                    min: 0,
+                    max: 1
+                },
+                Atom {
+                    set: CharSet::Ranges(vec![('c', 'c')]),
+                    min: 1,
+                    max: UNBOUNDED_CAP
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn class_strings_stay_inside_their_class() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let word = "[a-z]{1,16}".generate(&mut rng);
+            assert!((1..=16).contains(&word.len()), "{word:?}");
+            assert!(word.bytes().all(|b| b.is_ascii_lowercase()), "{word:?}");
+        }
+    }
+
+    #[test]
+    fn dot_strings_respect_length_and_exclude_newline() {
+        let mut rng = rng();
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let text = ".{0,24}".generate(&mut rng);
+            assert!(text.chars().count() <= 24, "{text:?}");
+            assert!(!text.contains('\n'), "{text:?}");
+            saw_non_ascii |= !text.is_ascii();
+        }
+        assert!(saw_non_ascii, "Dot never produced hostile characters");
+    }
+
+    #[test]
+    fn ranges_and_tuples_compose_under_prop_map() {
+        let strategy = (any::<u64>(), 3usize..10, 0.3f64..0.9).prop_map(|(s, n, f)| (s, n, f));
+        let mut rng = rng();
+        for _ in 0..200 {
+            let (_, n, f) = strategy.generate(&mut rng);
+            assert!((3..10).contains(&n));
+            assert!((0.3..0.9).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn escaped_literals_generate_themselves() {
+        let mut rng = rng();
+        assert_eq!("\\.\\[x\\]".generate(&mut rng), ".[x]");
+    }
+}

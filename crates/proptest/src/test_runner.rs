@@ -1,0 +1,135 @@
+//! The case loop and its deterministic PRNG.
+
+/// How many cases a property runs. Mirrors the real crate's
+/// `ProptestConfig` surface (the subset in use: `cases` and
+/// [`ProptestConfig::with_cases`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// SplitMix64 — the same zero-dependency generator `qi-runtime` uses,
+/// duplicated here so the shim depends on nothing (the real `proptest`
+/// is a leaf dependency and this stand-in must be too).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..bound` (`0` when the bound is zero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            return 0;
+        }
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runs a property over its configured number of cases.
+///
+/// Every case gets a fresh [`TestRng`] seeded from the test's name and
+/// the case index, so (unlike the real crate) runs are reproducible
+/// with no persisted seed state, and inserting a case into one test
+/// never shifts the stream of another.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner for one property.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Execute `body` once per case.
+    pub fn run<F: FnMut(&mut TestRng)>(&mut self, name: &str, mut body: F) {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::new(case_seed(name, case));
+            body(&mut rng);
+        }
+    }
+}
+
+/// FNV-1a over the test name, mixed with the case index.
+fn case_seed(name: &str, case: u32) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash ^ (u64::from(case) << 32 | u64::from(case))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_executes_exactly_cases_times() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(13));
+        let mut count = 0;
+        runner.run("counting", |_| count += 1);
+        assert_eq!(count, 13);
+    }
+
+    #[test]
+    fn seeds_differ_by_test_and_case() {
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_eq!(case_seed("a", 3), case_seed("a", 3));
+    }
+
+    #[test]
+    fn unit_f64_stays_in_unit_interval() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(9);
+        assert_eq!(rng.below(0), 0);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

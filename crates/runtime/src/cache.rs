@@ -43,6 +43,18 @@ impl CacheStats {
             entries: self.entries + other.entries,
         }
     }
+
+    /// Counter growth since an `earlier` snapshot of the same cache —
+    /// used to attribute a shared (process-wide or cross-domain) cache's
+    /// activity to one pipeline stage. `entries` keeps the current
+    /// reading (it is a gauge, not a monotonic counter).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
 }
 
 /// A concurrent memo-cache striped over `shards` independent locks.

@@ -16,14 +16,19 @@
 //!   worker count clamped to [`pool::max_threads`]) with ordered results
 //!   and per-item panic isolation;
 //! * [`SplitMix64`] — a tiny deterministic PRNG for synthetic-domain
-//!   generation (replaces the external `rand` crate).
+//!   generation (replaces the external `rand` crate);
+//! * [`telemetry`] — a thread-safe registry of named counters, gauges and
+//!   hierarchical span timers with a pointer-check disabled mode and
+//!   stable-JSON emission.
 
 pub mod cache;
 pub mod intern;
 pub mod pool;
 pub mod rng;
+pub mod telemetry;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use intern::{Interner, Symbol};
 pub use pool::{parallel_map, parallel_map_chunked, parallel_try_map, resolve_threads};
 pub use rng::SplitMix64;
+pub use telemetry::{Counter, MetricsSnapshot, SpanData, Telemetry, TelemetryMode};

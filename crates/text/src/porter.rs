@@ -34,6 +34,13 @@ pub fn stem_cache_stats() -> CacheStats {
     stem_cache().stats()
 }
 
+/// Drop all memoized stems and reset the counters. The cache is
+/// process-wide, so determinism tests reset it between runs to make the
+/// second run's hit/miss sequence identical to the first's.
+pub fn stem_cache_reset() {
+    stem_cache().clear();
+}
+
 /// Stem a single lowercase word with the Porter algorithm (memoized).
 ///
 /// ```

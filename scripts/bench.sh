@@ -70,3 +70,32 @@ if [ -n "$reference" ]; then
             }
         }'
 fi
+
+# Telemetry overhead: rerun the cached configuration with a live
+# registry and print the per-stage delta against the run above. The
+# disabled mode must be free (a pointer check per instrument site);
+# the enabled mode is expected to stay within a few percent.
+./target/release/qi-bench --telemetry --out /tmp/bench_telemetry.json "$@"
+awk '
+    function grab(file, out,   line, n, parts, i, name, ms) {
+        getline line < file
+        close(file)
+        n = split(line, parts, /"name":"/)
+        for (i = 2; i <= n; i++) {
+            name = parts[i]; sub(/".*/, "", name)
+            ms = parts[i]; sub(/.*"median_ms":/, "", ms); sub(/[,}].*/, "", ms)
+            out[name] = ms
+        }
+    }
+    BEGIN {
+        grab("BENCH_core.json", off)
+        grab("/tmp/bench_telemetry.json", on)
+        printf "%-20s %14s %13s %8s\n", "stage", "telemetry off", "telemetry on", "delta"
+        n = split("cluster label evaluate", order, " ")
+        for (i = 1; i <= n; i++) {
+            s = order[i]
+            if (off[s] + 0 > 0)
+                printf "%-20s %11.3f ms %10.3f ms %+7.1f%%\n", \
+                    s, off[s], on[s], (on[s] - off[s]) / off[s] * 100
+        }
+    }'

@@ -1,10 +1,63 @@
 #!/usr/bin/env sh
 # Tier-1 verification: offline release build + full test suite, plus
-# lint gates (clippy warnings are errors, formatting must be canonical).
+# lint gates (clippy warnings are errors, formatting must be canonical),
+# the property suite against the in-repo proptest shim (including the
+# committed regression corpus), and a telemetry-overhead guard.
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
-cargo clippy --all-targets -- -D warnings
+# The property suite and its regression-corpus replay run against
+# crates/proptest (the offline shim), so the committed
+# tests/properties.proptest-regressions cases are exercised on every
+# check, not only on machines that can fetch the real crate.
+cargo test -q --features proptest --test properties
+cargo clippy --all-targets --all-features -- -D warnings
 cargo fmt --check
+
+# Telemetry-overhead guard: the disabled-mode pipeline must not pay for
+# the instrumentation it isn't using. Run the benchmark with telemetry
+# off and on, print the deltas, and fail when the off-run's cluster
+# median regresses more than 5% against the committed BENCH_core.json
+# reference (absolute floor of 0.5 ms filters single-core jitter on
+# sub-millisecond stages).
+if git show HEAD:BENCH_core.json >/tmp/check_bench_ref.json 2>/dev/null; then
+    cargo build --release -p qi-bench
+    ./target/release/qi-bench --iters 3 --warmup 1 --out /tmp/check_bench_off.json
+    ./target/release/qi-bench --iters 3 --warmup 1 --telemetry \
+        --out /tmp/check_bench_on.json
+    awk '
+        function grab(file, out,   line, n, parts, i, name, ms) {
+            getline line < file
+            close(file)
+            n = split(line, parts, /"name":"/)
+            for (i = 2; i <= n; i++) {
+                name = parts[i]; sub(/".*/, "", name)
+                ms = parts[i]; sub(/.*"median_ms":/, "", ms); sub(/[,}].*/, "", ms)
+                out[name] = ms
+            }
+        }
+        BEGIN {
+            grab("/tmp/check_bench_off.json", off)
+            grab("/tmp/check_bench_on.json", on)
+            grab("/tmp/check_bench_ref.json", ref)
+            printf "%-10s %14s %13s %14s\n", \
+                "stage", "telemetry off", "telemetry on", "committed ref"
+            n = split("cluster label evaluate", order, " ")
+            for (i = 1; i <= n; i++) {
+                s = order[i]
+                printf "%-10s %11.3f ms %10.3f ms %11.3f ms\n", \
+                    s, off[s], on[s], ref[s]
+            }
+            drift = off["cluster"] - ref["cluster"]
+            if (ref["cluster"] + 0 > 0 && drift > ref["cluster"] * 0.05 && drift > 0.5) {
+                printf "FAIL: telemetry-off cluster median %.3f ms exceeds committed " \
+                    "reference %.3f ms by more than 5%%\n", off["cluster"], ref["cluster"]
+                exit 1
+            }
+            printf "telemetry-off cluster median within 5%% of committed reference\n"
+        }'
+else
+    echo "no committed BENCH_core.json; skipping telemetry-overhead guard"
+fi

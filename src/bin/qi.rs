@@ -59,9 +59,38 @@ usage:
       --explain                   print label provenance
       --html                      print the integrated form as HTML
       --most-general              use the most-general baseline policy
+      --metrics <file>            write a JSON metrics document
+      --deterministic-timers      virtual span clock (byte-stable output)
   qi corpus export <dir>          dump the 150-interface corpus
-  qi eval <artifact>              table6 | figure10 | matcher | ablation-ladder
+  qi eval <artifact> [opts]       table6 | table6-json | figure10 |
+                                  matcher | ablation-ladder
+      --metrics <file>            write corpus-run metrics as JSON
+      --deterministic-timers      virtual span clock (byte-stable output)
+      --threads <n>               corpus worker bound (0 = hardware)
 ";
+
+/// Resolve the `--metrics` / `--deterministic-timers` pair into a
+/// telemetry mode: no path means off, a path means wall-clock spans
+/// unless the virtual clock was requested.
+fn telemetry_mode(metrics_path: Option<&str>, deterministic: bool) -> qi_runtime::TelemetryMode {
+    match (metrics_path, deterministic) {
+        (None, _) => qi_runtime::TelemetryMode::Off,
+        (Some(_), false) => qi_runtime::TelemetryMode::Wall,
+        (Some(_), true) => qi_runtime::TelemetryMode::Deterministic,
+    }
+}
+
+fn write_metrics(path: &str, snapshot: &qi_runtime::MetricsSnapshot) -> Result<(), String> {
+    std::fs::write(path, format!("{}\n", snapshot.to_json()))
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "wrote {} counters, {} gauges, {} spans to {path}",
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.spans.len()
+    );
+    Ok(())
+}
 
 fn cmd_stem(words: &[String]) -> Result<(), String> {
     if words.is_empty() {
@@ -93,6 +122,8 @@ fn cmd_label(args: &[String]) -> Result<(), String> {
     let mut files: Vec<&str> = Vec::new();
     let mut lexicon_path: Option<&str> = None;
     let mut clusters_path: Option<&str> = None;
+    let mut metrics_path: Option<&str> = None;
+    let mut deterministic = false;
     let mut explain = false;
     let mut html = false;
     let mut policy = NamingPolicy::default();
@@ -113,6 +144,14 @@ fn cmd_label(args: &[String]) -> Result<(), String> {
                         .as_str(),
                 )
             }
+            "--metrics" => {
+                metrics_path = Some(
+                    iter.next()
+                        .ok_or("--metrics needs a file argument")?
+                        .as_str(),
+                )
+            }
+            "--deterministic-timers" => deterministic = true,
             "--explain" => explain = true,
             "--html" => html = true,
             "--most-general" => policy = NamingPolicy::most_general_baseline(),
@@ -136,20 +175,32 @@ fn cmd_label(args: &[String]) -> Result<(), String> {
         let tree = qi_schema::text_format::parse(&text).map_err(|e| format!("{file}: {e}"))?;
         schemas.push(tree);
     }
+    let telemetry = telemetry_mode(metrics_path, deterministic).build();
     let mapping = match clusters_path {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             qi_mapping::clusters_format::parse(&text, &schemas)
                 .map_err(|e| format!("{path}: {e}"))?
         }
-        None => qi_mapping::matcher::match_by_labels(&schemas, &lexicon),
+        None => {
+            let span = telemetry.span("pipeline.cluster");
+            let (mapping, stats) = qi_mapping::match_by_labels_stats(
+                &schemas,
+                &lexicon,
+                qi_mapping::MatcherConfig::default(),
+            );
+            drop(span);
+            stats.record(&telemetry);
+            mapping
+        }
     };
     eprintln!(
         "matched {} fields into {} clusters",
         schemas.iter().map(|s| s.leaves().count()).sum::<usize>(),
         mapping.len()
     );
-    let labeled = qi::integrate_and_label(schemas, mapping, &lexicon, policy);
+    let labeled =
+        qi::integrate_and_label_with(schemas, mapping, &lexicon, policy, telemetry.clone());
     if html {
         print!("{}", qi_schema::html::render_form(&labeled.tree));
     } else {
@@ -161,6 +212,9 @@ fn cmd_label(args: &[String]) -> Result<(), String> {
     if explain {
         println!();
         print!("{}", qi_core::explain::render(&labeled));
+    }
+    if let Some(path) = metrics_path {
+        write_metrics(path, &telemetry.snapshot())?;
     }
     Ok(())
 }
@@ -199,39 +253,80 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), String> {
-    let [artifact] = args else {
-        return Err(
-            "usage: qi eval <table6|table6-json|figure10|matcher|ablation-ladder>".to_string(),
-        );
+    let usage =
+        "usage: qi eval <table6|table6-json|figure10|matcher|ablation-ladder> [--metrics <file>] \
+         [--deterministic-timers] [--threads <n>]";
+    let mut artifact: Option<&str> = None;
+    let mut metrics_path: Option<&str> = None;
+    let mut deterministic = false;
+    let mut threads = 0usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--metrics" => {
+                metrics_path = Some(
+                    iter.next()
+                        .ok_or("--metrics needs a file argument")?
+                        .as_str(),
+                )
+            }
+            "--deterministic-timers" => deterministic = true,
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            name if artifact.is_none() => artifact = Some(name),
+            extra => return Err(format!("unexpected argument {extra:?}; {usage}")),
+        }
+    }
+    let Some(artifact) = artifact else {
+        return Err(usage.to_string());
     };
     let lexicon = Lexicon::builtin();
-    match artifact.as_str() {
+    let config = qi_eval::RunConfig {
+        threads,
+        telemetry: telemetry_mode(metrics_path, deterministic),
+        ..qi_eval::RunConfig::default()
+    };
+    let run_corpus = || {
+        qi_eval::evaluate_corpus_with(
+            &qi_datasets::all_domains(),
+            &lexicon,
+            NamingPolicy::default(),
+            qi_eval::Panel::default(),
+            config,
+        )
+    };
+    // The corpus ships ground-truth clusters, so evaluation never runs
+    // the matcher; a metrics run adds a cluster probe per domain so the
+    // document also covers postings/candidate-pair statistics.
+    let emit = |corpus_metrics: &qi_runtime::MetricsSnapshot| -> Result<(), String> {
+        let Some(path) = metrics_path else {
+            return Ok(());
+        };
+        let mut merged = corpus_metrics.clone();
+        merged.merge(&cluster_probe(&lexicon, config.telemetry));
+        write_metrics(path, &merged)
+    };
+    match artifact {
         "table6" => {
-            let result = qi_eval::evaluate_corpus(
-                &qi_datasets::all_domains(),
-                &lexicon,
-                NamingPolicy::default(),
-                qi_eval::Panel::default(),
-            );
+            let result = run_corpus();
             print!("{}", qi_eval::table::render_table6(&result.domains));
+            emit(&result.metrics)?;
         }
         "figure10" => {
-            let result = qi_eval::evaluate_corpus(
-                &qi_datasets::all_domains(),
-                &lexicon,
-                NamingPolicy::default(),
-                qi_eval::Panel::default(),
-            );
+            let result = run_corpus();
             print!("{}", qi_eval::table::render_figure10(&result.li_usage));
+            emit(&result.metrics)?;
         }
         "table6-json" => {
-            let result = qi_eval::evaluate_corpus(
-                &qi_datasets::all_domains(),
-                &lexicon,
-                NamingPolicy::default(),
-                qi_eval::Panel::default(),
-            );
+            let result = run_corpus();
             println!("{}", qi_eval::json::corpus_to_json(&result));
+            emit(&result.metrics)?;
         }
         "matcher" => {
             let reports: Vec<_> = qi_datasets::all_domains()
@@ -239,6 +334,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
                 .map(|d| qi_eval::matcher_eval::evaluate_matcher(d, &lexicon))
                 .collect();
             print!("{}", qi_eval::matcher_eval::render(&reports));
+            emit(&qi_runtime::MetricsSnapshot::default())?;
         }
         "ablation-ladder" => {
             let domain = qi_datasets::generate_ladder(3, 3);
@@ -248,8 +344,34 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
                     point.cap, point.consistent_groups, point.total_groups
                 );
             }
+            emit(&qi_runtime::MetricsSnapshot::default())?;
         }
         other => return Err(format!("unknown artifact {other:?}")),
     }
     Ok(())
+}
+
+/// Re-derive every domain's clusters with the indexed matcher purely to
+/// collect matcher telemetry (postings bucket shape, candidate pair
+/// volumes). The probe never feeds the evaluation — ground truth does —
+/// so it runs only when a metrics document was requested.
+fn cluster_probe(
+    lexicon: &Lexicon,
+    mode: qi_runtime::TelemetryMode,
+) -> qi_runtime::MetricsSnapshot {
+    let telemetry = mode.build();
+    if !telemetry.is_enabled() {
+        return qi_runtime::MetricsSnapshot::default();
+    }
+    for domain in qi_datasets::all_domains() {
+        let span = telemetry.span("eval.cluster");
+        let (_, stats) = qi_mapping::match_by_labels_stats(
+            &domain.schemas,
+            lexicon,
+            qi_mapping::MatcherConfig::default(),
+        );
+        drop(span);
+        stats.record(&telemetry);
+    }
+    telemetry.snapshot()
 }

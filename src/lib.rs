@@ -55,13 +55,36 @@ pub use qi_schema::SchemaTree;
 /// and assign meaningful labels to every node of the integrated interface
 /// (§3–§6).
 pub fn integrate_and_label(
+    schemas: Vec<SchemaTree>,
+    mapping: Mapping,
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+) -> LabeledInterface {
+    integrate_and_label_with(
+        schemas,
+        mapping,
+        lexicon,
+        policy,
+        qi_runtime::Telemetry::off(),
+    )
+}
+
+/// [`integrate_and_label`] recording per-phase spans and counters into a
+/// telemetry registry (`pipeline.expand`, `pipeline.merge`, plus the
+/// labeler's `label.*` spans).
+pub fn integrate_and_label_with(
     mut schemas: Vec<SchemaTree>,
     mut mapping: Mapping,
     lexicon: &Lexicon,
     policy: NamingPolicy,
+    telemetry: qi_runtime::Telemetry,
 ) -> LabeledInterface {
+    let span = telemetry.span("pipeline.expand");
     expand_one_to_many(&mut schemas, &mut mapping);
+    drop(span);
+    let span = telemetry.span("pipeline.merge");
     let integrated = qi_merge::merge(&schemas, &mapping);
-    let labeler = Labeler::new(lexicon, policy);
+    drop(span);
+    let labeler = Labeler::new(lexicon, policy).with_telemetry(telemetry);
     labeler.label(&schemas, &mapping, &integrated)
 }

@@ -21,7 +21,7 @@
 
 use qi_datasets::replicate_schemas;
 use qi_lexicon::Lexicon;
-use qi_mapping::matcher::{match_by_labels_with, MatcherConfig};
+use qi_mapping::matcher::{match_by_labels_stats, match_by_labels_with, MatcherConfig};
 use qi_mapping::Mapping;
 use qi_runtime::SplitMix64;
 use qi_schema::spec::{leaf, unlabeled_leaf, NodeSpec};
@@ -192,6 +192,128 @@ fn clustering_invariant_under_schema_order_on_collision_free_corpora() {
             );
             assert_eq!(shuffled, reference, "seed={seed}");
         }
+    }
+}
+
+/// The telemetry cross-engine invariant: both engines report identical
+/// `pairs_accepted` and `clusters_merged` on arbitrary corpora. The
+/// indexed candidate set is a superset of the matching pairs and both
+/// engines merge accepted pairs in ascending `(i, j)` order with the
+/// same clash predicate, so the *outcome* counters must agree even
+/// though `pairs_generated` / `pairs_scored` legitimately differ (that
+/// difference is the whole point of candidate generation).
+#[test]
+fn engines_report_identical_outcome_counters() {
+    let lexicon = Lexicon::builtin();
+    for seed in 300..316u64 {
+        let mut rng = SplitMix64::new(seed);
+        let schemas = random_corpus(&mut rng);
+        for fuzzy in [false, true] {
+            let config = MatcherConfig {
+                fuzzy,
+                ..MatcherConfig::default()
+            };
+            let (indexed, indexed_stats) = match_by_labels_stats(&schemas, &lexicon, config);
+            let (naive, naive_stats) = match_by_labels_stats(
+                &schemas,
+                &lexicon,
+                MatcherConfig {
+                    naive: true,
+                    ..config
+                },
+            );
+            assert_eq!(indexed, naive, "seed={seed} fuzzy={fuzzy}");
+            assert_eq!(
+                indexed_stats.pairs_accepted, naive_stats.pairs_accepted,
+                "seed={seed} fuzzy={fuzzy}: {indexed_stats:?} vs {naive_stats:?}"
+            );
+            assert_eq!(
+                indexed_stats.clusters_merged, naive_stats.clusters_merged,
+                "seed={seed} fuzzy={fuzzy}: {indexed_stats:?} vs {naive_stats:?}"
+            );
+            // Sanity on both engines' internal ordering of volumes.
+            for stats in [&indexed_stats, &naive_stats] {
+                assert!(stats.pairs_scored >= stats.pairs_accepted, "{stats:?}");
+                assert!(stats.pairs_accepted >= stats.clusters_merged, "{stats:?}");
+                assert_eq!(
+                    stats.fields_total,
+                    stats.fields_labeled + unlabeled(&schemas)
+                );
+            }
+            // The naive reference scores every labeled pair; the indexed
+            // engine must never score more than that.
+            assert!(
+                indexed_stats.pairs_scored <= naive_stats.pairs_scored,
+                "seed={seed} fuzzy={fuzzy}: {indexed_stats:?} vs {naive_stats:?}"
+            );
+        }
+    }
+}
+
+fn unlabeled(schemas: &[qi_schema::SchemaTree]) -> u64 {
+    schemas
+        .iter()
+        .flat_map(|s| s.leaves())
+        .filter(|l| l.label.is_none())
+        .count() as u64
+}
+
+/// Outcome-counter agreement exactly on the fuzzy decision boundary:
+/// 10-character labels two edits apart have normalized Levenshtein
+/// similarity exactly 0.8, so with `min_similarity: 0.8` every accept /
+/// reject sits on the `>=` threshold — the regime where the indexed
+/// engine's length-blocked fuzzy tier is most likely to diverge from
+/// the naive double loop if its blocking were unsound.
+#[test]
+fn engines_agree_on_fuzzy_boundary_corpora() {
+    // Pairwise distances within this pool: 1 edit (0.9), 2 edits (0.8,
+    // on the boundary) and 3+ edits (below it).
+    let pool: &[&str] = &[
+        "departure1",
+        "departure2",
+        "departvre1",
+        "abcdefghij",
+        "abcdefghxy",
+        "abcdefgxyz",
+        "abcdwfghij",
+        "zbcdefghij",
+    ];
+    let lexicon = Lexicon::builtin();
+    let config = MatcherConfig {
+        fuzzy: true,
+        min_similarity: 0.8,
+        ..MatcherConfig::default()
+    };
+    for seed in 400..412u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n_schemas = 3 + rng.gen_range(5);
+        let schemas: Vec<SchemaTree> = (0..n_schemas)
+            .map(|s| {
+                let n_fields = 2 + rng.gen_range(6);
+                let specs: Vec<NodeSpec> = (0..n_fields)
+                    .map(|_| leaf(pool[rng.gen_range(pool.len())]))
+                    .collect();
+                SchemaTree::build(&format!("schema-{s}"), specs).unwrap()
+            })
+            .collect();
+        let (indexed, indexed_stats) = match_by_labels_stats(&schemas, &lexicon, config);
+        let (naive, naive_stats) = match_by_labels_stats(
+            &schemas,
+            &lexicon,
+            MatcherConfig {
+                naive: true,
+                ..config
+            },
+        );
+        assert_eq!(indexed, naive, "seed={seed}");
+        assert_eq!(
+            indexed_stats.pairs_accepted, naive_stats.pairs_accepted,
+            "seed={seed}: {indexed_stats:?} vs {naive_stats:?}"
+        );
+        assert_eq!(
+            indexed_stats.clusters_merged, naive_stats.clusters_merged,
+            "seed={seed}: {indexed_stats:?} vs {naive_stats:?}"
+        );
     }
 }
 

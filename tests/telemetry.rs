@@ -1,0 +1,186 @@
+//! Integration tests for the pipeline telemetry subsystem.
+//!
+//! Covers the ISSUE 3 acceptance properties end to end:
+//!
+//! 1. **Determinism** — a full seven-domain corpus run with `threads: 1`
+//!    on the deterministic virtual clock produces *byte-identical*
+//!    metrics JSON across two runs.
+//! 2. **Cross-invariants** — for every cache, `hits + misses ==
+//!    lookups`; the matcher scores at least as many candidates as it
+//!    merges clusters; every span's child time fits inside its parent's.
+//! 3. **Disabled mode** — the default `TelemetryMode::Off` run attaches
+//!    no metrics anywhere and serializes to the empty document.
+//! 4. **Schema golden** — the key set (names + types) of the emitted
+//!    document matches `tests/golden/metrics_schema.txt`, so field
+//!    renames can't slip through unnoticed.
+
+use std::sync::Mutex;
+
+use qi_core::NamingPolicy;
+use qi_eval::{evaluate_corpus_with, Panel, RunConfig};
+use qi_lexicon::Lexicon;
+use qi_mapping::{match_by_labels_stats, MatcherConfig};
+use qi_runtime::{MetricsSnapshot, TelemetryMode};
+
+/// The Porter stem cache is process-global and these tests both reset
+/// it and assert on deltas attributed from it, so they must not overlap
+/// in time. (Integration tests in one binary share the process.)
+static STEM_CACHE_GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    STEM_CACHE_GUARD
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One seven-domain metrics document, built exactly like the CLI's
+/// `qi eval --metrics` emission: the corpus evaluation's merged
+/// snapshot plus a per-domain clustering probe (the evaluation itself
+/// runs from ground-truth clusters, so the matcher is exercised
+/// separately).
+fn seven_domain_document(mode: TelemetryMode) -> MetricsSnapshot {
+    qi_text::porter::stem_cache_reset();
+    let lexicon = Lexicon::builtin();
+    let domains = qi_datasets::all_domains();
+    let result = evaluate_corpus_with(
+        &domains,
+        &lexicon,
+        NamingPolicy::default(),
+        Panel::default(),
+        RunConfig {
+            threads: 1,
+            telemetry: mode,
+            ..RunConfig::default()
+        },
+    );
+    assert!(result.failed.is_empty(), "{:?}", result.failed);
+    assert_eq!(result.domains.len(), 7);
+    let probe = mode.build();
+    for domain in &domains {
+        let span = probe.span("eval.cluster");
+        let (_, stats) = match_by_labels_stats(&domain.schemas, &lexicon, MatcherConfig::default());
+        drop(span);
+        stats.record(&probe);
+    }
+    let mut merged = result.metrics.clone();
+    merged.merge(&probe.snapshot());
+    merged
+}
+
+#[test]
+fn seven_domain_metrics_json_is_byte_identical_across_runs() {
+    let _guard = lock();
+    let first = seven_domain_document(TelemetryMode::Deterministic).to_json();
+    let second = seven_domain_document(TelemetryMode::Deterministic).to_json();
+    assert!(first.len() > 2, "document suspiciously small: {first}");
+    assert_eq!(
+        first, second,
+        "deterministic runs must serialize identically"
+    );
+}
+
+#[test]
+fn counters_satisfy_cross_invariants() {
+    let _guard = lock();
+    let doc = seven_domain_document(TelemetryMode::Deterministic);
+
+    // Every cache reports hits + misses == lookups.
+    let mut caches = 0usize;
+    for (name, lookups) in &doc.counters {
+        let Some(cache) = name
+            .strip_prefix("cache.")
+            .and_then(|rest| rest.strip_suffix(".lookups"))
+        else {
+            continue;
+        };
+        caches += 1;
+        let hits = doc.counters[&format!("cache.{cache}.hits")];
+        let misses = doc.counters[&format!("cache.{cache}.misses")];
+        assert_eq!(
+            hits + misses,
+            *lookups,
+            "cache {cache}: {hits} + {misses} != {lookups}"
+        );
+    }
+    // All six instrumented caches are present: three lexicon memos, the
+    // stemmer, and the two per-run naming-context caches.
+    assert_eq!(caches, 6, "cache names: {:?}", doc.counters.keys());
+
+    // The matcher scores at least as many candidates as it accepts, and
+    // accepts at least as many pairs as it merges clusters (a merge
+    // consumes an accepted pair; redundant pairs don't merge anything).
+    let counter = |name: &str| {
+        *doc.counters
+            .get(name)
+            .unwrap_or_else(|| panic!("missing counter {name}: {:?}", doc.counters.keys()))
+    };
+    let scored = counter("matcher.pairs_scored");
+    let accepted = counter("matcher.pairs_accepted");
+    let merged = counter("matcher.clusters_merged");
+    assert!(scored >= accepted, "{scored} scored < {accepted} accepted");
+    assert!(accepted >= merged, "{accepted} accepted < {merged} merged");
+    assert!(merged > 0, "seven domains must merge some clusters");
+    assert!(counter("matcher.pairs_generated") >= scored);
+    assert!(counter("matcher.fields_total") >= counter("matcher.fields_labeled"));
+
+    // Spans nest: every child's accumulated time fits inside its
+    // parent's. (The deterministic clock makes this exact, not racy.)
+    let mut nested = 0usize;
+    for (name, data) in &doc.spans {
+        if let Some(parent) = doc.parent_span(name) {
+            nested += 1;
+            let parent_data = doc.spans[parent];
+            assert!(
+                data.total_ns <= parent_data.total_ns,
+                "span {name} ({data:?}) exceeds parent {parent} ({parent_data:?})"
+            );
+        }
+    }
+    assert!(nested >= 3, "span names: {:?}", doc.spans.keys());
+
+    // The labeler phase counters agree with the span structure: seven
+    // domains, each entering every phase once.
+    assert_eq!(doc.counters["eval.domains"], 7);
+    assert_eq!(doc.spans["eval.domain"].count, 7);
+    assert_eq!(doc.spans["label"].count, 7);
+    assert_eq!(doc.spans["eval.cluster"].count, 7);
+}
+
+#[test]
+fn disabled_mode_emits_nothing() {
+    let _guard = lock();
+    let lexicon = Lexicon::builtin();
+    let domains = vec![qi_datasets::auto::domain(), qi_datasets::job::domain()];
+    let result = evaluate_corpus_with(
+        &domains,
+        &lexicon,
+        NamingPolicy::default(),
+        Panel::default(),
+        RunConfig {
+            threads: 1,
+            ..RunConfig::default()
+        },
+    );
+    assert!(result.failed.is_empty());
+    assert!(result.metrics.is_empty(), "{:?}", result.metrics);
+    for row in &result.domains {
+        assert!(row.metrics.is_empty(), "{}: {:?}", row.name, row.metrics);
+    }
+    assert_eq!(
+        result.metrics.to_json(),
+        "{\"counters\":{},\"gauges\":{},\"spans\":{}}"
+    );
+}
+
+#[test]
+fn metrics_schema_matches_golden() {
+    let _guard = lock();
+    let golden = include_str!("golden/metrics_schema.txt");
+    let schema = seven_domain_document(TelemetryMode::Deterministic).schema();
+    assert_eq!(
+        schema, golden,
+        "metrics document schema drifted from tests/golden/metrics_schema.txt; \
+         if the change is intentional, update the golden file with the \
+         `schema` output printed above"
+    );
+}
