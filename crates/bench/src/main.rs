@@ -33,7 +33,7 @@ use qi_eval::metrics::{fields_accuracy, integrated_shape, internal_accuracy};
 use qi_eval::Panel;
 use qi_lexicon::Lexicon;
 use qi_mapping::matcher::{match_by_labels_with, MatcherConfig};
-use qi_runtime::{parallel_map, resolve_threads, CacheStats};
+use qi_runtime::{json, parallel_map, resolve_threads, CacheStats};
 use qi_text::LabelText;
 use std::time::Instant;
 
@@ -130,32 +130,32 @@ fn median(runs: &[f64]) -> f64 {
     }
 }
 
+/// Benchmark documents carry three fraction digits.
+const DECIMALS: usize = 3;
+
 fn number(value: f64) -> String {
-    if value.is_finite() {
-        format!("{value:.3}")
-    } else {
-        "null".to_string()
-    }
+    json::number(value, DECIMALS)
 }
 
 fn stage_json(name: &str, runs: &[f64]) -> String {
-    let list: Vec<String> = runs.iter().map(|&r| number(r)).collect();
-    format!(
-        "{{\"name\":\"{}\",\"median_ms\":{},\"runs_ms\":[{}]}}",
-        name,
-        number(median(runs)),
-        list.join(",")
-    )
+    let mut list = json::Arr::new();
+    for &run in runs {
+        list.raw(number(run));
+    }
+    json::Obj::new()
+        .str("name", name)
+        .f64("median_ms", median(runs), DECIMALS)
+        .raw("runs_ms", list.finish())
+        .finish()
 }
 
 fn cache_json(stats: &CacheStats) -> String {
-    format!(
-        "{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{}}}",
-        stats.hits,
-        stats.misses,
-        stats.entries,
-        number(stats.hit_rate())
-    )
+    json::Obj::new()
+        .u64("hits", stats.hits)
+        .u64("misses", stats.misses)
+        .u64("entries", stats.entries as u64)
+        .f64("hit_rate", stats.hit_rate(), DECIMALS)
+        .finish()
 }
 
 fn main() {

@@ -1,0 +1,248 @@
+//! `qi-serve-bench` — snapshot cold-start vs full rebuild, and serve
+//! throughput over a real socket.
+//!
+//! Measures, on the builtin seven-domain corpus:
+//!
+//! * `full_rebuild` — running the whole pipeline (cluster → merge →
+//!   label, all domains) as a server would on a cold start without a
+//!   snapshot;
+//! * `snapshot_load` — decoding a snapshot file and building the store
+//!   from it (the snapshot cold-start path);
+//! * `serve` — end-to-end `GET` throughput against a running server,
+//!   several concurrent std-only clients.
+//!
+//! Emits a single-line JSON document (default `BENCH_serve.json`)
+//! consumed by `scripts/bench.sh`.
+//!
+//! ```text
+//! qi-serve-bench [--iters N] [--requests N] [--clients N] [--out FILE]
+//! ```
+
+use qi_core::NamingPolicy;
+use qi_lexicon::Lexicon;
+use qi_runtime::json::{Arr, Obj};
+use qi_runtime::Telemetry;
+use qi_serve::{Server, ServerConfig, Snapshot, Store};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Timing medians carry three fraction digits, rates carry one.
+const DECIMALS: usize = 3;
+
+struct Config {
+    iters: usize,
+    requests: usize,
+    clients: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut config = Config {
+        iters: 5,
+        requests: 200,
+        clients: 4,
+        out: Some("BENCH_serve.json".to_string()),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut number = |name: &str| -> Result<usize, String> {
+            iter.next()
+                .ok_or(format!("{name} needs a number"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--iters" => config.iters = number("--iters")?.max(1),
+            "--requests" => config.requests = number("--requests")?.max(1),
+            "--clients" => config.clients = number("--clients")?.max(1),
+            "--out" => {
+                config.out = Some(
+                    iter.next()
+                        .ok_or("--out needs a file argument")?
+                        .to_string(),
+                )
+            }
+            "--stdout" => config.out = None,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(config)
+}
+
+fn median(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(|a, b| a.total_cmp(b));
+    runs[runs.len() / 2]
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn runs_json(runs: &[f64]) -> String {
+    let mut arr = Arr::new();
+    for &ms in runs {
+        arr.raw(qi_runtime::json::number(ms, DECIMALS));
+    }
+    arr.finish()
+}
+
+/// One raw `GET` against the server; returns true on a 200.
+fn get_ok(addr: std::net::SocketAddr, path: &str) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let request = format!("GET {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n");
+    if stream.write_all(request.as_bytes()).is_err() {
+        return false;
+    }
+    let mut response = Vec::new();
+    if stream.read_to_end(&mut response).is_err() {
+        return false;
+    }
+    response.starts_with(b"HTTP/1.1 200")
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let lexicon = Lexicon::builtin();
+    let policy = NamingPolicy::default();
+    let telemetry = Telemetry::off();
+
+    // Cold start without a snapshot: the full pipeline over all domains.
+    let mut rebuild_runs = Vec::new();
+    let mut artifacts = None;
+    for _ in 0..config.iters {
+        let (built, ms) = timed(|| qi_serve::build_corpus_artifacts(&lexicon, policy, &telemetry));
+        rebuild_runs.push(ms);
+        artifacts = Some(built);
+    }
+    let artifacts = artifacts.expect("at least one rebuild iteration");
+    let domain_count = artifacts.len();
+
+    // Snapshot the artifacts once, then time the snapshot cold start.
+    let snapshot = Snapshot {
+        policy,
+        domains: artifacts,
+    };
+    let (bytes, encode_ms) = timed(|| snapshot.to_bytes());
+    let snapshot_bytes = bytes.len();
+    let path = std::env::temp_dir().join(format!("qi-serve-bench-{}.snap", std::process::id()));
+    std::fs::write(&path, &bytes).expect("writing benchmark snapshot");
+    let mut load_runs = Vec::new();
+    let mut store = None;
+    for _ in 0..config.iters {
+        // The lexicon is rebuilt outside the timed section: both cold
+        // starts need one, so it cancels out of the comparison.
+        let iteration_lexicon = Lexicon::builtin();
+        let iteration_telemetry = telemetry.clone();
+        let path = &path;
+        let (loaded, ms) = timed(move || {
+            let snapshot = qi_serve::load_snapshot(path).expect("loading benchmark snapshot");
+            Store::from_snapshot(snapshot, iteration_lexicon, iteration_telemetry)
+        });
+        load_runs.push(ms);
+        store = Some(loaded);
+    }
+    let _ = std::fs::remove_file(&path);
+    let store = Arc::new(store.expect("at least one load iteration"));
+
+    // Serve throughput: concurrent clients hammering read endpoints.
+    let server = Server::with_config(
+        Arc::clone(&store),
+        telemetry.clone(),
+        ServerConfig::default(),
+    );
+    let mut handle = server.start().expect("starting benchmark server");
+    let addr = handle.addr();
+    let paths = [
+        "/healthz",
+        "/domains",
+        "/domains/auto/labels",
+        "/domains/auto/tree",
+    ];
+    assert!(get_ok(addr, "/healthz"), "server did not come up");
+    let per_client = config.requests.div_ceil(config.clients);
+    let (ok_count, serve_ms) = timed(|| {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..config.clients)
+                .map(|c| {
+                    let paths = &paths;
+                    scope.spawn(move || {
+                        (0..per_client)
+                            .filter(|i| get_ok(addr, paths[(c + i) % paths.len()]))
+                            .count()
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().unwrap())
+                .sum::<usize>()
+        })
+    });
+    handle.shutdown();
+    let sent = per_client * config.clients;
+
+    let rebuild_median = median(rebuild_runs.clone());
+    let load_median = median(load_runs.clone());
+    let speedup = rebuild_median / load_median.max(1e-9);
+    let rps = ok_count as f64 / (serve_ms / 1e3).max(1e-9);
+
+    let mut doc = Obj::new();
+    doc.raw(
+        "config",
+        Obj::new()
+            .u64("iters", config.iters as u64)
+            .u64("requests", sent as u64)
+            .u64("clients", config.clients as u64)
+            .u64("domains", domain_count as u64)
+            .finish(),
+    );
+    doc.raw(
+        "snapshot",
+        Obj::new()
+            .u64("bytes", snapshot_bytes as u64)
+            .f64("encode_ms", encode_ms, DECIMALS)
+            .f64("rebuild_median_ms", rebuild_median, DECIMALS)
+            .raw("rebuild_runs_ms", runs_json(&rebuild_runs))
+            .f64("load_median_ms", load_median, DECIMALS)
+            .raw("load_runs_ms", runs_json(&load_runs))
+            .f64("speedup", speedup, 1)
+            .finish(),
+    );
+    doc.raw(
+        "serve",
+        Obj::new()
+            .u64("requests_ok", ok_count as u64)
+            .f64("elapsed_ms", serve_ms, DECIMALS)
+            .f64("requests_per_sec", rps, 1)
+            .finish(),
+    );
+    let json = doc.finish();
+
+    match &config.out {
+        Some(file) => {
+            std::fs::write(file, format!("{json}\n")).expect("writing benchmark output");
+            eprintln!(
+                "cold start: rebuild {rebuild_median:.1} ms, snapshot load {load_median:.1} ms \
+                 ({speedup:.1}x); serve {ok_count}/{sent} ok at {rps:.0} req/s -> {file}"
+            );
+        }
+        None => println!("{json}"),
+    }
+    if ok_count != sent {
+        eprintln!("warning: {} requests failed", sent - ok_count);
+        std::process::exit(1);
+    }
+}

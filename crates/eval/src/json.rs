@@ -1,86 +1,72 @@
-//! Minimal JSON rendering of evaluation results (hand-rolled writer —
-//! the workspace is dependency-free, and the output schema is small and
-//! fixed).
+//! JSON rendering of evaluation results on the shared
+//! [`qi_runtime::json`] writer (the workspace is dependency-free, and
+//! the output schema is small and fixed).
 
 use crate::metrics::DomainEvaluation;
 use crate::runner::CorpusEvaluation;
 use qi_core::InferenceRule;
+use qi_runtime::json::{Arr, Obj};
 
-/// Escape a string for a JSON string literal.
-fn escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len() + 2);
-    for ch in text.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn number(value: f64) -> String {
-    if value.is_finite() {
-        format!("{value:.6}")
-    } else {
-        "null".to_string()
-    }
-}
+/// Evaluation documents carry six fraction digits.
+const DECIMALS: usize = 6;
 
 /// One Table 6 row as a JSON object.
 pub fn domain_to_json(row: &DomainEvaluation) -> String {
-    format!(
-        concat!(
-            "{{\"domain\":\"{}\",",
-            "\"source\":{{\"interfaces\":{},\"avg_leaves\":{},\"avg_internal_nodes\":{},",
-            "\"avg_depth\":{},\"avg_labeling_quality\":{}}},",
-            "\"integrated\":{{\"leaves\":{},\"groups\":{},\"isolated\":{},\"root_leaves\":{},",
-            "\"internal_nodes\":{},\"depth\":{}}},",
-            "\"fld_acc\":{},\"int_acc\":{},\"ha\":{},\"ha_star\":{},\"class\":\"{}\"}}"
-        ),
-        escape(&row.name),
-        row.source.interfaces,
-        number(row.source.avg_leaves),
-        number(row.source.avg_internal_nodes),
-        number(row.source.avg_depth),
-        number(row.source.avg_labeling_quality),
-        row.shape.leaves,
-        row.shape.groups,
-        row.shape.isolated,
-        row.shape.root_leaves,
-        row.shape.internal_nodes,
-        row.shape.depth,
-        number(row.fld_acc),
-        number(row.int_acc),
-        number(row.ha),
-        number(row.ha_star),
-        escape(&row.class.to_string()),
-    )
+    let mut source = Obj::new();
+    source
+        .u64("interfaces", row.source.interfaces as u64)
+        .f64("avg_leaves", row.source.avg_leaves, DECIMALS)
+        .f64(
+            "avg_internal_nodes",
+            row.source.avg_internal_nodes,
+            DECIMALS,
+        )
+        .f64("avg_depth", row.source.avg_depth, DECIMALS)
+        .f64(
+            "avg_labeling_quality",
+            row.source.avg_labeling_quality,
+            DECIMALS,
+        );
+    let mut integrated = Obj::new();
+    integrated
+        .u64("leaves", row.shape.leaves as u64)
+        .u64("groups", row.shape.groups as u64)
+        .u64("isolated", row.shape.isolated as u64)
+        .u64("root_leaves", row.shape.root_leaves as u64)
+        .u64("internal_nodes", row.shape.internal_nodes as u64)
+        .u64("depth", row.shape.depth as u64);
+    Obj::new()
+        .str("domain", &row.name)
+        .raw("source", source.finish())
+        .raw("integrated", integrated.finish())
+        .f64("fld_acc", row.fld_acc, DECIMALS)
+        .f64("int_acc", row.int_acc, DECIMALS)
+        .f64("ha", row.ha, DECIMALS)
+        .f64("ha_star", row.ha_star, DECIMALS)
+        .str("class", &row.class.to_string())
+        .finish()
 }
 
 /// The whole evaluation (Table 6 + Figure 10) as one JSON document.
 pub fn corpus_to_json(result: &CorpusEvaluation) -> String {
-    let domains: Vec<String> = result.domains.iter().map(domain_to_json).collect();
-    let li: Vec<String> = InferenceRule::ALL
-        .iter()
-        .map(|&rule| {
-            format!(
-                "\"{}\":{{\"count\":{},\"ratio\":{}}}",
-                rule,
-                result.li_usage.count(rule),
-                number(result.li_usage.ratio(rule))
-            )
-        })
-        .collect();
-    format!(
-        "{{\"table6\":[{}],\"figure10\":{{{}}}}}",
-        domains.join(","),
-        li.join(",")
-    )
+    let mut domains = Arr::new();
+    for row in &result.domains {
+        domains.raw(domain_to_json(row));
+    }
+    let mut li = Obj::new();
+    for &rule in InferenceRule::ALL.iter() {
+        li.raw(
+            &rule.to_string(),
+            Obj::new()
+                .u64("count", result.li_usage.count(rule) as u64)
+                .f64("ratio", result.li_usage.ratio(rule), DECIMALS)
+                .finish(),
+        );
+    }
+    Obj::new()
+        .raw("table6", domains.finish())
+        .raw("figure10", li.finish())
+        .finish()
 }
 
 #[cfg(test)]
@@ -88,12 +74,6 @@ mod tests {
     use super::*;
     use qi_core::NamingPolicy;
     use qi_lexicon::Lexicon;
-
-    #[test]
-    fn escape_handles_specials() {
-        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(escape("\u{1}"), "\\u0001");
-    }
 
     #[test]
     fn corpus_json_is_well_formed_enough() {
@@ -118,11 +98,5 @@ mod tests {
         assert!(json.contains("\"fld_acc\":1.000000"));
         assert!(json.contains("\"figure10\":{\"LI1\""));
         assert!(json.ends_with("}}"));
-    }
-
-    #[test]
-    fn nan_becomes_null() {
-        assert_eq!(number(f64::NAN), "null");
-        assert_eq!(number(1.5), "1.500000");
     }
 }

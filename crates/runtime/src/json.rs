@@ -1,0 +1,170 @@
+//! Shared stable-JSON emission helpers.
+//!
+//! The workspace is dependency-free, so every component that emits JSON
+//! (telemetry snapshots, the benchmark harness, the evaluation tables,
+//! the HTTP server's responses) hand-rolls its document. This module is
+//! the single writer they all share: string escaping per RFC 8259, a
+//! fixed-decimal float formatter that maps non-finite values to `null`,
+//! and two tiny builders ([`Obj`], [`Arr`]) that keep the punctuation
+//! right. Key order is the caller's responsibility — emit from sorted
+//! maps and two identical documents serialize to identical bytes.
+
+/// Escape `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `text` as a quoted, escaped JSON string literal.
+pub fn quoted(text: &str) -> String {
+    format!("\"{}\"", escape(text))
+}
+
+/// A finite float with `decimals` fraction digits; `null` otherwise
+/// (JSON has no NaN/Infinity).
+pub fn number(value: f64, decimals: usize) -> String {
+    if value.is_finite() {
+        format!("{value:.decimals$}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object builder. Values are raw JSON fragments; use
+/// the typed helpers for scalars.
+#[derive(Debug, Default)]
+pub struct Obj {
+    body: String,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    /// Append `key` with a pre-rendered JSON `value`.
+    pub fn raw(&mut self, key: &str, value: impl AsRef<str>) -> &mut Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(&quoted(key));
+        self.body.push(':');
+        self.body.push_str(value.as_ref());
+        self
+    }
+
+    /// Append a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, quoted(value))
+    }
+
+    /// Append an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Append a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Append a float field with `decimals` fraction digits (`null` when
+    /// non-finite).
+    pub fn f64(&mut self, key: &str, value: f64, decimals: usize) -> &mut Self {
+        self.raw(key, number(value, decimals))
+    }
+
+    /// Render `{...}`.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Incremental JSON array builder.
+#[derive(Debug, Default)]
+pub struct Arr {
+    body: String,
+}
+
+impl Arr {
+    /// An empty array.
+    pub fn new() -> Self {
+        Arr::default()
+    }
+
+    /// Append a pre-rendered JSON `value`.
+    pub fn raw(&mut self, value: impl AsRef<str>) -> &mut Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(value.as_ref());
+        self
+    }
+
+    /// Append a string element.
+    pub fn str(&mut self, value: &str) -> &mut Self {
+        self.raw(quoted(value))
+    }
+
+    /// Render `[...]`.
+    pub fn finish(&self) -> String {
+        format!("[{}]", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(quoted("x\"y"), "\"x\\\"y\"");
+    }
+
+    #[test]
+    fn numbers_are_fixed_decimal_or_null() {
+        assert_eq!(number(1.5, 3), "1.500");
+        assert_eq!(number(2.0, 6), "2.000000");
+        assert_eq!(number(f64::NAN, 3), "null");
+        assert_eq!(number(f64::INFINITY, 3), "null");
+    }
+
+    #[test]
+    fn object_builder_punctuates() {
+        let mut obj = Obj::new();
+        obj.str("name", "qi")
+            .u64("count", 3)
+            .bool("ok", true)
+            .f64("ms", 1.25, 3)
+            .raw("nested", Obj::new().u64("x", 1).finish());
+        assert_eq!(
+            obj.finish(),
+            "{\"name\":\"qi\",\"count\":3,\"ok\":true,\"ms\":1.250,\"nested\":{\"x\":1}}"
+        );
+        assert_eq!(Obj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn array_builder_punctuates() {
+        let mut arr = Arr::new();
+        arr.str("a").raw("1").raw("null");
+        assert_eq!(arr.finish(), "[\"a\",1,null]");
+        assert_eq!(Arr::new().finish(), "[]");
+    }
+}

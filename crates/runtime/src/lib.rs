@@ -19,16 +19,22 @@
 //!   generation (replaces the external `rand` crate);
 //! * [`telemetry`] — a thread-safe registry of named counters, gauges and
 //!   hierarchical span timers with a pointer-check disabled mode and
-//!   stable-JSON emission.
+//!   stable-JSON emission;
+//! * [`json`] — the shared stable-JSON writer (escaping, fixed-decimal
+//!   numbers, object/array builders) behind every JSON document the
+//!   workspace emits;
+//! * [`JobQueue`] — a bounded close-aware job queue for long-lived
+//!   worker pools (the HTTP server's acceptor/worker handoff).
 
 pub mod cache;
 pub mod intern;
+pub mod json;
 pub mod pool;
 pub mod rng;
 pub mod telemetry;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use intern::{Interner, Symbol};
-pub use pool::{parallel_map, parallel_map_chunked, parallel_try_map, resolve_threads};
+pub use pool::{parallel_map, parallel_map_chunked, parallel_try_map, resolve_threads, JobQueue};
 pub use rng::SplitMix64;
 pub use telemetry::{Counter, MetricsSnapshot, SpanData, Telemetry, TelemetryMode};

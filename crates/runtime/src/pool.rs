@@ -8,9 +8,10 @@
 //! ([`parallel_try_map`]) so one poisoned domain cannot sink a corpus
 //! run.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Upper bound on worker count: evaluation items (domains, groups) are
 /// coarse, so more threads than this only adds scheduling noise.
@@ -163,6 +164,96 @@ where
         .collect()
 }
 
+/// A bounded multi-producer/multi-consumer job queue for long-lived
+/// worker pools.
+///
+/// The batch maps above ([`parallel_map`] and friends) drive a *known*
+/// item list to completion; a server's accept loop instead produces jobs
+/// indefinitely and must shed load rather than buffer without bound.
+/// `JobQueue` is the handoff point: producers [`JobQueue::push`] without
+/// blocking (a full or closed queue rejects the job so the caller can
+/// answer 503 instead of queueing forever), consumers block in
+/// [`JobQueue::pop`] until a job arrives, and [`JobQueue::close`] wakes
+/// every consumer once the remaining jobs drain — the graceful-shutdown
+/// path.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` pending jobs (minimum 1).
+    pub fn bounded(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue a job without blocking. Returns the job back when the
+    /// queue is full (shed load) or closed (shutting down).
+    pub fn push(&self, job: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(job);
+        }
+        state.items.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next job, blocking while the queue is open and empty.
+    /// `None` means the queue was closed and fully drained — the
+    /// consumer should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = state.items.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("job queue poisoned");
+        }
+    }
+
+    /// Close the queue: further pushes fail, consumers drain what is
+    /// left and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("job queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`JobQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("job queue poisoned").closed
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("job queue poisoned").items.len()
+    }
+
+    /// True when no job is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +333,52 @@ mod tests {
         assert_eq!(resolve_threads(MAX_THREADS + 50), MAX_THREADS);
         let auto = resolve_threads(0);
         assert!((1..=MAX_THREADS).contains(&auto));
+    }
+
+    #[test]
+    fn job_queue_rejects_when_full_or_closed() {
+        let queue: JobQueue<u32> = JobQueue::bounded(2);
+        assert!(queue.is_empty());
+        queue.push(1).unwrap();
+        queue.push(2).unwrap();
+        assert_eq!(queue.push(3), Err(3), "over capacity");
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        queue.push(3).unwrap();
+        queue.close();
+        assert!(queue.is_closed());
+        assert_eq!(queue.push(4), Err(4), "closed");
+        // Remaining jobs drain before the close is observed.
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(3));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn job_queue_feeds_blocked_workers() {
+        let queue: JobQueue<u32> = JobQueue::bounded(64);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some(job) = queue.pop() {
+                        sum.fetch_add(job as usize, Ordering::Relaxed);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for job in 1..=32u32 {
+                    let mut pending = job;
+                    // Spin on a full queue: production outpaces the sum.
+                    while let Err(back) = queue.push(pending) {
+                        pending = back;
+                        std::thread::yield_now();
+                    }
+                }
+                queue.close();
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (1..=32).sum::<u32>() as usize);
     }
 
     #[test]

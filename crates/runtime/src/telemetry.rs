@@ -378,30 +378,27 @@ impl MetricsSnapshot {
     /// snapshots serialize to identical bytes.
     pub fn to_json(&self) -> String {
         let scalar_map = |map: &BTreeMap<String, u64>| {
-            let items: Vec<String> = map
-                .iter()
-                .map(|(k, v)| format!("\"{}\":{}", escape_json(k), v))
-                .collect();
-            items.join(",")
+            let mut obj = crate::json::Obj::new();
+            for (k, v) in map {
+                obj.u64(k, *v);
+            }
+            obj.finish()
         };
-        let spans: Vec<String> = self
-            .spans
-            .iter()
-            .map(|(k, v)| {
-                format!(
-                    "\"{}\":{{\"count\":{},\"total_ns\":{}}}",
-                    escape_json(k),
-                    v.count,
-                    v.total_ns
-                )
-            })
-            .collect();
-        format!(
-            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"spans\":{{{}}}}}",
-            scalar_map(&self.counters),
-            scalar_map(&self.gauges),
-            spans.join(",")
-        )
+        let mut spans = crate::json::Obj::new();
+        for (k, v) in &self.spans {
+            spans.raw(
+                k,
+                crate::json::Obj::new()
+                    .u64("count", v.count)
+                    .u64("total_ns", v.total_ns)
+                    .finish(),
+            );
+        }
+        crate::json::Obj::new()
+            .raw("counters", scalar_map(&self.counters))
+            .raw("gauges", scalar_map(&self.gauges))
+            .raw("spans", spans.finish())
+            .finish()
     }
 
     /// The document's *schema*: one `path kind` line per emitted key,
@@ -437,19 +434,6 @@ impl MetricsSnapshot {
         }
         None
     }
-}
-
-fn escape_json(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for ch in text.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,263 @@
+//! The per-domain serving artifact: everything the pipeline computed for
+//! one domain, in the form the server reads and the snapshot persists.
+
+use qi_core::{ConsistencyClass, Labeler, LiUsage, NamingPolicy};
+use qi_datasets::Domain;
+use qi_lexicon::Lexicon;
+use qi_mapping::{ClusterId, Mapping};
+use qi_runtime::{Interner, Telemetry};
+use qi_schema::{NodeId, SchemaTree};
+use qi_text::LabelText;
+use std::collections::BTreeMap;
+
+/// One domain's fully built serving state.
+///
+/// Holds the *raw* source interfaces and clusters (what a rebuild needs)
+/// alongside the pipeline outputs (what a read query needs): the labeled
+/// integrated tree, the leaf→cluster correspondence, the naming report
+/// digest, and the lexical sidecar — every distinct source label's
+/// normalized content-word keys plus the interned symbol table they are
+/// stored against.
+#[derive(Debug, Clone)]
+pub struct DomainArtifact {
+    /// Display name (Table 6 row).
+    pub name: String,
+    /// Raw source interfaces (pre 1:m expansion).
+    pub schemas: Vec<SchemaTree>,
+    /// Raw clusters (possibly 1:m, as ground truth or matcher output).
+    pub mapping: Mapping,
+    /// The labeled integrated interface.
+    pub labeled: SchemaTree,
+    /// Integrated leaf → cluster correspondence.
+    pub leaf_cluster: BTreeMap<NodeId, ClusterId>,
+    /// Definition 8 classification of the labeled tree.
+    pub class: Option<ConsistencyClass>,
+    /// Inference-rule usage for this domain (Figure 10 slice).
+    pub li_usage: LiUsage,
+    /// Fields left unlabeled (no source label anywhere).
+    pub unlabeled_fields: usize,
+    /// Internal nodes that received a label.
+    pub labeled_internal: usize,
+    /// Interned string table, in symbol order: every distinct source
+    /// label followed by every normalized key, first-encounter order.
+    pub symbols: Vec<String>,
+    /// Distinct source label → its normalized content-word keys, as
+    /// indices into [`DomainArtifact::symbols`]. Sorted by label symbol.
+    pub normalized: Vec<(u32, Vec<u32>)>,
+}
+
+impl DomainArtifact {
+    /// URL-safe identifier: lowercase, spaces → `_` (matches the corpus
+    /// export directory naming).
+    pub fn slug(&self) -> String {
+        slug_of(&self.name)
+    }
+
+    /// Resolve a symbol index into its string.
+    pub fn symbol(&self, index: u32) -> &str {
+        &self.symbols[index as usize]
+    }
+
+    /// The normalized content-word keys of a source label, if the label
+    /// occurs in this domain.
+    pub fn normalized_keys(&self, label: &str) -> Option<Vec<&str>> {
+        self.normalized
+            .iter()
+            .find(|(sym, _)| self.symbol(*sym) == label)
+            .map(|(_, keys)| keys.iter().map(|&k| self.symbol(k)).collect())
+    }
+
+    /// Number of source interfaces.
+    pub fn interfaces(&self) -> usize {
+        self.schemas.len()
+    }
+}
+
+/// The slug of a display name.
+pub fn slug_of(name: &str) -> String {
+    name.replace(' ', "_").to_lowercase()
+}
+
+/// Run the full pipeline on one domain and package the serving artifact.
+pub fn build_artifact(
+    domain: &Domain,
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+    telemetry: &Telemetry,
+) -> DomainArtifact {
+    let span = telemetry.span("serve.build_artifact");
+    let prepared = domain.prepare();
+    let labeled = Labeler::new(lexicon, policy)
+        .with_telemetry(telemetry.clone())
+        .label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+
+    // Lexical sidecar: normalize every distinct source label once and
+    // intern both the labels and their content-word keys so the snapshot
+    // stores each distinct string exactly once.
+    let interner = Interner::new();
+    let mut normalized: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for schema in &domain.schemas {
+        for node in schema.nodes() {
+            let Some(label) = &node.label else { continue };
+            let sym = interner.intern(label);
+            if normalized.contains_key(&sym.0) {
+                continue;
+            }
+            let text = LabelText::new(label, lexicon);
+            let keys: Vec<u32> = text
+                .keys()
+                .into_iter()
+                .map(|k| interner.intern(k).0)
+                .collect();
+            normalized.insert(sym.0, keys);
+        }
+    }
+    let symbols: Vec<String> = (0..interner.len() as u32)
+        .map(|i| interner.resolve(qi_runtime::Symbol(i)).to_string())
+        .collect();
+    drop(span);
+
+    DomainArtifact {
+        name: domain.name.clone(),
+        schemas: domain.schemas.clone(),
+        mapping: domain.mapping.clone(),
+        labeled: labeled.tree,
+        leaf_cluster: labeled.leaf_cluster,
+        class: labeled.report.class,
+        li_usage: labeled.report.li_usage,
+        unlabeled_fields: labeled.report.unlabeled_fields,
+        labeled_internal: labeled.report.labeled_internal,
+        symbols,
+        normalized: normalized.into_iter().collect(),
+    }
+}
+
+/// Build the artifacts of the whole builtin seven-domain corpus, in
+/// Table 6 order.
+pub fn build_corpus_artifacts(
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+    telemetry: &Telemetry,
+) -> Vec<DomainArtifact> {
+    qi_datasets::all_domains()
+        .iter()
+        .map(|d| build_artifact(d, lexicon, policy, telemetry))
+        .collect()
+}
+
+/// Add one interface to a domain and rebuild its artifact.
+///
+/// The new interface is not covered by the domain's ground-truth
+/// clusters, so the whole domain is re-clustered with the
+/// label-similarity matcher, then re-merged and re-labeled. The rebuild
+/// touches *only* this domain — callers swap the result in behind the
+/// store's lock while readers keep serving the old artifact.
+pub fn ingest_interface(
+    artifact: &DomainArtifact,
+    interface: SchemaTree,
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+    telemetry: &Telemetry,
+) -> DomainArtifact {
+    let span = telemetry.span("serve.ingest");
+    let mut schemas = artifact.schemas.clone();
+    schemas.push(interface);
+    let mapping = qi_mapping::match_by_labels(&schemas, lexicon);
+    let domain = Domain {
+        name: artifact.name.clone(),
+        schemas,
+        mapping,
+    };
+    let rebuilt = build_artifact(&domain, lexicon, policy, telemetry);
+    drop(span);
+    rebuilt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_carries_pipeline_outputs() {
+        let lexicon = Lexicon::builtin();
+        let telemetry = Telemetry::off();
+        let domain = qi_datasets::auto::domain();
+        let artifact = build_artifact(&domain, &lexicon, NamingPolicy::default(), &telemetry);
+        assert_eq!(artifact.name, "Auto");
+        assert_eq!(artifact.slug(), "auto");
+        assert_eq!(artifact.interfaces(), domain.schemas.len());
+        assert!(artifact.labeled.leaves().all(|l| l.label.is_some()));
+        assert_eq!(
+            artifact.leaf_cluster.len(),
+            artifact.labeled.leaves().count()
+        );
+        assert!(artifact.class.is_some());
+        // Every cluster referenced by a leaf resolves to a concept.
+        for &cluster in artifact.leaf_cluster.values() {
+            assert!(cluster.index() < artifact.mapping.len());
+        }
+        // The sidecar covers every distinct source label.
+        for schema in &artifact.schemas {
+            for node in schema.nodes() {
+                if let Some(label) = &node.label {
+                    assert!(
+                        artifact.normalized_keys(label).is_some(),
+                        "missing normalized entry for {label:?}"
+                    );
+                }
+            }
+        }
+        // Symbol table indices are in range.
+        for (sym, keys) in &artifact.normalized {
+            assert!((*sym as usize) < artifact.symbols.len());
+            for &k in keys {
+                assert!((k as usize) < artifact.symbols.len());
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_adds_an_interface_and_relabels() {
+        let lexicon = Lexicon::builtin();
+        let telemetry = Telemetry::off();
+        let domain = qi_datasets::auto::domain();
+        let artifact = build_artifact(&domain, &lexicon, NamingPolicy::default(), &telemetry);
+        let extra =
+            qi_schema::text_format::parse("interface extra\n- Make\n- Model\n- Price\n").unwrap();
+        let rebuilt = ingest_interface(
+            &artifact,
+            extra,
+            &lexicon,
+            NamingPolicy::default(),
+            &telemetry,
+        );
+        assert_eq!(rebuilt.interfaces(), artifact.interfaces() + 1);
+        assert_eq!(rebuilt.name, artifact.name);
+        assert!(rebuilt.labeled.leaves().count() > 0);
+        // Matcher-based re-clustering may leave unlabeled singletons (the
+        // ground truth no longer covers the grown domain), but the report
+        // must agree with the tree about how many.
+        assert_eq!(
+            rebuilt.unlabeled_fields,
+            rebuilt
+                .labeled
+                .leaves()
+                .filter(|l| l.label.is_none())
+                .count()
+        );
+        assert!(
+            rebuilt
+                .labeled
+                .leaves()
+                .filter(|l| l.label.is_some())
+                .count()
+                > 0
+        );
+    }
+
+    #[test]
+    fn slug_normalizes_names() {
+        assert_eq!(slug_of("Real Estate"), "real_estate");
+        assert_eq!(slug_of("Auto"), "auto");
+    }
+}

@@ -1,0 +1,276 @@
+//! Minimal HTTP/1.1 request/response codec.
+//!
+//! Covers exactly what the server needs: one request per connection
+//! (`Connection: close`), `Content-Length` bodies, and hard limits on
+//! header-block and body size so a hostile peer cannot make a worker
+//! allocate without bound. The codec is generic over `Read`/`Write`,
+//! which keeps it unit-testable without sockets.
+
+use std::io::{Read, Write};
+
+/// Cap on the request line + headers, in bytes.
+pub const MAX_HEAD: usize = 8 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Request path with any query string stripped.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection before sending a full request
+    /// head. Not an error worth answering.
+    Closed,
+    /// Request line or headers exceed [`MAX_HEAD`] → `431`.
+    HeadTooLarge,
+    /// Declared body exceeds the configured cap → `413`.
+    BodyTooLarge,
+    /// Anything else unparseable → `400`.
+    Malformed(String),
+    /// Socket error (including read timeout); the connection is dropped.
+    Io(std::io::Error),
+}
+
+/// Read and parse one request. `max_body` caps the declared
+/// `Content-Length`.
+pub fn read_request<R: Read>(reader: &mut R, max_body: usize) -> Result<Request, RequestError> {
+    // Accumulate until the blank line ending the head, never past the cap.
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() >= MAX_HEAD {
+            return Err(RequestError::HeadTooLarge);
+        }
+        let n = reader.read(&mut chunk).map_err(RequestError::Io)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Err(RequestError::Closed);
+            }
+            return Err(RequestError::Malformed("connection closed mid-head".into()));
+        }
+        head.extend_from_slice(&chunk[..n]);
+    };
+
+    let head_text = std::str::from_utf8(&head[..head_end])
+        .map_err(|_| RequestError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| RequestError::Malformed("empty request line".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line lacks a path".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line lacks a version".into()))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+    if !path.starts_with('/') {
+        return Err(RequestError::Malformed(format!("bad path {target:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| RequestError::Malformed(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(RequestError::BodyTooLarge);
+    }
+
+    // Body bytes already read past the head, then the rest from the wire.
+    let mut body = head[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(RequestError::Malformed("body longer than declared".into()));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = reader.read(&mut chunk[..want]).map_err(RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error response with a `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = qi_runtime::json::Obj::new().str("error", message).finish();
+        Response::json(status, body)
+    }
+
+    /// Serialize as an HTTP/1.1 response with `Connection: close`.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// Canonical reason phrase of the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 1024)
+    }
+
+    #[test]
+    fn parses_a_get_with_headers_and_query() {
+        let req =
+            parse("GET /domains/auto/labels?x=1 HTTP/1.1\r\nHost: h\r\nX-A: b\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/domains/auto/labels");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.header("x-a"), Some("b"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn reads_a_content_length_body() {
+        let req = parse("POST /d HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_heads() {
+        assert!(matches!(
+            parse("POST /d HTTP/1.1\r\ncontent-length: 9999\r\n\r\n"),
+            Err(RequestError::BodyTooLarge)
+        ));
+        let huge = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "a".repeat(MAX_HEAD));
+        assert!(matches!(parse(&huge), Err(RequestError::HeadTooLarge)));
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / SPDY/3\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "GET nopath HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1\r\nbadheader\r\n\r\n",
+            "POST / HTTP/1.1\r\ncontent-length: two\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(RequestError::Malformed(_))),
+                "{raw:?} should be malformed"
+            );
+        }
+        assert!(matches!(parse(""), Err(RequestError::Closed)));
+    }
+
+    #[test]
+    fn serializes_responses_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+        let err = Response::error(404, "no such domain");
+        assert_eq!(err.status, 404);
+        assert_eq!(err.body, b"{\"error\":\"no such domain\"}");
+    }
+}

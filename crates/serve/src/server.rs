@@ -1,0 +1,488 @@
+//! Zero-dependency HTTP/1.1 server over the artifact [`Store`].
+//!
+//! One acceptor thread feeds accepted connections into a bounded
+//! [`JobQueue`]; a fixed worker pool drains it. When the queue is full
+//! the acceptor answers `503` immediately instead of letting the
+//! backlog grow. Shutdown is graceful: the acceptor stops accepting,
+//! the queue is closed, and workers finish every in-flight and queued
+//! request before the server thread exits.
+
+use crate::artifact::DomainArtifact;
+use crate::http::{read_request, Request, RequestError, Response};
+use crate::store::Store;
+use qi_runtime::json::{Arr, Obj};
+use qi_runtime::{resolve_threads, JobQueue, Telemetry};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (`0` → [`resolve_threads`] default).
+    pub threads: usize,
+    /// Bounded connection queue depth; beyond it the acceptor sheds
+    /// load with `503`.
+    pub queue_depth: usize,
+    /// Cap on request bodies, in bytes.
+    pub max_body: usize,
+    /// Per-connection socket read timeout, in milliseconds.
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout, in milliseconds.
+    pub write_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            queue_depth: 64,
+            max_body: 256 * 1024,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+        }
+    }
+}
+
+/// A configured, not-yet-started server.
+pub struct Server {
+    store: Arc<Store>,
+    telemetry: Telemetry,
+    config: ServerConfig,
+}
+
+/// Handle to a running server: its bound address and a graceful-stop
+/// switch. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Wrap a store with the default configuration.
+    pub fn new(store: Arc<Store>, telemetry: Telemetry) -> Self {
+        Server::with_config(store, telemetry, ServerConfig::default())
+    }
+
+    /// Wrap a store with an explicit configuration.
+    pub fn with_config(store: Arc<Store>, telemetry: Telemetry, config: ServerConfig) -> Self {
+        Server {
+            store,
+            telemetry,
+            config,
+        }
+    }
+
+    /// Bind the listener and start the acceptor + worker pool in a
+    /// background thread. The returned handle knows the bound address
+    /// (useful with port `0`).
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&self.config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("qi-serve".to_string())
+            .spawn(move || run(listener, addr, self, flag))?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is actually listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the server thread exits on its own (e.g. after a
+    /// `POST /admin/shutdown`). Does not trigger a stop itself.
+    pub fn wait(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+
+    /// Request a graceful stop and wait for in-flight requests to
+    /// drain. Idempotent.
+    pub fn shutdown(&mut self) {
+        trigger_shutdown(&self.shutdown, self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Flip the stop flag and poke the blocking `accept` with a throwaway
+/// connection so the acceptor notices immediately.
+fn trigger_shutdown(flag: &AtomicBool, addr: SocketAddr) {
+    if !flag.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    }
+}
+
+/// Acceptor + worker pool; runs on the dedicated server thread until
+/// shutdown.
+fn run(listener: TcpListener, addr: SocketAddr, server: Server, shutdown: Arc<AtomicBool>) {
+    let Server {
+        store,
+        telemetry,
+        config,
+    } = server;
+    let workers = resolve_threads(config.threads);
+    let queue: JobQueue<TcpStream> = JobQueue::bounded(config.queue_depth);
+    telemetry.gauge("serve.workers", workers as u64);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(stream) = queue.pop() {
+                    handle_connection(stream, &store, &telemetry, &config, &shutdown, addr);
+                }
+            });
+        }
+
+        for accepted in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = accepted else { continue };
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms)));
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms)));
+            if let Err(mut rejected) = queue.push(stream) {
+                // Queue full: shed load here instead of queueing grief.
+                telemetry.incr("serve.shed");
+                let _ = Response::error(503, "server is at capacity").write_to(&mut rejected);
+            }
+        }
+
+        // Stop feeding, let workers drain what is already queued.
+        queue.close();
+    });
+}
+
+/// Serve one connection: read a request, route it, write the response.
+/// Never panics outward — a handler panic becomes a `500`.
+fn handle_connection(
+    mut stream: TcpStream,
+    store: &Store,
+    telemetry: &Telemetry,
+    config: &ServerConfig,
+    shutdown: &Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let request = match read_request(&mut stream, config.max_body) {
+        Ok(request) => request,
+        Err(RequestError::Closed) => return,
+        Err(err) => {
+            let (status, message) = match err {
+                RequestError::HeadTooLarge => (431, "request head too large".to_string()),
+                RequestError::BodyTooLarge => (413, "request body too large".to_string()),
+                RequestError::Malformed(what) => (400, what),
+                RequestError::Io(_) => (408, "timed out reading request".to_string()),
+                RequestError::Closed => unreachable!(),
+            };
+            telemetry.incr("serve.errors.read");
+            let _ = Response::error(status, &message).write_to(&mut stream);
+            // The peer may still be sending the bytes we refused to read.
+            // Closing now would RST the connection and discard the error
+            // response; send our FIN first and briefly drain instead.
+            drain_before_close(&mut stream);
+            return;
+        }
+    };
+
+    let route = route_name(&request);
+    telemetry.incr(&format!("serve.requests.{route}"));
+    let span = telemetry.span(&format!("serve.http.{route}"));
+    let response = catch_unwind(AssertUnwindSafe(|| handle(&request, store, telemetry)))
+        .unwrap_or_else(|_| {
+            telemetry.incr("serve.panics");
+            Response::error(500, "internal error")
+        });
+    drop(span);
+    if response.status >= 400 {
+        telemetry.incr(&format!("serve.errors.{route}"));
+    }
+    let _ = response.write_to(&mut stream);
+
+    // The shutdown endpoint answers first, then stops the server.
+    if route == "shutdown" && response.status == 200 {
+        trigger_shutdown(shutdown, addr);
+    }
+}
+
+/// Half-close the write side and swallow (bounded) whatever request
+/// bytes are still in flight, so the error response survives the close.
+fn drain_before_close(stream: &mut TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    let mut budget = 1 << 20;
+    while budget > 0 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget -= n.min(budget),
+        }
+    }
+}
+
+/// Stable route label for telemetry (no per-domain cardinality).
+fn route_name(request: &Request) -> &'static str {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => "healthz",
+        ("GET", ["metrics"]) => "metrics",
+        ("GET", ["domains"]) => "domains",
+        ("GET", ["domains", _, "labels"]) => "labels",
+        ("GET", ["domains", _, "tree"]) => "tree",
+        ("POST", ["domains", _, "interfaces"]) => "ingest",
+        ("POST", ["admin", "shutdown"]) => "shutdown",
+        _ => "other",
+    }
+}
+
+/// Route a parsed request to its handler.
+fn handle(request: &Request, store: &Store, telemetry: &Telemetry) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::json(
+            200,
+            Obj::new()
+                .str("status", "ok")
+                .u64("domains", store.len() as u64)
+                .finish(),
+        ),
+        ("GET", ["metrics"]) => Response::json(200, telemetry.snapshot().to_json()),
+        ("GET", ["domains"]) => list_domains(store),
+        ("GET", ["domains", domain, "labels"]) => match store.get(domain) {
+            Some(artifact) => labels(&artifact),
+            None => Response::error(404, "no such domain"),
+        },
+        ("GET", ["domains", domain, "tree"]) => match store.get(domain) {
+            Some(artifact) => tree(&artifact),
+            None => Response::error(404, "no such domain"),
+        },
+        ("POST", ["domains", domain, "interfaces"]) => ingest(request, store, domain),
+        ("POST", ["admin", "shutdown"]) => {
+            Response::json(200, Obj::new().str("status", "shutting down").finish())
+        }
+        (method, _) if !matches!(method, "GET" | "POST") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such resource"),
+    }
+}
+
+fn class_str(artifact: &DomainArtifact) -> String {
+    artifact
+        .class
+        .map(|c| c.to_string())
+        .unwrap_or_else(|| "unclassified".to_string())
+}
+
+fn summary(artifact: &DomainArtifact) -> String {
+    Obj::new()
+        .str("domain", &artifact.name)
+        .str("slug", &artifact.slug())
+        .u64("interfaces", artifact.interfaces() as u64)
+        .u64("clusters", artifact.mapping.len() as u64)
+        .u64("leaves", artifact.leaf_cluster.len() as u64)
+        .str("class", &class_str(artifact))
+        .finish()
+}
+
+fn list_domains(store: &Store) -> Response {
+    let mut arr = Arr::new();
+    for slug in store.slugs() {
+        if let Some(artifact) = store.get(&slug) {
+            arr.raw(summary(&artifact));
+        }
+    }
+    Response::json(200, Obj::new().raw("domains", arr.finish()).finish())
+}
+
+fn labels(artifact: &DomainArtifact) -> Response {
+    let mut arr = Arr::new();
+    for (&node, &cluster) in &artifact.leaf_cluster {
+        let leaf = artifact.labeled.node(node);
+        let mut obj = Obj::new();
+        obj.u64("node", node.0 as u64);
+        match &leaf.label {
+            Some(label) => obj.str("label", label),
+            None => obj.raw("label", "null"),
+        };
+        obj.str("cluster", &artifact.mapping.cluster(cluster).concept);
+        arr.raw(obj.finish());
+    }
+    Response::json(
+        200,
+        Obj::new()
+            .str("domain", &artifact.name)
+            .str("class", &class_str(artifact))
+            .u64("unlabeled_fields", artifact.unlabeled_fields as u64)
+            .u64("labeled_internal", artifact.labeled_internal as u64)
+            .raw("labels", arr.finish())
+            .finish(),
+    )
+}
+
+fn tree(artifact: &DomainArtifact) -> Response {
+    Response::json(
+        200,
+        Obj::new()
+            .str("domain", &artifact.name)
+            .str("class", &class_str(artifact))
+            .str("tree", &qi_schema::text_format::render(&artifact.labeled))
+            .finish(),
+    )
+}
+
+fn ingest(request: &Request, store: &Store, domain: &str) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "interface body is not UTF-8");
+    };
+    let interface = match qi_schema::text_format::parse(text) {
+        Ok(interface) => interface,
+        Err(err) => return Response::error(400, &format!("bad interface: {err}")),
+    };
+    match store.ingest(domain, interface) {
+        Some(artifact) => Response::json(200, summary(&artifact)),
+        None => Response::error(404, "no such domain"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::build_artifact;
+    use crate::http::reason;
+    use qi_core::NamingPolicy;
+    use qi_lexicon::Lexicon;
+
+    fn request(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    fn auto_store() -> Store {
+        let lexicon = Lexicon::builtin();
+        let telemetry = Telemetry::off();
+        let artifact = build_artifact(
+            &qi_datasets::auto::domain(),
+            &lexicon,
+            NamingPolicy::default(),
+            &telemetry,
+        );
+        Store::new(vec![artifact], lexicon, NamingPolicy::default(), telemetry)
+    }
+
+    #[test]
+    fn routes_cover_the_api_surface() {
+        let store = auto_store();
+        let telemetry = Telemetry::off();
+        let ok = |req: &Request| handle(req, &store, &telemetry);
+
+        let health = ok(&request("GET", "/healthz", b""));
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body, b"{\"status\":\"ok\",\"domains\":1}");
+
+        let domains = ok(&request("GET", "/domains", b""));
+        assert_eq!(domains.status, 200);
+        let text = String::from_utf8(domains.body).unwrap();
+        assert!(text.contains("\"slug\":\"auto\""), "{text}");
+
+        let labels = ok(&request("GET", "/domains/auto/labels", b""));
+        assert_eq!(labels.status, 200);
+        let text = String::from_utf8(labels.body).unwrap();
+        assert!(text.contains("\"labels\":["), "{text}");
+
+        let tree = ok(&request("GET", "/domains/Auto/tree", b""));
+        assert_eq!(tree.status, 200);
+        let text = String::from_utf8(tree.body).unwrap();
+        assert!(text.contains("interface"), "{text}");
+
+        assert_eq!(ok(&request("GET", "/domains/nope/tree", b"")).status, 404);
+        assert_eq!(ok(&request("GET", "/nope", b"")).status, 404);
+        assert_eq!(ok(&request("PUT", "/healthz", b"")).status, 405);
+        assert_eq!(ok(&request("GET", "/metrics", b"")).status, 200);
+    }
+
+    #[test]
+    fn ingest_validates_and_rebuilds() {
+        let store = auto_store();
+        let telemetry = Telemetry::off();
+        let before = store.get("auto").unwrap().interfaces();
+
+        let bad = handle(
+            &request("POST", "/domains/auto/interfaces", b"not an interface"),
+            &store,
+            &telemetry,
+        );
+        assert_eq!(bad.status, 400);
+
+        let good = handle(
+            &request(
+                "POST",
+                "/domains/auto/interfaces",
+                b"interface extra\n- Make\n- Model\n",
+            ),
+            &store,
+            &telemetry,
+        );
+        assert_eq!(good.status, 200, "{:?}", String::from_utf8(good.body));
+        assert_eq!(store.get("auto").unwrap().interfaces(), before + 1);
+
+        let missing = handle(
+            &request("POST", "/domains/zzz/interfaces", b"interface x\n- A\n"),
+            &store,
+            &telemetry,
+        );
+        assert_eq!(missing.status, 404);
+    }
+
+    #[test]
+    fn telemetry_labels_routes_without_domain_cardinality() {
+        assert_eq!(
+            route_name(&request("GET", "/domains/auto/labels", b"")),
+            "labels"
+        );
+        assert_eq!(
+            route_name(&request("GET", "/domains/books/labels", b"")),
+            "labels"
+        );
+        assert_eq!(
+            route_name(&request("POST", "/domains/auto/interfaces", b"")),
+            "ingest"
+        );
+        assert_eq!(route_name(&request("DELETE", "/x", b"")), "other");
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_codes() {
+        for code in [200u16, 400, 404, 405, 408, 413, 431, 500, 503] {
+            assert_ne!(reason(code), "Unknown", "{code}");
+        }
+    }
+}

@@ -1,0 +1,739 @@
+//! Versioned binary snapshot store.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      8 bytes   b"QISNAP01"
+//! version    u32       FORMAT_VERSION
+//! sections   u32       number of sections
+//! table      per section:
+//!              name      u32 length + UTF-8 bytes
+//!              offset    u64   into the payload region
+//!              length    u64   payload bytes
+//!              checksum  u64   FNV-1a 64 of the payload
+//! payloads   concatenated section payloads
+//! ```
+//!
+//! One `"meta"` section carries the naming policy and the domain count;
+//! one `"domain/<slug>"` section per domain carries the full
+//! [`DomainArtifact`]. Trees are encoded natively (node arena in id
+//! order), so the round trip is exact for any label or instance text and
+//! re-encoding a loaded snapshot reproduces the input byte for byte.
+//!
+//! The reader refuses snapshots with a bad magic, a future format
+//! version, a truncated table or payload, or a section whose checksum
+//! does not match — corruption is reported, never parsed.
+
+use crate::artifact::DomainArtifact;
+use qi_core::{
+    ConsistencyClass, ConsistencyLevel, InferenceRule, LabelSelection, LiUsage, NamingPolicy,
+};
+use qi_mapping::{ClusterId, FieldRef, Mapping};
+use qi_schema::{NodeId, SchemaTree, Widget};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Leading magic bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"QISNAP01";
+
+/// Current snapshot format version. Readers refuse anything newer.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A fully materialized snapshot: the policy the artifacts were built
+/// under, and every domain artifact in serving order.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Naming policy used for every domain in the snapshot.
+    pub policy: NamingPolicy,
+    /// Per-domain artifacts, in corpus (Table 6) order.
+    pub domains: Vec<DomainArtifact>,
+}
+
+/// Why a snapshot could not be read or written.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file was written by a newer format than this reader supports.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Newest version this reader supports.
+        supported: u32,
+    },
+    /// The file ends before a declared structure does.
+    Truncated,
+    /// A section's payload does not match its recorded checksum.
+    ChecksumMismatch {
+        /// Name of the corrupted section.
+        section: String,
+    },
+    /// A payload decoded to something structurally invalid.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(err) => write!(f, "snapshot i/o error: {err}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than supported version {supported}"
+            ),
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "snapshot section {section:?} failed its checksum")
+            }
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(err: std::io::Error) -> Self {
+        SnapshotError::Io(err)
+    }
+}
+
+/// FNV-1a 64-bit hash of a byte slice (the section checksum).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------
+// Byte-level writer/reader
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A declared element count, rejected when it provably exceeds the
+    /// remaining bytes (each element needs at least `min_size` bytes) —
+    /// keeps corrupt counts from triggering huge allocations.
+    fn count(&mut self, min_size: usize) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_size.max(1)) > self.remaining() {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed("string is not UTF-8".into()))
+    }
+
+    fn opt_str(&mut self) -> Result<Option<String>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            tag => Err(SnapshotError::Malformed(format!("bad option tag {tag}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree / mapping / artifact codecs
+// ---------------------------------------------------------------------
+
+fn widget_code(widget: Widget) -> u8 {
+    match widget {
+        Widget::TextBox => 0,
+        Widget::SelectList => 1,
+        Widget::RadioButtons => 2,
+        Widget::CheckBoxes => 3,
+    }
+}
+
+fn widget_from(code: u8) -> Result<Widget, SnapshotError> {
+    Ok(match code {
+        0 => Widget::TextBox,
+        1 => Widget::SelectList,
+        2 => Widget::RadioButtons,
+        3 => Widget::CheckBoxes,
+        other => return Err(SnapshotError::Malformed(format!("bad widget code {other}"))),
+    })
+}
+
+fn write_tree(w: &mut ByteWriter, tree: &SchemaTree) {
+    w.str(tree.name());
+    let nodes: Vec<_> = tree.nodes().collect();
+    w.u32(nodes.len() as u32);
+    for node in nodes {
+        match node.parent {
+            Some(parent) => w.u32(parent.0),
+            None => w.u32(u32::MAX),
+        }
+        w.opt_str(node.label.as_deref());
+        if node.is_leaf() {
+            w.u8(1);
+            w.u8(widget_code(match &node.kind {
+                qi_schema::NodeKind::Leaf { widget, .. } => *widget,
+                qi_schema::NodeKind::Internal => unreachable!(),
+            }));
+            let instances = node.instances();
+            w.u32(instances.len() as u32);
+            for inst in instances {
+                w.str(inst);
+            }
+        } else {
+            w.u8(0);
+        }
+    }
+}
+
+fn read_tree(r: &mut ByteReader) -> Result<SchemaTree, SnapshotError> {
+    let name = r.str()?;
+    let count = r.count(6)?;
+    if count == 0 {
+        return Err(SnapshotError::Malformed("tree with no nodes".into()));
+    }
+    let mut tree = SchemaTree::new(&name);
+    for index in 0..count {
+        let parent = r.u32()?;
+        let label = r.opt_str()?;
+        let is_leaf = r.u8()? != 0;
+        if index == 0 {
+            if parent != u32::MAX || is_leaf {
+                return Err(SnapshotError::Malformed("bad root node".into()));
+            }
+            tree.set_label(NodeId::ROOT, label);
+            continue;
+        }
+        if parent as usize >= index {
+            return Err(SnapshotError::Malformed(format!(
+                "node {index} has forward parent {parent}"
+            )));
+        }
+        let parent = NodeId(parent);
+        if is_leaf {
+            let widget = widget_from(r.u8()?)?;
+            let n = r.count(4)?;
+            let mut instances = Vec::with_capacity(n);
+            for _ in 0..n {
+                instances.push(r.str()?);
+            }
+            tree.add_leaf_full(parent, label.as_deref(), widget, instances);
+        } else {
+            tree.add_internal(parent, label.as_deref());
+        }
+    }
+    Ok(tree)
+}
+
+fn write_mapping(w: &mut ByteWriter, mapping: &Mapping) {
+    w.u32(mapping.len() as u32);
+    for i in 0..mapping.len() {
+        let cluster = mapping.cluster(ClusterId(i as u32));
+        w.str(&cluster.concept);
+        w.u32(cluster.members.len() as u32);
+        for member in &cluster.members {
+            w.u32(member.schema as u32);
+            w.u32(member.node.0);
+        }
+    }
+}
+
+fn read_mapping(r: &mut ByteReader) -> Result<Mapping, SnapshotError> {
+    let count = r.count(8)?;
+    let mut clusters = Vec::with_capacity(count);
+    for _ in 0..count {
+        let concept = r.str()?;
+        let members = r.count(8)?;
+        let mut refs = Vec::with_capacity(members);
+        for _ in 0..members {
+            let schema = r.u32()? as usize;
+            let node = NodeId(r.u32()?);
+            refs.push(FieldRef { schema, node });
+        }
+        clusters.push((concept, refs));
+    }
+    Ok(Mapping::from_clusters(clusters))
+}
+
+fn class_code(class: Option<ConsistencyClass>) -> u8 {
+    match class {
+        None => 0,
+        Some(ConsistencyClass::Consistent) => 1,
+        Some(ConsistencyClass::WeaklyConsistent) => 2,
+        Some(ConsistencyClass::Inconsistent) => 3,
+    }
+}
+
+fn class_from(code: u8) -> Result<Option<ConsistencyClass>, SnapshotError> {
+    Ok(match code {
+        0 => None,
+        1 => Some(ConsistencyClass::Consistent),
+        2 => Some(ConsistencyClass::WeaklyConsistent),
+        3 => Some(ConsistencyClass::Inconsistent),
+        other => {
+            return Err(SnapshotError::Malformed(format!(
+                "bad consistency class code {other}"
+            )))
+        }
+    })
+}
+
+fn write_domain(artifact: &DomainArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::default();
+    w.str(&artifact.name);
+    w.u32(artifact.schemas.len() as u32);
+    for schema in &artifact.schemas {
+        write_tree(&mut w, schema);
+    }
+    write_mapping(&mut w, &artifact.mapping);
+    write_tree(&mut w, &artifact.labeled);
+    w.u32(artifact.leaf_cluster.len() as u32);
+    for (&node, &cluster) in &artifact.leaf_cluster {
+        w.u32(node.0);
+        w.u32(cluster.0);
+    }
+    w.u8(class_code(artifact.class));
+    w.u32(artifact.unlabeled_fields as u32);
+    w.u32(artifact.labeled_internal as u32);
+    for &rule in InferenceRule::ALL.iter() {
+        w.u64(artifact.li_usage.count(rule) as u64);
+    }
+    w.u32(artifact.symbols.len() as u32);
+    for symbol in &artifact.symbols {
+        w.str(symbol);
+    }
+    w.u32(artifact.normalized.len() as u32);
+    for (label, keys) in &artifact.normalized {
+        w.u32(*label);
+        w.u32(keys.len() as u32);
+        for &key in keys {
+            w.u32(key);
+        }
+    }
+    w.buf
+}
+
+fn read_domain(payload: &[u8]) -> Result<DomainArtifact, SnapshotError> {
+    let mut r = ByteReader::new(payload);
+    let name = r.str()?;
+    let schema_count = r.count(10)?;
+    let mut schemas = Vec::with_capacity(schema_count);
+    for _ in 0..schema_count {
+        schemas.push(read_tree(&mut r)?);
+    }
+    let mapping = read_mapping(&mut r)?;
+    let labeled = read_tree(&mut r)?;
+    let pair_count = r.count(8)?;
+    let mut leaf_cluster = BTreeMap::new();
+    for _ in 0..pair_count {
+        let node = NodeId(r.u32()?);
+        let cluster = ClusterId(r.u32()?);
+        if cluster.index() >= mapping.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "leaf cluster {} out of range",
+                cluster.0
+            )));
+        }
+        leaf_cluster.insert(node, cluster);
+    }
+    let class = class_from(r.u8()?)?;
+    let unlabeled_fields = r.u32()? as usize;
+    let labeled_internal = r.u32()? as usize;
+    let mut li_usage = LiUsage::default();
+    for &rule in InferenceRule::ALL.iter() {
+        let uses = r.u64()?;
+        for _ in 0..uses {
+            li_usage.record(rule);
+        }
+    }
+    let symbol_count = r.count(4)?;
+    let mut symbols = Vec::with_capacity(symbol_count);
+    for _ in 0..symbol_count {
+        symbols.push(r.str()?);
+    }
+    let normalized_count = r.count(8)?;
+    let mut normalized = Vec::with_capacity(normalized_count);
+    for _ in 0..normalized_count {
+        let label = r.u32()?;
+        let key_count = r.count(4)?;
+        let mut keys = Vec::with_capacity(key_count);
+        for _ in 0..key_count {
+            keys.push(r.u32()?);
+        }
+        if (label as usize) >= symbols.len() || keys.iter().any(|&k| (k as usize) >= symbols.len())
+        {
+            return Err(SnapshotError::Malformed(
+                "normalized entry references missing symbol".into(),
+            ));
+        }
+        normalized.push((label, keys));
+    }
+    if r.remaining() != 0 {
+        return Err(SnapshotError::Malformed(format!(
+            "{} trailing bytes in domain section",
+            r.remaining()
+        )));
+    }
+    Ok(DomainArtifact {
+        name,
+        schemas,
+        mapping,
+        labeled,
+        leaf_cluster,
+        class,
+        li_usage,
+        unlabeled_fields,
+        labeled_internal,
+        symbols,
+        normalized,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Policy codec (meta section)
+// ---------------------------------------------------------------------
+
+fn write_policy(w: &mut ByteWriter, policy: NamingPolicy) {
+    w.u8(match policy.max_level {
+        ConsistencyLevel::String => 0,
+        ConsistencyLevel::Equality => 1,
+        ConsistencyLevel::Synonymy => 2,
+    });
+    w.u8(match policy.selection {
+        LabelSelection::MostDescriptive => 0,
+        LabelSelection::MostGeneral => 1,
+    });
+    w.u8(policy.use_instances as u8);
+    w.u8(policy.repair_conflicts as u8);
+}
+
+fn read_policy(r: &mut ByteReader) -> Result<NamingPolicy, SnapshotError> {
+    let max_level = match r.u8()? {
+        0 => ConsistencyLevel::String,
+        1 => ConsistencyLevel::Equality,
+        2 => ConsistencyLevel::Synonymy,
+        other => {
+            return Err(SnapshotError::Malformed(format!(
+                "bad consistency level code {other}"
+            )))
+        }
+    };
+    let selection = match r.u8()? {
+        0 => LabelSelection::MostDescriptive,
+        1 => LabelSelection::MostGeneral,
+        other => {
+            return Err(SnapshotError::Malformed(format!(
+                "bad label selection code {other}"
+            )))
+        }
+    };
+    let use_instances = r.u8()? != 0;
+    let repair_conflicts = r.u8()? != 0;
+    Ok(NamingPolicy {
+        max_level,
+        selection,
+        use_instances,
+        repair_conflicts,
+    })
+}
+
+// ---------------------------------------------------------------------
+// File-level encode / decode
+// ---------------------------------------------------------------------
+
+impl Snapshot {
+    /// Serialize to the on-disk byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = ByteWriter::default();
+        write_policy(&mut meta, self.policy);
+        meta.u32(self.domains.len() as u32);
+
+        let mut sections: Vec<(String, Vec<u8>)> = vec![("meta".to_string(), meta.buf)];
+        for artifact in &self.domains {
+            sections.push((
+                format!("domain/{}", artifact.slug()),
+                write_domain(artifact),
+            ));
+        }
+
+        let mut header = ByteWriter::default();
+        header.buf.extend_from_slice(&MAGIC);
+        header.u32(FORMAT_VERSION);
+        header.u32(sections.len() as u32);
+        let mut offset = 0u64;
+        for (name, payload) in &sections {
+            header.str(name);
+            header.u64(offset);
+            header.u64(payload.len() as u64);
+            header.u64(fnv1a(payload));
+            offset += payload.len() as u64;
+        }
+        let mut bytes = header.buf;
+        for (_, payload) in &sections {
+            bytes.extend_from_slice(payload);
+        }
+        bytes
+    }
+
+    /// Decode the on-disk byte format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(MAGIC.len()).map_err(|_| SnapshotError::BadMagic)? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version > FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let section_count = r.count(25)?;
+        let mut table = Vec::with_capacity(section_count);
+        for _ in 0..section_count {
+            let name = r.str()?;
+            let offset = r.u64()? as usize;
+            let len = r.u64()? as usize;
+            let checksum = r.u64()?;
+            table.push((name, offset, len, checksum));
+        }
+        let payloads = &bytes[r.pos..];
+        let mut meta: Option<&[u8]> = None;
+        let mut domains: Vec<(&str, &[u8])> = Vec::new();
+        for (name, offset, len, checksum) in &table {
+            let end = offset.checked_add(*len).ok_or(SnapshotError::Truncated)?;
+            if end > payloads.len() {
+                return Err(SnapshotError::Truncated);
+            }
+            let payload = &payloads[*offset..end];
+            if fnv1a(payload) != *checksum {
+                return Err(SnapshotError::ChecksumMismatch {
+                    section: name.clone(),
+                });
+            }
+            if name == "meta" {
+                meta = Some(payload);
+            } else if name.starts_with("domain/") {
+                domains.push((name, payload));
+            } else {
+                return Err(SnapshotError::Malformed(format!(
+                    "unknown section {name:?}"
+                )));
+            }
+        }
+        let meta = meta.ok_or_else(|| SnapshotError::Malformed("missing meta section".into()))?;
+        let mut mr = ByteReader::new(meta);
+        let policy = read_policy(&mut mr)?;
+        let declared = mr.u32()? as usize;
+        if declared != domains.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "meta declares {declared} domains, table has {}",
+                domains.len()
+            )));
+        }
+        let mut artifacts = Vec::with_capacity(domains.len());
+        for (name, payload) in domains {
+            let artifact = read_domain(payload)?;
+            let expected = format!("domain/{}", artifact.slug());
+            if name != expected {
+                return Err(SnapshotError::Malformed(format!(
+                    "section {name:?} holds domain {:?}",
+                    artifact.name
+                )));
+            }
+            artifacts.push(artifact);
+        }
+        Ok(Snapshot {
+            policy,
+            domains: artifacts,
+        })
+    }
+}
+
+/// Write a snapshot file.
+pub fn write_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+    std::fs::write(path, snapshot.to_bytes())?;
+    Ok(())
+}
+
+/// Load a snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    Snapshot::from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::build_artifact;
+    use qi_lexicon::Lexicon;
+    use qi_runtime::Telemetry;
+
+    fn sample() -> Snapshot {
+        let lexicon = Lexicon::builtin();
+        let telemetry = Telemetry::off();
+        let domain = qi_datasets::auto::domain();
+        let artifact = build_artifact(&domain, &lexicon, NamingPolicy::default(), &telemetry);
+        Snapshot {
+            policy: NamingPolicy::default(),
+            domains: vec![artifact],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let snapshot = sample();
+        let bytes = snapshot.to_bytes();
+        let loaded = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.domains.len(), 1);
+        let again = loaded.to_bytes();
+        assert_eq!(bytes, again, "re-encoding a loaded snapshot must be stable");
+    }
+
+    #[test]
+    fn round_trip_preserves_artifact_content() {
+        let snapshot = sample();
+        let loaded = Snapshot::from_bytes(&snapshot.to_bytes()).unwrap();
+        let (a, b) = (&snapshot.domains[0], &loaded.domains[0]);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.schemas, b.schemas);
+        assert_eq!(a.labeled, b.labeled);
+        assert_eq!(a.leaf_cluster, b.leaf_cluster);
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.li_usage, b.li_usage);
+        assert_eq!(a.unlabeled_fields, b.unlabeled_fields);
+        assert_eq!(a.labeled_internal, b.labeled_internal);
+        assert_eq!(a.symbols, b.symbols);
+        assert_eq!(a.normalized, b.normalized);
+        assert_eq!(a.mapping.len(), b.mapping.len());
+        for i in 0..a.mapping.len() {
+            let id = ClusterId(i as u32);
+            assert_eq!(a.mapping.cluster(id).concept, b.mapping.cluster(id).concept);
+            assert_eq!(a.mapping.cluster(id).members, b.mapping.cluster(id).members);
+        }
+        assert_eq!(snapshot.policy, loaded.policy);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        match Snapshot::from_bytes(&bytes) {
+            Err(SnapshotError::ChecksumMismatch { section }) => {
+                assert!(section.starts_with("domain/"), "section {section:?}");
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_is_refused() {
+        let mut bytes = sample().to_bytes();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        match Snapshot::from_bytes(&bytes) {
+            Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected version refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_refused() {
+        assert!(matches!(
+            Snapshot::from_bytes(b"notasnap"),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(matches!(
+            Snapshot::from_bytes(b"qi"),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_refused() {
+        let bytes = sample().to_bytes();
+        let cut = &bytes[..bytes.len() / 2];
+        assert!(matches!(
+            Snapshot::from_bytes(cut),
+            Err(SnapshotError::Truncated) | Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+}

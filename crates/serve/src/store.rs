@@ -1,0 +1,175 @@
+//! The live artifact store: copy-on-write per-domain state.
+//!
+//! Readers take a brief read lock, clone one `Arc`, and serve from the
+//! immutable artifact — they never observe a half-rebuilt domain and
+//! never stall behind an ingest. Writers rebuild the affected domain
+//! *outside* any lock, then swap the new `Arc` in under a short write
+//! lock. Concurrent ingests into the same store are serialized by a
+//! dedicated mutex so two `POST`s cannot both rebuild from the same
+//! base and lose one interface.
+
+use crate::artifact::{ingest_interface, slug_of, DomainArtifact};
+use crate::snapshot::Snapshot;
+use qi_core::NamingPolicy;
+use qi_lexicon::Lexicon;
+use qi_runtime::Telemetry;
+use qi_schema::SchemaTree;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Thread-safe map of domain slug → current artifact.
+pub struct Store {
+    domains: RwLock<BTreeMap<String, Arc<DomainArtifact>>>,
+    ingest_lock: Mutex<()>,
+    lexicon: Lexicon,
+    policy: NamingPolicy,
+    telemetry: Telemetry,
+}
+
+impl Store {
+    /// Build a store over already-constructed artifacts.
+    pub fn new(
+        artifacts: Vec<DomainArtifact>,
+        lexicon: Lexicon,
+        policy: NamingPolicy,
+        telemetry: Telemetry,
+    ) -> Self {
+        let domains = artifacts
+            .into_iter()
+            .map(|a| (a.slug(), Arc::new(a)))
+            .collect();
+        Store {
+            domains: RwLock::new(domains),
+            ingest_lock: Mutex::new(()),
+            lexicon,
+            policy,
+            telemetry,
+        }
+    }
+
+    /// Build a store from a loaded snapshot (the cold-start path — no
+    /// pipeline work at all).
+    pub fn from_snapshot(snapshot: Snapshot, lexicon: Lexicon, telemetry: Telemetry) -> Self {
+        let policy = snapshot.policy;
+        Store::new(snapshot.domains, lexicon, policy, telemetry)
+    }
+
+    /// The naming policy every artifact was (and will be) built under.
+    pub fn policy(&self) -> NamingPolicy {
+        self.policy
+    }
+
+    /// Slugs of all served domains, sorted.
+    pub fn slugs(&self) -> Vec<String> {
+        self.domains.read().unwrap().keys().cloned().collect()
+    }
+
+    /// The current artifact of a domain, by slug or display name.
+    pub fn get(&self, domain: &str) -> Option<Arc<DomainArtifact>> {
+        self.domains.read().unwrap().get(&slug_of(domain)).cloned()
+    }
+
+    /// Number of served domains.
+    pub fn len(&self) -> usize {
+        self.domains.read().unwrap().len()
+    }
+
+    /// True when no domain is served.
+    pub fn is_empty(&self) -> bool {
+        self.domains.read().unwrap().is_empty()
+    }
+
+    /// Add an interface to a domain: re-cluster, re-merge and re-label
+    /// only that domain, then atomically swap the rebuilt artifact in.
+    /// Returns the new artifact, or `None` for an unknown domain.
+    pub fn ingest(&self, domain: &str, interface: SchemaTree) -> Option<Arc<DomainArtifact>> {
+        let _serialized = self.ingest_lock.lock().unwrap();
+        let slug = slug_of(domain);
+        // Clone the current base under a brief read lock; the expensive
+        // rebuild below runs with no lock held, so readers keep going.
+        let base = self.domains.read().unwrap().get(&slug)?.clone();
+        let rebuilt = Arc::new(ingest_interface(
+            &base,
+            interface,
+            &self.lexicon,
+            self.policy,
+            &self.telemetry,
+        ));
+        self.domains
+            .write()
+            .unwrap()
+            .insert(slug, Arc::clone(&rebuilt));
+        Some(rebuilt)
+    }
+
+    /// Capture the current state as a snapshot value (for persistence).
+    pub fn snapshot(&self) -> Snapshot {
+        let domains = self
+            .domains
+            .read()
+            .unwrap()
+            .values()
+            .map(|a| (**a).clone())
+            .collect();
+        Snapshot {
+            policy: self.policy,
+            domains,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::build_artifact;
+
+    fn auto_store() -> Store {
+        let lexicon = Lexicon::builtin();
+        let telemetry = Telemetry::off();
+        let artifact = build_artifact(
+            &qi_datasets::auto::domain(),
+            &lexicon,
+            NamingPolicy::default(),
+            &telemetry,
+        );
+        Store::new(vec![artifact], lexicon, NamingPolicy::default(), telemetry)
+    }
+
+    #[test]
+    fn lookup_accepts_slug_and_display_name() {
+        let store = auto_store();
+        assert_eq!(store.len(), 1);
+        assert!(store.get("auto").is_some());
+        assert!(store.get("Auto").is_some());
+        assert!(store.get("nope").is_none());
+        assert_eq!(store.slugs(), vec!["auto".to_string()]);
+    }
+
+    #[test]
+    fn ingest_swaps_only_the_target_domain() {
+        let store = auto_store();
+        let before = store.get("auto").unwrap();
+        let extra = qi_schema::text_format::parse("interface extra\n- Make\n- Model\n").unwrap();
+        let after = store.ingest("auto", extra).unwrap();
+        assert_eq!(after.interfaces(), before.interfaces() + 1);
+        // The old Arc is still fully readable (copy-on-write).
+        assert_eq!(
+            before.interfaces() + 1,
+            store.get("auto").unwrap().interfaces()
+        );
+        assert!(store.ingest("missing", before.schemas[0].clone()).is_none());
+    }
+
+    #[test]
+    fn snapshot_captures_current_state() {
+        let store = auto_store();
+        let extra = qi_schema::text_format::parse("interface extra\n- Make\n").unwrap();
+        store.ingest("auto", extra).unwrap();
+        let snapshot = store.snapshot();
+        assert_eq!(snapshot.domains.len(), 1);
+        assert_eq!(
+            snapshot.domains[0].interfaces(),
+            store.get("auto").unwrap().interfaces()
+        );
+    }
+}

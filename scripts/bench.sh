@@ -99,3 +99,30 @@ awk '
                     s, off[s], on[s], (on[s] - off[s]) / off[s] * 100
         }
     }'
+
+# Serving benchmark: snapshot cold start vs full pipeline rebuild, plus
+# end-to-end GET throughput against a live server on loopback. Writes
+# BENCH_serve.json at the repo root.
+cargo build --release -p qi-bench --bin qi-serve-bench
+./target/release/qi-serve-bench --out BENCH_serve.json
+awk '
+    function field(line, key,   v) {
+        v = line
+        if (!sub(".*\"" key "\":", "", v)) return ""
+        sub(/[,}].*/, "", v)
+        return v
+    }
+    BEGIN {
+        getline line < "BENCH_serve.json"
+        close("BENCH_serve.json")
+        rebuild = field(line, "rebuild_median_ms")
+        load = field(line, "load_median_ms")
+        speedup = field(line, "speedup")
+        rps = field(line, "requests_per_sec")
+        bytes = field(line, "bytes")
+        printf "cold start: full rebuild %.3f ms, snapshot load %.3f ms (%.1fx, %d-byte snapshot)\n", \
+            rebuild, load, speedup, bytes
+        printf "serving:    %.0f GET requests/sec over loopback\n", rps
+        if (speedup + 0 < 10)
+            printf "WARNING: snapshot cold start is below the 10x target (%.1fx)\n", speedup
+    }'

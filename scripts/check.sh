@@ -61,3 +61,35 @@ if git show HEAD:BENCH_core.json >/tmp/check_bench_ref.json 2>/dev/null; then
 else
     echo "no committed BENCH_core.json; skipping telemetry-overhead guard"
 fi
+
+# Server smoke stage: build a snapshot, cold-start the server on an
+# ephemeral port, probe the read endpoints with the std-only client,
+# ingest one interface, and stop it cleanly through the admin endpoint.
+# Everything rides the release `qi` binary built above — no curl, no
+# network beyond loopback.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/qi snapshot build "$smoke_dir/corpus.snap"
+./target/release/qi snapshot info "$smoke_dir/corpus.snap" >/dev/null
+./target/release/qi serve --snapshot "$smoke_dir/corpus.snap" \
+    --addr 127.0.0.1:0 --port-file "$smoke_dir/port" &
+serve_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    [ -s "$smoke_dir/port" ] && break
+    sleep 0.3
+done
+[ -s "$smoke_dir/port" ] || { echo "FAIL: server never wrote its port file"; exit 1; }
+addr=$(cat "$smoke_dir/port")
+./target/release/qi fetch "http://$addr/healthz" | grep -q '"status":"ok"' \
+    || { echo "FAIL: /healthz probe"; exit 1; }
+./target/release/qi fetch "http://$addr/metrics" | grep -q '"counters"' \
+    || { echo "FAIL: /metrics probe"; exit 1; }
+./target/release/qi fetch "http://$addr/domains/auto/tree" | grep -q 'interface' \
+    || { echo "FAIL: /domains/auto/tree probe"; exit 1; }
+printf 'interface smoke\n- Make\n- Model\n' > "$smoke_dir/smoke.qis"
+./target/release/qi fetch --body "$smoke_dir/smoke.qis" \
+    "http://$addr/domains/auto/interfaces" | grep -q '"interfaces":21' \
+    || { echo "FAIL: ingest probe"; exit 1; }
+./target/release/qi fetch --post "http://$addr/admin/shutdown" >/dev/null
+wait "$serve_pid" || { echo "FAIL: server exited uncleanly"; exit 1; }
+echo "server smoke stage passed (snapshot -> serve -> probe -> shutdown)"

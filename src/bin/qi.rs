@@ -36,6 +36,9 @@ fn main() -> ExitCode {
         Some("label") => cmd_label(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("fetch") => cmd_fetch(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}; try `qi help`")),
     };
     match result {
@@ -67,6 +70,19 @@ usage:
       --metrics <file>            write corpus-run metrics as JSON
       --deterministic-timers      virtual span clock (byte-stable output)
       --threads <n>               corpus worker bound (0 = hardware)
+  qi snapshot build <file>        run the pipeline over the builtin
+                                  corpus and persist every artifact
+      --most-general              use the most-general baseline policy
+  qi snapshot info <file>         describe a snapshot file
+  qi serve [opts]                 serve labels over HTTP/1.1
+      --snapshot <file>           cold-start from a snapshot (otherwise
+                                  the corpus pipeline runs at startup)
+      --addr <host:port>          bind address (default 127.0.0.1:0)
+      --threads <n>               worker threads (0 = hardware)
+      --port-file <file>          write the bound address for scripts
+      --metrics <file>            write server metrics as JSON on exit
+  qi fetch [--post] [--body <f>] <url>
+                                  tiny std-only HTTP client (probes)
 ";
 
 /// Resolve the `--metrics` / `--deterministic-timers` pair into a
@@ -347,6 +363,203 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
             emit(&qi_runtime::MetricsSnapshot::default())?;
         }
         other => return Err(format!("unknown artifact {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    let usage = "usage: qi snapshot <build|info> <file> [--most-general]";
+    let mut action: Option<&str> = None;
+    let mut file: Option<&str> = None;
+    let mut policy = NamingPolicy::default();
+    for arg in args {
+        match arg.as_str() {
+            "--most-general" => policy = NamingPolicy::most_general_baseline(),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            value if action.is_none() => action = Some(value),
+            value if file.is_none() => file = Some(value),
+            extra => return Err(format!("unexpected argument {extra:?}; {usage}")),
+        }
+    }
+    let (Some(action), Some(file)) = (action, file) else {
+        return Err(usage.to_string());
+    };
+    match action {
+        "build" => {
+            let lexicon = Lexicon::builtin();
+            let telemetry = qi_runtime::Telemetry::off();
+            let domains = qi_serve::build_corpus_artifacts(&lexicon, policy, &telemetry);
+            let snapshot = qi_serve::Snapshot { policy, domains };
+            qi_serve::write_snapshot(Path::new(file), &snapshot).map_err(|e| e.to_string())?;
+            let size = std::fs::metadata(file).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "wrote {} domains ({} bytes, format v{}) to {file}",
+                snapshot.domains.len(),
+                size,
+                qi_serve::FORMAT_VERSION
+            );
+            Ok(())
+        }
+        "info" => {
+            let snapshot = qi_serve::load_snapshot(Path::new(file)).map_err(|e| e.to_string())?;
+            println!(
+                "snapshot format v{}, {} domains",
+                qi_serve::FORMAT_VERSION,
+                snapshot.domains.len()
+            );
+            for artifact in &snapshot.domains {
+                println!(
+                    "  {:<14} {:>2} interfaces {:>3} clusters {:>3} leaves  {}",
+                    artifact.slug(),
+                    artifact.interfaces(),
+                    artifact.mapping.len(),
+                    artifact.leaf_cluster.len(),
+                    artifact
+                        .class
+                        .map(|c| c.to_string())
+                        .unwrap_or_else(|| "unclassified".to_string()),
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown snapshot action {other:?}; {usage}")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut snapshot_path: Option<&str> = None;
+    let mut port_file: Option<&str> = None;
+    let mut metrics_path: Option<&str> = None;
+    let mut config = qi_serve::ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--snapshot" => {
+                snapshot_path = Some(iter.next().ok_or("--snapshot needs a file")?.as_str())
+            }
+            "--addr" => config.addr = iter.next().ok_or("--addr needs host:port")?.to_string(),
+            "--threads" => {
+                config.threads = iter
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--port-file" => {
+                port_file = Some(iter.next().ok_or("--port-file needs a file")?.as_str())
+            }
+            "--metrics" => {
+                metrics_path = Some(iter.next().ok_or("--metrics needs a file")?.as_str())
+            }
+            other => return Err(format!("unknown argument {other:?}; try `qi help`")),
+        }
+    }
+    let lexicon = Lexicon::builtin();
+    let telemetry = qi_runtime::Telemetry::new();
+    let store = match snapshot_path {
+        Some(path) => {
+            let span = telemetry.span("serve.cold_start.snapshot");
+            let snapshot = qi_serve::load_snapshot(Path::new(path)).map_err(|e| e.to_string())?;
+            drop(span);
+            eprintln!("loaded {} domains from {path}", snapshot.domains.len());
+            qi_serve::Store::from_snapshot(snapshot, lexicon, telemetry.clone())
+        }
+        None => {
+            let span = telemetry.span("serve.cold_start.rebuild");
+            let policy = NamingPolicy::default();
+            let domains = qi_serve::build_corpus_artifacts(&lexicon, policy, &telemetry);
+            drop(span);
+            eprintln!("built {} domains from the builtin corpus", domains.len());
+            qi_serve::Store::new(domains, lexicon, policy, telemetry.clone())
+        }
+    };
+    let server =
+        qi_serve::Server::with_config(std::sync::Arc::new(store), telemetry.clone(), config);
+    let mut handle = server
+        .start()
+        .map_err(|e| format!("starting server: {e}"))?;
+    eprintln!("serving on http://{}", handle.addr());
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{}\n", handle.addr()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    handle.wait();
+    eprintln!("server stopped");
+    if let Some(path) = metrics_path {
+        write_metrics(path, &telemetry.snapshot())?;
+    }
+    Ok(())
+}
+
+fn cmd_fetch(args: &[String]) -> Result<(), String> {
+    let usage = "usage: qi fetch [--post] [--body <file>] <url>";
+    let mut url: Option<&str> = None;
+    let mut post = false;
+    let mut body_path: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--post" => post = true,
+            "--body" => body_path = Some(iter.next().ok_or("--body needs a file")?.as_str()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            value if url.is_none() => url = Some(value),
+            extra => return Err(format!("unexpected argument {extra:?}; {usage}")),
+        }
+    }
+    let Some(url) = url else {
+        return Err(usage.to_string());
+    };
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("only http:// urls are supported, got {url:?}"))?;
+    let (hostport, path) = match rest.split_once('/') {
+        Some((hostport, path)) => (hostport, format!("/{path}")),
+        None => (rest, "/".to_string()),
+    };
+    let body = match body_path {
+        Some(path) => std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?,
+        None => Vec::new(),
+    };
+    let method = if post || body_path.is_some() {
+        "POST"
+    } else {
+        "GET"
+    };
+
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(hostport)
+        .map_err(|e| format!("connecting to {hostport}: {e}"))?;
+    let timeout = Some(std::time::Duration::from_secs(10));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: {hostport}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )
+    .and_then(|()| stream.write_all(&body))
+    .map_err(|e| format!("sending request: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("malformed response (no header terminator)")?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {:?}", head.lines().next()))?;
+    let payload = &raw[head_end + 4..];
+    print!("{}", String::from_utf8_lossy(payload));
+    if !payload.ends_with(b"\n") {
+        println!();
+    }
+    if !(200..300).contains(&status) {
+        return Err(format!("{method} {url} -> {status}"));
     }
     Ok(())
 }

@@ -1,0 +1,212 @@
+//! Snapshot-format integration tests: corpus-scale round trips, the
+//! corruption/version guards, and a golden snapshot file pinning the
+//! v1 byte layout.
+//!
+//! The golden file is built from a tiny hand-made artifact (not the
+//! pipeline), so it only moves when the *format* changes — label-
+//! algorithm changes never invalidate it. To regenerate after an
+//! intentional format change, run
+//! `UPDATE_GOLDEN=1 cargo test --test snapshot` and review the diff
+//! (the format version must be bumped at the same time).
+
+use qi_core::{ConsistencyClass, InferenceRule, LiUsage, NamingPolicy};
+use qi_lexicon::Lexicon;
+use qi_mapping::{ClusterId, FieldRef, Mapping};
+use qi_runtime::Telemetry;
+use qi_schema::{NodeId, SchemaTree, Widget};
+use qi_serve::{build_corpus_artifacts, DomainArtifact, Snapshot, SnapshotError, FORMAT_VERSION};
+use std::collections::BTreeMap;
+
+fn corpus_snapshot() -> Snapshot {
+    let lexicon = Lexicon::builtin();
+    let policy = NamingPolicy::default();
+    let telemetry = Telemetry::off();
+    Snapshot {
+        policy,
+        domains: build_corpus_artifacts(&lexicon, policy, &telemetry),
+    }
+}
+
+#[test]
+fn corpus_round_trip_is_byte_identical() {
+    let snapshot = corpus_snapshot();
+    let bytes = snapshot.to_bytes();
+    let loaded = Snapshot::from_bytes(&bytes).expect("decoding own encoding");
+    assert_eq!(loaded.domains.len(), snapshot.domains.len());
+    assert_eq!(
+        bytes,
+        loaded.to_bytes(),
+        "write -> read -> write must reproduce the file byte for byte"
+    );
+    for (a, b) in snapshot.domains.iter().zip(&loaded.domains) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.schemas, b.schemas, "{}: source schemas", a.name);
+        assert_eq!(a.labeled, b.labeled, "{}: labeled tree", a.name);
+        assert_eq!(a.leaf_cluster, b.leaf_cluster, "{}: leaf clusters", a.name);
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.li_usage, b.li_usage);
+        assert_eq!(a.symbols, b.symbols);
+        assert_eq!(a.normalized, b.normalized);
+    }
+}
+
+#[test]
+fn every_corrupted_section_is_rejected() {
+    let bytes = corpus_snapshot().to_bytes();
+    // Flip one byte in the middle of each eighth of the payload region;
+    // whichever section it lands in must be named in the error.
+    for i in 1..8 {
+        let mut corrupt = bytes.clone();
+        let pos = corrupt.len() * i / 8;
+        corrupt[pos] ^= 0x40;
+        match Snapshot::from_bytes(&corrupt) {
+            Ok(_) => panic!("corruption at byte {pos} went unnoticed"),
+            Err(
+                SnapshotError::ChecksumMismatch { .. }
+                | SnapshotError::Truncated
+                | SnapshotError::Malformed(_)
+                | SnapshotError::BadMagic
+                | SnapshotError::UnsupportedVersion { .. },
+            ) => {}
+            Err(SnapshotError::Io(err)) => panic!("unexpected io error: {err}"),
+        }
+    }
+}
+
+#[test]
+fn future_format_version_is_refused_with_both_versions_named() {
+    let mut bytes = corpus_snapshot().to_bytes();
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+    match Snapshot::from_bytes(&bytes) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 7);
+            assert_eq!(supported, FORMAT_VERSION);
+            let message = SnapshotError::UnsupportedVersion { found, supported }.to_string();
+            assert!(message.contains(&found.to_string()), "{message}");
+            assert!(message.contains(&supported.to_string()), "{message}");
+        }
+        other => panic!("expected version refusal, got {other:?}"),
+    }
+}
+
+/// A deterministic artifact exercising every field of the format —
+/// including an instance value containing `" | "`, which the text
+/// format cannot represent but the binary codec must.
+fn tiny_artifact() -> DomainArtifact {
+    let mut source = SchemaTree::new("a1");
+    let make = source.add_leaf(NodeId::ROOT, Some("Make"));
+    let color = source.add_leaf_full(
+        NodeId::ROOT,
+        Some("Color"),
+        Widget::SelectList,
+        vec!["Red".to_string(), "Blue | Green".to_string()],
+    );
+    let mapping = Mapping::from_clusters([
+        (
+            "make".to_string(),
+            vec![FieldRef {
+                schema: 0,
+                node: make,
+            }],
+        ),
+        (
+            "color".to_string(),
+            vec![FieldRef {
+                schema: 0,
+                node: color,
+            }],
+        ),
+    ]);
+    let mut labeled = SchemaTree::new("tiny");
+    let l_make = labeled.add_leaf(NodeId::ROOT, Some("Make"));
+    let l_color = labeled.add_leaf_full(
+        NodeId::ROOT,
+        Some("Color"),
+        Widget::SelectList,
+        vec!["Red".to_string(), "Blue | Green".to_string()],
+    );
+    let mut leaf_cluster = BTreeMap::new();
+    leaf_cluster.insert(l_make, ClusterId(0));
+    leaf_cluster.insert(l_color, ClusterId(1));
+    let mut li_usage = LiUsage::default();
+    li_usage.record(InferenceRule::ALL[0]);
+    li_usage.record(InferenceRule::ALL[0]);
+    li_usage.record(InferenceRule::ALL[3]);
+    DomainArtifact {
+        name: "Tiny".to_string(),
+        schemas: vec![source],
+        mapping,
+        labeled,
+        leaf_cluster,
+        class: Some(ConsistencyClass::Consistent),
+        li_usage,
+        unlabeled_fields: 0,
+        labeled_internal: 1,
+        symbols: vec![
+            "Make".to_string(),
+            "make".to_string(),
+            "Color".to_string(),
+            "color".to_string(),
+        ],
+        normalized: vec![(0, vec![1]), (2, vec![3])],
+    }
+}
+
+#[test]
+fn golden_snapshot_v1_byte_layout_is_stable() {
+    let snapshot = Snapshot {
+        policy: NamingPolicy::default(),
+        domains: vec![tiny_artifact()],
+    };
+    let bytes = snapshot.to_bytes();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/snapshot_v1.snap");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &bytes).expect("writing golden snapshot");
+    }
+    let golden = std::fs::read(path).expect("tests/golden/snapshot_v1.snap is committed");
+    assert_eq!(
+        bytes, golden,
+        "snapshot v1 byte layout changed; a reader of old files would \
+         break. Bump FORMAT_VERSION and regenerate with UPDATE_GOLDEN=1."
+    );
+
+    // The golden file must also still decode to the same content.
+    let decoded = Snapshot::from_bytes(&golden).expect("decoding golden snapshot");
+    let artifact = &decoded.domains[0];
+    let reference = tiny_artifact();
+    assert_eq!(artifact.name, reference.name);
+    assert_eq!(artifact.schemas, reference.schemas);
+    assert_eq!(artifact.labeled, reference.labeled);
+    assert_eq!(artifact.leaf_cluster, reference.leaf_cluster);
+    assert_eq!(artifact.li_usage, reference.li_usage);
+    assert_eq!(artifact.symbols, reference.symbols);
+    assert_eq!(artifact.normalized, reference.normalized);
+    // The pipe-bearing instance survived exactly.
+    let color = artifact
+        .labeled
+        .leaves()
+        .find(|l| l.label.as_deref() == Some("Color"));
+    assert_eq!(
+        color.expect("Color leaf").instances(),
+        ["Red".to_string(), "Blue | Green".to_string()]
+    );
+}
+
+#[test]
+fn snapshot_files_round_trip_through_disk() {
+    let snapshot = corpus_snapshot();
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("qi-snapshot-test-{}.snap", std::process::id()));
+    qi_serve::write_snapshot(&path, &snapshot).expect("writing snapshot");
+    let loaded = qi_serve::load_snapshot(&path).expect("loading snapshot");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.domains.len(), snapshot.domains.len());
+    assert_eq!(loaded.to_bytes(), snapshot.to_bytes());
+}
+
+#[test]
+fn missing_file_reports_io() {
+    let err = qi_serve::load_snapshot(std::path::Path::new("/nonexistent/qi.snap"))
+        .expect_err("missing file must fail");
+    assert!(matches!(err, SnapshotError::Io(_)), "{err:?}");
+}
