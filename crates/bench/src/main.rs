@@ -44,6 +44,7 @@ struct Config {
     iters: usize,
     verify_naive: bool,
     telemetry: bool,
+    trace_out: Option<String>,
     out: String,
 }
 
@@ -56,6 +57,7 @@ impl Default for Config {
             iters: 5,
             verify_naive: false,
             telemetry: false,
+            trace_out: None,
             out: "BENCH_core.json".to_string(),
         }
     }
@@ -65,7 +67,7 @@ fn usage_error(message: &str) -> ! {
     eprintln!("qi-bench: {message}");
     eprintln!(
         "usage: qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] \
-         [--verify-naive] [--telemetry] [--out PATH]"
+         [--verify-naive] [--telemetry] [--trace-out PATH] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -90,11 +92,12 @@ fn parse_args() -> Config {
             "--iters" => config.iters = int_for("--iters", value_for("--iters")).max(1),
             "--verify-naive" => config.verify_naive = true,
             "--telemetry" => config.telemetry = true,
+            "--trace-out" => config.trace_out = Some(value_for("--trace-out")),
             "--out" => config.out = value_for("--out"),
             "--help" | "-h" => {
                 println!(
                     "qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] \
-                     [--verify-naive] [--telemetry] [--out PATH]"
+                     [--verify-naive] [--telemetry] [--trace-out PATH] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -167,7 +170,7 @@ fn main() {
     // so the reported medians measure the instrumented pipeline — the
     // off-vs-on comparison in scripts/check.sh is honest. Off is the
     // default: one pointer check per phase boundary.
-    let telemetry = if config.telemetry {
+    let telemetry = if config.telemetry || config.trace_out.is_some() {
         qi_runtime::Telemetry::new()
     } else {
         qi_runtime::Telemetry::off()
@@ -290,7 +293,7 @@ fn main() {
     // telemetry seam, and the probe costs one extra matcher run.
     let metrics_json = if telemetry.is_enabled() {
         for domain in &domains {
-            let span = telemetry.span("bench.cluster");
+            let span = telemetry.timed("bench.cluster");
             let (_, stats) =
                 qi_mapping::match_by_labels_stats(&domain.schemas, &lexicon, matcher_config);
             drop(span);
@@ -304,6 +307,14 @@ fn main() {
     } else {
         "null".to_string()
     };
+    if let Some(path) = &config.trace_out {
+        let trace = qi_runtime::chrome_trace(&telemetry.snapshot());
+        if let Err(e) = std::fs::write(path, format!("{trace}\n")) {
+            eprintln!("qi-bench: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("qi-bench: wrote chrome trace to {path}");
+    }
 
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
     let stages = [

@@ -91,8 +91,10 @@ fn runs_json(runs: &[f64]) -> String {
     arr.finish()
 }
 
-/// One raw `GET` against the server; returns true on a 200.
-fn get_ok(addr: std::net::SocketAddr, path: &str) -> bool {
+/// One raw `GET` against the server; returns true on a 200. Records the
+/// connect-to-last-byte latency into `latency` (nanoseconds).
+fn get_ok(addr: std::net::SocketAddr, path: &str, latency: &qi_runtime::Histogram) -> bool {
+    let start = Instant::now();
     let Ok(mut stream) = TcpStream::connect(addr) else {
         return false;
     };
@@ -104,6 +106,7 @@ fn get_ok(addr: std::net::SocketAddr, path: &str) -> bool {
     if stream.read_to_end(&mut response).is_err() {
         return false;
     }
+    latency.record(start.elapsed().as_nanos() as u64);
     response.starts_with(b"HTTP/1.1 200")
 }
 
@@ -171,16 +174,19 @@ fn main() {
         "/domains/auto/labels",
         "/domains/auto/tree",
     ];
-    assert!(get_ok(addr, "/healthz"), "server did not come up");
+    let warmup = qi_runtime::Histogram::new();
+    assert!(get_ok(addr, "/healthz", &warmup), "server did not come up");
+    let latency = qi_runtime::Histogram::new();
     let per_client = config.requests.div_ceil(config.clients);
     let (ok_count, serve_ms) = timed(|| {
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..config.clients)
                 .map(|c| {
                     let paths = &paths;
+                    let latency = &latency;
                     scope.spawn(move || {
                         (0..per_client)
-                            .filter(|i| get_ok(addr, paths[(c + i) % paths.len()]))
+                            .filter(|i| get_ok(addr, paths[(c + i) % paths.len()], latency))
                             .count()
                     })
                 })
@@ -193,6 +199,7 @@ fn main() {
     });
     handle.shutdown();
     let sent = per_client * config.clients;
+    let latency = latency.data();
 
     let rebuild_median = median(rebuild_runs.clone());
     let load_median = median(load_runs.clone());
@@ -227,6 +234,16 @@ fn main() {
             .u64("requests_ok", ok_count as u64)
             .f64("elapsed_ms", serve_ms, DECIMALS)
             .f64("requests_per_sec", rps, 1)
+            .f64(
+                "latency_p50_us",
+                latency.quantile(0.50) as f64 / 1e3,
+                DECIMALS,
+            )
+            .f64(
+                "latency_p99_us",
+                latency.quantile(0.99) as f64 / 1e3,
+                DECIMALS,
+            )
             .finish(),
     );
     let json = doc.finish();
@@ -236,7 +253,10 @@ fn main() {
             std::fs::write(file, format!("{json}\n")).expect("writing benchmark output");
             eprintln!(
                 "cold start: rebuild {rebuild_median:.1} ms, snapshot load {load_median:.1} ms \
-                 ({speedup:.1}x); serve {ok_count}/{sent} ok at {rps:.0} req/s -> {file}"
+                 ({speedup:.1}x); serve {ok_count}/{sent} ok at {rps:.0} req/s \
+                 (p50 {:.0} us, p99 {:.0} us) -> {file}",
+                latency.quantile(0.50) as f64 / 1e3,
+                latency.quantile(0.99) as f64 / 1e3
             );
         }
         None => println!("{json}"),

@@ -134,7 +134,7 @@ impl<'a> Labeler<'a> {
         mapping: &Mapping,
         integrated: &Integrated,
     ) -> LabeledInterface {
-        let run_span = self.telemetry.span("label");
+        let run_span = self.telemetry.timed("label");
         let ctx = NamingCtx::new(self.lexicon);
         ctx.set_cache_enabled(self.cache_enabled);
         let mut report = NamingReport::default();
@@ -157,7 +157,7 @@ impl<'a> Labeler<'a> {
             let leaves: Vec<NodeId> = partition.root.iter().map(|&(l, _)| l).collect();
             specs.push((clusters, leaves, None));
         }
-        let phase_span = self.telemetry.span("label.phase1.groups");
+        let phase_span = self.telemetry.timed("label.phase1.groups");
         let groups: Vec<GroupWork> =
             qi_runtime::parallel_map(&specs, self.threads, |_, (clusters, leaves, parent)| {
                 let relation = GroupRelation::build(clusters, mapping, schemas);
@@ -173,17 +173,25 @@ impl<'a> Labeler<'a> {
         drop(phase_span);
 
         // ---------- Phase 1b: isolated clusters ------------------------------
-        let phase_span = self.telemetry.span("label.phase1.isolated");
+        let phase_span = self.telemetry.timed("label.phase1.isolated");
         for &(leaf, cluster) in &partition.isolated {
             let occurrences = isolated_occurrences(schemas, mapping, cluster);
             let label =
                 label_isolated_cluster(&occurrences, &ctx, &self.policy, &mut report.li_usage);
+            report.isolated.push(crate::report::IsolatedOutcome {
+                leaf,
+                chosen: label.clone(),
+                occurrences: occurrences
+                    .iter()
+                    .map(|o| (o.label.clone(), o.frequency))
+                    .collect(),
+            });
             tree.set_label(leaf, label);
         }
         drop(phase_span);
 
         // ---------- Phase 1c: candidate labels for internal nodes -----------
-        let phase_span = self.telemetry.span("label.phase1.candidates");
+        let phase_span = self.telemetry.timed("label.phase1.candidates");
         let potentials = collect_potentials(schemas, mapping);
         let info = collect_cluster_info(schemas, mapping);
         let mut internal_candidates: BTreeMap<NodeId, Vec<CandidateLabel>> = BTreeMap::new();
@@ -203,7 +211,7 @@ impl<'a> Labeler<'a> {
         drop(phase_span);
 
         // ---------- Phase 3a: assign group-field labels ----------------------
-        let phase_span = self.telemetry.span("label.phase3.groups");
+        let phase_span = self.telemetry.timed("label.phase3.groups");
         for group in &groups {
             let best = group.naming.best();
             let labels: Vec<Option<String>> = match best {
@@ -213,6 +221,23 @@ impl<'a> Labeler<'a> {
             for (leaf, label) in group.leaves.iter().zip(&labels) {
                 tree.set_label(*leaf, label.clone());
             }
+            // Per column: the distinct source labels the solution chose
+            // among, with occurrence counts (provenance candidates).
+            let column_options: Vec<Vec<(String, usize)>> = (0..group.clusters.len())
+                .map(|column| {
+                    let mut options: Vec<(String, usize)> = Vec::new();
+                    for tuple in &group.relation.tuples {
+                        let Some(label) = &tuple.labels[column] else {
+                            continue;
+                        };
+                        match options.iter_mut().find(|(l, _)| l == label) {
+                            Some((_, n)) => *n += 1,
+                            None => options.push((label.clone(), 1)),
+                        }
+                    }
+                    options
+                })
+                .collect();
             report.groups.push(GroupOutcome {
                 description: group
                     .clusters
@@ -224,12 +249,14 @@ impl<'a> Labeler<'a> {
                 consistent: group.naming.consistent,
                 labels,
                 conflict_repaired: best.and_then(|s| s.conflict_repaired),
+                leaves: group.leaves.clone(),
+                column_options,
             });
         }
         drop(phase_span);
 
         // ---------- Phase 3b: assign internal-node labels (top-down) --------
-        let phase_span = self.telemetry.span("label.phase3.internal");
+        let phase_span = self.telemetry.timed("label.phase3.internal");
         // For Definition 6 checks: which group hangs under which internal
         // node (descendant groups = groups whose parent is a descendant-or-
         // self of the node).
@@ -351,7 +378,7 @@ impl<'a> Labeler<'a> {
         drop(phase_span);
 
         // ---------- Phase 2 (final): classify (Definition 8) ----------------
-        let phase_span = self.telemetry.span("label.phase2.classify");
+        let phase_span = self.telemetry.timed("label.phase2.classify");
         // Regular groups must have consistent solutions; the root group may
         // be partially consistent (§4). Internal nodes with candidates must
         // all be labeled.

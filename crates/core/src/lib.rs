@@ -78,6 +78,7 @@ pub mod isolated;
 pub mod labeler;
 pub mod partition;
 pub mod policy;
+pub mod provenance;
 pub mod relations;
 pub mod report;
 pub mod solution;
@@ -86,5 +87,6 @@ pub use consistency::ConsistencyLevel;
 pub use ctx::NamingCtx;
 pub use labeler::{InternalDecision, LabeledInterface, Labeler};
 pub use policy::{LabelSelection, NamingPolicy};
+pub use provenance::{DecisionCandidate, LabelDecision};
 pub use relations::LabelRelation;
 pub use report::{ConsistencyClass, InferenceRule, LiUsage, NamingReport};

@@ -137,6 +137,24 @@ pub struct GroupOutcome {
     /// Whether a homonym conflict was detected, and whether repair
     /// succeeded.
     pub conflict_repaired: Option<bool>,
+    /// The integrated-tree leaves the labels were assigned to, parallel
+    /// to `labels` (provenance anchoring).
+    pub leaves: Vec<qi_schema::NodeId>,
+    /// Per column: every distinct source label considered for that
+    /// field, with its occurrence count in the group relation.
+    pub column_options: Vec<Vec<(String, usize)>>,
+}
+
+/// Outcome of electing a label for one isolated cluster (§4.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsolatedOutcome {
+    /// The integrated-tree leaf of the isolated cluster.
+    pub leaf: qi_schema::NodeId,
+    /// The elected label, if any source labels the field.
+    pub chosen: Option<String>,
+    /// Every distinct source label with its occurrence frequency — the
+    /// candidates the election considered.
+    pub occurrences: Vec<(String, usize)>,
 }
 
 /// Full report of one naming run.
@@ -146,6 +164,8 @@ pub struct NamingReport {
     pub class: Option<ConsistencyClass>,
     /// Per-group outcomes (regular groups, then the root group).
     pub groups: Vec<GroupOutcome>,
+    /// Per-isolated-cluster election outcomes (provenance).
+    pub isolated: Vec<IsolatedOutcome>,
     /// Inference-rule usage (Figure 10).
     pub li_usage: LiUsage,
     /// Fields left unlabeled (no source label anywhere).

@@ -1,0 +1,232 @@
+//! Exposition formats for a frozen [`MetricsSnapshot`]: Prometheus text
+//! v0.0.4 and Chrome `trace_event` JSON.
+//!
+//! Both renderers walk the snapshot's sorted maps, so two equal
+//! snapshots produce byte-identical output — the same determinism
+//! contract as [`MetricsSnapshot::to_json`], asserted by the golden
+//! tests.
+//!
+//! **Prometheus.** Dotted metric names are sanitized to the
+//! `[a-zA-Z0-9_]` alphabet and prefixed `qi_`. Counters become
+//! `<name>_total`, gauges keep their name, a span becomes the counter
+//! pair `<name>_calls_total` / `<name>_ns_total`, and a histogram
+//! becomes a native Prometheus histogram family with cumulative
+//! `_bucket{le="..."}` samples (bucket bounds are inclusive integer
+//! nanoseconds, matching `le` semantics), `_sum` and `_count`.
+//!
+//! **Chrome trace.** Spans carry totals, not individual intervals, so
+//! the exporter synthesizes one complete (`ph:"X"`) event per span and
+//! lays children out sequentially inside their parent's window (the
+//! nesting invariant — child time ≤ parent time — makes this fit). The
+//! result loads in `about://tracing` / Perfetto and shows the
+//! hierarchical time breakdown of a run.
+
+use crate::histogram::bucket_upper;
+use crate::json::{number, Arr, Obj};
+use crate::telemetry::MetricsSnapshot;
+
+/// Sanitize a dotted metric name into a Prometheus-legal identifier.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("qi_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Render the snapshot in Prometheus text exposition format v0.0.4.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let metric = format!("{}_total", sanitize(name));
+        family(&mut out, &metric, "counter", &format!("Counter {name}."));
+        out.push_str(&format!("{metric} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let metric = sanitize(name);
+        family(&mut out, &metric, "gauge", &format!("Gauge {name}."));
+        out.push_str(&format!("{metric} {value}\n"));
+    }
+    for (name, data) in &snapshot.histograms {
+        let metric = sanitize(name);
+        family(
+            &mut out,
+            &metric,
+            "histogram",
+            &format!("Histogram {name} (nanoseconds)."),
+        );
+        let mut cumulative = 0u64;
+        for (&index, &count) in &data.buckets {
+            cumulative += count;
+            out.push_str(&format!(
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bucket_upper(index)
+            ));
+        }
+        out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{metric}_sum {}\n", data.sum));
+        out.push_str(&format!("{metric}_count {cumulative}\n"));
+    }
+    for (name, data) in &snapshot.spans {
+        let base = sanitize(name);
+        let calls = format!("{base}_calls_total");
+        family(
+            &mut out,
+            &calls,
+            "counter",
+            &format!("Span {name} entries."),
+        );
+        out.push_str(&format!("{calls} {}\n", data.count));
+        let ns = format!("{base}_ns_total");
+        family(
+            &mut out,
+            &ns,
+            "counter",
+            &format!("Span {name} total nanoseconds."),
+        );
+        out.push_str(&format!("{ns} {}\n", data.total_ns));
+    }
+    out
+}
+
+/// Render the snapshot's span tree as Chrome `trace_event` JSON
+/// (`{"traceEvents":[...]}` with `ph:"X"` complete events, microsecond
+/// `ts`/`dur`).
+pub fn chrome_trace(snapshot: &MetricsSnapshot) -> String {
+    use std::collections::BTreeMap;
+    // Sorted iteration guarantees a parent ("label") is laid out before
+    // any of its children ("label.phase1"), so one pass suffices: each
+    // span starts at its parent's cursor (roots share a virtual root
+    // cursor at 0) and advances it by its own total time.
+    let mut starts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut cursors: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut events = Arr::new();
+    for (name, data) in &snapshot.spans {
+        let (parent_key, base) = match snapshot.parent_span(name) {
+            Some(parent) => (parent, starts.get(parent).copied().unwrap_or(0)),
+            None => ("", 0),
+        };
+        let cursor = cursors.entry(parent_key).or_insert(base);
+        let start = *cursor;
+        *cursor = cursor.saturating_add(data.total_ns);
+        starts.insert(name, start);
+        events.raw(
+            Obj::new()
+                .str("name", name)
+                .str("cat", "qi")
+                .str("ph", "X")
+                .raw("ts", number(start as f64 / 1_000.0, 3))
+                .raw("dur", number(data.total_ns as f64 / 1_000.0, 3))
+                .u64("pid", 1)
+                .u64("tid", 1)
+                .raw("args", Obj::new().u64("count", data.count).finish())
+                .finish(),
+        );
+    }
+    Obj::new()
+        .str("displayTimeUnit", "ms")
+        .raw("traceEvents", events.finish())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::Telemetry;
+
+    fn sample() -> MetricsSnapshot {
+        let tel = Telemetry::deterministic();
+        tel.add("matcher.pairs", 5);
+        tel.gauge("queue.depth", 2);
+        {
+            let _outer = tel.span("stage");
+            let _inner = tel.timed("stage.sub");
+        }
+        tel.observe("req.latency", 100);
+        tel.observe("req.latency", 200_000);
+        tel.snapshot()
+    }
+
+    #[test]
+    fn prometheus_families_are_well_formed() {
+        let text = prometheus_text(&sample());
+        assert!(text.contains("# TYPE qi_matcher_pairs_total counter"));
+        assert!(text.contains("qi_matcher_pairs_total 5"));
+        assert!(text.contains("# TYPE qi_queue_depth gauge"));
+        assert!(text.contains("# TYPE qi_req_latency histogram"));
+        assert!(text.contains("qi_req_latency_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("qi_req_latency_count 2"));
+        assert!(text.contains("qi_req_latency_sum 200100"));
+        assert!(text.contains("# TYPE qi_stage_calls_total counter"));
+        assert!(text.contains("# TYPE qi_stage_ns_total counter"));
+        // Every # TYPE family is declared exactly once.
+        let mut families = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let fam = rest.split(' ').next().unwrap();
+                assert!(families.insert(fam.to_string()), "duplicate family {fam}");
+            }
+        }
+        // Cumulative buckets end at the count.
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn prometheus_and_trace_are_deterministic() {
+        let build = || {
+            let tel = Telemetry::deterministic();
+            tel.incr("c");
+            let _g = tel.timed("a");
+            drop(_g);
+            let _g = tel.timed("a.b");
+            drop(_g);
+            tel.snapshot()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(prometheus_text(&a), prometheus_text(&b));
+        assert_eq!(chrome_trace(&a), chrome_trace(&b));
+    }
+
+    #[test]
+    fn chrome_trace_nests_children_inside_parents() {
+        let snapshot = sample();
+        let trace = chrome_trace(&snapshot);
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(trace.contains("\"name\":\"stage\""));
+        assert!(trace.contains("\"name\":\"stage.sub\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        // The child event's window fits inside the parent's: both start
+        // at the same ts, and the child's dur is <= the parent's.
+        let dur = |name: &str| -> f64 {
+            let marker = format!("\"name\":\"{name}\"");
+            let event = trace.split('{').find(|e| e.contains(&marker)).unwrap();
+            let dur = event.split("\"dur\":").nth(1).unwrap();
+            dur.split(',').next().unwrap().parse().unwrap()
+        };
+        assert!(dur("stage.sub") <= dur("stage"));
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_dashes() {
+        assert_eq!(sanitize("a.b-c"), "qi_a_b_c");
+        assert_eq!(sanitize("plain"), "qi_plain");
+    }
+}

@@ -1,0 +1,356 @@
+//! Log-linear latency histogram (HDR-style bucketing) for u64 values.
+//!
+//! Values are bucketed into 16 linear sub-buckets per power of two, so
+//! the relative quantization error is bounded by 1/16 (6.25%) at any
+//! magnitude while the whole u64 range fits in [`BUCKET_COUNT`] fixed
+//! buckets — no configuration, no dynamic allocation on the record
+//! path, and two histograms of the same family always share a bucket
+//! layout, which makes merging a per-bucket addition exactly like
+//! counters.
+//!
+//! Recording is lock-free: one `leading_zeros` + shift to find the
+//! bucket, then three relaxed atomic updates (bucket count, running
+//! sum, exact max via `fetch_max`). Quantile extraction walks the
+//! cumulative bucket counts and reports the bucket's inclusive upper
+//! bound clamped to the exact observed maximum, so the estimate is
+//! always ≥ the true order statistic, lands in the *same bucket* as the
+//! true order statistic, and `p100 == max` exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power of two (the quantization denominator).
+pub const SUB_BUCKETS: usize = 16;
+
+/// Total number of buckets covering the full u64 range.
+///
+/// Indices 0..16 are exact (value == index); every further power of two
+/// `2^e` (e in 4..=63) contributes [`SUB_BUCKETS`] buckets.
+pub const BUCKET_COUNT: usize = SUB_BUCKETS + (64 - 4) * SUB_BUCKETS;
+
+/// Bucket index of a value: exact below [`SUB_BUCKETS`], log-linear
+/// above (high bit picks the exponent, next four bits the sub-bucket).
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as usize; // >= 4 here
+    (exp - 3) * SUB_BUCKETS + ((value >> (exp - 4)) as usize & (SUB_BUCKETS - 1))
+}
+
+/// Smallest value mapping to bucket `index`.
+pub fn bucket_lower(index: usize) -> u64 {
+    debug_assert!(index < BUCKET_COUNT);
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let exp = index / SUB_BUCKETS + 3;
+    let sub = (index % SUB_BUCKETS) as u64;
+    (SUB_BUCKETS as u64 + sub) << (exp - 4)
+}
+
+/// Largest value mapping to bucket `index` (inclusive; the Prometheus
+/// `le` label of the bucket).
+pub fn bucket_upper(index: usize) -> u64 {
+    if index + 1 >= BUCKET_COUNT {
+        return u64::MAX;
+    }
+    bucket_lower(index + 1) - 1
+}
+
+/// A lock-free log-linear histogram of u64 observations (typically
+/// nanosecond durations).
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let data = self.data();
+        f.debug_struct("Histogram")
+            .field("count", &data.count())
+            .field("sum", &data.sum)
+            .field("max", &data.max)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (three relaxed atomic updates).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Freeze the current state into a plain, mergeable value. Only
+    /// non-empty buckets are kept (the layout is implied by the index).
+    pub fn data(&self) -> HistogramData {
+        let mut buckets = std::collections::BTreeMap::new();
+        for (index, cell) in self.buckets.iter().enumerate() {
+            let count = cell.load(Ordering::Relaxed);
+            if count > 0 {
+                buckets.insert(index, count);
+            }
+        }
+        HistogramData {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Merge a frozen snapshot back into this histogram (per-bucket
+    /// addition; the exact max propagates through `fetch_max`).
+    pub fn absorb(&self, data: &HistogramData) {
+        for (&index, &count) in &data.buckets {
+            if index < BUCKET_COUNT {
+                self.buckets[index].fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(data.sum, Ordering::Relaxed);
+        self.max.fetch_max(data.max, Ordering::Relaxed);
+    }
+}
+
+/// A frozen histogram: sparse sorted bucket counts plus exact sum/max.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Non-empty buckets, by bucket index (see [`bucket_lower`] /
+    /// [`bucket_upper`] for the value range of an index).
+    pub buckets: std::collections::BTreeMap<usize, u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramData {
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimate: the inclusive upper
+    /// bound of the bucket holding the rank-`ceil(q·count)` observation,
+    /// clamped to the exact max. Empty histograms report 0. The
+    /// estimate is ≥ the true order statistic and falls in the same
+    /// bucket, bounding the relative error by 1/[`SUB_BUCKETS`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (&index, &bucket_count) in &self.buckets {
+            seen += bucket_count;
+            if seen >= rank {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another frozen histogram into this one (bucket-wise
+    /// addition, exact max of maxes).
+    pub fn merge(&mut self, other: &HistogramData) {
+        for (&index, &count) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += count;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Render as a stable JSON object: sparse buckets keyed by their
+    /// inclusive upper bound, then count/max/quantiles/sum. Two equal
+    /// snapshots serialize to identical bytes (BTreeMap iteration
+    /// order).
+    pub fn to_json(&self) -> String {
+        let mut buckets = crate::json::Obj::new();
+        for (&index, &count) in &self.buckets {
+            buckets.u64(&bucket_upper(index).to_string(), count);
+        }
+        crate::json::Obj::new()
+            .raw("buckets", buckets.finish())
+            .u64("count", self.count())
+            .u64("max", self.max)
+            .u64("p50", self.quantile(0.50))
+            .u64("p90", self.quantile(0.90))
+            .u64("p99", self.quantile(0.99))
+            .u64("sum", self.sum)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_consistent() {
+        // Every bucket's bounds round-trip through bucket_index, and the
+        // buckets tile the u64 range without gaps or overlaps.
+        for index in 0..BUCKET_COUNT {
+            let lower = bucket_lower(index);
+            let upper = bucket_upper(index);
+            assert!(lower <= upper, "bucket {index}: {lower} > {upper}");
+            assert_eq!(bucket_index(lower), index, "lower of {index}");
+            assert_eq!(bucket_index(upper), index, "upper of {index}");
+            if index + 1 < BUCKET_COUNT {
+                assert_eq!(bucket_lower(index + 1), upper + 1, "gap after {index}");
+            } else {
+                assert_eq!(upper, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_values_land_in_their_buckets() {
+        // Exact region: value == index.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+        }
+        // Powers of two open a fresh sub-bucket run.
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(33), 32); // quantized: 2 values per bucket
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        // Relative error bound: width/lower <= 1/16.
+        for &v in &[100u64, 1_000, 12_345, 1 << 40, u64::MAX / 3] {
+            let i = bucket_index(v);
+            let width = bucket_upper(i) - bucket_lower(i) + 1;
+            assert!(
+                (width as f64) / (bucket_lower(i) as f64) <= 1.0 / 16.0 + 1e-9,
+                "bucket {i} width {width} lower {}",
+                bucket_lower(i)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        let data = h.data();
+        assert_eq!(data.count(), 0);
+        assert_eq!(data.sum, 0);
+        assert_eq!(data.max, 0);
+        assert_eq!(data.quantile(0.5), 0);
+        assert_eq!(
+            data.to_json(),
+            "{\"buckets\":{},\"count\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0,\"sum\":0}"
+        );
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1_000);
+        }
+        let data = h.data();
+        assert_eq!(data.count(), 100);
+        assert_eq!(data.max, 100_000);
+        assert_eq!(data.sum, 5_050_000);
+        // Estimates are >= the true order statistic and in its bucket.
+        for (q, oracle) in [(0.50, 50_000u64), (0.90, 90_000), (0.99, 99_000)] {
+            let est = data.quantile(q);
+            assert!(est >= oracle, "q{q}: {est} < {oracle}");
+            assert_eq!(bucket_index(est), bucket_index(oracle), "q{q}");
+        }
+        assert_eq!(data.quantile(1.0), 100_000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::new();
+        for v in [3u64, 17, 17, 40, 900, 12_345, 12_345, 1 << 30] {
+            h.record(v);
+        }
+        let data = h.data();
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            assert!(
+                data.quantile(pair[0]) <= data.quantile(pair[1]),
+                "quantile not monotone at {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_combined_recording() {
+        let record = |values: &[u64]| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.data()
+        };
+        let a = record(&[1, 5, 900, 44]);
+        let b = record(&[17, 17, 1 << 20]);
+        let c = record(&[u64::MAX, 0, 3]);
+        // (a+b)+c == a+(b+c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // Merged result equals recording everything into one histogram.
+        let all = record(&[1, 5, 900, 44, 17, 17, 1 << 20, u64::MAX, 0, 3]);
+        assert_eq!(left, all);
+        assert_eq!(left.count(), 10);
+    }
+
+    #[test]
+    fn absorb_merges_into_live_histogram() {
+        let live = Histogram::new();
+        live.record(10);
+        let frozen = {
+            let h = Histogram::new();
+            h.record(1_000);
+            h.record(2_000);
+            h.data()
+        };
+        live.absorb(&frozen);
+        let data = live.data();
+        assert_eq!(data.count(), 3);
+        assert_eq!(data.sum, 3_010);
+        assert_eq!(data.max, 2_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.data().count(), 4_000);
+    }
+}

@@ -27,6 +27,8 @@
 //!   worker pools (the HTTP server's acceptor/worker handoff).
 
 pub mod cache;
+pub mod export;
+pub mod histogram;
 pub mod intern;
 pub mod json;
 pub mod pool;
@@ -34,6 +36,8 @@ pub mod rng;
 pub mod telemetry;
 
 pub use cache::{CacheStats, ShardedCache};
+pub use export::{chrome_trace, prometheus_text};
+pub use histogram::{Histogram, HistogramData};
 pub use intern::{Interner, Symbol};
 pub use pool::{parallel_map, parallel_map_chunked, parallel_try_map, resolve_threads, JobQueue};
 pub use rng::SplitMix64;

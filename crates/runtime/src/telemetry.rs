@@ -22,6 +22,7 @@
 //! the property the integration suite asserts and the `--metrics`
 //! acceptance check relies on.
 
+use crate::histogram::{Histogram, HistogramData};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -83,6 +84,7 @@ struct Inner {
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     spans: RwLock<BTreeMap<String, Arc<SpanAccum>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     clock: Clock,
 }
 
@@ -147,6 +149,7 @@ impl Telemetry {
                 counters: RwLock::new(BTreeMap::new()),
                 gauges: RwLock::new(BTreeMap::new()),
                 spans: RwLock::new(BTreeMap::new()),
+                histograms: RwLock::new(BTreeMap::new()),
                 clock,
             })),
         }
@@ -216,6 +219,69 @@ impl Telemetry {
         }
     }
 
+    /// Record one observation into a named histogram (log-linear
+    /// buckets; see [`crate::histogram`]).
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            Inner::entry(&inner.histograms, name).record(value);
+        }
+    }
+
+    /// Open a histogram-only timer: the elapsed nanoseconds are
+    /// recorded into the named histogram when the guard drops.
+    pub fn time_histogram(&self, name: &str) -> HistogramGuard {
+        HistogramGuard {
+            active: self.inner.as_ref().map(|inner| {
+                let histogram = Inner::entry(&inner.histograms, name);
+                (Arc::clone(inner), histogram, inner.clock.now_ns())
+            }),
+        }
+    }
+
+    /// Open a combined timer: one clock-read pair feeds both the span
+    /// accumulator *and* a same-named latency histogram, so the
+    /// hierarchical breakdown and the distribution stay consistent.
+    pub fn timed(&self, name: &str) -> TimedGuard {
+        TimedGuard {
+            active: self.inner.as_ref().map(|inner| TimedActive {
+                accum: Inner::entry(&inner.spans, name),
+                histogram: Inner::entry(&inner.histograms, name),
+                start: inner.clock.now_ns(),
+                inner: Arc::clone(inner),
+            }),
+        }
+    }
+
+    /// Merge a frozen snapshot into this live registry: counters and
+    /// span totals add, histograms merge bucket-wise, gauges take the
+    /// incoming value. Used to fold per-request registries back into
+    /// the server's global one.
+    pub fn absorb(&self, snapshot: &MetricsSnapshot) {
+        if self.inner.is_none() {
+            return;
+        }
+        for (name, value) in &snapshot.counters {
+            self.add(name, *value);
+        }
+        for (name, value) in &snapshot.gauges {
+            self.gauge(name, *value);
+        }
+        for (name, data) in &snapshot.spans {
+            if data.count > 0 || data.total_ns > 0 {
+                if let Some(inner) = &self.inner {
+                    let accum = Inner::entry(&inner.spans, name);
+                    accum.total_ns.fetch_add(data.total_ns, Ordering::Relaxed);
+                    accum.count.fetch_add(data.count, Ordering::Relaxed);
+                }
+            }
+        }
+        for (name, data) in &snapshot.histograms {
+            if let Some(inner) = &self.inner {
+                Inner::entry(&inner.histograms, name).absorb(data);
+            }
+        }
+    }
+
     /// Record a cache's counter snapshot under `cache.<name>.*`:
     /// `hits`, `misses` and the derived `lookups` as counters, current
     /// `entries` as a gauge. Registering a *snapshot* (not a live feed)
@@ -264,10 +330,18 @@ impl Telemetry {
                 )
             })
             .collect();
+        let histograms = inner
+            .histograms
+            .read()
+            .expect("telemetry map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.data()))
+            .collect();
         MetricsSnapshot {
             counters,
             gauges,
             spans,
+            histograms,
         }
     }
 }
@@ -309,6 +383,48 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Scope guard of [`Telemetry::time_histogram`]; records the elapsed
+/// nanoseconds into the histogram on drop.
+#[must_use = "dropping the guard immediately records a zero-length observation"]
+pub struct HistogramGuard {
+    active: Option<(Arc<Inner>, Arc<Histogram>, u64)>,
+}
+
+impl Drop for HistogramGuard {
+    fn drop(&mut self) {
+        if let Some((inner, histogram, start)) = self.active.take() {
+            histogram.record(inner.clock.now_ns().saturating_sub(start));
+        }
+    }
+}
+
+/// Live half of a [`TimedGuard`]: the registry plus the two cells the
+/// single elapsed reading lands in.
+struct TimedActive {
+    inner: Arc<Inner>,
+    accum: Arc<SpanAccum>,
+    histogram: Arc<Histogram>,
+    start: u64,
+}
+
+/// Scope guard of [`Telemetry::timed`]; one elapsed reading feeds both
+/// the span accumulator and the same-named histogram on drop.
+#[must_use = "dropping the guard immediately records a zero-length interval"]
+pub struct TimedGuard {
+    active: Option<TimedActive>,
+}
+
+impl Drop for TimedGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let elapsed = active.inner.clock.now_ns().saturating_sub(active.start);
+            active.accum.total_ns.fetch_add(elapsed, Ordering::Relaxed);
+            active.accum.count.fetch_add(1, Ordering::Relaxed);
+            active.histogram.record(elapsed);
+        }
+    }
+}
+
 /// Accumulated data of one span in a snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanData {
@@ -328,17 +444,23 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Span accumulators by dotted hierarchical name.
     pub spans: BTreeMap<String, SpanData>,
+    /// Latency histograms by name (log-linear buckets; see
+    /// [`crate::histogram`]).
+    pub histograms: BTreeMap<String, HistogramData>,
 }
 
 impl MetricsSnapshot {
     /// True when nothing was recorded (the disabled registry's
     /// snapshot).
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.spans.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+            && self.histograms.is_empty()
     }
 
     /// Merge another snapshot into this one: counters, gauges and span
-    /// totals/counts add per name.
+    /// totals/counts add per name; histograms merge bucket-wise.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -350,6 +472,9 @@ impl MetricsSnapshot {
             let slot = self.spans.entry(k.clone()).or_default();
             slot.total_ns += v.total_ns;
             slot.count += v.count;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
         }
     }
 
@@ -369,6 +494,11 @@ impl MetricsSnapshot {
                 .spans
                 .iter()
                 .map(|(k, v)| (format!("{prefix}{k}"), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (format!("{prefix}{k}"), v.clone()))
                 .collect(),
         }
     }
@@ -394,9 +524,14 @@ impl MetricsSnapshot {
                     .finish(),
             );
         }
+        let mut histograms = crate::json::Obj::new();
+        for (k, v) in &self.histograms {
+            histograms.raw(k, v.to_json());
+        }
         crate::json::Obj::new()
             .raw("counters", scalar_map(&self.counters))
             .raw("gauges", scalar_map(&self.gauges))
+            .raw("histograms", histograms.finish())
             .raw("spans", spans.finish())
             .finish()
     }
@@ -415,6 +550,14 @@ impl MetricsSnapshot {
         for key in self.spans.keys() {
             lines.push(format!("spans.{key}.count u64"));
             lines.push(format!("spans.{key}.total_ns u64"));
+        }
+        for key in self.histograms.keys() {
+            // Bucket keys depend on the observed values, so the schema
+            // treats the bucket map as one opaque object.
+            lines.push(format!("histograms.{key}.buckets obj"));
+            for field in ["count", "max", "p50", "p90", "p99", "sum"] {
+                lines.push(format!("histograms.{key}.{field} u64"));
+            }
         }
         lines.sort();
         let mut out = lines.join("\n");
@@ -449,14 +592,18 @@ mod tests {
         tel.gauge("g", 4);
         tel.gauge_max("g", 9);
         tel.record_ns("s", 100);
+        tel.observe("h", 42);
         let counter = tel.counter("c");
         counter.incr();
         drop(tel.span("span"));
+        drop(tel.time_histogram("span"));
+        drop(tel.timed("span"));
+        tel.absorb(&Telemetry::deterministic().snapshot());
         let snapshot = tel.snapshot();
         assert!(snapshot.is_empty());
         assert_eq!(
             snapshot.to_json(),
-            "{\"counters\":{},\"gauges\":{},\"spans\":{}}"
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"spans\":{}}"
         );
     }
 
@@ -554,11 +701,55 @@ mod tests {
         tel.incr("a");
         tel.gauge("g", 1);
         tel.record_ns("s", 1);
+        tel.observe("h", 7);
         let schema = tel.snapshot().schema();
         assert_eq!(
             schema,
-            "counters.a u64\ncounters.b u64\ngauges.g u64\nspans.s.count u64\nspans.s.total_ns u64\n"
+            "counters.a u64\ncounters.b u64\ngauges.g u64\n\
+             histograms.h.buckets obj\nhistograms.h.count u64\nhistograms.h.max u64\n\
+             histograms.h.p50 u64\nhistograms.h.p90 u64\nhistograms.h.p99 u64\n\
+             histograms.h.sum u64\nspans.s.count u64\nspans.s.total_ns u64\n"
         );
+    }
+
+    #[test]
+    fn timed_guard_feeds_span_and_histogram_consistently() {
+        let tel = Telemetry::deterministic();
+        for _ in 0..3 {
+            drop(tel.timed("stage"));
+        }
+        drop(tel.time_histogram("solo"));
+        let snapshot = tel.snapshot();
+        let span = snapshot.spans["stage"];
+        let hist = &snapshot.histograms["stage"];
+        assert_eq!(span.count, 3);
+        assert_eq!(hist.count(), 3);
+        // One clock pair feeds both: the histogram's sum is exactly the
+        // span's accumulated total.
+        assert_eq!(hist.sum, span.total_ns);
+        assert_eq!(hist.max, FAKE_CLOCK_STEP_NS);
+        // time_histogram records no span.
+        assert!(!snapshot.spans.contains_key("solo"));
+        assert_eq!(snapshot.histograms["solo"].count(), 1);
+    }
+
+    #[test]
+    fn absorb_folds_a_snapshot_into_a_live_registry() {
+        let local = Telemetry::deterministic();
+        local.add("req", 2);
+        local.gauge("depth", 5);
+        local.record_ns("stage", 100);
+        local.observe("lat", 1_000);
+        let global = Telemetry::deterministic();
+        global.add("req", 1);
+        global.observe("lat", 9);
+        global.absorb(&local.snapshot());
+        let merged = global.snapshot();
+        assert_eq!(merged.counters["req"], 3);
+        assert_eq!(merged.gauges["depth"], 5);
+        assert_eq!(merged.spans["stage"].total_ns, 100);
+        assert_eq!(merged.histograms["lat"].count(), 2);
+        assert_eq!(merged.histograms["lat"].max, 1_000);
     }
 
     #[test]

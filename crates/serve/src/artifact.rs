@@ -44,6 +44,10 @@ pub struct DomainArtifact {
     /// Distinct source label → its normalized content-word keys, as
     /// indices into [`DomainArtifact::symbols`]. Sorted by label symbol.
     pub normalized: Vec<(u32, Vec<u32>)>,
+    /// Per-node labeling-decision provenance, sorted by node id. Empty
+    /// for artifacts loaded from snapshots that predate the
+    /// `decisions/` section.
+    pub decisions: Vec<qi_core::LabelDecision>,
 }
 
 impl DomainArtifact {
@@ -85,11 +89,12 @@ pub fn build_artifact(
     policy: NamingPolicy,
     telemetry: &Telemetry,
 ) -> DomainArtifact {
-    let span = telemetry.span("serve.build_artifact");
+    let span = telemetry.timed("serve.build_artifact");
     let prepared = domain.prepare();
     let labeled = Labeler::new(lexicon, policy)
         .with_telemetry(telemetry.clone())
         .label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+    let decisions = qi_core::provenance::decisions(&labeled, &policy);
 
     // Lexical sidecar: normalize every distinct source label once and
     // intern both the labels and their content-word keys so the snapshot
@@ -129,6 +134,7 @@ pub fn build_artifact(
         labeled_internal: labeled.report.labeled_internal,
         symbols,
         normalized: normalized.into_iter().collect(),
+        decisions,
     }
 }
 
@@ -159,7 +165,7 @@ pub fn ingest_interface(
     policy: NamingPolicy,
     telemetry: &Telemetry,
 ) -> DomainArtifact {
-    let span = telemetry.span("serve.ingest");
+    let span = telemetry.timed("serve.ingest");
     let mut schemas = artifact.schemas.clone();
     schemas.push(interface);
     let mapping = qi_mapping::match_by_labels(&schemas, lexicon);
@@ -213,6 +219,17 @@ mod tests {
             for &k in keys {
                 assert!((k as usize) < artifact.symbols.len());
             }
+        }
+        // Provenance: decisions are sorted by node, each names a rule,
+        // and every decision's node exists in the labeled tree.
+        assert!(!artifact.decisions.is_empty());
+        let node_count = artifact.labeled.nodes().count() as u32;
+        for pair in artifact.decisions.windows(2) {
+            assert!(pair[0].node <= pair[1].node);
+        }
+        for decision in &artifact.decisions {
+            assert!(!decision.rule.is_empty());
+            assert!(decision.node < node_count, "{decision:?}");
         }
     }
 

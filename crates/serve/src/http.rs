@@ -152,6 +152,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (lowercase names), written after the
+    /// standard block.
+    pub extra_headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -159,9 +162,16 @@ pub struct Response {
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Self {
+        Response::with_type(status, "application/json", body)
+    }
+
+    /// A response with an explicit `Content-Type` (e.g. the Prometheus
+    /// text exposition's `text/plain; version=0.0.4`).
+    pub fn with_type(status: u16, content_type: &'static str, body: String) -> Self {
         Response {
             status,
-            content_type: "application/json",
+            content_type,
+            extra_headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -172,16 +182,26 @@ impl Response {
         Response::json(status, body)
     }
 
+    /// Append an extra header (builder style).
+    pub fn header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+
     /// Serialize as an HTTP/1.1 response with `Connection: close`.
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.extra_headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "connection: close\r\n\r\n")?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
@@ -272,5 +292,24 @@ mod tests {
         let err = Response::error(404, "no such domain");
         assert_eq!(err.status, 404);
         assert_eq!(err.body, b"{\"error\":\"no such domain\"}");
+    }
+
+    #[test]
+    fn extra_headers_and_content_types_serialize() {
+        let mut out = Vec::new();
+        Response::with_type(200, "text/plain; version=0.0.4", "x 1\n".into())
+            .header("x-qi-request-id", "17".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("content-type: text/plain; version=0.0.4\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("x-qi-request-id: 17\r\n"), "{text}");
+        // Extra headers stay inside the head, before the blank line.
+        let head = text.split("\r\n\r\n").next().unwrap();
+        assert!(head.contains("x-qi-request-id"), "{head}");
+        assert!(text.ends_with("x 1\n"));
     }
 }

@@ -6,6 +6,19 @@
 //! backlog grow. Shutdown is graceful: the acceptor stops accepting,
 //! the queue is closed, and workers finish every in-flight and queued
 //! request before the server thread exits.
+//!
+//! # Per-request observability
+//!
+//! Every accepted connection gets a monotonic request id, echoed back
+//! in an `x-qi-request-id` response header. Queue time is measured from
+//! accept to worker pickup (`serve.queue.wait` histogram,
+//! `serve.queue.depth` gauge); handler time feeds a per-route
+//! `serve.http.{route}` span + latency histogram. With
+//! [`ServerConfig::access_log`] set, one structured line per request is
+//! written to stderr or an append-only file; with
+//! [`ServerConfig::slow_ms`] set, requests over the threshold
+//! additionally log their full per-stage span breakdown, captured in a
+//! request-local registry and merged into the global one afterwards.
 
 use crate::artifact::DomainArtifact;
 use crate::http::{read_request, Request, RequestError, Response};
@@ -13,11 +26,12 @@ use crate::store::Store;
 use qi_runtime::json::{Arr, Obj};
 use qi_runtime::{resolve_threads, JobQueue, Telemetry};
 use std::io;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
@@ -35,6 +49,13 @@ pub struct ServerConfig {
     pub read_timeout_ms: u64,
     /// Per-connection socket write timeout, in milliseconds.
     pub write_timeout_ms: u64,
+    /// Access-log sink: `None` disables it, `"stderr"` logs to stderr,
+    /// anything else is an append-only file path.
+    pub access_log: Option<String>,
+    /// Log a per-stage span breakdown for requests at or above this
+    /// many milliseconds (to the access-log sink, or stderr without
+    /// one). `None` disables slow-request tracing.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -46,8 +67,63 @@ impl Default for ServerConfig {
             max_body: 256 * 1024,
             read_timeout_ms: 5_000,
             write_timeout_ms: 5_000,
+            access_log: None,
+            slow_ms: None,
         }
     }
+}
+
+/// Where access-log lines go.
+enum AccessLog {
+    /// No sink configured.
+    Off,
+    Stderr,
+    File(Mutex<std::fs::File>),
+}
+
+impl AccessLog {
+    fn open(sink: Option<&str>) -> io::Result<AccessLog> {
+        match sink {
+            None => Ok(AccessLog::Off),
+            Some("stderr") => Ok(AccessLog::Stderr),
+            Some(path) => Ok(AccessLog::File(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ))),
+        }
+    }
+
+    fn log(&self, line: &str) {
+        match self {
+            AccessLog::Off => {}
+            AccessLog::Stderr => eprintln!("{line}"),
+            AccessLog::File(file) => {
+                if let Ok(mut file) = file.lock() {
+                    let _ = writeln!(file, "{line}");
+                }
+            }
+        }
+    }
+
+    /// Like [`AccessLog::log`], but slow-request breakdowns still land
+    /// on stderr when no access log is configured.
+    fn log_or_stderr(&self, line: &str) {
+        match self {
+            AccessLog::Off => eprintln!("{line}"),
+            sink => sink.log(line),
+        }
+    }
+}
+
+/// One accepted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    /// Monotonic request id, echoed as `x-qi-request-id`.
+    id: u64,
+    /// When the acceptor enqueued the connection.
+    enqueued: Instant,
 }
 
 /// A configured, not-yet-started server.
@@ -86,11 +162,12 @@ impl Server {
     pub fn start(self) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&self.config.addr)?;
         let addr = listener.local_addr()?;
+        let access_log = AccessLog::open(self.config.access_log.as_deref())?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let thread = std::thread::Builder::new()
             .name("qi-serve".to_string())
-            .spawn(move || run(listener, addr, self, flag))?;
+            .spawn(move || run(listener, addr, self, access_log, flag))?;
         Ok(ServerHandle {
             addr,
             shutdown,
@@ -139,21 +216,38 @@ fn trigger_shutdown(flag: &AtomicBool, addr: SocketAddr) {
 
 /// Acceptor + worker pool; runs on the dedicated server thread until
 /// shutdown.
-fn run(listener: TcpListener, addr: SocketAddr, server: Server, shutdown: Arc<AtomicBool>) {
+fn run(
+    listener: TcpListener,
+    addr: SocketAddr,
+    server: Server,
+    access_log: AccessLog,
+    shutdown: Arc<AtomicBool>,
+) {
     let Server {
         store,
         telemetry,
         config,
     } = server;
     let workers = resolve_threads(config.threads);
-    let queue: JobQueue<TcpStream> = JobQueue::bounded(config.queue_depth);
+    let queue: JobQueue<Job> = JobQueue::bounded(config.queue_depth);
+    let next_id = AtomicU64::new(1);
     telemetry.gauge("serve.workers", workers as u64);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                while let Some(stream) = queue.pop() {
-                    handle_connection(stream, &store, &telemetry, &config, &shutdown, addr);
+                while let Some(job) = queue.pop() {
+                    telemetry.observe("serve.queue.wait", job.enqueued.elapsed().as_nanos() as u64);
+                    telemetry.gauge("serve.queue.depth", queue.len() as u64);
+                    handle_connection(
+                        job,
+                        &store,
+                        &telemetry,
+                        &config,
+                        &access_log,
+                        &shutdown,
+                        addr,
+                    );
                 }
             });
         }
@@ -165,11 +259,18 @@ fn run(listener: TcpListener, addr: SocketAddr, server: Server, shutdown: Arc<At
             let Ok(stream) = accepted else { continue };
             let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms)));
             let _ = stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms)));
-            if let Err(mut rejected) = queue.push(stream) {
+            let job = Job {
+                stream,
+                id: next_id.fetch_add(1, Ordering::Relaxed),
+                enqueued: Instant::now(),
+            };
+            if let Err(mut rejected) = queue.push(job) {
                 // Queue full: shed load here instead of queueing grief.
                 telemetry.incr("serve.shed");
-                let _ = Response::error(503, "server is at capacity").write_to(&mut rejected);
+                let _ =
+                    Response::error(503, "server is at capacity").write_to(&mut rejected.stream);
             }
+            telemetry.gauge_max("serve.queue.depth.max", queue.len() as u64);
         }
 
         // Stop feeding, let workers drain what is already queued.
@@ -180,13 +281,21 @@ fn run(listener: TcpListener, addr: SocketAddr, server: Server, shutdown: Arc<At
 /// Serve one connection: read a request, route it, write the response.
 /// Never panics outward — a handler panic becomes a `500`.
 fn handle_connection(
-    mut stream: TcpStream,
+    job: Job,
     store: &Store,
     telemetry: &Telemetry,
     config: &ServerConfig,
+    access_log: &AccessLog,
     shutdown: &Arc<AtomicBool>,
     addr: SocketAddr,
 ) {
+    let Job {
+        mut stream,
+        id,
+        enqueued,
+    } = job;
+    let queue_wait = enqueued.elapsed();
+    let started = Instant::now();
     let request = match read_request(&mut stream, config.max_body) {
         Ok(request) => request,
         Err(RequestError::Closed) => return,
@@ -199,7 +308,19 @@ fn handle_connection(
                 RequestError::Closed => unreachable!(),
             };
             telemetry.incr("serve.errors.read");
-            let _ = Response::error(status, &message).write_to(&mut stream);
+            let response =
+                Response::error(status, &message).header("x-qi-request-id", id.to_string());
+            let _ = response.write_to(&mut stream);
+            access_log.log(&access_line(
+                id,
+                "-",
+                "read_error",
+                "-",
+                status,
+                response.body.len(),
+                started.elapsed(),
+                queue_wait,
+            ));
             // The peer may still be sending the bytes we refused to read.
             // Closing now would RST the connection and discard the error
             // response; send our FIN first and briefly drain instead.
@@ -208,24 +329,79 @@ fn handle_connection(
         }
     };
 
+    // With slow-request tracing on, handler spans go into a request-
+    // local registry (so the breakdown is this request's alone), then
+    // merge into the global one.
+    let local = config.slow_ms.map(|_| Telemetry::new());
+    let effective = local.as_ref().unwrap_or(telemetry);
+
     let route = route_name(&request);
     telemetry.incr(&format!("serve.requests.{route}"));
-    let span = telemetry.span(&format!("serve.http.{route}"));
-    let response = catch_unwind(AssertUnwindSafe(|| handle(&request, store, telemetry)))
-        .unwrap_or_else(|_| {
-            telemetry.incr("serve.panics");
-            Response::error(500, "internal error")
-        });
-    drop(span);
+    let timed = telemetry.timed(&format!("serve.http.{route}"));
+    let response = catch_unwind(AssertUnwindSafe(|| {
+        handle(&request, store, telemetry, effective)
+    }))
+    .unwrap_or_else(|_| {
+        telemetry.incr("serve.panics");
+        Response::error(500, "internal error")
+    });
+    drop(timed);
+    let latency = started.elapsed();
     if response.status >= 400 {
         telemetry.incr(&format!("serve.errors.{route}"));
     }
+    let response = response.header("x-qi-request-id", id.to_string());
     let _ = response.write_to(&mut stream);
+
+    access_log.log(&access_line(
+        id,
+        &request.method,
+        route,
+        &request.path,
+        response.status,
+        response.body.len(),
+        latency,
+        queue_wait,
+    ));
+    if let (Some(slow_ms), Some(local)) = (config.slow_ms, &local) {
+        let snapshot = local.snapshot();
+        if latency.as_millis() as u64 >= slow_ms {
+            let mut stages = String::new();
+            for (name, span) in &snapshot.spans {
+                stages.push_str(&format!(" {name}={}us", span.total_ns / 1_000));
+            }
+            access_log.log_or_stderr(&format!(
+                "slow req={id} route={route} latency_us={}{stages}",
+                latency.as_micros()
+            ));
+        }
+        telemetry.absorb(&snapshot);
+    }
 
     // The shutdown endpoint answers first, then stops the server.
     if route == "shutdown" && response.status == 200 {
         trigger_shutdown(shutdown, addr);
     }
+}
+
+/// One structured access-log line.
+#[allow(clippy::too_many_arguments)]
+fn access_line(
+    id: u64,
+    method: &str,
+    route: &str,
+    path: &str,
+    status: u16,
+    bytes: usize,
+    latency: Duration,
+    queue_wait: Duration,
+) -> String {
+    format!(
+        "req={id} method={method} route={route} path={path} status={status} bytes={bytes} \
+         latency_us={} queue_wait_us={}",
+        latency.as_micros(),
+        queue_wait.as_micros()
+    )
 }
 
 /// Half-close the write side and swallow (bounded) whatever request
@@ -253,6 +429,7 @@ fn route_name(request: &Request) -> &'static str {
         ("GET", ["domains"]) => "domains",
         ("GET", ["domains", _, "labels"]) => "labels",
         ("GET", ["domains", _, "tree"]) => "tree",
+        ("GET", ["domains", _, "explain"]) => "explain",
         ("POST", ["domains", _, "interfaces"]) => "ingest",
         ("POST", ["admin", "shutdown"]) => "shutdown",
         _ => "other",
@@ -260,7 +437,17 @@ fn route_name(request: &Request) -> &'static str {
 }
 
 /// Route a parsed request to its handler.
-fn handle(request: &Request, store: &Store, telemetry: &Telemetry) -> Response {
+///
+/// `telemetry` is the server-global registry (what `GET /metrics`
+/// reports); `effective` is where this request's pipeline spans land —
+/// the same registry normally, a request-local one under slow-request
+/// tracing.
+fn handle(
+    request: &Request,
+    store: &Store,
+    telemetry: &Telemetry,
+    effective: &Telemetry,
+) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::json(
@@ -270,7 +457,7 @@ fn handle(request: &Request, store: &Store, telemetry: &Telemetry) -> Response {
                 .u64("domains", store.len() as u64)
                 .finish(),
         ),
-        ("GET", ["metrics"]) => Response::json(200, telemetry.snapshot().to_json()),
+        ("GET", ["metrics"]) => metrics(request, telemetry),
         ("GET", ["domains"]) => list_domains(store),
         ("GET", ["domains", domain, "labels"]) => match store.get(domain) {
             Some(artifact) => labels(&artifact),
@@ -280,7 +467,11 @@ fn handle(request: &Request, store: &Store, telemetry: &Telemetry) -> Response {
             Some(artifact) => tree(&artifact),
             None => Response::error(404, "no such domain"),
         },
-        ("POST", ["domains", domain, "interfaces"]) => ingest(request, store, domain),
+        ("GET", ["domains", domain, "explain"]) => match store.get(domain) {
+            Some(artifact) => explain(&artifact),
+            None => Response::error(404, "no such domain"),
+        },
+        ("POST", ["domains", domain, "interfaces"]) => ingest(request, store, domain, effective),
         ("POST", ["admin", "shutdown"]) => {
             Response::json(200, Obj::new().str("status", "shutting down").finish())
         }
@@ -288,6 +479,25 @@ fn handle(request: &Request, store: &Store, telemetry: &Telemetry) -> Response {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, "no such resource"),
+    }
+}
+
+/// `GET /metrics` with content negotiation: the Prometheus text
+/// exposition when the `Accept` header asks for `text/plain`, sorted
+/// JSON otherwise.
+fn metrics(request: &Request, telemetry: &Telemetry) -> Response {
+    let snapshot = telemetry.snapshot();
+    let wants_prometheus = request
+        .header("accept")
+        .is_some_and(|accept| accept.contains("text/plain"));
+    if wants_prometheus {
+        Response::with_type(
+            200,
+            "text/plain; version=0.0.4",
+            qi_runtime::prometheus_text(&snapshot),
+        )
+    } else {
+        Response::json(200, snapshot.to_json())
     }
 }
 
@@ -355,7 +565,44 @@ fn tree(artifact: &DomainArtifact) -> Response {
     )
 }
 
-fn ingest(request: &Request, store: &Store, domain: &str) -> Response {
+/// `GET /domains/{d}/explain`: the per-node labeling-decision
+/// provenance of the domain's current artifact.
+fn explain(artifact: &DomainArtifact) -> Response {
+    let mut arr = Arr::new();
+    for decision in &artifact.decisions {
+        let mut candidates = Arr::new();
+        for candidate in &decision.candidates {
+            candidates.raw(
+                Obj::new()
+                    .str("label", &candidate.label)
+                    .u64("frequency", candidate.frequency)
+                    .bool("accepted", candidate.accepted)
+                    .str("note", &candidate.note)
+                    .finish(),
+            );
+        }
+        let mut obj = Obj::new();
+        obj.u64("node", decision.node as u64);
+        obj.str("path", &decision.path);
+        obj.str("rule", &decision.rule);
+        match &decision.chosen {
+            Some(label) => obj.str("label", label),
+            None => obj.raw("label", "null"),
+        };
+        obj.raw("candidates", candidates.finish());
+        arr.raw(obj.finish());
+    }
+    Response::json(
+        200,
+        Obj::new()
+            .str("domain", &artifact.name)
+            .u64("decisions", artifact.decisions.len() as u64)
+            .raw("explain", arr.finish())
+            .finish(),
+    )
+}
+
+fn ingest(request: &Request, store: &Store, domain: &str, telemetry: &Telemetry) -> Response {
     let Ok(text) = std::str::from_utf8(&request.body) else {
         return Response::error(400, "interface body is not UTF-8");
     };
@@ -363,7 +610,7 @@ fn ingest(request: &Request, store: &Store, domain: &str) -> Response {
         Ok(interface) => interface,
         Err(err) => return Response::error(400, &format!("bad interface: {err}")),
     };
-    match store.ingest(domain, interface) {
+    match store.ingest_with(domain, interface, telemetry) {
         Some(artifact) => Response::json(200, summary(&artifact)),
         None => Response::error(404, "no such domain"),
     }
@@ -402,7 +649,7 @@ mod tests {
     fn routes_cover_the_api_surface() {
         let store = auto_store();
         let telemetry = Telemetry::off();
-        let ok = |req: &Request| handle(req, &store, &telemetry);
+        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry);
 
         let health = ok(&request("GET", "/healthz", b""));
         assert_eq!(health.status, 200);
@@ -423,10 +670,48 @@ mod tests {
         let text = String::from_utf8(tree.body).unwrap();
         assert!(text.contains("interface"), "{text}");
 
+        let explain = ok(&request("GET", "/domains/auto/explain", b""));
+        assert_eq!(explain.status, 200);
+        let text = String::from_utf8(explain.body).unwrap();
+        assert!(text.contains("\"rule\":"), "{text}");
+        assert!(text.contains("\"accepted\":true"), "{text}");
+
         assert_eq!(ok(&request("GET", "/domains/nope/tree", b"")).status, 404);
+        assert_eq!(
+            ok(&request("GET", "/domains/nope/explain", b"")).status,
+            404
+        );
         assert_eq!(ok(&request("GET", "/nope", b"")).status, 404);
         assert_eq!(ok(&request("PUT", "/healthz", b"")).status, 405);
         assert_eq!(ok(&request("GET", "/metrics", b"")).status, 200);
+    }
+
+    #[test]
+    fn metrics_negotiates_prometheus_and_json() {
+        let store = auto_store();
+        let telemetry = Telemetry::deterministic();
+        telemetry.incr("probe.hits");
+        drop(telemetry.timed("probe.work"));
+
+        let json = handle(
+            &request("GET", "/metrics", b""),
+            &store,
+            &telemetry,
+            &telemetry,
+        );
+        assert_eq!(json.status, 200);
+        assert_eq!(json.content_type, "application/json");
+        assert!(json.body.starts_with(b"{"));
+
+        let mut req = request("GET", "/metrics", b"");
+        req.headers
+            .push(("accept".to_string(), "text/plain".to_string()));
+        let prom = handle(&req, &store, &telemetry, &telemetry);
+        assert_eq!(prom.status, 200);
+        assert_eq!(prom.content_type, "text/plain; version=0.0.4");
+        let text = String::from_utf8(prom.body).unwrap();
+        assert!(text.contains("qi_probe_hits_total 1"), "{text}");
+        assert!(text.contains("# TYPE qi_probe_work histogram"), "{text}");
     }
 
     #[test]
@@ -439,9 +724,13 @@ mod tests {
             &request("POST", "/domains/auto/interfaces", b"not an interface"),
             &store,
             &telemetry,
+            &telemetry,
         );
         assert_eq!(bad.status, 400);
 
+        // An explicit "effective" registry receives the rebuild spans,
+        // as under slow-request tracing.
+        let local = Telemetry::deterministic();
         let good = handle(
             &request(
                 "POST",
@@ -450,13 +739,18 @@ mod tests {
             ),
             &store,
             &telemetry,
+            &local,
         );
         assert_eq!(good.status, 200, "{:?}", String::from_utf8(good.body));
         assert_eq!(store.get("auto").unwrap().interfaces(), before + 1);
+        let snapshot = local.snapshot();
+        assert!(snapshot.spans.contains_key("serve.ingest"));
+        assert!(snapshot.spans.contains_key("serve.build_artifact"));
 
         let missing = handle(
             &request("POST", "/domains/zzz/interfaces", b"interface x\n- A\n"),
             &store,
+            &telemetry,
             &telemetry,
         );
         assert_eq!(missing.status, 404);
@@ -471,6 +765,10 @@ mod tests {
         assert_eq!(
             route_name(&request("GET", "/domains/books/labels", b"")),
             "labels"
+        );
+        assert_eq!(
+            route_name(&request("GET", "/domains/auto/explain", b"")),
+            "explain"
         );
         assert_eq!(
             route_name(&request("POST", "/domains/auto/interfaces", b"")),

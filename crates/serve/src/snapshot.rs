@@ -16,13 +16,18 @@
 //!
 //! One `"meta"` section carries the naming policy and the domain count;
 //! one `"domain/<slug>"` section per domain carries the full
-//! [`DomainArtifact`]. Trees are encoded natively (node arena in id
+//! [`DomainArtifact`]; an optional `"decisions/<slug>"` section per
+//! domain carries the labeling-decision provenance (omitted when
+//! empty, so snapshots without provenance are byte-identical to the
+//! pre-provenance format). Trees are encoded natively (node arena in id
 //! order), so the round trip is exact for any label or instance text and
 //! re-encoding a loaded snapshot reproduces the input byte for byte.
 //!
 //! The reader refuses snapshots with a bad magic, a future format
 //! version, a truncated table or payload, or a section whose checksum
-//! does not match — corruption is reported, never parsed.
+//! does not match — corruption is reported, never parsed. Sections with
+//! an *unrecognized name* are checksum-verified and then skipped, so a
+//! version-1 reader tolerates optional sections added later.
 
 use crate::artifact::DomainArtifact;
 use qi_core::{
@@ -461,7 +466,75 @@ fn read_domain(payload: &[u8]) -> Result<DomainArtifact, SnapshotError> {
         labeled_internal,
         symbols,
         normalized,
+        decisions: Vec::new(),
     })
+}
+
+// ---------------------------------------------------------------------
+// Decision-provenance codec (optional decisions/<slug> sections)
+// ---------------------------------------------------------------------
+
+fn write_decisions(decisions: &[qi_core::LabelDecision]) -> Vec<u8> {
+    let mut w = ByteWriter::default();
+    w.u32(decisions.len() as u32);
+    for decision in decisions {
+        w.u32(decision.node);
+        w.str(&decision.path);
+        w.str(&decision.rule);
+        w.opt_str(decision.chosen.as_deref());
+        w.u32(decision.candidates.len() as u32);
+        for candidate in &decision.candidates {
+            w.str(&candidate.label);
+            w.u64(candidate.frequency);
+            w.u8(candidate.accepted as u8);
+            w.str(&candidate.note);
+        }
+    }
+    w.buf
+}
+
+fn read_decisions(payload: &[u8]) -> Result<Vec<qi_core::LabelDecision>, SnapshotError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.count(17)?;
+    let mut decisions = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node = r.u32()?;
+        let path = r.str()?;
+        let rule = r.str()?;
+        let chosen = r.opt_str()?;
+        let candidate_count = r.count(17)?;
+        let mut candidates = Vec::with_capacity(candidate_count);
+        for _ in 0..candidate_count {
+            let label = r.str()?;
+            let frequency = r.u64()?;
+            let accepted = match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => return Err(SnapshotError::Malformed(format!("bad accepted flag {tag}"))),
+            };
+            let note = r.str()?;
+            candidates.push(qi_core::DecisionCandidate {
+                label,
+                frequency,
+                accepted,
+                note,
+            });
+        }
+        decisions.push(qi_core::LabelDecision {
+            node,
+            path,
+            rule,
+            chosen,
+            candidates,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(SnapshotError::Malformed(format!(
+            "{} trailing bytes in decisions section",
+            r.remaining()
+        )));
+    }
+    Ok(decisions)
 }
 
 // ---------------------------------------------------------------------
@@ -529,25 +602,14 @@ impl Snapshot {
                 format!("domain/{}", artifact.slug()),
                 write_domain(artifact),
             ));
+            if !artifact.decisions.is_empty() {
+                sections.push((
+                    format!("decisions/{}", artifact.slug()),
+                    write_decisions(&artifact.decisions),
+                ));
+            }
         }
-
-        let mut header = ByteWriter::default();
-        header.buf.extend_from_slice(&MAGIC);
-        header.u32(FORMAT_VERSION);
-        header.u32(sections.len() as u32);
-        let mut offset = 0u64;
-        for (name, payload) in &sections {
-            header.str(name);
-            header.u64(offset);
-            header.u64(payload.len() as u64);
-            header.u64(fnv1a(payload));
-            offset += payload.len() as u64;
-        }
-        let mut bytes = header.buf;
-        for (_, payload) in &sections {
-            bytes.extend_from_slice(payload);
-        }
-        bytes
+        encode_sections(&sections)
     }
 
     /// Decode the on-disk byte format.
@@ -575,6 +637,7 @@ impl Snapshot {
         let payloads = &bytes[r.pos..];
         let mut meta: Option<&[u8]> = None;
         let mut domains: Vec<(&str, &[u8])> = Vec::new();
+        let mut decisions: Vec<(&str, &[u8])> = Vec::new();
         for (name, offset, len, checksum) in &table {
             let end = offset.checked_add(*len).ok_or(SnapshotError::Truncated)?;
             if end > payloads.len() {
@@ -590,11 +653,11 @@ impl Snapshot {
                 meta = Some(payload);
             } else if name.starts_with("domain/") {
                 domains.push((name, payload));
-            } else {
-                return Err(SnapshotError::Malformed(format!(
-                    "unknown section {name:?}"
-                )));
+            } else if let Some(slug) = name.strip_prefix("decisions/") {
+                decisions.push((slug, payload));
             }
+            // Any other section name is a later, optional addition to
+            // the format: checksum-verified above, then skipped.
         }
         let meta = meta.ok_or_else(|| SnapshotError::Malformed("missing meta section".into()))?;
         let mut mr = ByteReader::new(meta);
@@ -608,13 +671,17 @@ impl Snapshot {
         }
         let mut artifacts = Vec::with_capacity(domains.len());
         for (name, payload) in domains {
-            let artifact = read_domain(payload)?;
+            let mut artifact = read_domain(payload)?;
             let expected = format!("domain/{}", artifact.slug());
             if name != expected {
                 return Err(SnapshotError::Malformed(format!(
                     "section {name:?} holds domain {:?}",
                     artifact.name
                 )));
+            }
+            let slug = artifact.slug();
+            if let Some((_, payload)) = decisions.iter().find(|(s, _)| *s == slug) {
+                artifact.decisions = read_decisions(payload)?;
             }
             artifacts.push(artifact);
         }
@@ -623,6 +690,28 @@ impl Snapshot {
             domains: artifacts,
         })
     }
+}
+
+/// Encode a section list into the file layout: magic, version, section
+/// table, concatenated payloads.
+fn encode_sections(sections: &[(String, Vec<u8>)]) -> Vec<u8> {
+    let mut header = ByteWriter::default();
+    header.buf.extend_from_slice(&MAGIC);
+    header.u32(FORMAT_VERSION);
+    header.u32(sections.len() as u32);
+    let mut offset = 0u64;
+    for (name, payload) in sections {
+        header.str(name);
+        header.u64(offset);
+        header.u64(payload.len() as u64);
+        header.u64(fnv1a(payload));
+        offset += payload.len() as u64;
+    }
+    let mut bytes = header.buf;
+    for (_, payload) in sections {
+        bytes.extend_from_slice(payload);
+    }
+    bytes
 }
 
 /// Write a snapshot file.
@@ -690,13 +779,103 @@ mod tests {
     }
 
     #[test]
+    fn decisions_round_trip_exactly() {
+        let snapshot = sample();
+        assert!(!snapshot.domains[0].decisions.is_empty());
+        let loaded = Snapshot::from_bytes(&snapshot.to_bytes()).unwrap();
+        assert_eq!(snapshot.domains[0].decisions, loaded.domains[0].decisions);
+    }
+
+    #[test]
+    fn pre_provenance_snapshots_still_load() {
+        // A snapshot whose artifacts carry no decisions encodes without
+        // any decisions/ section — the exact pre-provenance file format.
+        let mut snapshot = sample();
+        snapshot.domains[0].decisions.clear();
+        let bytes = snapshot.to_bytes();
+        let names = section_names(&bytes);
+        assert_eq!(names, vec!["meta", "domain/auto"]);
+        let loaded = Snapshot::from_bytes(&bytes).unwrap();
+        assert!(loaded.domains[0].decisions.is_empty());
+        assert_eq!(loaded.domains[0].name, "Auto");
+    }
+
+    #[test]
+    fn unknown_section_with_valid_checksum_is_skipped() {
+        let snapshot = sample();
+        let mut sections = vec![("meta".to_string(), {
+            let mut meta = ByteWriter::default();
+            write_policy(&mut meta, snapshot.policy);
+            meta.u32(1);
+            meta.buf
+        })];
+        sections.push((
+            "domain/auto".to_string(),
+            write_domain(&snapshot.domains[0]),
+        ));
+        sections.push(("future/extra".to_string(), b"opaque payload".to_vec()));
+        let bytes = encode_sections(&sections);
+        let loaded = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.domains.len(), 1);
+        assert_eq!(loaded.domains[0].name, "Auto");
+    }
+
+    #[test]
+    fn unknown_section_with_bad_checksum_is_rejected() {
+        let snapshot = sample();
+        let sections = vec![
+            ("meta".to_string(), {
+                let mut meta = ByteWriter::default();
+                write_policy(&mut meta, snapshot.policy);
+                meta.u32(1);
+                meta.buf
+            }),
+            (
+                "domain/auto".to_string(),
+                write_domain(&snapshot.domains[0]),
+            ),
+            ("future/extra".to_string(), b"opaque payload".to_vec()),
+        ];
+        let mut bytes = encode_sections(&sections);
+        // Flip a byte in the trailing (unknown) payload.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        match Snapshot::from_bytes(&bytes) {
+            Err(SnapshotError::ChecksumMismatch { section }) => {
+                assert_eq!(section, "future/extra");
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    /// Section names from a snapshot file's table, in order.
+    fn section_names(bytes: &[u8]) -> Vec<String> {
+        let mut r = ByteReader::new(bytes);
+        r.take(MAGIC.len()).unwrap();
+        r.u32().unwrap();
+        let count = r.u32().unwrap();
+        (0..count)
+            .map(|_| {
+                let name = r.str().unwrap();
+                r.u64().unwrap();
+                r.u64().unwrap();
+                r.u64().unwrap();
+                name
+            })
+            .collect()
+    }
+
+    #[test]
     fn corrupted_payload_is_rejected() {
         let mut bytes = sample().to_bytes();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         match Snapshot::from_bytes(&bytes) {
             Err(SnapshotError::ChecksumMismatch { section }) => {
-                assert!(section.starts_with("domain/"), "section {section:?}");
+                assert!(
+                    section.starts_with("domain/") || section.starts_with("decisions/"),
+                    "section {section:?}"
+                );
             }
             other => panic!("expected checksum mismatch, got {other:?}"),
         }

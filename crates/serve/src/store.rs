@@ -83,6 +83,18 @@ impl Store {
     /// only that domain, then atomically swap the rebuilt artifact in.
     /// Returns the new artifact, or `None` for an unknown domain.
     pub fn ingest(&self, domain: &str, interface: SchemaTree) -> Option<Arc<DomainArtifact>> {
+        let telemetry = self.telemetry.clone();
+        self.ingest_with(domain, interface, &telemetry)
+    }
+
+    /// [`Store::ingest`] recording its pipeline spans into an explicit
+    /// registry — lets the server attribute rebuild time to one request.
+    pub fn ingest_with(
+        &self,
+        domain: &str,
+        interface: SchemaTree,
+        telemetry: &Telemetry,
+    ) -> Option<Arc<DomainArtifact>> {
         let _serialized = self.ingest_lock.lock().unwrap();
         let slug = slug_of(domain);
         // Clone the current base under a brief read lock; the expensive
@@ -93,7 +105,7 @@ impl Store {
             interface,
             &self.lexicon,
             self.policy,
-            &self.telemetry,
+            telemetry,
         ));
         self.domains
             .write()

@@ -120,9 +120,12 @@ awk '
         speedup = field(line, "speedup")
         rps = field(line, "requests_per_sec")
         bytes = field(line, "bytes")
+        p50 = field(line, "latency_p50_us")
+        p99 = field(line, "latency_p99_us")
         printf "cold start: full rebuild %.3f ms, snapshot load %.3f ms (%.1fx, %d-byte snapshot)\n", \
             rebuild, load, speedup, bytes
-        printf "serving:    %.0f GET requests/sec over loopback\n", rps
+        printf "serving:    %.0f GET requests/sec over loopback (latency p50 %.0f us, p99 %.0f us)\n", \
+            rps, p50, p99
         if (speedup + 0 < 10)
             printf "WARNING: snapshot cold start is below the 10x target (%.1fx)\n", speedup
     }'

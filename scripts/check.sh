@@ -72,7 +72,8 @@ trap 'rm -rf "$smoke_dir"' EXIT
 ./target/release/qi snapshot build "$smoke_dir/corpus.snap"
 ./target/release/qi snapshot info "$smoke_dir/corpus.snap" >/dev/null
 ./target/release/qi serve --snapshot "$smoke_dir/corpus.snap" \
-    --addr 127.0.0.1:0 --port-file "$smoke_dir/port" &
+    --addr 127.0.0.1:0 --port-file "$smoke_dir/port" \
+    --access-log "$smoke_dir/access.log" &
 serve_pid=$!
 for _ in 1 2 3 4 5 6 7 8 9 10; do
     [ -s "$smoke_dir/port" ] && break
@@ -84,12 +85,62 @@ addr=$(cat "$smoke_dir/port")
     || { echo "FAIL: /healthz probe"; exit 1; }
 ./target/release/qi fetch "http://$addr/metrics" | grep -q '"counters"' \
     || { echo "FAIL: /metrics probe"; exit 1; }
+# Prometheus scrape: the same endpoint negotiated to exposition format,
+# validated with a tiny awk parser — every metric family declares its
+# # TYPE exactly once, and every histogram's _count series equals its
+# cumulative +Inf bucket.
+./target/release/qi fetch --accept text/plain "http://$addr/metrics" \
+    > "$smoke_dir/metrics.prom"
+grep -q '^# TYPE ' "$smoke_dir/metrics.prom" \
+    || { echo "FAIL: Prometheus scrape carries no # TYPE lines"; exit 1; }
+awk '
+    /^# TYPE / {
+        if (seen[$3]++) { printf "FAIL: duplicate # TYPE for family %s\n", $3; bad = 1 }
+        if ($4 == "histogram") hist[$3] = 1
+        next
+    }
+    /^#/ { next }
+    /_bucket\{le="\+Inf"\}/ {
+        family = $1
+        sub(/_bucket\{.*/, "", family)
+        inf[family] = $2
+        next
+    }
+    /_count / {
+        family = $1
+        sub(/_count$/, "", family)
+        if (family in hist) count[family] = $2
+        next
+    }
+    END {
+        families = 0
+        for (f in hist) {
+            families++
+            if (!(f in inf)) { printf "FAIL: histogram %s has no +Inf bucket\n", f; bad = 1 }
+            else if (count[f] != inf[f]) {
+                printf "FAIL: histogram %s _count %s != +Inf bucket %s\n", \
+                    f, count[f], inf[f]
+                bad = 1
+            }
+        }
+        if (families == 0) { print "FAIL: no histogram families in scrape"; bad = 1 }
+        if (bad) exit 1
+        printf "Prometheus scrape well-formed (%d histogram families)\n", families
+    }' "$smoke_dir/metrics.prom" || { echo "FAIL: Prometheus scrape validation"; exit 1; }
 ./target/release/qi fetch "http://$addr/domains/auto/tree" | grep -q 'interface' \
     || { echo "FAIL: /domains/auto/tree probe"; exit 1; }
+./target/release/qi fetch "http://$addr/domains/auto/explain" | grep -q '"rule":' \
+    || { echo "FAIL: /domains/auto/explain probe"; exit 1; }
 printf 'interface smoke\n- Make\n- Model\n' > "$smoke_dir/smoke.qis"
 ./target/release/qi fetch --body "$smoke_dir/smoke.qis" \
     "http://$addr/domains/auto/interfaces" | grep -q '"interfaces":21' \
     || { echo "FAIL: ingest probe"; exit 1; }
 ./target/release/qi fetch --post "http://$addr/admin/shutdown" >/dev/null
 wait "$serve_pid" || { echo "FAIL: server exited uncleanly"; exit 1; }
-echo "server smoke stage passed (snapshot -> serve -> probe -> shutdown)"
+# Every probe above must have left a structured access-log line with a
+# request id and measured latency.
+grep -q 'req=.* route=metrics path=/metrics status=200 .*latency_us=' "$smoke_dir/access.log" \
+    || { echo "FAIL: access log is missing the /metrics request"; exit 1; }
+grep -c '^req=' "$smoke_dir/access.log" | grep -qv '^0$' \
+    || { echo "FAIL: access log is empty"; exit 1; }
+echo "server smoke stage passed (snapshot -> serve -> probe -> access log -> shutdown)"

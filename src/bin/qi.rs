@@ -36,6 +36,7 @@ fn main() -> ExitCode {
         Some("label") => cmd_label(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("fetch") => cmd_fetch(&args[1..]),
@@ -68,8 +69,13 @@ usage:
   qi eval <artifact> [opts]       table6 | table6-json | figure10 |
                                   matcher | ablation-ladder
       --metrics <file>            write corpus-run metrics as JSON
+      --trace-out <file>          write a Chrome trace_event JSON file
       --deterministic-timers      virtual span clock (byte-stable output)
       --threads <n>               corpus worker bound (0 = hardware)
+  qi explain <domain> [node-path] print labeling-decision provenance for
+                                  a builtin corpus domain; the optional
+                                  node-path filters by path substring
+      --most-general              use the most-general baseline policy
   qi snapshot build <file>        run the pipeline over the builtin
                                   corpus and persist every artifact
       --most-general              use the most-general baseline policy
@@ -81,8 +87,12 @@ usage:
       --threads <n>               worker threads (0 = hardware)
       --port-file <file>          write the bound address for scripts
       --metrics <file>            write server metrics as JSON on exit
-  qi fetch [--post] [--body <f>] <url>
-                                  tiny std-only HTTP client (probes)
+      --access-log <sink>         per-request log: \"stderr\" or a file
+      --slow-ms <n>               log span breakdowns of slow requests
+  qi fetch [--post] [--body <f>] [--accept <type>] <url>
+                                  tiny std-only HTTP client (probes);
+                                  non-2xx responses exit non-zero with
+                                  the status line on stderr
 ";
 
 /// Resolve the `--metrics` / `--deterministic-timers` pair into a
@@ -271,9 +281,10 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
 fn cmd_eval(args: &[String]) -> Result<(), String> {
     let usage =
         "usage: qi eval <table6|table6-json|figure10|matcher|ablation-ladder> [--metrics <file>] \
-         [--deterministic-timers] [--threads <n>]";
+         [--trace-out <file>] [--deterministic-timers] [--threads <n>]";
     let mut artifact: Option<&str> = None;
     let mut metrics_path: Option<&str> = None;
+    let mut trace_path: Option<&str> = None;
     let mut deterministic = false;
     let mut threads = 0usize;
     let mut iter = args.iter();
@@ -283,6 +294,13 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
                 metrics_path = Some(
                     iter.next()
                         .ok_or("--metrics needs a file argument")?
+                        .as_str(),
+                )
+            }
+            "--trace-out" => {
+                trace_path = Some(
+                    iter.next()
+                        .ok_or("--trace-out needs a file argument")?
                         .as_str(),
                 )
             }
@@ -305,7 +323,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     let lexicon = Lexicon::builtin();
     let config = qi_eval::RunConfig {
         threads,
-        telemetry: telemetry_mode(metrics_path, deterministic),
+        telemetry: telemetry_mode(metrics_path.or(trace_path), deterministic),
         ..qi_eval::RunConfig::default()
     };
     let run_corpus = || {
@@ -321,12 +339,20 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     // the matcher; a metrics run adds a cluster probe per domain so the
     // document also covers postings/candidate-pair statistics.
     let emit = |corpus_metrics: &qi_runtime::MetricsSnapshot| -> Result<(), String> {
-        let Some(path) = metrics_path else {
+        if metrics_path.is_none() && trace_path.is_none() {
             return Ok(());
-        };
+        }
         let mut merged = corpus_metrics.clone();
         merged.merge(&cluster_probe(&lexicon, config.telemetry));
-        write_metrics(path, &merged)
+        if let Some(path) = metrics_path {
+            write_metrics(path, &merged)?;
+        }
+        if let Some(path) = trace_path {
+            std::fs::write(path, format!("{}\n", qi_runtime::chrome_trace(&merged)))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote a {}-span chrome trace to {path}", merged.spans.len());
+        }
+        Ok(())
     };
     match artifact {
         "table6" => {
@@ -364,6 +390,60 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown artifact {other:?}")),
     }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let usage = "usage: qi explain <domain> [node-path] [--most-general]";
+    let mut domain_arg: Option<&str> = None;
+    let mut filter: Option<&str> = None;
+    let mut policy = NamingPolicy::default();
+    for arg in args {
+        match arg.as_str() {
+            "--most-general" => policy = NamingPolicy::most_general_baseline(),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            value if domain_arg.is_none() => domain_arg = Some(value),
+            value if filter.is_none() => filter = Some(value),
+            extra => return Err(format!("unexpected argument {extra:?}; {usage}")),
+        }
+    }
+    let Some(domain_arg) = domain_arg else {
+        return Err(usage.to_string());
+    };
+    let domains = qi_datasets::all_domains();
+    let wanted = qi_serve::artifact::slug_of(domain_arg);
+    let Some(domain) = domains
+        .iter()
+        .find(|d| qi_serve::artifact::slug_of(&d.name) == wanted)
+    else {
+        let known: Vec<String> = domains
+            .iter()
+            .map(|d| qi_serve::artifact::slug_of(&d.name))
+            .collect();
+        return Err(format!(
+            "unknown domain {domain_arg:?}; builtin domains: {}",
+            known.join(", ")
+        ));
+    };
+    let lexicon = Lexicon::builtin();
+    let telemetry = qi_runtime::Telemetry::off();
+    let artifact = qi_serve::build_artifact(domain, &lexicon, policy, &telemetry);
+    let text = qi_core::provenance::render(&artifact.decisions, filter);
+    if text.is_empty() {
+        return Err(match filter {
+            Some(filter) => format!("no node path contains {filter:?} in domain {wanted}"),
+            None => format!("domain {wanted} produced no labeling decisions"),
+        });
+    }
+    eprintln!(
+        "{} — {} decisions{}",
+        domain.name,
+        artifact.decisions.len(),
+        filter
+            .map(|f| format!(", filtered by {f:?}"))
+            .unwrap_or_default()
+    );
+    print!("{text}");
     Ok(())
 }
 
@@ -451,6 +531,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--metrics" => {
                 metrics_path = Some(iter.next().ok_or("--metrics needs a file")?.as_str())
             }
+            "--access-log" => {
+                config.access_log =
+                    Some(iter.next().ok_or("--access-log needs a sink")?.to_string())
+            }
+            "--slow-ms" => {
+                config.slow_ms = Some(
+                    iter.next()
+                        .ok_or("--slow-ms needs a number")?
+                        .parse()
+                        .map_err(|e| format!("--slow-ms: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown argument {other:?}; try `qi help`")),
         }
     }
@@ -458,14 +550,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let telemetry = qi_runtime::Telemetry::new();
     let store = match snapshot_path {
         Some(path) => {
-            let span = telemetry.span("serve.cold_start.snapshot");
+            let span = telemetry.timed("serve.cold_start.snapshot");
             let snapshot = qi_serve::load_snapshot(Path::new(path)).map_err(|e| e.to_string())?;
             drop(span);
             eprintln!("loaded {} domains from {path}", snapshot.domains.len());
             qi_serve::Store::from_snapshot(snapshot, lexicon, telemetry.clone())
         }
         None => {
-            let span = telemetry.span("serve.cold_start.rebuild");
+            let span = telemetry.timed("serve.cold_start.rebuild");
             let policy = NamingPolicy::default();
             let domains = qi_serve::build_corpus_artifacts(&lexicon, policy, &telemetry);
             drop(span);
@@ -492,15 +584,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_fetch(args: &[String]) -> Result<(), String> {
-    let usage = "usage: qi fetch [--post] [--body <file>] <url>";
+    let usage = "usage: qi fetch [--post] [--body <file>] [--accept <type>] <url>";
     let mut url: Option<&str> = None;
     let mut post = false;
     let mut body_path: Option<&str> = None;
+    let mut accept: Option<&str> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--post" => post = true,
             "--body" => body_path = Some(iter.next().ok_or("--body needs a file")?.as_str()),
+            "--accept" => accept = Some(iter.next().ok_or("--accept needs a media type")?.as_str()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             value if url.is_none() => url = Some(value),
             extra => return Err(format!("unexpected argument {extra:?}; {usage}")),
@@ -532,9 +626,12 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
     let timeout = Some(std::time::Duration::from_secs(10));
     let _ = stream.set_read_timeout(timeout);
     let _ = stream.set_write_timeout(timeout);
+    let accept_header = accept
+        .map(|media| format!("accept: {media}\r\n"))
+        .unwrap_or_default();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nhost: {hostport}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: {hostport}\r\n{accept_header}content-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     )
     .and_then(|()| stream.write_all(&body))
@@ -559,6 +656,9 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
         println!();
     }
     if !(200..300).contains(&status) {
+        // Surface the server's own status line before failing, so
+        // scripts see *why* the probe was refused.
+        eprintln!("{}", head.lines().next().unwrap_or(""));
         return Err(format!("{method} {url} -> {status}"));
     }
     Ok(())
@@ -577,7 +677,7 @@ fn cluster_probe(
         return qi_runtime::MetricsSnapshot::default();
     }
     for domain in qi_datasets::all_domains() {
-        let span = telemetry.span("eval.cluster");
+        let span = telemetry.timed("eval.cluster");
         let (_, stats) = qi_mapping::match_by_labels_stats(
             &domain.schemas,
             lexicon,

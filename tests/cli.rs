@@ -126,6 +126,82 @@ fn eval_ladder_shows_progression() {
 }
 
 #[test]
+fn explain_names_the_fired_rule_and_rejected_candidates() {
+    // Unfiltered: every decision of the Auto domain, one per node.
+    let (stdout, stderr, ok) = qi(&["explain", "auto"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("Auto"), "{stderr}");
+    assert!(stderr.contains("decisions"), "{stderr}");
+    assert!(stdout.contains("rule: "), "{stdout}");
+
+    // Filtered to one node: the year-range lower bound is named by the
+    // group-label vote, which must show both the winner and the losers.
+    let (stdout, stderr, ok) = qi(&["explain", "auto", "Year Range/From"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("rule: group:string"), "{stdout}");
+    assert!(stdout.contains("accepted \"From\""), "{stdout}");
+    assert!(stdout.contains("rejected \"Min\""), "{stdout}");
+    assert!(stdout.contains("rejected \"Year\""), "{stdout}");
+
+    // Unknown domains fail and list what exists; a filter matching no
+    // node path fails too instead of printing an empty report.
+    let (_, stderr, ok) = qi(&["explain", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("builtin domains"), "{stderr}");
+    assert!(stderr.contains("auto"), "{stderr}");
+    let (_, stderr, ok) = qi(&["explain", "auto", "no-such-node-path"]);
+    assert!(!ok);
+    assert!(stderr.contains("no node path"), "{stderr}");
+}
+
+#[test]
+fn fetch_reports_http_errors_with_a_nonzero_exit() {
+    // A live in-process server backs the probe, like `qi serve` would.
+    let lexicon = qi_lexicon::Lexicon::builtin();
+    let telemetry = qi_runtime::Telemetry::new();
+    let artifact = qi_serve::build_artifact(
+        &qi_datasets::auto::domain(),
+        &lexicon,
+        qi_core::NamingPolicy::default(),
+        &telemetry,
+    );
+    let store = std::sync::Arc::new(qi_serve::Store::new(
+        vec![artifact],
+        lexicon,
+        qi_core::NamingPolicy::default(),
+        telemetry.clone(),
+    ));
+    let mut handle =
+        qi_serve::Server::with_config(store, telemetry, qi_serve::ServerConfig::default())
+            .start()
+            .expect("starting test server");
+    let addr = handle.addr();
+
+    // 2xx: body on stdout, quiet stderr, success exit.
+    let (stdout, stderr, ok) = qi(&["fetch", &format!("http://{addr}/healthz")]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("\"status\":\"ok\""), "{stdout}");
+
+    // Content negotiation rides through --accept.
+    let (stdout, stderr, ok) = qi(&[
+        "fetch",
+        "--accept",
+        "text/plain",
+        &format!("http://{addr}/metrics"),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("# TYPE "), "{stdout}");
+
+    // Non-2xx: non-zero exit with the server's status line on stderr.
+    let (_, stderr, ok) = qi(&["fetch", &format!("http://{addr}/domains/nope/labels")]);
+    assert!(!ok, "a 404 probe must fail");
+    assert!(stderr.contains("HTTP/1.1 404"), "{stderr}");
+    assert!(stderr.contains("-> 404"), "{stderr}");
+
+    handle.shutdown();
+}
+
+#[test]
 fn label_with_explicit_clusters() {
     let dir = std::env::temp_dir().join(format!("qi-clusters-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

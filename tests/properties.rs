@@ -90,6 +90,75 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Histogram quantiles against a sorted-vector oracle on random u64
+    /// samples: the estimate is always ≥ the true order statistic, and
+    /// both fall in the same log-linear bucket (bounded relative error).
+    /// Samples derive from a seeded SplitMix64 stream so the shim only
+    /// has to generate `(seed, len, q)` — it has no `collection::vec`.
+    #[test]
+    fn histogram_quantiles_match_sorted_oracle(
+        seed in any::<u64>(),
+        len in 1usize..64,
+        q in 0.0f64..1.0,
+    ) {
+        use qi_runtime::histogram::{bucket_index, bucket_upper};
+
+        let mut rng = qi_runtime::SplitMix64::new(seed);
+        // Mix magnitudes: tiny values, mid-range, and full-width u64s,
+        // so both the linear low buckets and log high buckets are hit.
+        let samples: Vec<u64> = (0..len)
+            .map(|_| {
+                let raw = rng.next_u64();
+                match raw % 3 {
+                    0 => raw % 1000,
+                    1 => raw % 1_000_000_000,
+                    _ => raw,
+                }
+            })
+            .collect();
+
+        let hist = qi_runtime::Histogram::new();
+        for &value in &samples {
+            hist.record(value);
+        }
+        let data = hist.data();
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(data.count(), len as u64, "count");
+        prop_assert_eq!(data.max, *sorted.last().unwrap(), "max");
+        let sum: u64 = samples.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(data.sum, sum, "sum");
+
+        // The oracle order statistic: the same "smallest value with
+        // rank ≥ ceil(q·count)" definition the histogram implements,
+        // evaluated exactly on the sorted samples.
+        let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+        let truth = sorted[rank - 1];
+        let estimate = data.quantile(q);
+        prop_assert!(
+            estimate >= truth,
+            "q={} estimate {} < true order statistic {}",
+            q, estimate, truth
+        );
+        prop_assert_eq!(
+            estimate,
+            bucket_upper(bucket_index(truth)).min(data.max),
+            "estimate must be the truth's own bucket upper bound (clamped to max)"
+        );
+
+        // Merging two disjoint halves reproduces the whole.
+        let left = qi_runtime::Histogram::new();
+        let right = qi_runtime::Histogram::new();
+        for (i, &value) in samples.iter().enumerate() {
+            if i % 2 == 0 { left.record(value) } else { right.record(value) }
+        }
+        left.absorb(&right.data());
+        prop_assert_eq!(left.data(), data, "absorb of a split must equal the whole");
+    }
+}
+
 /// Strategy for small synthetic domain configurations.
 fn synth_config() -> impl Strategy<Value = SynthConfig> {
     (

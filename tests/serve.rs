@@ -34,8 +34,9 @@ fn start(store: Arc<Store>, config: ServerConfig) -> qi_serve::ServerHandle {
         .expect("starting test server")
 }
 
-/// Raw one-shot HTTP exchange; returns (status, body).
-fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+/// Raw one-shot HTTP exchange; returns (status, headers, body). Header
+/// names come back lowercased for case-insensitive lookups.
+fn exchange_full(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<(String, String)>, String) {
     let mut stream = TcpStream::connect(addr).expect("connecting to test server");
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
@@ -49,11 +50,30 @@ fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let body = text
+    let (head, body) = text
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(": "))
+        .map(|(name, value)| (name.to_ascii_lowercase(), value.to_string()))
+        .collect();
+    (status, headers, body)
+}
+
+/// Raw one-shot HTTP exchange; returns (status, body).
+fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let (status, _, body) = exchange_full(addr, raw);
     (status, body)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
@@ -226,6 +246,75 @@ fn graceful_shutdown_finishes_in_flight_requests() {
             "server answered after shutdown"
         );
     }
+}
+
+#[test]
+fn metrics_content_negotiation_over_the_socket() {
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+
+    // Default (no Accept header): sorted JSON document.
+    let (status, headers, body) = exchange_full(
+        addr,
+        b"GET /metrics HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    assert!(
+        body.starts_with('{') && body.contains("\"counters\""),
+        "{body}"
+    );
+
+    // Prometheus scrapers send Accept: text/plain and get the
+    // exposition-format text rendering instead.
+    let (status, headers, body) = exchange_full(
+        addr,
+        b"GET /metrics HTTP/1.1\r\nhost: t\r\naccept: text/plain\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    assert!(
+        body.contains("# TYPE qi_serve_http_metrics histogram"),
+        "{body}"
+    );
+    assert!(body.contains("_bucket{le=\"+Inf\"}"), "{body}");
+}
+
+#[test]
+fn every_response_carries_a_monotonic_request_id() {
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+    let mut previous = 0u64;
+    for path in ["/healthz", "/domains", "/metrics", "/nope"] {
+        let (_, headers, _) = exchange_full(
+            addr,
+            format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes(),
+        );
+        let id: u64 = header(&headers, "x-qi-request-id")
+            .unwrap_or_else(|| panic!("{path}: missing x-qi-request-id in {headers:?}"))
+            .parse()
+            .expect("request id is an integer");
+        assert!(id > previous, "{path}: id {id} not after {previous}");
+        previous = id;
+    }
+}
+
+#[test]
+fn explain_endpoint_serves_decision_provenance() {
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+
+    let (status, body) = get(addr, "/domains/auto/explain");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"domain\":\"Auto\""), "{body}");
+    assert!(body.contains("\"rule\":"), "{body}");
+    assert!(body.contains("\"candidates\":"), "{body}");
+
+    let (status, _) = get(addr, "/domains/unknown/explain");
+    assert_eq!(status, 404);
 }
 
 #[test]

@@ -47,7 +47,29 @@ fn corpus_round_trip_is_byte_identical() {
         assert_eq!(a.li_usage, b.li_usage);
         assert_eq!(a.symbols, b.symbols);
         assert_eq!(a.normalized, b.normalized);
+        assert!(!a.decisions.is_empty(), "{}: pipeline provenance", a.name);
+        assert_eq!(a.decisions, b.decisions, "{}: decision provenance", a.name);
     }
+}
+
+#[test]
+fn snapshots_without_decisions_sections_still_load() {
+    // Clearing every decision list reproduces the pre-provenance file
+    // format exactly (no decisions/ sections); a current reader must
+    // accept it and serve empty provenance.
+    let mut snapshot = corpus_snapshot();
+    for domain in &mut snapshot.domains {
+        domain.decisions.clear();
+    }
+    let old_format = snapshot.to_bytes();
+    let full = corpus_snapshot().to_bytes();
+    assert!(
+        old_format.len() < full.len(),
+        "decisions sections add bytes"
+    );
+    let loaded = Snapshot::from_bytes(&old_format).expect("pre-provenance bytes load");
+    assert_eq!(loaded.domains.len(), snapshot.domains.len());
+    assert!(loaded.domains.iter().all(|d| d.decisions.is_empty()));
 }
 
 #[test]
@@ -149,6 +171,9 @@ fn tiny_artifact() -> DomainArtifact {
             "color".to_string(),
         ],
         normalized: vec![(0, vec![1]), (2, vec![3])],
+        // Empty: the golden pins the pre-provenance byte layout (no
+        // decisions/ section is written for an empty decision list).
+        decisions: vec![],
     }
 }
 

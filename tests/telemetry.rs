@@ -13,6 +13,11 @@
 //! 4. **Schema golden** — the key set (names + types) of the emitted
 //!    document matches `tests/golden/metrics_schema.txt`, so field
 //!    renames can't slip through unnoticed.
+//! 5. **Exporter goldens** — the Prometheus text rendering of the
+//!    deterministic run matches `tests/golden/prometheus.txt` byte for
+//!    byte, and the Chrome-trace rendering is byte-identical across
+//!    runs (ISSUE 5). Regenerate goldens with
+//!    `UPDATE_GOLDEN=1 cargo test --test telemetry`.
 
 use std::sync::Mutex;
 
@@ -57,9 +62,9 @@ fn seven_domain_document(mode: TelemetryMode) -> MetricsSnapshot {
     assert_eq!(result.domains.len(), 7);
     let probe = mode.build();
     for domain in &domains {
-        let span = probe.span("eval.cluster");
+        let timer = probe.timed("eval.cluster");
         let (_, stats) = match_by_labels_stats(&domain.schemas, &lexicon, MatcherConfig::default());
-        drop(span);
+        drop(timer);
         stats.record(&probe);
     }
     let mut merged = result.metrics.clone();
@@ -144,6 +149,25 @@ fn counters_satisfy_cross_invariants() {
     assert_eq!(doc.spans["eval.domain"].count, 7);
     assert_eq!(doc.spans["label"].count, 7);
     assert_eq!(doc.spans["eval.cluster"].count, 7);
+
+    // Every histogram fed by a `timed` guard shares one clock pair with
+    // the same-named span: identical counts and identical total time.
+    assert!(!doc.histograms.is_empty(), "{:?}", doc.histograms.keys());
+    for (name, hist) in &doc.histograms {
+        let span = doc
+            .spans
+            .get(name)
+            .unwrap_or_else(|| panic!("histogram {name} has no matching span"));
+        assert_eq!(hist.count(), span.count, "histogram {name} count");
+        assert_eq!(hist.sum, span.total_ns, "histogram {name} sum");
+        assert!(hist.quantile(0.50) <= hist.quantile(0.99), "{name}");
+        assert!(hist.quantile(0.99) <= hist.max, "{name}");
+    }
+    assert!(
+        doc.histograms.contains_key("label"),
+        "labeler phases must publish latency histograms: {:?}",
+        doc.histograms.keys()
+    );
 }
 
 #[test]
@@ -168,19 +192,58 @@ fn disabled_mode_emits_nothing() {
     }
     assert_eq!(
         result.metrics.to_json(),
-        "{\"counters\":{},\"gauges\":{},\"spans\":{}}"
+        "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"spans\":{}}"
+    );
+}
+
+/// Compare `actual` against a committed golden file, rewriting the
+/// golden when `UPDATE_GOLDEN=1` is set (same pattern as the snapshot
+/// byte-layout golden).
+fn assert_matches_golden(actual: &str, file: &str, what: &str) {
+    let path = format!("{}/tests/golden/{file}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("writing golden file");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("tests/golden/{file} is committed: {e}"));
+    assert_eq!(
+        actual, golden,
+        "{what} drifted from tests/golden/{file}; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
     );
 }
 
 #[test]
 fn metrics_schema_matches_golden() {
     let _guard = lock();
-    let golden = include_str!("golden/metrics_schema.txt");
     let schema = seven_domain_document(TelemetryMode::Deterministic).schema();
+    assert_matches_golden(&schema, "metrics_schema.txt", "metrics document schema");
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_and_is_deterministic() {
+    let _guard = lock();
+    let first = qi_runtime::prometheus_text(&seven_domain_document(TelemetryMode::Deterministic));
+    let second = qi_runtime::prometheus_text(&seven_domain_document(TelemetryMode::Deterministic));
     assert_eq!(
-        schema, golden,
-        "metrics document schema drifted from tests/golden/metrics_schema.txt; \
-         if the change is intentional, update the golden file with the \
-         `schema` output printed above"
+        first, second,
+        "deterministic runs must render identical Prometheus text"
+    );
+    assert_matches_golden(&first, "prometheus.txt", "Prometheus exposition");
+}
+
+#[test]
+fn chrome_trace_is_byte_identical_across_deterministic_runs() {
+    let _guard = lock();
+    let first = qi_runtime::chrome_trace(&seven_domain_document(TelemetryMode::Deterministic));
+    let second = qi_runtime::chrome_trace(&seven_domain_document(TelemetryMode::Deterministic));
+    assert!(
+        first.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+        "{first}"
+    );
+    assert!(first.contains("\"name\":\"label\""), "{first}");
+    assert_eq!(
+        first, second,
+        "deterministic runs must render identical Chrome traces"
     );
 }
