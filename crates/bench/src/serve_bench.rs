@@ -9,13 +9,17 @@
 //! * `snapshot_load` — decoding a snapshot file and building the store
 //!   from it (the snapshot cold-start path);
 //! * `serve` — end-to-end `GET` throughput against a running server,
-//!   several concurrent std-only clients.
+//!   several concurrent std-only clients (`--clients` takes a comma
+//!   list and sweeps each count);
+//! * `ingest` — incremental (delta) vs full-rebuild ingest medians for
+//!   one interface into a warm domain, plus `POST` latency and read
+//!   latency measured *while* ingests run against the live server.
 //!
 //! Emits a single-line JSON document (default `BENCH_serve.json`)
 //! consumed by `scripts/bench.sh`.
 //!
 //! ```text
-//! qi-serve-bench [--iters N] [--requests N] [--clients N] [--out FILE]
+//! qi-serve-bench [--iters N] [--requests N] [--clients N[,N...]] [--out FILE]
 //! ```
 
 use qi_core::NamingPolicy;
@@ -34,7 +38,9 @@ const DECIMALS: usize = 3;
 struct Config {
     iters: usize,
     requests: usize,
-    clients: usize,
+    /// Client counts to sweep; the first is the primary configuration
+    /// reported in the top-level `serve` object.
+    clients: Vec<usize>,
     out: Option<String>,
 }
 
@@ -42,7 +48,7 @@ fn parse_args() -> Result<Config, String> {
     let mut config = Config {
         iters: 5,
         requests: 200,
-        clients: 4,
+        clients: vec![4],
         out: Some("BENCH_serve.json".to_string()),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,7 +63,23 @@ fn parse_args() -> Result<Config, String> {
         match arg.as_str() {
             "--iters" => config.iters = number("--iters")?.max(1),
             "--requests" => config.requests = number("--requests")?.max(1),
-            "--clients" => config.clients = number("--clients")?.max(1),
+            "--clients" => {
+                let list = iter
+                    .next()
+                    .ok_or("--clients needs a number or comma list")?;
+                config.clients = list
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse::<usize>()
+                            .map(|n| n.max(1))
+                            .map_err(|e| format!("--clients {part:?}: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if config.clients.is_empty() {
+                    return Err("--clients list is empty".to_string());
+                }
+            }
             "--out" => {
                 config.out = Some(
                     iter.next()
@@ -94,11 +116,11 @@ fn runs_json(runs: &[f64]) -> String {
 /// One raw `GET` against the server; returns true on a 200. Records the
 /// connect-to-last-byte latency into `latency` (nanoseconds).
 fn get_ok(addr: std::net::SocketAddr, path: &str, latency: &qi_runtime::Histogram) -> bool {
+    let request = format!("GET {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n");
     let start = Instant::now();
     let Ok(mut stream) = TcpStream::connect(addr) else {
         return false;
     };
-    let request = format!("GET {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n");
     if stream.write_all(request.as_bytes()).is_err() {
         return false;
     }
@@ -108,6 +130,39 @@ fn get_ok(addr: std::net::SocketAddr, path: &str, latency: &qi_runtime::Histogra
     }
     latency.record(start.elapsed().as_nanos() as u64);
     response.starts_with(b"HTTP/1.1 200")
+}
+
+/// One raw `POST` against the server; returns true on a 200. Records
+/// connect-to-last-byte latency (nanoseconds).
+fn post_ok(
+    addr: std::net::SocketAddr,
+    path: &str,
+    body: &str,
+    latency: &qi_runtime::Histogram,
+) -> bool {
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let start = Instant::now();
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    if stream.write_all(request.as_bytes()).is_err() {
+        return false;
+    }
+    let mut response = Vec::new();
+    if stream.read_to_end(&mut response).is_err() {
+        return false;
+    }
+    latency.record(start.elapsed().as_nanos() as u64);
+    response.starts_with(b"HTTP/1.1 200")
+}
+
+const GROW: usize = 100;
+
+fn parse_interface(text: &str) -> qi_schema::SchemaTree {
+    qi_schema::text_format::parse(text).expect("benchmark interface parses")
 }
 
 fn main() {
@@ -160,10 +215,69 @@ fn main() {
     let _ = std::fs::remove_file(&path);
     let store = Arc::new(store.expect("at least one load iteration"));
 
-    // Serve throughput: concurrent clients hammering read endpoints.
+    // Incremental vs full ingest, in-process: one interface into a warm
+    // domain (its delta carry state captured by a prior ingest), delta
+    // path against forced full rebuild. The base is first grown to a
+    // realistic long-running size — the full path re-clusters and
+    // re-labels every accumulated interface, the delta path only the
+    // new one, so this is where the two diverge. Runs before the
+    // threaded server stages so the single-threaded medians are not
+    // skewed by the heap state those stages leave behind.
+    let auto = store.get("auto").expect("auto domain in corpus");
+    let mut warm = qi_serve::ingest_interface(
+        &auto,
+        parse_interface("interface warm\n- Color\n- Price\n"),
+        &lexicon,
+        policy,
+        &telemetry,
+    );
+    for i in 0..GROW {
+        let interface = parse_interface(&format!(
+            "interface grow{i}\n- Make\n- Model\n- Grown Field {i}\n"
+        ));
+        warm = qi_serve::ingest_interface(&warm, interface, &lexicon, policy, &telemetry);
+    }
+    let ingest_telemetry = Telemetry::new();
+    let mut delta_runs = Vec::new();
+    let mut full_runs = Vec::new();
+    for i in 0..config.iters {
+        let interface = parse_interface(&format!(
+            "interface bench{i}\n- Make\n- Mileage\n- Bench Field {i}\n"
+        ));
+        let (_, ms) = timed(|| {
+            qi_serve::ingest_interface(
+                &warm,
+                interface.clone(),
+                &lexicon,
+                policy,
+                &ingest_telemetry,
+            )
+        });
+        delta_runs.push(ms);
+        let (_, ms) = timed(|| {
+            qi_serve::ingest_interface_full(&warm, interface, &lexicon, policy, &ingest_telemetry)
+        });
+        full_runs.push(ms);
+    }
+    let delta_taken = ingest_telemetry
+        .snapshot()
+        .counters
+        .get("serve.ingest.delta")
+        .copied()
+        .unwrap_or(0);
+    assert_eq!(
+        delta_taken, config.iters as u64,
+        "warm ingest did not take the delta path"
+    );
+
+    // Serve throughput: concurrent clients hammering read endpoints,
+    // once per requested client count. Repeated paths hit the
+    // rendered-response cache after their first render, as production
+    // reads would.
+    let serve_telemetry = Telemetry::new();
     let server = Server::with_config(
         Arc::clone(&store),
-        telemetry.clone(),
+        serve_telemetry.clone(),
         ServerConfig::default(),
     );
     let mut handle = server.start().expect("starting benchmark server");
@@ -176,35 +290,97 @@ fn main() {
     ];
     let warmup = qi_runtime::Histogram::new();
     assert!(get_ok(addr, "/healthz", &warmup), "server did not come up");
-    let latency = qi_runtime::Histogram::new();
-    let per_client = config.requests.div_ceil(config.clients);
-    let (ok_count, serve_ms) = timed(|| {
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..config.clients)
-                .map(|c| {
-                    let paths = &paths;
-                    let latency = &latency;
-                    scope.spawn(move || {
-                        (0..per_client)
-                            .filter(|i| get_ok(addr, paths[(c + i) % paths.len()], latency))
-                            .count()
+
+    struct SweepPoint {
+        clients: usize,
+        sent: usize,
+        ok_count: usize,
+        elapsed_ms: f64,
+        latency: qi_runtime::HistogramData,
+    }
+    let mut sweep = Vec::new();
+    for &clients in &config.clients {
+        let latency = qi_runtime::Histogram::new();
+        let per_client = config.requests.div_ceil(clients);
+        let (ok_count, elapsed_ms) = timed(|| {
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let paths = &paths;
+                        let latency = &latency;
+                        scope.spawn(move || {
+                            (0..per_client)
+                                .filter(|i| get_ok(addr, paths[(c + i) % paths.len()], latency))
+                                .count()
+                        })
                     })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().unwrap())
+                    .sum::<usize>()
+            })
+        });
+        sweep.push(SweepPoint {
+            clients,
+            sent: per_client * clients,
+            ok_count,
+            elapsed_ms,
+            latency: latency.data(),
+        });
+    }
+
+    // Ingest under read load: readers keep hammering one domain's
+    // labels while interfaces are POSTed into it, measuring both the
+    // POST latency (mostly the rebuild) and what reads cost *during*
+    // the ingests (cache misses + copy-on-write swaps included).
+    let read_clients = config.clients[0];
+    let posts = config.iters.max(3);
+    let read_latency = qi_runtime::Histogram::new();
+    let post_latency = qi_runtime::Histogram::new();
+    let ingesting = std::sync::atomic::AtomicBool::new(true);
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..read_clients)
+            .map(|_| {
+                let read_latency = &read_latency;
+                let ingesting = &ingesting;
+                scope.spawn(move || {
+                    while ingesting.load(std::sync::atomic::Ordering::Relaxed) {
+                        get_ok(addr, "/domains/auto/labels", read_latency);
+                    }
                 })
-                .collect();
-            workers
-                .into_iter()
-                .map(|w| w.join().unwrap())
-                .sum::<usize>()
-        })
+            })
+            .collect();
+        for i in 0..posts {
+            let body = format!("interface load{i}\n- Make\n- Mileage\n- Load Field {i}\n");
+            assert!(
+                post_ok(addr, "/domains/auto/interfaces", &body, &post_latency),
+                "benchmark ingest POST failed"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        ingesting.store(false, std::sync::atomic::Ordering::Relaxed);
+        for reader in readers {
+            reader.join().unwrap();
+        }
     });
+    let read_latency = read_latency.data();
+    let post_latency = post_latency.data();
+    let serve_counters = serve_telemetry.snapshot().counters;
+    let counter = |name: &str| serve_counters.get(name).copied().unwrap_or(0);
     handle.shutdown();
-    let sent = per_client * config.clients;
-    let latency = latency.data();
+
+    let primary = &sweep[0];
+    let (sent, ok_count, serve_ms) = (primary.sent, primary.ok_count, primary.elapsed_ms);
+    let latency = primary.latency.clone();
 
     let rebuild_median = median(rebuild_runs.clone());
     let load_median = median(load_runs.clone());
     let speedup = rebuild_median / load_median.max(1e-9);
     let rps = ok_count as f64 / (serve_ms / 1e3).max(1e-9);
+    let delta_median = median(delta_runs.clone());
+    let full_median = median(full_runs.clone());
+    let ingest_speedup = full_median / delta_median.max(1e-9);
 
     let mut doc = Obj::new();
     doc.raw(
@@ -212,7 +388,7 @@ fn main() {
         Obj::new()
             .u64("iters", config.iters as u64)
             .u64("requests", sent as u64)
-            .u64("clients", config.clients as u64)
+            .u64("clients", config.clients[0] as u64)
             .u64("domains", domain_count as u64)
             .finish(),
     );
@@ -246,6 +422,64 @@ fn main() {
             )
             .finish(),
     );
+    let mut sweep_arr = Arr::new();
+    for point in &sweep {
+        let point_rps = point.ok_count as f64 / (point.elapsed_ms / 1e3).max(1e-9);
+        sweep_arr.raw(
+            Obj::new()
+                .u64("clients", point.clients as u64)
+                .u64("requests_ok", point.ok_count as u64)
+                .f64("requests_per_sec", point_rps, 1)
+                .f64(
+                    "latency_p50_us",
+                    point.latency.quantile(0.50) as f64 / 1e3,
+                    DECIMALS,
+                )
+                .f64(
+                    "latency_p99_us",
+                    point.latency.quantile(0.99) as f64 / 1e3,
+                    DECIMALS,
+                )
+                .finish(),
+        );
+    }
+    doc.raw("serve_sweep", sweep_arr.finish());
+    doc.raw(
+        "ingest",
+        Obj::new()
+            .f64("delta_median_ms", delta_median, DECIMALS)
+            .raw("delta_runs_ms", runs_json(&delta_runs))
+            .f64("full_median_ms", full_median, DECIMALS)
+            .raw("full_runs_ms", runs_json(&full_runs))
+            .f64("ingest_speedup", ingest_speedup, 1)
+            .u64("posts", posts as u64)
+            .f64(
+                "post_p50_us",
+                post_latency.quantile(0.50) as f64 / 1e3,
+                DECIMALS,
+            )
+            .f64(
+                "post_p99_us",
+                post_latency.quantile(0.99) as f64 / 1e3,
+                DECIMALS,
+            )
+            .f64(
+                "read_during_ingest_p50_us",
+                read_latency.quantile(0.50) as f64 / 1e3,
+                DECIMALS,
+            )
+            .f64(
+                "read_during_ingest_p99_us",
+                read_latency.quantile(0.99) as f64 / 1e3,
+                DECIMALS,
+            )
+            .u64("server_delta_ingests", counter("serve.ingest.delta"))
+            .u64("server_full_ingests", counter("serve.ingest.full"))
+            .u64("cache_hits", counter("serve.cache.hits"))
+            .u64("cache_misses", counter("serve.cache.misses"))
+            .u64("cache_invalidations", counter("serve.cache.invalidations"))
+            .finish(),
+    );
     let json = doc.finish();
 
     match &config.out {
@@ -254,7 +488,8 @@ fn main() {
             eprintln!(
                 "cold start: rebuild {rebuild_median:.1} ms, snapshot load {load_median:.1} ms \
                  ({speedup:.1}x); serve {ok_count}/{sent} ok at {rps:.0} req/s \
-                 (p50 {:.0} us, p99 {:.0} us) -> {file}",
+                 (p50 {:.0} us, p99 {:.0} us); ingest delta {delta_median:.1} ms vs full \
+                 {full_median:.1} ms ({ingest_speedup:.1}x) -> {file}",
                 latency.quantile(0.50) as f64 / 1e3,
                 latency.quantile(0.99) as f64 / 1e3
             );

@@ -9,25 +9,53 @@
 
 use crate::ctx::NamingCtx;
 use qi_mapping::GroupRelation;
+use std::collections::{BTreeSet, HashMap};
 
 /// Column pairs of a solution whose labels are homonym-conflicted:
 /// identical up to word order and inflection (`Job Type` / `Type of
 /// Job`). Synonym-level pairs (`Job Type` / `Employment Type`) use
 /// visually distinct words and are acceptable on a form — the paper's own
 /// repair example substitutes exactly such a synonym.
-#[allow(clippy::needless_range_loop)] // index pairs (i, j) are the output
+///
+/// `a equal b` (or stronger) holds exactly when both labels survive
+/// normalization non-empty and either their display forms match
+/// case-insensitively (`string_equal`) or their content-word key sets
+/// match (`equal`) — both are *equivalence* signatures, so conflicts are
+/// found by bucketing the columns on the two signatures instead of
+/// probing all O(n²) pairs. Matters for the wide root group, where this
+/// runs on every (incremental) relabel.
 pub fn find_conflicts(labels: &[Option<String>], ctx: &NamingCtx<'_>) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    for i in 0..labels.len() {
-        let Some(a) = &labels[i] else { continue };
-        for j in (i + 1)..labels.len() {
-            let Some(b) = &labels[j] else { continue };
-            if ctx.equal(a, b) {
-                out.push((i, j));
+    let texts: Vec<_> = labels
+        .iter()
+        .map(|l| l.as_ref().map(|s| ctx.text(s)))
+        .collect();
+    let mut by_display: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut by_keys: HashMap<Vec<&str>, Vec<usize>> = HashMap::new();
+    for (i, text) in texts.iter().enumerate() {
+        let Some(text) = text else { continue };
+        if text.is_empty() {
+            continue; // relate() treats empty labels as unrelated
+        }
+        by_display
+            .entry(text.display.to_ascii_lowercase())
+            .or_default()
+            .push(i);
+        by_keys
+            .entry(text.keys().into_iter().collect())
+            .or_default()
+            .push(i);
+    }
+    // Union of both signatures' in-bucket pairs, in the (i, j)
+    // lexicographic order a pairwise scan would emit.
+    let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for bucket in by_display.values().chain(by_keys.values()) {
+        for (a, &i) in bucket.iter().enumerate() {
+            for &j in &bucket[a + 1..] {
+                pairs.insert((i, j));
             }
         }
     }
-    out
+    pairs.into_iter().collect()
 }
 
 /// Attempt to repair every homonym conflict in `labels`. Returns

@@ -17,23 +17,55 @@ use qi_runtime::{CacheStats, Interner, ShardedCache, Symbol};
 use qi_text::LabelText;
 use std::sync::Arc;
 
-/// Shared state for one naming run (one domain).
-pub struct NamingCtx<'a> {
-    lexicon: &'a Lexicon,
+/// The carryable memo state of a naming context: the label interner plus
+/// the normalized-text and pairwise-relation caches.
+///
+/// Every entry is a pure function of the lexicon and the label strings —
+/// normalization never depends on run order — so a memo warmed by one
+/// run can seed the next without changing any output. Symbols are only
+/// ever compared for *equality* (dedup sets, ancestor-label checks);
+/// every ranking tie-break in the pipeline orders by spelling, so the
+/// numeric symbol ids a carried interner hands out are output-neutral.
+/// The incremental ingest path threads one memo through successive
+/// relabel runs ([`crate::RelabelCache`]), which is where most of a
+/// small append's cost would otherwise go: re-stemming and re-relating
+/// the same few hundred domain labels from scratch.
+#[derive(Default)]
+pub struct NamingMemo {
     interner: Interner,
     texts: ShardedCache<Symbol, Arc<LabelText>>,
     relations: ShardedCache<(Symbol, Symbol), LabelRelation>,
 }
 
+impl std::fmt::Debug for NamingMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NamingMemo")
+            .field("labels", &self.texts.stats().entries)
+            .finish()
+    }
+}
+
+/// Shared state for one naming run (one domain).
+pub struct NamingCtx<'a> {
+    lexicon: &'a Lexicon,
+    memo: Arc<NamingMemo>,
+}
+
 impl<'a> NamingCtx<'a> {
     /// Create a context over a lexicon.
     pub fn new(lexicon: &'a Lexicon) -> Self {
-        NamingCtx {
-            lexicon,
-            interner: Interner::new(),
-            texts: ShardedCache::default(),
-            relations: ShardedCache::default(),
-        }
+        NamingCtx::with_memo(lexicon, Arc::new(NamingMemo::default()))
+    }
+
+    /// Create a context sharing an existing (possibly pre-warmed) memo.
+    /// New labels seen by this run are added to the shared memo.
+    pub fn with_memo(lexicon: &'a Lexicon, memo: Arc<NamingMemo>) -> Self {
+        NamingCtx { lexicon, memo }
+    }
+
+    /// The context's memo state, for carrying into a later run.
+    pub fn memo(&self) -> Arc<NamingMemo> {
+        Arc::clone(&self.memo)
     }
 
     /// The lexicon in use.
@@ -43,12 +75,12 @@ impl<'a> NamingCtx<'a> {
 
     /// Intern a raw label.
     pub fn sym(&self, raw: &str) -> Symbol {
-        self.interner.intern(raw)
+        self.memo.interner.intern(raw)
     }
 
     /// A shared lease on the canonical spelling of an interned label.
     pub fn spelling(&self, sym: Symbol) -> Arc<str> {
-        self.interner.resolve(sym)
+        self.memo.interner.resolve(sym)
     }
 
     /// Normalized form of a raw label (memoized).
@@ -58,12 +90,12 @@ impl<'a> NamingCtx<'a> {
 
     /// Normalized form of an interned label (memoized).
     pub fn text_sym(&self, sym: Symbol) -> Arc<LabelText> {
-        if let Some(t) = self.texts.get(&sym) {
+        if let Some(t) = self.memo.texts.get(&sym) {
             return t;
         }
-        let raw = self.interner.resolve(sym);
+        let raw = self.memo.interner.resolve(sym);
         let t = Arc::new(LabelText::new(&raw, self.lexicon));
-        self.texts.insert(sym, Arc::clone(&t));
+        self.memo.texts.insert(sym, Arc::clone(&t));
         t
     }
 
@@ -75,14 +107,14 @@ impl<'a> NamingCtx<'a> {
 
     /// Definition 1 relation between two interned labels.
     pub fn relate_sym(&self, a: Symbol, b: Symbol) -> LabelRelation {
-        if let Some(r) = self.relations.get(&(a, b)) {
+        if let Some(r) = self.memo.relations.get(&(a, b)) {
             return r;
         }
         let ta = self.text_sym(a);
         let tb = self.text_sym(b);
         let r = relate(&ta, &tb, self.lexicon);
-        self.relations.insert((a, b), r);
-        self.relations.insert((b, a), r.flip());
+        self.memo.relations.insert((a, b), r);
+        self.memo.relations.insert((b, a), r.flip());
         r
     }
 
@@ -150,29 +182,29 @@ impl<'a> NamingCtx<'a> {
 
     /// Number of labels normalized so far (diagnostics).
     pub fn cached_labels(&self) -> usize {
-        self.texts.stats().entries
+        self.memo.texts.stats().entries
     }
 
     /// Aggregated hit/miss counters of the context's memo-caches
     /// (normalized texts + pairwise relations).
     pub fn cache_stats(&self) -> CacheStats {
-        self.texts.stats().merge(&self.relations.stats())
+        self.memo.texts.stats().merge(&self.memo.relations.stats())
     }
 
     /// Per-cache hit/miss counters, keyed by stable cache names
     /// (`naming.texts`, `naming.relations`) for the telemetry registry.
     pub fn named_cache_stats(&self) -> [(&'static str, CacheStats); 2] {
         [
-            ("naming.relations", self.relations.stats()),
-            ("naming.texts", self.texts.stats()),
+            ("naming.relations", self.memo.relations.stats()),
+            ("naming.texts", self.memo.texts.stats()),
         ]
     }
 
     /// Enable or disable the context's memo-caches (benchmarks measure
     /// the uncached pipeline through this).
     pub fn set_cache_enabled(&self, enabled: bool) {
-        self.texts.set_enabled(enabled);
-        self.relations.set_enabled(enabled);
+        self.memo.texts.set_enabled(enabled);
+        self.memo.relations.set_enabled(enabled);
     }
 }
 

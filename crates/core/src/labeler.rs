@@ -17,12 +17,17 @@ use crate::ctx::NamingCtx;
 use crate::internal::{self, CandidateLabel, ClusterInfo, PotentialLabel};
 use crate::isolated::{label_isolated_cluster, LabelOccurrence};
 use crate::policy::NamingPolicy;
-use crate::report::{ConsistencyClass, GroupOutcome, NamingReport};
-use crate::solution::{name_group, GroupNaming};
+use crate::relabel::{
+    CachedGroup, CachedInternal, CachedIsolated, RelabelCache, RelabelDelta, StoredCandidate,
+};
+use crate::report::{ConsistencyClass, GroupOutcome, LiUsage, NamingReport};
+use crate::solution::{
+    extend_group_naming, name_group, name_group_stateful, GroupNaming, GroupNamingState,
+};
 use qi_lexicon::Lexicon;
 use qi_mapping::{ClusterId, GroupRelation, Integrated, Mapping};
 use qi_schema::{NodeId, SchemaTree};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The naming algorithm, configured once per domain run.
 pub struct Labeler<'a> {
@@ -82,6 +87,19 @@ struct GroupWork {
     parent: Option<NodeId>,
     relation: GroupRelation,
     naming: GroupNaming,
+    /// Reusable naming internals (present on capturing runs only).
+    state: Option<GroupNamingState>,
+}
+
+/// How phase 1a obtained one group's naming.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum GroupPath {
+    /// Full relation build + naming from scratch.
+    Computed,
+    /// Cache hit: the delta did not touch the group.
+    Replayed,
+    /// Cached run extended by the appended interface's tuple.
+    Extended,
 }
 
 impl<'a> Labeler<'a> {
@@ -134,8 +152,49 @@ impl<'a> Labeler<'a> {
         mapping: &Mapping,
         integrated: &Integrated,
     ) -> LabeledInterface {
+        self.run(schemas, mapping, integrated, None, false).0
+    }
+
+    /// Run the naming algorithm while capturing reusable phase-1 state,
+    /// optionally seeding it from a previous run.
+    ///
+    /// `reuse` is the cache of the previous run plus the delta the
+    /// incremental matcher reported for the appended interface; entries
+    /// whose inputs the delta touched are recomputed, everything else is
+    /// replayed. With `reuse = None` this is a batch run that merely
+    /// records the cache. The labeled output is identical to
+    /// [`Labeler::label`] either way — the equivalence tests in
+    /// `tests/incremental.rs` compare the two paths byte-for-byte through
+    /// the snapshot encoding.
+    pub fn label_with(
+        &self,
+        schemas: &[SchemaTree],
+        mapping: &Mapping,
+        integrated: &Integrated,
+        reuse: Option<(&RelabelCache, &RelabelDelta)>,
+    ) -> (LabeledInterface, RelabelCache) {
+        let (labeled, cache) = self.run(schemas, mapping, integrated, reuse, true);
+        (labeled, cache.expect("capture was requested"))
+    }
+
+    fn run(
+        &self,
+        schemas: &[SchemaTree],
+        mapping: &Mapping,
+        integrated: &Integrated,
+        reuse: Option<(&RelabelCache, &RelabelDelta)>,
+        capture: bool,
+    ) -> (LabeledInterface, Option<RelabelCache>) {
         let run_span = self.telemetry.timed("label");
-        let ctx = NamingCtx::new(self.lexicon);
+        // A delta run inherits the previous run's naming memo: interning,
+        // normalization and pairwise relations are pure functions of the
+        // lexicon and the label strings, so the carried state is
+        // output-neutral and saves re-deriving the whole domain's labels
+        // to rename a few groups.
+        let ctx = match reuse {
+            Some((cache, _)) => NamingCtx::with_memo(self.lexicon, cache.memo()),
+            None => NamingCtx::new(self.lexicon),
+        };
         ctx.set_cache_enabled(self.cache_enabled);
         let mut report = NamingReport::default();
         let mut tree = integrated.tree.clone();
@@ -157,36 +216,166 @@ impl<'a> Labeler<'a> {
             let leaves: Vec<NodeId> = partition.root.iter().map(|&(l, _)| l).collect();
             specs.push((clusters, leaves, None));
         }
+        // Cached group keys carry the previous run's column order; an
+        // appended interface may permute the integrated tree's leaves, so
+        // also index the keys by their sorted cluster set for an
+        // order-insensitive second-chance lookup.
+        let sorted_keys: HashMap<Vec<ClusterId>, &Vec<ClusterId>> = reuse
+            .map(|(cache, _)| {
+                cache
+                    .groups
+                    .keys()
+                    .map(|k| {
+                        let mut sorted = k.clone();
+                        sorted.sort_unstable();
+                        (sorted, k)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         let phase_span = self.telemetry.timed("label.phase1.groups");
-        let groups: Vec<GroupWork> =
+        let group_results: Vec<(GroupWork, GroupPath)> =
             qi_runtime::parallel_map(&specs, self.threads, |_, (clusters, leaves, parent)| {
+                let work = |relation, naming, state, path| {
+                    (
+                        GroupWork {
+                            clusters: clusters.clone(),
+                            leaves: leaves.clone(),
+                            parent: *parent,
+                            relation,
+                            naming,
+                            state,
+                        },
+                        path,
+                    )
+                };
+                if let Some((cache, delta)) = reuse {
+                    // A cached group is replayable when its column set is
+                    // untouched: no dirty cluster, and no new cluster (new
+                    // ids miss the key lookup). The appended schema then
+                    // contributes only an all-null tuple, which the
+                    // relation builder omits — so relation and naming are
+                    // unchanged.
+                    if delta.clean(clusters) {
+                        if let Some(hit) = cache.groups.get(clusters) {
+                            return work(
+                                hit.relation.clone(),
+                                hit.naming.clone(),
+                                capture.then(|| hit.state.clone()),
+                                GroupPath::Replayed,
+                            );
+                        }
+                    }
+                    // A touched group — dirty members and/or columns born
+                    // with the appended interface — extends its cached run:
+                    // old tuples are column-remapped (never re-read from
+                    // their schemas), the new schema contributes at most
+                    // one appended tuple, and the naming is re-derived from
+                    // the cached partitioning and partition solutions.
+                    let old_key: Vec<ClusterId> = clusters
+                        .iter()
+                        .copied()
+                        .filter(|c| !delta.new_clusters.contains(c))
+                        .collect();
+                    let hit = cache.groups.get(&old_key).or_else(|| {
+                        let mut sorted = old_key.clone();
+                        sorted.sort_unstable();
+                        sorted_keys.get(&sorted).and_then(|k| cache.groups.get(*k))
+                    });
+                    if let Some(hit) = hit {
+                        if let Some((relation, column_map, appended)) =
+                            hit.relation.extend_for_append(
+                                clusters,
+                                mapping,
+                                schemas,
+                                delta.new_schema,
+                                &delta.new_clusters,
+                            )
+                        {
+                            debug_assert_eq!(
+                                relation,
+                                GroupRelation::build(clusters, mapping, schemas),
+                                "extended relation diverged from a full rebuild"
+                            );
+                            let (naming, state) = extend_group_naming(
+                                &relation,
+                                &hit.state,
+                                appended,
+                                &column_map,
+                                &ctx,
+                                &self.policy,
+                            );
+                            debug_assert_eq!(
+                                naming,
+                                name_group(&relation, &ctx, &self.policy),
+                                "extended naming diverged from a full rebuild"
+                            );
+                            return work(relation, naming, Some(state), GroupPath::Extended);
+                        }
+                    }
+                }
                 let relation = GroupRelation::build(clusters, mapping, schemas);
-                let naming = name_group(&relation, &ctx, &self.policy);
-                GroupWork {
-                    clusters: clusters.clone(),
-                    leaves: leaves.clone(),
-                    parent: *parent,
-                    relation,
-                    naming,
+                if capture {
+                    let (naming, state) = name_group_stateful(&relation, &ctx, &self.policy);
+                    work(relation, naming, Some(state), GroupPath::Computed)
+                } else {
+                    let naming = name_group(&relation, &ctx, &self.policy);
+                    work(relation, naming, None, GroupPath::Computed)
                 }
             });
+        let groups_reused = group_results
+            .iter()
+            .filter(|(_, path)| *path == GroupPath::Replayed)
+            .count();
+        let groups_extended = group_results
+            .iter()
+            .filter(|(_, path)| *path == GroupPath::Extended)
+            .count();
+        let groups: Vec<GroupWork> = group_results.into_iter().map(|(g, _)| g).collect();
         drop(phase_span);
 
         // ---------- Phase 1b: isolated clusters ------------------------------
         let phase_span = self.telemetry.timed("label.phase1.isolated");
+        let mut isolated_store: HashMap<ClusterId, CachedIsolated> = HashMap::new();
+        let mut isolated_reused = 0usize;
         for &(leaf, cluster) in &partition.isolated {
-            let occurrences = isolated_occurrences(schemas, mapping, cluster);
-            let label =
-                label_isolated_cluster(&occurrences, &ctx, &self.policy, &mut report.li_usage);
+            // An isolated election reads only the cluster's own members,
+            // so a clean cluster replays verbatim (LI usage included).
+            let cached = reuse.and_then(|(cache, delta)| {
+                (!delta.dirty.contains(&cluster))
+                    .then(|| cache.isolated.get(&cluster))
+                    .flatten()
+            });
+            let entry = match cached {
+                Some(hit) => {
+                    isolated_reused += 1;
+                    hit.clone()
+                }
+                None => {
+                    let occurrences = isolated_occurrences(schemas, mapping, cluster);
+                    let mut usage = LiUsage::default();
+                    let chosen =
+                        label_isolated_cluster(&occurrences, &ctx, &self.policy, &mut usage);
+                    CachedIsolated {
+                        chosen,
+                        occurrences: occurrences
+                            .iter()
+                            .map(|o| (o.label.clone(), o.frequency))
+                            .collect(),
+                        usage,
+                    }
+                }
+            };
+            report.li_usage.merge(&entry.usage);
             report.isolated.push(crate::report::IsolatedOutcome {
                 leaf,
-                chosen: label.clone(),
-                occurrences: occurrences
-                    .iter()
-                    .map(|o| (o.label.clone(), o.frequency))
-                    .collect(),
+                chosen: entry.chosen.clone(),
+                occurrences: entry.occurrences.clone(),
             });
-            tree.set_label(leaf, label);
+            tree.set_label(leaf, entry.chosen.clone());
+            if capture {
+                isolated_store.insert(cluster, entry);
+            }
         }
         drop(phase_span);
 
@@ -194,6 +383,21 @@ impl<'a> Labeler<'a> {
         let phase_span = self.telemetry.timed("label.phase1.candidates");
         let potentials = collect_potentials(schemas, mapping);
         let info = collect_cluster_info(schemas, mapping);
+        // Bags of the appended schema's potential labels: a cached
+        // candidate set over coverage `x` stays valid only if none of
+        // these is contained in `x` (contained bags join the candidate
+        // classes and the LI5 extension; everything else is filtered on
+        // `bag ⊆ x` before it can influence the result).
+        let new_bags: Vec<&BTreeSet<ClusterId>> = match reuse {
+            Some((_, delta)) => potentials
+                .iter()
+                .filter(|p| p.schema == delta.new_schema)
+                .map(|p| &p.bag)
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut internal_store: HashMap<Vec<ClusterId>, CachedInternal> = HashMap::new();
+        let mut internal_reused = 0usize;
         let mut internal_candidates: BTreeMap<NodeId, Vec<CandidateLabel>> = BTreeMap::new();
         let mut node_clusters: BTreeMap<NodeId, BTreeSet<ClusterId>> = BTreeMap::new();
         for internal in integrated.tree.internal_nodes() {
@@ -203,8 +407,45 @@ impl<'a> Labeler<'a> {
                 .into_iter()
                 .filter_map(|l| integrated.cluster_of_leaf(l))
                 .collect();
-            let candidates =
-                internal::find_candidates(&x, &potentials, &info, &ctx, &mut report.li_usage);
+            let key: Vec<ClusterId> = x.iter().copied().collect();
+            let cached = reuse.and_then(|(cache, delta)| {
+                let valid = delta.clean(&key) && new_bags.iter().all(|bag| !bag.is_subset(&x));
+                valid.then(|| cache.internal.get(&key)).flatten()
+            });
+            let candidates = match cached {
+                Some(hit) => {
+                    internal_reused += 1;
+                    report.li_usage.merge(&hit.usage);
+                    let candidates: Vec<CandidateLabel> = hit
+                        .candidates
+                        .iter()
+                        .map(|s| s.to_candidate(&ctx))
+                        .collect();
+                    if capture {
+                        internal_store.insert(key, hit.clone());
+                    }
+                    candidates
+                }
+                None => {
+                    let mut usage = LiUsage::default();
+                    let candidates =
+                        internal::find_candidates(&x, &potentials, &info, &ctx, &mut usage);
+                    report.li_usage.merge(&usage);
+                    if capture {
+                        internal_store.insert(
+                            key,
+                            CachedInternal {
+                                candidates: candidates
+                                    .iter()
+                                    .map(StoredCandidate::from_candidate)
+                                    .collect(),
+                                usage,
+                            },
+                        );
+                    }
+                    candidates
+                }
+            };
             node_clusters.insert(internal.id, x);
             internal_candidates.insert(internal.id, candidates);
         }
@@ -409,14 +650,46 @@ impl<'a> Labeler<'a> {
         report.naming_cache = ctx.cache_stats();
         drop(run_span);
         self.record_telemetry(&report, &ctx);
-
-        LabeledInterface {
-            tree,
-            leaf_cluster: integrated.leaf_cluster.clone(),
-            report,
-            internal_candidates,
-            internal_decisions: decisions,
+        if self.telemetry.is_enabled() && reuse.is_some() {
+            self.telemetry
+                .add("labeler.reuse.groups", groups_reused as u64);
+            self.telemetry
+                .add("labeler.extend.groups", groups_extended as u64);
+            self.telemetry
+                .add("labeler.reuse.isolated", isolated_reused as u64);
+            self.telemetry
+                .add("labeler.reuse.internal", internal_reused as u64);
         }
+
+        let cache = capture.then(|| RelabelCache {
+            groups: groups
+                .into_iter()
+                .map(|g| {
+                    (
+                        g.clusters,
+                        CachedGroup {
+                            relation: g.relation,
+                            naming: g.naming,
+                            state: g.state.expect("capturing runs record naming state"),
+                        },
+                    )
+                })
+                .collect(),
+            internal: internal_store,
+            isolated: isolated_store,
+            memo: ctx.memo(),
+        });
+
+        (
+            LabeledInterface {
+                tree,
+                leaf_cluster: integrated.leaf_cluster.clone(),
+                report,
+                internal_candidates,
+                internal_decisions: decisions,
+            },
+            cache,
+        )
     }
 
     /// Copy the run's counters and cache stats into the registry. One
@@ -845,6 +1118,88 @@ mod tests {
             .internal_decisions
             .values()
             .any(|d| d.chosen.is_some() && d.def6_consistent));
+    }
+
+    /// `label_with` under cache reuse produces exactly what a batch
+    /// `label` over the grown domain produces (everything except the
+    /// naming-cache hit/miss statistics, which legitimately differ).
+    #[test]
+    fn label_with_reuse_matches_batch_relabel() {
+        let lexicon = Lexicon::builtin();
+        let labeler = Labeler::new(&lexicon, NamingPolicy::default());
+        let mut schemas = vec![
+            SchemaTree::build(
+                "a",
+                vec![
+                    node("Passengers", vec![leaf("Adults"), leaf("Children")]),
+                    leaf("Departure Date"),
+                ],
+            )
+            .unwrap(),
+            SchemaTree::build(
+                "b",
+                vec![
+                    node("Travelers", vec![leaf("Adults"), leaf("Infants")]),
+                    leaf("Airline"),
+                ],
+            )
+            .unwrap(),
+        ];
+        let base_mapping = qi_mapping::match_by_labels(&schemas, &lexicon);
+        let base_integrated = qi_merge::merge(&schemas, &base_mapping);
+        let (_, cache) = labeler.label_with(&schemas, &base_mapping, &base_integrated, None);
+
+        schemas.push(
+            SchemaTree::build(
+                "c",
+                vec![node("Who Flies", vec![leaf("Adults"), leaf("Seniors")])],
+            )
+            .unwrap(),
+        );
+        let config = qi_mapping::MatcherConfig::default();
+        let delta = match qi_mapping::delta_match(&schemas, &base_mapping, &lexicon, config) {
+            qi_mapping::DeltaOutcome::Incremental(d) => d,
+            other => panic!("expected incremental append, got {other:?}"),
+        };
+        let integrated = qi_merge::merge(&schemas, &delta.mapping);
+        let batch = labeler.label(&schemas, &delta.mapping, &integrated);
+        let old_ids: BTreeSet<ClusterId> = base_mapping.clusters.iter().map(|c| c.id).collect();
+        let reuse_delta = crate::relabel::RelabelDelta {
+            dirty: delta.dirty.clone(),
+            new_clusters: delta
+                .mapping
+                .clusters
+                .iter()
+                .map(|c| c.id)
+                .filter(|id| !old_ids.contains(id))
+                .collect(),
+            new_schema: schemas.len() - 1,
+        };
+        let (incremental, next_cache) = labeler.label_with(
+            &schemas,
+            &delta.mapping,
+            &integrated,
+            Some((&cache, &reuse_delta)),
+        );
+        assert_eq!(incremental.tree, batch.tree);
+        assert_eq!(incremental.leaf_cluster, batch.leaf_cluster);
+        assert_eq!(incremental.internal_decisions, batch.internal_decisions);
+        assert_eq!(incremental.report.class, batch.report.class);
+        assert_eq!(incremental.report.li_usage, batch.report.li_usage);
+        assert_eq!(incremental.report.groups, batch.report.groups);
+        assert_eq!(incremental.report.isolated, batch.report.isolated);
+        assert_eq!(
+            incremental.report.unlabeled_fields,
+            batch.report.unlabeled_fields
+        );
+        assert_eq!(
+            incremental.report.labeled_internal,
+            batch.report.labeled_internal
+        );
+        // The captured cache covers the grown domain.
+        let (groups, internal, isolated) = next_cache.sizes();
+        assert!(groups > 0 || isolated > 0);
+        assert!(internal > 0 || integrated.tree.internal_nodes().count() == 0);
     }
 
     #[test]

@@ -59,16 +59,54 @@ pub fn partition_tuples(
     level: ConsistencyLevel,
     ctx: &NamingCtx<'_>,
 ) -> PartitionResult {
-    let n = relation.tuples.len();
-    // Union-find over tuple indices.
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-        if parent[x] != x {
-            let root = find(parent, parent[x]);
-            parent[x] = root;
-        }
-        parent[x]
+    let comp = components(relation, level, ctx);
+    result_from_components(relation, level, &comp)
+}
+
+fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    if parent[x] != x {
+        let root = find(parent, parent[x]);
+        parent[x] = root;
     }
+    parent[x]
+}
+
+/// Canonicalize a union-find forest: entry `i` becomes the smallest
+/// tuple index of `i`'s component.
+fn canonicalize(parent: &mut Vec<usize>) -> Vec<usize> {
+    let n = parent.len();
+    let mut smallest: Vec<usize> = (0..n).collect();
+    let mut comp: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        let root = find(parent, i);
+        // Ascending scan: the first member of a component to reach its
+        // root *is* the smallest member.
+        if smallest[root] > i {
+            smallest[root] = i;
+        }
+        comp.push(smallest[root].min(root));
+    }
+    // A root larger than its smallest member records itself on first
+    // touch; fix those entries up with a second pass.
+    for entry in comp.iter_mut() {
+        if smallest[*entry] < *entry {
+            *entry = smallest[*entry];
+        }
+    }
+    comp
+}
+
+/// The canonical component ids of a partitioning: `comp[i]` is the
+/// smallest tuple index in tuple `i`'s connected component. This is the
+/// carryable form of a partitioning — [`extend_components`] grows it by
+/// one appended tuple without redoing the O(n²) pairwise closure.
+pub fn components(
+    relation: &GroupRelation,
+    level: ConsistencyLevel,
+    ctx: &NamingCtx<'_>,
+) -> Vec<usize> {
+    let n = relation.tuples.len();
+    let mut parent: Vec<usize> = (0..n).collect();
     for i in 0..n {
         for j in (i + 1)..n {
             if tuples_consistent(&relation.tuples[i], &relation.tuples[j], level, ctx) {
@@ -80,9 +118,49 @@ pub fn partition_tuples(
             }
         }
     }
+    canonicalize(&mut parent)
+}
+
+/// Extend cached [`components`] of a relation's first `n-1` tuples to
+/// cover an appended last tuple, in O(n) consistency checks instead of
+/// O(n²): edges among the old tuples are untouched by an append (their
+/// labels on shared columns are what they always were), so only the new
+/// tuple's edges need computing.
+pub fn extend_components(
+    relation: &GroupRelation,
+    level: ConsistencyLevel,
+    ctx: &NamingCtx<'_>,
+    seed: &[usize],
+) -> Vec<usize> {
+    let n = relation.tuples.len();
+    debug_assert_eq!(
+        seed.len() + 1,
+        n,
+        "seed must cover all but the appended tuple"
+    );
+    let mut parent: Vec<usize> = (0..n).collect();
+    parent[..n - 1].copy_from_slice(seed);
+    let appended = &relation.tuples[n - 1];
+    for t in 0..n - 1 {
+        if tuples_consistent(appended, &relation.tuples[t], level, ctx) {
+            let rt = find(&mut parent, t);
+            let rn = find(&mut parent, n - 1);
+            if rt != rn {
+                parent[rt] = rn;
+            }
+        }
+    }
+    canonicalize(&mut parent)
+}
+
+/// Assemble the full [`PartitionResult`] from canonical component ids.
+pub fn result_from_components(
+    relation: &GroupRelation,
+    level: ConsistencyLevel,
+    comp: &[usize],
+) -> PartitionResult {
     let mut groups: Vec<(usize, TuplePartition)> = Vec::new();
-    for i in 0..n {
-        let root = find(&mut parent, i);
+    for (i, &root) in comp.iter().enumerate() {
         let covered: Vec<usize> = relation.tuples[i].covered_columns();
         match groups.iter_mut().find(|(r, _)| *r == root) {
             Some((_, p)) => {

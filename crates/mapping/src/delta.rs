@@ -1,0 +1,545 @@
+//! Incremental (delta) clustering: append one new interface to an
+//! existing matcher-derived mapping without re-scoring the old corpus.
+//!
+//! The full matcher processes accepted pairs in ascending `(i, j)` order
+//! over the concatenated field list. When exactly one interface is
+//! appended, three structural facts make a targeted update equivalent to
+//! the full re-run:
+//!
+//! 1. New–new pairs are never scored (all new fields share the appended
+//!    schema, and same-schema pairs are skipped), so the new fields can
+//!    only attach to *old* components.
+//! 2. Old–old pairs score identically, so the old partition re-forms
+//!    exactly — provided the base mapping was itself produced by the
+//!    matcher under the same configuration (callers must guarantee this).
+//! 3. Every component holds at most one field per schema, so any two
+//!    fragments of one final cluster are schema-disjoint at all times;
+//!    attaching a new field early can never block a later old–old union
+//!    (the appended schema occurs in no old fragment).
+//!
+//! Hence, writing `S(n)` for the set of old clusters containing at least
+//! one accepted match partner of new field `n`: when every `S(n)` has at
+//! most one element and no two new fields share the same target cluster,
+//! the full re-run's output is exactly the old partition with each `n`
+//! appended to its `S(n)` cluster (or appended as a fresh singleton when
+//! `S(n)` is empty). The two guarded cases — a new field *bridging* two
+//! old clusters, and two new fields landing in one cluster (where merge
+//! order and the same-schema clash interact) — conservatively fall back
+//! to the full matcher; [`DeltaOutcome::Fallback`] reports which guard
+//! fired. Candidates come from the same posting families the indexed
+//! engine uses (interned stems, synset ids, fuzzy signatures), built over
+//! the *old* fields only and probed with the new fields.
+
+use crate::cluster::{ClusterId, FieldRef, Mapping};
+use crate::index::{prefix_blocking_sound, signature_chars};
+use crate::matcher::{collect_fields, emit_clusters, labels_match_with, MatcherConfig};
+use qi_lexicon::{Lexicon, SynsetId};
+use qi_schema::{NodeId, SchemaTree};
+use std::collections::{BTreeSet, HashMap};
+
+/// Carryable matcher state: the normalized fields of an already-matched
+/// corpus plus the candidate postings over them. Both are pure functions
+/// of `(schemas, lexicon, config)`, so a caller that holds the carry from
+/// the previous match skips re-normalizing every old label on the next
+/// append — the dominant cost of [`delta_match`] on a grown corpus.
+#[derive(Debug, Clone)]
+pub struct MatchCarry {
+    config: MatcherConfig,
+    /// Number of schemas the carry covers (`fields` spans exactly these).
+    schema_count: usize,
+    fields: Vec<(FieldRef, Option<qi_text::LabelText>)>,
+    postings: OldPostings,
+}
+
+impl MatchCarry {
+    /// Derive the carry for a corpus from scratch.
+    pub fn build(schemas: &[SchemaTree], lexicon: &Lexicon, config: MatcherConfig) -> Self {
+        let fields = collect_fields(schemas, lexicon);
+        let postings = OldPostings::build(&fields, lexicon, config);
+        MatchCarry {
+            config,
+            schema_count: schemas.len(),
+            fields,
+            postings,
+        }
+    }
+}
+
+/// Result of attempting a delta update.
+#[derive(Debug, Clone)]
+pub enum DeltaOutcome {
+    /// The append was structurally simple; `mapping` is bit-identical to
+    /// what a full re-match of all schemas would produce. Boxed: the
+    /// carried matcher state dwarfs the fallback variant.
+    Incremental(Box<DeltaMapping>),
+    /// A guard fired — the caller must run the full matcher.
+    Fallback(FallbackReason),
+}
+
+/// The incrementally updated mapping plus what changed.
+#[derive(Debug, Clone)]
+pub struct DeltaMapping {
+    /// The complete new mapping (old clusters with appended members,
+    /// then new singletons in field order).
+    pub mapping: Mapping,
+    /// Old clusters that gained a member from the new interface.
+    pub dirty: BTreeSet<ClusterId>,
+    /// Candidate pairs scored (the work the delta path actually did).
+    pub pairs_scored: u64,
+    /// Pairs the match predicate accepted.
+    pub pairs_accepted: u64,
+    /// Matcher carry covering the appended corpus, for the next append.
+    pub carry: MatchCarry,
+}
+
+/// Why the delta path refused and a full rebuild is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The base mapping does not cover exactly the old schemas' fields —
+    /// it was not produced by the matcher over this corpus.
+    BaseMismatch,
+    /// A new field matched members of two distinct old clusters; whether
+    /// they merge depends on clash state the delta tracker does not
+    /// replay.
+    Bridge,
+    /// Two new fields attached to the same old cluster; the same-schema
+    /// clash makes the outcome order-dependent.
+    SharedJoin,
+}
+
+impl FallbackReason {
+    /// Stable label for telemetry counters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FallbackReason::BaseMismatch => "base_mismatch",
+            FallbackReason::Bridge => "bridge",
+            FallbackReason::SharedJoin => "shared_join",
+        }
+    }
+}
+
+/// Append the last schema of `schemas` to `base` (the matcher output for
+/// `schemas[..len-1]` under `config`). Returns the updated mapping or a
+/// fallback verdict. The caller is responsible for guaranteeing that
+/// `base` really is matcher output under the same `config`; the only
+/// internally detectable violation is field-coverage mismatch.
+pub fn delta_match(
+    schemas: &[SchemaTree],
+    base: &Mapping,
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+) -> DeltaOutcome {
+    delta_match_carried(schemas, base, lexicon, config, None)
+}
+
+/// [`delta_match`] with an optional [`MatchCarry`] from the previous
+/// match over `schemas[..len-1]`. A valid carry (same config, covering
+/// exactly the old schemas) skips re-normalizing the old corpus and
+/// rebuilding its postings; the carry's provenance is a caller contract,
+/// like `base` itself. A successful outcome includes the updated carry
+/// for the next append.
+pub fn delta_match_carried(
+    schemas: &[SchemaTree],
+    base: &Mapping,
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+    carry: Option<&MatchCarry>,
+) -> DeltaOutcome {
+    let new_schema = schemas.len() - 1;
+    let carry = carry.filter(|c| c.config == config && c.schema_count == new_schema);
+    let (fields, old_len) = match carry {
+        Some(c) => {
+            let mut fields = c.fields.clone();
+            let old_len = fields.len();
+            let tree = &schemas[new_schema];
+            for leaf in tree.descendant_leaves(NodeId::ROOT) {
+                let label = tree
+                    .node(leaf)
+                    .label
+                    .as_deref()
+                    .map(|raw| qi_text::LabelText::new(raw, lexicon));
+                fields.push((FieldRef::new(new_schema, leaf), label));
+            }
+            (fields, old_len)
+        }
+        None => {
+            let fields = collect_fields(schemas, lexicon);
+            let old_len = fields
+                .iter()
+                .take_while(|(f, _)| f.schema < new_schema)
+                .count();
+            (fields, old_len)
+        }
+    };
+
+    // Old field → (field index, cluster). A base that does not cover the
+    // old fields exactly was not produced over this corpus.
+    let mut index_of: HashMap<FieldRef, usize> = HashMap::with_capacity(old_len);
+    for (i, (field, _)) in fields[..old_len].iter().enumerate() {
+        index_of.insert(*field, i);
+    }
+    let mut cluster_of: Vec<Option<ClusterId>> = vec![None; old_len];
+    let mut first_member: Vec<usize> = Vec::with_capacity(base.clusters.len());
+    let mut covered = 0usize;
+    for cluster in &base.clusters {
+        let mut first: Option<usize> = None;
+        for member in &cluster.members {
+            let Some(&i) = index_of.get(member) else {
+                return DeltaOutcome::Fallback(FallbackReason::BaseMismatch);
+            };
+            if cluster_of[i].is_some() {
+                return DeltaOutcome::Fallback(FallbackReason::BaseMismatch);
+            }
+            cluster_of[i] = Some(cluster.id);
+            first = Some(first.map_or(i, |f: usize| f.min(i)));
+            covered += 1;
+        }
+        let Some(first) = first else {
+            return DeltaOutcome::Fallback(FallbackReason::BaseMismatch);
+        };
+        first_member.push(first);
+    }
+    if covered != old_len {
+        return DeltaOutcome::Fallback(FallbackReason::BaseMismatch);
+    }
+
+    // Candidate old partners per new field. In the regime where fuzzy
+    // signature blocking is unsound the full matcher streams all pairs;
+    // the delta equivalent is scoring every labeled old field (still
+    // O(old) per new field, not O(old²)).
+    let labeled = |idx: usize| {
+        fields[idx]
+            .1
+            .as_ref()
+            .is_some_and(|l| !l.is_empty())
+            .then_some(idx)
+    };
+    let universal = config.fuzzy && !prefix_blocking_sound(&fields, config);
+    let built: Option<OldPostings> = (!universal && carry.is_none())
+        .then(|| OldPostings::build(&fields[..old_len], lexicon, config));
+    let postings: Option<&OldPostings> = if universal {
+        None
+    } else {
+        carry.map(|c| &c.postings).or(built.as_ref())
+    };
+
+    let mut pairs_scored = 0u64;
+    let mut pairs_accepted = 0u64;
+    // Target old cluster per new field (None = fresh singleton).
+    let mut joins: Vec<Option<ClusterId>> = vec![None; fields.len() - old_len];
+    let mut taken: HashMap<ClusterId, usize> = HashMap::new();
+    for n in old_len..fields.len() {
+        let Some(label_n) = fields[n].1.as_ref().filter(|l| !l.is_empty()) else {
+            continue;
+        };
+        let candidates: Vec<usize> = match postings {
+            Some(postings) => postings.probe(label_n, lexicon, config),
+            None => (0..old_len).filter_map(labeled).collect(),
+        };
+        let mut targets: BTreeSet<ClusterId> = BTreeSet::new();
+        for i in candidates {
+            let label_i = fields[i].1.as_ref().expect("candidates are labeled");
+            pairs_scored += 1;
+            if labels_match_with(label_i, label_n, lexicon, config) {
+                pairs_accepted += 1;
+                targets.insert(cluster_of[i].expect("old fields are covered"));
+            }
+        }
+        if targets.len() > 1 {
+            return DeltaOutcome::Fallback(FallbackReason::Bridge);
+        }
+        if let Some(&target) = targets.iter().next() {
+            if taken.insert(target, n).is_some() {
+                return DeltaOutcome::Fallback(FallbackReason::SharedJoin);
+            }
+            joins[n - old_len] = Some(target);
+        }
+    }
+
+    // Re-emit through the matcher's own cluster emitter so ordering and
+    // concept naming are identical to the full run by construction.
+    let roots: Vec<usize> = (0..fields.len())
+        .map(|i| {
+            if i < old_len {
+                first_member[cluster_of[i].expect("covered").index()]
+            } else {
+                match joins[i - old_len] {
+                    Some(target) => first_member[target.index()],
+                    None => i,
+                }
+            }
+        })
+        .collect();
+    let mapping = emit_clusters(&fields, &roots);
+    let dirty: BTreeSet<ClusterId> = joins.iter().flatten().copied().collect();
+    // The carry for the next append: this corpus's fields, postings
+    // extended by the new fields (old indices are unchanged by the
+    // append, and new indices are larger than every posted one, so
+    // extending preserves the sorted-unique invariant).
+    let mut next_postings = match (carry, built) {
+        (Some(c), _) => c.postings.clone(),
+        (None, Some(b)) => b,
+        (None, None) => OldPostings::build(&fields[..old_len], lexicon, config),
+    };
+    next_postings.extend(&fields[old_len..], old_len, lexicon, config);
+    DeltaOutcome::Incremental(Box::new(DeltaMapping {
+        mapping,
+        dirty,
+        pairs_scored,
+        pairs_accepted,
+        carry: MatchCarry {
+            config,
+            schema_count: schemas.len(),
+            fields,
+            postings: next_postings,
+        },
+    }))
+}
+
+/// Inverted postings over the old fields, mirroring the index families
+/// of the full engine: stems, synset ids, and (fuzzy tier) signature
+/// characters. Probing a new label yields a deduplicated superset of its
+/// accepting partners — the same exhaustiveness argument as
+/// [`crate::index`], restricted to old×new pairs.
+#[derive(Debug, Clone)]
+struct OldPostings {
+    stems: HashMap<String, Vec<usize>>,
+    synsets: HashMap<SynsetId, Vec<usize>>,
+    fuzzy: HashMap<char, Vec<usize>>,
+}
+
+impl OldPostings {
+    fn build(
+        old_fields: &[(FieldRef, Option<qi_text::LabelText>)],
+        lexicon: &Lexicon,
+        config: MatcherConfig,
+    ) -> Self {
+        let mut postings = OldPostings {
+            stems: HashMap::new(),
+            synsets: HashMap::new(),
+            fuzzy: HashMap::new(),
+        };
+        postings.extend(old_fields, 0, lexicon, config);
+        postings
+    }
+
+    /// Post fields starting at index `offset`. Indices must arrive in
+    /// ascending order across calls — each posting list stays sorted and
+    /// deduplicated because a field only ever appends its own index.
+    fn extend(
+        &mut self,
+        fields: &[(FieldRef, Option<qi_text::LabelText>)],
+        offset: usize,
+        lexicon: &Lexicon,
+        config: MatcherConfig,
+    ) {
+        let push_unique = |list: &mut Vec<usize>, i: usize| {
+            if list.last() != Some(&i) {
+                list.push(i);
+            }
+        };
+        for (k, (_, label)) in fields.iter().enumerate() {
+            let i = offset + k;
+            let Some(label) = label else { continue };
+            if label.is_empty() {
+                continue;
+            }
+            for word in &label.words {
+                push_unique(self.stems.entry(word.stem.clone()).or_default(), i);
+                for sid in lexicon.resolve(&word.lemma) {
+                    push_unique(self.synsets.entry(sid).or_default(), i);
+                }
+                if config.fuzzy {
+                    for c in signature_chars(&word.stem, &word.lemma) {
+                        push_unique(self.fuzzy.entry(c).or_default(), i);
+                    }
+                }
+            }
+        }
+    }
+
+    fn probe(
+        &self,
+        label: &qi_text::LabelText,
+        lexicon: &Lexicon,
+        config: MatcherConfig,
+    ) -> Vec<usize> {
+        let mut hits: Vec<usize> = Vec::new();
+        for word in &label.words {
+            if let Some(list) = self.stems.get(&word.stem) {
+                hits.extend_from_slice(list);
+            }
+            for sid in lexicon.resolve(&word.lemma) {
+                if let Some(list) = self.synsets.get(&sid) {
+                    hits.extend_from_slice(list);
+                }
+            }
+            if config.fuzzy {
+                for c in signature_chars(&word.stem, &word.lemma) {
+                    if let Some(list) = self.fuzzy.get(&c) {
+                        hits.extend_from_slice(list);
+                    }
+                }
+            }
+        }
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{match_by_labels, match_by_labels_with};
+    use qi_schema::spec::{leaf, unlabeled_leaf};
+
+    fn base_corpus() -> Vec<SchemaTree> {
+        vec![
+            SchemaTree::build(
+                "a",
+                vec![leaf("Make"), leaf("Model"), leaf("Price"), unlabeled_leaf()],
+            )
+            .unwrap(),
+            SchemaTree::build("b", vec![leaf("Brand"), leaf("Model"), leaf("Zip Code")]).unwrap(),
+            SchemaTree::build("c", vec![leaf("Manufacturer"), leaf("zip code:")]).unwrap(),
+        ]
+    }
+
+    fn assert_incremental_equals_full(schemas: Vec<SchemaTree>, extra: SchemaTree) {
+        let lexicon = Lexicon::builtin();
+        let config = MatcherConfig::default();
+        let base = match_by_labels(&schemas, &lexicon);
+        let mut all = schemas;
+        all.push(extra);
+        let full = match_by_labels(&all, &lexicon);
+        match delta_match(&all, &base, &lexicon, config) {
+            DeltaOutcome::Incremental(delta) => {
+                assert_eq!(delta.mapping, full, "delta must match the full re-run");
+                for &c in &delta.dirty {
+                    assert!(c.index() < base.len(), "dirty ids are old clusters");
+                }
+            }
+            DeltaOutcome::Fallback(reason) => panic!("unexpected fallback: {reason:?}"),
+        }
+    }
+
+    #[test]
+    fn join_and_singleton_appends_match_full_rerun() {
+        let extra =
+            SchemaTree::build("d", vec![leaf("Model"), leaf("Mileage"), unlabeled_leaf()]).unwrap();
+        assert_incremental_equals_full(base_corpus(), extra);
+    }
+
+    #[test]
+    fn synonym_join_matches_full_rerun() {
+        // `Manufacturer` joins the Make/Brand/Manufacturer cluster via
+        // the synset postings, not string equality.
+        let extra = SchemaTree::build("d", vec![leaf("Manufacturer"), leaf("Color")]).unwrap();
+        assert_incremental_equals_full(base_corpus(), extra);
+    }
+
+    #[test]
+    fn all_new_fields_match_full_rerun() {
+        let extra = SchemaTree::build("d", vec![leaf("Transmission"), leaf("Doors")]).unwrap();
+        assert_incremental_equals_full(base_corpus(), extra);
+    }
+
+    #[test]
+    fn bridge_falls_back() {
+        // Schema `a` holds Make and Brand apart (same-schema clash), so
+        // the base has two clusters a new `Manufacturer` field would
+        // bridge.
+        let schemas = vec![
+            SchemaTree::build("a", vec![leaf("Make"), leaf("Brand")]).unwrap(),
+            SchemaTree::build("b", vec![leaf("Price")]).unwrap(),
+        ];
+        let lexicon = Lexicon::builtin();
+        let base = match_by_labels(&schemas, &lexicon);
+        let mut all = schemas;
+        all.push(SchemaTree::build("c", vec![leaf("Manufacturer")]).unwrap());
+        match delta_match(&all, &base, &lexicon, MatcherConfig::default()) {
+            DeltaOutcome::Fallback(FallbackReason::Bridge) => {}
+            other => panic!("expected bridge fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_join_falls_back() {
+        // Two new same-schema fields both match the Model cluster; merge
+        // order and the clash check make the outcome order-dependent.
+        let schemas = vec![
+            SchemaTree::build("a", vec![leaf("Model")]).unwrap(),
+            SchemaTree::build("b", vec![leaf("Model")]).unwrap(),
+        ];
+        let lexicon = Lexicon::builtin();
+        let base = match_by_labels(&schemas, &lexicon);
+        let mut all = schemas;
+        all.push(SchemaTree::build("c", vec![leaf("Model"), leaf("model:")]).unwrap());
+        match delta_match(&all, &base, &lexicon, MatcherConfig::default()) {
+            DeltaOutcome::Fallback(FallbackReason::SharedJoin) => {}
+            other => panic!("expected shared-join fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn base_mismatch_falls_back() {
+        let schemas = base_corpus();
+        let lexicon = Lexicon::builtin();
+        // Ground-truth-style base covering only part of the fields.
+        let a_leaves = schemas[0].descendant_leaves(qi_schema::NodeId::ROOT);
+        let base = Mapping::from_clusters(vec![(
+            "c_Make".to_string(),
+            vec![FieldRef::new(0, a_leaves[0])],
+        )]);
+        let mut all = schemas;
+        all.push(SchemaTree::build("d", vec![leaf("Make")]).unwrap());
+        match delta_match(&all, &base, &lexicon, MatcherConfig::default()) {
+            DeltaOutcome::Fallback(FallbackReason::BaseMismatch) => {}
+            other => panic!("expected base-mismatch fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuzzy_config_matches_full_rerun() {
+        let lexicon = Lexicon::builtin();
+        let config = MatcherConfig {
+            fuzzy: true,
+            ..MatcherConfig::default()
+        };
+        let schemas = vec![
+            SchemaTree::build("a", vec![leaf("Quantity"), leaf("Address")]).unwrap(),
+            SchemaTree::build("b", vec![leaf("Price")]).unwrap(),
+        ];
+        let base = match_by_labels_with(&schemas, &lexicon, config);
+        let mut all = schemas;
+        all.push(SchemaTree::build("c", vec![leaf("Qty"), leaf("Adress")]).unwrap());
+        let full = match_by_labels_with(&all, &lexicon, config);
+        match delta_match(&all, &base, &lexicon, config) {
+            DeltaOutcome::Incremental(delta) => assert_eq!(delta.mapping, full),
+            DeltaOutcome::Fallback(reason) => panic!("unexpected fallback: {reason:?}"),
+        }
+    }
+
+    #[test]
+    fn unsound_blocking_regime_scores_all_pairs_and_agrees() {
+        let lexicon = Lexicon::builtin();
+        let config = MatcherConfig {
+            fuzzy: true,
+            min_similarity: 0.3,
+            ..MatcherConfig::default()
+        };
+        let schemas = vec![
+            SchemaTree::build("a", vec![leaf("abcdefghij")]).unwrap(),
+            SchemaTree::build("b", vec![leaf("Price")]).unwrap(),
+        ];
+        let base = match_by_labels_with(&schemas, &lexicon, config);
+        let mut all = schemas;
+        all.push(SchemaTree::build("c", vec![leaf("xycdefghij")]).unwrap());
+        let full = match_by_labels_with(&all, &lexicon, config);
+        match delta_match(&all, &base, &lexicon, config) {
+            DeltaOutcome::Incremental(delta) => assert_eq!(delta.mapping, full),
+            DeltaOutcome::Fallback(reason) => panic!("unexpected fallback: {reason:?}"),
+        }
+    }
+}

@@ -277,7 +277,7 @@ fn generate_candidates(
 /// blocking sound and silently drop the match. Division is monotone, so
 /// if no stem length admits an accepted distance-2 pair, no distance ≥ 2
 /// pair is accepted at all.
-fn prefix_blocking_sound(fields: &[Field], config: MatcherConfig) -> bool {
+pub(crate) fn prefix_blocking_sound(fields: &[Field], config: MatcherConfig) -> bool {
     if config.min_similarity <= 0.0 {
         // Distance-1 substitutions between single-character stems score
         // 0.0 and share no signature bucket, so a non-positive threshold
@@ -302,7 +302,7 @@ fn prefix_blocking_sound(fields: &[Field], config: MatcherConfig) -> bool {
 
 /// The signature characters of one content word: first and second
 /// characters of its stem and of its lemma (deduplicated).
-fn signature_chars(stem: &str, lemma: &str) -> impl Iterator<Item = char> {
+pub(crate) fn signature_chars(stem: &str, lemma: &str) -> impl Iterator<Item = char> {
     let mut out: [Option<char>; 4] = [None; 4];
     let mut n = 0;
     for c in stem.chars().take(2).chain(lemma.chars().take(2)) {

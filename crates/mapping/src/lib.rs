@@ -17,6 +17,7 @@
 
 pub mod cluster;
 pub mod clusters_format;
+pub mod delta;
 mod index;
 pub mod integrated;
 pub mod matcher;
@@ -25,6 +26,9 @@ pub mod relation;
 
 pub use cluster::{
     expand_one_to_many, Cluster, ClusterId, ExpansionOutcome, FieldRef, Mapping, MappingError,
+};
+pub use delta::{
+    delta_match, delta_match_carried, DeltaMapping, DeltaOutcome, FallbackReason, MatchCarry,
 };
 pub use integrated::{ClusterClass, ClusterPartition, GroupId, Integrated, IntegratedGroup};
 pub use matcher::{

@@ -258,7 +258,10 @@ pub fn match_by_labels_stats(
 /// Collect all fields with their normalized labels, in schema order then
 /// leaf preorder — the field order every downstream determinism claim is
 /// stated against.
-fn collect_fields(schemas: &[SchemaTree], lexicon: &Lexicon) -> Vec<(FieldRef, Option<LabelText>)> {
+pub(crate) fn collect_fields(
+    schemas: &[SchemaTree],
+    lexicon: &Lexicon,
+) -> Vec<(FieldRef, Option<LabelText>)> {
     let mut fields: Vec<(FieldRef, Option<LabelText>)> = Vec::new();
     for (schema_idx, tree) in schemas.iter().enumerate() {
         for leaf in tree.descendant_leaves(NodeId::ROOT) {
@@ -327,7 +330,7 @@ fn naive_components(
 /// Emit clusters in first-member order: the partition (and the concept
 /// naming) depends only on which fields share a root, so both engines
 /// funnel through this one function.
-fn emit_clusters(fields: &[(FieldRef, Option<LabelText>)], roots: &[usize]) -> Mapping {
+pub(crate) fn emit_clusters(fields: &[(FieldRef, Option<LabelText>)], roots: &[usize]) -> Mapping {
     let mut pos_of: HashMap<usize, usize> = HashMap::new();
     let mut members: Vec<Vec<FieldRef>> = Vec::new();
     let mut first_label: Vec<Option<&LabelText>> = Vec::new();

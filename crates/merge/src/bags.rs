@@ -31,70 +31,111 @@ pub struct Bag {
 /// enclosing group, which is what the paper's integrated interfaces show
 /// (one flat passenger group in Figure 2).
 pub fn collect_bags(schemas: &[SchemaTree], mapping: &Mapping) -> Vec<Bag> {
-    // field -> cluster reverse index.
-    let mut field_cluster: HashMap<FieldRef, ClusterId> = HashMap::new();
-    for cluster in &mapping.clusters {
-        for &member in &cluster.members {
-            field_cluster.insert(member, cluster.id);
-        }
-    }
-    let mut freq: BTreeMap<Vec<ClusterId>, usize> = BTreeMap::new();
-    // Per-schema bag sets, for the co-occurrence (redundancy) test.
-    let mut per_schema: Vec<Vec<Vec<ClusterId>>> = Vec::with_capacity(schemas.len());
+    let mut acc = BagAccumulator::default();
     for (schema_idx, tree) in schemas.iter().enumerate() {
+        acc.fold_schema(tree, schema_idx, mapping);
+    }
+    acc.finalize()
+}
+
+/// The per-schema fold underlying [`collect_bags`], split out so the bag
+/// multiset can be carried across ingests: folding schemas one at a time
+/// and finalizing produces exactly what `collect_bags` produces, and a
+/// schema's contribution depends only on its own tree and its own fields'
+/// cluster assignments — which an incremental append never changes for
+/// old schemas.
+#[derive(Debug, Clone, Default)]
+pub struct BagAccumulator {
+    /// Bag coverage → number of source internal nodes with it.
+    freq: BTreeMap<Vec<ClusterId>, usize>,
+    /// Per-schema distinct coverages (redundancy co-occurrence test).
+    per_schema: Vec<Vec<Vec<ClusterId>>>,
+}
+
+impl BagAccumulator {
+    /// Number of schemas folded so far.
+    pub fn schemas_done(&self) -> usize {
+        self.per_schema.len()
+    }
+
+    /// Fold one schema's internal nodes. Schemas must be folded in
+    /// order, each exactly once.
+    pub fn fold_schema(&mut self, tree: &SchemaTree, schema_idx: usize, mapping: &Mapping) {
+        assert_eq!(
+            self.per_schema.len(),
+            schema_idx,
+            "schemas must be folded in order"
+        );
+        // Reverse index restricted to this schema's fields.
+        let mut field_cluster: HashMap<NodeId, ClusterId> = HashMap::new();
+        for cluster in &mapping.clusters {
+            for member in &cluster.members {
+                if member.schema == schema_idx {
+                    field_cluster.insert(member.node, cluster.id);
+                }
+            }
+        }
         let mut local: Vec<Vec<ClusterId>> = Vec::new();
         for internal in tree.internal_nodes() {
             let mut clusters: Vec<ClusterId> = tree
                 .descendant_leaves(internal.id)
                 .into_iter()
-                .filter_map(|leaf| field_cluster.get(&FieldRef::new(schema_idx, leaf)).copied())
+                .filter_map(|leaf| field_cluster.get(&leaf).copied())
                 .collect();
             clusters.sort();
             clusters.dedup();
             if clusters.is_empty() {
                 continue;
             }
-            *freq.entry(clusters.clone()).or_insert(0) += 1;
+            *self.freq.entry(clusters.clone()).or_insert(0) += 1;
             if !local.contains(&clusters) {
                 local.push(clusters);
             }
         }
-        per_schema.push(local);
+        self.per_schema.push(local);
     }
-    let mut bags: Vec<Bag> = freq
-        .into_iter()
-        .map(|(clusters, frequency)| Bag {
-            clusters,
-            frequency,
-        })
-        .collect();
-    // Redundancy filter: drop strict-subset bags whose distinction no
-    // single source draws.
-    let all: Vec<Vec<ClusterId>> = bags.iter().map(|b| b.clusters.clone()).collect();
-    bags.retain(|b| {
-        let supersets: Vec<&Vec<ClusterId>> = all
+
+    /// Apply the redundancy filter and sort — the batch tail of
+    /// [`collect_bags`]. Does not consume the accumulator, so a cached
+    /// fold can be finalized after every append.
+    pub fn finalize(&self) -> Vec<Bag> {
+        let mut bags: Vec<Bag> = self
+            .freq
             .iter()
-            .filter(|a| {
-                a.len() > b.clusters.len() && b.clusters.iter().all(|c| a.binary_search(c).is_ok())
+            .map(|(clusters, &frequency)| Bag {
+                clusters: clusters.clone(),
+                frequency,
             })
             .collect();
-        if supersets.is_empty() {
-            return true; // maximal bag
-        }
-        supersets.iter().any(|a| {
-            per_schema
+        // Redundancy filter: drop strict-subset bags whose distinction no
+        // single source draws.
+        let all: Vec<Vec<ClusterId>> = bags.iter().map(|b| b.clusters.clone()).collect();
+        bags.retain(|b| {
+            let supersets: Vec<&Vec<ClusterId>> = all
                 .iter()
-                .any(|local| local.contains(&b.clusters) && local.contains(a))
-        })
-    });
-    bags.sort_by(|a, b| {
-        b.clusters
-            .len()
-            .cmp(&a.clusters.len())
-            .then(b.frequency.cmp(&a.frequency))
-            .then(a.clusters.cmp(&b.clusters))
-    });
-    bags
+                .filter(|a| {
+                    a.len() > b.clusters.len()
+                        && b.clusters.iter().all(|c| a.binary_search(c).is_ok())
+                })
+                .collect();
+            if supersets.is_empty() {
+                return true; // maximal bag
+            }
+            supersets.iter().any(|a| {
+                self.per_schema
+                    .iter()
+                    .any(|local| local.contains(&b.clusters) && local.contains(a))
+            })
+        });
+        bags.sort_by(|a, b| {
+            b.clusters
+                .len()
+                .cmp(&a.clusters.len())
+                .then(b.frequency.cmp(&a.frequency))
+                .then(a.clusters.cmp(&b.clusters))
+        });
+        bags
+    }
 }
 
 /// The bag of one specific internal node of one schema (used by the

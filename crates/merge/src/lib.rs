@@ -52,11 +52,12 @@
 
 pub mod bags;
 pub mod order;
+pub mod state;
 
-use bags::{collect_bags, Bag};
-use order::cluster_positions;
+use bags::Bag;
 use qi_mapping::{ClusterId, Integrated, Mapping};
 use qi_schema::{NodeId, SchemaTree, Widget};
+pub use state::MergeState;
 use std::collections::BTreeMap;
 
 /// Merge the source schemas into an integrated interface.
@@ -65,11 +66,7 @@ use std::collections::BTreeMap;
 /// violations are a caller bug and panic in debug builds via the
 /// validation inside `collect_bags`.
 pub fn merge(schemas: &[SchemaTree], mapping: &Mapping) -> Integrated {
-    let all: Vec<ClusterId> = mapping.clusters.iter().map(|c| c.id).collect();
-    let bags = collect_bags(schemas, mapping);
-    let skeleton = build_laminar_family(&bags, all.len());
-    let positions = cluster_positions(schemas, mapping);
-    build_tree(schemas, mapping, &all, &skeleton, &positions)
+    MergeState::capture(schemas, mapping).finish(schemas, mapping)
 }
 
 /// One node of the laminar skeleton: a bag and its children (indices into

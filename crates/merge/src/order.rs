@@ -9,36 +9,72 @@ use std::collections::BTreeMap;
 /// source interfaces. Integrated siblings are ordered by this value, so
 /// the merged interface reads in the order users saw the fields.
 pub fn cluster_positions(schemas: &[SchemaTree], mapping: &Mapping) -> BTreeMap<ClusterId, f64> {
-    // Per-schema positions of all leaves.
-    let mut leaf_pos: Vec<BTreeMap<NodeId, f64>> = Vec::with_capacity(schemas.len());
-    for tree in schemas {
-        let leaves = tree.descendant_leaves(NodeId::ROOT);
-        let denom = leaves.len().max(1) as f64;
-        leaf_pos.push(
-            leaves
-                .iter()
-                .enumerate()
-                .map(|(i, &l)| (l, i as f64 / denom))
-                .collect(),
-        );
-    }
-    let mut out = BTreeMap::new();
-    for cluster in &mapping.clusters {
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        for member in &cluster.members {
-            if let Some(&p) = leaf_pos
-                .get(member.schema)
-                .and_then(|m| m.get(&member.node))
-            {
-                sum += p;
-                count += 1;
+    let mut acc = PositionAccumulator::default();
+    acc.fold(schemas, mapping);
+    acc.finalize()
+}
+
+/// Per-cluster running `(sum, count)` of member positions — the fold
+/// inside [`cluster_positions`], split out so it can be carried across
+/// ingests. Because cluster members are stored in global field order,
+/// an appended schema's members sit at the tail of each member list;
+/// folding them after the cached old sum adds the same terms in the same
+/// order, so the resulting `f64` is bit-identical to a batch fold.
+#[derive(Debug, Clone, Default)]
+pub struct PositionAccumulator {
+    /// Schemas folded so far.
+    schemas_done: usize,
+    /// Cluster → (position sum, member count).
+    sums: BTreeMap<ClusterId, (f64, usize)>,
+}
+
+impl PositionAccumulator {
+    /// Fold the member positions of every schema not yet folded. Every
+    /// cluster of `mapping` gains an accumulator entry even when none of
+    /// its members belongs to a new schema.
+    pub fn fold(&mut self, schemas: &[SchemaTree], mapping: &Mapping) {
+        let from = self.schemas_done;
+        // Positions of the newly folded schemas' leaves.
+        let mut leaf_pos: Vec<BTreeMap<NodeId, f64>> = Vec::with_capacity(schemas.len() - from);
+        for tree in &schemas[from..] {
+            let leaves = tree.descendant_leaves(NodeId::ROOT);
+            let denom = leaves.len().max(1) as f64;
+            leaf_pos.push(
+                leaves
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| (l, i as f64 / denom))
+                    .collect(),
+            );
+        }
+        for cluster in &mapping.clusters {
+            let (sum, count) = self.sums.entry(cluster.id).or_insert((0.0, 0));
+            for member in &cluster.members {
+                if member.schema < from {
+                    continue;
+                }
+                if let Some(&p) = leaf_pos
+                    .get(member.schema - from)
+                    .and_then(|m| m.get(&member.node))
+                {
+                    *sum += p;
+                    *count += 1;
+                }
             }
         }
-        let avg = if count == 0 { 1.0 } else { sum / count as f64 };
-        out.insert(cluster.id, avg);
+        self.schemas_done = schemas.len();
     }
-    out
+
+    /// The average position per cluster (memberless clusters sort last).
+    pub fn finalize(&self) -> BTreeMap<ClusterId, f64> {
+        self.sums
+            .iter()
+            .map(|(&cluster, &(sum, count))| {
+                let avg = if count == 0 { 1.0 } else { sum / count as f64 };
+                (cluster, avg)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

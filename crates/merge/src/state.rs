@@ -1,0 +1,138 @@
+//! Carryable merge state: the per-schema folds behind [`crate::merge`],
+//! cached so an appended interface re-merges in O(new schema + tree)
+//! instead of O(domain).
+//!
+//! [`crate::merge`] is three steps: fold every schema into a bag multiset
+//! ([`BagAccumulator`]), fold every member field into per-cluster
+//! position sums ([`PositionAccumulator`]), then finalize (redundancy
+//! filter, laminar family, tree emission). Both folds are per-schema
+//! sums, and an incremental append — old clusters keep their ids, new
+//! members land at the tails of member lists — leaves every old schema's
+//! contribution unchanged. So [`MergeState`] caches the folds,
+//! [`MergeState::extend`] adds only the newly appended schemas, and
+//! [`MergeState::finish`] replays the batch tail. `merge` itself is
+//! `capture(..).finish(..)`, which makes `extend` + `finish` equivalent
+//! to a full re-merge by construction rather than by parallel
+//! implementation.
+
+use crate::bags::BagAccumulator;
+use crate::order::PositionAccumulator;
+use crate::{build_laminar_family, build_tree};
+use qi_mapping::{ClusterId, Integrated, Mapping};
+use qi_schema::SchemaTree;
+
+/// The cached folds of a merged domain.
+#[derive(Debug, Clone, Default)]
+pub struct MergeState {
+    bags: BagAccumulator,
+    positions: PositionAccumulator,
+}
+
+impl MergeState {
+    /// Fold all of `schemas` from scratch.
+    pub fn capture(schemas: &[SchemaTree], mapping: &Mapping) -> MergeState {
+        let mut state = MergeState::default();
+        state.extend(schemas, mapping);
+        state
+    }
+
+    /// Fold the schemas appended since the last `capture`/`extend`.
+    /// `mapping` must extend the previously folded mapping: old clusters
+    /// keep their ids and gain members only from the new schemas.
+    pub fn extend(&mut self, schemas: &[SchemaTree], mapping: &Mapping) {
+        let from = self.bags.schemas_done();
+        for (offset, tree) in schemas[from..].iter().enumerate() {
+            self.bags.fold_schema(tree, from + offset, mapping);
+        }
+        self.positions.fold(schemas, mapping);
+    }
+
+    /// Number of schemas folded so far.
+    pub fn schemas_done(&self) -> usize {
+        self.bags.schemas_done()
+    }
+
+    /// Run the batch tail: finalize both folds and emit the integrated
+    /// tree. Non-consuming, so the state can be finished after every
+    /// append.
+    pub fn finish(&self, schemas: &[SchemaTree], mapping: &Mapping) -> Integrated {
+        let all: Vec<ClusterId> = mapping.clusters.iter().map(|c| c.id).collect();
+        let bags = self.bags.finalize();
+        let skeleton = build_laminar_family(&bags, all.len());
+        let positions = self.positions.finalize();
+        build_tree(schemas, mapping, &all, &skeleton, &positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge;
+    use qi_lexicon::Lexicon;
+    use qi_schema::spec::{leaf, node};
+
+    fn corpus() -> Vec<SchemaTree> {
+        vec![
+            SchemaTree::build(
+                "a",
+                vec![
+                    node("Trip", vec![leaf("From"), leaf("To")]),
+                    node("Who", vec![leaf("Adults"), leaf("Children")]),
+                ],
+            )
+            .unwrap(),
+            SchemaTree::build(
+                "b",
+                vec![
+                    node("Route", vec![leaf("From"), leaf("To")]),
+                    leaf("Seniors"),
+                ],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn capture_finish_equals_merge() {
+        let lexicon = Lexicon::builtin();
+        let schemas = corpus();
+        let mapping = qi_mapping::match_by_labels(&schemas, &lexicon);
+        let batch = merge(&schemas, &mapping);
+        let state = MergeState::capture(&schemas, &mapping);
+        assert_eq!(state.finish(&schemas, &mapping), batch);
+    }
+
+    #[test]
+    fn extend_equals_full_remerge() {
+        let lexicon = Lexicon::builtin();
+        let mut schemas = corpus();
+        let base_mapping = qi_mapping::match_by_labels(&schemas, &lexicon);
+        let mut state = MergeState::capture(&schemas, &base_mapping);
+
+        // Append two interfaces one at a time: one that joins existing
+        // clusters and groups them, one that is all new fields.
+        let extras = [
+            SchemaTree::build(
+                "c",
+                vec![
+                    node("Journey", vec![leaf("From"), leaf("To")]),
+                    leaf("Adults"),
+                ],
+            )
+            .unwrap(),
+            SchemaTree::build("d", vec![leaf("Cabin Class"), leaf("Airline")]).unwrap(),
+        ];
+        for extra in extras {
+            schemas.push(extra);
+            let mapping = qi_mapping::match_by_labels(&schemas, &lexicon);
+            state.extend(&schemas, &mapping);
+            assert_eq!(state.schemas_done(), schemas.len());
+            assert_eq!(
+                state.finish(&schemas, &mapping),
+                merge(&schemas, &mapping),
+                "incremental merge diverged at {} schemas",
+                schemas.len()
+            );
+        }
+    }
+}

@@ -1,14 +1,16 @@
 //! The per-domain serving artifact: everything the pipeline computed for
 //! one domain, in the form the server reads and the snapshot persists.
 
-use qi_core::{ConsistencyClass, Labeler, LiUsage, NamingPolicy};
+use qi_core::{ConsistencyClass, Labeler, LiUsage, NamingPolicy, RelabelCache, RelabelDelta};
 use qi_datasets::Domain;
 use qi_lexicon::Lexicon;
-use qi_mapping::{ClusterId, Mapping};
+use qi_mapping::{ClusterId, DeltaOutcome, FallbackReason, Mapping, MatcherConfig};
+use qi_merge::MergeState;
 use qi_runtime::{Interner, Telemetry};
 use qi_schema::{NodeId, SchemaTree};
 use qi_text::LabelText;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One domain's fully built serving state.
 ///
@@ -48,6 +50,27 @@ pub struct DomainArtifact {
     /// for artifacts loaded from snapshots that predate the
     /// `decisions/` section.
     pub decisions: Vec<qi_core::LabelDecision>,
+    /// Monotonic rebuild counter: bumped on every ingest swap, `0` for a
+    /// freshly built or snapshot-loaded artifact. Response caches key on
+    /// it; it is deliberately *not* persisted (a snapshot round-trip must
+    /// be byte-identical regardless of ingest history).
+    pub version: u64,
+    /// Incremental-ingest carry state. `Some` exactly when
+    /// [`DomainArtifact::mapping`] is label-matcher output under the
+    /// default configuration — the precondition of the delta-clustering
+    /// equivalence argument. `None` for ground-truth corpus builds and
+    /// snapshot loads, whose first ingest therefore takes the full
+    /// rebuild path (and captures carry state for the next one).
+    pub delta: Option<Arc<DeltaState>>,
+}
+
+/// Everything an incremental ingest replays instead of recomputing: the
+/// merge folds and the phase-1 labeling cache of the previous build.
+#[derive(Debug, Clone)]
+pub struct DeltaState {
+    merge_state: MergeState,
+    relabel_cache: RelabelCache,
+    match_carry: qi_mapping::MatchCarry,
 }
 
 impl DomainArtifact {
@@ -89,19 +112,97 @@ pub fn build_artifact(
     policy: NamingPolicy,
     telemetry: &Telemetry,
 ) -> DomainArtifact {
+    build_artifact_with(domain, lexicon, policy, telemetry, false)
+}
+
+/// [`build_artifact`], optionally capturing the incremental-ingest carry
+/// state. Capture is only sound when `domain.mapping` is label-matcher
+/// output under the default configuration — ground-truth corpus builds
+/// must not capture.
+fn build_artifact_with(
+    domain: &Domain,
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+    telemetry: &Telemetry,
+    capture_delta: bool,
+) -> DomainArtifact {
     let span = telemetry.timed("serve.build_artifact");
     let prepared = domain.prepare();
-    let labeled = Labeler::new(lexicon, policy)
-        .with_telemetry(telemetry.clone())
-        .label(&prepared.schemas, &prepared.mapping, &prepared.integrated);
+    let labeler = Labeler::new(lexicon, policy).with_telemetry(telemetry.clone());
+    let (labeled, delta) = if capture_delta {
+        let merge_state = MergeState::capture(&prepared.schemas, &prepared.mapping);
+        let match_carry =
+            qi_mapping::MatchCarry::build(&prepared.schemas, lexicon, MatcherConfig::default());
+        let (labeled, relabel_cache) = labeler.label_with(
+            &prepared.schemas,
+            &prepared.mapping,
+            &prepared.integrated,
+            None,
+        );
+        (
+            labeled,
+            Some(Arc::new(DeltaState {
+                merge_state,
+                relabel_cache,
+                match_carry,
+            })),
+        )
+    } else {
+        (
+            labeler.label(&prepared.schemas, &prepared.mapping, &prepared.integrated),
+            None,
+        )
+    };
     let decisions = qi_core::provenance::decisions(&labeled, &policy);
+    let (symbols, normalized) = sidecar(&domain.schemas, lexicon, None);
+    drop(span);
 
-    // Lexical sidecar: normalize every distinct source label once and
-    // intern both the labels and their content-word keys so the snapshot
-    // stores each distinct string exactly once.
+    DomainArtifact {
+        name: domain.name.clone(),
+        schemas: domain.schemas.clone(),
+        mapping: domain.mapping.clone(),
+        labeled: labeled.tree,
+        leaf_cluster: labeled.leaf_cluster,
+        class: labeled.report.class,
+        li_usage: labeled.report.li_usage,
+        unlabeled_fields: labeled.report.unlabeled_fields,
+        labeled_internal: labeled.report.labeled_internal,
+        symbols,
+        normalized,
+        decisions,
+        version: 0,
+        delta,
+    }
+}
+
+/// Lexical sidecar: normalize every distinct source label once and
+/// intern both the labels and their content-word keys so the snapshot
+/// stores each distinct string exactly once. Interning is first-encounter
+/// in schema order, so a schema's contribution depends only on the
+/// schemas before it — `base` replays a previous run's table and resumes
+/// at schema `from`, reproducing the batch result byte-for-byte.
+/// A previous sidecar run to replay: its interned symbols, its
+/// normalized entries, and the schema index to resume from.
+type SidecarBase<'a> = (&'a [String], &'a [(u32, Vec<u32>)], usize);
+
+fn sidecar(
+    schemas: &[SchemaTree],
+    lexicon: &Lexicon,
+    base: Option<SidecarBase<'_>>,
+) -> (Vec<String>, Vec<(u32, Vec<u32>)>) {
     let interner = Interner::new();
     let mut normalized: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
-    for schema in &domain.schemas {
+    let from = match base {
+        Some((symbols, entries, from)) => {
+            for symbol in symbols {
+                interner.intern(symbol);
+            }
+            normalized.extend(entries.iter().cloned());
+            from
+        }
+        None => 0,
+    };
+    for schema in &schemas[from..] {
         for node in schema.nodes() {
             let Some(label) = &node.label else { continue };
             let sym = interner.intern(label);
@@ -120,22 +221,7 @@ pub fn build_artifact(
     let symbols: Vec<String> = (0..interner.len() as u32)
         .map(|i| interner.resolve(qi_runtime::Symbol(i)).to_string())
         .collect();
-    drop(span);
-
-    DomainArtifact {
-        name: domain.name.clone(),
-        schemas: domain.schemas.clone(),
-        mapping: domain.mapping.clone(),
-        labeled: labeled.tree,
-        leaf_cluster: labeled.leaf_cluster,
-        class: labeled.report.class,
-        li_usage: labeled.report.li_usage,
-        unlabeled_fields: labeled.report.unlabeled_fields,
-        labeled_internal: labeled.report.labeled_internal,
-        symbols,
-        normalized: normalized.into_iter().collect(),
-        decisions,
-    }
+    (symbols, normalized.into_iter().collect())
 }
 
 /// Build the artifacts of the whole builtin seven-domain corpus, in
@@ -153,11 +239,17 @@ pub fn build_corpus_artifacts(
 
 /// Add one interface to a domain and rebuild its artifact.
 ///
-/// The new interface is not covered by the domain's ground-truth
-/// clusters, so the whole domain is re-clustered with the
-/// label-similarity matcher, then re-merged and re-labeled. The rebuild
-/// touches *only* this domain — callers swap the result in behind the
-/// store's lock while readers keep serving the old artifact.
+/// When the artifact carries [`DeltaState`] (its mapping is matcher
+/// output), the delta path runs: the new interface's fields are scored
+/// against old clusters only, the merge folds are extended rather than
+/// recomputed, and the labeler replays every phase-1 result whose inputs
+/// the append did not touch. The result is byte-identical (through the
+/// snapshot encoding) to a full rebuild; any structural change the delta
+/// tracker does not support — a bridge between old clusters, two new
+/// fields landing in one cluster, an unexpected 1:m expansion — falls
+/// back to the full path automatically. Either way the rebuild touches
+/// *only* this domain — callers swap the result in behind the store's
+/// lock while readers keep serving the old artifact.
 pub fn ingest_interface(
     artifact: &DomainArtifact,
     interface: SchemaTree,
@@ -166,6 +258,35 @@ pub fn ingest_interface(
     telemetry: &Telemetry,
 ) -> DomainArtifact {
     let span = telemetry.timed("serve.ingest");
+    let delta_attempt = artifact.delta.as_deref().and_then(|state| {
+        try_delta_ingest(artifact, state, &interface, lexicon, policy, telemetry)
+    });
+    let rebuilt = match delta_attempt {
+        Some(rebuilt) => {
+            telemetry.add("serve.ingest.delta", 1);
+            rebuilt
+        }
+        None => {
+            telemetry.add("serve.ingest.full", 1);
+            ingest_interface_full(artifact, interface, lexicon, policy, telemetry)
+        }
+    };
+    drop(span);
+    rebuilt
+}
+
+/// The unconditional O(domain) rebuild: re-cluster everything with the
+/// label-similarity matcher, re-merge and re-label. Public so the
+/// equivalence tests and the ingest bench can force it; [`ingest_interface`]
+/// uses it as the fallback. The rebuilt artifact captures fresh delta
+/// carry state, so the *next* ingest takes the incremental path.
+pub fn ingest_interface_full(
+    artifact: &DomainArtifact,
+    interface: SchemaTree,
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+    telemetry: &Telemetry,
+) -> DomainArtifact {
     let mut schemas = artifact.schemas.clone();
     schemas.push(interface);
     let mapping = qi_mapping::match_by_labels(&schemas, lexicon);
@@ -174,9 +295,114 @@ pub fn ingest_interface(
         schemas,
         mapping,
     };
-    let rebuilt = build_artifact(&domain, lexicon, policy, telemetry);
-    drop(span);
+    let mut rebuilt = build_artifact_with(&domain, lexicon, policy, telemetry, true);
+    rebuilt.version = artifact.version + 1;
     rebuilt
+}
+
+/// The incremental ingest path. Returns `None` (with a reason counter
+/// bumped) when a guard fires, leaving the caller to run the full
+/// rebuild.
+fn try_delta_ingest(
+    artifact: &DomainArtifact,
+    state: &DeltaState,
+    interface: &SchemaTree,
+    lexicon: &Lexicon,
+    policy: NamingPolicy,
+    telemetry: &Telemetry,
+) -> Option<DomainArtifact> {
+    let span = telemetry.timed("serve.ingest.delta_path");
+    let mut schemas = artifact.schemas.clone();
+    schemas.push(interface.clone());
+    let config = MatcherConfig::default();
+    let delta = match qi_mapping::delta_match_carried(
+        &schemas,
+        &artifact.mapping,
+        lexicon,
+        config,
+        Some(&state.match_carry),
+    ) {
+        DeltaOutcome::Incremental(delta) => delta,
+        DeltaOutcome::Fallback(reason) => {
+            telemetry.add(fallback_counter(reason), 1);
+            return None;
+        }
+    };
+    telemetry.add("serve.ingest.pairs_scored", delta.pairs_scored);
+    // Matcher output is 1:1, so the 1:m expansion must be an identity;
+    // anything else is a structural change the tracker does not model.
+    let mut mapping = delta.mapping;
+    let expansion = qi_mapping::expand_one_to_many(&mut schemas, &mut mapping);
+    if !expansion.expanded.is_empty() {
+        telemetry.add("serve.ingest.fallback.expansion", 1);
+        return None;
+    }
+    let mut merge_state = state.merge_state.clone();
+    merge_state.extend(&schemas, &mapping);
+    let integrated = merge_state.finish(&schemas, &mapping);
+    // Clusters born with the appended interface: ids absent from the
+    // pre-ingest mapping. The labeler uses these to recover a touched
+    // group's previous cache key (its columns minus the new ones).
+    let old_ids: std::collections::BTreeSet<qi_mapping::ClusterId> =
+        artifact.mapping.clusters.iter().map(|c| c.id).collect();
+    let new_clusters = mapping
+        .clusters
+        .iter()
+        .map(|c| c.id)
+        .filter(|id| !old_ids.contains(id))
+        .collect();
+    let reuse = RelabelDelta {
+        dirty: delta.dirty,
+        new_clusters,
+        new_schema: schemas.len() - 1,
+    };
+    let labeler = Labeler::new(lexicon, policy).with_telemetry(telemetry.clone());
+    let (labeled, relabel_cache) = labeler.label_with(
+        &schemas,
+        &mapping,
+        &integrated,
+        Some((&state.relabel_cache, &reuse)),
+    );
+    let decisions = qi_core::provenance::decisions(&labeled, &policy);
+    let (symbols, normalized) = sidecar(
+        &schemas,
+        lexicon,
+        Some((
+            &artifact.symbols,
+            &artifact.normalized,
+            artifact.schemas.len(),
+        )),
+    );
+    drop(span);
+    Some(DomainArtifact {
+        name: artifact.name.clone(),
+        schemas,
+        mapping,
+        labeled: labeled.tree,
+        leaf_cluster: labeled.leaf_cluster,
+        class: labeled.report.class,
+        li_usage: labeled.report.li_usage,
+        unlabeled_fields: labeled.report.unlabeled_fields,
+        labeled_internal: labeled.report.labeled_internal,
+        symbols,
+        normalized,
+        decisions,
+        version: artifact.version + 1,
+        delta: Some(Arc::new(DeltaState {
+            merge_state,
+            relabel_cache,
+            match_carry: delta.carry,
+        })),
+    })
+}
+
+/// Telemetry counter name of a delta-clustering fallback reason.
+fn fallback_counter(reason: FallbackReason) -> &'static str {
+    match reason {
+        FallbackReason::BaseMismatch => "serve.ingest.fallback.base_mismatch",
+        FallbackReason::Bridge => "serve.ingest.fallback.bridge",
+        FallbackReason::SharedJoin => "serve.ingest.fallback.shared_join",
+    }
 }
 
 #[cfg(test)]
@@ -276,5 +502,55 @@ mod tests {
     fn slug_normalizes_names() {
         assert_eq!(slug_of("Real Estate"), "real_estate");
         assert_eq!(slug_of("Auto"), "auto");
+    }
+
+    /// The artifact a delta ingest produces is byte-identical (through
+    /// the snapshot encoding) to the full-rebuild artifact, and the
+    /// delta/full paths fire in the documented order: ground-truth base
+    /// → full, matcher-derived base → delta.
+    #[test]
+    fn delta_ingest_matches_full_rebuild_bytes() {
+        let lexicon = Lexicon::builtin();
+        let telemetry = Telemetry::new();
+        let policy = NamingPolicy::default();
+        let base = build_artifact(&qi_datasets::auto::domain(), &lexicon, policy, &telemetry);
+        assert!(base.delta.is_none(), "ground-truth build must not capture");
+
+        // First ingest: no carry state → full rebuild, which captures.
+        let extra1 = qi_schema::text_format::parse("interface e1\n- Make\n- Mileage\n").unwrap();
+        let v1 = ingest_interface(&base, extra1, &lexicon, policy, &telemetry);
+        assert!(v1.delta.is_some(), "full ingest must capture carry state");
+        assert_eq!(v1.version, 1);
+        let counter = |name: &str| {
+            telemetry
+                .snapshot()
+                .counters
+                .get(name)
+                .copied()
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("serve.ingest.full"), 1);
+        assert_eq!(counter("serve.ingest.delta"), 0);
+
+        // Second ingest: carry state present → delta path, identical
+        // bytes to forcing the full path from the same base.
+        let extra2 =
+            qi_schema::text_format::parse("interface e2\n- Model\n- Body Style\n").unwrap();
+        let incremental = ingest_interface(&v1, extra2.clone(), &lexicon, policy, &telemetry);
+        assert_eq!(counter("serve.ingest.delta"), 1);
+        let full = ingest_interface_full(&v1, extra2, &lexicon, policy, &telemetry);
+        assert_eq!(incremental.version, 2);
+        let encode = |artifact: &DomainArtifact| {
+            crate::snapshot::Snapshot {
+                policy,
+                domains: vec![artifact.clone()],
+            }
+            .to_bytes()
+        };
+        assert_eq!(
+            encode(&incremental),
+            encode(&full),
+            "delta and full ingest artifacts diverge"
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! which keeps it unit-testable without sockets.
 
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Cap on the request line + headers, in bytes.
 pub const MAX_HEAD: usize = 8 * 1024;
@@ -155,8 +156,10 @@ pub struct Response {
     /// Extra response headers (lowercase names), written after the
     /// standard block.
     pub extra_headers: Vec<(&'static str, String)>,
-    /// Response body.
-    pub body: Vec<u8>,
+    /// Response body. Shared so the rendered-response cache can hand
+    /// the same immutable bytes to many concurrent requests without
+    /// copying them per response.
+    pub body: Arc<Vec<u8>>,
 }
 
 impl Response {
@@ -168,11 +171,16 @@ impl Response {
     /// A response with an explicit `Content-Type` (e.g. the Prometheus
     /// text exposition's `text/plain; version=0.0.4`).
     pub fn with_type(status: u16, content_type: &'static str, body: String) -> Self {
+        Response::bytes(status, content_type, Arc::new(body.into_bytes()))
+    }
+
+    /// A response over an already-rendered (possibly shared) body.
+    pub fn bytes(status: u16, content_type: &'static str, body: Arc<Vec<u8>>) -> Self {
         Response {
             status,
             content_type,
             extra_headers: Vec::new(),
-            body: body.into_bytes(),
+            body,
         }
     }
 
@@ -189,19 +197,26 @@ impl Response {
     }
 
     /// Serialize as an HTTP/1.1 response with `Connection: close`.
+    ///
+    /// The head is assembled in one buffer so the whole response costs
+    /// two writes (head, body) instead of one syscall per header line —
+    /// the writer here is an unbuffered [`std::net::TcpStream`].
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
-        write!(
-            writer,
+        let mut head = String::with_capacity(128);
+        use std::fmt::Write as _;
+        let _ = write!(
+            head,
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
-        )?;
+        );
         for (name, value) in &self.extra_headers {
-            write!(writer, "{name}: {value}\r\n")?;
+            let _ = write!(head, "{name}: {value}\r\n");
         }
-        write!(writer, "connection: close\r\n\r\n")?;
+        head.push_str("connection: close\r\n\r\n");
+        writer.write_all(head.as_bytes())?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
@@ -211,6 +226,7 @@ impl Response {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -291,7 +307,7 @@ mod tests {
         assert!(text.ends_with("{\"ok\":true}"));
         let err = Response::error(404, "no such domain");
         assert_eq!(err.status, 404);
-        assert_eq!(err.body, b"{\"error\":\"no such domain\"}");
+        assert_eq!(*err.body, b"{\"error\":\"no such domain\"}");
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub mod server;
 pub mod snapshot;
 pub mod store;
 
-pub use artifact::{build_artifact, build_corpus_artifacts, ingest_interface, DomainArtifact};
+pub use artifact::{
+    build_artifact, build_corpus_artifacts, ingest_interface, ingest_interface_full, DeltaState,
+    DomainArtifact,
+};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use snapshot::{load_snapshot, write_snapshot, Snapshot, SnapshotError, FORMAT_VERSION};
-pub use store::Store;
+pub use store::{CacheEntry, Store};

@@ -22,7 +22,7 @@
 
 use crate::artifact::DomainArtifact;
 use crate::http::{read_request, Request, RequestError, Response};
-use crate::store::Store;
+use crate::store::{CacheEntry, Store};
 use qi_runtime::json::{Arr, Obj};
 use qi_runtime::{resolve_threads, JobQueue, Telemetry};
 use std::io;
@@ -257,6 +257,9 @@ fn run(
                 break;
             }
             let Ok(stream) = accepted else { continue };
+            // One request per connection: Nagle only delays the tail of
+            // our two-write responses, so turn it off.
+            let _ = stream.set_nodelay(true);
             let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms)));
             let _ = stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms)));
             let job = Job {
@@ -336,8 +339,9 @@ fn handle_connection(
     let effective = local.as_ref().unwrap_or(telemetry);
 
     let route = route_name(&request);
-    telemetry.incr(&format!("serve.requests.{route}"));
-    let timed = telemetry.timed(&format!("serve.http.{route}"));
+    let (requests_key, span_key) = route_keys(route);
+    telemetry.incr(requests_key);
+    let timed = telemetry.timed(span_key);
     let response = catch_unwind(AssertUnwindSafe(|| {
         handle(&request, store, telemetry, effective)
     }))
@@ -436,6 +440,22 @@ fn route_name(request: &Request) -> &'static str {
     }
 }
 
+/// Pre-built telemetry keys (`serve.requests.*`, `serve.http.*`) per
+/// route, so the per-request hot path allocates no key strings.
+fn route_keys(route: &'static str) -> (&'static str, &'static str) {
+    match route {
+        "healthz" => ("serve.requests.healthz", "serve.http.healthz"),
+        "metrics" => ("serve.requests.metrics", "serve.http.metrics"),
+        "domains" => ("serve.requests.domains", "serve.http.domains"),
+        "labels" => ("serve.requests.labels", "serve.http.labels"),
+        "tree" => ("serve.requests.tree", "serve.http.tree"),
+        "explain" => ("serve.requests.explain", "serve.http.explain"),
+        "ingest" => ("serve.requests.ingest", "serve.http.ingest"),
+        "shutdown" => ("serve.requests.shutdown", "serve.http.shutdown"),
+        _ => ("serve.requests.other", "serve.http.other"),
+    }
+}
+
 /// Route a parsed request to its handler.
 ///
 /// `telemetry` is the server-global registry (what `GET /metrics`
@@ -458,19 +478,36 @@ fn handle(
                 .finish(),
         ),
         ("GET", ["metrics"]) => metrics(request, telemetry),
-        ("GET", ["domains"]) => list_domains(store),
-        ("GET", ["domains", domain, "labels"]) => match store.get(domain) {
-            Some(artifact) => labels(&artifact),
-            None => Response::error(404, "no such domain"),
-        },
-        ("GET", ["domains", domain, "tree"]) => match store.get(domain) {
-            Some(artifact) => tree(&artifact),
-            None => Response::error(404, "no such domain"),
-        },
-        ("GET", ["domains", domain, "explain"]) => match store.get(domain) {
-            Some(artifact) => explain(&artifact),
-            None => Response::error(404, "no such domain"),
-        },
+        ("GET", ["domains"]) => {
+            // The listing is rendered from the whole domain map, so it
+            // is versioned by the store generation, not one artifact.
+            let generation = store.generation();
+            let entry = match store.cached("", "domains", generation) {
+                Some(entry) => {
+                    telemetry.incr("serve.cache.hits");
+                    entry
+                }
+                None => {
+                    telemetry.incr("serve.cache.misses");
+                    let rendered = list_domains(store);
+                    store.insert_cached(
+                        String::new(),
+                        "domains",
+                        CacheEntry::of(generation, &rendered),
+                    )
+                }
+            };
+            respond_from_cache(request, &entry)
+        }
+        ("GET", ["domains", domain, "labels"]) => {
+            cached_get(request, store, domain, "labels", telemetry, labels)
+        }
+        ("GET", ["domains", domain, "tree"]) => {
+            cached_get(request, store, domain, "tree", telemetry, tree)
+        }
+        ("GET", ["domains", domain, "explain"]) => {
+            cached_get(request, store, domain, "explain", telemetry, explain)
+        }
         ("POST", ["domains", domain, "interfaces"]) => ingest(request, store, domain, effective),
         ("POST", ["admin", "shutdown"]) => {
             Response::json(200, Obj::new().str("status", "shutting down").finish())
@@ -499,6 +536,48 @@ fn metrics(request: &Request, telemetry: &Telemetry) -> Response {
     } else {
         Response::json(200, snapshot.to_json())
     }
+}
+
+/// Serve a per-domain GET through the rendered-response cache: look up
+/// the domain, validate any cached entry against the artifact's current
+/// version, render on a miss, and answer `304 Not Modified` when the
+/// client's `If-None-Match` already names the entry's ETag.
+fn cached_get(
+    request: &Request,
+    store: &Store,
+    domain: &str,
+    endpoint: &'static str,
+    telemetry: &Telemetry,
+    render: fn(&DomainArtifact) -> Response,
+) -> Response {
+    let Some(artifact) = store.get(domain) else {
+        return Response::error(404, "no such domain");
+    };
+    let slug = artifact.slug();
+    let entry = match store.cached(&slug, endpoint, artifact.version) {
+        Some(entry) => {
+            telemetry.incr("serve.cache.hits");
+            entry
+        }
+        None => {
+            telemetry.incr("serve.cache.misses");
+            let rendered = render(&artifact);
+            store.insert_cached(slug, endpoint, CacheEntry::of(artifact.version, &rendered))
+        }
+    };
+    respond_from_cache(request, &entry)
+}
+
+/// Materialize a response from a cache entry: `304` without a body when
+/// the client already holds these exact bytes, `200` sharing them
+/// otherwise. Both carry the entry's ETag.
+fn respond_from_cache(request: &Request, entry: &CacheEntry) -> Response {
+    if request.header("if-none-match") == Some(entry.etag.as_str()) {
+        return Response::bytes(304, entry.content_type, Arc::new(Vec::new()))
+            .header("etag", entry.etag.clone());
+    }
+    Response::bytes(200, entry.content_type, Arc::clone(&entry.body))
+        .header("etag", entry.etag.clone())
 }
 
 fn class_str(artifact: &DomainArtifact) -> String {
@@ -653,26 +732,26 @@ mod tests {
 
         let health = ok(&request("GET", "/healthz", b""));
         assert_eq!(health.status, 200);
-        assert_eq!(health.body, b"{\"status\":\"ok\",\"domains\":1}");
+        assert_eq!(*health.body, b"{\"status\":\"ok\",\"domains\":1}");
 
         let domains = ok(&request("GET", "/domains", b""));
         assert_eq!(domains.status, 200);
-        let text = String::from_utf8(domains.body).unwrap();
+        let text = String::from_utf8(domains.body.to_vec()).unwrap();
         assert!(text.contains("\"slug\":\"auto\""), "{text}");
 
         let labels = ok(&request("GET", "/domains/auto/labels", b""));
         assert_eq!(labels.status, 200);
-        let text = String::from_utf8(labels.body).unwrap();
+        let text = String::from_utf8(labels.body.to_vec()).unwrap();
         assert!(text.contains("\"labels\":["), "{text}");
 
         let tree = ok(&request("GET", "/domains/Auto/tree", b""));
         assert_eq!(tree.status, 200);
-        let text = String::from_utf8(tree.body).unwrap();
+        let text = String::from_utf8(tree.body.to_vec()).unwrap();
         assert!(text.contains("interface"), "{text}");
 
         let explain = ok(&request("GET", "/domains/auto/explain", b""));
         assert_eq!(explain.status, 200);
-        let text = String::from_utf8(explain.body).unwrap();
+        let text = String::from_utf8(explain.body.to_vec()).unwrap();
         assert!(text.contains("\"rule\":"), "{text}");
         assert!(text.contains("\"accepted\":true"), "{text}");
 
@@ -709,7 +788,7 @@ mod tests {
         let prom = handle(&req, &store, &telemetry, &telemetry);
         assert_eq!(prom.status, 200);
         assert_eq!(prom.content_type, "text/plain; version=0.0.4");
-        let text = String::from_utf8(prom.body).unwrap();
+        let text = String::from_utf8(prom.body.to_vec()).unwrap();
         assert!(text.contains("qi_probe_hits_total 1"), "{text}");
         assert!(text.contains("# TYPE qi_probe_work histogram"), "{text}");
     }
@@ -741,7 +820,12 @@ mod tests {
             &telemetry,
             &local,
         );
-        assert_eq!(good.status, 200, "{:?}", String::from_utf8(good.body));
+        assert_eq!(
+            good.status,
+            200,
+            "{:?}",
+            String::from_utf8(good.body.to_vec())
+        );
         assert_eq!(store.get("auto").unwrap().interfaces(), before + 1);
         let snapshot = local.snapshot();
         assert!(snapshot.spans.contains_key("serve.ingest"));

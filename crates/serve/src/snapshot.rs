@@ -467,6 +467,8 @@ fn read_domain(payload: &[u8]) -> Result<DomainArtifact, SnapshotError> {
         symbols,
         normalized,
         decisions: Vec::new(),
+        version: 0,
+        delta: None,
     })
 }
 

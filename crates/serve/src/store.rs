@@ -8,18 +8,67 @@
 //! dedicated mutex so two `POST`s cannot both rebuild from the same
 //! base and lose one interface.
 
+//!
+//! # Rendered-response cache
+//!
+//! The store also holds a cache of fully rendered response bodies,
+//! keyed by `(domain slug, endpoint)` and versioned: each entry
+//! remembers the [`DomainArtifact::version`] (or, for the corpus-wide
+//! `/domains` listing, the store [`Store::generation`]) it was rendered
+//! from, and [`Store::cached`] only returns an entry whose recorded
+//! version equals the caller's *current* version. Staleness is
+//! therefore impossible by construction — a reader that raced an
+//! ingest either sees the new artifact (and misses, re-rendering from
+//! it) or the old artifact Arc it already cloned (a consistent, merely
+//! old view, exactly as without the cache). Bodies are immutable
+//! `Arc<Vec<u8>>`, so a hit costs one pointer clone and zero
+//! serialization work.
+
 use crate::artifact::{ingest_interface, slug_of, DomainArtifact};
-use crate::snapshot::Snapshot;
+use crate::snapshot::{fnv1a, Snapshot};
 use qi_core::NamingPolicy;
 use qi_lexicon::Lexicon;
 use qi_runtime::Telemetry;
 use qi_schema::SchemaTree;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// One immutable rendered response, pinned to the artifact version it
+/// was rendered from.
+pub struct CacheEntry {
+    /// The [`DomainArtifact::version`] (or store generation) the body
+    /// reflects; entries with a non-current version never hit.
+    pub version: u64,
+    /// Strong validator: `"{version}-{fnv1a(body):x}"`, quoted.
+    pub etag: String,
+    /// `Content-Type` of the rendered body.
+    pub content_type: &'static str,
+    /// The rendered bytes, shared with every response served from them.
+    pub body: Arc<Vec<u8>>,
+}
+
+impl CacheEntry {
+    /// Capture a freshly rendered response at a known version.
+    pub fn of(version: u64, response: &crate::http::Response) -> CacheEntry {
+        CacheEntry {
+            version,
+            etag: format!("\"{version}-{:x}\"", fnv1a(&response.body)),
+            content_type: response.content_type,
+            body: Arc::clone(&response.body),
+        }
+    }
+}
 
 /// Thread-safe map of domain slug → current artifact.
 pub struct Store {
     domains: RwLock<BTreeMap<String, Arc<DomainArtifact>>>,
+    /// Rendered-response cache; see the module docs. The corpus-wide
+    /// `/domains` listing caches under the empty slug.
+    cache: RwLock<HashMap<(String, &'static str), Arc<CacheEntry>>>,
+    /// Bumped after every successful ingest swap; versions responses
+    /// derived from the whole domain map rather than one artifact.
+    generation: AtomicU64,
     ingest_lock: Mutex<()>,
     lexicon: Lexicon,
     policy: NamingPolicy,
@@ -40,6 +89,8 @@ impl Store {
             .collect();
         Store {
             domains: RwLock::new(domains),
+            cache: RwLock::new(HashMap::new()),
+            generation: AtomicU64::new(0),
             ingest_lock: Mutex::new(()),
             lexicon,
             policy,
@@ -79,6 +130,47 @@ impl Store {
         self.domains.read().unwrap().is_empty()
     }
 
+    /// The corpus-wide version: bumped after every successful ingest.
+    /// Responses rendered from the whole domain map (the `/domains`
+    /// listing) are cache-validated against it.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The cached rendered response of `(slug, endpoint)`, if one
+    /// exists *and* was rendered from exactly `version`. Callers count
+    /// hits and misses into their own telemetry registry.
+    pub fn cached(
+        &self,
+        slug: &str,
+        endpoint: &'static str,
+        version: u64,
+    ) -> Option<Arc<CacheEntry>> {
+        self.cache
+            .read()
+            .unwrap()
+            .get(&(slug.to_string(), endpoint))
+            .filter(|entry| entry.version == version)
+            .cloned()
+    }
+
+    /// Insert a freshly rendered response and return the shared entry.
+    /// A concurrent insert for the same key simply overwrites — both
+    /// entries are correct for their recorded version.
+    pub fn insert_cached(
+        &self,
+        slug: String,
+        endpoint: &'static str,
+        entry: CacheEntry,
+    ) -> Arc<CacheEntry> {
+        let entry = Arc::new(entry);
+        self.cache
+            .write()
+            .unwrap()
+            .insert((slug, endpoint), Arc::clone(&entry));
+        entry
+    }
+
     /// Add an interface to a domain: re-cluster, re-merge and re-label
     /// only that domain, then atomically swap the rebuilt artifact in.
     /// Returns the new artifact, or `None` for an unknown domain.
@@ -110,7 +202,22 @@ impl Store {
         self.domains
             .write()
             .unwrap()
-            .insert(slug, Arc::clone(&rebuilt));
+            .insert(slug.clone(), Arc::clone(&rebuilt));
+        // The bump must happen after the swap: a reader that sees the
+        // new generation is then guaranteed to also see the new map.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        // Drop the touched domain's rendered responses — and only
+        // those; other domains' entries stay valid. The corpus-level
+        // `/domains` entry is keyed by generation, so the bump above
+        // already retired it without an explicit eviction.
+        let mut cache = self.cache.write().unwrap();
+        let before = cache.len();
+        cache.retain(|(s, _), _| *s != slug);
+        let dropped = (before - cache.len()) as u64;
+        drop(cache);
+        if dropped > 0 {
+            telemetry.add("serve.cache.invalidations", dropped);
+        }
         Some(rebuilt)
     }
 
@@ -170,6 +277,41 @@ mod tests {
             store.get("auto").unwrap().interfaces()
         );
         assert!(store.ingest("missing", before.schemas[0].clone()).is_none());
+    }
+
+    #[test]
+    fn ingest_invalidates_only_the_touched_domains_cache() {
+        let lexicon = Lexicon::builtin();
+        let telemetry = Telemetry::off();
+        let policy = NamingPolicy::default();
+        let auto = build_artifact(&qi_datasets::auto::domain(), &lexicon, policy, &telemetry);
+        let book = build_artifact(&qi_datasets::book::domain(), &lexicon, policy, &telemetry);
+        let store = Store::new(vec![auto, book], lexicon, policy, telemetry);
+
+        let rendered = crate::http::Response::json(200, "{}".to_string());
+        store.insert_cached("auto".to_string(), "labels", CacheEntry::of(0, &rendered));
+        store.insert_cached("book".to_string(), "labels", CacheEntry::of(0, &rendered));
+        assert!(store.cached("auto", "labels", 0).is_some());
+        assert!(store.cached("book", "labels", 0).is_some());
+
+        let generation = store.generation();
+        let extra = qi_schema::text_format::parse("interface extra\n- Make\n").unwrap();
+        store.ingest("auto", extra).unwrap();
+        assert_eq!(
+            store.generation(),
+            generation + 1,
+            "ingest bumps generation"
+        );
+        assert!(
+            store.cached("auto", "labels", 0).is_none(),
+            "touched domain must be evicted"
+        );
+        assert!(
+            store.cached("book", "labels", 0).is_some(),
+            "untouched domain keeps its rendered responses"
+        );
+        // Version validation alone also rejects a non-current entry.
+        assert!(store.cached("book", "labels", 99).is_none());
     }
 
     #[test]

@@ -128,4 +128,23 @@ awk '
             rps, p50, p99
         if (speedup + 0 < 10)
             printf "WARNING: snapshot cold start is below the 10x target (%.1fx)\n", speedup
+
+        # Incremental-ingest table: the full re-label path (before) vs
+        # the delta path (after), plus what ingest traffic does to
+        # concurrent readers and the rendered-response cache.
+        delta = field(line, "delta_median_ms")
+        full = field(line, "full_median_ms")
+        ingest_speedup = field(line, "ingest_speedup")
+        post50 = field(line, "post_p50_us"); post99 = field(line, "post_p99_us")
+        read50 = field(line, "read_during_ingest_p50_us")
+        read99 = field(line, "read_during_ingest_p99_us")
+        hits = field(line, "cache_hits"); misses = field(line, "cache_misses")
+        inval = field(line, "cache_invalidations")
+        printf "%-28s %12s %12s %9s\n", "ingest path", "before ms", "after ms", "speedup"
+        printf "%-28s %12.3f %12.3f %8.1fx\n", "full re-label -> delta", full, delta, ingest_speedup
+        printf "ingest POST latency p50 %.0f us, p99 %.0f us; reads during ingest p50 %.0f us, p99 %.0f us\n", \
+            post50, post99, read50, read99
+        printf "response cache: %d hits, %d misses, %d invalidations\n", hits, misses, inval
+        if (ingest_speedup + 0 < 5)
+            printf "WARNING: incremental ingest is below the 5x target (%.1fx)\n", ingest_speedup
     }'

@@ -13,6 +13,11 @@ cargo test -q --workspace
 # tests/properties.proptest-regressions cases are exercised on every
 # check, not only on machines that can fetch the real crate.
 cargo test -q --features proptest --test properties
+# Incremental-equivalence stage: the delta-ingest suite runs in the
+# debug profile, where its debug_assert guards compare every extended
+# group naming against a from-scratch rebuild — any divergence between
+# the incremental and full paths fails here, not in production.
+cargo test -q --test incremental
 cargo clippy --all-targets --all-features -- -D warnings
 cargo fmt --check
 
@@ -131,6 +136,19 @@ awk '
     || { echo "FAIL: /domains/auto/tree probe"; exit 1; }
 ./target/release/qi fetch "http://$addr/domains/auto/explain" | grep -q '"rule":' \
     || { echo "FAIL: /domains/auto/explain probe"; exit 1; }
+# Rendered-response cache: a repeated GET must be served from the cache
+# (nonzero serve.cache.hits in /metrics), and revalidating with the
+# response's own ETag must come back 304 Not Modified without a body.
+./target/release/qi fetch "http://$addr/domains/auto/labels" >/dev/null
+etag=$(./target/release/qi fetch --include "http://$addr/domains/auto/labels" \
+    | sed -n 's/^etag: *//p' | tr -d '\r')
+[ -n "$etag" ] || { echo "FAIL: cached GET carries no etag header"; exit 1; }
+./target/release/qi fetch --etag "$etag" "http://$addr/domains/auto/labels" 2>&1 \
+    | grep -q '304 Not Modified' \
+    || { echo "FAIL: if-none-match revalidation did not answer 304"; exit 1; }
+./target/release/qi fetch "http://$addr/metrics" \
+    | grep -o '"serve\.cache\.hits":[0-9]*' | grep -qv ':0$' \
+    || { echo "FAIL: server smoke probes never hit the response cache"; exit 1; }
 printf 'interface smoke\n- Make\n- Model\n' > "$smoke_dir/smoke.qis"
 ./target/release/qi fetch --body "$smoke_dir/smoke.qis" \
     "http://$addr/domains/auto/interfaces" | grep -q '"interfaces":21' \

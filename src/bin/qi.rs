@@ -89,8 +89,11 @@ usage:
       --metrics <file>            write server metrics as JSON on exit
       --access-log <sink>         per-request log: \"stderr\" or a file
       --slow-ms <n>               log span breakdowns of slow requests
-  qi fetch [--post] [--body <f>] [--accept <type>] <url>
-                                  tiny std-only HTTP client (probes);
+  qi fetch [--post] [--body <f>] [--accept <type>] [--etag <tag>]
+           [--include] <url>      tiny std-only HTTP client (probes);
+                                  --etag sends if-none-match and treats
+                                  304 Not Modified as success, --include
+                                  prints the response head; other
                                   non-2xx responses exit non-zero with
                                   the status line on stderr
 ";
@@ -584,17 +587,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_fetch(args: &[String]) -> Result<(), String> {
-    let usage = "usage: qi fetch [--post] [--body <file>] [--accept <type>] <url>";
+    let usage =
+        "usage: qi fetch [--post] [--body <file>] [--accept <type>] [--etag <tag>] [--include] <url>";
     let mut url: Option<&str> = None;
     let mut post = false;
     let mut body_path: Option<&str> = None;
     let mut accept: Option<&str> = None;
+    let mut etag: Option<&str> = None;
+    let mut include = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--post" => post = true,
             "--body" => body_path = Some(iter.next().ok_or("--body needs a file")?.as_str()),
             "--accept" => accept = Some(iter.next().ok_or("--accept needs a media type")?.as_str()),
+            "--etag" => etag = Some(iter.next().ok_or("--etag needs a tag")?.as_str()),
+            "--include" => include = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             value if url.is_none() => url = Some(value),
             extra => return Err(format!("unexpected argument {extra:?}; {usage}")),
@@ -629,9 +637,12 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
     let accept_header = accept
         .map(|media| format!("accept: {media}\r\n"))
         .unwrap_or_default();
+    let etag_header = etag
+        .map(|tag| format!("if-none-match: {tag}\r\n"))
+        .unwrap_or_default();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nhost: {hostport}\r\n{accept_header}content-length: {}\r\nconnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: {hostport}\r\n{accept_header}{etag_header}content-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     )
     .and_then(|()| stream.write_all(&body))
@@ -650,10 +661,20 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed status line {:?}", head.lines().next()))?;
+    if include {
+        println!("{head}");
+    }
     let payload = &raw[head_end + 4..];
     print!("{}", String::from_utf8_lossy(payload));
-    if !payload.ends_with(b"\n") {
+    if !payload.ends_with(b"\n") && !payload.is_empty() {
         println!();
+    }
+    // `304 Not Modified` is the cache-validation success path: the
+    // client's `--etag` still names the server's bytes, so there is no
+    // body to print. Announce it so scripts can assert on it.
+    if status == 304 {
+        eprintln!("{}", head.lines().next().unwrap_or(""));
+        return Ok(());
     }
     if !(200..300).contains(&status) {
         // Surface the server's own status line before failing, so

@@ -1,0 +1,154 @@
+//! Incremental-ingest equivalence property: replaying a randomized
+//! ingest sequence through the delta path ([`ingest_interface`], which
+//! scores only the new interface against existing clusters, extends the
+//! merge and relabels only dirty nodes) must produce artifacts
+//! byte-identical — through the snapshot encoding — to forcing a full
+//! rebuild ([`ingest_interface_full`]) at every step.
+//!
+//! The label pool is engineered to exercise every delta outcome: exact
+//! joins into existing clusters, morphological variants accepted by the
+//! stem/synonym tiers, novel labels that become new singletons, and
+//! colliding pairs (`Make` + `Makes` in one interface) that trip the
+//! shared-join guard and fall back to a full rebuild. Equivalence is a
+//! theorem for the guarded delta path and trivial for the fallback
+//! path, so it must hold on *every* step regardless of which path ran.
+//!
+//! `scripts/check.sh` runs this suite as its incremental-equivalence
+//! stage.
+
+use qi_core::NamingPolicy;
+use qi_lexicon::Lexicon;
+use qi_runtime::{SplitMix64, Telemetry};
+use qi_serve::{build_artifact, ingest_interface, ingest_interface_full, DomainArtifact, Snapshot};
+
+/// Snapshot bytes of a single domain — the equivalence oracle. The
+/// format persists everything observable (schemas, clusters, labeled
+/// tree, symbols, decisions) and excludes the non-semantic carry state
+/// (`version`, delta caches).
+fn snapshot_bytes(policy: NamingPolicy, artifact: &DomainArtifact) -> Vec<u8> {
+    Snapshot {
+        policy,
+        domains: vec![artifact.clone()],
+    }
+    .to_bytes()
+}
+
+/// Labels spanning joins, variants, singletons, and guard-tripping
+/// collisions against the Auto corpus.
+const POOL: &[&str] = &[
+    "Make",
+    "Model",
+    "Price",
+    "Mileage",
+    "Body Style",
+    "Color",
+    "Year",
+    "Zip Code",
+    "Makes",
+    "Car Model",
+    "Maximum Price",
+    "Warranty Months",
+    "Dealer Name",
+    "Fuel Type",
+    "Transmission",
+    "Seller Rating",
+    "Interior Color",
+    "Down Payment",
+];
+
+fn random_interface(rng: &mut SplitMix64, index: usize) -> qi_schema::SchemaTree {
+    let count = 2 + (rng.next_u64() % 4) as usize;
+    let mut picked: Vec<&str> = Vec::new();
+    while picked.len() < count {
+        let label = POOL[(rng.next_u64() % POOL.len() as u64) as usize];
+        if !picked.contains(&label) {
+            picked.push(label);
+        }
+    }
+    let mut text = format!("interface extra{index}\n");
+    for label in picked {
+        text.push_str("- ");
+        text.push_str(label);
+        text.push('\n');
+    }
+    qi_schema::text_format::parse(&text).expect("generated interface parses")
+}
+
+#[test]
+fn random_ingest_sequences_match_full_rebuild_byte_for_byte() {
+    let lexicon = Lexicon::builtin();
+    let policy = NamingPolicy::default();
+    let mut delta_ingests = 0;
+    for seed in 0..6u64 {
+        let mut rng = SplitMix64::new(0x1abe_11ab ^ seed);
+        let telemetry = Telemetry::new();
+        let base = build_artifact(&qi_datasets::auto::domain(), &lexicon, policy, &telemetry);
+        let mut incremental = base.clone();
+        let mut full = base;
+        for step in 0..5usize {
+            let interface = random_interface(&mut rng, step);
+            incremental = ingest_interface(
+                &incremental,
+                interface.clone(),
+                &lexicon,
+                policy,
+                &telemetry,
+            );
+            full = ingest_interface_full(&full, interface, &lexicon, policy, &telemetry);
+            assert_eq!(
+                snapshot_bytes(policy, &incremental),
+                snapshot_bytes(policy, &full),
+                "seed {seed} step {step}: incremental and full rebuild diverged"
+            );
+        }
+        delta_ingests += telemetry
+            .snapshot()
+            .counters
+            .get("serve.ingest.delta")
+            .copied()
+            .unwrap_or(0);
+    }
+    // The property is vacuous if every step fell back to a full
+    // rebuild; most steps must actually take the delta path.
+    assert!(
+        delta_ingests >= 10,
+        "only {delta_ingests} of 30 ingests took the delta path"
+    );
+}
+
+#[test]
+fn guard_fallbacks_still_match_full_rebuild() {
+    let lexicon = Lexicon::builtin();
+    let policy = NamingPolicy::default();
+    let telemetry = Telemetry::new();
+    let base = build_artifact(&qi_datasets::auto::domain(), &lexicon, policy, &telemetry);
+    // Warm up: the first ingest always rebuilds fully and captures the
+    // delta carry state for the next one.
+    let warm = ingest_interface(
+        &base,
+        qi_schema::text_format::parse("interface warm\n- Color\n- Price\n").unwrap(),
+        &lexicon,
+        policy,
+        &telemetry,
+    );
+    assert!(warm.delta.is_some());
+
+    // Two fields of one interface matching the same existing cluster
+    // (`Make` exactly, `Makes` via stemming) trip the shared-join
+    // guard: the delta path must refuse and fall back, and the result
+    // must still equal the full rebuild bit for bit.
+    let tricky = qi_schema::text_format::parse("interface tricky\n- Make\n- Makes\n").unwrap();
+    let incremental = ingest_interface(&warm, tricky.clone(), &lexicon, policy, &telemetry);
+    let full = ingest_interface_full(&warm, tricky, &lexicon, policy, &telemetry);
+    assert_eq!(
+        snapshot_bytes(policy, &incremental),
+        snapshot_bytes(policy, &full)
+    );
+    let counters = telemetry.snapshot().counters;
+    let fallbacks: u64 = counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("serve.ingest.fallback."))
+        .map(|(_, &n)| n)
+        .sum();
+    assert!(fallbacks >= 1, "no fallback recorded: {counters:?}");
+}

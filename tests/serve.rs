@@ -180,6 +180,78 @@ fn concurrent_readers_never_see_a_torn_swap() {
     assert!(!torn.is_empty());
 }
 
+/// Value of a counter in the `/metrics` JSON body, 0 when absent.
+fn counter_in(metrics_json: &str, name: &str) -> u64 {
+    metrics_json
+        .split(&format!("\"{name}\":"))
+        .nth(1)
+        .map(|rest| rest.chars().take_while(|c| c.is_ascii_digit()).collect())
+        .and_then(|digits: String| digits.parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn etag_revalidation_serves_304_until_ingest_bumps_the_version() {
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+
+    let (status, headers, body) = exchange_full(
+        addr,
+        b"GET /domains/auto/labels HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let etag = header(&headers, "etag")
+        .expect("cached GET carries an ETag")
+        .to_string();
+    assert!(!body.is_empty());
+
+    // Revalidating with the current ETag: 304, no body, ETag echoed.
+    let conditional = format!(
+        "GET /domains/auto/labels HTTP/1.1\r\nhost: t\r\nif-none-match: {etag}\r\n\
+         connection: close\r\n\r\n"
+    );
+    let (status, headers, body) = exchange_full(addr, conditional.as_bytes());
+    assert_eq!(status, 304);
+    assert_eq!(header(&headers, "etag"), Some(etag.as_str()));
+    assert!(body.is_empty(), "304 must not carry a body: {body}");
+
+    // An ingest bumps the artifact version; the old validator stops
+    // matching and the full new body comes back with a new ETag.
+    let (status, _) = post(
+        addr,
+        "/domains/auto/interfaces",
+        "interface extra\n- Make\n- Price\n",
+    );
+    assert_eq!(status, 200);
+    let (status, headers, body) = exchange_full(addr, conditional.as_bytes());
+    assert_eq!(status, 200);
+    let fresh = header(&headers, "etag").expect("rebuilt GET carries an ETag");
+    assert_ne!(fresh, etag, "version bump must change the ETag");
+    assert!(!body.is_empty());
+}
+
+#[test]
+fn repeated_reads_hit_the_rendered_response_cache() {
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+
+    let (_, first) = get(addr, "/domains/auto/labels");
+    for _ in 0..3 {
+        let (status, body) = get(addr, "/domains/auto/labels");
+        assert_eq!(status, 200);
+        assert_eq!(body, first, "cached body must be byte-identical");
+    }
+    let (_, listing) = get(addr, "/domains");
+    let (_, again) = get(addr, "/domains");
+    assert_eq!(listing, again);
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let hits = counter_in(&metrics, "serve.cache.hits");
+    assert!(hits >= 4, "expected ≥4 cache hits, saw {hits}: {metrics}");
+    assert!(counter_in(&metrics, "serve.cache.misses") >= 2);
+}
+
 #[test]
 fn malformed_and_oversized_requests_get_4xx_not_a_hangup() {
     let config = ServerConfig {

@@ -174,6 +174,8 @@ fn tiny_artifact() -> DomainArtifact {
         // Empty: the golden pins the pre-provenance byte layout (no
         // decisions/ section is written for an empty decision list).
         decisions: vec![],
+        version: 0,
+        delta: None,
     }
 }
 
