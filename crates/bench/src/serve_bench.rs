@@ -10,7 +10,13 @@
 //!   from it (the snapshot cold-start path);
 //! * `serve` — end-to-end `GET` throughput against a running server,
 //!   several concurrent std-only clients (`--clients` takes a comma
-//!   list and sweeps each count);
+//!   list and sweeps each count). Every client count runs twice: in
+//!   *close* mode (one connection per request, as cold external traffic
+//!   would) and in *keep-alive* mode (one persistent connection per
+//!   client, requests pipelined `--pipeline` deep, as a warm reverse
+//!   proxy would drive the server). Keep-alive latency is amortized:
+//!   each request in a pipelined batch is charged batch-RTT ÷ batch
+//!   size, the marginal cost of one more request on a warm connection;
 //! * `ingest` — incremental (delta) vs full-rebuild ingest medians for
 //!   one interface into a warm domain, plus `POST` latency and read
 //!   latency measured *while* ingests run against the live server.
@@ -19,7 +25,8 @@
 //! consumed by `scripts/bench.sh`.
 //!
 //! ```text
-//! qi-serve-bench [--iters N] [--requests N] [--clients N[,N...]] [--out FILE]
+//! qi-serve-bench [--iters N] [--requests N] [--ka-requests N]
+//!                [--clients N[,N...]] [--pipeline N] [--out FILE]
 //! ```
 
 use qi_core::NamingPolicy;
@@ -37,18 +44,26 @@ const DECIMALS: usize = 3;
 
 struct Config {
     iters: usize,
+    /// Requests per close-mode sweep point.
     requests: usize,
+    /// Requests per keep-alive sweep point (persistent connections push
+    /// vastly more traffic, so they need more samples to measure).
+    ka_requests: usize,
     /// Client counts to sweep; the first is the primary configuration
     /// reported in the top-level `serve` object.
     clients: Vec<usize>,
+    /// Pipelining depth per keep-alive batch.
+    pipeline: usize,
     out: Option<String>,
 }
 
 fn parse_args() -> Result<Config, String> {
     let mut config = Config {
         iters: 5,
-        requests: 200,
-        clients: vec![4],
+        requests: 2_000,
+        ka_requests: 32_000,
+        clients: vec![1, 4, 16, 64],
+        pipeline: 32,
         out: Some("BENCH_serve.json".to_string()),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +78,8 @@ fn parse_args() -> Result<Config, String> {
         match arg.as_str() {
             "--iters" => config.iters = number("--iters")?.max(1),
             "--requests" => config.requests = number("--requests")?.max(1),
+            "--ka-requests" => config.ka_requests = number("--ka-requests")?.max(1),
+            "--pipeline" => config.pipeline = number("--pipeline")?.max(1),
             "--clients" => {
                 let list = iter
                     .next()
@@ -157,6 +174,89 @@ fn post_ok(
     }
     latency.record(start.elapsed().as_nanos() as u64);
     response.starts_with(b"HTTP/1.1 200")
+}
+
+/// Read one `content-length`-framed response off a persistent
+/// connection, leaving pipelined surplus in `buffered`. Returns the
+/// status code, or `None` on a malformed/truncated response.
+fn read_framed(stream: &mut TcpStream, buffered: &mut Vec<u8>) -> Option<u16> {
+    let mut chunk = [0u8; 16 * 1024];
+    let head_end = loop {
+        if let Some(pos) = buffered.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        match stream.read(&mut chunk) {
+            Ok(n) if n > 0 => buffered.extend_from_slice(&chunk[..n]),
+            _ => return None,
+        }
+    };
+    let head = String::from_utf8_lossy(&buffered[..head_end]);
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    let length: usize = head
+        .lines()
+        .skip(1)
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    while buffered.len() < head_end + length {
+        match stream.read(&mut chunk) {
+            Ok(n) if n > 0 => buffered.extend_from_slice(&chunk[..n]),
+            _ => return None,
+        }
+    }
+    buffered.drain(..head_end + length);
+    Some(status)
+}
+
+/// One keep-alive client: a single persistent connection issuing
+/// `total` GETs in pipelined batches of `depth`. Each request is
+/// charged batch-RTT ÷ batch-size nanoseconds of latency — the
+/// amortized per-request cost on a warm connection. Returns how many
+/// answered 200.
+fn keepalive_client(
+    addr: std::net::SocketAddr,
+    paths: &[&str],
+    total: usize,
+    depth: usize,
+    latency: &qi_runtime::Histogram,
+) -> usize {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return 0;
+    };
+    let _ = stream.set_nodelay(true);
+    let mut ok = 0;
+    let mut buffered = Vec::new();
+    let mut sent = 0;
+    while sent < total {
+        let batch = depth.min(total - sent);
+        let mut wire = Vec::with_capacity(batch * 48);
+        for i in 0..batch {
+            let path = paths[(sent + i) % paths.len()];
+            wire.extend_from_slice(
+                format!("GET {path} HTTP/1.1\r\nhost: bench\r\n\r\n").as_bytes(),
+            );
+        }
+        let start = Instant::now();
+        if stream.write_all(&wire).is_err() {
+            return ok;
+        }
+        for _ in 0..batch {
+            match read_framed(&mut stream, &mut buffered) {
+                Some(200) => ok += 1,
+                _ => return ok,
+            }
+        }
+        let per_request = (start.elapsed().as_nanos() as u64 / batch as u64).max(1);
+        for _ in 0..batch {
+            latency.record(per_request);
+        }
+        sent += batch;
+    }
+    ok
 }
 
 const GROW: usize = 100;
@@ -275,11 +375,17 @@ fn main() {
     // rendered-response cache after their first render, as production
     // reads would.
     let serve_telemetry = Telemetry::new();
-    let server = Server::with_config(
-        Arc::clone(&store),
-        serve_telemetry.clone(),
-        ServerConfig::default(),
-    );
+    let server_config = ServerConfig {
+        // Deep enough that 64 clients × 64 pipelined requests never
+        // shed: this benchmark measures throughput, not backpressure.
+        queue_depth: 8192,
+        // A single benchmark connection pushes the whole --ka-requests
+        // budget; the default per-connection request cap would cut it
+        // off mid-run.
+        max_requests_per_conn: u64::MAX,
+        ..ServerConfig::default()
+    };
+    let server = Server::with_config(Arc::clone(&store), serve_telemetry.clone(), server_config);
     let mut handle = server.start().expect("starting benchmark server");
     let addr = handle.addr();
     let paths = [
@@ -292,6 +398,7 @@ fn main() {
     assert!(get_ok(addr, "/healthz", &warmup), "server did not come up");
 
     struct SweepPoint {
+        mode: &'static str,
         clients: usize,
         sent: usize,
         ok_count: usize,
@@ -300,6 +407,7 @@ fn main() {
     }
     let mut sweep = Vec::new();
     for &clients in &config.clients {
+        // Close mode: a fresh connection per request.
         let latency = qi_runtime::Histogram::new();
         let per_client = config.requests.div_ceil(clients);
         let (ok_count, elapsed_ms) = timed(|| {
@@ -322,6 +430,37 @@ fn main() {
             })
         });
         sweep.push(SweepPoint {
+            mode: "close",
+            clients,
+            sent: per_client * clients,
+            ok_count,
+            elapsed_ms,
+            latency: latency.data(),
+        });
+
+        // Keep-alive mode: one persistent pipelined connection per
+        // client.
+        let latency = qi_runtime::Histogram::new();
+        let per_client = config.ka_requests.div_ceil(clients);
+        let (ok_count, elapsed_ms) = timed(|| {
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..clients)
+                    .map(|_| {
+                        let paths = &paths[..];
+                        let latency = &latency;
+                        scope.spawn(move || {
+                            keepalive_client(addr, paths, per_client, config.pipeline, latency)
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().unwrap())
+                    .sum::<usize>()
+            })
+        });
+        sweep.push(SweepPoint {
+            mode: "keepalive",
             clients,
             sent: per_client * clients,
             ok_count,
@@ -370,9 +509,22 @@ fn main() {
     let counter = |name: &str| serve_counters.get(name).copied().unwrap_or(0);
     handle.shutdown();
 
+    // Primary close-mode point (first client count); peak points of
+    // both modes at the largest client count for the headline
+    // keep-alive vs close comparison.
     let primary = &sweep[0];
     let (sent, ok_count, serve_ms) = (primary.sent, primary.ok_count, primary.elapsed_ms);
     let latency = primary.latency.clone();
+    let max_clients = config.clients.iter().copied().max().unwrap_or(1);
+    let peak_of = |mode: &str| {
+        sweep
+            .iter()
+            .find(|p| p.mode == mode && p.clients == max_clients)
+            .expect("sweep covers every mode at every client count")
+    };
+    let ka_peak = peak_of("keepalive");
+    let close_peak = peak_of("close");
+    let point_rps = |point: &SweepPoint| point.ok_count as f64 / (point.elapsed_ms / 1e3).max(1e-9);
 
     let rebuild_median = median(rebuild_runs.clone());
     let load_median = median(load_runs.clone());
@@ -389,6 +541,7 @@ fn main() {
             .u64("iters", config.iters as u64)
             .u64("requests", sent as u64)
             .u64("clients", config.clients[0] as u64)
+            .u64("pipeline", config.pipeline as u64)
             .u64("domains", domain_count as u64)
             .finish(),
     );
@@ -422,14 +575,41 @@ fn main() {
             )
             .finish(),
     );
+    // Headline keep-alive vs close comparison at the largest client
+    // count, under key names unique in the whole document so
+    // `scripts/bench.sh` can grab them with a flat first-match scan.
+    doc.raw(
+        "serve_keepalive",
+        Obj::new()
+            .u64("keepalive_clients", ka_peak.clients as u64)
+            .u64("keepalive_requests_ok", ka_peak.ok_count as u64)
+            .f64("keepalive_requests_per_sec", point_rps(ka_peak), 1)
+            .f64(
+                "keepalive_p50_us",
+                ka_peak.latency.quantile(0.50) as f64 / 1e3,
+                DECIMALS,
+            )
+            .f64(
+                "keepalive_p99_us",
+                ka_peak.latency.quantile(0.99) as f64 / 1e3,
+                DECIMALS,
+            )
+            .f64("close_requests_per_sec", point_rps(close_peak), 1)
+            .f64(
+                "keepalive_speedup",
+                point_rps(ka_peak) / point_rps(close_peak).max(1e-9),
+                1,
+            )
+            .finish(),
+    );
     let mut sweep_arr = Arr::new();
     for point in &sweep {
-        let point_rps = point.ok_count as f64 / (point.elapsed_ms / 1e3).max(1e-9);
         sweep_arr.raw(
             Obj::new()
+                .str("mode", point.mode)
                 .u64("clients", point.clients as u64)
                 .u64("requests_ok", point.ok_count as u64)
-                .f64("requests_per_sec", point_rps, 1)
+                .f64("requests_per_sec", point_rps(point), 1)
                 .f64(
                     "latency_p50_us",
                     point.latency.quantile(0.50) as f64 / 1e3,
@@ -493,11 +673,23 @@ fn main() {
                 latency.quantile(0.50) as f64 / 1e3,
                 latency.quantile(0.99) as f64 / 1e3
             );
+            eprintln!(
+                "keep-alive @{} clients (pipeline {}): {:.0} req/s \
+                 (p50 {:.0} us, p99 {:.0} us) vs {:.0} req/s close ({:.1}x)",
+                ka_peak.clients,
+                config.pipeline,
+                point_rps(ka_peak),
+                ka_peak.latency.quantile(0.50) as f64 / 1e3,
+                ka_peak.latency.quantile(0.99) as f64 / 1e3,
+                point_rps(close_peak),
+                point_rps(ka_peak) / point_rps(close_peak).max(1e-9),
+            );
         }
         None => println!("{json}"),
     }
-    if ok_count != sent {
-        eprintln!("warning: {} requests failed", sent - ok_count);
+    let failed: usize = sweep.iter().map(|p| p.sent - p.ok_count).sum();
+    if failed > 0 {
+        eprintln!("warning: {failed} requests failed across the sweep");
         std::process::exit(1);
     }
 }

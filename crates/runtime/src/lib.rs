@@ -24,13 +24,17 @@
 //!   numbers, object/array builders) behind every JSON document the
 //!   workspace emits;
 //! * [`JobQueue`] — a bounded close-aware job queue for long-lived
-//!   worker pools (the HTTP server's acceptor/worker handoff).
+//!   worker pools (the HTTP server's reactor/worker handoff);
+//! * [`netpoll`] — level-triggered `poll(2)` readiness polling and a
+//!   self-wake channel (the HTTP reactor's only platform primitive).
 
 pub mod cache;
 pub mod export;
 pub mod histogram;
 pub mod intern;
 pub mod json;
+#[cfg(unix)]
+pub mod netpoll;
 pub mod pool;
 pub mod rng;
 pub mod telemetry;

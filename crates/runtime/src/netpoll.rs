@@ -1,0 +1,234 @@
+//! Minimal readiness polling for the serving tier — `poll(2)` plus a
+//! self-wake channel, with no external crates.
+//!
+//! The HTTP reactor needs exactly three primitives: "which of these
+//! sockets are readable/writable", "wait at most this long", and "wake
+//! the poller from another thread". `std` exposes none of them, so this
+//! module declares the one libc symbol required (`poll` — already
+//! linked into every Rust binary on unix) and builds the waker from a
+//! nonblocking [`UnixStream`] pair. Level-triggered `poll(2)` is chosen
+//! over `epoll`/`kqueue` deliberately: it is portable across unix
+//! targets with a single `extern` declaration, needs no registration
+//! lifecycle, and the serving tier re-derives its interest set each
+//! iteration anyway (the fd table is the reactor's own connection
+//! slab, so rebuilding the `pollfd` array is a linear copy, cheap for
+//! the thousands-of-connections scale this server targets).
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+// `poll(2)` event bits, identical across linux and the BSDs.
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+/// `nfds_t`: `unsigned long` on linux, `unsigned int` on the BSDs and
+/// macOS.
+#[cfg(target_os = "linux")]
+type Nfds = std::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type Nfds = std::ffi::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: Nfds, timeout: std::ffi::c_int) -> std::ffi::c_int;
+}
+
+/// One `struct pollfd`: an fd, the readiness we ask about, and the
+/// readiness the kernel reported.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Watch `fd` for the given interest. A `PollFd` with neither flag
+    /// still reports errors and hangups.
+    pub fn new(fd: RawFd, readable: bool, writable: bool) -> PollFd {
+        let mut events = 0;
+        if readable {
+            events |= POLLIN;
+        }
+        if writable {
+            events |= POLLOUT;
+        }
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The watched file descriptor.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Reading will not block (data, EOF, error, or hangup pending).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// Writing will not block (or the write would fail immediately).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP) != 0
+    }
+
+    /// The kernel flagged this fd as closed, errored, or invalid; the
+    /// owner should drop the connection.
+    pub fn failed(&self) -> bool {
+        self.revents & (POLLERR | POLLNVAL) != 0
+    }
+
+    /// Any readiness at all was reported.
+    pub fn ready(&self) -> bool {
+        self.revents != 0
+    }
+}
+
+/// Block until at least one fd is ready or the timeout elapses; `None`
+/// waits indefinitely. Returns the number of ready fds (0 on timeout).
+/// `EINTR` retries transparently — callers re-derive their deadlines
+/// each iteration anyway.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: std::ffi::c_int = match timeout {
+        None => -1,
+        // Round up so a 100µs deadline does not spin at timeout 0.
+        Some(d) => d.as_millis().saturating_add(1).min(i32::MAX as u128) as std::ffi::c_int,
+    };
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// The sending half of a self-wake channel: any thread may call
+/// [`Waker::wake`] to make a blocked [`poll_fds`] return, provided the
+/// poller watches [`WakeReceiver`] for readability.
+#[derive(Clone)]
+pub struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Make the poller's next (or current) poll observe readiness.
+    /// Cheap and coalescing: a full pipe means a wake is already
+    /// pending, which is all a level-triggered poller needs.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1]);
+    }
+}
+
+/// The receiving half: registered (via [`WakeReceiver::as_raw_fd`]) in
+/// every poll, drained once readable.
+pub struct WakeReceiver {
+    rx: UnixStream,
+}
+
+impl WakeReceiver {
+    /// Consume every pending wake byte so level-triggered polling stops
+    /// reporting readiness until the next [`Waker::wake`].
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+impl AsRawFd for WakeReceiver {
+    fn as_raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+/// Build a connected waker pair; both ends are nonblocking.
+pub fn waker() -> io::Result<(Waker, WakeReceiver)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx: Arc::new(tx) }, WakeReceiver { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_reports_readable_after_a_write() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), true, false)];
+        // Nothing written yet: times out with no readiness.
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+
+        (&a).write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), true, false)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(1000))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].failed());
+    }
+
+    #[test]
+    fn poll_reports_writable_immediately() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), false, true)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(1000))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+    }
+
+    #[test]
+    fn waker_unblocks_and_drains() {
+        let (waker, receiver) = waker().unwrap();
+        let mut fds = [PollFd::new(receiver.as_raw_fd(), true, false)];
+        assert_eq!(
+            poll_fds(&mut fds, Some(Duration::from_millis(5))).unwrap(),
+            0
+        );
+
+        // Wakes coalesce: many wakes, one readable edge, one drain.
+        for _ in 0..100 {
+            waker.wake();
+        }
+        let mut fds = [PollFd::new(receiver.as_raw_fd(), true, false)];
+        assert_eq!(
+            poll_fds(&mut fds, Some(Duration::from_millis(1000))).unwrap(),
+            1
+        );
+        assert!(fds[0].readable());
+        receiver.drain();
+        let mut fds = [PollFd::new(receiver.as_raw_fd(), true, false)];
+        assert_eq!(
+            poll_fds(&mut fds, Some(Duration::from_millis(5))).unwrap(),
+            0
+        );
+
+        // A wake from another thread unblocks a poller mid-wait.
+        let fd = receiver.as_raw_fd();
+        let waker_thread = {
+            let waker = waker.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                waker.wake();
+            })
+        };
+        let mut fds = [PollFd::new(fd, true, false)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(n, 1);
+        waker_thread.join().unwrap();
+    }
+}

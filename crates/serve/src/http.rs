@@ -1,10 +1,24 @@
-//! Minimal HTTP/1.1 request/response codec.
+//! HTTP/1.1 request/response codec with incremental parsing.
 //!
-//! Covers exactly what the server needs: one request per connection
-//! (`Connection: close`), `Content-Length` bodies, and hard limits on
-//! header-block and body size so a hostile peer cannot make a worker
-//! allocate without bound. The codec is generic over `Read`/`Write`,
-//! which keeps it unit-testable without sockets.
+//! The parser is *incremental*: [`RequestBuf`] accumulates whatever
+//! bytes the socket produced — a quarter of a header line, three
+//! pipelined requests in one segment — and [`RequestBuf::next_request`]
+//! yields complete requests as they materialize, leaving any trailing
+//! bytes in place for the next call. That is exactly the shape a
+//! readiness event loop needs: reads never block waiting for a request
+//! boundary, and request boundaries never force a read.
+//!
+//! Hard limits keep a hostile peer from making the server allocate
+//! without bound: the request line + headers are capped at
+//! [`MAX_HEAD`], declared bodies at the caller's `max_body`.
+//!
+//! Header *names* are lowercased at parse time and matched
+//! case-insensitively everywhere ([RFC 7230 §3.2]); header *values*
+//! that carry case-insensitive tokens (`Connection`, `Accept` media
+//! types) are compared through [`Request::header_has_token`] /
+//! ASCII-case-folding helpers rather than raw string equality.
+//!
+//! [RFC 7230 §3.2]: https://datatracker.ietf.org/doc/html/rfc7230#section-3.2
 
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -19,6 +33,9 @@ pub struct Request {
     pub method: String,
     /// Request path with any query string stripped.
     pub path: String,
+    /// Minor HTTP version: `1` for `HTTP/1.1`, `0` for `HTTP/1.0`.
+    /// Decides the keep-alive default (1.1 persists, 1.0 closes).
+    pub version_minor: u8,
     /// Headers with lowercased names, in arrival order.
     pub headers: Vec<(String, String)>,
     /// Request body (empty without a `Content-Length`).
@@ -26,12 +43,35 @@ pub struct Request {
 }
 
 impl Request {
-    /// First value of a header, by lowercase name.
+    /// First value of a header; the name comparison is ASCII
+    /// case-insensitive (parsed names are already lowercase, but
+    /// callers may pass any casing).
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers
             .iter()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a comma-separated header value contains `token`,
+    /// compared ASCII case-insensitively — `Connection: Keep-Alive`
+    /// and `connection: keep-alive` are the same wire token.
+    pub fn header_has_token(&self, name: &str, token: &str) -> bool {
+        self.header(name)
+            .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token)))
+    }
+
+    /// HTTP/1.1 persistence semantics: keep-alive unless the request
+    /// says `Connection: close`, except HTTP/1.0 which closes unless it
+    /// says `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        if self.header_has_token("connection", "close") {
+            return false;
+        }
+        if self.version_minor == 0 {
+            return self.header_has_token("connection", "keep-alive");
+        }
+        true
     }
 }
 
@@ -51,30 +91,94 @@ pub enum RequestError {
     Io(std::io::Error),
 }
 
-/// Read and parse one request. `max_body` caps the declared
-/// `Content-Length`.
-pub fn read_request<R: Read>(reader: &mut R, max_body: usize) -> Result<Request, RequestError> {
-    // Accumulate until the blank line ending the head, never past the cap.
-    let mut head = Vec::new();
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&head) {
-            break pos;
-        }
-        if head.len() >= MAX_HEAD {
+/// Per-connection input buffer feeding the incremental parser.
+///
+/// [`RequestBuf::extend`] appends raw socket bytes;
+/// [`RequestBuf::next_request`] consumes exactly one complete request
+/// from the front when one is available. Pipelined requests therefore
+/// come out one `next_request` call at a time, and a request torn
+/// across reads (mid-header-line, mid-body-byte) simply stays buffered
+/// until the rest arrives.
+#[derive(Debug, Default)]
+pub struct RequestBuf {
+    buf: Vec<u8>,
+}
+
+impl RequestBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        RequestBuf::default()
+    }
+
+    /// Append bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Parse one complete request off the front of the buffer.
+    ///
+    /// * `Ok(Some(request))` — a full head + body was present; those
+    ///   bytes are consumed, trailing (pipelined) bytes remain.
+    /// * `Ok(None)` — the buffered bytes are a valid *prefix* of a
+    ///   request; call again after the next read.
+    /// * `Err(_)` — the buffer can never become a valid request
+    ///   (oversized head/body, malformed syntax). The connection should
+    ///   answer the mapped status and close.
+    pub fn next_request(&mut self, max_body: usize) -> Result<Option<Request>, RequestError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            if self.buf.len() >= MAX_HEAD {
+                return Err(RequestError::HeadTooLarge);
+            }
+            return Ok(None);
+        };
+        if head_end > MAX_HEAD {
             return Err(RequestError::HeadTooLarge);
         }
-        let n = reader.read(&mut chunk).map_err(RequestError::Io)?;
-        if n == 0 {
-            if head.is_empty() {
-                return Err(RequestError::Closed);
-            }
-            return Err(RequestError::Malformed("connection closed mid-head".into()));
+        let (method, path, version_minor, headers) = parse_head(&self.buf[..head_end])?;
+        let content_length = match headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| RequestError::Malformed(format!("bad content-length {v:?}")))?,
+            None => 0,
+        };
+        if content_length > max_body {
+            return Err(RequestError::BodyTooLarge);
         }
-        head.extend_from_slice(&chunk[..n]);
-    };
+        let body_start = head_end + 4;
+        let total = body_start + content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[body_start..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            path,
+            version_minor,
+            headers,
+            body,
+        }))
+    }
+}
 
-    let head_text = std::str::from_utf8(&head[..head_end])
+/// Parse the request line + header block (everything before the blank
+/// line, exclusive).
+#[allow(clippy::type_complexity)]
+fn parse_head(head: &[u8]) -> Result<(String, String, u8, Vec<(String, String)>), RequestError> {
+    let head_text = std::str::from_utf8(head)
         .map_err(|_| RequestError::Malformed("head is not UTF-8".into()))?;
     let mut lines = head_text.split("\r\n");
     let request_line = lines.next().unwrap_or("");
@@ -89,11 +193,15 @@ pub fn read_request<R: Read>(reader: &mut R, max_body: usize) -> Result<Request,
     let version = parts
         .next()
         .ok_or_else(|| RequestError::Malformed("request line lacks a version".into()))?;
-    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+    if parts.next().is_some() {
         return Err(RequestError::Malformed(format!(
             "bad request line {request_line:?}"
         )));
     }
+    let version_minor = version
+        .strip_prefix("HTTP/1.")
+        .and_then(|minor| minor.parse::<u8>().ok())
+        .ok_or_else(|| RequestError::Malformed(format!("bad request line {request_line:?}")))?;
     let path = target.split('?').next().unwrap_or("").to_string();
     if !path.starts_with('/') {
         return Err(RequestError::Malformed(format!("bad path {target:?}")));
@@ -107,39 +215,33 @@ pub fn read_request<R: Read>(reader: &mut R, max_body: usize) -> Result<Request,
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| RequestError::Malformed(format!("bad header line {line:?}")))?;
-        headers.push((name.trim().to_lowercase(), value.trim().to_string()));
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
+    Ok((method.to_string(), path.to_string(), version_minor, headers))
+}
 
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-        Some((_, v)) => v
-            .parse::<usize>()
-            .map_err(|_| RequestError::Malformed(format!("bad content-length {v:?}")))?,
-        None => 0,
-    };
-    if content_length > max_body {
-        return Err(RequestError::BodyTooLarge);
-    }
-
-    // Body bytes already read past the head, then the rest from the wire.
-    let mut body = head[head_end + 4..].to_vec();
-    if body.len() > content_length {
-        return Err(RequestError::Malformed("body longer than declared".into()));
-    }
-    while body.len() < content_length {
-        let want = (content_length - body.len()).min(chunk.len());
-        let n = reader.read(&mut chunk[..want]).map_err(RequestError::Io)?;
-        if n == 0 {
-            return Err(RequestError::Malformed("connection closed mid-body".into()));
+/// Read and parse one request from a blocking reader (the simple
+/// clients: `qi fetch`, tests). `max_body` caps the declared
+/// `Content-Length`. Built on the same incremental parser the server
+/// reactor uses.
+pub fn read_request<R: Read>(reader: &mut R, max_body: usize) -> Result<Request, RequestError> {
+    let mut buf = RequestBuf::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(request) = buf.next_request(max_body)? {
+            return Ok(request);
         }
-        body.extend_from_slice(&chunk[..n]);
+        let n = reader.read(&mut chunk).map_err(RequestError::Io)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(RequestError::Closed);
+            }
+            return Err(RequestError::Malformed(
+                "connection closed mid-request".into(),
+            ));
+        }
+        buf.extend(&chunk[..n]);
     }
-
-    Ok(Request {
-        method: method.to_string(),
-        path,
-        headers,
-        body,
-    })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -196,14 +298,17 @@ impl Response {
         self
     }
 
-    /// Serialize as an HTTP/1.1 response with `Connection: close`.
-    ///
-    /// The head is assembled in one buffer so the whole response costs
-    /// two writes (head, body) instead of one syscall per header line —
-    /// the writer here is an unbuffered [`std::net::TcpStream`].
-    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
-        let mut head = String::with_capacity(128);
+    /// Serialize the full HTTP/1.1 wire form — status line, headers,
+    /// blank line, body — into one buffer. `keep_alive` selects the
+    /// `Connection` framing: `keep-alive` leaves the connection open
+    /// for the next pipelined request, `close` announces the server
+    /// will close after this response. One contiguous buffer means the
+    /// reactor's writable path costs a single `write(2)` however many
+    /// responses are coalesced behind it.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(160 + self.body.len());
         use std::fmt::Write as _;
+        let mut head = String::with_capacity(160);
         let _ = write!(
             head,
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
@@ -215,9 +320,20 @@ impl Response {
         for (name, value) in &self.extra_headers {
             let _ = write!(head, "{name}: {value}\r\n");
         }
-        head.push_str("connection: close\r\n\r\n");
-        writer.write_all(head.as_bytes())?;
-        writer.write_all(&self.body)?;
+        head.push_str(if keep_alive {
+            "connection: keep-alive\r\n\r\n"
+        } else {
+            "connection: close\r\n\r\n"
+        });
+        out.extend_from_slice(head.as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serialize as an HTTP/1.1 response with `Connection: close` and
+    /// write it out (the one-shot, non-reactor path).
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        writer.write_all(&self.serialize(false))?;
         writer.flush()
     }
 }
@@ -254,6 +370,7 @@ mod tests {
             parse("GET /domains/auto/labels?x=1 HTTP/1.1\r\nHost: h\r\nX-A: b\r\n\r\n").unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/domains/auto/labels");
+        assert_eq!(req.version_minor, 1);
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.header("x-a"), Some("b"));
         assert!(req.body.is_empty());
@@ -281,6 +398,7 @@ mod tests {
             "GET\r\n\r\n",
             "GET /\r\n\r\n",
             "GET / SPDY/3\r\n\r\n",
+            "GET / HTTP/9.9\r\n\r\n",
             "GET / HTTP/1.1 extra\r\n\r\n",
             "GET nopath HTTP/1.1\r\n\r\n",
             "GET / HTTP/1.1\r\nbadheader\r\n\r\n",
@@ -292,6 +410,102 @@ mod tests {
             );
         }
         assert!(matches!(parse(""), Err(RequestError::Closed)));
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive_per_rfc7230() {
+        // Mixed-case names on the wire, mixed-case names at the call
+        // site: both must resolve. RFC 7230 §3.2: field names are
+        // case-insensitive.
+        let req = parse(
+            "GET / HTTP/1.1\r\nCoNNecTion: Keep-Alive\r\nACCEPT: TEXT/plain\r\n\
+             If-None-Match: \"abc\"\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.header("connection"), Some("Keep-Alive"));
+        assert_eq!(req.header("Connection"), Some("Keep-Alive"));
+        assert_eq!(req.header("IF-NONE-MATCH"), Some("\"abc\""));
+        assert!(req.header_has_token("connection", "keep-alive"));
+        assert!(req.header_has_token("Accept", "text/plain"));
+        assert!(!req.header_has_token("connection", "close"));
+
+        // Content-Length in arbitrary case still frames the body.
+        let req = parse("POST /d HTTP/1.1\r\nCONTENT-LENGTH: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn keep_alive_semantics_follow_version_and_connection() {
+        let keep = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(keep.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+        let close = parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(!close.keep_alive(), "Connection: Close wins, any case");
+        let multi = parse("GET / HTTP/1.1\r\nconnection: x-stuff, CLOSE\r\n\r\n").unwrap();
+        assert!(!multi.keep_alive(), "close as one of several tokens");
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!old.keep_alive(), "HTTP/1.0 defaults to close");
+        let old_keep = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(old_keep.keep_alive(), "HTTP/1.0 opts in explicitly");
+    }
+
+    #[test]
+    fn incremental_parse_survives_any_read_boundary() {
+        let wire = b"POST /d HTTP/1.1\r\ncontent-length: 5\r\nx-a: b\r\n\r\nhello";
+        // Feed the request one byte at a time: the parser must report
+        // "incomplete" at every prefix and produce the request exactly
+        // once, at the final byte.
+        let mut buf = RequestBuf::new();
+        for (i, byte) in wire.iter().enumerate() {
+            buf.extend(&[*byte]);
+            let parsed = buf.next_request(1024).unwrap();
+            if i + 1 < wire.len() {
+                assert!(parsed.is_none(), "byte {i}: request not complete yet");
+            } else {
+                let request = parsed.expect("final byte completes the request");
+                assert_eq!(request.body, b"hello");
+                assert_eq!(request.header("x-a"), Some("b"));
+            }
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order_from_one_segment() {
+        let mut buf = RequestBuf::new();
+        buf.extend(
+            b"GET /a HTTP/1.1\r\nhost: h\r\n\r\nGET /b HTTP/1.1\r\nhost: h\r\n\r\n\
+              POST /c HTTP/1.1\r\ncontent-length: 2\r\n\r\nxy",
+        );
+        let a = buf.next_request(1024).unwrap().expect("first request");
+        assert_eq!(a.path, "/a");
+        let b = buf.next_request(1024).unwrap().expect("second request");
+        assert_eq!(b.path, "/b");
+        let c = buf.next_request(1024).unwrap().expect("third request");
+        assert_eq!((c.path.as_str(), c.body.as_slice()), ("/c", &b"xy"[..]));
+        assert!(buf.next_request(1024).unwrap().is_none());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn malformed_second_request_fails_only_after_the_first_parses() {
+        let mut buf = RequestBuf::new();
+        buf.extend(b"GET /ok HTTP/1.1\r\n\r\nGARBAGE\r\n\r\n");
+        let ok = buf.next_request(1024).unwrap().expect("valid first");
+        assert_eq!(ok.path, "/ok");
+        assert!(matches!(
+            buf.next_request(1024),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_without_terminator_is_rejected_incrementally() {
+        let mut buf = RequestBuf::new();
+        buf.extend(format!("GET / HTTP/1.1\r\nx: {}", "a".repeat(MAX_HEAD)).as_bytes());
+        assert!(matches!(
+            buf.next_request(1024),
+            Err(RequestError::HeadTooLarge)
+        ));
     }
 
     #[test]
@@ -308,6 +522,14 @@ mod tests {
         let err = Response::error(404, "no such domain");
         assert_eq!(err.status, 404);
         assert_eq!(*err.body, b"{\"error\":\"no such domain\"}");
+    }
+
+    #[test]
+    fn keep_alive_serialization_never_says_close() {
+        let kept = Response::json(200, "{}".into()).serialize(true);
+        let text = String::from_utf8(kept).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("connection: close"), "{text}");
     }
 
     #[test]

@@ -1,54 +1,116 @@
-//! Zero-dependency HTTP/1.1 server over the artifact [`Store`].
+//! Zero-dependency HTTP/1.1 server over the artifact [`Store`]: a
+//! readiness event loop with keep-alive, pipelining and hot reload.
 //!
-//! One acceptor thread feeds accepted connections into a bounded
-//! [`JobQueue`]; a fixed worker pool drains it. When the queue is full
-//! the acceptor answers `503` immediately instead of letting the
-//! backlog grow. Shutdown is graceful: the acceptor stops accepting,
-//! the queue is closed, and workers finish every in-flight and queued
-//! request before the server thread exits.
+//! # Architecture
+//!
+//! One *reactor* thread owns every socket. It runs a level-triggered
+//! [`qi_runtime::netpoll`] loop over a nonblocking `TcpListener` and a
+//! slab of nonblocking connections, parses HTTP/1.1 incrementally from
+//! per-connection buffers ([`crate::http::RequestBuf`] — partial
+//! reads, pipelined requests and keep-alive all fall out of the same
+//! parser), and hands complete requests to a fixed worker pool through
+//! a bounded [`JobQueue`]. Workers route and render responses, then
+//! push the serialized bytes onto a completion queue and wake the
+//! reactor, which splices them into the owning connection's write
+//! buffer *in request order* (pipelined responses may complete out of
+//! order; a per-connection sequence number restores FIFO) and writes
+//! them back under writable readiness.
+//!
+//! Connection lifecycle: HTTP/1.1 requests keep the connection open by
+//! default (`Connection: close`, HTTP/1.0, a parse error, or the
+//! per-connection request cap end it); idle connections are closed
+//! after [`ServerConfig::idle_timeout_ms`], half-sent requests after
+//! [`ServerConfig::read_timeout_ms`] (with a `408`), and stalled
+//! writers after [`ServerConfig::write_timeout_ms`]. When the request
+//! queue is full the offending request is answered `503` directly from
+//! the reactor (the connection survives — shedding is per request, not
+//! per connection), and beyond [`ServerConfig::max_connections`] new
+//! accepts are refused outright.
+//!
+//! Shutdown is graceful: the listener closes, already-parsed requests
+//! finish and their responses flush, then the queue closes and the
+//! workers drain.
 //!
 //! # Per-request observability
 //!
-//! Every accepted connection gets a monotonic request id, echoed back
-//! in an `x-qi-request-id` response header. Queue time is measured from
-//! accept to worker pickup (`serve.queue.wait` histogram,
+//! Every request gets a monotonic id, echoed back in an
+//! `x-qi-request-id` response header. Queue time is measured from
+//! dispatch to worker pickup (`serve.queue.wait` histogram,
 //! `serve.queue.depth` gauge); handler time feeds a per-route
-//! `serve.http.{route}` span + latency histogram. With
-//! [`ServerConfig::access_log`] set, one structured line per request is
-//! written to stderr or an append-only file; with
-//! [`ServerConfig::slow_ms`] set, requests over the threshold
-//! additionally log their full per-stage span breakdown, captured in a
-//! request-local registry and merged into the global one afterwards.
+//! `serve.http.{route}` span + latency histogram. Connection-level
+//! counters: `serve.conn.accepted`, `serve.conn.reused` (requests
+//! beyond a connection's first), `serve.conn.pipelined` (requests
+//! parsed behind another in one read event), `serve.conn.idle_closed`,
+//! `serve.conn.rejected`. With [`ServerConfig::access_log`] set, one
+//! structured line per request is written to stderr or an append-only
+//! file; with [`ServerConfig::slow_ms`] set, requests over the
+//! threshold additionally log their full per-stage span breakdown.
 
 use crate::artifact::DomainArtifact;
-use crate::http::{read_request, Request, RequestError, Response};
+use crate::http::{Request, RequestError, Response};
 use crate::store::{CacheEntry, Store};
 use qi_runtime::json::{Arr, Obj};
+use qi_runtime::netpoll::{self, PollFd, Waker};
 use qi_runtime::{resolve_threads, JobQueue, Telemetry};
-use std::io;
-use std::io::Write;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Ceiling on requests a single connection may have in flight (queued
+/// or executing) before the reactor stops parsing more of its buffer —
+/// per-connection backpressure so one pipelining client cannot occupy
+/// the whole worker queue.
+const MAX_INFLIGHT_PER_CONN: usize = 64;
+
+/// Stop buffering a connection's input beyond this many bytes while it
+/// is at its in-flight cap.
+const MAX_BUFFERED_INPUT: usize = 256 * 1024;
+
+/// How long a closed-but-undrained connection may absorb stray request
+/// bytes before being dropped (avoids an RST discarding the response).
+const DRAIN_WINDOW: Duration = Duration::from_millis(250);
+
+/// Byte budget for that drain.
+const DRAIN_BUDGET: usize = 1 << 20;
 
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port `0` picks an ephemeral port.
     pub addr: String,
-    /// Worker threads (`0` → [`resolve_threads`] default).
+    /// Worker threads (`0` → [`resolve_threads`] default, floored at 2
+    /// so one slow ingest cannot starve every cached read).
     pub threads: usize,
-    /// Bounded connection queue depth; beyond it the acceptor sheds
-    /// load with `503`.
+    /// Bounded request queue depth; beyond it requests are shed with
+    /// `503`.
     pub queue_depth: usize,
     /// Cap on request bodies, in bytes.
     pub max_body: usize,
-    /// Per-connection socket read timeout, in milliseconds.
+    /// How long a partially received request may sit before the
+    /// connection is answered `408` and closed, in milliseconds.
     pub read_timeout_ms: u64,
-    /// Per-connection socket write timeout, in milliseconds.
+    /// How long a connection may stay write-blocked on an unread
+    /// response before it is dropped, in milliseconds.
     pub write_timeout_ms: u64,
+    /// How long an idle keep-alive connection (no request in progress)
+    /// is retained, in milliseconds.
+    pub idle_timeout_ms: u64,
+    /// Requests served over one connection before the server closes it
+    /// (`connection: close` on the final response). Bounds per-client
+    /// resource pinning.
+    pub max_requests_per_conn: u64,
+    /// Concurrent-connection ceiling; accepts beyond it are refused
+    /// with a best-effort `503`.
+    pub max_connections: usize,
+    /// Snapshot file `POST /admin/reload` re-reads when the request
+    /// body names no other path.
+    pub snapshot_path: Option<String>,
     /// Access-log sink: `None` disables it, `"stderr"` logs to stderr,
     /// anything else is an append-only file path.
     pub access_log: Option<String>,
@@ -63,10 +125,14 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 0,
-            queue_depth: 64,
+            queue_depth: 1024,
             max_body: 256 * 1024,
             read_timeout_ms: 5_000,
             write_timeout_ms: 5_000,
+            idle_timeout_ms: 5_000,
+            max_requests_per_conn: 10_000,
+            max_connections: 1024,
+            snapshot_path: None,
             access_log: None,
             slow_ms: None,
         }
@@ -117,13 +183,33 @@ impl AccessLog {
     }
 }
 
-/// One accepted connection waiting for a worker.
+/// One parsed request waiting for a worker.
 struct Job {
-    stream: TcpStream,
+    /// Connection slab slot + generation guarding stale completions.
+    token: usize,
+    generation: u64,
+    /// Position in the connection's response order.
+    seq: u64,
     /// Monotonic request id, echoed as `x-qi-request-id`.
     id: u64,
-    /// When the acceptor enqueued the connection.
+    /// Whether the response should be framed `connection: keep-alive`.
+    keep_alive: bool,
+    /// When the reactor enqueued the request.
     enqueued: Instant,
+    request: Request,
+}
+
+/// A rendered response travelling back from a worker to the reactor.
+struct Done {
+    token: usize,
+    generation: u64,
+    seq: u64,
+    /// Full serialized wire bytes (head + body).
+    bytes: Vec<u8>,
+    /// Close the connection once these bytes are written.
+    close: bool,
+    /// The handler asked the whole server to stop (admin shutdown).
+    shutdown: bool,
 }
 
 /// A configured, not-yet-started server.
@@ -138,6 +224,7 @@ pub struct Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    waker: Waker,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -156,21 +243,25 @@ impl Server {
         }
     }
 
-    /// Bind the listener and start the acceptor + worker pool in a
+    /// Bind the listener and start the reactor + worker pool in a
     /// background thread. The returned handle knows the bound address
     /// (useful with port `0`).
     pub fn start(self) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&self.config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let access_log = AccessLog::open(self.config.access_log.as_deref())?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let (waker, wake_rx) = netpoll::waker()?;
         let flag = Arc::clone(&shutdown);
+        let reactor_waker = waker.clone();
         let thread = std::thread::Builder::new()
             .name("qi-serve".to_string())
-            .spawn(move || run(listener, addr, self, access_log, flag))?;
+            .spawn(move || run(listener, self, access_log, flag, reactor_waker, wake_rx))?;
         Ok(ServerHandle {
             addr,
             shutdown,
+            waker,
             thread: Some(thread),
         })
     }
@@ -193,7 +284,8 @@ impl ServerHandle {
     /// Request a graceful stop and wait for in-flight requests to
     /// drain. Idempotent.
     pub fn shutdown(&mut self) {
-        trigger_shutdown(&self.shutdown, self.addr);
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -206,32 +298,129 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Flip the stop flag and poke the blocking `accept` with a throwaway
-/// connection so the acceptor notices immediately.
-fn trigger_shutdown(flag: &AtomicBool, addr: SocketAddr) {
-    if !flag.swap(true, Ordering::SeqCst) {
-        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+/// A response completed (or synthesized) for one position in a
+/// connection's pipeline.
+struct Completed {
+    bytes: Vec<u8>,
+    close: bool,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    generation: u64,
+    input: crate::http::RequestBuf,
+    /// Serialized response bytes not yet written, and the write cursor
+    /// into them.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Out-of-order completed responses awaiting their turn.
+    pending: BTreeMap<u64, Completed>,
+    /// Next sequence number to assign at dispatch / next to splice.
+    next_seq: u64,
+    next_write: u64,
+    /// Requests dispatched to workers, not yet completed.
+    inflight: usize,
+    /// Requests parsed on this connection so far.
+    served: u64,
+    /// Stop parsing new requests (close requested, error, shutdown).
+    closing: bool,
+    /// Close the socket once `out` is flushed and nothing is in flight.
+    close_after_write: bool,
+    /// Write side shut, absorbing stray bytes before the final close.
+    draining: bool,
+    drain_deadline: Instant,
+    drain_budget: usize,
+    /// Peer sent FIN; no more input will arrive.
+    peer_closed: bool,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, generation: u64) -> Conn {
+        Conn {
+            stream,
+            generation,
+            input: crate::http::RequestBuf::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            next_write: 0,
+            inflight: 0,
+            served: 0,
+            closing: false,
+            close_after_write: false,
+            draining: false,
+            drain_deadline: Instant::now(),
+            drain_budget: DRAIN_BUDGET,
+            peer_closed: false,
+            last_activity: Instant::now(),
+        }
+    }
+
+    fn has_unwritten(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Move any in-order completed responses into the write buffer.
+    fn splice(&mut self) {
+        while let Some(done) = self.pending.remove(&self.next_write) {
+            self.out.extend_from_slice(&done.bytes);
+            if done.close {
+                self.closing = true;
+                self.close_after_write = true;
+            }
+            self.next_write += 1;
+        }
+    }
+
+    /// All dispatched work answered and flushed.
+    fn quiescent(&self) -> bool {
+        self.inflight == 0 && self.pending.is_empty() && !self.has_unwritten()
     }
 }
 
-/// Acceptor + worker pool; runs on the dedicated server thread until
+/// What to do with a connection after an event.
+#[derive(PartialEq)]
+enum Disposition {
+    Keep,
+    Drop,
+}
+
+/// Reactor + worker pool; runs on the dedicated server thread until
 /// shutdown.
 fn run(
     listener: TcpListener,
-    addr: SocketAddr,
     server: Server,
     access_log: AccessLog,
     shutdown: Arc<AtomicBool>,
+    waker: Waker,
+    wake_rx: netpoll::WakeReceiver,
 ) {
     let Server {
         store,
         telemetry,
         config,
     } = server;
-    let workers = resolve_threads(config.threads);
+    // Floor of 2: with one worker a multi-millisecond ingest would
+    // head-of-line block every cached read behind it.
+    let workers = resolve_threads(config.threads).max(2);
     let queue: JobQueue<Job> = JobQueue::bounded(config.queue_depth);
+    let completions: Mutex<Vec<Done>> = Mutex::new(Vec::new());
     let next_id = AtomicU64::new(1);
     telemetry.gauge("serve.workers", workers as u64);
+    // Pre-register the connection counters so a scrape sees the full
+    // family even before the first keep-alive client shows up.
+    for name in [
+        "serve.conn.accepted",
+        "serve.conn.reused",
+        "serve.conn.pipelined",
+        "serve.conn.idle_closed",
+        "serve.conn.rejected",
+    ] {
+        telemetry.add(name, 0);
+    }
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -239,98 +428,560 @@ fn run(
                 while let Some(job) = queue.pop() {
                     telemetry.observe("serve.queue.wait", job.enqueued.elapsed().as_nanos() as u64);
                     telemetry.gauge("serve.queue.depth", queue.len() as u64);
-                    handle_connection(
-                        job,
-                        &store,
-                        &telemetry,
-                        &config,
-                        &access_log,
-                        &shutdown,
-                        addr,
-                    );
+                    let done = handle_job(job, &store, &telemetry, &config, &access_log);
+                    completions
+                        .lock()
+                        .expect("completion queue poisoned")
+                        .push(done);
+                    waker.wake();
                 }
             });
         }
 
-        for accepted in listener.incoming() {
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = accepted else { continue };
-            // One request per connection: Nagle only delays the tail of
-            // our two-write responses, so turn it off.
-            let _ = stream.set_nodelay(true);
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms)));
-            let _ = stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms)));
-            let job = Job {
-                stream,
-                id: next_id.fetch_add(1, Ordering::Relaxed),
-                enqueued: Instant::now(),
-            };
-            if let Err(mut rejected) = queue.push(job) {
-                // Queue full: shed load here instead of queueing grief.
-                telemetry.incr("serve.shed");
-                let _ =
-                    Response::error(503, "server is at capacity").write_to(&mut rejected.stream);
-            }
-            telemetry.gauge_max("serve.queue.depth.max", queue.len() as u64);
-        }
-
+        let mut reactor = Reactor {
+            listener: Some(listener),
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_generation: 0,
+            scratch: vec![0u8; 64 * 1024],
+            queue: &queue,
+            completions: &completions,
+            next_id: &next_id,
+            telemetry: &telemetry,
+            config: &config,
+            access_log: &access_log,
+            shutdown: &shutdown,
+            wake_rx,
+            shutting_down: false,
+        };
+        reactor.run();
         // Stop feeding, let workers drain what is already queued.
         queue.close();
     });
 }
 
-/// Serve one connection: read a request, route it, write the response.
-/// Never panics outward — a handler panic becomes a `500`.
-fn handle_connection(
+struct Reactor<'a> {
+    /// Dropped (port closed) when shutdown begins.
+    listener: Option<TcpListener>,
+    /// Connection slab + free list; `live` counts occupied slots.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    next_generation: u64,
+    /// Shared read scratch buffer.
+    scratch: Vec<u8>,
+    queue: &'a JobQueue<Job>,
+    completions: &'a Mutex<Vec<Done>>,
+    next_id: &'a AtomicU64,
+    telemetry: &'a Telemetry,
+    config: &'a ServerConfig,
+    access_log: &'a AccessLog,
+    shutdown: &'a AtomicBool,
+    wake_rx: netpoll::WakeReceiver,
+    shutting_down: bool,
+}
+
+impl Reactor<'_> {
+    fn run(&mut self) {
+        let mut pollfds: Vec<PollFd> = Vec::new();
+        // pollfds[i] → what it watches: 0 = waker, 1 = listener,
+        // 2+slot = connection slot.
+        let mut slots: Vec<usize> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) && !self.shutting_down {
+                self.begin_shutdown();
+            }
+            if self.shutting_down && self.live == 0 {
+                break;
+            }
+
+            pollfds.clear();
+            slots.clear();
+            pollfds.push(PollFd::new(self.wake_rx.as_raw_fd(), true, false));
+            slots.push(usize::MAX);
+            if let Some(listener) = &self.listener {
+                if self.live < self.config.max_connections {
+                    pollfds.push(PollFd::new(listener.as_raw_fd(), true, false));
+                    slots.push(usize::MAX - 1);
+                }
+            }
+            let now = Instant::now();
+            let mut timeout: Option<Duration> = None;
+            for (slot, conn) in self.conns.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                let readable = conn.draining
+                    || (!conn.closing
+                        && conn.inflight + conn.pending.len() < MAX_INFLIGHT_PER_CONN
+                        && conn.input.len() < MAX_BUFFERED_INPUT
+                        && !conn.peer_closed);
+                let writable = conn.has_unwritten();
+                pollfds.push(PollFd::new(conn.stream.as_raw_fd(), readable, writable));
+                slots.push(slot);
+                if let Some(deadline) = self.deadline_of(conn) {
+                    let wait = deadline.saturating_duration_since(now);
+                    timeout = Some(timeout.map_or(wait, |t: Duration| t.min(wait)));
+                }
+            }
+
+            match netpoll::poll_fds(&mut pollfds, timeout) {
+                Ok(_) => {}
+                Err(_) => continue,
+            }
+
+            if pollfds[0].readable() {
+                self.wake_rx.drain();
+            }
+            // Completions may be pending even without a wake edge (the
+            // wake can coalesce with a previous drain), so always sweep.
+            self.apply_completions();
+
+            for (i, pollfd) in pollfds.iter().enumerate().skip(1) {
+                if !pollfd.ready() {
+                    continue;
+                }
+                match slots[i] {
+                    s if s == usize::MAX - 1 => self.accept_ready(),
+                    slot => {
+                        let mut disposition = Disposition::Keep;
+                        if pollfd.failed() {
+                            disposition = Disposition::Drop;
+                        } else {
+                            if pollfd.readable() {
+                                disposition = self.conn_readable(slot);
+                            }
+                            if disposition == Disposition::Keep && pollfd.writable() {
+                                disposition = self.conn_writable(slot);
+                            }
+                        }
+                        if disposition == Disposition::Drop {
+                            self.remove(slot);
+                        }
+                    }
+                }
+            }
+
+            self.expire_deadlines();
+        }
+    }
+
+    /// The instant at which this connection needs attention absent any
+    /// readiness: idle close, partial-request timeout, write stall, or
+    /// end of its post-close drain window.
+    fn deadline_of(&self, conn: &Conn) -> Option<Instant> {
+        if conn.draining {
+            return Some(conn.drain_deadline);
+        }
+        if conn.has_unwritten() {
+            return Some(conn.last_activity + Duration::from_millis(self.config.write_timeout_ms));
+        }
+        if conn.inflight > 0 || !conn.pending.is_empty() {
+            return None; // a worker owns the clock
+        }
+        if !conn.input.is_empty() {
+            return Some(conn.last_activity + Duration::from_millis(self.config.read_timeout_ms));
+        }
+        Some(conn.last_activity + Duration::from_millis(self.config.idle_timeout_ms))
+    }
+
+    fn begin_shutdown(&mut self) {
+        self.shutting_down = true;
+        self.listener = None; // closes the port
+        for slot in 0..self.conns.len() {
+            let Some(conn) = &mut self.conns[slot] else {
+                continue;
+            };
+            conn.closing = true;
+            if conn.quiescent() && !conn.draining {
+                self.remove(slot);
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.live >= self.config.max_connections {
+                        self.telemetry.incr("serve.conn.rejected");
+                        let _ = stream.set_nodelay(true);
+                        let mut stream = stream;
+                        let _ = stream.write_all(
+                            &Response::error(503, "too many connections").serialize(false),
+                        );
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.telemetry.incr("serve.conn.accepted");
+                    let generation = self.next_generation;
+                    self.next_generation += 1;
+                    let conn = Conn::new(stream, generation);
+                    let slot = match self.free.pop() {
+                        Some(slot) => {
+                            self.conns[slot] = Some(conn);
+                            slot
+                        }
+                        None => {
+                            self.conns.push(Some(conn));
+                            self.conns.len() - 1
+                        }
+                    };
+                    self.live += 1;
+                    // A just-accepted socket usually has the request
+                    // bytes already queued: read immediately instead of
+                    // paying one extra poll round trip.
+                    if self.conn_readable(slot) == Disposition::Drop {
+                        self.remove(slot);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn remove(&mut self, slot: usize) {
+        if self.conns[slot].take().is_some() {
+            self.live -= 1;
+            self.free.push(slot);
+        }
+    }
+
+    fn conn_readable(&mut self, slot: usize) -> Disposition {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return Disposition::Keep;
+        };
+        if conn.draining {
+            return Self::drain_readable(conn, &mut self.scratch);
+        }
+        let mut got_bytes = false;
+        loop {
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.input.extend(&self.scratch[..n]);
+                    conn.last_activity = Instant::now();
+                    got_bytes = true;
+                    if n < self.scratch.len() {
+                        break; // socket very likely drained
+                    }
+                    if conn.input.len() >= MAX_BUFFERED_INPUT {
+                        break; // backpressure: parse what we have first
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Disposition::Drop,
+            }
+        }
+        if got_bytes {
+            self.parse_and_dispatch(slot);
+        }
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return Disposition::Keep;
+        };
+        if conn.peer_closed {
+            conn.closing = true;
+            if conn.quiescent() {
+                return Disposition::Drop;
+            }
+        }
+        Disposition::Keep
+    }
+
+    /// Absorb (and discard) bytes on a connection whose response is
+    /// already fully written and whose write side is shut.
+    fn drain_readable(conn: &mut Conn, scratch: &mut [u8]) -> Disposition {
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => return Disposition::Drop,
+                Ok(n) => {
+                    if n >= conn.drain_budget {
+                        return Disposition::Drop;
+                    }
+                    conn.drain_budget -= n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Disposition::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Disposition::Drop,
+            }
+        }
+    }
+
+    /// Pull every complete request out of a connection's input buffer
+    /// and dispatch them to the worker queue.
+    fn parse_and_dispatch(&mut self, slot: usize) {
+        let mut parsed_this_event = 0u64;
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.closing
+                || conn.inflight + conn.pending.len() >= MAX_INFLIGHT_PER_CONN
+                || self.shutting_down
+            {
+                break;
+            }
+            match conn.input.next_request(self.config.max_body) {
+                Ok(Some(request)) => {
+                    parsed_this_event += 1;
+                    self.dispatch(slot, request);
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    self.read_error(slot, err);
+                    break;
+                }
+            }
+        }
+        if parsed_this_event > 1 {
+            self.telemetry
+                .add("serve.conn.pipelined", parsed_this_event - 1);
+        }
+        // Synthesized responses (shed/error) may be writable right now.
+        if let Some(conn) = self.conns[slot].as_mut() {
+            conn.splice();
+            if conn.has_unwritten() && self.conn_writable(slot) == Disposition::Drop {
+                self.remove(slot);
+            }
+        }
+    }
+
+    /// Hand one parsed request to the workers (or shed it with `503`).
+    fn dispatch(&mut self, slot: usize, request: Request) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let conn = self.conns[slot].as_mut().expect("dispatch on live conn");
+        conn.served += 1;
+        if conn.served > 1 {
+            self.telemetry.incr("serve.conn.reused");
+        }
+        let keep_alive = request.keep_alive()
+            && conn.served < self.config.max_requests_per_conn
+            && !self.shutting_down;
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        if !keep_alive {
+            // No request after this one will be answered; stop parsing.
+            conn.closing = true;
+        }
+        let job = Job {
+            token: slot,
+            generation: conn.generation,
+            seq,
+            id,
+            keep_alive,
+            enqueued: Instant::now(),
+            request,
+        };
+        match self.queue.push(job) {
+            Ok(()) => {
+                conn.inflight += 1;
+                self.telemetry
+                    .gauge_max("serve.queue.depth.max", self.queue.len() as u64);
+            }
+            Err(job) => {
+                // Queue full: shed this request, keep the connection.
+                self.telemetry.incr("serve.shed");
+                let response = Response::error(503, "server is at capacity")
+                    .header("x-qi-request-id", job.id.to_string());
+                conn.pending.insert(
+                    seq,
+                    Completed {
+                        bytes: response.serialize(job.keep_alive),
+                        close: !job.keep_alive,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A parse error: answer the mapped status at this pipeline
+    /// position, then close.
+    fn read_error(&mut self, slot: usize, err: RequestError) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (status, message) = match err {
+            RequestError::HeadTooLarge => (431, "request head too large".to_string()),
+            RequestError::BodyTooLarge => (413, "request body too large".to_string()),
+            RequestError::Malformed(what) => (400, what),
+            RequestError::Io(_) => (408, "timed out reading request".to_string()),
+            RequestError::Closed => unreachable!("incremental parser never reports Closed"),
+        };
+        self.telemetry.incr("serve.errors.read");
+        let response = Response::error(status, &message).header("x-qi-request-id", id.to_string());
+        self.access_log.log(&access_line(
+            id,
+            "-",
+            "read_error",
+            "-",
+            status,
+            response.body.len(),
+            Duration::ZERO,
+            Duration::ZERO,
+        ));
+        let conn = self.conns[slot].as_mut().expect("error on live conn");
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.pending.insert(
+            seq,
+            Completed {
+                bytes: response.serialize(false),
+                close: true,
+            },
+        );
+        conn.closing = true;
+    }
+
+    /// Move worker completions into their connections' write buffers
+    /// and push bytes opportunistically.
+    fn apply_completions(&mut self) {
+        let done: Vec<Done> =
+            std::mem::take(&mut *self.completions.lock().expect("completion queue poisoned"));
+        let mut touched: Vec<usize> = Vec::new();
+        for done in done {
+            if done.shutdown {
+                self.shutdown.store(true, Ordering::SeqCst);
+            }
+            let Some(conn) = self.conns.get_mut(done.token).and_then(Option::as_mut) else {
+                continue; // connection died while the worker ran
+            };
+            if conn.generation != done.generation {
+                continue; // slot was recycled
+            }
+            conn.inflight -= 1;
+            conn.pending.insert(
+                done.seq,
+                Completed {
+                    bytes: done.bytes,
+                    close: done.close,
+                },
+            );
+            conn.splice();
+            if !touched.contains(&done.token) {
+                touched.push(done.token);
+            }
+        }
+        for slot in touched {
+            if self.conn_writable(slot) == Disposition::Drop {
+                self.remove(slot);
+            }
+        }
+        // The admin handler may have just requested shutdown; apply it
+        // before the next poll so no new request slips in.
+        if self.shutdown.load(Ordering::SeqCst) && !self.shutting_down {
+            self.begin_shutdown();
+        }
+    }
+
+    /// Flush as much of the write buffer as the socket accepts; decide
+    /// the connection's fate when it empties.
+    fn conn_writable(&mut self, slot: usize) -> Disposition {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return Disposition::Keep;
+        };
+        while conn.has_unwritten() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => return Disposition::Drop,
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Disposition::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Disposition::Drop,
+            }
+        }
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.close_after_write && conn.inflight == 0 && conn.pending.is_empty() {
+            // Everything flushed; close politely. If the peer might
+            // still be sending (e.g. the body we refused), absorb
+            // briefly so our FIN-then-close never becomes an RST that
+            // discards the response.
+            if conn.peer_closed {
+                return Disposition::Drop;
+            }
+            let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+            conn.draining = true;
+            conn.drain_deadline = Instant::now() + DRAIN_WINDOW;
+            return Disposition::Keep;
+        }
+        if self.shutting_down {
+            let conn = self.conns[slot].as_mut().expect("checked above");
+            if conn.quiescent() && !conn.draining {
+                return Disposition::Drop;
+            }
+        }
+        Disposition::Keep
+    }
+
+    /// Close connections whose deadline passed: idle keep-alives,
+    /// half-sent requests (`408`), stalled writers, expired drains.
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            let Some(deadline) = self.deadline_of(conn) else {
+                continue;
+            };
+            if now < deadline {
+                continue;
+            }
+            let conn = self.conns[slot].as_mut().expect("checked above");
+            if conn.draining || conn.has_unwritten() {
+                // Drain window over / writer stalled: just drop.
+                self.remove(slot);
+            } else if !conn.input.is_empty() && !conn.closing {
+                // Half a request arrived, then silence: answer 408.
+                self.read_error(
+                    slot,
+                    RequestError::Io(io::Error::from(io::ErrorKind::TimedOut)),
+                );
+                let conn = self.conns[slot].as_mut().expect("still live");
+                conn.splice();
+                if self.conn_writable(slot) == Disposition::Drop {
+                    self.remove(slot);
+                }
+            } else {
+                if !conn.closing {
+                    self.telemetry.incr("serve.conn.idle_closed");
+                }
+                self.remove(slot);
+            }
+        }
+    }
+}
+
+/// Worker-side request execution: route, render, serialize.
+fn handle_job(
     job: Job,
     store: &Store,
     telemetry: &Telemetry,
     config: &ServerConfig,
     access_log: &AccessLog,
-    shutdown: &Arc<AtomicBool>,
-    addr: SocketAddr,
-) {
+) -> Done {
     let Job {
-        mut stream,
+        token,
+        generation,
+        seq,
         id,
+        keep_alive,
         enqueued,
+        request,
     } = job;
     let queue_wait = enqueued.elapsed();
     let started = Instant::now();
-    let request = match read_request(&mut stream, config.max_body) {
-        Ok(request) => request,
-        Err(RequestError::Closed) => return,
-        Err(err) => {
-            let (status, message) = match err {
-                RequestError::HeadTooLarge => (431, "request head too large".to_string()),
-                RequestError::BodyTooLarge => (413, "request body too large".to_string()),
-                RequestError::Malformed(what) => (400, what),
-                RequestError::Io(_) => (408, "timed out reading request".to_string()),
-                RequestError::Closed => unreachable!(),
-            };
-            telemetry.incr("serve.errors.read");
-            let response =
-                Response::error(status, &message).header("x-qi-request-id", id.to_string());
-            let _ = response.write_to(&mut stream);
-            access_log.log(&access_line(
-                id,
-                "-",
-                "read_error",
-                "-",
-                status,
-                response.body.len(),
-                started.elapsed(),
-                queue_wait,
-            ));
-            // The peer may still be sending the bytes we refused to read.
-            // Closing now would RST the connection and discard the error
-            // response; send our FIN first and briefly drain instead.
-            drain_before_close(&mut stream);
-            return;
-        }
-    };
 
     // With slow-request tracing on, handler spans go into a request-
     // local registry (so the breakdown is this request's alone), then
@@ -343,7 +994,7 @@ fn handle_connection(
     telemetry.incr(requests_key);
     let timed = telemetry.timed(span_key);
     let response = catch_unwind(AssertUnwindSafe(|| {
-        handle(&request, store, telemetry, effective)
+        handle(&request, store, telemetry, effective, config)
     }))
     .unwrap_or_else(|_| {
         telemetry.incr("serve.panics");
@@ -354,8 +1005,12 @@ fn handle_connection(
     if response.status >= 400 {
         telemetry.incr(&format!("serve.errors.{route}"));
     }
+    let shutdown = route == "shutdown" && response.status == 200;
+    // A successful shutdown response closes its connection regardless
+    // of what the request asked for.
+    let keep_alive = keep_alive && !shutdown;
     let response = response.header("x-qi-request-id", id.to_string());
-    let _ = response.write_to(&mut stream);
+    let bytes = response.serialize(keep_alive);
 
     access_log.log(&access_line(
         id,
@@ -382,9 +1037,13 @@ fn handle_connection(
         telemetry.absorb(&snapshot);
     }
 
-    // The shutdown endpoint answers first, then stops the server.
-    if route == "shutdown" && response.status == 200 {
-        trigger_shutdown(shutdown, addr);
+    Done {
+        token,
+        generation,
+        seq,
+        bytes,
+        close: !keep_alive,
+        shutdown,
     }
 }
 
@@ -408,22 +1067,6 @@ fn access_line(
     )
 }
 
-/// Half-close the write side and swallow (bounded) whatever request
-/// bytes are still in flight, so the error response survives the close.
-fn drain_before_close(stream: &mut TcpStream) {
-    use std::io::Read;
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let mut sink = [0u8; 4096];
-    let mut budget = 1 << 20;
-    while budget > 0 {
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => budget -= n.min(budget),
-        }
-    }
-}
-
 /// Stable route label for telemetry (no per-domain cardinality).
 fn route_name(request: &Request) -> &'static str {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
@@ -435,6 +1078,7 @@ fn route_name(request: &Request) -> &'static str {
         ("GET", ["domains", _, "tree"]) => "tree",
         ("GET", ["domains", _, "explain"]) => "explain",
         ("POST", ["domains", _, "interfaces"]) => "ingest",
+        ("POST", ["admin", "reload"]) => "reload",
         ("POST", ["admin", "shutdown"]) => "shutdown",
         _ => "other",
     }
@@ -451,6 +1095,7 @@ fn route_keys(route: &'static str) -> (&'static str, &'static str) {
         "tree" => ("serve.requests.tree", "serve.http.tree"),
         "explain" => ("serve.requests.explain", "serve.http.explain"),
         "ingest" => ("serve.requests.ingest", "serve.http.ingest"),
+        "reload" => ("serve.requests.reload", "serve.http.reload"),
         "shutdown" => ("serve.requests.shutdown", "serve.http.shutdown"),
         _ => ("serve.requests.other", "serve.http.other"),
     }
@@ -467,6 +1112,7 @@ fn handle(
     store: &Store,
     telemetry: &Telemetry,
     effective: &Telemetry,
+    config: &ServerConfig,
 ) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
@@ -509,6 +1155,7 @@ fn handle(
             cached_get(request, store, domain, "explain", telemetry, explain)
         }
         ("POST", ["domains", domain, "interfaces"]) => ingest(request, store, domain, effective),
+        ("POST", ["admin", "reload"]) => reload(request, store, telemetry, config),
         ("POST", ["admin", "shutdown"]) => {
             Response::json(200, Obj::new().str("status", "shutting down").finish())
         }
@@ -519,14 +1166,55 @@ fn handle(
     }
 }
 
+/// `POST /admin/reload`: load a snapshot file and swap the whole store
+/// to it without dropping a single live connection. The body may name
+/// the snapshot path; empty falls back to the path the server was
+/// started with ([`ServerConfig::snapshot_path`]).
+fn reload(
+    request: &Request,
+    store: &Store,
+    telemetry: &Telemetry,
+    config: &ServerConfig,
+) -> Response {
+    let body = String::from_utf8_lossy(&request.body);
+    let body_path = body.trim();
+    let path = if body_path.is_empty() {
+        match config.snapshot_path.as_deref() {
+            Some(path) => path,
+            None => return Response::error(
+                400,
+                "no snapshot path: server started without --snapshot and request body names none",
+            ),
+        }
+    } else {
+        body_path
+    };
+    let _span = telemetry.timed("serve.reload.load");
+    let snapshot = match crate::snapshot::load_snapshot(Path::new(path)) {
+        Ok(snapshot) => snapshot,
+        Err(err) => return Response::error(400, &format!("loading snapshot {path:?}: {err}")),
+    };
+    let domains = store.reload(snapshot, telemetry);
+    telemetry.incr("serve.reloads");
+    Response::json(
+        200,
+        Obj::new()
+            .str("status", "reloaded")
+            .str("path", path)
+            .u64("domains", domains as u64)
+            .finish(),
+    )
+}
+
 /// `GET /metrics` with content negotiation: the Prometheus text
 /// exposition when the `Accept` header asks for `text/plain`, sorted
 /// JSON otherwise.
 fn metrics(request: &Request, telemetry: &Telemetry) -> Response {
     let snapshot = telemetry.snapshot();
+    // Media-type matching is case-insensitive (RFC 7231 §3.1.1.1).
     let wants_prometheus = request
         .header("accept")
-        .is_some_and(|accept| accept.contains("text/plain"));
+        .is_some_and(|accept| accept.to_ascii_lowercase().contains("text/plain"));
     if wants_prometheus {
         Response::with_type(
             200,
@@ -707,6 +1395,7 @@ mod tests {
         Request {
             method: method.to_string(),
             path: path.to_string(),
+            version_minor: 1,
             headers: Vec::new(),
             body: body.to_vec(),
         }
@@ -728,7 +1417,8 @@ mod tests {
     fn routes_cover_the_api_surface() {
         let store = auto_store();
         let telemetry = Telemetry::off();
-        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry);
+        let config = ServerConfig::default();
+        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config);
 
         let health = ok(&request("GET", "/healthz", b""));
         assert_eq!(health.status, 200);
@@ -766,26 +1456,55 @@ mod tests {
     }
 
     #[test]
+    fn reload_without_a_path_is_a_client_error() {
+        let store = auto_store();
+        let telemetry = Telemetry::off();
+        let config = ServerConfig::default();
+        let response = handle(
+            &request("POST", "/admin/reload", b""),
+            &store,
+            &telemetry,
+            &telemetry,
+            &config,
+        );
+        assert_eq!(response.status, 400);
+        let text = String::from_utf8(response.body.to_vec()).unwrap();
+        assert!(text.contains("no snapshot path"), "{text}");
+
+        let response = handle(
+            &request("POST", "/admin/reload", b"/definitely/not/a/file.snap"),
+            &store,
+            &telemetry,
+            &telemetry,
+            &config,
+        );
+        assert_eq!(response.status, 400);
+    }
+
+    #[test]
     fn metrics_negotiates_prometheus_and_json() {
         let store = auto_store();
         let telemetry = Telemetry::deterministic();
         telemetry.incr("probe.hits");
         drop(telemetry.timed("probe.work"));
+        let config = ServerConfig::default();
 
         let json = handle(
             &request("GET", "/metrics", b""),
             &store,
             &telemetry,
             &telemetry,
+            &config,
         );
         assert_eq!(json.status, 200);
         assert_eq!(json.content_type, "application/json");
         assert!(json.body.starts_with(b"{"));
 
+        // Accept matching is case-insensitive per RFC 7231.
         let mut req = request("GET", "/metrics", b"");
         req.headers
-            .push(("accept".to_string(), "text/plain".to_string()));
-        let prom = handle(&req, &store, &telemetry, &telemetry);
+            .push(("accept".to_string(), "TEXT/Plain".to_string()));
+        let prom = handle(&req, &store, &telemetry, &telemetry, &config);
         assert_eq!(prom.status, 200);
         assert_eq!(prom.content_type, "text/plain; version=0.0.4");
         let text = String::from_utf8(prom.body.to_vec()).unwrap();
@@ -797,6 +1516,7 @@ mod tests {
     fn ingest_validates_and_rebuilds() {
         let store = auto_store();
         let telemetry = Telemetry::off();
+        let config = ServerConfig::default();
         let before = store.get("auto").unwrap().interfaces();
 
         let bad = handle(
@@ -804,6 +1524,7 @@ mod tests {
             &store,
             &telemetry,
             &telemetry,
+            &config,
         );
         assert_eq!(bad.status, 400);
 
@@ -819,6 +1540,7 @@ mod tests {
             &store,
             &telemetry,
             &local,
+            &config,
         );
         assert_eq!(
             good.status,
@@ -836,6 +1558,7 @@ mod tests {
             &store,
             &telemetry,
             &telemetry,
+            &config,
         );
         assert_eq!(missing.status, 404);
     }
@@ -858,6 +1581,7 @@ mod tests {
             route_name(&request("POST", "/domains/auto/interfaces", b"")),
             "ingest"
         );
+        assert_eq!(route_name(&request("POST", "/admin/reload", b"")), "reload");
         assert_eq!(route_name(&request("DELETE", "/x", b"")), "other");
     }
 

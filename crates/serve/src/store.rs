@@ -71,7 +71,9 @@ pub struct Store {
     generation: AtomicU64,
     ingest_lock: Mutex<()>,
     lexicon: Lexicon,
-    policy: NamingPolicy,
+    /// Behind a lock because a hot reload may install a snapshot built
+    /// under a different policy.
+    policy: RwLock<NamingPolicy>,
     telemetry: Telemetry,
 }
 
@@ -93,7 +95,7 @@ impl Store {
             generation: AtomicU64::new(0),
             ingest_lock: Mutex::new(()),
             lexicon,
-            policy,
+            policy: RwLock::new(policy),
             telemetry,
         }
     }
@@ -107,7 +109,7 @@ impl Store {
 
     /// The naming policy every artifact was (and will be) built under.
     pub fn policy(&self) -> NamingPolicy {
-        self.policy
+        *self.policy.read().unwrap()
     }
 
     /// Slugs of all served domains, sorted.
@@ -192,11 +194,12 @@ impl Store {
         // Clone the current base under a brief read lock; the expensive
         // rebuild below runs with no lock held, so readers keep going.
         let base = self.domains.read().unwrap().get(&slug)?.clone();
+        let policy = self.policy();
         let rebuilt = Arc::new(ingest_interface(
             &base,
             interface,
             &self.lexicon,
-            self.policy,
+            policy,
             telemetry,
         ));
         self.domains
@@ -221,6 +224,53 @@ impl Store {
         Some(rebuilt)
     }
 
+    /// Replace the whole served corpus with a loaded snapshot — the hot
+    /// path behind `POST /admin/reload`. Serialized against ingests by
+    /// the same lock, swapped in under one brief write lock, so live
+    /// readers either keep the artifact `Arc` they already cloned or
+    /// see the complete new map; nothing in between. Returns the number
+    /// of domains now served.
+    ///
+    /// Snapshot files deliberately do not persist artifact versions
+    /// (every loaded artifact carries version 0), so reload assigns
+    /// every incoming artifact a version strictly above anything the
+    /// rendered-response cache may have recorded — a cached body can
+    /// never validate against a post-reload artifact it was not
+    /// rendered from.
+    pub fn reload(&self, snapshot: Snapshot, telemetry: &Telemetry) -> usize {
+        let _serialized = self.ingest_lock.lock().unwrap();
+        let Snapshot { policy, domains } = snapshot;
+        let floor = self
+            .domains
+            .read()
+            .unwrap()
+            .values()
+            .map(|a| a.version)
+            .max()
+            .unwrap_or(0);
+        let count = domains.len();
+        let map: BTreeMap<String, Arc<DomainArtifact>> = domains
+            .into_iter()
+            .map(|mut artifact| {
+                artifact.version = floor + 1;
+                (artifact.slug(), Arc::new(artifact))
+            })
+            .collect();
+        *self.policy.write().unwrap() = policy;
+        *self.domains.write().unwrap() = map;
+        // Bump after the swap, as in ingest: a reader that observes the
+        // new generation is guaranteed to also observe the new map.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        let mut cache = self.cache.write().unwrap();
+        let dropped = cache.len() as u64;
+        cache.clear();
+        drop(cache);
+        if dropped > 0 {
+            telemetry.add("serve.cache.invalidations", dropped);
+        }
+        count
+    }
+
     /// Capture the current state as a snapshot value (for persistence).
     pub fn snapshot(&self) -> Snapshot {
         let domains = self
@@ -231,7 +281,7 @@ impl Store {
             .map(|a| (**a).clone())
             .collect();
         Snapshot {
-            policy: self.policy,
+            policy: self.policy(),
             domains,
         }
     }
@@ -312,6 +362,57 @@ mod tests {
         );
         // Version validation alone also rejects a non-current entry.
         assert!(store.cached("book", "labels", 99).is_none());
+    }
+
+    #[test]
+    fn reload_swaps_the_corpus_and_defeats_stale_cache_entries() {
+        let lexicon = Lexicon::builtin();
+        let telemetry = Telemetry::off();
+        let policy = NamingPolicy::default();
+        let auto = build_artifact(&qi_datasets::auto::domain(), &lexicon, policy, &telemetry);
+        let book = build_artifact(&qi_datasets::book::domain(), &lexicon, policy, &telemetry);
+        let store = Store::new(vec![auto], lexicon, policy, telemetry.clone());
+
+        // Grow the live corpus past the snapshot we will reload.
+        let extra = qi_schema::text_format::parse("interface extra\n- Make\n").unwrap();
+        store.ingest("auto", extra).unwrap();
+        let grown = store.get("auto").unwrap();
+        let old_reader = Arc::clone(&grown); // a request mid-flight
+        let rendered = crate::http::Response::json(200, "{}".to_string());
+        store.insert_cached(
+            "auto".to_string(),
+            "labels",
+            CacheEntry::of(grown.version, &rendered),
+        );
+        let generation = store.generation();
+
+        // Reload a two-domain snapshot whose `auto` lacks the ingest.
+        let lexicon = Lexicon::builtin();
+        let snap_auto = build_artifact(&qi_datasets::auto::domain(), &lexicon, policy, &telemetry);
+        let snapshot = Snapshot {
+            policy,
+            domains: vec![snap_auto, book],
+        };
+        assert_eq!(store.reload(snapshot, &telemetry), 2);
+
+        assert_eq!(store.len(), 2);
+        assert!(store.get("book").is_some());
+        let reloaded = store.get("auto").unwrap();
+        assert_eq!(reloaded.interfaces(), grown.interfaces() - 1);
+        assert!(
+            reloaded.version > grown.version,
+            "reloaded artifacts must out-version every pre-reload one \
+             ({} vs {})",
+            reloaded.version,
+            grown.version
+        );
+        assert_eq!(store.generation(), generation + 1);
+        assert!(
+            store.cached("auto", "labels", reloaded.version).is_none(),
+            "pre-reload rendered bodies must not validate"
+        );
+        // The in-flight reader's Arc is still fully usable.
+        assert_eq!(old_reader.interfaces(), grown.interfaces());
     }
 
     #[test]

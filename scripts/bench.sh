@@ -106,9 +106,13 @@ awk '
 cargo build --release -p qi-bench --bin qi-serve-bench
 ./target/release/qi-serve-bench --out BENCH_serve.json
 awk '
-    function field(line, key,   v) {
-        v = line
-        if (!sub(".*\"" key "\":", "", v)) return ""
+    # First occurrence of the key: the sweep section repeats generic
+    # names like requests_per_sec, so a greedy match would grab the
+    # wrong (last) one.
+    function field(line, key,   i, v) {
+        i = index(line, "\"" key "\":")
+        if (!i) return ""
+        v = substr(line, i + length(key) + 3)
         sub(/[,}].*/, "", v)
         return v
     }
@@ -128,6 +132,17 @@ awk '
             rps, p50, p99
         if (speedup + 0 < 10)
             printf "WARNING: snapshot cold start is below the 10x target (%.1fx)\n", speedup
+
+        # Keep-alive vs close at the peak client count: persistent
+        # pipelined connections vs one connection per request.
+        ka_clients = field(line, "keepalive_clients")
+        ka_rps = field(line, "keepalive_requests_per_sec")
+        ka_p50 = field(line, "keepalive_p50_us")
+        ka_p99 = field(line, "keepalive_p99_us")
+        close_rps = field(line, "close_requests_per_sec")
+        ka_x = field(line, "keepalive_speedup")
+        printf "keep-alive: %.0f req/s @%d clients (p50 %.0f us, p99 %.0f us) vs %.0f req/s close (%.1fx)\n", \
+            ka_rps, ka_clients, ka_p50, ka_p99, close_rps, ka_x
 
         # Incremental-ingest table: the full re-label path (before) vs
         # the delta path (after), plus what ingest traffic does to

@@ -26,13 +26,16 @@ cargo fmt --check
 # off and on, print the deltas, and fail when the off-run's cluster
 # median regresses more than 5% against the committed BENCH_core.json
 # reference (absolute floor of 0.5 ms filters single-core jitter on
-# sub-millisecond stages).
-if git show HEAD:BENCH_core.json >/tmp/check_bench_ref.json 2>/dev/null; then
-    cargo build --release -p qi-bench
-    ./target/release/qi-bench --iters 3 --warmup 1 --out /tmp/check_bench_off.json
-    ./target/release/qi-bench --iters 3 --warmup 1 --telemetry \
-        --out /tmp/check_bench_on.json
-    awk '
+# sub-millisecond stages). The guard runs right after the clippy/test
+# compiles, whose sustained load can leave a small CPU budget throttled
+# for a minute; a miss is retried once after an idle cooldown so a
+# throttled box doesn't masquerade as a code regression.
+telemetry_guard() {
+    ./target/release/qi-bench --iters 3 --warmup 1 \
+        --out /tmp/check_bench_off.json \
+        && ./target/release/qi-bench --iters 3 --warmup 1 --telemetry \
+            --out /tmp/check_bench_on.json \
+        && awk '
         function grab(file, out,   line, n, parts, i, name, ms) {
             getline line < file
             close(file)
@@ -63,15 +66,24 @@ if git show HEAD:BENCH_core.json >/tmp/check_bench_ref.json 2>/dev/null; then
             }
             printf "telemetry-off cluster median within 5%% of committed reference\n"
         }'
+}
+if git show HEAD:BENCH_core.json >/tmp/check_bench_ref.json 2>/dev/null; then
+    cargo build --release -p qi-bench
+    if ! telemetry_guard; then
+        echo "telemetry-overhead guard missed; cooling down and retrying once"
+        sleep 45
+        telemetry_guard
+    fi
 else
     echo "no committed BENCH_core.json; skipping telemetry-overhead guard"
 fi
 
 # Server smoke stage: build a snapshot, cold-start the server on an
 # ephemeral port, probe the read endpoints with the std-only client,
-# ingest one interface, and stop it cleanly through the admin endpoint.
-# Everything rides the release `qi` binary built above — no curl, no
-# network beyond loopback.
+# ingest one interface, reuse one keep-alive socket across requests,
+# hot-reload the snapshot under live traffic, and stop it cleanly
+# through the admin endpoint. Everything rides the release `qi` binary
+# built above — no curl, no network beyond loopback.
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 ./target/release/qi snapshot build "$smoke_dir/corpus.snap"
@@ -153,6 +165,47 @@ printf 'interface smoke\n- Make\n- Model\n' > "$smoke_dir/smoke.qis"
 ./target/release/qi fetch --body "$smoke_dir/smoke.qis" \
     "http://$addr/domains/auto/interfaces" | grep -q '"interfaces":21' \
     || { echo "FAIL: ingest probe"; exit 1; }
+# Keep-alive: two requests over one socket. The client side asserts
+# reuse itself (qi fetch --keep-alive fails if any response announces
+# connection: close); the server side is asserted through the
+# serve.conn.* counters scraped below.
+./target/release/qi fetch --keep-alive --repeat 2 "http://$addr/healthz" \
+    | grep -c '"status":"ok"' | grep -q '^2$' \
+    || { echo "FAIL: keep-alive probe did not answer twice on one socket"; exit 1; }
+# Hot reload round trip under live keep-alive traffic: the smoke ingest
+# above took auto to 21 interfaces; reloading the startup snapshot must
+# take it back to 20 without dropping a single read on a persistent
+# connection that spans the swap.
+./target/release/qi fetch "http://$addr/domains" | grep -q '"interfaces":21' \
+    || { echo "FAIL: pre-reload listing is missing the ingested interface"; exit 1; }
+./target/release/qi fetch --keep-alive --repeat 200 "http://$addr/domains/auto/labels" \
+    >/dev/null 2>"$smoke_dir/reader.err" &
+reader_pid=$!
+./target/release/qi fetch --post "http://$addr/admin/reload" \
+    | grep -q '"status":"reloaded"' \
+    || { echo "FAIL: /admin/reload probe"; exit 1; }
+wait "$reader_pid" || {
+    echo "FAIL: keep-alive reader dropped during reload:"
+    cat "$smoke_dir/reader.err"
+    exit 1
+}
+./target/release/qi fetch "http://$addr/domains" | grep -q '"interfaces":20' \
+    || { echo "FAIL: reload did not restore the snapshot corpus"; exit 1; }
+# The reactor's connection counters must all be exposed in the
+# Prometheus scrape, and the keep-alive probes above must have moved
+# the accepted/reused ones.
+./target/release/qi fetch --accept text/plain "http://$addr/metrics" \
+    > "$smoke_dir/metrics_conn.prom"
+for family in accepted reused idle_closed pipelined; do
+    grep -q "^qi_serve_conn_${family}_total " "$smoke_dir/metrics_conn.prom" \
+        || { echo "FAIL: serve.conn.$family missing from Prometheus scrape"; exit 1; }
+done
+if grep -q '^qi_serve_conn_accepted_total 0$' "$smoke_dir/metrics_conn.prom"; then
+    echo "FAIL: serve.conn.accepted never incremented"; exit 1
+fi
+if grep -q '^qi_serve_conn_reused_total 0$' "$smoke_dir/metrics_conn.prom"; then
+    echo "FAIL: serve.conn.reused never incremented"; exit 1
+fi
 ./target/release/qi fetch --post "http://$addr/admin/shutdown" >/dev/null
 wait "$serve_pid" || { echo "FAIL: server exited uncleanly"; exit 1; }
 # Every probe above must have left a structured access-log line with a
@@ -161,4 +214,4 @@ grep -q 'req=.* route=metrics path=/metrics status=200 .*latency_us=' "$smoke_di
     || { echo "FAIL: access log is missing the /metrics request"; exit 1; }
 grep -c '^req=' "$smoke_dir/access.log" | grep -qv '^0$' \
     || { echo "FAIL: access log is empty"; exit 1; }
-echo "server smoke stage passed (snapshot -> serve -> probe -> access log -> shutdown)"
+echo "server smoke stage passed (snapshot -> serve -> probe -> keep-alive -> reload -> shutdown)"

@@ -90,10 +90,15 @@ usage:
       --access-log <sink>         per-request log: \"stderr\" or a file
       --slow-ms <n>               log span breakdowns of slow requests
   qi fetch [--post] [--body <f>] [--accept <type>] [--etag <tag>]
-           [--include] <url>      tiny std-only HTTP client (probes);
+           [--include] [--keep-alive] [--repeat <n>]
+           <url>                  tiny std-only HTTP client (probes);
                                   --etag sends if-none-match and treats
                                   304 Not Modified as success, --include
-                                  prints the response head; other
+                                  prints the response head; --repeat
+                                  sends the request n times, and with
+                                  --keep-alive all repeats share one
+                                  connection (failing if the server
+                                  answers connection: close); other
                                   non-2xx responses exit non-zero with
                                   the status line on stderr
 ";
@@ -549,6 +554,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown argument {other:?}; try `qi help`")),
         }
     }
+    config.snapshot_path = snapshot_path.map(str::to_string);
     let lexicon = Lexicon::builtin();
     let telemetry = qi_runtime::Telemetry::new();
     let store = match snapshot_path {
@@ -587,14 +593,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_fetch(args: &[String]) -> Result<(), String> {
-    let usage =
-        "usage: qi fetch [--post] [--body <file>] [--accept <type>] [--etag <tag>] [--include] <url>";
+    let usage = "usage: qi fetch [--post] [--body <file>] [--accept <type>] [--etag <tag>] \
+         [--include] [--keep-alive] [--repeat <n>] <url>";
     let mut url: Option<&str> = None;
     let mut post = false;
     let mut body_path: Option<&str> = None;
     let mut accept: Option<&str> = None;
     let mut etag: Option<&str> = None;
     let mut include = false;
+    let mut keep_alive = false;
+    let mut repeat: u32 = 1;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -603,6 +611,17 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
             "--accept" => accept = Some(iter.next().ok_or("--accept needs a media type")?.as_str()),
             "--etag" => etag = Some(iter.next().ok_or("--etag needs a tag")?.as_str()),
             "--include" => include = true,
+            "--keep-alive" => keep_alive = true,
+            "--repeat" => {
+                repeat = iter
+                    .next()
+                    .ok_or("--repeat needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}"))?;
+                if repeat == 0 {
+                    return Err("--repeat must be at least 1".to_string());
+                }
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             value if url.is_none() => url = Some(value),
             extra => return Err(format!("unexpected argument {extra:?}; {usage}")),
@@ -627,62 +646,149 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
     } else {
         "GET"
     };
-
-    use std::io::{Read, Write};
-    let mut stream = std::net::TcpStream::connect(hostport)
-        .map_err(|e| format!("connecting to {hostport}: {e}"))?;
-    let timeout = Some(std::time::Duration::from_secs(10));
-    let _ = stream.set_read_timeout(timeout);
-    let _ = stream.set_write_timeout(timeout);
     let accept_header = accept
         .map(|media| format!("accept: {media}\r\n"))
         .unwrap_or_default();
     let etag_header = etag
         .map(|tag| format!("if-none-match: {tag}\r\n"))
         .unwrap_or_default();
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nhost: {hostport}\r\n{accept_header}{etag_header}content-length: {}\r\nconnection: close\r\n\r\n",
-        body.len()
-    )
-    .and_then(|()| stream.write_all(&body))
-    .map_err(|e| format!("sending request: {e}"))?;
-    let mut raw = Vec::new();
-    stream
-        .read_to_end(&mut raw)
-        .map_err(|e| format!("reading response: {e}"))?;
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or("malformed response (no header terminator)")?;
-    let head = String::from_utf8_lossy(&raw[..head_end]);
-    let status: u16 = head
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed status line {:?}", head.lines().next()))?;
-    if include {
-        println!("{head}");
-    }
-    let payload = &raw[head_end + 4..];
-    print!("{}", String::from_utf8_lossy(payload));
-    if !payload.ends_with(b"\n") && !payload.is_empty() {
-        println!();
-    }
-    // `304 Not Modified` is the cache-validation success path: the
-    // client's `--etag` still names the server's bytes, so there is no
-    // body to print. Announce it so scripts can assert on it.
-    if status == 304 {
-        eprintln!("{}", head.lines().next().unwrap_or(""));
-        return Ok(());
-    }
-    if !(200..300).contains(&status) {
-        // Surface the server's own status line before failing, so
-        // scripts see *why* the probe was refused.
-        eprintln!("{}", head.lines().next().unwrap_or(""));
-        return Err(format!("{method} {url} -> {status}"));
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let request = {
+        let mut request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {hostport}\r\n{accept_header}{etag_header}\
+             content-length: {}\r\nconnection: {connection}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        request.extend_from_slice(&body);
+        request
+    };
+
+    use std::io::{Read, Write};
+    let timeout = Some(std::time::Duration::from_secs(10));
+    let connect = || -> Result<std::net::TcpStream, String> {
+        let stream = std::net::TcpStream::connect(hostport)
+            .map_err(|e| format!("connecting to {hostport}: {e}"))?;
+        let _ = stream.set_read_timeout(timeout);
+        let _ = stream.set_write_timeout(timeout);
+        Ok(stream)
+    };
+
+    // One persistent connection with --keep-alive, one per request
+    // without. In keep-alive mode responses are framed by their
+    // `content-length` (the socket stays open, so EOF never delimits),
+    // and a response claiming `connection: close` fails the probe: the
+    // whole point of the flag is asserting the server reuses the
+    // connection.
+    let mut stream = if keep_alive { Some(connect()?) } else { None };
+    let mut buffered: Vec<u8> = Vec::new();
+    for _ in 0..repeat {
+        let (head, payload) = if keep_alive {
+            let stream = stream.as_mut().expect("keep-alive stream");
+            stream
+                .write_all(&request)
+                .map_err(|e| format!("sending request: {e}"))?;
+            read_framed_response(stream, &mut buffered)?
+        } else {
+            let mut stream = connect()?;
+            stream
+                .write_all(&request)
+                .map_err(|e| format!("sending request: {e}"))?;
+            let mut raw = Vec::new();
+            stream
+                .read_to_end(&mut raw)
+                .map_err(|e| format!("reading response: {e}"))?;
+            let head_end = raw
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .ok_or("malformed response (no header terminator)")?;
+            (
+                String::from_utf8_lossy(&raw[..head_end]).into_owned(),
+                raw[head_end + 4..].to_vec(),
+            )
+        };
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line {:?}", head.lines().next()))?;
+        if keep_alive
+            && header_value(&head, "connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        {
+            return Err(format!(
+                "--keep-alive: server answered `connection: close` ({})",
+                head.lines().next().unwrap_or("")
+            ));
+        }
+        if include {
+            println!("{head}");
+        }
+        print!("{}", String::from_utf8_lossy(&payload));
+        if !payload.ends_with(b"\n") && !payload.is_empty() {
+            println!();
+        }
+        // `304 Not Modified` is the cache-validation success path: the
+        // client's `--etag` still names the server's bytes, so there is
+        // no body to print. Announce it so scripts can assert on it.
+        if status == 304 {
+            eprintln!("{}", head.lines().next().unwrap_or(""));
+            continue;
+        }
+        if !(200..300).contains(&status) {
+            // Surface the server's own status line before failing, so
+            // scripts see *why* the probe was refused.
+            eprintln!("{}", head.lines().next().unwrap_or(""));
+            return Err(format!("{method} {url} -> {status}"));
+        }
     }
     Ok(())
+}
+
+/// First value of a response header (case-insensitive name match).
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().skip(1).find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        n.trim().eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+/// Read one `content-length`-framed response off a persistent
+/// connection; surplus (pipelined) bytes stay in `buffered`.
+fn read_framed_response(
+    stream: &mut std::net::TcpStream,
+    buffered: &mut Vec<u8>,
+) -> Result<(String, Vec<u8>), String> {
+    use std::io::Read;
+    let mut chunk = [0u8; 16 * 1024];
+    let head_end = loop {
+        if let Some(pos) = buffered.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("reading response: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-response".to_string());
+        }
+        buffered.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buffered[..head_end - 4]).into_owned();
+    let length: usize = header_value(&head, "content-length")
+        .map(|v| v.parse().map_err(|e| format!("bad content-length: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    while buffered.len() < head_end + length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("reading response: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        buffered.extend_from_slice(&chunk[..n]);
+    }
+    let payload = buffered[head_end..head_end + length].to_vec();
+    buffered.drain(..head_end + length);
+    Ok((head, payload))
 }
 
 /// Re-derive every domain's clusters with the indexed matcher purely to

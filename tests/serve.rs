@@ -1,5 +1,6 @@
 //! End-to-end server tests over a real socket: consistent reads during
-//! ingest, request-limit enforcement, and graceful shutdown.
+//! ingest, request-limit enforcement, keep-alive reuse, pipelining,
+//! hot snapshot reload, and graceful shutdown.
 
 use qi_core::NamingPolicy;
 use qi_lexicon::Lexicon;
@@ -387,6 +388,240 @@ fn explain_endpoint_serves_decision_provenance() {
 
     let (status, _) = get(addr, "/domains/unknown/explain");
     assert_eq!(status, 404);
+}
+
+/// A persistent connection that reads content-length-framed responses
+/// one at a time, keeping any pipelined surplus buffered for the next
+/// read.
+struct KeepAliveClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: SocketAddr) -> KeepAliveClient {
+        let stream = TcpStream::connect(addr).expect("connecting to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        KeepAliveClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, raw: &[u8]) {
+        self.stream.write_all(raw).expect("sending request");
+    }
+
+    fn get(&mut self, path: &str) {
+        self.send(format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes());
+    }
+
+    /// Read exactly one response; panics on EOF mid-response.
+    fn response(&mut self) -> (u16, Vec<(String, String)>, String) {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = self.stream.read(&mut chunk).expect("reading response");
+            assert!(n > 0, "peer closed mid-head");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).to_string();
+        let status = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let headers: Vec<(String, String)> = head
+            .lines()
+            .skip(1)
+            .filter_map(|line| line.split_once(": "))
+            .map(|(name, value)| (name.to_ascii_lowercase(), value.to_string()))
+            .collect();
+        let length: usize = header(&headers, "content-length")
+            .map(|v| v.parse().expect("numeric content-length"))
+            .unwrap_or(0);
+        while self.buf.len() < head_end + length {
+            let n = self.stream.read(&mut chunk).expect("reading response");
+            assert!(n > 0, "peer closed mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8_lossy(&self.buf[head_end..head_end + length]).to_string();
+        self.buf.drain(..head_end + length);
+        (status, headers, body)
+    }
+
+    /// The connection reached EOF (with nothing buffered).
+    fn at_eof(&mut self) -> bool {
+        let mut probe = [0u8; 64];
+        self.buf.is_empty() && matches!(self.stream.read(&mut probe), Ok(0))
+    }
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests_and_reports_reuse() {
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+
+    let mut client = KeepAliveClient::connect(addr);
+    for _ in 0..3 {
+        client.get("/healthz");
+        let (status, headers, body) = client.response();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"ok\",\"domains\":1}");
+        assert_eq!(
+            header(&headers, "connection"),
+            Some("keep-alive"),
+            "HTTP/1.1 responses must not close by default: {headers:?}"
+        );
+    }
+    // The reactor's connection counters see one accept, two reuses.
+    client.get("/metrics");
+    let (status, _, metrics) = client.response();
+    assert_eq!(status, 200);
+    assert_eq!(counter_in(&metrics, "serve.conn.accepted"), 1);
+    assert!(counter_in(&metrics, "serve.conn.reused") >= 2, "{metrics}");
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_on_one_socket() {
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+
+    let mut client = KeepAliveClient::connect(addr);
+    // Two requests in a single segment; responses must come back FIFO
+    // even though the two handlers run on different workers.
+    client.send(
+        b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n\
+          GET /domains HTTP/1.1\r\nhost: t\r\n\r\n",
+    );
+    let (status, _, first) = client.response();
+    assert_eq!(status, 200);
+    assert_eq!(first, "{\"status\":\"ok\",\"domains\":1}");
+    let (status, _, second) = client.response();
+    assert_eq!(status, 200);
+    assert!(second.contains("\"slug\":\"auto\""), "{second}");
+
+    client.get("/metrics");
+    let (_, _, metrics) = client.response();
+    assert!(
+        counter_in(&metrics, "serve.conn.pipelined") >= 1,
+        "{metrics}"
+    );
+}
+
+#[test]
+fn malformed_second_request_errors_only_after_the_first_answer() {
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+
+    let mut client = KeepAliveClient::connect(addr);
+    client.send(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\nTOTAL GARBAGE\r\n\r\n");
+    let (status, headers, _) = client.response();
+    assert_eq!(status, 200, "the valid first request must still answer");
+    assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+    let (status, headers, _) = client.response();
+    assert_eq!(status, 400, "the garbage second request maps to 400");
+    assert_eq!(
+        header(&headers, "connection"),
+        Some("close"),
+        "a parse error must end the connection: {headers:?}"
+    );
+    assert!(client.at_eof(), "server must close after the error");
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed_after_the_timeout() {
+    let config = ServerConfig {
+        idle_timeout_ms: 150,
+        ..ServerConfig::default()
+    };
+    let handle = start(auto_store(), config);
+    let addr = handle.addr();
+
+    let mut client = KeepAliveClient::connect(addr);
+    client.get("/healthz");
+    let (status, _, _) = client.response();
+    assert_eq!(status, 200);
+
+    // Go quiet past the idle timeout: the server hangs up on us.
+    assert!(client.at_eof(), "idle connection must be disconnected");
+
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        counter_in(&metrics, "serve.conn.idle_closed") >= 1,
+        "{metrics}"
+    );
+}
+
+#[test]
+fn request_cap_per_connection_closes_politely() {
+    let config = ServerConfig {
+        max_requests_per_conn: 2,
+        ..ServerConfig::default()
+    };
+    let handle = start(auto_store(), config);
+    let addr = handle.addr();
+
+    let mut client = KeepAliveClient::connect(addr);
+    client.get("/healthz");
+    let (_, headers, _) = client.response();
+    assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+    client.get("/healthz");
+    let (status, headers, _) = client.response();
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "connection"),
+        Some("close"),
+        "the capping response must announce the close: {headers:?}"
+    );
+    assert!(client.at_eof());
+}
+
+#[test]
+fn admin_reload_swaps_snapshots_under_live_keep_alive_traffic() {
+    let lexicon = Lexicon::builtin();
+    let telemetry = Telemetry::off();
+    let policy = NamingPolicy::default();
+    let auto = build_artifact(&qi_datasets::auto::domain(), &lexicon, policy, &telemetry);
+    let book = build_artifact(&qi_datasets::book::domain(), &lexicon, policy, &telemetry);
+    let snapshot = qi_serve::Snapshot {
+        policy,
+        domains: vec![auto, book],
+    };
+    let path = std::env::temp_dir().join(format!("qi-reload-{}.snap", std::process::id()));
+    qi_serve::write_snapshot(&path, &snapshot).expect("writing reload snapshot");
+
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+
+    // A keep-alive connection opened *before* the reload...
+    let mut survivor = KeepAliveClient::connect(addr);
+    survivor.get("/domains");
+    let (status, _, before) = survivor.response();
+    assert_eq!(status, 200);
+    assert!(before.contains("\"slug\":\"auto\""), "{before}");
+    assert!(!before.contains("\"slug\":\"book\""), "{before}");
+
+    let raw = path.to_string_lossy();
+    let (status, reply) = post(addr, "/admin/reload", &raw);
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"domains\":2"), "{reply}");
+
+    // ...keeps serving, and sees the swapped corpus.
+    survivor.get("/domains");
+    let (status, _, after) = survivor.response();
+    assert_eq!(status, 200, "live connections must survive a reload");
+    assert!(after.contains("\"slug\":\"book\""), "{after}");
+    survivor.get("/domains/book/labels");
+    let (status, _, labels) = survivor.response();
+    assert_eq!(status, 200);
+    assert!(labels.contains("\"domain\":\"Book\""), "{labels}");
+
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
