@@ -27,12 +27,12 @@
 //! parallel configuration is measured against exactly that run.
 
 use qi_core::{LabeledInterface, Labeler, NamingPolicy};
-use qi_datasets::{replicate_schemas, PreparedDomain};
+use qi_datasets::{replicate_schemas, DriftConfig, DriftReport, PreparedDomain};
 use qi_eval::matcher_eval::evaluate_matcher;
 use qi_eval::metrics::{fields_accuracy, integrated_shape, internal_accuracy};
 use qi_eval::Panel;
 use qi_lexicon::Lexicon;
-use qi_mapping::matcher::{match_by_labels_with, MatcherConfig};
+use qi_mapping::matcher::{match_by_labels_with, MatchStats, MatcherConfig};
 use qi_runtime::{json, parallel_map, resolve_threads, CacheStats};
 use qi_text::LabelText;
 use std::time::Instant;
@@ -42,6 +42,7 @@ struct Config {
     cache: bool,
     warmup: usize,
     iters: usize,
+    scale: usize,
     verify_naive: bool,
     telemetry: bool,
     trace_out: Option<String>,
@@ -55,6 +56,7 @@ impl Default for Config {
             cache: true,
             warmup: 1,
             iters: 5,
+            scale: 1000,
             verify_naive: false,
             telemetry: false,
             trace_out: None,
@@ -67,7 +69,7 @@ fn usage_error(message: &str) -> ! {
     eprintln!("qi-bench: {message}");
     eprintln!(
         "usage: qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] \
-         [--verify-naive] [--telemetry] [--trace-out PATH] [--out PATH]"
+         [--scale N] [--verify-naive] [--telemetry] [--trace-out PATH] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -90,6 +92,7 @@ fn parse_args() -> Config {
             "--threads" => config.threads = int_for("--threads", value_for("--threads")),
             "--warmup" => config.warmup = int_for("--warmup", value_for("--warmup")),
             "--iters" => config.iters = int_for("--iters", value_for("--iters")).max(1),
+            "--scale" => config.scale = int_for("--scale", value_for("--scale")),
             "--verify-naive" => config.verify_naive = true,
             "--telemetry" => config.telemetry = true,
             "--trace-out" => config.trace_out = Some(value_for("--trace-out")),
@@ -97,7 +100,7 @@ fn parse_args() -> Config {
             "--help" | "-h" => {
                 println!(
                     "qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] \
-                     [--verify-naive] [--telemetry] [--trace-out PATH] [--out PATH]"
+                     [--scale N] [--verify-naive] [--telemetry] [--trace-out PATH] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -252,6 +255,9 @@ fn main() {
         println!("qi-bench: verify-naive OK (indexed == naive on all 10x corpora)");
     }
 
+    drop(scaled_10);
+    drop(scaled_100);
+
     // ---- merge ----------------------------------------------------------
     let merge = time_stage(config.warmup, config.iters, || {
         for domain in &domains {
@@ -287,6 +293,178 @@ fn main() {
         }
     });
 
+    // ---- full-scale stages: cloned baselines + drift corpus -------------
+    // `--scale 0` skips these; the default `--scale 1000` is the 1000×
+    // regime. Three scaled measurements run in sequence, each corpus
+    // built, used and dropped before the next so peak RSS reflects one
+    // corpus, not three:
+    //
+    // * `cluster_scaled_1000x` — renamed replicas (`replicate_schemas`),
+    //   the matcher *throughput* baseline: disjoint vocabularies keep
+    //   indexed candidate generation linear in the replica count.
+    // * the cloned cache ceiling — *verbatim* clones, the cache
+    //   baseline: naive corpus scaling repeats every surface, so
+    //   per-occurrence lexicon lookups hit on all but the first copy.
+    //   (Renamed replicas are useless here: renaming every token makes
+    //   the vocabulary grow linearly, which *understates* how flattering
+    //   cloned corpora are to caches.)
+    // * `drift_scaled` + `label_scaled` — the drift corpus (per-domain
+    //   sharded fuzzy matching, then the full per-domain pipeline:
+    //   matcher clusters → merge → label → eval, nothing held beyond
+    //   one domain's artifacts per worker).
+    //
+    // The cache comparison uses the morphology (`base_form`) cache
+    // only: it is probed once per token occurrence, so its hit rate
+    // tracks vocabulary variety. The resolve/synonymy caches are probed
+    // per scored pair and sit near 1.0 on any corpus shape. Both sides
+    // are measured from a reset cache over the same number of matcher
+    // passes, so warm-up dilution cancels in the comparison.
+    let mut scaled_stages: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut drift_json = "null".to_string();
+    if config.scale > 0 {
+        let scaled_full: Vec<_> = domains
+            .iter()
+            .map(|d| replicate_schemas(&d.schemas, config.scale))
+            .collect();
+        let runs = time_stage(config.warmup.min(1), config.iters.min(2), || {
+            for corpus in &scaled_full {
+                std::hint::black_box(match_by_labels_with(corpus, &lexicon, matcher_config));
+            }
+        });
+        scaled_stages.push((format!("cluster_scaled_{}x", config.scale), runs));
+        drop(scaled_full);
+
+        // The cloned cache ceiling: 20 verbatim copies of each domain,
+        // matched once per pass. Untimed — this probe exists only to
+        // measure the morphology hit rate naive cloning produces.
+        const CEILING_CLONES: usize = 20;
+        let passes = config.warmup.min(1) + config.iters.clamp(1, 2);
+        let verbatim: Vec<Vec<_>> = domains
+            .iter()
+            .map(|d| {
+                let mut corpus = Vec::with_capacity(d.schemas.len() * CEILING_CLONES);
+                for _ in 0..CEILING_CLONES {
+                    corpus.extend_from_slice(&d.schemas);
+                }
+                corpus
+            })
+            .collect();
+        lexicon.reset_caches();
+        let cloned_cache_before = lexicon.morph_cache_stats();
+        for _ in 0..passes {
+            for corpus in &verbatim {
+                std::hint::black_box(match_by_labels_with(corpus, &lexicon, matcher_config));
+            }
+        }
+        let cloned_cache = lexicon
+            .morph_cache_stats()
+            .delta_since(&cloned_cache_before);
+        drop(verbatim);
+
+        // The drift corpus: `domains × scale` independent domains of
+        // realistic label drift (seeded; see qi_datasets::drift).
+        let drift_config = DriftConfig {
+            domains: domains.len() * config.scale,
+            ..DriftConfig::default()
+        };
+        let drift_domains = qi_datasets::generate_drift_corpus(&drift_config, &lexicon);
+        let drift_matcher = MatcherConfig {
+            fuzzy: true,
+            threads: inner,
+            ..MatcherConfig::default()
+        };
+        let mut drift_stats = MatchStats::default();
+        lexicon.reset_caches();
+        let drift_cache_before = lexicon.morph_cache_stats();
+        let runs = time_stage(config.warmup.min(1), config.iters.min(2), || {
+            let per_domain = parallel_map(&drift_domains, config.threads, |_, d| {
+                qi_mapping::match_by_labels_stats(&d.schemas, &lexicon, drift_matcher).1
+            });
+            drift_stats = MatchStats::default();
+            for stats in &per_domain {
+                drift_stats.absorb(stats);
+            }
+        });
+        let drift_cache = lexicon.morph_cache_stats().delta_since(&drift_cache_before);
+        scaled_stages.push(("drift_scaled".to_string(), runs));
+
+        let mut drift_fields = 0u64;
+        let mut drift_acc_sum = 0.0;
+        let runs = time_stage(config.warmup.min(1), config.iters.min(1), || {
+            let per_domain = parallel_map(&drift_domains, config.threads, |_, d| {
+                let mapping = match_by_labels_with(&d.schemas, &lexicon, drift_matcher);
+                let integrated = qi_merge::merge(&d.schemas, &mapping);
+                let labeled = Labeler::new(&lexicon, NamingPolicy::default())
+                    .with_threads(inner)
+                    .with_cache(config.cache)
+                    .label(&d.schemas, &mapping, &integrated);
+                (
+                    labeled.tree.leaves().count() as u64,
+                    fields_accuracy(&labeled),
+                )
+            });
+            drift_fields = per_domain.iter().map(|(f, _)| f).sum();
+            drift_acc_sum = per_domain.iter().map(|(_, a)| a).sum();
+        });
+        scaled_stages.push(("label_scaled".to_string(), runs));
+
+        // The drift corpus must demonstrably exercise the expensive
+        // matcher paths — a silent regression to the cloned regime
+        // makes every scaled number flattering again, so it is a hard
+        // failure, not a warning. The cache comparison only runs in
+        // cached mode (with --no-cache both hit rates are zero).
+        let mut distinct_labels: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let mut drift_interfaces = 0u64;
+        for domain in &drift_domains {
+            drift_interfaces += domain.schemas.len() as u64;
+            for schema in &domain.schemas {
+                for node in schema.nodes() {
+                    if let Some(label) = node.label.as_deref() {
+                        distinct_labels.insert(label);
+                    }
+                }
+            }
+        }
+        let cloned_rate = cloned_cache.hit_rate();
+        let drift_rate = drift_cache.hit_rate();
+        let report = DriftReport {
+            domains: drift_domains.len(),
+            interfaces: drift_interfaces,
+            distinct_labels: distinct_labels.len() as u64,
+            stats: drift_stats,
+            morph_cache: drift_cache,
+        };
+        let ceiling = if config.cache {
+            (cloned_rate - 0.005).max(0.0)
+        } else {
+            1.0
+        };
+        if let Err(e) = report.check(true, ceiling) {
+            eprintln!("qi-bench: drift corpus check failed: {e}");
+            std::process::exit(1);
+        }
+        drift_json = json::Obj::new()
+            .u64("scale", config.scale as u64)
+            .u64("domains", report.domains as u64)
+            .u64("interfaces", report.interfaces)
+            .u64("distinct_labels", report.distinct_labels)
+            .u64("fields_total", report.stats.fields_total)
+            .u64("pairs_accepted", report.stats.pairs_accepted)
+            .u64("accepted_string", report.stats.accepted_string)
+            .u64("accepted_word_set", report.stats.accepted_word_set)
+            .u64("accepted_synonym", report.stats.accepted_synonym)
+            .u64("accepted_fuzzy", report.stats.accepted_fuzzy)
+            .f64("cloned_cache_hit_rate", cloned_rate, DECIMALS)
+            .f64("drift_cache_hit_rate", drift_rate, DECIMALS)
+            .u64("label_scaled_fields", drift_fields)
+            .f64(
+                "label_scaled_mean_fld_acc",
+                drift_acc_sum / drift_domains.len().max(1) as f64,
+                DECIMALS,
+            )
+            .finish();
+    }
+
     // ---- metrics section (untimed) --------------------------------------
     // Matcher counters come from a dedicated probe pass: the timed
     // cluster stage goes through `evaluate_matcher`, which has no
@@ -316,16 +494,30 @@ fn main() {
         println!("qi-bench: wrote chrome trace to {path}");
     }
 
+    // ---- memory audit (untimed) -----------------------------------------
+    // Sampled after the scaled stages (their corpora are the peak
+    // drivers). `VmHWM` is the kernel's own high-water mark for the
+    // process, so it covers every allocation path — arenas, interners,
+    // thread stacks — not just what an allocator hook would see.
+    let memory_json = {
+        let opt = |v: Option<u64>| v.map_or("null".to_string(), |b| b.to_string());
+        json::Obj::new()
+            .raw("peak_rss_bytes", opt(qi_runtime::peak_rss_bytes()))
+            .raw("current_rss_bytes", opt(qi_runtime::current_rss_bytes()))
+            .finish()
+    };
+
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
-    let stages = [
-        ("normalize", &normalize),
-        ("cluster", &cluster),
-        ("cluster_scaled_10x", &cluster_scaled_10x),
-        ("cluster_scaled_100x", &cluster_scaled_100x),
-        ("merge", &merge),
-        ("label", &label),
-        ("evaluate", &evaluate),
+    let mut stages: Vec<(String, Vec<f64>)> = vec![
+        ("normalize".to_string(), normalize),
+        ("cluster".to_string(), cluster),
+        ("cluster_scaled_10x".to_string(), cluster_scaled_10x),
+        ("cluster_scaled_100x".to_string(), cluster_scaled_100x),
+        ("merge".to_string(), merge),
+        ("label".to_string(), label),
+        ("evaluate".to_string(), evaluate),
     ];
+    stages.extend(scaled_stages);
     let stage_list: Vec<String> = stages
         .iter()
         .map(|(name, runs)| stage_json(name, runs))
@@ -333,10 +525,12 @@ fn main() {
     let json = format!(
         concat!(
             "{{\"config\":{{\"threads\":{},\"resolved_workers\":{},\"cache\":{},",
-            "\"warmup\":{},\"iters\":{}}},",
+            "\"warmup\":{},\"iters\":{},\"scale\":{}}},",
             "\"stages\":[{}],",
             "\"caches\":{{\"stemmer\":{},\"lexicon\":{},\"naming_ctx\":{}}},",
             "\"corpus\":{{\"domains\":{},\"mean_fld_acc\":{}}},",
+            "\"drift\":{},",
+            "\"memory\":{},",
             "\"metrics\":{},",
             "\"total_ms\":{}}}"
         ),
@@ -345,12 +539,15 @@ fn main() {
         config.cache,
         config.warmup,
         config.iters,
+        config.scale,
         stage_list.join(","),
         cache_json(&qi_text::porter::stem_cache_stats()),
         cache_json(&lexicon.cache_stats()),
         cache_json(&naming_cache),
         domains.len(),
         number(fld_acc_sum / domains.len() as f64),
+        drift_json,
+        memory_json,
         metrics_json,
         number(total_ms),
     );
@@ -380,5 +577,8 @@ fn main() {
         lexicon.cache_stats().hit_rate() * 100.0,
         naming_cache.hit_rate() * 100.0
     );
+    if let Some(peak) = qi_runtime::peak_rss_bytes() {
+        println!("  peak RSS: {:.1} MiB", peak as f64 / (1 << 20) as f64);
+    }
     println!("  wrote {}", config.out);
 }

@@ -31,6 +31,7 @@ pub mod auto;
 pub mod book;
 pub mod car_rental;
 pub mod domain;
+pub mod drift;
 pub mod hotels;
 pub mod job;
 pub mod real_estate;
@@ -38,6 +39,7 @@ pub mod spec;
 pub mod synth;
 
 pub use domain::{Domain, PreparedDomain};
+pub use drift::{generate_drift_corpus, DriftConfig, DriftReport};
 pub use spec::{f, fi, fm, fu, fui, g, gu, FieldSpec};
 pub use synth::{generate_ladder, replicate_schemas, SynthConfig, SynthDomain};
 

@@ -260,6 +260,18 @@ pub fn generate_ladder(equality_groups: usize, synonymy_groups: usize) -> Domain
 /// byte the base clustering — synonym- and stopword-dependent matches
 /// dissolve. All renamed replicas are isomorphic to each other, and
 /// no cluster ever spans two replicas.
+///
+/// **Cache note.** The renaming also means the corpus *vocabulary*
+/// grows linearly in `k`: every replica's surfaces miss the
+/// per-occurrence lexicon caches once each, so renamed replicas are a
+/// matcher-*throughput* baseline, not a cache ceiling. The cache
+/// ceiling the drift benchmarks compare against is built from
+/// *verbatim* clones — what naive corpus scaling would actually
+/// produce, where every surface repeats and per-occurrence lookups hit
+/// on all but the first copy (see `qi-bench`'s cloned-ceiling probe
+/// and `tests/drift.rs`). This split is deliberate: perturbing the
+/// suffixes here to make replicas cache-friendly would break the
+/// disjoint-vocabulary property the scaling stages rely on.
 pub fn replicate_schemas(schemas: &[SchemaTree], k: usize) -> Vec<SchemaTree> {
     let mut out: Vec<SchemaTree> = Vec::with_capacity(schemas.len() * k);
     out.extend_from_slice(schemas);

@@ -157,6 +157,17 @@ impl Lexicon {
         ]
     }
 
+    /// Counters of the morphology (`base_form`) cache alone. This is
+    /// the one lexicon cache probed once per *token occurrence* (during
+    /// `LabelText` construction) rather than once per scored candidate
+    /// pair, so its hit rate tracks vocabulary variety — the signal the
+    /// drift benchmarks compare against the cloned-corpus ceiling. The
+    /// resolve and synonymy caches are flooded by pair-scoring probes
+    /// of already-seen tokens and sit near 1.0 on any corpus shape.
+    pub fn morph_cache_stats(&self) -> CacheStats {
+        self.base_form_cache.stats()
+    }
+
     /// Drop all memoized entries and reset hit/miss counters — used by
     /// determinism tests so a second run sees the same cold-cache world
     /// as the first.
@@ -270,6 +281,76 @@ impl Lexicon {
                 stack.extend_from_slice(&self.hypernyms[node.0 as usize]);
             }
         }
+        out
+    }
+
+    /// All synonym lemmas of `word` (members of every synset the word
+    /// resolves to, excluding the word itself), in synset/member order —
+    /// a deterministic surface for seeded paraphrase walks, so corpus
+    /// generators never iterate the hash-ordered indexes directly.
+    pub fn synonyms(&self, word: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for id in self.resolve(word) {
+            for lemma in self.synset_members(id) {
+                if lemma != word && !out.contains(lemma) {
+                    out.push(lemma.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Lemmas of every strict ancestor synset of `word`, in
+    /// [`Lexicon::ancestors`] order — the hypernym half of a drift walk.
+    pub fn hypernym_lemmas(&self, word: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for id in self.ancestors(word) {
+            for lemma in self.synset_members(id) {
+                if lemma != word && !out.contains(lemma) {
+                    out.push(lemma.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Lemmas sharing `word`'s Porter stem — the stemmer's inverse
+    /// family, in synset build order. Used by the drift generator to
+    /// emit morphological variants that still stem together.
+    pub fn stem_family(&self, word: &str) -> Vec<String> {
+        self.stem_index
+            .get(&qi_text::stem(word))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Every lemma in synset build order, deduplicated — a deterministic
+    /// vocabulary surface for seeded corpus generators (the hash-ordered
+    /// `lemma_index` must never leak into anything seed-reproducible).
+    pub fn lemmas_in_build_order(&self) -> Vec<String> {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut out: Vec<String> = Vec::new();
+        for members in &self.synsets {
+            for lemma in members {
+                if seen.insert(lemma.as_str()) {
+                    out.push(lemma.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Irregular surface forms whose exception entry maps to `base`
+    /// (`children` for `child`), sorted for determinism — the
+    /// morphology-exception half of the stemmer's inverse families.
+    pub fn surface_variants(&self, base: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .exceptions
+            .iter()
+            .filter(|(_, b)| b.as_str() == base)
+            .map(|(surface, _)| surface.clone())
+            .collect();
+        out.sort();
         out
     }
 

@@ -54,7 +54,7 @@
 //! longer sub-quadratic in time, but O(block) rather than O(n²) memory.
 
 use crate::cluster::FieldRef;
-use crate::matcher::{labels_match_with, MatchStats, MatcherConfig};
+use crate::matcher::{match_tier_with, MatchStats, MatchTier, MatcherConfig};
 use qi_lexicon::{Lexicon, SynsetId};
 use qi_runtime::{parallel_map_chunked, Interner};
 use qi_text::LabelText;
@@ -99,9 +99,9 @@ pub(crate) fn indexed_components(
         let candidates = generate_candidates(fields, lexicon, config, stats);
         let verdicts = score_candidates(fields, &candidates, lexicon, config);
         stats.pairs_scored += candidates.len() as u64;
-        for (&packed, &matched) in candidates.iter().zip(&verdicts) {
-            if matched {
-                stats.pairs_accepted += 1;
+        for (&packed, &verdict) in candidates.iter().zip(&verdicts) {
+            if let Some(tier) = verdict {
+                stats.count_accept(tier);
                 let (i, j) = unpack(packed);
                 if uf.merge(i, j) {
                     stats.clusters_merged += 1;
@@ -145,9 +145,9 @@ fn merge_all_pairs_streaming(
         stats.pairs_generated += block.len() as u64;
         stats.pairs_scored += block.len() as u64;
         let verdicts = score_candidates(fields, block, lexicon, config);
-        for (&packed, &matched) in block.iter().zip(&verdicts) {
-            if matched {
-                stats.pairs_accepted += 1;
+        for (&packed, &verdict) in block.iter().zip(&verdicts) {
+            if let Some(tier) = verdict {
+                stats.count_accept(tier);
                 let (i, j) = unpack(packed);
                 if uf.merge(i, j) {
                     stats.clusters_merged += 1;
@@ -316,18 +316,19 @@ pub(crate) fn signature_chars(stem: &str, lemma: &str) -> impl Iterator<Item = c
 
 /// Score every candidate pair with the full match predicate. Pure, so
 /// large candidate sets fan out on the bounded pool; the verdict vector
-/// is in candidate order either way.
+/// is in candidate order either way. Verdicts carry the accepting
+/// [`MatchTier`] so both engines attribute accepts identically.
 fn score_candidates(
     fields: &[Field],
     candidates: &[u64],
     lexicon: &Lexicon,
     config: MatcherConfig,
-) -> Vec<bool> {
+) -> Vec<Option<MatchTier>> {
     let score_one = |packed: u64| {
         let (i, j) = unpack(packed);
         match (&fields[i].1, &fields[j].1) {
-            (Some(a), Some(b)) => labels_match_with(a, b, lexicon, config),
-            _ => false,
+            (Some(a), Some(b)) => match_tier_with(a, b, lexicon, config),
+            _ => None,
         }
     };
     if candidates.len() >= PARALLEL_SCORING_THRESHOLD {

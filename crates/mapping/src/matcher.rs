@@ -59,6 +59,28 @@ impl Default for MatcherConfig {
     }
 }
 
+/// Which tier of the match predicate accepted a label pair. The tiers
+/// are ordered from cheapest to most expensive evidence; classification
+/// is the *weakest sufficient* tier — a pair is `Fuzzy` only if at least
+/// one token connection genuinely required the fuzzy tier, `Synonym`
+/// only if at least one token needed the lexicon (and none needed
+/// fuzzy), and so on. The drift benchmarks and `DriftReport` use these
+/// to prove a corpus exercises the expensive scoring paths instead of
+/// short-circuiting on identical strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchTier {
+    /// Display strings are ASCII-case-equal.
+    String,
+    /// Content-word key sets are equal (covers reordered words and
+    /// morphological variants that stem together).
+    WordSet,
+    /// At least one token connection needed lexicon synonymy.
+    Synonym,
+    /// At least one token connection needed the fuzzy tier
+    /// (abbreviation or bounded edit distance).
+    Fuzzy,
+}
+
 /// Operational counters of one matcher run. Always collected — every
 /// field is a plain `u64` bumped on paths that already do real work, so
 /// the cost is a handful of register increments per stage, not an
@@ -66,7 +88,8 @@ impl Default for MatcherConfig {
 /// [`qi_runtime::Telemetry`] registry at the run boundary.
 ///
 /// Cross-engine invariant (asserted by `tests/matcher_props.rs`): the
-/// indexed and naive engines report identical `pairs_accepted` and
+/// indexed and naive engines report identical `pairs_accepted`,
+/// per-tier `accepted_*` counters, and
 /// `clusters_merged` on every corpus — the indexed candidate set is a
 /// superset of the matching pairs and both engines merge accepted pairs
 /// in ascending `(i, j)` order with the same clash predicate.
@@ -93,6 +116,17 @@ pub struct MatchStats {
     pub pairs_scored: u64,
     /// Pairs the predicate accepted.
     pub pairs_accepted: u64,
+    /// Accepted pairs whose display strings were equal
+    /// ([`MatchTier::String`]).
+    pub accepted_string: u64,
+    /// Accepted pairs with equal content-word key sets
+    /// ([`MatchTier::WordSet`]).
+    pub accepted_word_set: u64,
+    /// Accepted pairs that needed lexicon synonymy
+    /// ([`MatchTier::Synonym`]).
+    pub accepted_synonym: u64,
+    /// Accepted pairs that needed the fuzzy tier ([`MatchTier::Fuzzy`]).
+    pub accepted_fuzzy: u64,
     /// Accepted pairs that actually united two components (root merges
     /// not blocked by the same-schema clash check).
     pub clusters_merged: u64,
@@ -116,6 +150,10 @@ impl MatchStats {
         telemetry.add("matcher.pairs_generated", self.pairs_generated);
         telemetry.add("matcher.pairs_scored", self.pairs_scored);
         telemetry.add("matcher.pairs_accepted", self.pairs_accepted);
+        telemetry.add("matcher.accepted.string", self.accepted_string);
+        telemetry.add("matcher.accepted.word_set", self.accepted_word_set);
+        telemetry.add("matcher.accepted.synonym", self.accepted_synonym);
+        telemetry.add("matcher.accepted.fuzzy", self.accepted_fuzzy);
         telemetry.add("matcher.clusters_merged", self.clusters_merged);
         telemetry.add("matcher.streaming_blocks", self.streaming_blocks);
         telemetry.add(
@@ -126,6 +164,40 @@ impl MatchStats {
         telemetry.gauge("matcher.postings.synset_buckets", self.synset_buckets);
         telemetry.gauge("matcher.postings.fuzzy_buckets", self.fuzzy_buckets);
         telemetry.gauge_max("matcher.postings.max_bucket_size", self.max_bucket_size);
+    }
+
+    /// Bump the accept counters for one accepted pair.
+    pub(crate) fn count_accept(&mut self, tier: MatchTier) {
+        self.pairs_accepted += 1;
+        match tier {
+            MatchTier::String => self.accepted_string += 1,
+            MatchTier::WordSet => self.accepted_word_set += 1,
+            MatchTier::Synonym => self.accepted_synonym += 1,
+            MatchTier::Fuzzy => self.accepted_fuzzy += 1,
+        }
+    }
+
+    /// Accumulate another run's counters into this one — used when a
+    /// sharded pipeline matches many domains independently and reports
+    /// one corpus-wide total. Volume counters add; index-shape gauges
+    /// take the max; the streaming flag ORs.
+    pub fn absorb(&mut self, other: &MatchStats) {
+        self.fields_total += other.fields_total;
+        self.fields_labeled += other.fields_labeled;
+        self.stem_buckets = self.stem_buckets.max(other.stem_buckets);
+        self.synset_buckets = self.synset_buckets.max(other.synset_buckets);
+        self.fuzzy_buckets = self.fuzzy_buckets.max(other.fuzzy_buckets);
+        self.max_bucket_size = self.max_bucket_size.max(other.max_bucket_size);
+        self.pairs_generated += other.pairs_generated;
+        self.pairs_scored += other.pairs_scored;
+        self.pairs_accepted += other.pairs_accepted;
+        self.accepted_string += other.accepted_string;
+        self.accepted_word_set += other.accepted_word_set;
+        self.accepted_synonym += other.accepted_synonym;
+        self.accepted_fuzzy += other.accepted_fuzzy;
+        self.clusters_merged += other.clusters_merged;
+        self.streaming_fallback |= other.streaming_fallback;
+        self.streaming_blocks += other.streaming_blocks;
     }
 }
 
@@ -172,22 +244,65 @@ pub fn labels_match_with(
     lexicon: &Lexicon,
     config: MatcherConfig,
 ) -> bool {
+    match_tier_with(a, b, lexicon, config).is_some()
+}
+
+/// The match predicate with its verdict classified by [`MatchTier`]:
+/// `None` when the pair does not match, otherwise the weakest tier whose
+/// evidence sufficed. Boolean-equivalent to the original predicate —
+/// per token, `∃wb (key ∨ synonym ∨ fuzzy)` distributes over the
+/// disjunction, so probing the cheap evidence first can never change
+/// whether a token (and hence the pair) matches, only which tier gets
+/// the credit.
+pub fn match_tier_with(
+    a: &LabelText,
+    b: &LabelText,
+    lexicon: &Lexicon,
+    config: MatcherConfig,
+) -> Option<MatchTier> {
     if a.is_empty() || b.is_empty() {
-        return false;
+        return None;
     }
-    if a.string_equal(b) || a.word_equal(b) {
-        return true;
+    if a.string_equal(b) {
+        return Some(MatchTier::String);
+    }
+    if a.word_equal(b) {
+        return Some(MatchTier::WordSet);
     }
     if a.words.len() != b.words.len() {
-        return false;
+        return None;
     }
-    a.words.iter().all(|wa| {
-        b.words.iter().any(|wb| {
-            wa.key() == wb.key()
-                || lexicon.are_synonyms(&wa.lemma, &wb.lemma)
-                || (config.fuzzy && fuzzy_token_match(wa, wb, config))
-        })
-    })
+    let mut needed_synonym = false;
+    let mut needed_fuzzy = false;
+    for wa in &a.words {
+        if b.words.iter().any(|wb| wa.key() == wb.key()) {
+            continue;
+        }
+        if b.words
+            .iter()
+            .any(|wb| lexicon.are_synonyms(&wa.lemma, &wb.lemma))
+        {
+            needed_synonym = true;
+            continue;
+        }
+        if config.fuzzy && b.words.iter().any(|wb| fuzzy_token_match(wa, wb, config)) {
+            needed_fuzzy = true;
+            continue;
+        }
+        return None;
+    }
+    if needed_fuzzy {
+        Some(MatchTier::Fuzzy)
+    } else if needed_synonym {
+        Some(MatchTier::Synonym)
+    } else {
+        // Every token key-matched yet the key sets were unequal — only
+        // reachable when the labels' deduplicated stems coincide as sets
+        // but `word_equal` said no (it cannot: equal cardinality plus a
+        // total key-injection forces set equality). Kept as a defensive
+        // classification rather than an unreachable!().
+        Some(MatchTier::WordSet)
+    }
 }
 
 /// Fuzzy token tier: abbreviation in either direction, or near-identical
@@ -301,10 +416,10 @@ fn naive_components(
             };
             stats.pairs_generated += 1;
             stats.pairs_scored += 1;
-            if !labels_match_with(label_i, label_j, lexicon, config) {
+            let Some(tier) = match_tier_with(label_i, label_j, lexicon, config) else {
                 continue;
-            }
-            stats.pairs_accepted += 1;
+            };
+            stats.count_accept(tier);
             // Merging must not put two fields of one schema in a cluster.
             let ri = uf.find(i);
             let rj = uf.find(j);

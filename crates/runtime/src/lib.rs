@@ -33,6 +33,7 @@ pub mod export;
 pub mod histogram;
 pub mod intern;
 pub mod json;
+pub mod memory;
 #[cfg(unix)]
 pub mod netpoll;
 pub mod pool;
@@ -43,6 +44,7 @@ pub use cache::{CacheStats, ShardedCache};
 pub use export::{chrome_trace, prometheus_text};
 pub use histogram::{Histogram, HistogramData};
 pub use intern::{Interner, Symbol};
+pub use memory::{current_rss_bytes, peak_rss_bytes};
 pub use pool::{parallel_map, parallel_map_chunked, parallel_try_map, resolve_threads, JobQueue};
 pub use rng::SplitMix64;
 pub use telemetry::{Counter, MetricsSnapshot, SpanData, Telemetry, TelemetryMode};

@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# Build the benchmark harness, run the cached/parallel configuration and
-# the uncached single-threaded baseline, and print per-stage speedups.
-# Writes BENCH_core.json (cached run) and BENCH_baseline.json at the
-# repo root. If a committed BENCH_core.json exists in git HEAD, the new
-# cluster median is diffed against it and a regression beyond 25% is
-# warned about (the run still succeeds — timing noise is not an error).
+# Build the benchmark harness, run the cached/parallel configuration
+# (including the scaled 1000x cloned + drift stages) and the uncached
+# single-threaded baseline, and print per-stage speedups. Writes
+# BENCH_core.json (cached run) and BENCH_baseline.json at the repo
+# root. If a committed BENCH_core.json exists in git HEAD, the new
+# medians are diffed against it: cluster beyond 25%, the scaled stages
+# (cluster_scaled_1000x, label_scaled) beyond 10%, and peak RSS beyond
+# 15% growth are warned about (the run still succeeds — timing noise is
+# not an error; the drift-corpus sanity check inside qi-bench IS a hard
+# failure).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,8 +24,12 @@ fi
 
 cargo build --release -p qi-bench
 
+# The cached run includes the scaled (default 1000×) stages and the
+# drift corpus; the uncached single-threaded baseline and the telemetry
+# rerun skip them (--scale 0) — an uncached 1000× run is pointlessly
+# slow and the overhead comparisons only need the core stages.
 ./target/release/qi-bench --out BENCH_core.json "$@"
-./target/release/qi-bench --no-cache --threads 1 --out BENCH_baseline.json "$@"
+./target/release/qi-bench --no-cache --threads 1 --scale 0 --out BENCH_baseline.json "$@"
 
 awk '
     function grab(file, out,   line, n, parts, i, name, ms) {
@@ -38,11 +46,16 @@ awk '
         grab("BENCH_core.json", cached)
         grab("BENCH_baseline.json", base)
         printf "%-20s %12s %12s %9s\n", "stage", "cached ms", "baseline ms", "speedup"
-        n = split("normalize cluster cluster_scaled_10x cluster_scaled_100x merge label evaluate", order, " ")
+        n = split("normalize cluster cluster_scaled_10x cluster_scaled_100x merge label evaluate cluster_scaled_1000x drift_scaled label_scaled", order, " ")
         for (i = 1; i <= n; i++) {
             s = order[i]
-            if (cached[s] + 0 > 0)
-                printf "%-20s %12.3f %12.3f %8.2fx\n", s, cached[s], base[s], base[s] / cached[s]
+            if (cached[s] + 0 > 0) {
+                # The baseline run skips the scaled stages (--scale 0).
+                if (base[s] + 0 > 0)
+                    printf "%-20s %12.3f %12.3f %8.2fx\n", s, cached[s], base[s], base[s] / cached[s]
+                else
+                    printf "%-20s %12.3f %12s %9s\n", s, cached[s], "-", "-"
+            }
         }
     }'
 
@@ -58,6 +71,16 @@ if [ -n "$reference" ]; then
                 out[name] = ms
             }
         }
+        # First occurrence of a bare numeric key (the memory section).
+        function field(file, key,   line, i, v) {
+            getline line < file
+            close(file)
+            i = index(line, "\"" key "\":")
+            if (!i) return ""
+            v = substr(line, i + length(key) + 3)
+            sub(/[,}].*/, "", v)
+            return v
+        }
         BEGIN {
             grab("BENCH_core.json", now)
             grab(ref, was)
@@ -68,6 +91,32 @@ if [ -n "$reference" ]; then
                 if (delta > 25)
                     printf "WARNING: cluster stage regressed by %.1f%% vs committed reference\n", delta
             }
+            # Scaled-stage gate: the 1000x stages run few iterations, so
+            # they get a tighter 10% threshold on a much larger absolute
+            # median — proportionally still far above timing noise.
+            n = split("cluster_scaled_1000x label_scaled", gated, " ")
+            for (i = 1; i <= n; i++) {
+                s = gated[i]
+                if (was[s] + 0 > 0 && now[s] + 0 > 0) {
+                    delta = (now[s] - was[s]) / was[s] * 100
+                    printf "%s median: %.3f ms (reference %.3f ms, %+.1f%%)\n", \
+                        s, now[s], was[s], delta
+                    if (delta > 10)
+                        printf "WARNING: %s regressed by %.1f%% vs committed reference\n", s, delta
+                }
+            }
+            # Peak-RSS gate: the scaled stages are built to bound memory
+            # (one corpus alive at a time, per-domain sharding); growth
+            # beyond 15% means something started accumulating.
+            rss_now = field("BENCH_core.json", "peak_rss_bytes")
+            rss_was = field(ref, "peak_rss_bytes")
+            if (rss_was + 0 > 0 && rss_now + 0 > 0) {
+                delta = (rss_now - rss_was) / rss_was * 100
+                printf "peak RSS: %.1f MiB (reference %.1f MiB, %+.1f%%)\n", \
+                    rss_now / 1048576, rss_was / 1048576, delta
+                if (delta > 15)
+                    printf "WARNING: peak RSS grew by %.1f%% vs committed reference\n", delta
+            }
         }'
 fi
 
@@ -75,7 +124,7 @@ fi
 # registry and print the per-stage delta against the run above. The
 # disabled mode must be free (a pointer check per instrument site);
 # the enabled mode is expected to stay within a few percent.
-./target/release/qi-bench --telemetry --out /tmp/bench_telemetry.json "$@"
+./target/release/qi-bench --telemetry --scale 0 --out /tmp/bench_telemetry.json "$@"
 awk '
     function grab(file, out,   line, n, parts, i, name, ms) {
         getline line < file

@@ -18,6 +18,13 @@ cargo test -q --features proptest --test properties
 # group naming against a from-scratch rebuild — any divergence between
 # the incremental and full paths fails here, not in production.
 cargo test -q --test incremental
+# Drift-equivalence stage: seeded drift corpora must be byte-stable
+# (corpus, snapshot and metrics documents), both matcher engines must
+# agree on them tier for tier, and the drift cache-hit rate must sit
+# materially below the verbatim-clone ceiling. This is the fast (small
+# config) version of the scaled drift run in scripts/bench.sh.
+cargo test -q --test drift
+cargo test -q --test matcher_props drift_corpora_indexed_equals_naive_across_rates
 cargo clippy --all-targets --all-features -- -D warnings
 cargo fmt --check
 
@@ -31,9 +38,11 @@ cargo fmt --check
 # for a minute; a miss is retried once after an idle cooldown so a
 # throttled box doesn't masquerade as a code regression.
 telemetry_guard() {
-    ./target/release/qi-bench --iters 3 --warmup 1 \
+    # --scale 0 skips the scaled (1000×) stages: this guard compares the
+    # small-corpus stage medians only and must stay fast.
+    ./target/release/qi-bench --iters 3 --warmup 1 --scale 0 \
         --out /tmp/check_bench_off.json \
-        && ./target/release/qi-bench --iters 3 --warmup 1 --telemetry \
+        && ./target/release/qi-bench --iters 3 --warmup 1 --scale 0 --telemetry \
             --out /tmp/check_bench_on.json \
         && awk '
         function grab(file, out,   line, n, parts, i, name, ms) {

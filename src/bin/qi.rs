@@ -12,6 +12,8 @@
 //!     --most-general              use the \[12\]-style baseline policy
 //! qi corpus export <dir>          write the 150-interface corpus + the
 //!                                 builtin lexicon as text files
+//! qi synth [--drift] [opts]       generate a synthetic (cloned or
+//!                                 realistic-drift) corpus
 //! qi eval table6|figure10|matcher|ablation-ladder
 //!                                 regenerate evaluation artifacts
 //! ```
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         Some("relate") => cmd_relate(&args[1..]),
         Some("label") => cmd_label(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
@@ -66,6 +69,18 @@ usage:
       --metrics <file>            write a JSON metrics document
       --deterministic-timers      virtual span clock (byte-stable output)
   qi corpus export <dir>          dump the 150-interface corpus
+  qi synth [opts]                 generate a synthetic corpus and print
+                                  a per-corpus summary
+      --drift                     realistic-drift generator (paraphrase,
+                                  morphology, typos, field add/drop,
+                                  group reshuffles) instead of
+                                  suffix-renamed clones
+      --seed <n>                  drift RNG seed (drift mode only)
+      --domains <n>               domain count
+      --clones <k>                replicas per domain (cloned mode)
+      --export <dir>              write the interfaces as .qis files
+      --report                    run the matcher and print per-tier
+                                  accepts + the morphology cache rate
   qi eval <artifact> [opts]       table6 | table6-json | figure10 |
                                   matcher | ablation-ladder
       --metrics <file>            write corpus-run metrics as JSON
@@ -283,6 +298,120 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
         "wrote {written} interfaces and {} to {dir}",
         lexicon_path.display()
     );
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let usage = "usage: qi synth [--drift] [--seed <n>] [--domains <n>] [--clones <k>] \
+                 [--export <dir>] [--report]";
+    let mut drift = false;
+    let mut report = false;
+    let mut seed: Option<u64> = None;
+    let mut domains: Option<usize> = None;
+    let mut clones = 2usize;
+    let mut export: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--drift" => drift = true,
+            "--report" => report = true,
+            "--seed" => {
+                seed = Some(
+                    iter.next()
+                        .ok_or("--seed needs a number")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--domains" => {
+                domains = Some(
+                    iter.next()
+                        .ok_or("--domains needs a number")?
+                        .parse()
+                        .map_err(|e| format!("--domains: {e}"))?,
+                )
+            }
+            "--clones" => {
+                clones = iter
+                    .next()
+                    .ok_or("--clones needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--clones: {e}"))?
+            }
+            "--export" => export = Some(iter.next().ok_or("--export needs a directory")?.clone()),
+            extra => return Err(format!("unexpected argument {extra:?}; {usage}")),
+        }
+    }
+    let lexicon = Lexicon::builtin();
+    let corpus: Vec<qi_datasets::Domain> = if drift {
+        let mut config = qi_datasets::DriftConfig::default();
+        if let Some(seed) = seed {
+            config.seed = seed;
+        }
+        if let Some(domains) = domains {
+            config.domains = domains;
+        }
+        qi_datasets::generate_drift_corpus(&config, &lexicon)
+    } else {
+        if seed.is_some() {
+            return Err("--seed only applies to --drift".to_string());
+        }
+        qi_datasets::all_domains()
+            .into_iter()
+            .take(domains.unwrap_or(usize::MAX))
+            .map(|d| qi_datasets::Domain {
+                name: format!("{}-x{clones}", d.name),
+                schemas: qi_datasets::replicate_schemas(&d.schemas, clones),
+                mapping: qi_mapping::Mapping::from_clusters(Vec::<(
+                    String,
+                    Vec<qi_mapping::FieldRef>,
+                )>::new()),
+            })
+            .collect()
+    };
+    let interfaces: usize = corpus.iter().map(|d| d.schemas.len()).sum();
+    let fields: usize = corpus
+        .iter()
+        .flat_map(|d| &d.schemas)
+        .map(|s| s.leaves().count())
+        .sum();
+    println!(
+        "{} corpus: {} domains, {interfaces} interfaces, {fields} fields",
+        if drift { "drift" } else { "cloned" },
+        corpus.len()
+    );
+    if let Some(dir) = export {
+        let root = Path::new(&dir);
+        std::fs::create_dir_all(root).map_err(|e| format!("creating {dir}: {e}"))?;
+        let mut written = 0usize;
+        for domain in &corpus {
+            let domain_dir = root.join(domain.name.replace(' ', "_").to_lowercase());
+            std::fs::create_dir_all(&domain_dir).map_err(|e| e.to_string())?;
+            for tree in &domain.schemas {
+                let path = domain_dir.join(format!("{}.qis", tree.name()));
+                std::fs::write(&path, qi_schema::text_format::render(tree))
+                    .map_err(|e| e.to_string())?;
+                written += 1;
+            }
+        }
+        println!("wrote {written} interfaces to {dir}");
+    }
+    if report {
+        let config = qi_mapping::MatcherConfig {
+            fuzzy: true,
+            ..qi_mapping::MatcherConfig::default()
+        };
+        let report = qi_datasets::DriftReport::compute(&corpus, &lexicon, config);
+        println!("distinct labels: {}", report.distinct_labels);
+        println!(
+            "accepts: string {}  word-set {}  synonym {}  fuzzy {}",
+            report.stats.accepted_string,
+            report.stats.accepted_word_set,
+            report.stats.accepted_synonym,
+            report.stats.accepted_fuzzy
+        );
+        println!("morphology cache-hit rate: {:.4}", report.cache_hit_rate());
+    }
     Ok(())
 }
 

@@ -116,6 +116,108 @@ fn random_ingest_sequences_match_full_rebuild_byte_for_byte() {
     );
 }
 
+/// Drifted-interface ingest: the base artifact is built from the first
+/// 8 interfaces of a drift domain, then the *next* 8 interfaces of the
+/// same domain — paraphrased, morphologically varied, typo'd,
+/// group-reshuffled variants of the same concepts — are ingested one at
+/// a time. The drift generator emits interfaces in one seeded stream,
+/// so generating the domain at 8 and at 16 interfaces yields an
+/// identical prefix (asserted below); the tail is therefore a genuine
+/// drifted continuation, not a differently-seeded stranger.
+///
+/// Whatever mix of delta-path ingests and guard fallbacks the drift
+/// labels provoke, every step must equal the full rebuild byte for
+/// byte, and every recorded fallback must carry a known
+/// `FallbackReason` counter.
+#[test]
+fn drifted_interface_ingest_matches_full_rebuild() {
+    let lexicon = Lexicon::builtin();
+    let policy = NamingPolicy::default();
+    let mut delta_ingests = 0u64;
+    let mut fallbacks = 0u64;
+    for seed in 0..4u64 {
+        let config = qi_datasets::DriftConfig {
+            seed: 0xD81F_7E57 ^ seed,
+            domains: 1,
+            interfaces: 8,
+            concepts: 10,
+            ..qi_datasets::DriftConfig::default()
+        };
+        let extended = qi_datasets::DriftConfig {
+            interfaces: 16,
+            ..config
+        };
+        let base_domain = qi_datasets::generate_drift_corpus(&config, &lexicon).remove(0);
+        let full_domain = qi_datasets::generate_drift_corpus(&extended, &lexicon).remove(0);
+        for (i, schema) in base_domain.schemas.iter().enumerate() {
+            assert_eq!(
+                qi_schema::text_format::render(schema),
+                qi_schema::text_format::render(&full_domain.schemas[i]),
+                "seed {seed}: interface stream not prefix-stable at {i}"
+            );
+        }
+
+        let telemetry = Telemetry::new();
+        let base = build_artifact(&base_domain, &lexicon, policy, &telemetry);
+        let mut incremental = base.clone();
+        let mut full = base;
+        for (step, interface) in full_domain.schemas[base_domain.schemas.len()..]
+            .iter()
+            .enumerate()
+        {
+            incremental = ingest_interface(
+                &incremental,
+                interface.clone(),
+                &lexicon,
+                policy,
+                &telemetry,
+            );
+            full = ingest_interface_full(&full, interface.clone(), &lexicon, policy, &telemetry);
+            assert_eq!(
+                snapshot_bytes(policy, &incremental),
+                snapshot_bytes(policy, &full),
+                "seed {seed} drifted step {step}: incremental and full rebuild diverged"
+            );
+        }
+
+        let counters = telemetry.snapshot().counters;
+        delta_ingests += counters.get("serve.ingest.delta").copied().unwrap_or(0);
+        let known = [
+            "serve.ingest.fallback.expansion",
+            "serve.ingest.fallback.base_mismatch",
+            "serve.ingest.fallback.bridge",
+            "serve.ingest.fallback.shared_join",
+        ];
+        for (name, &count) in &counters {
+            if name.starts_with("serve.ingest.fallback.") {
+                assert!(
+                    known.contains(&name.as_str()),
+                    "seed {seed}: unknown fallback reason counter {name}"
+                );
+                fallbacks += count;
+            }
+        }
+        // Accounting: each of the 8 delta-capable ingests is classified
+        // as exactly one of delta / full (the forced-full oracle calls
+        // bypass classification); fallbacks are full rebuilds with a
+        // reason.
+        let full_ingests = counters.get("serve.ingest.full").copied().unwrap_or(0);
+        let deltas = counters.get("serve.ingest.delta").copied().unwrap_or(0);
+        assert_eq!(
+            deltas + full_ingests,
+            8,
+            "seed {seed}: ingest accounting off: {counters:?}"
+        );
+    }
+    // The sweep is vacuous if the drifted tail never takes the delta
+    // path *and* never trips a guard — either would mean the drift
+    // labels stopped interacting with existing clusters.
+    assert!(
+        delta_ingests + fallbacks > 0,
+        "no delta ingests and no fallbacks across all seeds"
+    );
+}
+
 #[test]
 fn guard_fallbacks_still_match_full_rebuild() {
     let lexicon = Lexicon::builtin();

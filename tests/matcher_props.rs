@@ -19,7 +19,7 @@
 //!    different schema orders can legitimately resolve clashes
 //!    differently.)
 
-use qi_datasets::replicate_schemas;
+use qi_datasets::{generate_drift_corpus, replicate_schemas, DriftConfig};
 use qi_lexicon::Lexicon;
 use qi_mapping::matcher::{match_by_labels_stats, match_by_labels_with, MatcherConfig};
 use qi_mapping::Mapping;
@@ -314,6 +314,104 @@ fn engines_agree_on_fuzzy_boundary_corpora() {
             indexed_stats.clusters_merged, naive_stats.clusters_merged,
             "seed={seed}: {indexed_stats:?} vs {naive_stats:?}"
         );
+    }
+}
+
+/// Cross-engine equivalence on realistic-drift corpora, swept across
+/// paraphrase and field add/drop rates. The drift generator produces
+/// exactly the label population the indexed engine's posting lists are
+/// weakest on — synonym walks, morphological variants and single-edit
+/// typos mixed in one corpus — so beyond cluster equality both engines
+/// must attribute every accept to the same tier: the per-tier
+/// `accepted_*` counters are part of the cross-engine invariant.
+///
+/// Each sweep point also runs at `min_similarity: 0.8`, where
+/// 10-character drifted twins sit exactly on the `>=` threshold — the
+/// regime in which unsound fuzzy blocking would diverge first.
+#[test]
+fn drift_corpora_indexed_equals_naive_across_rates() {
+    let lexicon = Lexicon::builtin();
+    // (paraphrase_prob, coverage): none→heavy paraphrasing crossed with
+    // high→low field coverage (coverage is the add/drop knob — fields
+    // absent below it, novel site-specific fields added on top).
+    let sweeps = [(0.0, 0.95), (0.25, 0.7), (0.6, 0.45)];
+    for (i, &(paraphrase_prob, coverage)) in sweeps.iter().enumerate() {
+        let config = DriftConfig {
+            seed: 0x5EED_0000 + i as u64,
+            domains: 2,
+            interfaces: 6,
+            concepts: 10,
+            paraphrase_prob,
+            coverage,
+            ..DriftConfig::default()
+        };
+        let corpus = generate_drift_corpus(&config, &lexicon);
+        let mut synonym_accepts = 0u64;
+        for domain in &corpus {
+            for min_similarity in [0.85, 0.8] {
+                let config = MatcherConfig {
+                    fuzzy: true,
+                    min_similarity,
+                    ..MatcherConfig::default()
+                };
+                let (indexed, indexed_stats) =
+                    match_by_labels_stats(&domain.schemas, &lexicon, config);
+                let (naive, naive_stats) = match_by_labels_stats(
+                    &domain.schemas,
+                    &lexicon,
+                    MatcherConfig {
+                        naive: true,
+                        ..config
+                    },
+                );
+                let ctx = format!(
+                    "sweep={i} domain={} min_similarity={min_similarity}",
+                    domain.name
+                );
+                assert_eq!(indexed, naive, "{ctx}");
+                indexed.validate(&domain.schemas).expect("valid mapping");
+                for (label, a, b) in [
+                    (
+                        "pairs_accepted",
+                        indexed_stats.pairs_accepted,
+                        naive_stats.pairs_accepted,
+                    ),
+                    (
+                        "clusters_merged",
+                        indexed_stats.clusters_merged,
+                        naive_stats.clusters_merged,
+                    ),
+                    (
+                        "accepted_string",
+                        indexed_stats.accepted_string,
+                        naive_stats.accepted_string,
+                    ),
+                    (
+                        "accepted_word_set",
+                        indexed_stats.accepted_word_set,
+                        naive_stats.accepted_word_set,
+                    ),
+                    (
+                        "accepted_synonym",
+                        indexed_stats.accepted_synonym,
+                        naive_stats.accepted_synonym,
+                    ),
+                    (
+                        "accepted_fuzzy",
+                        indexed_stats.accepted_fuzzy,
+                        naive_stats.accepted_fuzzy,
+                    ),
+                ] {
+                    assert_eq!(a, b, "{ctx}: {label}: {indexed_stats:?} vs {naive_stats:?}");
+                }
+                synonym_accepts += indexed_stats.accepted_synonym;
+            }
+        }
+        // The heavy-paraphrase sweep point must actually reach the
+        // synonym tier, or the sweep silently degenerated.
+        if paraphrase_prob > 0.5 {
+            assert!(synonym_accepts > 0, "sweep={i} never hit the synonym tier");
+        }
     }
 }
 
