@@ -19,7 +19,12 @@
 //!   size, the marginal cost of one more request on a warm connection;
 //! * `ingest` — incremental (delta) vs full-rebuild ingest medians for
 //!   one interface into a warm domain, plus `POST` latency and read
-//!   latency measured *while* ingests run against the live server.
+//!   latency measured *while* ingests run against the live server;
+//! * `query_scaled` — the query engine's representative query set
+//!   (every primitive, every predicate atom, lexicon relations,
+//!   provenance filters) executed against a seeded drift corpus, one
+//!   full set-over-all-domains pass per run. `scripts/bench.sh` warns
+//!   when the median regresses >10% against the committed reference.
 //!
 //! Emits a single-line JSON document (default `BENCH_serve.json`)
 //! consumed by `scripts/bench.sh`.
@@ -370,6 +375,61 @@ fn main() {
         "warm ingest did not take the delta path"
     );
 
+    // Query engine over a seeded drift corpus: one run = the whole
+    // representative query set (every primitive, lexicon relations,
+    // provenance filters) over every drift domain, unpaginated. The
+    // drift labels exercise the interner and the per-query lexicon
+    // symbol sets the way real heterogeneity would — verbatim clones
+    // would collapse every label comparison onto a handful of symbols.
+    const QUERY_SET: &[&str] = &[
+        "find fields",
+        "find nodes where unlabeled",
+        "find fields where label ~ \"date\"",
+        "find nodes where label synonym-of \"passenger\"",
+        "find nodes where label hyponym-of \"location\"",
+        "find nodes where rule ~ \"internal\"",
+        "find fields where rejected ~ \"a\"",
+        "path to groups where labeled",
+        "traverse nodes from (kind = group and labeled) where kind = field",
+        "find fields where label ~ \"city\" and not unlabeled or labeled",
+    ];
+    let drift_config = qi_datasets::DriftConfig {
+        seed: 5,
+        domains: 7,
+        ..qi_datasets::DriftConfig::default()
+    };
+    let drift_corpus = qi_datasets::generate_drift_corpus(&drift_config, &lexicon);
+    let query_artifacts: Vec<_> = drift_corpus
+        .iter()
+        .map(|domain| qi_serve::build_artifact(domain, &lexicon, policy, &telemetry))
+        .collect();
+    let mut query_refs: Vec<&qi_serve::DomainArtifact> = query_artifacts.iter().collect();
+    query_refs.sort_by_key(|a| a.slug());
+    let unpaginated = qi_serve::PageParams {
+        limit: u64::MAX,
+        ..qi_serve::PageParams::default()
+    };
+    let mut query_runs = Vec::new();
+    let mut query_matches = 0u64;
+    for _ in 0..config.iters {
+        let (count, ms) = timed(|| {
+            QUERY_SET
+                .iter()
+                .map(|text| {
+                    qi_serve::run_query(&query_refs, &lexicon, text, &unpaginated)
+                        .expect("benchmark query")
+                        .matches
+                        .len() as u64
+                })
+                .sum::<u64>()
+        });
+        query_matches = count;
+        query_runs.push(ms);
+    }
+    let query_median = median(query_runs.clone());
+    drop(query_refs);
+    drop(query_artifacts);
+
     // Serve throughput: concurrent clients hammering read endpoints,
     // once per requested client count. Repeated paths hit the
     // rendered-response cache after their first render, as production
@@ -625,6 +685,17 @@ fn main() {
     }
     doc.raw("serve_sweep", sweep_arr.finish());
     doc.raw(
+        "query_scaled",
+        Obj::new()
+            .str("name", "query_scaled")
+            .f64("median_ms", query_median, DECIMALS)
+            .raw("runs_ms", runs_json(&query_runs))
+            .u64("queries", QUERY_SET.len() as u64)
+            .u64("query_domains", drift_config.domains as u64)
+            .u64("query_matches", query_matches)
+            .finish(),
+    );
+    doc.raw(
         "ingest",
         Obj::new()
             .f64("delta_median_ms", delta_median, DECIMALS)
@@ -683,6 +754,12 @@ fn main() {
                 ka_peak.latency.quantile(0.99) as f64 / 1e3,
                 point_rps(close_peak),
                 point_rps(ka_peak) / point_rps(close_peak).max(1e-9),
+            );
+            eprintln!(
+                "query engine: {}-query set over {} drift domains in {query_median:.1} ms \
+                 median ({query_matches} matches)",
+                QUERY_SET.len(),
+                drift_config.domains,
             );
         }
         None => println!("{json}"),

@@ -1,0 +1,192 @@
+//! Opaque pagination cursors.
+//!
+//! A cursor pins a result stream to (a) the query that produced it, via
+//! the FNV-1a hash of the query's canonical rendering, and (b) the exact
+//! artifact version it was reading, so a snapshot swap or ingest
+//! invalidates outstanding cursors cleanly (the serving tier answers
+//! 410 Gone) instead of silently splicing two different result sets.
+//! The wire form is the lowercase-hex encoding of a versioned
+//! `:`-separated record — opaque and URL-safe by construction, but
+//! deterministic so equal positions encode equally and tests can assert
+//! round trips.
+
+use std::fmt;
+
+/// Cursor wire-format version.
+const FORMAT: u64 = 1;
+
+/// A decoded pagination cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cursor {
+    /// FNV-1a hash of the canonical query text (or an endpoint tag for
+    /// non-query paginations such as `/explain`).
+    pub qhash: u64,
+    /// Slug of the domain the stream stopped in.
+    pub slug: String,
+    /// The artifact version of that domain when the page was cut.
+    pub version: u64,
+    /// Matches already emitted from that domain.
+    pub offset: u64,
+}
+
+/// Why a cursor failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CursorError {
+    /// Not lowercase hex, or odd length, or not UTF-8 underneath.
+    Malformed,
+    /// A format version this build does not understand.
+    UnsupportedFormat,
+    /// The named record field failed to parse.
+    BadField(&'static str),
+}
+
+impl fmt::Display for CursorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CursorError::Malformed => write!(f, "cursor is not a valid encoding"),
+            CursorError::UnsupportedFormat => write!(f, "cursor format version not supported"),
+            CursorError::BadField(field) => write!(f, "cursor field `{field}` is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for CursorError {}
+
+impl Cursor {
+    /// Encode to the opaque wire form.
+    pub fn encode(&self) -> String {
+        let record = format!(
+            "{FORMAT}:{:016x}:{}:{}:{}",
+            self.qhash, self.version, self.offset, self.slug
+        );
+        let mut out = String::with_capacity(record.len() * 2);
+        for byte in record.bytes() {
+            out.push_str(&format!("{byte:02x}"));
+        }
+        out
+    }
+
+    /// Decode the opaque wire form.
+    pub fn decode(text: &str) -> Result<Cursor, CursorError> {
+        if text.is_empty() || !text.len().is_multiple_of(2) {
+            return Err(CursorError::Malformed);
+        }
+        let mut bytes = Vec::with_capacity(text.len() / 2);
+        let raw = text.as_bytes();
+        for pair in raw.chunks(2) {
+            let hi = hex_val(pair[0]).ok_or(CursorError::Malformed)?;
+            let lo = hex_val(pair[1]).ok_or(CursorError::Malformed)?;
+            bytes.push(hi << 4 | lo);
+        }
+        let record = String::from_utf8(bytes).map_err(|_| CursorError::Malformed)?;
+        let mut parts = record.splitn(5, ':');
+        let format = parts
+            .next()
+            .and_then(|p| p.parse::<u64>().ok())
+            .ok_or(CursorError::BadField("format"))?;
+        if format != FORMAT {
+            return Err(CursorError::UnsupportedFormat);
+        }
+        let qhash = parts
+            .next()
+            .and_then(|p| u64::from_str_radix(p, 16).ok())
+            .ok_or(CursorError::BadField("qhash"))?;
+        let version = parts
+            .next()
+            .and_then(|p| p.parse::<u64>().ok())
+            .ok_or(CursorError::BadField("version"))?;
+        let offset = parts
+            .next()
+            .and_then(|p| p.parse::<u64>().ok())
+            .ok_or(CursorError::BadField("offset"))?;
+        let slug = parts.next().ok_or(CursorError::BadField("slug"))?;
+        if slug.is_empty() {
+            return Err(CursorError::BadField("slug"));
+        }
+        Ok(Cursor {
+            qhash,
+            slug: slug.to_string(),
+            version,
+            offset,
+        })
+    }
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        _ => None,
+    }
+}
+
+/// FNV-1a over a byte string — the hash cursors key queries with.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// The hash that keys cursors to a query: FNV-1a of the canonical
+/// rendering, so whitespace and quoting variants of the same query
+/// share cursors.
+pub fn query_hash(canonical: &str) -> u64 {
+    fnv1a(canonical.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let cursor = Cursor {
+            qhash: query_hash("find fields"),
+            slug: "airline".into(),
+            version: 42,
+            offset: 7,
+        };
+        let encoded = cursor.encode();
+        assert!(encoded.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(Cursor::decode(&encoded), Ok(cursor));
+    }
+
+    #[test]
+    fn slug_may_contain_separators() {
+        let cursor = Cursor {
+            qhash: 1,
+            slug: "real:estate".into(),
+            version: 1,
+            offset: 0,
+        };
+        assert_eq!(Cursor::decode(&cursor.encode()), Ok(cursor));
+    }
+
+    #[test]
+    fn typed_decode_errors() {
+        assert_eq!(Cursor::decode(""), Err(CursorError::Malformed));
+        assert_eq!(Cursor::decode("abc"), Err(CursorError::Malformed));
+        assert_eq!(Cursor::decode("zz"), Err(CursorError::Malformed));
+        // "9:" hex-encoded: unknown format version.
+        let encoded: String = "9:0:0:0:x".bytes().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(
+            Cursor::decode(&encoded),
+            Err(CursorError::UnsupportedFormat)
+        );
+        let encoded: String = "1:xyz:0:0:s".bytes().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(
+            Cursor::decode(&encoded),
+            Err(CursorError::BadField("qhash"))
+        );
+        let encoded: String = "1:0:0:0:".bytes().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(Cursor::decode(&encoded), Err(CursorError::BadField("slug")));
+    }
+
+    #[test]
+    fn distinct_queries_hash_apart() {
+        assert_ne!(query_hash("find fields"), query_hash("find groups"));
+    }
+}

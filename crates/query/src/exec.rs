@@ -1,0 +1,673 @@
+//! Query execution against one domain's in-memory artifact.
+//!
+//! The executor works over an [`ArtifactView`] — borrowed slices of the
+//! serving tier's `DomainArtifact` (labeled tree, decision provenance,
+//! interned symbol table, normalized-key sidecar) — so the query crate
+//! depends only on the core data model, not on the server.
+//!
+//! [`execute`] is the production path: per query it resolves every
+//! lexicon-expanded or substring label atom **once** into a set of label
+//! symbols (walking the sidecar, not the tree), maps each node's label
+//! to its interned symbol, and then evaluates label predicates during
+//! the tree walk as O(symbol compare) / O(set probe). [`execute_naive`]
+//! is the reference oracle: the same walk orders and the same semantics,
+//! but every predicate evaluated per node with direct string and lexicon
+//! operations. The two must agree match-for-match on any artifact — the
+//! equivalence property suite holds them to that.
+
+use crate::ir::{KindName, LabelOp, Pred, Primitive, Query, StrOp, Target};
+use qi_core::LabelDecision;
+use qi_lexicon::Lexicon;
+use qi_schema::{NodeId, SchemaTree};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Borrowed read-only view over one domain's artifact.
+#[derive(Clone, Copy)]
+pub struct ArtifactView<'a> {
+    /// Domain slug.
+    pub domain: &'a str,
+    /// The integrated labeled tree.
+    pub tree: &'a SchemaTree,
+    /// Per-node labeling decisions, sorted by node id.
+    pub decisions: &'a [LabelDecision],
+    /// Interned symbol table (distinct source labels, then normalized
+    /// keys, first-encounter order).
+    pub symbols: &'a [String],
+    /// Label symbol → normalized content-word key symbols.
+    pub normalized: &'a [(u32, Vec<u32>)],
+}
+
+/// Execution failed before completing the walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The traversal-node budget ran out (the serving tier maps this to
+    /// 422).
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BudgetExhausted { limit } => {
+                write!(f, "traversal budget of {limit} nodes exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A traversal-node budget, shared across the domains of one request so
+/// a fan-out query cannot scan unboundedly.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    limit: u64,
+    spent: u64,
+}
+
+impl Budget {
+    /// A budget allowing `limit` node visits.
+    pub fn new(limit: u64) -> Self {
+        Budget { limit, spent: 0 }
+    }
+
+    /// Nodes visited so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    fn charge(&mut self) -> Result<(), ExecError> {
+        if self.spent >= self.limit {
+            return Err(ExecError::BudgetExhausted { limit: self.limit });
+        }
+        self.spent += 1;
+        Ok(())
+    }
+}
+
+/// One matching node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryMatch {
+    /// Domain slug the node belongs to.
+    pub domain: String,
+    /// Node id within the domain's integrated tree.
+    pub node: u32,
+    /// Slash-joined label path (root excluded, unlabeled segments as
+    /// `n<id>`), matching the provenance path rendering.
+    pub path: String,
+    /// The node's label, if any.
+    pub label: Option<String>,
+    /// `"field"` for leaves, `"group"` for internal nodes.
+    pub kind: &'static str,
+    /// The labeling rule that fired for this node, if recorded.
+    pub rule: Option<String>,
+    /// Root-to-node trail of node ids — populated by the `path`
+    /// primitive only.
+    pub trail: Option<Vec<u32>>,
+}
+
+/// Key identifying one resolved label-atom symbol set.
+type SetKey = (u8, String);
+
+fn set_key(op: LabelOp, value: &str) -> Option<SetKey> {
+    match op {
+        LabelOp::Equals => None,
+        LabelOp::Contains => Some((0, value.to_ascii_lowercase())),
+        LabelOp::SynonymOf => Some((1, value.to_string())),
+        LabelOp::HyponymOf => Some((2, value.to_string())),
+        LabelOp::HypernymOf => Some((3, value.to_string())),
+    }
+}
+
+/// Per-(query, artifact) prepared state: symbol lookups done once, ahead
+/// of the tree walk.
+struct Prepared<'a> {
+    view: ArtifactView<'a>,
+    /// Label string → interned symbol.
+    sym_of: HashMap<&'a str, u32>,
+    /// Resolved symbol sets for substring / lexicon label atoms.
+    sets: HashMap<SetKey, HashSet<u32>>,
+    /// Node id → its decision record.
+    decision_of: HashMap<u32, &'a LabelDecision>,
+    /// Node id → its label's interned symbol.
+    node_sym: Vec<Option<u32>>,
+}
+
+fn collect_label_atoms(pred: &Pred, out: &mut Vec<(LabelOp, String)>) {
+    match pred {
+        Pred::Label(op, value) => out.push((*op, value.clone())),
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            collect_label_atoms(a, out);
+            collect_label_atoms(b, out);
+        }
+        Pred::Not(inner) => collect_label_atoms(inner, out),
+        _ => {}
+    }
+}
+
+impl<'a> Prepared<'a> {
+    fn new(query: &Query, view: ArtifactView<'a>, lexicon: &Lexicon) -> Self {
+        let sym_of: HashMap<&'a str, u32> = view
+            .symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i as u32))
+            .collect();
+
+        let mut atoms = Vec::new();
+        if let Some(pred) = &query.pred {
+            collect_label_atoms(pred, &mut atoms);
+        }
+        if let Primitive::Traverse { from } = &query.primitive {
+            collect_label_atoms(from, &mut atoms);
+        }
+        let mut sets: HashMap<SetKey, HashSet<u32>> = HashMap::new();
+        for (op, value) in atoms {
+            let Some(key) = set_key(op, &value) else {
+                continue;
+            };
+            if sets.contains_key(&key) {
+                continue;
+            }
+            let set = match op {
+                LabelOp::Equals => unreachable!("equality has no symbol set"),
+                // Substring containment holds per distinct symbol, so
+                // resolve it over the symbol table instead of per node.
+                LabelOp::Contains => {
+                    let needle = value.to_ascii_lowercase();
+                    view.symbols
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.to_ascii_lowercase().contains(&needle))
+                        .map(|(i, _)| i as u32)
+                        .collect()
+                }
+                // Lexicon relations hold per distinct label via its
+                // normalized content-word keys: one sidecar walk per
+                // atom, zero lexicon calls during the tree walk.
+                LabelOp::SynonymOf => lexicon_set(view, |key| lexicon.are_synonyms(key, &value)),
+                LabelOp::HyponymOf => lexicon_set(view, |key| lexicon.is_hypernym_of(&value, key)),
+                LabelOp::HypernymOf => lexicon_set(view, |key| lexicon.is_hypernym_of(key, &value)),
+            };
+            sets.insert(key, set);
+        }
+
+        let decision_of: HashMap<u32, &'a LabelDecision> =
+            view.decisions.iter().map(|d| (d.node, d)).collect();
+        let node_sym: Vec<Option<u32>> = (0..view.tree.len())
+            .map(|i| {
+                view.tree
+                    .node(NodeId(i as u32))
+                    .label
+                    .as_deref()
+                    .and_then(|label| sym_of.get(label).copied())
+            })
+            .collect();
+        Prepared {
+            view,
+            sym_of,
+            sets,
+            decision_of,
+            node_sym,
+        }
+    }
+
+    fn eval(&self, pred: &Pred, id: NodeId) -> bool {
+        let node = self.view.tree.node(id);
+        match pred {
+            Pred::Label(LabelOp::Equals, value) => {
+                match (self.node_sym[id.index()], self.sym_of.get(value.as_str())) {
+                    // Both sides interned: equality is one symbol compare.
+                    (Some(a), Some(&b)) => a == b,
+                    // Either side uninterned: fall back to the string
+                    // compare the symbols stand for.
+                    _ => node.label.as_deref() == Some(value.as_str()),
+                }
+            }
+            Pred::Label(op, value) => {
+                let key = set_key(*op, value).expect("non-equality label op has a set");
+                let set = &self.sets[&key];
+                match self.node_sym[id.index()] {
+                    Some(sym) => set.contains(&sym),
+                    // An uninterned label has no sidecar entry, so the
+                    // lexicon ops cannot hold; substring still can.
+                    None => match op {
+                        LabelOp::Contains => {
+                            node.label.as_deref().is_some_and(|l| contains_ci(l, value))
+                        }
+                        _ => false,
+                    },
+                }
+            }
+            Pred::Kind(kind) => match kind {
+                KindName::Field => node.is_leaf(),
+                KindName::Group => !node.is_leaf(),
+            },
+            Pred::Rule(op, value) => self
+                .decision_of
+                .get(&id.0)
+                .is_some_and(|d| str_op_matches(*op, &d.rule, value)),
+            Pred::Rejected(op, value) => self.decision_of.get(&id.0).is_some_and(|d| {
+                d.candidates
+                    .iter()
+                    .any(|c| !c.accepted && str_op_matches(*op, &c.label, value))
+            }),
+            Pred::Labeled => node.label.is_some(),
+            Pred::Unlabeled => node.label.is_none(),
+            Pred::And(a, b) => self.eval(a, id) && self.eval(b, id),
+            Pred::Or(a, b) => self.eval(a, id) || self.eval(b, id),
+            Pred::Not(inner) => !self.eval(inner, id),
+        }
+    }
+}
+
+/// Label symbols whose normalized keys satisfy `relates` — one pass over
+/// the sidecar, independent of tree size.
+fn lexicon_set(view: ArtifactView<'_>, relates: impl Fn(&str) -> bool) -> HashSet<u32> {
+    let mut key_holds: HashMap<u32, bool> = HashMap::new();
+    let mut out = HashSet::new();
+    for (label_sym, keys) in view.normalized {
+        let hit = keys.iter().any(|&k| {
+            *key_holds
+                .entry(k)
+                .or_insert_with(|| relates(&view.symbols[k as usize]))
+        });
+        if hit {
+            out.insert(*label_sym);
+        }
+    }
+    out
+}
+
+fn contains_ci(haystack: &str, needle: &str) -> bool {
+    haystack
+        .to_ascii_lowercase()
+        .contains(&needle.to_ascii_lowercase())
+}
+
+fn str_op_matches(op: StrOp, actual: &str, value: &str) -> bool {
+    match op {
+        StrOp::Equals => actual == value,
+        StrOp::Contains => contains_ci(actual, value),
+    }
+}
+
+fn target_matches(target: Target, tree: &SchemaTree, id: NodeId) -> bool {
+    match target {
+        Target::Fields => tree.node(id).is_leaf(),
+        Target::Groups => !tree.node(id).is_leaf(),
+        Target::Nodes => true,
+    }
+}
+
+/// Slash-joined label path of a node, root excluded, unlabeled segments
+/// rendered as `n<id>` — the same shape provenance paths use.
+fn node_path(tree: &SchemaTree, id: NodeId) -> String {
+    let mut parts: Vec<String> = tree
+        .path_to_root(id)
+        .into_iter()
+        .filter(|&p| p != NodeId::ROOT)
+        .map(|p| segment(tree, p))
+        .collect();
+    parts.reverse();
+    parts.push(segment(tree, id));
+    parts.join("/")
+}
+
+fn segment(tree: &SchemaTree, id: NodeId) -> String {
+    match &tree.node(id).label {
+        Some(label) => label.clone(),
+        None => id.to_string(),
+    }
+}
+
+fn trail(tree: &SchemaTree, id: NodeId) -> Vec<u32> {
+    let mut ids: Vec<u32> = tree.path_to_root(id).into_iter().map(|p| p.0).collect();
+    ids.reverse();
+    ids.push(id.0);
+    ids
+}
+
+fn emit(view: ArtifactView<'_>, id: NodeId, with_trail: bool, rule: Option<String>) -> QueryMatch {
+    let node = view.tree.node(id);
+    QueryMatch {
+        domain: view.domain.to_string(),
+        node: id.0,
+        path: node_path(view.tree, id),
+        label: node.label.clone(),
+        kind: if node.is_leaf() { "field" } else { "group" },
+        rule,
+        trail: if with_trail {
+            Some(trail(view.tree, id))
+        } else {
+            None
+        },
+    }
+}
+
+/// Execute `query` against one domain with interned-symbol predicate
+/// evaluation, charging every visited node against `budget`.
+pub fn execute(
+    query: &Query,
+    view: ArtifactView<'_>,
+    lexicon: &Lexicon,
+    budget: &mut Budget,
+) -> Result<Vec<QueryMatch>, ExecError> {
+    if let Some(domain) = &query.domain {
+        if domain != view.domain {
+            return Ok(Vec::new());
+        }
+    }
+    let prep = Prepared::new(query, view, lexicon);
+    let preorder = view.tree.preorder();
+    let mut out = Vec::new();
+    match &query.primitive {
+        Primitive::Find | Primitive::Path => {
+            let with_trail = matches!(query.primitive, Primitive::Path);
+            for &id in &preorder {
+                if id == NodeId::ROOT {
+                    continue;
+                }
+                budget.charge()?;
+                if !target_matches(query.target, view.tree, id) {
+                    continue;
+                }
+                if query.pred.as_ref().is_some_and(|p| !prep.eval(p, id)) {
+                    continue;
+                }
+                let rule = prep.decision_of.get(&id.0).map(|d| d.rule.clone());
+                out.push(emit(view, id, with_trail, rule));
+            }
+        }
+        Primitive::Traverse { from } => {
+            // First pass: every node (root included) is a candidate
+            // start; mark the subtrees of the ones matching `from`.
+            let mut marked: HashSet<u32> = HashSet::new();
+            for &id in &preorder {
+                budget.charge()?;
+                if !prep.eval(from, id) {
+                    continue;
+                }
+                let mut stack = vec![id];
+                while let Some(current) = stack.pop() {
+                    budget.charge()?;
+                    marked.insert(current.0);
+                    stack.extend(view.tree.children(current).iter().copied());
+                }
+            }
+            // Emit marked nodes in preorder so pagination order is
+            // stable regardless of which start reached them first.
+            for &id in &preorder {
+                if id == NodeId::ROOT || !marked.contains(&id.0) {
+                    continue;
+                }
+                if !target_matches(query.target, view.tree, id) {
+                    continue;
+                }
+                if query.pred.as_ref().is_some_and(|p| !prep.eval(p, id)) {
+                    continue;
+                }
+                let rule = prep.decision_of.get(&id.0).map(|d| d.rule.clone());
+                out.push(emit(view, id, false, rule));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reference oracle: identical semantics and walk order to [`execute`],
+/// but every predicate is evaluated per node with direct string and
+/// lexicon operations — no interning, no symbol sets, no budget.
+pub fn execute_naive(query: &Query, view: ArtifactView<'_>, lexicon: &Lexicon) -> Vec<QueryMatch> {
+    if let Some(domain) = &query.domain {
+        if domain != view.domain {
+            return Vec::new();
+        }
+    }
+    let preorder = view.tree.preorder();
+    let mut out = Vec::new();
+    let passes = |id: NodeId, pred: &Pred| naive_eval(pred, view, lexicon, id);
+    match &query.primitive {
+        Primitive::Find | Primitive::Path => {
+            let with_trail = matches!(query.primitive, Primitive::Path);
+            for &id in &preorder {
+                if id == NodeId::ROOT {
+                    continue;
+                }
+                if !target_matches(query.target, view.tree, id) {
+                    continue;
+                }
+                if query.pred.as_ref().is_some_and(|p| !passes(id, p)) {
+                    continue;
+                }
+                out.push(emit(view, id, with_trail, naive_rule(view, id)));
+            }
+        }
+        Primitive::Traverse { from } => {
+            let mut marked: HashSet<u32> = HashSet::new();
+            for &id in &preorder {
+                if !passes(id, from) {
+                    continue;
+                }
+                let mut stack = vec![id];
+                while let Some(current) = stack.pop() {
+                    marked.insert(current.0);
+                    stack.extend(view.tree.children(current).iter().copied());
+                }
+            }
+            for &id in &preorder {
+                if id == NodeId::ROOT || !marked.contains(&id.0) {
+                    continue;
+                }
+                if !target_matches(query.target, view.tree, id) {
+                    continue;
+                }
+                if query.pred.as_ref().is_some_and(|p| !passes(id, p)) {
+                    continue;
+                }
+                out.push(emit(view, id, false, naive_rule(view, id)));
+            }
+        }
+    }
+    out
+}
+
+fn naive_decision<'a>(view: ArtifactView<'a>, id: NodeId) -> Option<&'a LabelDecision> {
+    view.decisions.iter().find(|d| d.node == id.0)
+}
+
+fn naive_rule(view: ArtifactView<'_>, id: NodeId) -> Option<String> {
+    naive_decision(view, id).map(|d| d.rule.clone())
+}
+
+/// The label's normalized content-word keys, resolved by scanning the
+/// sidecar with string compares.
+fn naive_keys<'a>(view: ArtifactView<'a>, label: &str) -> Option<Vec<&'a str>> {
+    view.normalized
+        .iter()
+        .find(|(sym, _)| view.symbols[*sym as usize] == label)
+        .map(|(_, keys)| {
+            keys.iter()
+                .map(|&k| view.symbols[k as usize].as_str())
+                .collect()
+        })
+}
+
+fn naive_eval(pred: &Pred, view: ArtifactView<'_>, lexicon: &Lexicon, id: NodeId) -> bool {
+    let node = view.tree.node(id);
+    match pred {
+        Pred::Label(op, value) => {
+            let Some(label) = node.label.as_deref() else {
+                return false;
+            };
+            match op {
+                LabelOp::Equals => label == value,
+                LabelOp::Contains => contains_ci(label, value),
+                LabelOp::SynonymOf => naive_keys(view, label)
+                    .is_some_and(|keys| keys.iter().any(|k| lexicon.are_synonyms(k, value))),
+                LabelOp::HyponymOf => naive_keys(view, label)
+                    .is_some_and(|keys| keys.iter().any(|k| lexicon.is_hypernym_of(value, k))),
+                LabelOp::HypernymOf => naive_keys(view, label)
+                    .is_some_and(|keys| keys.iter().any(|k| lexicon.is_hypernym_of(k, value))),
+            }
+        }
+        Pred::Kind(kind) => match kind {
+            KindName::Field => node.is_leaf(),
+            KindName::Group => !node.is_leaf(),
+        },
+        Pred::Rule(op, value) => {
+            naive_decision(view, id).is_some_and(|d| str_op_matches(*op, &d.rule, value))
+        }
+        Pred::Rejected(op, value) => naive_decision(view, id).is_some_and(|d| {
+            d.candidates
+                .iter()
+                .any(|c| !c.accepted && str_op_matches(*op, &c.label, value))
+        }),
+        Pred::Labeled => node.label.is_some(),
+        Pred::Unlabeled => node.label.is_none(),
+        Pred::And(a, b) => naive_eval(a, view, lexicon, id) && naive_eval(b, view, lexicon, id),
+        Pred::Or(a, b) => naive_eval(a, view, lexicon, id) || naive_eval(b, view, lexicon, id),
+        Pred::Not(inner) => !naive_eval(inner, view, lexicon, id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    /// A tiny hand-built artifact view backing store.
+    struct Fixture {
+        tree: SchemaTree,
+        decisions: Vec<LabelDecision>,
+        symbols: Vec<String>,
+        normalized: Vec<(u32, Vec<u32>)>,
+    }
+
+    impl Fixture {
+        fn view(&self) -> ArtifactView<'_> {
+            ArtifactView {
+                domain: "test",
+                tree: &self.tree,
+                decisions: &self.decisions,
+                symbols: &self.symbols,
+                normalized: &self.normalized,
+            }
+        }
+    }
+
+    fn fixture() -> Fixture {
+        let mut tree = SchemaTree::new("test");
+        let group = tree.add_internal(NodeId::ROOT, Some("Passengers"));
+        tree.add_leaf(group, Some("Adults"));
+        tree.add_leaf(group, Some("Children"));
+        let anon = tree.add_internal(NodeId::ROOT, None);
+        tree.add_leaf(anon, Some("Make"));
+        let decisions = vec![LabelDecision {
+            node: group.0,
+            path: "Passengers".into(),
+            rule: "internal:LI5".into(),
+            chosen: Some("Passengers".into()),
+            candidates: vec![qi_core::DecisionCandidate {
+                label: "People".into(),
+                frequency: 1,
+                accepted: false,
+                note: "outvoted".into(),
+            }],
+        }];
+        // Sidecar: label symbols then key symbols, as the artifact
+        // builder would intern them.
+        let symbols: Vec<String> = ["Passengers", "passenger", "Adults", "adult"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let normalized = vec![(0, vec![1]), (2, vec![3])];
+        Fixture {
+            tree,
+            decisions,
+            symbols,
+            normalized,
+        }
+    }
+
+    fn run(fixture: &Fixture, text: &str) -> Vec<QueryMatch> {
+        let query = parse(text).unwrap();
+        let lexicon = Lexicon::builtin();
+        let mut budget = Budget::new(10_000);
+        let fast = execute(&query, fixture.view(), &lexicon, &mut budget).unwrap();
+        let naive = execute_naive(&query, fixture.view(), &lexicon);
+        assert_eq!(fast, naive, "executor disagrees with oracle on {text:?}");
+        fast
+    }
+
+    #[test]
+    fn find_fields_scans_leaves() {
+        let f = fixture();
+        let labels: Vec<_> = run(&f, "find fields")
+            .into_iter()
+            .map(|m| m.label.unwrap())
+            .collect();
+        assert_eq!(labels, ["Adults", "Children", "Make"]);
+    }
+
+    #[test]
+    fn label_equality_uses_symbols() {
+        let f = fixture();
+        let matches = run(&f, "find groups where label = Passengers");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].rule.as_deref(), Some("internal:LI5"));
+        // "Children" is not in the symbol table: equality must still
+        // hold through the string fallback.
+        let matches = run(&f, "find fields where label = Children");
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn rule_and_rejected_predicates() {
+        let f = fixture();
+        assert_eq!(run(&f, "find nodes where rule = internal:LI5").len(), 1);
+        assert_eq!(run(&f, "find nodes where rejected ~ people").len(), 1);
+        assert_eq!(run(&f, "find nodes where rejected = people").len(), 0);
+    }
+
+    #[test]
+    fn unlabeled_and_traverse() {
+        let f = fixture();
+        let matches = run(&f, "find groups where unlabeled");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].path, "n4");
+        let matches = run(&f, "traverse fields from (label = Passengers)");
+        let labels: Vec<_> = matches.into_iter().map(|m| m.label.unwrap()).collect();
+        assert_eq!(labels, ["Adults", "Children"]);
+    }
+
+    #[test]
+    fn path_primitive_carries_trail() {
+        let f = fixture();
+        let matches = run(&f, "path to fields where label = Adults");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].trail.as_deref(), Some(&[0, 1, 2][..]));
+        assert_eq!(matches[0].path, "Passengers/Adults");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed() {
+        let f = fixture();
+        let query = parse("find nodes").unwrap();
+        let lexicon = Lexicon::builtin();
+        let mut budget = Budget::new(2);
+        let err = execute(&query, f.view(), &lexicon, &mut budget).unwrap_err();
+        assert_eq!(err, ExecError::BudgetExhausted { limit: 2 });
+    }
+
+    #[test]
+    fn domain_scope_filters() {
+        let f = fixture();
+        assert_eq!(run(&f, "find fields in other").len(), 0);
+        assert_eq!(run(&f, "find fields in test").len(), 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! Query intermediate representation.
+//!
+//! A [`Query`] pairs one primitive (`find`, `path to`, `traverse … from`)
+//! with a node-class target and optional predicate filters, plus an
+//! optional `in "<domain>"` scope. Predicates compose with `and` / `or` /
+//! `not` over atoms spanning the three artifact dimensions: label text
+//! (exact, substring, or lexicon-expanded through `synonym-of` /
+//! `hyponym-of` / `hypernym-of`), node kind, the fired labeling rule, and
+//! rejected-candidate provenance.
+//!
+//! [`std::fmt::Display`] renders the canonical text form: every string
+//! quoted, minimal parentheses. `parse(query.to_string())` round-trips
+//! structurally, which is what keys pagination cursors to the query.
+
+use std::fmt;
+
+/// Which class of tree nodes a query returns (the root is never
+/// returned: it names the domain rather than any integrated concept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Leaf nodes — the integrated interface's fields.
+    Fields,
+    /// Internal nodes — the integrated interface's groups.
+    Groups,
+    /// Both.
+    Nodes,
+}
+
+impl Target {
+    fn keyword(self) -> &'static str {
+        match self {
+            Target::Fields => "fields",
+            Target::Groups => "groups",
+            Target::Nodes => "nodes",
+        }
+    }
+}
+
+/// The traversal shape of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Primitive {
+    /// Scan every candidate node.
+    Find,
+    /// Like `find`, but each match also carries its root-to-node trail.
+    Path,
+    /// Scan for start nodes matching the `from` predicate, then collect
+    /// matches from their subtrees (start nodes included).
+    Traverse {
+        /// Predicate selecting the traversal start nodes.
+        from: Box<Pred>,
+    },
+}
+
+/// How a `label` atom compares against a node label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelOp {
+    /// Exact string equality — O(symbol compare) once both sides are
+    /// interned.
+    Equals,
+    /// Case-insensitive substring containment.
+    Contains,
+    /// Some normalized content-word key of the label shares a synset
+    /// with the query word.
+    SynonymOf,
+    /// Some key is a strict hyponym of the query word (the query word is
+    /// its transitive hypernym).
+    HyponymOf,
+    /// Some key is a strict hypernym of the query word.
+    HypernymOf,
+}
+
+impl LabelOp {
+    fn keyword(self) -> &'static str {
+        match self {
+            LabelOp::Equals => "=",
+            LabelOp::Contains => "~",
+            LabelOp::SynonymOf => "synonym-of",
+            LabelOp::HyponymOf => "hyponym-of",
+            LabelOp::HypernymOf => "hypernym-of",
+        }
+    }
+}
+
+/// How a provenance atom (`rule`, `rejected`) compares its string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrOp {
+    /// Exact equality.
+    Equals,
+    /// Case-insensitive substring containment.
+    Contains,
+}
+
+impl StrOp {
+    fn keyword(self) -> &'static str {
+        match self {
+            StrOp::Equals => "=",
+            StrOp::Contains => "~",
+        }
+    }
+}
+
+/// The node kind named by a `kind =` atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KindName {
+    /// Leaf.
+    Field,
+    /// Internal.
+    Group,
+}
+
+impl KindName {
+    fn keyword(self) -> &'static str {
+        match self {
+            KindName::Field => "field",
+            KindName::Group => "group",
+        }
+    }
+}
+
+/// A predicate over one tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// `label <op> <string>`.
+    Label(LabelOp, String),
+    /// `kind = field|group`.
+    Kind(KindName),
+    /// `rule <op> <string>` — the labeling rule recorded in the node's
+    /// [`qi_core::LabelDecision`].
+    Rule(StrOp, String),
+    /// `rejected <op> <string>` — some rejected decision candidate.
+    Rejected(StrOp, String),
+    /// The node carries a label.
+    Labeled,
+    /// The node carries no label.
+    Unlabeled,
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// Binding strength for minimal-parenthesis rendering: `or` < `and`
+    /// < `not` < atoms.
+    fn precedence(&self) -> u8 {
+        match self {
+            Pred::Or(..) => 0,
+            Pred::And(..) => 1,
+            Pred::Not(..) => 2,
+            _ => 3,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+        let prec = self.precedence();
+        if prec < min {
+            write!(f, "(")?;
+        }
+        match self {
+            Pred::Label(op, s) => write!(f, "label {} {}", op.keyword(), quote(s))?,
+            Pred::Kind(k) => write!(f, "kind = {}", k.keyword())?,
+            Pred::Rule(op, s) => write!(f, "rule {} {}", op.keyword(), quote(s))?,
+            Pred::Rejected(op, s) => write!(f, "rejected {} {}", op.keyword(), quote(s))?,
+            Pred::Labeled => write!(f, "labeled")?,
+            Pred::Unlabeled => write!(f, "unlabeled")?,
+            Pred::And(a, b) => {
+                a.fmt_prec(f, 1)?;
+                write!(f, " and ")?;
+                // Right operand at prec+1 keeps rendering left-associative,
+                // matching the parser.
+                b.fmt_prec(f, 2)?;
+            }
+            Pred::Or(a, b) => {
+                a.fmt_prec(f, 0)?;
+                write!(f, " or ")?;
+                b.fmt_prec(f, 1)?;
+            }
+            Pred::Not(inner) => {
+                write!(f, "not ")?;
+                inner.fmt_prec(f, 2)?;
+            }
+        }
+        if prec < min {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+/// One parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Traversal shape.
+    pub primitive: Primitive,
+    /// Node class returned.
+    pub target: Target,
+    /// Optional `where` filter.
+    pub pred: Option<Pred>,
+    /// Optional `in "<domain>"` scope (a domain slug).
+    pub domain: Option<String>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.primitive {
+            Primitive::Find => write!(f, "find {}", self.target.keyword())?,
+            Primitive::Path => write!(f, "path to {}", self.target.keyword())?,
+            Primitive::Traverse { from } => {
+                write!(f, "traverse {} from ({from})", self.target.keyword())?
+            }
+        }
+        if let Some(pred) = &self.pred {
+            write!(f, " where {pred}")?;
+        }
+        if let Some(domain) = &self.domain {
+            write!(f, " in {}", quote(domain))?;
+        }
+        Ok(())
+    }
+}
+
+/// Canonical quoted form of a string operand.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_canonical() {
+        let q = Query {
+            primitive: Primitive::Find,
+            target: Target::Fields,
+            pred: Some(Pred::And(
+                Box::new(Pred::Label(LabelOp::SynonymOf, "passenger".into())),
+                Box::new(Pred::Or(
+                    Box::new(Pred::Labeled),
+                    Box::new(Pred::Not(Box::new(Pred::Kind(KindName::Group)))),
+                )),
+            )),
+            domain: Some("airline".into()),
+        };
+        assert_eq!(
+            q.to_string(),
+            "find fields where label synonym-of \"passenger\" \
+             and (labeled or not kind = group) in \"airline\""
+        );
+    }
+
+    #[test]
+    fn quoting_escapes() {
+        let p = Pred::Label(LabelOp::Equals, "say \"hi\"\\".into());
+        assert_eq!(p.to_string(), "label = \"say \\\"hi\\\"\\\\\"");
+    }
+}

@@ -1,0 +1,33 @@
+//! Composable query engine over the labeled tree, the lexicon's
+//! relations, and the labeler's decision provenance.
+//!
+//! The read API's fixed-shape endpoints answer "what does this domain
+//! look like"; this crate answers the cross-cutting questions — "fields
+//! across all domains whose label is a synonym of *passenger*",
+//! "internal nodes labeled by rule LI5", "paths from root to any field
+//! whose rejected candidates include *make*" — with three pieces:
+//!
+//! - an IR ([`ir`]) of find / path / traverse primitives filtered by
+//!   composable predicates over label text, interned symbols, lexicon
+//!   relations, node kind and provenance;
+//! - a compact text syntax ([`parse`]) with a hand-rolled
+//!   zero-dependency parser and typed errors;
+//! - an executor ([`exec`]) that runs against borrowed views of the
+//!   serving tier's in-memory artifacts, resolving lexicon-expanded
+//!   predicates once per query into symbol sets so the tree walk does
+//!   no string or lexicon work, under a traversal-node budget;
+//!
+//! plus opaque version-pinned pagination cursors ([`cursor`]) shared by
+//! `/query` and the paginated `/explain`.
+
+#![warn(missing_docs)]
+
+pub mod cursor;
+pub mod exec;
+pub mod ir;
+pub mod parse;
+
+pub use cursor::{fnv1a, query_hash, Cursor, CursorError};
+pub use exec::{execute, execute_naive, ArtifactView, Budget, ExecError, QueryMatch};
+pub use ir::{KindName, LabelOp, Pred, Primitive, Query, StrOp, Target};
+pub use parse::{parse, ParseError, ParseErrorKind, MAX_QUERY_LEN};

@@ -1,0 +1,556 @@
+//! Hand-rolled zero-dependency parser for the compact query syntax.
+//!
+//! ```text
+//! query      := primitive [ 'in' string ]
+//! primitive  := 'find' target [ 'where' pred ]
+//!             | 'path' 'to' target [ 'where' pred ]
+//!             | 'traverse' target 'from' '(' pred ')' [ 'where' pred ]
+//! target     := 'fields' | 'groups' | 'nodes'
+//! pred       := and_pred { 'or' and_pred }
+//! and_pred   := unary { 'and' unary }
+//! unary      := 'not' unary | '(' pred ')' | atom
+//! atom       := 'label' ( '=' | '~' | 'synonym-of' | 'hyponym-of'
+//!                       | 'hypernym-of' ) string
+//!             | 'kind' '=' ( 'field' | 'group' )
+//!             | 'rule'     ( '=' | '~' ) string
+//!             | 'rejected' ( '=' | '~' ) string
+//!             | 'labeled' | 'unlabeled'
+//! string     := '"' escaped-chars '"' | bare-word
+//! ```
+//!
+//! Bare words (letters, digits, `_ - . :`) double as unquoted string
+//! operands, so `rule = internal:LI5` needs no quoting; anything with
+//! spaces does. Errors are typed ([`ParseError`]) and carry the byte
+//! offset where parsing stopped.
+
+use crate::ir::{KindName, LabelOp, Pred, Primitive, Query, StrOp, Target};
+use std::fmt;
+
+/// Hard cap on accepted query text length, in bytes. Longer inputs are
+/// rejected before tokenization (the serving tier maps this to 400).
+pub const MAX_QUERY_LEN: usize = 4096;
+
+/// Why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input exceeds [`MAX_QUERY_LEN`].
+    QueryTooLong {
+        /// Actual input length in bytes.
+        len: usize,
+        /// The cap that was exceeded.
+        max: usize,
+    },
+    /// A byte outside the token alphabet.
+    UnexpectedChar(char),
+    /// A quoted string with no closing quote.
+    UnterminatedString,
+    /// A backslash escape other than `\"` or `\\`.
+    BadEscape(char),
+    /// The parser wanted one construct and saw another token.
+    Expected {
+        /// Human description of the expected construct.
+        expected: &'static str,
+        /// The token actually found, rendered.
+        found: String,
+    },
+    /// Input ended where a construct was required.
+    UnexpectedEnd {
+        /// Human description of the expected construct.
+        expected: &'static str,
+    },
+    /// A complete query was parsed but input remained.
+    TrailingInput {
+        /// The first leftover token, rendered.
+        found: String,
+    },
+}
+
+/// A typed parse failure with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Byte offset into the query text.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::QueryTooLong { len, max } => {
+                write!(f, "query is {len} bytes, over the {max}-byte cap")
+            }
+            ParseErrorKind::UnexpectedChar(c) => {
+                write!(f, "unexpected character {c:?} at byte {}", self.offset)
+            }
+            ParseErrorKind::UnterminatedString => {
+                write!(f, "unterminated string starting at byte {}", self.offset)
+            }
+            ParseErrorKind::BadEscape(c) => {
+                write!(f, "unsupported escape \\{c} at byte {}", self.offset)
+            }
+            ParseErrorKind::Expected { expected, found } => {
+                write!(
+                    f,
+                    "expected {expected}, found `{found}` at byte {}",
+                    self.offset
+                )
+            }
+            ParseErrorKind::UnexpectedEnd { expected } => {
+                write!(f, "expected {expected}, found end of query")
+            }
+            ParseErrorKind::TrailingInput { found } => {
+                write!(
+                    f,
+                    "trailing input `{found}` after query at byte {}",
+                    self.offset
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Eq,
+    Tilde,
+    LParen,
+    RParen,
+}
+
+impl Tok {
+    fn render(&self) -> String {
+        match self {
+            Tok::Word(w) => w.clone(),
+            Tok::Str(s) => format!("\"{s}\""),
+            Tok::Eq => "=".into(),
+            Tok::Tilde => "~".into(),
+            Tok::LParen => "(".into(),
+            Tok::RParen => ")".into(),
+        }
+    }
+}
+
+fn bare_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+}
+
+fn tokenize(text: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some(&(offset, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '=' => {
+                chars.next();
+                out.push((Tok::Eq, offset));
+            }
+            '~' => {
+                chars.next();
+                out.push((Tok::Tilde, offset));
+            }
+            '(' => {
+                chars.next();
+                out.push((Tok::LParen, offset));
+            }
+            ')' => {
+                chars.next();
+                out.push((Tok::RParen, offset));
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '"')) => break,
+                        Some((esc_at, '\\')) => match chars.next() {
+                            Some((_, '"')) => s.push('"'),
+                            Some((_, '\\')) => s.push('\\'),
+                            Some((_, other)) => {
+                                return Err(ParseError {
+                                    kind: ParseErrorKind::BadEscape(other),
+                                    offset: esc_at,
+                                })
+                            }
+                            None => {
+                                return Err(ParseError {
+                                    kind: ParseErrorKind::UnterminatedString,
+                                    offset,
+                                })
+                            }
+                        },
+                        Some((_, other)) => s.push(other),
+                        None => {
+                            return Err(ParseError {
+                                kind: ParseErrorKind::UnterminatedString,
+                                offset,
+                            })
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), offset));
+            }
+            c if bare_word_char(c) => {
+                let mut word = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if !bare_word_char(c) {
+                        break;
+                    }
+                    word.push(c);
+                    chars.next();
+                }
+                out.push((Tok::Word(word), offset));
+            }
+            other => {
+                return Err(ParseError {
+                    kind: ParseErrorKind::UnexpectedChar(other),
+                    offset,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or(self.end)
+    }
+
+    fn next(&mut self, expected: &'static str) -> Result<Tok, ParseError> {
+        match self.tokens.get(self.pos) {
+            Some((tok, _)) => {
+                let tok = tok.clone();
+                self.pos += 1;
+                Ok(tok)
+            }
+            None => Err(ParseError {
+                kind: ParseErrorKind::UnexpectedEnd { expected },
+                offset: self.end,
+            }),
+        }
+    }
+
+    fn expected(&self, expected: &'static str, found: &Tok) -> ParseError {
+        ParseError {
+            kind: ParseErrorKind::Expected {
+                expected,
+                found: found.render(),
+            },
+            // `found` has already been consumed, so its offset is the
+            // previous token's.
+            offset: self
+                .tokens
+                .get(self.pos.saturating_sub(1))
+                .map(|&(_, o)| o)
+                .unwrap_or(self.end),
+        }
+    }
+
+    fn expect_word(&mut self, keyword: &'static str) -> Result<(), ParseError> {
+        match self.next(keyword)? {
+            Tok::Word(w) if w == keyword => Ok(()),
+            other => Err(self.expected(keyword, &other)),
+        }
+    }
+
+    /// Consume the next word if it equals `keyword`.
+    fn eat_word(&mut self, keyword: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Word(w)) if w == keyword) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self, expected: &'static str) -> Result<String, ParseError> {
+        match self.next(expected)? {
+            Tok::Str(s) => Ok(s),
+            Tok::Word(w) => Ok(w),
+            other => Err(self.expected(expected, &other)),
+        }
+    }
+
+    fn target(&mut self) -> Result<Target, ParseError> {
+        const EXPECTED: &str = "target (fields, groups or nodes)";
+        match self.next(EXPECTED)? {
+            Tok::Word(w) if w == "fields" => Ok(Target::Fields),
+            Tok::Word(w) if w == "groups" => Ok(Target::Groups),
+            Tok::Word(w) if w == "nodes" => Ok(Target::Nodes),
+            other => Err(self.expected(EXPECTED, &other)),
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        let mut left = self.and_pred()?;
+        while self.eat_word("or") {
+            let right = self.and_pred()?;
+            left = Pred::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_pred(&mut self) -> Result<Pred, ParseError> {
+        let mut left = self.unary()?;
+        while self.eat_word("and") {
+            let right = self.unary()?;
+            left = Pred::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Pred, ParseError> {
+        if self.eat_word("not") {
+            return Ok(Pred::Not(Box::new(self.unary()?)));
+        }
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            self.pos += 1;
+            let inner = self.pred()?;
+            match self.next("closing `)`")? {
+                Tok::RParen => return Ok(inner),
+                other => return Err(self.expected("closing `)`", &other)),
+            }
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Pred, ParseError> {
+        const EXPECTED: &str = "predicate atom (label, kind, rule, rejected, labeled or unlabeled)";
+        match self.next(EXPECTED)? {
+            Tok::Word(w) if w == "label" => {
+                const OPS: &str = "label operator (=, ~, synonym-of, hyponym-of or hypernym-of)";
+                let op = match self.next(OPS)? {
+                    Tok::Eq => LabelOp::Equals,
+                    Tok::Tilde => LabelOp::Contains,
+                    Tok::Word(w) if w == "synonym-of" => LabelOp::SynonymOf,
+                    Tok::Word(w) if w == "hyponym-of" => LabelOp::HyponymOf,
+                    Tok::Word(w) if w == "hypernym-of" => LabelOp::HypernymOf,
+                    other => return Err(self.expected(OPS, &other)),
+                };
+                Ok(Pred::Label(op, self.string("label operand")?))
+            }
+            Tok::Word(w) if w == "kind" => {
+                match self.next("`=`")? {
+                    Tok::Eq => {}
+                    other => return Err(self.expected("`=`", &other)),
+                }
+                const KINDS: &str = "kind (field or group)";
+                match self.next(KINDS)? {
+                    Tok::Word(w) if w == "field" => Ok(Pred::Kind(KindName::Field)),
+                    Tok::Word(w) if w == "group" => Ok(Pred::Kind(KindName::Group)),
+                    other => Err(self.expected(KINDS, &other)),
+                }
+            }
+            Tok::Word(w) if w == "rule" => {
+                let op = self.str_op("rule operator (= or ~)")?;
+                Ok(Pred::Rule(op, self.string("rule operand")?))
+            }
+            Tok::Word(w) if w == "rejected" => {
+                let op = self.str_op("rejected operator (= or ~)")?;
+                Ok(Pred::Rejected(op, self.string("rejected operand")?))
+            }
+            Tok::Word(w) if w == "labeled" => Ok(Pred::Labeled),
+            Tok::Word(w) if w == "unlabeled" => Ok(Pred::Unlabeled),
+            other => Err(self.expected(EXPECTED, &other)),
+        }
+    }
+
+    fn str_op(&mut self, expected: &'static str) -> Result<StrOp, ParseError> {
+        match self.next(expected)? {
+            Tok::Eq => Ok(StrOp::Equals),
+            Tok::Tilde => Ok(StrOp::Contains),
+            other => Err(self.expected(expected, &other)),
+        }
+    }
+}
+
+/// Parse query text into its IR, enforcing [`MAX_QUERY_LEN`].
+pub fn parse(text: &str) -> Result<Query, ParseError> {
+    if text.len() > MAX_QUERY_LEN {
+        return Err(ParseError {
+            kind: ParseErrorKind::QueryTooLong {
+                len: text.len(),
+                max: MAX_QUERY_LEN,
+            },
+            offset: MAX_QUERY_LEN,
+        });
+    }
+    let tokens = tokenize(text)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: text.len(),
+    };
+    const PRIMITIVES: &str = "primitive (find, path or traverse)";
+    let primitive_word = match p.next(PRIMITIVES)? {
+        Tok::Word(w) => w,
+        other => return Err(p.expected(PRIMITIVES, &other)),
+    };
+    let (primitive, target) = match primitive_word.as_str() {
+        "find" => (Primitive::Find, p.target()?),
+        "path" => {
+            p.expect_word("to")?;
+            (Primitive::Path, p.target()?)
+        }
+        "traverse" => {
+            let target = p.target()?;
+            p.expect_word("from")?;
+            match p.next("`(`")? {
+                Tok::LParen => {}
+                other => return Err(p.expected("`(`", &other)),
+            }
+            let from = p.pred()?;
+            match p.next("closing `)`")? {
+                Tok::RParen => {}
+                other => return Err(p.expected("closing `)`", &other)),
+            }
+            (
+                Primitive::Traverse {
+                    from: Box::new(from),
+                },
+                target,
+            )
+        }
+        _ => {
+            return Err(ParseError {
+                kind: ParseErrorKind::Expected {
+                    expected: PRIMITIVES,
+                    found: primitive_word,
+                },
+                offset: 0,
+            })
+        }
+    };
+    let pred = if p.eat_word("where") {
+        Some(p.pred()?)
+    } else {
+        None
+    };
+    let domain = if p.eat_word("in") {
+        Some(p.string("domain slug")?)
+    } else {
+        None
+    };
+    if let Some(tok) = p.peek() {
+        return Err(ParseError {
+            kind: ParseErrorKind::TrailingInput {
+                found: tok.render(),
+            },
+            offset: p.offset(),
+        });
+    }
+    Ok(Query {
+        primitive,
+        target,
+        pred,
+        domain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) {
+        let q = parse(text).expect("parses");
+        let rendered = q.to_string();
+        let q2 = parse(&rendered).expect("canonical form parses");
+        assert_eq!(q, q2, "round trip of {text:?} via {rendered:?}");
+    }
+
+    #[test]
+    fn round_trips() {
+        roundtrip("find fields");
+        roundtrip("find nodes where unlabeled");
+        roundtrip("find fields where label synonym-of passenger");
+        roundtrip("find fields where label = \"Departure Date\" in airline");
+        roundtrip("path to fields where rejected ~ make");
+        roundtrip("traverse nodes from (label = Passengers) where kind = field");
+        roundtrip(
+            "find nodes where (labeled or rule ~ internal:) and not \
+             (label hyponym-of vehicle or label hypernym-of car)",
+        );
+        roundtrip("find groups where rule = \"internal:LI5\" and label ~ \"date\"");
+    }
+
+    #[test]
+    fn canonical_display_is_fixed_point() {
+        let q = parse("find fields where label = Make and (labeled or unlabeled)").unwrap();
+        let once = q.to_string();
+        assert_eq!(once, parse(&once).unwrap().to_string());
+    }
+
+    #[test]
+    fn precedence_binds_and_tighter_than_or() {
+        let q = parse("find nodes where labeled or unlabeled and kind = field").unwrap();
+        let Some(Pred::Or(_, right)) = q.pred else {
+            panic!("expected top-level or");
+        };
+        assert!(matches!(*right, Pred::And(..)));
+    }
+
+    #[test]
+    fn typed_errors_carry_offsets() {
+        let err = parse("find widgets").unwrap_err();
+        assert!(
+            matches!(err.kind, ParseErrorKind::Expected { .. }),
+            "{err:?}"
+        );
+        assert_eq!(err.offset, 5);
+
+        let err = parse("find fields where").unwrap_err();
+        assert!(
+            matches!(err.kind, ParseErrorKind::UnexpectedEnd { .. }),
+            "{err:?}"
+        );
+
+        let err = parse("find fields where label = \"open").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnterminatedString);
+        assert_eq!(err.offset, 26);
+
+        let err = parse("find fields where label ? x").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedChar('?'));
+
+        let err = parse("find fields extra").unwrap_err();
+        assert!(
+            matches!(err.kind, ParseErrorKind::TrailingInput { .. }),
+            "{err:?}"
+        );
+
+        let long = format!(
+            "find fields where label = \"{}\"",
+            "x".repeat(MAX_QUERY_LEN)
+        );
+        let err = parse(&long).unwrap_err();
+        assert!(
+            matches!(err.kind, ParseErrorKind::QueryTooLong { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn bad_escape_is_rejected() {
+        let err = parse("find fields where label = \"a\\n\"").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::BadEscape('n'));
+    }
+}

@@ -33,6 +33,8 @@ pub struct Request {
     pub method: String,
     /// Request path with any query string stripped.
     pub path: String,
+    /// Raw query string (after `?`, percent-encoded), empty if absent.
+    pub query: String,
     /// Minor HTTP version: `1` for `HTTP/1.1`, `0` for `HTTP/1.0`.
     /// Decides the keep-alive default (1.1 persists, 1.0 closes).
     pub version_minor: u8,
@@ -59,6 +61,21 @@ impl Request {
     pub fn header_has_token(&self, name: &str, token: &str) -> bool {
         self.header(name)
             .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token)))
+    }
+
+    /// First value of a query-string parameter, percent-decoded (`+`
+    /// also decodes to space). `?q=a%20b&limit=5` yields
+    /// `query_param("q") == Some("a b")`. Returns `None` when the
+    /// parameter is absent; an empty value decodes to `Some("")`.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k).as_deref() == Some(name)).then(|| {
+                // An undecodable value is kept verbatim: the route
+                // handler's own validation will reject it with context.
+                percent_decode(v).unwrap_or_else(|| v.to_string())
+            })
+        })
     }
 
     /// HTTP/1.1 persistence semantics: keep-alive unless the request
@@ -144,7 +161,7 @@ impl RequestBuf {
         if head_end > MAX_HEAD {
             return Err(RequestError::HeadTooLarge);
         }
-        let (method, path, version_minor, headers) = parse_head(&self.buf[..head_end])?;
+        let (method, path, query, version_minor, headers) = parse_head(&self.buf[..head_end])?;
         let content_length = match headers
             .iter()
             .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
@@ -167,6 +184,7 @@ impl RequestBuf {
         Ok(Some(Request {
             method,
             path,
+            query,
             version_minor,
             headers,
             body,
@@ -177,7 +195,9 @@ impl RequestBuf {
 /// Parse the request line + header block (everything before the blank
 /// line, exclusive).
 #[allow(clippy::type_complexity)]
-fn parse_head(head: &[u8]) -> Result<(String, String, u8, Vec<(String, String)>), RequestError> {
+fn parse_head(
+    head: &[u8],
+) -> Result<(String, String, String, u8, Vec<(String, String)>), RequestError> {
     let head_text = std::str::from_utf8(head)
         .map_err(|_| RequestError::Malformed("head is not UTF-8".into()))?;
     let mut lines = head_text.split("\r\n");
@@ -202,7 +222,10 @@ fn parse_head(head: &[u8]) -> Result<(String, String, u8, Vec<(String, String)>)
         .strip_prefix("HTTP/1.")
         .and_then(|minor| minor.parse::<u8>().ok())
         .ok_or_else(|| RequestError::Malformed(format!("bad request line {request_line:?}")))?;
-    let path = target.split('?').next().unwrap_or("").to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     if !path.starts_with('/') {
         return Err(RequestError::Malformed(format!("bad path {target:?}")));
     }
@@ -217,7 +240,43 @@ fn parse_head(head: &[u8]) -> Result<(String, String, u8, Vec<(String, String)>)
             .ok_or_else(|| RequestError::Malformed(format!("bad header line {line:?}")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    Ok((method.to_string(), path.to_string(), version_minor, headers))
+    Ok((method.to_string(), path, query, version_minor, headers))
+}
+
+/// Percent-decode one query-string component; `+` decodes to space.
+/// Returns `None` on truncated or non-hex escapes or non-UTF-8 results.
+fn percent_decode(text: &str) -> Option<String> {
+    let raw = text.as_bytes();
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i] {
+            b'%' => {
+                let hi = hex_digit(*raw.get(i + 1)?)?;
+                let lo = hex_digit(*raw.get(i + 2)?)?;
+                out.push(hi << 4 | lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_digit(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
 }
 
 /// Read and parse one request from a blocking reader (the simple
@@ -347,7 +406,9 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        410 => "Gone",
         413 => "Payload Too Large",
+        422 => "Unprocessable Content",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -370,10 +431,27 @@ mod tests {
             parse("GET /domains/auto/labels?x=1 HTTP/1.1\r\nHost: h\r\nX-A: b\r\n\r\n").unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/domains/auto/labels");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.query_param("x").as_deref(), Some("1"));
         assert_eq!(req.version_minor, 1);
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.header("x-a"), Some("b"));
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn query_params_percent_decode() {
+        let req = parse("GET /query?q=find%20fields&limit=5&plus=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("q").as_deref(), Some("find fields"));
+        assert_eq!(req.query_param("limit").as_deref(), Some("5"));
+        assert_eq!(req.query_param("plus").as_deref(), Some("a b"));
+        assert_eq!(req.query_param("absent"), None);
+        // Bare key with no `=` decodes to the empty string.
+        let req = parse("GET /query?flag HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("flag").as_deref(), Some(""));
+        // Truncated escapes keep the raw text rather than failing.
+        let req = parse("GET /query?q=%zz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("q").as_deref(), Some("%zz"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod artifact;
 pub mod http;
+pub mod queryapi;
 pub mod server;
 pub mod snapshot;
 pub mod store;
@@ -32,6 +33,7 @@ pub use artifact::{
     build_artifact, build_corpus_artifacts, ingest_interface, ingest_interface_full, DeltaState,
     DomainArtifact,
 };
+pub use queryapi::{page_json, run_query, view_of, PageParams, QueryError, QueryPage};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use snapshot::{load_snapshot, write_snapshot, Snapshot, SnapshotError, FORMAT_VERSION};
 pub use store::{CacheEntry, Store};

@@ -48,7 +48,9 @@
 
 use crate::artifact::DomainArtifact;
 use crate::http::{Request, RequestError, Response};
+use crate::queryapi::{self, PageParams, QueryError};
 use crate::store::{CacheEntry, Store};
+use qi_query::Cursor;
 use qi_runtime::json::{Arr, Obj};
 use qi_runtime::netpoll::{self, PollFd, Waker};
 use qi_runtime::{resolve_threads, JobQueue, Telemetry};
@@ -418,6 +420,12 @@ fn run(
         "serve.conn.pipelined",
         "serve.conn.idle_closed",
         "serve.conn.rejected",
+        "query.executed",
+        "query.parse_errors",
+        "query.budget_exhausted",
+        "query.stale_cursors",
+        "query.cursor_resumed",
+        "query.matches",
     ] {
         telemetry.add(name, 0);
     }
@@ -1077,6 +1085,7 @@ fn route_name(request: &Request) -> &'static str {
         ("GET", ["domains", _, "labels"]) => "labels",
         ("GET", ["domains", _, "tree"]) => "tree",
         ("GET", ["domains", _, "explain"]) => "explain",
+        ("GET" | "POST", ["query"]) => "query",
         ("POST", ["domains", _, "interfaces"]) => "ingest",
         ("POST", ["admin", "reload"]) => "reload",
         ("POST", ["admin", "shutdown"]) => "shutdown",
@@ -1094,6 +1103,7 @@ fn route_keys(route: &'static str) -> (&'static str, &'static str) {
         "labels" => ("serve.requests.labels", "serve.http.labels"),
         "tree" => ("serve.requests.tree", "serve.http.tree"),
         "explain" => ("serve.requests.explain", "serve.http.explain"),
+        "query" => ("serve.requests.query", "serve.http.query"),
         "ingest" => ("serve.requests.ingest", "serve.http.ingest"),
         "reload" => ("serve.requests.reload", "serve.http.reload"),
         "shutdown" => ("serve.requests.shutdown", "serve.http.shutdown"),
@@ -1152,8 +1162,15 @@ fn handle(
             cached_get(request, store, domain, "tree", telemetry, tree)
         }
         ("GET", ["domains", domain, "explain"]) => {
-            cached_get(request, store, domain, "explain", telemetry, explain)
+            // Explicit pagination parameters bypass the rendered cache
+            // (each page is its own body); the bare GET stays cached.
+            if request.query_param("cursor").is_some() || request.query_param("limit").is_some() {
+                explain_paged(request, store, domain, telemetry)
+            } else {
+                cached_get(request, store, domain, "explain", telemetry, explain)
+            }
         }
+        ("GET" | "POST", ["query"]) => query_endpoint(request, store, telemetry),
         ("POST", ["domains", domain, "interfaces"]) => ingest(request, store, domain, effective),
         ("POST", ["admin", "reload"]) => reload(request, store, telemetry, config),
         ("POST", ["admin", "shutdown"]) => {
@@ -1333,10 +1350,26 @@ fn tree(artifact: &DomainArtifact) -> Response {
 }
 
 /// `GET /domains/{d}/explain`: the per-node labeling-decision
-/// provenance of the domain's current artifact.
+/// provenance of the domain's current artifact, paginated with the
+/// query engine's cursors. The bare GET renders the first page at the
+/// default page size (and is the shape the rendered cache holds);
+/// `?cursor=` / `?limit=` select other pages through [`explain_paged`].
 fn explain(artifact: &DomainArtifact) -> Response {
+    explain_page(artifact, 0, queryapi::DEFAULT_LIMIT as usize)
+}
+
+/// The tag hash pinning `/explain` cursors to this stream, so a query
+/// cursor pasted into `/explain` (or vice versa) is rejected instead of
+/// misread.
+fn explain_hash() -> u64 {
+    qi_query::query_hash("explain")
+}
+
+fn explain_page(artifact: &DomainArtifact, offset: usize, limit: usize) -> Response {
+    let total = artifact.decisions.len();
+    let end = offset.saturating_add(limit).min(total);
     let mut arr = Arr::new();
-    for decision in &artifact.decisions {
+    for decision in artifact.decisions.get(offset..end).unwrap_or(&[]) {
         let mut candidates = Arr::new();
         for candidate in &decision.candidates {
             candidates.raw(
@@ -1359,14 +1392,201 @@ fn explain(artifact: &DomainArtifact) -> Response {
         obj.raw("candidates", candidates.finish());
         arr.raw(obj.finish());
     }
-    Response::json(
-        200,
-        Obj::new()
-            .str("domain", &artifact.name)
-            .u64("decisions", artifact.decisions.len() as u64)
-            .raw("explain", arr.finish())
-            .finish(),
-    )
+    let mut obj = Obj::new();
+    obj.str("domain", &artifact.name);
+    obj.u64("decisions", total as u64);
+    obj.u64("count", end.saturating_sub(offset) as u64);
+    obj.raw("explain", arr.finish());
+    if end < total {
+        let cursor = Cursor {
+            qhash: explain_hash(),
+            slug: artifact.slug(),
+            version: artifact.version,
+            offset: end as u64,
+        };
+        obj.str("next_cursor", &cursor.encode());
+    }
+    Response::json(200, obj.finish())
+}
+
+/// `GET /domains/{d}/explain?cursor=…&limit=…`: an explicit page of the
+/// decision list, outside the rendered cache.
+fn explain_paged(
+    request: &Request,
+    store: &Store,
+    domain: &str,
+    telemetry: &Telemetry,
+) -> Response {
+    let Some(artifact) = store.get(domain) else {
+        return Response::error(404, "no such domain");
+    };
+    let limit = match u64_param(
+        request,
+        "limit",
+        queryapi::DEFAULT_LIMIT,
+        1,
+        queryapi::MAX_LIMIT,
+    ) {
+        Ok(limit) => limit,
+        Err(response) => return response,
+    };
+    let offset = match request.query_param("cursor") {
+        None => 0,
+        Some(text) => match Cursor::decode(&text) {
+            Err(_) => return Response::error(400, "bad cursor: cursor is not decodable"),
+            Ok(cursor) => {
+                if cursor.qhash != explain_hash() || cursor.slug != artifact.slug() {
+                    return Response::error(
+                        400,
+                        "bad cursor: cursor was issued for a different stream",
+                    );
+                }
+                if cursor.version != artifact.version {
+                    telemetry.incr("query.stale_cursors");
+                    return Response::error(
+                        410,
+                        "cursor is stale: the domain was re-labeled since the page was cut",
+                    );
+                }
+                cursor.offset as usize
+            }
+        },
+    };
+    explain_page(&artifact, offset, limit as usize)
+}
+
+/// Parse an integer query parameter, defaulting when absent and
+/// rejecting values outside `min..=max` with a 400.
+fn u64_param(
+    request: &Request,
+    name: &str,
+    default: u64,
+    min: u64,
+    max: u64,
+) -> Result<u64, Response> {
+    match request.query_param(name) {
+        None => Ok(default),
+        Some(text) => match text.parse::<u64>() {
+            Ok(value) if (min..=max).contains(&value) => Ok(value),
+            _ => Err(Response::error(
+                400,
+                &format!("bad {name}: expected an integer in {min}..={max}"),
+            )),
+        },
+    }
+}
+
+/// `GET/POST /query`: parse, execute and paginate one query across the
+/// served domains. `?q=` carries the text on GET; a POST body carries
+/// it verbatim (no encoding needed). `?limit=`, `?budget=` and
+/// `?cursor=` tune pagination; cursorless GETs flow through the
+/// rendered-response cache keyed to the store generation, so a repeated
+/// dashboard query costs one pointer clone and revalidates with ETags.
+fn query_endpoint(request: &Request, store: &Store, telemetry: &Telemetry) -> Response {
+    let text = if request.method == "POST" && !request.body.is_empty() {
+        match std::str::from_utf8(&request.body) {
+            Ok(text) => text.trim().to_string(),
+            Err(_) => return Response::error(400, "query body is not UTF-8"),
+        }
+    } else {
+        match request.query_param("q") {
+            Some(q) => q,
+            None => return Response::error(400, "missing query: pass ?q= or a POST body"),
+        }
+    };
+    let limit = match u64_param(
+        request,
+        "limit",
+        queryapi::DEFAULT_LIMIT,
+        1,
+        queryapi::MAX_LIMIT,
+    ) {
+        Ok(limit) => limit,
+        Err(response) => return response,
+    };
+    let budget = match u64_param(
+        request,
+        "budget",
+        queryapi::DEFAULT_BUDGET,
+        1,
+        queryapi::DEFAULT_BUDGET,
+    ) {
+        Ok(budget) => budget,
+        Err(response) => return response,
+    };
+    let params = PageParams {
+        limit,
+        budget,
+        cursor: request.query_param("cursor"),
+    };
+
+    // Parse up front: a 400 should not cost a corpus walk, and the
+    // cache key needs the canonical hash (so whitespace variants of the
+    // same query share one cached body).
+    let parsed = match qi_query::parse(&text) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            telemetry.incr("query.parse_errors");
+            return Response::error(400, &format!("bad query: {err}"));
+        }
+    };
+    let qhash = qi_query::query_hash(&parsed.to_string());
+    let cacheable = request.method == "GET" && params.cursor.is_none();
+    let generation = store.generation();
+    let cache_slug = format!("q{qhash:016x}.{limit}.{budget}");
+    if cacheable {
+        if let Some(entry) = store.cached(&cache_slug, "query", generation) {
+            telemetry.incr("serve.cache.hits");
+            return respond_from_cache(request, &entry);
+        }
+        telemetry.incr("serve.cache.misses");
+    }
+
+    let arcs: Vec<Arc<DomainArtifact>> = store
+        .slugs()
+        .iter()
+        .filter_map(|slug| store.get(slug))
+        .collect();
+    let refs: Vec<&DomainArtifact> = arcs.iter().map(|a| a.as_ref()).collect();
+    telemetry.incr("query.executed");
+    let timed = telemetry.timed("query.exec");
+    let result = queryapi::run_query(&refs, store.lexicon(), &text, &params);
+    drop(timed);
+    let page = match result {
+        Ok(page) => page,
+        Err(err) => {
+            let status = match &err {
+                QueryError::Parse(_) => {
+                    telemetry.incr("query.parse_errors");
+                    400
+                }
+                QueryError::BadCursor(_) => 400,
+                QueryError::StaleCursor => {
+                    telemetry.incr("query.stale_cursors");
+                    410
+                }
+                QueryError::BudgetExhausted { .. } => {
+                    telemetry.incr("query.budget_exhausted");
+                    422
+                }
+            };
+            return Response::error(status, &err.to_string());
+        }
+    };
+    if params.cursor.is_some() {
+        telemetry.incr("query.cursor_resumed");
+    }
+    telemetry.add("query.matches", page.matches.len() as u64);
+    let rendered = Response::json(200, queryapi::page_json(&page));
+    if cacheable {
+        // Stale-generation query entries can never hit again (version
+        // validation) but would otherwise accumulate one per distinct
+        // query; drop them while holding the fresh body.
+        store.prune_cached("query", generation);
+        let entry = store.insert_cached(cache_slug, "query", CacheEntry::of(generation, &rendered));
+        return respond_from_cache(request, &entry);
+    }
+    rendered
 }
 
 fn ingest(request: &Request, store: &Store, domain: &str, telemetry: &Telemetry) -> Response {
@@ -1392,9 +1612,14 @@ mod tests {
     use qi_lexicon::Lexicon;
 
     fn request(method: &str, path: &str, body: &[u8]) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((path, query)) => (path, query),
+            None => (path, ""),
+        };
         Request {
             method: method.to_string(),
             path: path.to_string(),
+            query: query.to_string(),
             version_minor: 1,
             headers: Vec::new(),
             body: body.to_vec(),
@@ -1587,8 +1812,195 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_emitted_codes() {
-        for code in [200u16, 400, 404, 405, 408, 413, 431, 500, 503] {
+        for code in [200u16, 400, 404, 405, 408, 410, 413, 422, 431, 500, 503] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
+    }
+
+    #[test]
+    fn query_endpoint_executes_and_paginates() {
+        let store = auto_store();
+        let telemetry = Telemetry::off();
+        let config = ServerConfig::default();
+        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config);
+
+        // GET with an encoded query.
+        let page = ok(&request("GET", "/query?q=find%20fields&limit=2", b""));
+        assert_eq!(page.status, 200);
+        let text = String::from_utf8(page.body.to_vec()).unwrap();
+        assert!(text.contains("\"query\":\"find fields\""), "{text}");
+        assert!(text.contains("\"count\":2"), "{text}");
+        let cursor = text
+            .split("\"next_cursor\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("auto has more than 2 fields");
+
+        // Resuming with the cursor yields the next, different page.
+        let next = ok(&request(
+            "GET",
+            &format!("/query?q=find%20fields&limit=2&cursor={cursor}"),
+            b"",
+        ));
+        assert_eq!(next.status, 200);
+        let next_text = String::from_utf8(next.body.to_vec()).unwrap();
+        assert_ne!(text, next_text);
+
+        // POST carries the query text verbatim in the body.
+        let posted = ok(&request("POST", "/query", b"find fields where labeled"));
+        assert_eq!(posted.status, 200);
+
+        // Typed failures map to their statuses.
+        assert_eq!(
+            ok(&request("GET", "/query?q=find%20widgets", b"")).status,
+            400
+        );
+        assert_eq!(ok(&request("GET", "/query", b"")).status, 400);
+        assert_eq!(
+            ok(&request("GET", "/query?q=find%20fields&limit=0", b"")).status,
+            400
+        );
+        assert_eq!(
+            ok(&request("GET", "/query?q=find%20fields&budget=1", b"")).status,
+            422
+        );
+        assert_eq!(
+            ok(&request("GET", "/query?q=find%20fields&cursor=zz", b"")).status,
+            400
+        );
+
+        // A cursor outlives the artifact version it was cut from: 410.
+        let extra = qi_schema::text_format::parse("interface extra\n- Make\n").unwrap();
+        store.ingest("auto", extra).unwrap();
+        assert_eq!(
+            ok(&request(
+                "GET",
+                &format!("/query?q=find%20fields&limit=2&cursor={cursor}"),
+                b"",
+            ))
+            .status,
+            410
+        );
+    }
+
+    #[test]
+    fn query_endpoint_caches_cursorless_gets() {
+        let store = auto_store();
+        let telemetry = Telemetry::new();
+        let config = ServerConfig::default();
+        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config);
+
+        let first = ok(&request("GET", "/query?q=find%20fields", b""));
+        assert_eq!(first.status, 200);
+        let etag = first
+            .extra_headers
+            .iter()
+            .find(|(name, _)| *name == "etag")
+            .map(|(_, value)| value.clone())
+            .expect("cached query responses carry an etag");
+        let again = ok(&request("GET", "/query?q=find%20fields", b""));
+        assert_eq!(*first.body, *again.body);
+        let snapshot = telemetry.snapshot();
+        let hits = snapshot
+            .counters
+            .get("serve.cache.hits")
+            .copied()
+            .unwrap_or(0);
+        assert!(hits >= 1, "repeat query must hit the rendered cache");
+
+        // Revalidation with the entry's own ETag comes back 304.
+        let mut revalidate = request("GET", "/query?q=find%20fields", b"");
+        revalidate.headers.push(("if-none-match".to_string(), etag));
+        let not_modified = ok(&revalidate);
+        assert_eq!(not_modified.status, 304);
+        assert!(not_modified.body.is_empty());
+    }
+
+    #[test]
+    fn explain_pagination_rides_the_cursor_machinery() {
+        let store = auto_store();
+        let telemetry = Telemetry::off();
+        let config = ServerConfig::default();
+        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config);
+
+        let full = ok(&request("GET", "/domains/auto/explain", b""));
+        assert_eq!(full.status, 200);
+        let full_text = String::from_utf8(full.body.to_vec()).unwrap();
+        let total: usize = full_text
+            .split("\"decisions\":")
+            .nth(1)
+            .and_then(|rest| rest.split(&[',', '}'][..]).next())
+            .and_then(|n| n.parse().ok())
+            .expect("explain reports its total");
+        assert!(total > 2, "auto has several decisions");
+
+        // Walk the stream two decisions at a time and count them.
+        let mut seen = 0usize;
+        let mut cursor: Option<String> = None;
+        loop {
+            let path = match &cursor {
+                Some(c) => format!("/domains/auto/explain?limit=2&cursor={c}"),
+                None => "/domains/auto/explain?limit=2".to_string(),
+            };
+            let page = ok(&request("GET", &path, b""));
+            assert_eq!(page.status, 200);
+            let text = String::from_utf8(page.body.to_vec()).unwrap();
+            let count: usize = text
+                .split("\"count\":")
+                .nth(1)
+                .and_then(|rest| rest.split(&[',', '}'][..]).next())
+                .and_then(|n| n.parse().ok())
+                .unwrap();
+            assert!(count <= 2);
+            seen += count;
+            match text
+                .split("\"next_cursor\":\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+            {
+                Some(next) => cursor = Some(next.to_string()),
+                None => break,
+            }
+        }
+        assert_eq!(seen, total, "paged explain covers every decision");
+
+        // A query cursor pasted into explain is rejected.
+        let q = ok(&request("GET", "/query?q=find%20fields&limit=1", b""));
+        let q_text = String::from_utf8(q.body.to_vec()).unwrap();
+        let q_cursor = q_text
+            .split("\"next_cursor\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap();
+        assert_eq!(
+            ok(&request(
+                "GET",
+                &format!("/domains/auto/explain?cursor={q_cursor}"),
+                b"",
+            ))
+            .status,
+            400
+        );
+
+        // Re-labeling the domain invalidates outstanding explain cursors.
+        let page = ok(&request("GET", "/domains/auto/explain?limit=1", b""));
+        let text = String::from_utf8(page.body.to_vec()).unwrap();
+        let stale = text
+            .split("\"next_cursor\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap()
+            .to_string();
+        let extra = qi_schema::text_format::parse("interface extra\n- Make\n").unwrap();
+        store.ingest("auto", extra).unwrap();
+        assert_eq!(
+            ok(&request(
+                "GET",
+                &format!("/domains/auto/explain?cursor={stale}"),
+                b"",
+            ))
+            .status,
+            410
+        );
     }
 }

@@ -112,6 +112,12 @@ impl Store {
         *self.policy.read().unwrap()
     }
 
+    /// The lexicon the artifacts were normalized against — query
+    /// execution resolves `synonym-of`-style predicates through it.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
     /// Slugs of all served domains, sorted.
     pub fn slugs(&self) -> Vec<String> {
         self.domains.read().unwrap().keys().cloned().collect()
@@ -171,6 +177,19 @@ impl Store {
             .unwrap()
             .insert((slug, endpoint), Arc::clone(&entry));
         entry
+    }
+
+    /// Drop every cached entry for `endpoint` whose recorded version is
+    /// not `current`. The per-slug eviction in [`Store::ingest_with`]
+    /// cannot see `/query` entries (their slug slot carries a query
+    /// hash, not a domain), so the query handler calls this with the
+    /// store generation before inserting — stale generations never hit
+    /// anyway (version validation), this just stops them accumulating.
+    pub fn prune_cached(&self, endpoint: &'static str, current: u64) {
+        self.cache
+            .write()
+            .unwrap()
+            .retain(|(_, e), entry| *e != endpoint || entry.version == current);
     }
 
     /// Add an interface to a domain: re-cluster, re-merge and re-label

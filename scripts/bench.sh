@@ -152,6 +152,13 @@ awk '
 # Serving benchmark: snapshot cold start vs full pipeline rebuild, plus
 # end-to-end GET throughput against a live server on loopback. Writes
 # BENCH_serve.json at the repo root.
+serve_reference=""
+if git show HEAD:BENCH_serve.json >/tmp/bench_serve_ref.json 2>/dev/null; then
+    serve_reference=/tmp/bench_serve_ref.json
+elif [ -f BENCH_serve.json ]; then
+    cp BENCH_serve.json /tmp/bench_serve_ref.json
+    serve_reference=/tmp/bench_serve_ref.json
+fi
 cargo build --release -p qi-bench --bin qi-serve-bench
 ./target/release/qi-serve-bench --out BENCH_serve.json
 awk '
@@ -211,4 +218,41 @@ awk '
         printf "response cache: %d hits, %d misses, %d invalidations\n", hits, misses, inval
         if (ingest_speedup + 0 < 5)
             printf "WARNING: incremental ingest is below the 5x target (%.1fx)\n", ingest_speedup
+
+        # Query-engine stage: the representative query set over a
+        # seeded drift corpus.
+        qms = field(line, "median_ms")
+        qn = field(line, "queries")
+        qdomains = field(line, "query_domains")
+        qmatches = field(line, "query_matches")
+        printf "query engine: %d-query set over %d drift domains in %.3f ms median (%d matches)\n", \
+            qn, qdomains, qms, qmatches
     }'
+
+# Query-stage regression gate: warn when the query_scaled median in the
+# fresh BENCH_serve.json regresses >10% against the committed reference.
+if [ -n "$serve_reference" ]; then
+    awk -v ref="$serve_reference" '
+        function grab(file, out,   line, n, parts, i, name, ms) {
+            getline line < file
+            close(file)
+            n = split(line, parts, /"name":"/)
+            for (i = 2; i <= n; i++) {
+                name = parts[i]; sub(/".*/, "", name)
+                ms = parts[i]; sub(/.*"median_ms":/, "", ms); sub(/[,}].*/, "", ms)
+                out[name] = ms
+            }
+        }
+        BEGIN {
+            grab("BENCH_serve.json", now)
+            grab(ref, was)
+            s = "query_scaled"
+            if (was[s] + 0 > 0 && now[s] + 0 > 0) {
+                delta = (now[s] - was[s]) / was[s] * 100
+                printf "%s median: %.3f ms (reference %.3f ms, %+.1f%%)\n", \
+                    s, now[s], was[s], delta
+                if (delta > 10)
+                    printf "WARNING: %s regressed by %.1f%% vs committed reference\n", s, delta
+            }
+        }'
+fi

@@ -170,10 +170,60 @@ etag=$(./target/release/qi fetch --include "http://$addr/domains/auto/labels" \
 ./target/release/qi fetch "http://$addr/metrics" \
     | grep -o '"serve\.cache\.hits":[0-9]*' | grep -qv ':0$' \
     || { echo "FAIL: server smoke probes never hit the response cache"; exit 1; }
+# Query smoke stage: /query over the live server. The happy path rides
+# a GET whose spaces qi fetch percent-encodes itself; the POST body
+# (--data) carries the text verbatim; typed failures map to their
+# statuses (parse error -> 400, starved traversal budget -> 422); a
+# limit=1 page cuts a cursor that resumes; and the cursorless page is
+# served from the rendered cache with a revalidatable ETag.
+./target/release/qi fetch "http://$addr/query?q=find fields&limit=3" \
+    | grep -q '"count":3' \
+    || { echo "FAIL: /query happy-path probe"; exit 1; }
+./target/release/qi fetch --data 'find nodes where unlabeled' "http://$addr/query" \
+    | grep -q '"query":"find nodes where unlabeled"' \
+    || { echo "FAIL: /query POST-body probe"; exit 1; }
+if ./target/release/qi fetch "http://$addr/query?q=find widgets" \
+    >/dev/null 2>"$smoke_dir/query.err"; then
+    echo "FAIL: /query parse error did not fail the probe"; exit 1
+fi
+grep -q '400 Bad Request' "$smoke_dir/query.err" \
+    || { echo "FAIL: /query parse error did not answer 400"; exit 1; }
+if ./target/release/qi fetch "http://$addr/query?q=find fields&budget=1" \
+    >/dev/null 2>"$smoke_dir/query.err"; then
+    echo "FAIL: /query starved budget did not fail the probe"; exit 1
+fi
+grep -q '422 Unprocessable Content' "$smoke_dir/query.err" \
+    || { echo "FAIL: /query starved budget did not answer 422"; exit 1; }
+qcursor=$(./target/release/qi fetch "http://$addr/query?q=find fields in auto&limit=1" \
+    | grep -o '"next_cursor":"[0-9a-f]*"' | cut -d'"' -f4)
+[ -n "$qcursor" ] || { echo "FAIL: limit=1 query page carries no cursor"; exit 1; }
+./target/release/qi fetch \
+    "http://$addr/query?q=find fields in auto&limit=1&cursor=$qcursor" \
+    | grep -q '"count":1' \
+    || { echo "FAIL: /query cursor resume probe"; exit 1; }
+qetag=$(./target/release/qi fetch --include "http://$addr/query?q=find fields" \
+    | sed -n 's/^etag: *//p' | tr -d '\r')
+[ -n "$qetag" ] || { echo "FAIL: cursorless /query carries no etag"; exit 1; }
+./target/release/qi fetch --etag "$qetag" "http://$addr/query?q=find fields" 2>&1 \
+    | grep -q '304 Not Modified' \
+    || { echo "FAIL: /query revalidation did not answer 304"; exit 1; }
+# Paginated explain shares the cursor machinery.
+./target/release/qi fetch "http://$addr/domains/auto/explain?limit=1" \
+    | grep -q '"next_cursor":"' \
+    || { echo "FAIL: paginated explain carries no cursor"; exit 1; }
 printf 'interface smoke\n- Make\n- Model\n' > "$smoke_dir/smoke.qis"
 ./target/release/qi fetch --body "$smoke_dir/smoke.qis" \
     "http://$addr/domains/auto/interfaces" | grep -q '"interfaces":21' \
     || { echo "FAIL: ingest probe"; exit 1; }
+# The ingest above replaced auto's artifact, so the outstanding query
+# cursor pinned to auto's old version must now answer 410 Gone.
+if ./target/release/qi fetch \
+    "http://$addr/query?q=find fields in auto&limit=1&cursor=$qcursor" \
+    >/dev/null 2>"$smoke_dir/query.err"; then
+    echo "FAIL: post-ingest stale query cursor did not fail the probe"; exit 1
+fi
+grep -q '410 Gone' "$smoke_dir/query.err" \
+    || { echo "FAIL: stale query cursor did not answer 410"; exit 1; }
 # Keep-alive: two requests over one socket. The client side asserts
 # reuse itself (qi fetch --keep-alive fails if any response announces
 # connection: close); the server side is asserted through the

@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("fetch") => cmd_fetch(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}; try `qi help`")),
     };
@@ -104,11 +105,28 @@ usage:
       --metrics <file>            write server metrics as JSON on exit
       --access-log <sink>         per-request log: \"stderr\" or a file
       --slow-ms <n>               log span breakdowns of slow requests
-  qi fetch [--post] [--body <f>] [--accept <type>] [--etag <tag>]
-           [--include] [--keep-alive] [--repeat <n>]
+  qi query [opts] <query>...      run a tree/lexicon/provenance query
+                                  (same syntax as GET /query) over the
+                                  builtin corpus or a snapshot; extra
+                                  words are joined with spaces, so
+                                  `qi query find fields` works unquoted
+      --snapshot <file>           query a snapshot instead of rebuilding
+                                  the corpus pipeline
+      --limit <n>                 page size (default 100, max 1000)
+      --cursor <c>                resume from a previous page's cursor
+      --budget <n>                traversal-node budget (default 100000)
+      --format <json|text>        output format (default text); json is
+                                  the same document /query serves
+  qi fetch [--post] [--body <f>] [--data <s>] [--accept <type>]
+           [--etag <tag>] [--include] [--keep-alive] [--repeat <n>]
            <url>                  tiny std-only HTTP client (probes);
-                                  --etag sends if-none-match and treats
-                                  304 Not Modified as success, --include
+                                  the url's path and query string are
+                                  percent-encoded before sending, so
+                                  spaces in ?q= survive; --body reads a
+                                  POST body from a file (`-` = stdin)
+                                  and --data passes one inline; --etag
+                                  sends if-none-match and treats 304
+                                  Not Modified as success, --include
                                   prints the response head; --repeat
                                   sends the request n times, and with
                                   --keep-alive all repeats share one
@@ -721,12 +739,98 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let usage = "usage: qi query [--snapshot <file>] [--limit <n>] [--cursor <c>] \
+                 [--budget <n>] [--format <json|text>] <query>...";
+    let mut snapshot_path: Option<&str> = None;
+    let mut params = qi_serve::PageParams::default();
+    let mut json = false;
+    let mut words: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--snapshot" => {
+                snapshot_path = Some(iter.next().ok_or("--snapshot needs a file")?.as_str())
+            }
+            "--limit" => {
+                params.limit = iter
+                    .next()
+                    .ok_or("--limit needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--limit: {e}"))?
+            }
+            "--cursor" => {
+                params.cursor = Some(iter.next().ok_or("--cursor needs a value")?.to_string())
+            }
+            "--budget" => {
+                params.budget = iter
+                    .next()
+                    .ok_or("--budget needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?
+            }
+            "--format" => match iter.next().ok_or("--format needs json or text")?.as_str() {
+                "json" => json = true,
+                "text" => json = false,
+                other => return Err(format!("--format must be json or text, got {other:?}")),
+            },
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            word => words.push(word),
+        }
+    }
+    if words.is_empty() {
+        return Err(usage.to_string());
+    }
+    // Join bare words so `qi query find fields where labeled` works
+    // without shell quoting; quoted strings still pass through as one
+    // argument each.
+    let text = words.join(" ");
+    let lexicon = Lexicon::builtin();
+    let telemetry = qi_runtime::Telemetry::off();
+    let artifacts = match snapshot_path {
+        Some(path) => {
+            qi_serve::load_snapshot(Path::new(path))
+                .map_err(|e| e.to_string())?
+                .domains
+        }
+        None => qi_serve::build_corpus_artifacts(&lexicon, NamingPolicy::default(), &telemetry),
+    };
+    let mut refs: Vec<&qi_serve::DomainArtifact> = artifacts.iter().collect();
+    refs.sort_by_key(|a| a.slug());
+    let page = qi_serve::run_query(&refs, &lexicon, &text, &params).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", qi_serve::page_json(&page));
+        return Ok(());
+    }
+    for matched in &page.matches {
+        println!(
+            "{:<14} {:<5} {}  label={}  rule={}",
+            matched.domain,
+            matched.kind,
+            matched.path,
+            matched.label.as_deref().unwrap_or("-"),
+            matched.rule.as_deref().unwrap_or("-"),
+        );
+    }
+    eprintln!(
+        "{} — {} matches, {} nodes scanned",
+        page.canonical,
+        page.matches.len(),
+        page.scanned
+    );
+    if let Some(cursor) = &page.next_cursor {
+        eprintln!("next cursor: {cursor}");
+    }
+    Ok(())
+}
+
 fn cmd_fetch(args: &[String]) -> Result<(), String> {
-    let usage = "usage: qi fetch [--post] [--body <file>] [--accept <type>] [--etag <tag>] \
-         [--include] [--keep-alive] [--repeat <n>] <url>";
+    let usage = "usage: qi fetch [--post] [--body <file>] [--data <string>] [--accept <type>] \
+         [--etag <tag>] [--include] [--keep-alive] [--repeat <n>] <url>";
     let mut url: Option<&str> = None;
     let mut post = false;
     let mut body_path: Option<&str> = None;
+    let mut data: Option<&str> = None;
     let mut accept: Option<&str> = None;
     let mut etag: Option<&str> = None;
     let mut include = false;
@@ -737,6 +841,7 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--post" => post = true,
             "--body" => body_path = Some(iter.next().ok_or("--body needs a file")?.as_str()),
+            "--data" => data = Some(iter.next().ok_or("--data needs a string")?.as_str()),
             "--accept" => accept = Some(iter.next().ok_or("--accept needs a media type")?.as_str()),
             "--etag" => etag = Some(iter.next().ok_or("--etag needs a tag")?.as_str()),
             "--include" => include = true,
@@ -766,11 +871,26 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
         Some((hostport, path)) => (hostport, format!("/{path}")),
         None => (rest, "/".to_string()),
     };
-    let body = match body_path {
-        Some(path) => std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?,
-        None => Vec::new(),
+    // Percent-encode the request target so shell-level conveniences like
+    // `?q=find fields` survive the trip: servers reject raw spaces in
+    // the request line. Bytes already legal in a target (including `%`,
+    // so pre-encoded urls pass through untouched) are copied verbatim.
+    let path = encode_target(&path);
+    use std::io::{Read, Write};
+    let body = match (body_path, data) {
+        (Some(_), Some(_)) => return Err("--body and --data are mutually exclusive".to_string()),
+        (Some("-"), None) => {
+            let mut buf = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            buf
+        }
+        (Some(path), None) => std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?,
+        (None, Some(data)) => data.as_bytes().to_vec(),
+        (None, None) => Vec::new(),
     };
-    let method = if post || body_path.is_some() {
+    let method = if post || body_path.is_some() || data.is_some() {
         "POST"
     } else {
         "GET"
@@ -793,7 +913,6 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
         request
     };
 
-    use std::io::{Read, Write};
     let timeout = Some(std::time::Duration::from_secs(10));
     let connect = || -> Result<std::net::TcpStream, String> {
         let stream = std::net::TcpStream::connect(hostport)
@@ -871,6 +990,24 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Percent-encode a request target (path + optional query string).
+/// Bytes that are legal in a target — RFC 3986 unreserved characters
+/// plus the reserved set and `%` itself — are copied verbatim, so an
+/// already-encoded url round-trips unchanged; everything else (spaces,
+/// quotes, control bytes, non-ASCII) becomes `%XX`.
+fn encode_target(target: &str) -> String {
+    let mut out = String::with_capacity(target.len());
+    for byte in target.bytes() {
+        let keep = byte.is_ascii_alphanumeric() || b"-._~:/?#[]@!$&'()*+,;=%".contains(&byte);
+        if keep {
+            out.push(byte as char);
+        } else {
+            out.push_str(&format!("%{byte:02X}"));
+        }
+    }
+    out
 }
 
 /// First value of a response header (case-insensitive name match).

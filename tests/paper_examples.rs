@@ -319,3 +319,95 @@ fn job_homonyms_resolved() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// The query engine over the paper's own examples: the same artifacts
+// the pipeline builds, interrogated through the composable /query
+// syntax (tree structure × lexicon relations × labeling provenance).
+
+fn airline_query(text: &str) -> Vec<qi_query::QueryMatch> {
+    let lexicon = Lexicon::builtin();
+    let telemetry = qi_runtime::Telemetry::off();
+    let artifact = qi_serve::build_artifact(
+        &qi_datasets::airline::domain(),
+        &lexicon,
+        NamingPolicy::default(),
+        &telemetry,
+    );
+    qi_serve::run_query(
+        &[&artifact],
+        &lexicon,
+        text,
+        &qi_serve::PageParams::default(),
+    )
+    .unwrap_or_else(|e| panic!("{text}: {e}"))
+    .matches
+}
+
+/// Table 1 / Figure 2 as a query: traversing down from the expanded
+/// `Passengers` internal node yields exactly the four passenger-kind
+/// fields, in tree order.
+#[test]
+fn figure2_passenger_expansion_answers_a_traverse_query() {
+    let fields = airline_query("traverse fields from (label = \"Passengers\")");
+    let labels: Vec<&str> = fields.iter().map(|m| m.label.as_deref().unwrap()).collect();
+    assert_eq!(labels, ["Adults", "Seniors", "Children", "Infants"]);
+    assert!(fields.iter().all(|m| m.path.starts_with("Passengers/")));
+}
+
+/// Definition 1 as a query predicate: `traveler` never appears in any
+/// airline label, but the lexicon's synonymy reaches the `Passengers`
+/// group the internal-node labeler named.
+#[test]
+fn definition1_synonymy_reaches_the_passengers_group() {
+    let groups = airline_query("find groups where label synonym-of \"traveler\"");
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].label.as_deref(), Some("Passengers"));
+    assert!(
+        groups[0]
+            .rule
+            .as_deref()
+            .unwrap()
+            .starts_with("internal:LI"),
+        "the group was named by an internal-node rule: {:?}",
+        groups[0].rule
+    );
+}
+
+/// §4.2 / Figure 10: the internal-node labeling rules fire across the
+/// airline tree and are queryable by the rule that produced each label;
+/// the strict-LI2 subset is strictly smaller than all internal rules.
+#[test]
+fn figure10_internal_rules_are_queryable_provenance() {
+    let li2 = airline_query("find nodes where rule = \"internal:LI2\"");
+    assert!(!li2.is_empty());
+    assert!(li2.iter().any(|m| m.label.as_deref() == Some("Passengers")));
+    let all_internal = airline_query("find nodes where rule ~ \"internal:\"");
+    assert!(
+        all_internal.len() > li2.len(),
+        "weak/blocked variants exist"
+    );
+}
+
+/// Figure 9's committee loser is preserved as provenance: the cluster
+/// label `Leaving from` lost the vote to `Departure City`, and the
+/// rejected-candidate predicate finds the winner by naming the loser.
+#[test]
+fn figure9_rejected_candidates_are_queryable() {
+    let fields = airline_query("find fields where rejected = \"Leaving from\"");
+    assert_eq!(fields.len(), 1);
+    assert_eq!(fields[0].label.as_deref(), Some("Departure City"));
+}
+
+/// §3.1: 1:m expansion leaves the four passenger leaves without source
+/// labels of their own in some interfaces; the integrated tree still
+/// carries unlabeled nodes, and the query engine can isolate them.
+#[test]
+fn unlabeled_nodes_are_queryable() {
+    let unlabeled = airline_query("find nodes where unlabeled");
+    assert!(!unlabeled.is_empty());
+    assert!(unlabeled.iter().all(|m| m.label.is_none()));
+    let labeled = airline_query("find nodes where labeled");
+    assert!(labeled.len() > unlabeled.len());
+    assert!(labeled.iter().all(|m| m.label.is_some()));
+}

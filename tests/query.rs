@@ -1,0 +1,174 @@
+//! Query-engine integration tests over generated drift corpora.
+//!
+//! The optimized executor (interned-symbol comparisons, lexicon
+//! predicates pre-resolved into symbol sets) must agree match-for-match
+//! with the naive per-node evaluator on every corpus we can throw at
+//! it, and the pagination machinery must reassemble the exact full
+//! stream page by page.
+
+use qi_core::NamingPolicy;
+use qi_datasets::DriftConfig;
+use qi_lexicon::Lexicon;
+use qi_query::{execute, execute_naive, parse, Budget};
+use qi_runtime::Telemetry;
+use qi_serve::{build_artifact, run_query, view_of, DomainArtifact, PageParams, QueryError};
+
+/// A query set covering every primitive, every target, every predicate
+/// atom and both string operators, plus precedence-sensitive nesting.
+const QUERIES: &[&str] = &[
+    "find fields",
+    "find groups",
+    "find nodes",
+    "find nodes where unlabeled",
+    "find fields where labeled",
+    "find fields where label ~ \"date\"",
+    "find fields where label = \"Make\"",
+    "find nodes where label synonym-of \"passenger\"",
+    "find nodes where label hyponym-of \"location\"",
+    "find nodes where label hypernym-of \"city\"",
+    "find nodes where kind = group",
+    "find nodes where rule ~ \"internal\"",
+    "find fields where rule ~ \"group\"",
+    "find fields where rejected ~ \"a\"",
+    "path to groups where labeled",
+    "path to fields where label ~ \"city\"",
+    "traverse nodes from (kind = group and labeled) where kind = field",
+    "traverse fields from (label ~ \"travel\" or label ~ \"passenger\")",
+    "find fields where label ~ \"city\" and not unlabeled or label = \"Make\"",
+    "find nodes where not (kind = field and unlabeled)",
+];
+
+fn drift_artifacts(seed: u64) -> (Vec<DomainArtifact>, Lexicon) {
+    let lexicon = Lexicon::builtin();
+    let telemetry = Telemetry::off();
+    let config = DriftConfig {
+        seed,
+        domains: 3,
+        ..DriftConfig::default()
+    };
+    let corpus = qi_datasets::generate_drift_corpus(&config, &lexicon);
+    let artifacts = corpus
+        .iter()
+        .map(|domain| build_artifact(domain, &lexicon, NamingPolicy::default(), &telemetry))
+        .collect();
+    (artifacts, lexicon)
+}
+
+/// The core equivalence property: for every drift seed, every domain
+/// and every query in the set, the optimized executor and the naive
+/// evaluator return the same matches in the same order.
+#[test]
+fn query_executor_equals_naive_over_drift_corpora() {
+    for seed in [1u64, 7, 42] {
+        let (artifacts, lexicon) = drift_artifacts(seed);
+        for artifact in &artifacts {
+            let slug = artifact.slug();
+            let view = view_of(artifact, &slug);
+            for text in QUERIES {
+                let query = parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+                let mut budget = Budget::new(u64::MAX);
+                let fast = execute(&query, view, &lexicon, &mut budget)
+                    .unwrap_or_else(|e| panic!("{text}: {e:?}"));
+                let naive = execute_naive(&query, view, &lexicon);
+                assert_eq!(
+                    fast, naive,
+                    "seed {seed}, domain {slug}, query {text:?}: optimized and naive disagree"
+                );
+            }
+        }
+    }
+}
+
+/// The canonical rendering of a parsed query re-parses to the same
+/// query, for the whole representative set (not just the unit-test
+/// fixtures).
+#[test]
+fn representative_queries_round_trip_through_canonical_form() {
+    for text in QUERIES {
+        let query = parse(text).unwrap();
+        let canonical = query.to_string();
+        let reparsed = parse(&canonical).unwrap_or_else(|e| panic!("{canonical}: {e}"));
+        assert_eq!(query, reparsed, "{text:?} → {canonical:?}");
+    }
+}
+
+/// Cursor pagination over a multi-domain drift corpus stitches back
+/// into exactly the full stream, for several page sizes.
+#[test]
+fn pagination_reassembles_the_full_stream_over_drift_corpora() {
+    let (artifacts, lexicon) = drift_artifacts(3);
+    let mut refs: Vec<&DomainArtifact> = artifacts.iter().collect();
+    refs.sort_by_key(|a| a.slug());
+    for text in ["find fields", "path to nodes where labeled"] {
+        let all = PageParams {
+            limit: u64::MAX,
+            ..PageParams::default()
+        };
+        let full = run_query(&refs, &lexicon, text, &all).unwrap();
+        assert!(full.next_cursor.is_none());
+        assert!(!full.matches.is_empty(), "{text}: drift corpus matched");
+        for page_size in [1u64, 3, 17] {
+            let mut paged = Vec::new();
+            let mut cursor: Option<String> = None;
+            loop {
+                let params = PageParams {
+                    limit: page_size,
+                    cursor: cursor.take(),
+                    ..PageParams::default()
+                };
+                let page = run_query(&refs, &lexicon, text, &params).unwrap();
+                assert!(page.matches.len() as u64 <= page_size);
+                paged.extend(page.matches);
+                match page.next_cursor {
+                    Some(next) => cursor = Some(next),
+                    None => break,
+                }
+            }
+            assert_eq!(paged, full.matches, "{text}, pages of {page_size}");
+        }
+    }
+}
+
+/// An exhausted traversal budget is a typed error, and a version bump
+/// underneath an outstanding cursor turns it stale.
+#[test]
+fn budget_and_staleness_are_typed_errors_over_drift_corpora() {
+    let (mut artifacts, lexicon) = drift_artifacts(11);
+    {
+        let mut refs: Vec<&DomainArtifact> = artifacts.iter().collect();
+        refs.sort_by_key(|a| a.slug());
+        let starved = PageParams {
+            budget: 1,
+            ..PageParams::default()
+        };
+        assert!(matches!(
+            run_query(&refs, &lexicon, "find nodes", &starved),
+            Err(QueryError::BudgetExhausted { limit: 1 })
+        ));
+    }
+    let cursor = {
+        let mut refs: Vec<&DomainArtifact> = artifacts.iter().collect();
+        refs.sort_by_key(|a| a.slug());
+        let params = PageParams {
+            limit: 1,
+            ..PageParams::default()
+        };
+        run_query(&refs, &lexicon, "find fields", &params)
+            .unwrap()
+            .next_cursor
+            .expect("more than one field")
+    };
+    for artifact in &mut artifacts {
+        artifact.version += 1;
+    }
+    let mut refs: Vec<&DomainArtifact> = artifacts.iter().collect();
+    refs.sort_by_key(|a| a.slug());
+    let params = PageParams {
+        cursor: Some(cursor),
+        ..PageParams::default()
+    };
+    assert!(matches!(
+        run_query(&refs, &lexicon, "find fields", &params),
+        Err(QueryError::StaleCursor)
+    ));
+}

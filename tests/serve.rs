@@ -624,6 +624,122 @@ fn admin_reload_swaps_snapshots_under_live_keep_alive_traffic() {
     let _ = std::fs::remove_file(&path);
 }
 
+fn json_str<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    body.split(&format!("\"{key}\":\""))
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+}
+
+#[test]
+fn query_endpoint_over_the_socket() {
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+
+    // GET with a percent-encoded query string.
+    let (status, body) = get(addr, "/query?q=find%20fields&limit=2");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"query\":\"find fields\""), "{body}");
+    assert!(body.contains("\"count\":2"), "{body}");
+    assert!(body.contains("\"domain\":\"auto\""), "{body}");
+    let cursor = json_str(&body, "next_cursor").expect("auto has more than 2 fields");
+
+    // The cursor resumes the stream with different matches.
+    let (status, second) = get(
+        addr,
+        &format!("/query?q=find%20fields&limit=2&cursor={cursor}"),
+    );
+    assert_eq!(status, 200);
+    assert_ne!(body, second);
+
+    // POST body carries the query text verbatim — no encoding needed.
+    let (status, posted) = post(addr, "/query", "find fields where label ~ \"make\"");
+    assert_eq!(status, 200);
+    assert!(posted.contains("\"label\":\"Make\""), "{posted}");
+
+    // Typed failures over the wire: parse error, starved budget.
+    let (status, err) = get(addr, "/query?q=find%20widgets");
+    assert_eq!(status, 400);
+    assert!(err.contains("bad query"), "{err}");
+    let (status, err) = get(addr, "/query?q=find%20fields&budget=1");
+    assert_eq!(status, 422);
+    assert!(err.contains("budget"), "{err}");
+
+    // Cursorless GETs flow through the rendered-response cache: the
+    // response carries an ETag and revalidation answers 304.
+    let (status, headers, cached) = exchange_full(
+        addr,
+        b"GET /query?q=find%20fields HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let etag = header(&headers, "etag").expect("cached query carries an etag");
+    assert!(!cached.is_empty());
+    let revalidate = format!(
+        "GET /query?q=find%20fields HTTP/1.1\r\nhost: t\r\nif-none-match: {etag}\r\n\
+         connection: close\r\n\r\n"
+    );
+    let (status, _, not_modified) = exchange_full(addr, revalidate.as_bytes());
+    assert_eq!(status, 304);
+    assert!(not_modified.is_empty());
+
+    // Ingest bumps the store generation, so the outstanding page cursor
+    // answers 410 Gone.
+    let (status, _) = post(
+        addr,
+        "/domains/auto/interfaces",
+        "interface extra\n- Make\n",
+    );
+    assert_eq!(status, 200);
+    let (status, gone) = get(
+        addr,
+        &format!("/query?q=find%20fields&limit=2&cursor={cursor}"),
+    );
+    assert_eq!(status, 410);
+    assert!(gone.contains("stale"), "{gone}");
+}
+
+#[test]
+fn explain_pagination_over_the_socket() {
+    let handle = start(auto_store(), ServerConfig::default());
+    let addr = handle.addr();
+
+    // The bare endpoint still answers the first page (cached path).
+    let (status, full) = get(addr, "/domains/auto/explain");
+    assert_eq!(status, 200);
+    assert!(full.contains("\"rule\":"), "{full}");
+
+    // Page through one decision at a time and count the stream.
+    let total: usize = full
+        .split("\"decisions\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|n| n.parse().ok())
+        .expect("explain reports its decision total");
+    let mut seen = 0usize;
+    let mut cursor: Option<String> = None;
+    loop {
+        let path = match &cursor {
+            Some(c) => format!("/domains/auto/explain?limit=1&cursor={c}"),
+            None => "/domains/auto/explain?limit=1".to_string(),
+        };
+        let (status, page) = get(addr, &path);
+        assert_eq!(status, 200, "{page}");
+        assert!(page.contains("\"count\":1"), "{page}");
+        seen += 1;
+        match json_str(&page, "next_cursor") {
+            Some(next) => cursor = Some(next.to_string()),
+            None => break,
+        }
+    }
+    assert_eq!(seen, total, "paged explain covers every decision");
+
+    // A /query cursor pasted into explain names a different stream.
+    let (_, page) = get(addr, "/query?q=find%20fields&limit=1");
+    let foreign = json_str(&page, "next_cursor").unwrap();
+    let (status, err) = get(addr, &format!("/domains/auto/explain?cursor={foreign}"));
+    assert_eq!(status, 400);
+    assert!(err.contains("different stream"), "{err}");
+}
+
 #[test]
 fn shutdown_endpoint_stops_the_server() {
     let mut handle = start(auto_store(), ServerConfig::default());
