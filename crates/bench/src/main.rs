@@ -45,6 +45,7 @@ struct Config {
     scale: usize,
     verify_naive: bool,
     telemetry: bool,
+    observe: bool,
     trace_out: Option<String>,
     out: String,
 }
@@ -59,6 +60,7 @@ impl Default for Config {
             scale: 1000,
             verify_naive: false,
             telemetry: false,
+            observe: false,
             trace_out: None,
             out: "BENCH_core.json".to_string(),
         }
@@ -69,7 +71,7 @@ fn usage_error(message: &str) -> ! {
     eprintln!("qi-bench: {message}");
     eprintln!(
         "usage: qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] \
-         [--scale N] [--verify-naive] [--telemetry] [--trace-out PATH] [--out PATH]"
+         [--scale N] [--verify-naive] [--telemetry] [--observe] [--trace-out PATH] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -95,12 +97,13 @@ fn parse_args() -> Config {
             "--scale" => config.scale = int_for("--scale", value_for("--scale")),
             "--verify-naive" => config.verify_naive = true,
             "--telemetry" => config.telemetry = true,
+            "--observe" => config.observe = true,
             "--trace-out" => config.trace_out = Some(value_for("--trace-out")),
             "--out" => config.out = value_for("--out"),
             "--help" | "-h" => {
                 println!(
                     "qi-bench [--no-cache] [--threads N] [--warmup W] [--iters K] \
-                     [--scale N] [--verify-naive] [--telemetry] [--trace-out PATH] [--out PATH]"
+                     [--scale N] [--verify-naive] [--telemetry] [--observe] [--trace-out PATH] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -173,10 +176,22 @@ fn main() {
     // so the reported medians measure the instrumented pipeline — the
     // off-vs-on comparison in scripts/check.sh is honest. Off is the
     // default: one pointer check per phase boundary.
-    let telemetry = if config.telemetry || config.trace_out.is_some() {
+    // --observe layers the full observability plane on top of the live
+    // registry: an attached flight recorder plus a 100ms windowed
+    // time-series ring ticked from inside the timed stage loops, so the
+    // check.sh overhead guard measures the instrumented hot path, not
+    // an idle recorder.
+    let telemetry = if config.observe {
+        qi_runtime::Telemetry::new().attach_events(qi_runtime::EventRecorder::new(4096))
+    } else if config.telemetry || config.trace_out.is_some() {
         qi_runtime::Telemetry::new()
     } else {
         qi_runtime::Telemetry::off()
+    };
+    let series = if config.observe {
+        qi_runtime::TimeSeries::new(100_000_000, 64)
+    } else {
+        qi_runtime::TimeSeries::off()
     };
     let domains = qi_datasets::all_domains();
     let outer = resolve_threads(config.threads).min(domains.len());
@@ -205,6 +220,16 @@ fn main() {
     let cluster = time_stage(config.warmup, config.iters, || {
         for domain in &domains {
             std::hint::black_box(evaluate_matcher(domain, &lexicon));
+            // Pointer checks when the recorder/series are off; under
+            // --observe this puts one event emit and one interval probe
+            // per domain inside the timed region.
+            telemetry.event(
+                qi_runtime::Severity::Debug,
+                qi_runtime::Category::Ingest,
+                "bench.cluster.domain",
+                || vec![("domain", domain.name.as_str().into())],
+            );
+            series.maybe_tick(&telemetry);
         }
     });
 
@@ -270,12 +295,25 @@ fn main() {
     let mut labeled: Vec<LabeledInterface> = Vec::new();
     let label = time_stage(config.warmup, config.iters, || {
         labeled = parallel_map(&prepared, config.threads, |_, p| {
-            Labeler::new(&lexicon, NamingPolicy::default())
+            let out = Labeler::new(&lexicon, NamingPolicy::default())
                 .with_threads(inner)
                 .with_cache(config.cache)
                 .with_telemetry(telemetry.clone())
-                .label(&p.schemas, &p.mapping, &p.integrated)
+                .label(&p.schemas, &p.mapping, &p.integrated);
+            telemetry.event(
+                qi_runtime::Severity::Debug,
+                qi_runtime::Category::Ingest,
+                "bench.label.domain",
+                || {
+                    vec![
+                        ("domain", p.name.as_str().into()),
+                        ("fields", (out.tree.leaves().count() as u64).into()),
+                    ]
+                },
+            );
+            out
         });
+        series.maybe_tick(&telemetry);
     });
     let naming_cache = labeled.iter().fold(CacheStats::default(), |acc, l| {
         acc.merge(&l.report.naming_cache)
@@ -494,6 +532,31 @@ fn main() {
         println!("qi-bench: wrote chrome trace to {path}");
     }
 
+    // ---- observe section (untimed) --------------------------------------
+    // Under --observe the recorder and series ran inside the timed
+    // loops; this closes the final window and reports what they saw so
+    // the overhead guard's numbers come from a demonstrably live plane.
+    let observe_json = if config.observe {
+        series.tick(&telemetry);
+        let snapshot = telemetry.snapshot();
+        let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        let recorder = telemetry.events();
+        json::Obj::new()
+            .u64("events_emitted", counter("events.emitted"))
+            .u64("events_sampled", counter("events.sampled"))
+            .u64("events_dropped", counter("events.dropped"))
+            .u64("recorder_last_seq", recorder.last_seq())
+            .u64("recorder_capacity", recorder.capacity() as u64)
+            .u64("history_interval_ns", series.interval_ns())
+            .u64(
+                "history_window_count",
+                series.windows(series.capacity()).len() as u64,
+            )
+            .finish()
+    } else {
+        "null".to_string()
+    };
+
     // ---- memory audit (untimed) -----------------------------------------
     // Sampled after the scaled stages (their corpora are the peak
     // drivers). `VmHWM` is the kernel's own high-water mark for the
@@ -530,6 +593,7 @@ fn main() {
             "\"caches\":{{\"stemmer\":{},\"lexicon\":{},\"naming_ctx\":{}}},",
             "\"corpus\":{{\"domains\":{},\"mean_fld_acc\":{}}},",
             "\"drift\":{},",
+            "\"observe\":{},",
             "\"memory\":{},",
             "\"metrics\":{},",
             "\"total_ms\":{}}}"
@@ -547,6 +611,7 @@ fn main() {
         domains.len(),
         number(fld_acc_sum / domains.len() as f64),
         drift_json,
+        observe_json,
         memory_json,
         metrics_json,
         number(total_ms),
@@ -579,6 +644,13 @@ fn main() {
     );
     if let Some(peak) = qi_runtime::peak_rss_bytes() {
         println!("  peak RSS: {:.1} MiB", peak as f64 / (1 << 20) as f64);
+    }
+    if config.observe {
+        println!(
+            "  observe: flight recorder at seq {} across {} history windows",
+            telemetry.events().last_seq(),
+            series.windows(series.capacity()).len()
+        );
     }
     println!("  wrote {}", config.out);
 }

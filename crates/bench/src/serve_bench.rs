@@ -42,7 +42,7 @@ use qi_serve::{Server, ServerConfig, Snapshot, Store};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Timing medians carry three fraction digits, rates carry one.
 const DECIMALS: usize = 3;
@@ -152,6 +152,25 @@ fn get_ok(addr: std::net::SocketAddr, path: &str, latency: &qi_runtime::Histogra
     }
     latency.record(start.elapsed().as_nanos() as u64);
     response.starts_with(b"HTTP/1.1 200")
+}
+
+/// One raw `GET`; returns the response body (empty on any failure).
+fn fetch_body(addr: std::net::SocketAddr, path: &str) -> String {
+    let request = format!("GET {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n");
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return String::new();
+    };
+    if stream.write_all(request.as_bytes()).is_err() {
+        return String::new();
+    }
+    let mut response = Vec::new();
+    if stream.read_to_end(&mut response).is_err() {
+        return String::new();
+    }
+    let text = String::from_utf8_lossy(&response);
+    text.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default()
 }
 
 /// One raw `POST` against the server; returns true on a 200. Records
@@ -569,6 +588,121 @@ fn main() {
     let counter = |name: &str| serve_counters.get(name).copied().unwrap_or(0);
     handle.shutdown();
 
+    // Observability overhead (`observe_scaled`): the same keep-alive
+    // workload against two fresh servers — flight recorder + windowed
+    // time-series fully on vs fully off — plus an in-process recorder
+    // saturation run for the events/sec headline. Key names are unique
+    // in the whole document so scripts/bench.sh's flat first-match
+    // scan can grab them.
+    let observe_requests = (config.ka_requests / 4).max(1_000);
+    let observe_clients = config.clients.iter().copied().max().unwrap_or(1).min(4);
+    let observe_workload = |server_config: ServerConfig, telemetry: Telemetry| {
+        let server = Server::with_config(Arc::clone(&store), telemetry, server_config);
+        let handle = server.start().expect("starting observe benchmark server");
+        let addr = handle.addr();
+        let warm = qi_runtime::Histogram::new();
+        assert!(get_ok(addr, "/healthz", &warm), "observe server came up");
+        let latency = qi_runtime::Histogram::new();
+        let per_client = observe_requests.div_ceil(observe_clients);
+        let (ok_count, elapsed_ms) = timed(|| {
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..observe_clients)
+                    .map(|_| {
+                        let paths = &paths[..];
+                        let latency = &latency;
+                        scope.spawn(move || {
+                            keepalive_client(addr, paths, per_client, config.pipeline, latency)
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().unwrap())
+                    .sum::<usize>()
+            })
+        });
+        (handle, ok_count, elapsed_ms)
+    };
+    let off_config = ServerConfig {
+        queue_depth: 8192,
+        max_requests_per_conn: u64::MAX,
+        events_capacity: 0,
+        history_windows: 0,
+        ..ServerConfig::default()
+    };
+    let (mut off_handle, off_ok, off_ms) = observe_workload(off_config, Telemetry::new());
+    off_handle.shutdown();
+    let on_config = ServerConfig {
+        queue_depth: 8192,
+        max_requests_per_conn: u64::MAX,
+        events_capacity: 4096,
+        history_interval_ms: 50,
+        history_windows: 64,
+        ..ServerConfig::default()
+    };
+    let (mut on_handle, on_ok, on_ms) = observe_workload(on_config, Telemetry::new());
+    // While the observed server is still up, smoke the introspection
+    // endpoints it paid for: the ring must have closed windows that
+    // recorded the load, and the events page must answer.
+    let on_addr = on_handle.addr();
+    // Windows close on the server's own 50ms cadence, so a fast
+    // workload may finish before the first tick — poll until a closed
+    // window shows the traffic (each probe also wakes the reactor).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut history = fetch_body(on_addr, "/metrics/history");
+    while !history.contains("\"serve.requests\":") && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+        history = fetch_body(on_addr, "/metrics/history");
+    }
+    assert!(
+        history.contains("\"serve.requests\":"),
+        "history windows recorded no traffic: {history}"
+    );
+    let events_page = fetch_body(on_addr, "/debug/events?limit=1");
+    assert!(
+        events_page.contains("\"enabled\":true"),
+        "recorder not enabled on the observed server: {events_page}"
+    );
+    on_handle.shutdown();
+    let observe_sent = 2 * observe_clients * observe_requests.div_ceil(observe_clients);
+    if off_ok + on_ok < observe_sent {
+        eprintln!(
+            "warning: {} observe-stage requests failed",
+            observe_sent - off_ok - on_ok
+        );
+    }
+    let rps_of = |ok: usize, ms: f64| ok as f64 / (ms / 1e3).max(1e-9);
+    let observe_off_rps = rps_of(off_ok, off_ms);
+    let observe_on_rps = rps_of(on_ok, on_ms);
+    let observe_overhead_pct = (observe_off_rps - observe_on_rps) / observe_off_rps * 100.0;
+
+    // Recorder saturation, in process: concurrent emitters through the
+    // full `Telemetry::event` path (severity gate, field closure, ring
+    // push, bookkeeping counters) into one shared 4096-slot ring.
+    const EMITTERS: usize = 4;
+    const EVENTS_PER_EMITTER: u64 = 100_000;
+    let recorder_telemetry =
+        qi_runtime::Telemetry::new().attach_events(qi_runtime::EventRecorder::new(4096));
+    let (_, recorder_ms) = timed(|| {
+        std::thread::scope(|scope| {
+            for worker in 0..EMITTERS {
+                let telemetry = &recorder_telemetry;
+                scope.spawn(move || {
+                    for i in 0..EVENTS_PER_EMITTER {
+                        telemetry.event(
+                            qi_runtime::Severity::Info,
+                            qi_runtime::Category::Ingest,
+                            "bench.saturate",
+                            || vec![("worker", (worker as u64).into()), ("i", i.into())],
+                        );
+                    }
+                });
+            }
+        });
+    });
+    let recorder_events = EMITTERS as u64 * EVENTS_PER_EMITTER;
+    let recorder_events_per_sec = recorder_events as f64 / (recorder_ms / 1e3).max(1e-9);
+
     // Primary close-mode point (first client count); peak points of
     // both modes at the largest client count for the headline
     // keep-alive vs close comparison.
@@ -696,6 +830,18 @@ fn main() {
             .finish(),
     );
     doc.raw(
+        "observe_scaled",
+        Obj::new()
+            .u64("observe_requests", observe_requests as u64)
+            .u64("observe_clients", observe_clients as u64)
+            .f64("observe_on_rps", observe_on_rps, 1)
+            .f64("observe_off_rps", observe_off_rps, 1)
+            .f64("observe_overhead_pct", observe_overhead_pct, 1)
+            .u64("recorder_events", recorder_events)
+            .f64("recorder_events_per_sec", recorder_events_per_sec, 0)
+            .finish(),
+    );
+    doc.raw(
         "ingest",
         Obj::new()
             .f64("delta_median_ms", delta_median, DECIMALS)
@@ -760,6 +906,12 @@ fn main() {
                  median ({query_matches} matches)",
                 QUERY_SET.len(),
                 drift_config.domains,
+            );
+            eprintln!(
+                "observability: {observe_on_rps:.0} req/s with recorder+history on vs \
+                 {observe_off_rps:.0} req/s off ({observe_overhead_pct:+.1}% overhead); \
+                 recorder saturates at {:.1}M events/s",
+                recorder_events_per_sec / 1e6
             );
         }
         None => println!("{json}"),

@@ -168,6 +168,36 @@ impl HistogramData {
         self.max
     }
 
+    /// What was recorded between a previous cumulative snapshot and
+    /// this one — the per-window distribution behind
+    /// [`crate::timeseries`]. Buckets subtract (saturating, empty
+    /// buckets dropped) and `sum` subtracts exactly; the per-window
+    /// `max` is *estimated*, because cumulative snapshots only carry
+    /// the all-time maximum: it is the inclusive upper bound of the
+    /// highest bucket that gained observations, clamped to the
+    /// cumulative max (exact whenever the window re-observed the
+    /// all-time maximum's bucket, and never below the window's true
+    /// maximum's bucket). An empty delta reports 0, like an empty
+    /// histogram.
+    pub fn delta(&self, prev: &HistogramData) -> HistogramData {
+        let mut buckets = std::collections::BTreeMap::new();
+        for (&index, &count) in &self.buckets {
+            let gained = count.saturating_sub(prev.buckets.get(&index).copied().unwrap_or(0));
+            if gained > 0 {
+                buckets.insert(index, gained);
+            }
+        }
+        let max = buckets
+            .keys()
+            .next_back()
+            .map_or(0, |&index| bucket_upper(index).min(self.max));
+        HistogramData {
+            buckets,
+            sum: self.sum.saturating_sub(prev.sum),
+            max,
+        }
+    }
+
     /// Merge another frozen histogram into this one (bucket-wise
     /// addition, exact max of maxes).
     pub fn merge(&mut self, other: &HistogramData) {
@@ -336,6 +366,124 @@ mod tests {
         assert_eq!(data.count(), 3);
         assert_eq!(data.sum, 3_010);
         assert_eq!(data.max, 2_000);
+    }
+
+    #[test]
+    fn empty_window_delta_reports_zero_quantiles() {
+        // A window in which the histogram saw no traffic: the delta is
+        // indistinguishable from an empty histogram — no buckets, zero
+        // quantiles at every q, zero max — even though the cumulative
+        // snapshot it came from is non-empty.
+        let h = Histogram::new();
+        for v in [5u64, 900, 1 << 20] {
+            h.record(v);
+        }
+        let cumulative = h.data();
+        let idle = cumulative.delta(&cumulative);
+        assert!(idle.buckets.is_empty());
+        assert_eq!(idle.count(), 0);
+        assert_eq!(idle.sum, 0);
+        assert_eq!(idle.max, 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(idle.quantile(q), 0, "q{q} of an empty window");
+        }
+        assert_eq!(
+            idle.to_json(),
+            "{\"buckets\":{},\"count\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0,\"sum\":0}"
+        );
+    }
+
+    #[test]
+    fn window_delta_tracks_what_the_window_recorded() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(200_000);
+        let before = h.data();
+        h.record(150);
+        h.record(151);
+        h.record(3_000);
+        let after = h.data();
+        let window = after.delta(&before);
+        assert_eq!(window.count(), 3);
+        assert_eq!(window.sum, 150 + 151 + 3_000);
+        // The window's max estimate lands in the true window-max's
+        // bucket, not the cumulative max's (200_000) bucket.
+        assert_eq!(bucket_index(window.max), bucket_index(3_000));
+        assert!(window.max >= 3_000);
+        // And the quantiles describe only the window's observations.
+        assert_eq!(bucket_index(window.quantile(0.5)), bucket_index(151));
+    }
+
+    #[test]
+    fn window_max_is_exact_when_the_window_reobserves_the_max_bucket() {
+        let h = Histogram::new();
+        h.record(70_000);
+        let before = h.data();
+        h.record(70_000);
+        h.record(10);
+        let window = h.data().delta(&before);
+        // The cumulative max (exact 70_000) lives in the window's
+        // highest gained bucket, so clamping recovers it exactly.
+        assert_eq!(window.max, 70_000);
+        assert_eq!(window.quantile(1.0), 70_000);
+    }
+
+    #[test]
+    fn max_tracking_survives_absorbed_windows() {
+        // A live histogram that absorbs frozen per-request snapshots
+        // (the serve path) must keep the exact max across absorptions,
+        // and windows cut around those absorptions see their own maxes.
+        let live = Histogram::new();
+        let frozen_big = {
+            let h = Histogram::new();
+            h.record(500_000);
+            h.data()
+        };
+        let frozen_small = {
+            let h = Histogram::new();
+            h.record(30);
+            h.data()
+        };
+        live.absorb(&frozen_big);
+        let before = live.data();
+        assert_eq!(before.max, 500_000);
+        live.absorb(&frozen_small);
+        let after = live.data();
+        assert_eq!(after.max, 500_000, "absorb keeps the exact max");
+        let window = after.delta(&before);
+        assert_eq!(window.count(), 1);
+        assert_eq!(bucket_index(window.max), bucket_index(30));
+        assert!(window.max < 500_000, "window max is not the all-time max");
+    }
+
+    #[test]
+    fn sub_bucket_boundaries_at_powers_of_two_delta_cleanly() {
+        // Powers of two open a fresh sub-bucket run; the values just
+        // below and at the boundary land in different buckets and must
+        // not bleed into each other across a window delta.
+        for exp in [4u32, 5, 10, 20, 40] {
+            let p = 1u64 << exp;
+            let h = Histogram::new();
+            h.record(p - 1);
+            let before = h.data();
+            h.record(p);
+            let window = h.data().delta(&before);
+            assert_ne!(
+                bucket_index(p - 1),
+                bucket_index(p),
+                "2^{exp} shares a bucket with its predecessor"
+            );
+            assert_eq!(window.count(), 1, "2^{exp}");
+            assert_eq!(
+                window.buckets.keys().copied().collect::<Vec<_>>(),
+                vec![bucket_index(p)],
+                "2^{exp}: only the boundary bucket gained"
+            );
+            // The boundary value is the lower bound of its bucket, and
+            // the window max estimate stays within that bucket.
+            assert_eq!(bucket_lower(bucket_index(p)), p, "2^{exp}");
+            assert_eq!(bucket_index(window.max), bucket_index(p), "2^{exp}");
+        }
     }
 
     #[test]

@@ -23,12 +23,19 @@
 //! * [`json`] — the shared stable-JSON writer (escaping, fixed-decimal
 //!   numbers, object/array builders) behind every JSON document the
 //!   workspace emits;
+//! * [`events`] — a bounded ring-buffer flight recorder of structured
+//!   runtime events with per-category sampling and an explicit drop
+//!   watermark;
+//! * [`timeseries`] — a fixed-capacity ring of per-interval
+//!   [`MetricsSnapshot`] deltas (windowed rates and quantiles over the
+//!   cumulative registry);
 //! * [`JobQueue`] — a bounded close-aware job queue for long-lived
 //!   worker pools (the HTTP server's reactor/worker handoff);
 //! * [`netpoll`] — level-triggered `poll(2)` readiness polling and a
 //!   self-wake channel (the HTTP reactor's only platform primitive).
 
 pub mod cache;
+pub mod events;
 pub mod export;
 pub mod histogram;
 pub mod intern;
@@ -39,8 +46,10 @@ pub mod netpoll;
 pub mod pool;
 pub mod rng;
 pub mod telemetry;
+pub mod timeseries;
 
 pub use cache::{CacheStats, ShardedCache};
+pub use events::{Category, Event, EventRecorder, EventsPage, FieldValue, Severity};
 pub use export::{chrome_trace, prometheus_text};
 pub use histogram::{Histogram, HistogramData};
 pub use intern::{Interner, Symbol};
@@ -48,3 +57,4 @@ pub use memory::{current_rss_bytes, peak_rss_bytes};
 pub use pool::{parallel_map, parallel_map_chunked, parallel_try_map, resolve_threads, JobQueue};
 pub use rng::SplitMix64;
 pub use telemetry::{Counter, MetricsSnapshot, SpanData, Telemetry, TelemetryMode};
+pub use timeseries::{TimeSeries, Window};

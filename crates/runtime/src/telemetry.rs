@@ -22,6 +22,7 @@
 //! the property the integration suite asserts and the `--metrics`
 //! acceptance check relies on.
 
+use crate::events::{Category, EventRecorder, FieldValue, Severity};
 use crate::histogram::{Histogram, HistogramData};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,6 +86,10 @@ struct Inner {
     gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     spans: RwLock<BTreeMap<String, Arc<SpanAccum>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    /// Optional flight recorder (see [`crate::events`]). Disabled by
+    /// default; [`Telemetry::attach_events`] installs one so existing
+    /// call sites can emit events without new plumbing.
+    events: RwLock<EventRecorder>,
     clock: Clock,
 }
 
@@ -143,6 +148,20 @@ impl Telemetry {
         Telemetry::with_clock(Clock::Fake(AtomicU64::new(0)))
     }
 
+    /// A fresh, empty registry sharing this one's wall-clock baseline,
+    /// so timestamps recorded through both line up (request-local
+    /// slow-tracing registries absorb into the global one; their event
+    /// and span times must be on the same axis). A deterministic parent
+    /// yields a fresh deterministic registry; a disabled parent yields
+    /// a fresh wall-clock registry.
+    pub fn sibling(&self) -> Self {
+        match self.inner.as_ref().map(|inner| &inner.clock) {
+            Some(Clock::Wall(epoch)) => Telemetry::with_clock(Clock::Wall(*epoch)),
+            Some(Clock::Fake(_)) => Telemetry::deterministic(),
+            None => Telemetry::new(),
+        }
+    }
+
     fn with_clock(clock: Clock) -> Self {
         Telemetry {
             inner: Some(Arc::new(Inner {
@@ -150,6 +169,7 @@ impl Telemetry {
                 gauges: RwLock::new(BTreeMap::new()),
                 spans: RwLock::new(BTreeMap::new()),
                 histograms: RwLock::new(BTreeMap::new()),
+                events: RwLock::new(EventRecorder::off()),
                 clock,
             })),
         }
@@ -158,6 +178,74 @@ impl Telemetry {
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Current clock reading in nanoseconds (0 when disabled). On the
+    /// deterministic clock every reading advances the virtual time by
+    /// [`FAKE_CLOCK_STEP_NS`].
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.clock.now_ns())
+    }
+
+    /// Install a flight recorder; subsequent [`Telemetry::event`]
+    /// calls on this registry (and its clones) record into it.
+    /// Builder-style so construction reads
+    /// `Telemetry::new().attach_events(recorder)`.
+    pub fn attach_events(self, recorder: EventRecorder) -> Self {
+        if let Some(inner) = &self.inner {
+            *inner.events.write().expect("telemetry events poisoned") = recorder;
+        }
+        self
+    }
+
+    /// The attached flight recorder (the disabled recorder when none
+    /// was attached or the registry is off). Cheap clone of an
+    /// `Option<Arc<_>>`.
+    pub fn events(&self) -> EventRecorder {
+        self.inner
+            .as_ref()
+            .map_or_else(EventRecorder::off, |inner| {
+                inner
+                    .events
+                    .read()
+                    .expect("telemetry events poisoned")
+                    .clone()
+            })
+    }
+
+    /// Record a structured event into the attached flight recorder,
+    /// counting the outcome under `events.emitted` /
+    /// `events.sampled` / `events.dropped`. `fields` only runs once
+    /// the event passes sampling; with no recorder attached (or a
+    /// disabled registry) the call reduces to a pointer check plus
+    /// one read-lock probe.
+    pub fn event(
+        &self,
+        severity: Severity,
+        category: Category,
+        key: &'static str,
+        fields: impl FnOnce() -> Vec<(&'static str, FieldValue)>,
+    ) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let recorder = inner
+            .events
+            .read()
+            .expect("telemetry events poisoned")
+            .clone();
+        if !recorder.is_enabled() {
+            return;
+        }
+        let outcome = recorder.emit(inner.clock.now_ns(), severity, category, key, fields);
+        if outcome.seq.is_some() {
+            self.incr("events.emitted");
+        } else {
+            self.incr("events.sampled");
+        }
+        if outcome.dropped > 0 {
+            self.add("events.dropped", outcome.dropped);
+        }
     }
 
     /// Resolve a named monotonic counter once; increments through the
@@ -478,6 +566,56 @@ impl MetricsSnapshot {
         }
     }
 
+    /// What changed between a previous cumulative snapshot and this
+    /// one — the windowing primitive behind
+    /// [`crate::timeseries::TimeSeries`]. Counters and span
+    /// accumulators subtract (saturating, zero entries dropped, so a
+    /// quiet window stays small); gauges keep their current
+    /// instantaneous value (a gauge has no meaningful increment);
+    /// histograms subtract bucket-wise (see
+    /// [`HistogramData::delta`]). `prev` must be an earlier snapshot
+    /// of the *same* registry — counters that disappeared are treated
+    /// as unchanged.
+    pub fn delta(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        let diff_map = |now: &BTreeMap<String, u64>, was: &BTreeMap<String, u64>| {
+            now.iter()
+                .filter_map(|(k, &v)| {
+                    let d = v.saturating_sub(was.get(k).copied().unwrap_or(0));
+                    (d > 0).then(|| (k.clone(), d))
+                })
+                .collect()
+        };
+        let spans = self
+            .spans
+            .iter()
+            .filter_map(|(k, v)| {
+                let was = prev.spans.get(k).copied().unwrap_or_default();
+                let d = SpanData {
+                    total_ns: v.total_ns.saturating_sub(was.total_ns),
+                    count: v.count.saturating_sub(was.count),
+                };
+                (d.count > 0 || d.total_ns > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(k, v)| {
+                let d = match prev.histograms.get(k) {
+                    Some(was) => v.delta(was),
+                    None => v.clone(),
+                };
+                (!d.buckets.is_empty()).then(|| (k.clone(), d))
+            })
+            .collect();
+        MetricsSnapshot {
+            counters: diff_map(&self.counters, &prev.counters),
+            gauges: self.gauges.clone(),
+            spans,
+            histograms,
+        }
+    }
+
     /// Return a copy with every name prefixed (`prefix` + the original
     /// name) — used to namespace per-domain snapshots inside a corpus
     /// document.
@@ -750,6 +888,78 @@ mod tests {
         assert_eq!(merged.spans["stage"].total_ns, 100);
         assert_eq!(merged.histograms["lat"].count(), 2);
         assert_eq!(merged.histograms["lat"].max, 1_000);
+    }
+
+    #[test]
+    fn delta_reports_what_changed_and_drops_the_quiet() {
+        let tel = Telemetry::deterministic();
+        tel.add("req", 3);
+        tel.add("steady", 5);
+        tel.gauge("depth", 2);
+        tel.record_ns("stage", 100);
+        tel.observe("lat", 40);
+        let before = tel.snapshot();
+        tel.add("req", 4);
+        tel.gauge("depth", 9);
+        tel.observe("lat", 80);
+        tel.incr("fresh");
+        let delta = tel.snapshot().delta(&before);
+        assert_eq!(delta.counters["req"], 4);
+        assert_eq!(delta.counters["fresh"], 1);
+        assert!(
+            !delta.counters.contains_key("steady"),
+            "unchanged counters are dropped"
+        );
+        assert_eq!(delta.gauges["depth"], 9, "gauges stay instantaneous");
+        assert!(!delta.spans.contains_key("stage"), "quiet spans dropped");
+        let lat = &delta.histograms["lat"];
+        assert_eq!(lat.count(), 1);
+        assert_eq!(lat.sum, 80);
+        // Identical snapshots produce an empty delta (gauges aside).
+        let now = tel.snapshot();
+        let idle = now.delta(&now);
+        assert!(idle.counters.is_empty());
+        assert!(idle.spans.is_empty());
+        assert!(idle.histograms.is_empty());
+    }
+
+    #[test]
+    fn attached_recorder_captures_events_and_counts_outcomes() {
+        let tel = Telemetry::deterministic()
+            .attach_events(crate::events::EventRecorder::new(2).with_sample(Category::Slow, 2));
+        tel.event(Severity::Warn, Category::Shed, "shed.queue_full", || {
+            vec![("depth", FieldValue::U64(64))]
+        });
+        tel.event(Severity::Warn, Category::Slow, "slow", Vec::new);
+        tel.event(Severity::Warn, Category::Slow, "slow", Vec::new); // sampled out
+        tel.event(Severity::Info, Category::Reload, "reload", Vec::new); // evicts seq 1
+        let snapshot = tel.snapshot();
+        assert_eq!(snapshot.counters["events.emitted"], 3);
+        assert_eq!(snapshot.counters["events.sampled"], 1);
+        assert_eq!(snapshot.counters["events.dropped"], 1);
+        let page = tel.events().events_since(0, None, 10);
+        assert_eq!(page.events.len(), 2);
+        assert_eq!(page.dropped_watermark, 1);
+    }
+
+    #[test]
+    fn event_without_recorder_is_a_noop() {
+        let tel = Telemetry::deterministic();
+        tel.event(Severity::Error, Category::Panic, "boom", || {
+            panic!("fields must not be built without a recorder")
+        });
+        assert!(tel.snapshot().is_empty());
+        let off = Telemetry::off();
+        off.event(Severity::Error, Category::Panic, "boom", Vec::new);
+        assert!(!off.events().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_attached_recorder() {
+        let tel = Telemetry::new().attach_events(crate::events::EventRecorder::new(8));
+        let clone = tel.clone();
+        clone.event(Severity::Info, Category::Ingest, "ingest.delta", Vec::new);
+        assert_eq!(tel.events().last_seq(), 1);
     }
 
     #[test]

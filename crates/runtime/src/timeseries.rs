@@ -1,0 +1,377 @@
+//! Windowed time-series telemetry: a fixed-capacity ring of
+//! per-interval [`MetricsSnapshot`] deltas.
+//!
+//! The cumulative registry answers "what happened since boot"; this
+//! module answers "what changed in the last N intervals". Each tick
+//! snapshots the registry, subtracts the previous cumulative snapshot
+//! ([`MetricsSnapshot::delta`]) and pushes the difference as one
+//! [`Window`]: counters and span totals become per-window increments
+//! (rates, once divided by the window's duration), gauges keep their
+//! instantaneous value, and histograms become per-window distributions
+//! whose quantiles describe *that interval only* (see
+//! [`crate::histogram::HistogramData::delta`]).
+//!
+//! Ticking is driven externally — the HTTP reactor calls
+//! [`TimeSeries::maybe_tick`] from its idle loop; tests call
+//! [`TimeSeries::tick`] explicitly. Timestamps come from the owning
+//! registry's clock, so a deterministic-clock run produces
+//! byte-identical [`TimeSeries::history_json`] documents — the golden
+//! the acceptance suite pins.
+//!
+//! Like the rest of the runtime telemetry, the handle wraps an
+//! `Option<Arc<_>>`: the disabled handle ([`TimeSeries::off`]) makes
+//! every call a pointer check.
+
+use crate::json::{Arr, Obj};
+use crate::telemetry::{MetricsSnapshot, Telemetry};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One closed interval of registry activity.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Monotonic window number (0-based, series-wide; survives ring
+    /// eviction, so readers can detect how far the ring has rolled).
+    pub index: u64,
+    /// Clock reading at the start of the interval.
+    pub start_ns: u64,
+    /// Clock reading at the end of the interval.
+    pub end_ns: u64,
+    /// What changed during the interval (see
+    /// [`MetricsSnapshot::delta`]).
+    pub delta: MetricsSnapshot,
+}
+
+impl Window {
+    /// Interval length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Render as one stable JSON object. Histograms are summarized
+    /// (count/max/quantiles/sum, no bucket map) — the history payload
+    /// is a dashboard feed, not an archival format.
+    pub fn to_json(&self) -> String {
+        let scalar_map = |map: &std::collections::BTreeMap<String, u64>| {
+            let mut obj = Obj::new();
+            for (k, v) in map {
+                obj.u64(k, *v);
+            }
+            obj.finish()
+        };
+        let mut histograms = Obj::new();
+        for (name, data) in &self.delta.histograms {
+            histograms.raw(
+                name,
+                Obj::new()
+                    .u64("count", data.count())
+                    .u64("max", data.max)
+                    .u64("p50", data.quantile(0.50))
+                    .u64("p90", data.quantile(0.90))
+                    .u64("p99", data.quantile(0.99))
+                    .u64("sum", data.sum)
+                    .finish(),
+            );
+        }
+        Obj::new()
+            .u64("index", self.index)
+            .u64("start_ns", self.start_ns)
+            .u64("end_ns", self.end_ns)
+            .u64("duration_ns", self.duration_ns())
+            .raw("counters", scalar_map(&self.delta.counters))
+            .raw("gauges", scalar_map(&self.delta.gauges))
+            .raw("histograms", histograms.finish())
+            .finish()
+    }
+}
+
+struct SeriesInner {
+    interval_ns: u64,
+    capacity: usize,
+    state: Mutex<SeriesState>,
+}
+
+struct SeriesState {
+    /// Cumulative snapshot at the last tick (the delta base).
+    last: MetricsSnapshot,
+    /// Clock reading at the last tick.
+    last_ns: u64,
+    /// Next window number.
+    next_index: u64,
+    windows: VecDeque<Window>,
+}
+
+/// A handle on a windowed metrics ring (or on nothing, when disabled).
+/// Clones share the ring; the handle is `Send + Sync`.
+#[derive(Clone, Default)]
+pub struct TimeSeries {
+    inner: Option<Arc<SeriesInner>>,
+}
+
+impl std::fmt::Debug for TimeSeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimeSeries")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl TimeSeries {
+    /// The disabled series: every call is a pointer check.
+    pub fn off() -> Self {
+        TimeSeries { inner: None }
+    }
+
+    /// An enabled series retaining the most recent `capacity` windows
+    /// of (nominally) `interval_ns` each. The interval is a target for
+    /// [`TimeSeries::maybe_tick`]; explicit [`TimeSeries::tick`] calls
+    /// close windows regardless of elapsed time.
+    pub fn new(interval_ns: u64, capacity: usize) -> Self {
+        TimeSeries {
+            inner: Some(Arc::new(SeriesInner {
+                interval_ns: interval_ns.max(1),
+                capacity: capacity.max(1),
+                state: Mutex::new(SeriesState {
+                    last: MetricsSnapshot::default(),
+                    last_ns: 0,
+                    next_index: 0,
+                    windows: VecDeque::new(),
+                }),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Target interval in nanoseconds (0 when disabled).
+    pub fn interval_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.interval_ns)
+    }
+
+    /// Maximum retained windows (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| inner.capacity)
+    }
+
+    /// Close the current window now: snapshot `telemetry`, push the
+    /// delta since the previous tick, evict beyond capacity.
+    pub fn tick(&self, telemetry: &Telemetry) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let snapshot = telemetry.snapshot();
+        let now_ns = telemetry.now_ns();
+        let mut state = inner.state.lock().expect("timeseries state poisoned");
+        let delta = snapshot.delta(&state.last);
+        let window = Window {
+            index: state.next_index,
+            start_ns: state.last_ns,
+            end_ns: now_ns,
+            delta,
+        };
+        state.next_index += 1;
+        state.last = snapshot;
+        state.last_ns = now_ns;
+        state.windows.push_back(window);
+        while state.windows.len() > inner.capacity {
+            state.windows.pop_front();
+        }
+    }
+
+    /// Close the current window if at least the configured interval
+    /// has elapsed since the last tick. Returns whether a window was
+    /// closed. Cheap when it is not yet time: one clock read and one
+    /// short-held lock.
+    pub fn maybe_tick(&self, telemetry: &Telemetry) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let now_ns = telemetry.now_ns();
+        {
+            let state = inner.state.lock().expect("timeseries state poisoned");
+            if now_ns.saturating_sub(state.last_ns) < inner.interval_ns {
+                return false;
+            }
+        }
+        self.tick(telemetry);
+        true
+    }
+
+    /// Nanoseconds until the next tick is due (the reactor's poll
+    /// timeout bound). 0 when a tick is already due; `None` when
+    /// disabled.
+    pub fn ns_until_due(&self, telemetry: &Telemetry) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let now_ns = telemetry.now_ns();
+        let state = inner.state.lock().expect("timeseries state poisoned");
+        Some(
+            inner
+                .interval_ns
+                .saturating_sub(now_ns.saturating_sub(state.last_ns)),
+        )
+    }
+
+    /// The most recent `n` windows, oldest first.
+    pub fn windows(&self, n: usize) -> Vec<Window> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let state = inner.state.lock().expect("timeseries state poisoned");
+        let skip = state.windows.len().saturating_sub(n);
+        state.windows.iter().skip(skip).cloned().collect()
+    }
+
+    /// Sum of a counter's per-window increments across the retained
+    /// ring, plus the total retained duration in nanoseconds — the
+    /// rolling rate numerator/denominator for health summaries.
+    pub fn rolling_sum(&self, counter: &str) -> (u64, u64) {
+        let Some(inner) = &self.inner else {
+            return (0, 0);
+        };
+        let state = inner.state.lock().expect("timeseries state poisoned");
+        let mut sum = 0u64;
+        let mut span_ns = 0u64;
+        for window in &state.windows {
+            sum += window.delta.counters.get(counter).copied().unwrap_or(0);
+            span_ns += window.duration_ns();
+        }
+        (sum, span_ns)
+    }
+
+    /// Render the most recent `n` windows as one stable JSON document
+    /// (oldest window first). Two identical series serialize to
+    /// identical bytes.
+    pub fn history_json(&self, n: usize) -> String {
+        let mut windows = Arr::new();
+        for window in self.windows(n) {
+            windows.raw(window.to_json());
+        }
+        Obj::new()
+            .u64("interval_ns", self.interval_ns())
+            .u64(
+                "capacity",
+                self.inner.as_ref().map_or(0, |i| i.capacity as u64),
+            )
+            .raw("windows", windows.finish())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_series_is_inert() {
+        let series = TimeSeries::off();
+        assert!(!series.is_enabled());
+        series.tick(&Telemetry::deterministic());
+        assert!(!series.maybe_tick(&Telemetry::deterministic()));
+        assert!(series.windows(10).is_empty());
+        assert_eq!(
+            series.history_json(10),
+            "{\"interval_ns\":0,\"capacity\":0,\"windows\":[]}"
+        );
+        assert_eq!(series.ns_until_due(&Telemetry::deterministic()), None);
+    }
+
+    #[test]
+    fn ticks_capture_per_window_deltas() {
+        let tel = Telemetry::deterministic();
+        let series = TimeSeries::new(1, 8);
+        tel.add("req", 3);
+        series.tick(&tel);
+        tel.add("req", 2);
+        tel.observe("lat", 500);
+        series.tick(&tel);
+        let windows = series.windows(10);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].delta.counters["req"], 3);
+        assert_eq!(windows[1].delta.counters["req"], 2);
+        assert_eq!(windows[1].delta.histograms["lat"].count(), 1);
+        assert_eq!(windows[0].index, 0);
+        assert_eq!(windows[1].index, 1);
+        assert!(windows[1].start_ns >= windows[0].end_ns);
+    }
+
+    #[test]
+    fn quiet_windows_are_empty() {
+        let tel = Telemetry::deterministic();
+        let series = TimeSeries::new(1, 8);
+        tel.add("req", 1);
+        series.tick(&tel);
+        series.tick(&tel); // nothing happened in between
+        let windows = series.windows(10);
+        assert!(windows[1].delta.counters.is_empty());
+        assert!(windows[1].delta.histograms.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_but_indices_keep_counting() {
+        let tel = Telemetry::deterministic();
+        let series = TimeSeries::new(1, 3);
+        for i in 0..5u64 {
+            tel.add("n", i + 1);
+            series.tick(&tel);
+        }
+        let windows = series.windows(10);
+        assert_eq!(windows.len(), 3);
+        let indices: Vec<u64> = windows.iter().map(|w| w.index).collect();
+        assert_eq!(indices, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn maybe_tick_respects_the_interval() {
+        let tel = Telemetry::deterministic();
+        // Fake clock: each reading advances 1000 ns; a 10_000 ns
+        // interval needs several readings before a tick is due.
+        let series = TimeSeries::new(10_000, 8);
+        let mut ticks = 0;
+        for _ in 0..40 {
+            if series.maybe_tick(&tel) {
+                ticks += 1;
+            }
+        }
+        assert!(ticks >= 2, "expected periodic ticks, got {ticks}");
+        assert!(
+            ticks <= 8,
+            "interval not respected: {ticks} ticks in 40 polls"
+        );
+    }
+
+    #[test]
+    fn rolling_sum_spans_the_retained_ring() {
+        let tel = Telemetry::deterministic();
+        let series = TimeSeries::new(1, 4);
+        for _ in 0..3 {
+            tel.add("serve.shed", 2);
+            series.tick(&tel);
+        }
+        let (sum, span_ns) = series.rolling_sum("serve.shed");
+        assert_eq!(sum, 6);
+        assert!(span_ns > 0);
+        assert_eq!(series.rolling_sum("absent").0, 0);
+    }
+
+    #[test]
+    fn deterministic_history_is_byte_stable() {
+        let run = || {
+            let tel = Telemetry::deterministic();
+            let series = TimeSeries::new(1_000, 8);
+            for i in 0..4u64 {
+                tel.add("req", i + 1);
+                tel.observe("lat", 100 * (i + 1));
+                drop(tel.timed("stage"));
+                series.tick(&tel);
+            }
+            series.history_json(8)
+        };
+        let first = run();
+        assert_eq!(first, run());
+        assert!(first.contains("\"interval_ns\":1000"));
+        assert!(first.contains("\"counters\":{\"req\":1}"));
+    }
+}

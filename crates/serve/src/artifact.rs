@@ -6,7 +6,7 @@ use qi_datasets::Domain;
 use qi_lexicon::Lexicon;
 use qi_mapping::{ClusterId, DeltaOutcome, FallbackReason, Mapping, MatcherConfig};
 use qi_merge::MergeState;
-use qi_runtime::{Interner, Telemetry};
+use qi_runtime::{Category, Interner, Severity, Telemetry};
 use qi_schema::{NodeId, SchemaTree};
 use qi_text::LabelText;
 use std::collections::BTreeMap;
@@ -325,6 +325,17 @@ fn try_delta_ingest(
         DeltaOutcome::Incremental(delta) => delta,
         DeltaOutcome::Fallback(reason) => {
             telemetry.add(fallback_counter(reason), 1);
+            telemetry.event(
+                Severity::Info,
+                Category::Ingest,
+                "ingest.delta_fallback",
+                || {
+                    vec![
+                        ("domain", artifact.name.as_str().into()),
+                        ("reason", fallback_counter(reason).into()),
+                    ]
+                },
+            );
             return None;
         }
     };
@@ -335,6 +346,17 @@ fn try_delta_ingest(
     let expansion = qi_mapping::expand_one_to_many(&mut schemas, &mut mapping);
     if !expansion.expanded.is_empty() {
         telemetry.add("serve.ingest.fallback.expansion", 1);
+        telemetry.event(
+            Severity::Info,
+            Category::Ingest,
+            "ingest.delta_fallback",
+            || {
+                vec![
+                    ("domain", artifact.name.as_str().into()),
+                    ("reason", "serve.ingest.fallback.expansion".into()),
+                ]
+            },
+        );
         return None;
     }
     let mut merge_state = state.merge_state.clone();

@@ -53,7 +53,9 @@ use crate::store::{CacheEntry, Store};
 use qi_query::Cursor;
 use qi_runtime::json::{Arr, Obj};
 use qi_runtime::netpoll::{self, PollFd, Waker};
-use qi_runtime::{resolve_threads, JobQueue, Telemetry};
+use qi_runtime::{
+    resolve_threads, Category, EventRecorder, JobQueue, Severity, Telemetry, TimeSeries,
+};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -120,6 +122,15 @@ pub struct ServerConfig {
     /// many milliseconds (to the access-log sink, or stderr without
     /// one). `None` disables slow-request tracing.
     pub slow_ms: Option<u64>,
+    /// Flight-recorder ring capacity (retained events); `0` disables
+    /// the recorder entirely, leaving `Telemetry::event` a pointer
+    /// check. Ignored when the server's telemetry registry already has
+    /// a recorder attached (the caller's wins).
+    pub events_capacity: usize,
+    /// Target width of one `/metrics/history` window, in milliseconds.
+    pub history_interval_ms: u64,
+    /// Retained `/metrics/history` windows; `0` disables the series.
+    pub history_windows: usize,
 }
 
 impl Default for ServerConfig {
@@ -137,6 +148,9 @@ impl Default for ServerConfig {
             snapshot_path: None,
             access_log: None,
             slow_ms: None,
+            events_capacity: 1024,
+            history_interval_ms: 1_000,
+            history_windows: 64,
         }
     }
 }
@@ -300,6 +314,29 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Live-introspection state shared by the debug endpoints: the
+/// windowed time-series ring behind `/metrics/history` and the server
+/// start time behind the uptime fields.
+struct Observe {
+    series: TimeSeries,
+    started: Instant,
+}
+
+impl Observe {
+    /// A disabled instance for direct `handle` calls in tests.
+    #[cfg(test)]
+    fn off() -> Observe {
+        Observe {
+            series: TimeSeries::off(),
+            started: Instant::now(),
+        }
+    }
+
+    fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+}
+
 /// A response completed (or synthesized) for one position in a
 /// connection's pipeline.
 struct Completed {
@@ -405,6 +442,27 @@ fn run(
         telemetry,
         config,
     } = server;
+    // Install the flight recorder unless the caller attached one of
+    // their own (custom capacity or sampling) before starting.
+    let telemetry =
+        if config.events_capacity > 0 && telemetry.is_enabled() && !telemetry.events().is_enabled()
+        {
+            telemetry.attach_events(EventRecorder::new(config.events_capacity))
+        } else {
+            telemetry
+        };
+    let series = if telemetry.is_enabled() && config.history_windows > 0 {
+        TimeSeries::new(
+            config.history_interval_ms.saturating_mul(1_000_000),
+            config.history_windows,
+        )
+    } else {
+        TimeSeries::off()
+    };
+    let observe = Observe {
+        series,
+        started: Instant::now(),
+    };
     // Floor of 2: with one worker a multi-millisecond ingest would
     // head-of-line block every cached read behind it.
     let workers = resolve_threads(config.threads).max(2);
@@ -420,6 +478,13 @@ fn run(
         "serve.conn.pipelined",
         "serve.conn.idle_closed",
         "serve.conn.rejected",
+        "serve.requests",
+        "serve.errors",
+        "serve.shed",
+        "serve.panics",
+        "events.emitted",
+        "events.sampled",
+        "events.dropped",
         "query.executed",
         "query.parse_errors",
         "query.budget_exhausted",
@@ -435,8 +500,17 @@ fn run(
             scope.spawn(|| {
                 while let Some(job) = queue.pop() {
                     telemetry.observe("serve.queue.wait", job.enqueued.elapsed().as_nanos() as u64);
-                    telemetry.gauge("serve.queue.depth", queue.len() as u64);
-                    let done = handle_job(job, &store, &telemetry, &config, &access_log);
+                    let depth = queue.len() as u64;
+                    telemetry.gauge("serve.queue.depth", depth);
+                    let done = handle_job(
+                        job,
+                        &store,
+                        &telemetry,
+                        &config,
+                        &access_log,
+                        &observe,
+                        depth,
+                    );
                     completions
                         .lock()
                         .expect("completion queue poisoned")
@@ -459,6 +533,7 @@ fn run(
             telemetry: &telemetry,
             config: &config,
             access_log: &access_log,
+            observe: &observe,
             shutdown: &shutdown,
             wake_rx,
             shutting_down: false,
@@ -485,6 +560,7 @@ struct Reactor<'a> {
     telemetry: &'a Telemetry,
     config: &'a ServerConfig,
     access_log: &'a AccessLog,
+    observe: &'a Observe,
     shutdown: &'a AtomicBool,
     wake_rx: netpoll::WakeReceiver,
     shutting_down: bool,
@@ -531,12 +607,19 @@ impl Reactor<'_> {
                     timeout = Some(timeout.map_or(wait, |t: Duration| t.min(wait)));
                 }
             }
+            // Wake in time to close the current time-series window even
+            // on an otherwise idle server.
+            if let Some(ns) = self.observe.series.ns_until_due(self.telemetry) {
+                let wait = Duration::from_nanos(ns);
+                timeout = Some(timeout.map_or(wait, |t: Duration| t.min(wait)));
+            }
 
             match netpoll::poll_fds(&mut pollfds, timeout) {
                 Ok(_) => {}
                 Err(_) => continue,
             }
 
+            self.observe.series.maybe_tick(self.telemetry);
             if pollfds[0].readable() {
                 self.wake_rx.drain();
             }
@@ -615,10 +698,23 @@ impl Reactor<'_> {
                 Ok((stream, _)) => {
                     if self.live >= self.config.max_connections {
                         self.telemetry.incr("serve.conn.rejected");
+                        // Even a synthesized rejection carries a
+                        // request id, so the client can quote one when
+                        // reporting it.
+                        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                        let live = self.live as u64;
+                        self.telemetry.event(
+                            Severity::Warn,
+                            Category::Shed,
+                            "shed.connection_limit",
+                            || vec![("request_id", id.into()), ("connections", live.into())],
+                        );
                         let _ = stream.set_nodelay(true);
                         let mut stream = stream;
                         let _ = stream.write_all(
-                            &Response::error(503, "too many connections").serialize(false),
+                            &Response::error(503, "too many connections")
+                                .header("x-qi-request-id", id.to_string())
+                                .serialize(false),
                         );
                         continue;
                     }
@@ -800,6 +896,11 @@ impl Reactor<'_> {
             Err(job) => {
                 // Queue full: shed this request, keep the connection.
                 self.telemetry.incr("serve.shed");
+                let depth = self.queue.len() as u64;
+                self.telemetry
+                    .event(Severity::Warn, Category::Shed, "shed.queue_full", || {
+                        vec![("request_id", job.id.into()), ("depth", depth.into())]
+                    });
                 let response = Response::error(503, "server is at capacity")
                     .header("x-qi-request-id", job.id.to_string());
                 conn.pending.insert(
@@ -825,6 +926,13 @@ impl Reactor<'_> {
             RequestError::Closed => unreachable!("incremental parser never reports Closed"),
         };
         self.telemetry.incr("serve.errors.read");
+        self.telemetry
+            .event(Severity::Warn, Category::Http, "http.read_error", || {
+                vec![
+                    ("request_id", id.into()),
+                    ("status", u64::from(status).into()),
+                ]
+            });
         let response = Response::error(status, &message).header("x-qi-request-id", id.to_string());
         self.access_log.log(&access_line(
             id,
@@ -972,12 +1080,15 @@ impl Reactor<'_> {
 }
 
 /// Worker-side request execution: route, render, serialize.
+#[allow(clippy::too_many_arguments)]
 fn handle_job(
     job: Job,
     store: &Store,
     telemetry: &Telemetry,
     config: &ServerConfig,
     access_log: &AccessLog,
+    observe: &Observe,
+    queue_depth: u64,
 ) -> Done {
     let Job {
         token,
@@ -993,24 +1104,42 @@ fn handle_job(
 
     // With slow-request tracing on, handler spans go into a request-
     // local registry (so the breakdown is this request's alone), then
-    // merge into the global one.
-    let local = config.slow_ms.map(|_| Telemetry::new());
+    // merge into the global one. The sibling shares the global clock
+    // baseline and recorder, so events emitted mid-handler land in the
+    // one flight recorder with consistent timestamps.
+    let local = config
+        .slow_ms
+        .map(|_| telemetry.sibling().attach_events(telemetry.events()));
     let effective = local.as_ref().unwrap_or(telemetry);
 
     let route = route_name(&request);
     let (requests_key, span_key) = route_keys(route);
+    telemetry.incr("serve.requests");
     telemetry.incr(requests_key);
     let timed = telemetry.timed(span_key);
     let response = catch_unwind(AssertUnwindSafe(|| {
-        handle(&request, store, telemetry, effective, config)
+        handle(
+            &request,
+            store,
+            telemetry,
+            effective,
+            config,
+            observe,
+            queue_depth,
+        )
     }))
     .unwrap_or_else(|_| {
         telemetry.incr("serve.panics");
+        telemetry.event(Severity::Error, Category::Panic, "panic.request", || {
+            vec![("request_id", id.into()), ("route", route.into())]
+        });
         Response::error(500, "internal error")
     });
     drop(timed);
     let latency = started.elapsed();
+    telemetry.observe("serve.latency", latency.as_nanos() as u64);
     if response.status >= 400 {
+        telemetry.incr("serve.errors");
         telemetry.incr(&format!("serve.errors.{route}"));
     }
     let shutdown = route == "shutdown" && response.status == 200;
@@ -1041,6 +1170,13 @@ fn handle_job(
                 "slow req={id} route={route} latency_us={}{stages}",
                 latency.as_micros()
             ));
+            telemetry.event(Severity::Warn, Category::Slow, "slow.request", || {
+                vec![
+                    ("request_id", id.into()),
+                    ("route", route.into()),
+                    ("latency_us", (latency.as_micros() as u64).into()),
+                ]
+            });
         }
         telemetry.absorb(&snapshot);
     }
@@ -1081,6 +1217,9 @@ fn route_name(request: &Request) -> &'static str {
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => "healthz",
         ("GET", ["metrics"]) => "metrics",
+        ("GET", ["metrics", "history"]) => "metrics_history",
+        ("GET", ["debug", "events"]) => "debug_events",
+        ("GET", ["debug", "status"]) => "debug_status",
         ("GET", ["domains"]) => "domains",
         ("GET", ["domains", _, "labels"]) => "labels",
         ("GET", ["domains", _, "tree"]) => "tree",
@@ -1099,6 +1238,12 @@ fn route_keys(route: &'static str) -> (&'static str, &'static str) {
     match route {
         "healthz" => ("serve.requests.healthz", "serve.http.healthz"),
         "metrics" => ("serve.requests.metrics", "serve.http.metrics"),
+        "metrics_history" => (
+            "serve.requests.metrics_history",
+            "serve.http.metrics_history",
+        ),
+        "debug_events" => ("serve.requests.debug_events", "serve.http.debug_events"),
+        "debug_status" => ("serve.requests.debug_status", "serve.http.debug_status"),
         "domains" => ("serve.requests.domains", "serve.http.domains"),
         "labels" => ("serve.requests.labels", "serve.http.labels"),
         "tree" => ("serve.requests.tree", "serve.http.tree"),
@@ -1123,17 +1268,16 @@ fn handle(
     telemetry: &Telemetry,
     effective: &Telemetry,
     config: &ServerConfig,
+    observe: &Observe,
+    queue_depth: u64,
 ) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::json(
-            200,
-            Obj::new()
-                .str("status", "ok")
-                .u64("domains", store.len() as u64)
-                .finish(),
-        ),
+        ("GET", ["healthz"]) => healthz(request, store, observe),
         ("GET", ["metrics"]) => metrics(request, telemetry),
+        ("GET", ["metrics", "history"]) => metrics_history(request, observe),
+        ("GET", ["debug", "events"]) => debug_events(request, telemetry),
+        ("GET", ["debug", "status"]) => debug_status(store, telemetry, observe, queue_depth),
         ("GET", ["domains"]) => {
             // The listing is rendered from the whole domain map, so it
             // is versioned by the store generation, not one artifact.
@@ -1213,6 +1357,9 @@ fn reload(
     };
     let domains = store.reload(snapshot, telemetry);
     telemetry.incr("serve.reloads");
+    telemetry.event(Severity::Info, Category::Reload, "reload.snapshot", || {
+        vec![("path", path.into()), ("domains", (domains as u64).into())]
+    });
     Response::json(
         200,
         Obj::new()
@@ -1241,6 +1388,151 @@ fn metrics(request: &Request, telemetry: &Telemetry) -> Response {
     } else {
         Response::json(200, snapshot.to_json())
     }
+}
+
+/// `GET /healthz` with content negotiation: a JSON liveness document
+/// (uptime, store generation, per-domain artifact versions), or a bare
+/// `ok` when the `Accept` header asks for `text/plain` (load-balancer
+/// probes that only string-match).
+fn healthz(request: &Request, store: &Store, observe: &Observe) -> Response {
+    let wants_plain = request
+        .header("accept")
+        .is_some_and(|accept| accept.to_ascii_lowercase().contains("text/plain"));
+    if wants_plain {
+        return Response::with_type(200, "text/plain", "ok\n".to_string());
+    }
+    Response::json(
+        200,
+        Obj::new()
+            .str("status", "ok")
+            .u64("domains", store.len() as u64)
+            .u64("uptime_seconds", observe.uptime_seconds())
+            .u64("generation", store.generation())
+            .raw("versions", domain_versions(store).finish())
+            .finish(),
+    )
+}
+
+/// Slug → current artifact version, for `/healthz` and `/debug/status`.
+fn domain_versions(store: &Store) -> Obj {
+    let mut versions = Obj::new();
+    for slug in store.slugs() {
+        if let Some(artifact) = store.get(&slug) {
+            versions.u64(&slug, artifact.version);
+        }
+    }
+    versions
+}
+
+/// `GET /metrics/history?windows=N`: the retained time-series windows
+/// (per-interval deltas of the cumulative registry), oldest first.
+fn metrics_history(request: &Request, observe: &Observe) -> Response {
+    let cap = (observe.series.capacity() as u64).max(1);
+    let windows = match u64_param(request, "windows", cap, 1, cap) {
+        Ok(windows) => windows,
+        Err(response) => return response,
+    };
+    Response::json(200, observe.series.history_json(windows as usize))
+}
+
+/// `GET /debug/events?since=&category=&limit=`: a cursor-resumable
+/// page of the flight recorder's retained events. Pass the returned
+/// `next_seq` back as `since` to read strictly newer events; a
+/// `dropped_watermark` above the cursor means the ring evicted events
+/// the cursor never saw.
+fn debug_events(request: &Request, telemetry: &Telemetry) -> Response {
+    let recorder = telemetry.events();
+    let since = match u64_param(request, "since", 0, 0, u64::MAX) {
+        Ok(since) => since,
+        Err(response) => return response,
+    };
+    let limit = match u64_param(request, "limit", 256, 1, 4096) {
+        Ok(limit) => limit,
+        Err(response) => return response,
+    };
+    let category = match request.query_param("category") {
+        None => None,
+        Some(name) if name.is_empty() => None,
+        Some(name) => match Category::parse(&name) {
+            Some(category) => Some(category),
+            None => {
+                return Response::error(400, &format!("bad category: {name:?} is not a category"))
+            }
+        },
+    };
+    let page = recorder.events_since(since, category, limit as usize);
+    let mut events = Arr::new();
+    for event in &page.events {
+        events.raw(event.to_json());
+    }
+    Response::json(
+        200,
+        Obj::new()
+            .bool("enabled", recorder.is_enabled())
+            .u64("next_seq", page.next_seq)
+            .u64("dropped_watermark", page.dropped_watermark)
+            .u64("dropped", page.dropped)
+            .raw("events", events.finish())
+            .finish(),
+    )
+}
+
+/// `GET /debug/status`: one-page live introspection — uptime, snapshot
+/// versions, queue depth, recorder state, and rolling rates computed
+/// over the retained time-series windows.
+fn debug_status(
+    store: &Store,
+    telemetry: &Telemetry,
+    observe: &Observe,
+    queue_depth: u64,
+) -> Response {
+    let (requests, span_ns) = observe.series.rolling_sum("serve.requests");
+    let (errors, _) = observe.series.rolling_sum("serve.errors");
+    let (shed, _) = observe.series.rolling_sum("serve.shed");
+    let seconds = span_ns as f64 / 1e9;
+    let per_sec = |count: u64| {
+        if span_ns == 0 {
+            0.0
+        } else {
+            count as f64 / seconds
+        }
+    };
+    let rate_of = |count: u64| {
+        if requests == 0 {
+            0.0
+        } else {
+            count as f64 / requests as f64
+        }
+    };
+    let mut rolling = Obj::new();
+    rolling
+        .f64("window_seconds", seconds, 3)
+        .u64("requests", requests)
+        .f64("requests_per_sec", per_sec(requests), 3)
+        .u64("errors", errors)
+        .f64("error_rate", rate_of(errors), 4)
+        .u64("shed", shed)
+        .f64("shed_rate", rate_of(shed), 4);
+    let recorder = telemetry.events();
+    let recorder_page = recorder.events_since(u64::MAX, None, 0);
+    let mut events = Obj::new();
+    events
+        .bool("enabled", recorder.is_enabled())
+        .u64("last_seq", recorder.last_seq())
+        .u64("dropped", recorder_page.dropped);
+    Response::json(
+        200,
+        Obj::new()
+            .str("status", "ok")
+            .u64("uptime_seconds", observe.uptime_seconds())
+            .u64("generation", store.generation())
+            .u64("domains", store.len() as u64)
+            .u64("queue_depth", queue_depth)
+            .raw("versions", domain_versions(store).finish())
+            .raw("rolling", rolling.finish())
+            .raw("events", events.finish())
+            .finish(),
+    )
 }
 
 /// Serve a per-domain GET through the rendered-response cache: look up
@@ -1443,6 +1735,12 @@ fn explain_paged(
                 }
                 if cursor.version != artifact.version {
                     telemetry.incr("query.stale_cursors");
+                    telemetry.event(Severity::Warn, Category::Cursor, "cursor.stale", || {
+                        vec![
+                            ("stream", "explain".into()),
+                            ("slug", artifact.slug().into()),
+                        ]
+                    });
                     return Response::error(
                         410,
                         "cursor is stale: the domain was re-labeled since the page was cut",
@@ -1563,10 +1861,20 @@ fn query_endpoint(request: &Request, store: &Store, telemetry: &Telemetry) -> Re
                 QueryError::BadCursor(_) => 400,
                 QueryError::StaleCursor => {
                     telemetry.incr("query.stale_cursors");
+                    telemetry.event(Severity::Warn, Category::Cursor, "cursor.stale", || {
+                        vec![("stream", "query".into())]
+                    });
                     410
                 }
-                QueryError::BudgetExhausted { .. } => {
+                QueryError::BudgetExhausted { limit } => {
                     telemetry.incr("query.budget_exhausted");
+                    let limit = *limit;
+                    telemetry.event(
+                        Severity::Warn,
+                        Category::Budget,
+                        "query.budget_exhausted",
+                        || vec![("limit", limit.into())],
+                    );
                     422
                 }
             };
@@ -1643,11 +1951,29 @@ mod tests {
         let store = auto_store();
         let telemetry = Telemetry::off();
         let config = ServerConfig::default();
-        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config);
+        let observe = Observe::off();
+        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config, &observe, 0);
 
         let health = ok(&request("GET", "/healthz", b""));
         assert_eq!(health.status, 200);
-        assert_eq!(*health.body, b"{\"status\":\"ok\",\"domains\":1}");
+        let text = String::from_utf8(health.body.to_vec()).unwrap();
+        assert!(
+            text.starts_with("{\"status\":\"ok\",\"domains\":1,"),
+            "{text}"
+        );
+        assert!(text.contains("\"uptime_seconds\":"), "{text}");
+        assert!(text.contains("\"generation\":0"), "{text}");
+        assert!(text.contains("\"versions\":{\"auto\":"), "{text}");
+
+        // The old probe body survives under `Accept: text/plain`.
+        let mut plain = request("GET", "/healthz", b"");
+        plain
+            .headers
+            .push(("accept".to_string(), "text/plain".to_string()));
+        let probe = ok(&plain);
+        assert_eq!(probe.status, 200);
+        assert_eq!(probe.content_type, "text/plain");
+        assert_eq!(*probe.body, b"ok\n");
 
         let domains = ok(&request("GET", "/domains", b""));
         assert_eq!(domains.status, 200);
@@ -1678,6 +2004,28 @@ mod tests {
         assert_eq!(ok(&request("GET", "/nope", b"")).status, 404);
         assert_eq!(ok(&request("PUT", "/healthz", b"")).status, 405);
         assert_eq!(ok(&request("GET", "/metrics", b"")).status, 200);
+
+        // The introspection surface answers even with everything
+        // disabled: empty history, an empty event page, a status page.
+        let history = ok(&request("GET", "/metrics/history", b""));
+        assert_eq!(history.status, 200);
+        assert_eq!(
+            *history.body,
+            b"{\"interval_ns\":0,\"capacity\":0,\"windows\":[]}"
+        );
+        let events = ok(&request("GET", "/debug/events", b""));
+        assert_eq!(events.status, 200);
+        let text = String::from_utf8(events.body.to_vec()).unwrap();
+        assert!(text.contains("\"enabled\":false"), "{text}");
+        assert_eq!(
+            ok(&request("GET", "/debug/events?category=nope", b"")).status,
+            400
+        );
+        let status = ok(&request("GET", "/debug/status", b""));
+        assert_eq!(status.status, 200);
+        let text = String::from_utf8(status.body.to_vec()).unwrap();
+        assert!(text.contains("\"queue_depth\":0"), "{text}");
+        assert!(text.contains("\"rolling\":{"), "{text}");
     }
 
     #[test]
@@ -1685,12 +2033,15 @@ mod tests {
         let store = auto_store();
         let telemetry = Telemetry::off();
         let config = ServerConfig::default();
+        let observe = Observe::off();
         let response = handle(
             &request("POST", "/admin/reload", b""),
             &store,
             &telemetry,
             &telemetry,
             &config,
+            &observe,
+            0,
         );
         assert_eq!(response.status, 400);
         let text = String::from_utf8(response.body.to_vec()).unwrap();
@@ -1702,6 +2053,8 @@ mod tests {
             &telemetry,
             &telemetry,
             &config,
+            &observe,
+            0,
         );
         assert_eq!(response.status, 400);
     }
@@ -1714,12 +2067,15 @@ mod tests {
         drop(telemetry.timed("probe.work"));
         let config = ServerConfig::default();
 
+        let observe = Observe::off();
         let json = handle(
             &request("GET", "/metrics", b""),
             &store,
             &telemetry,
             &telemetry,
             &config,
+            &observe,
+            0,
         );
         assert_eq!(json.status, 200);
         assert_eq!(json.content_type, "application/json");
@@ -1729,7 +2085,7 @@ mod tests {
         let mut req = request("GET", "/metrics", b"");
         req.headers
             .push(("accept".to_string(), "TEXT/Plain".to_string()));
-        let prom = handle(&req, &store, &telemetry, &telemetry, &config);
+        let prom = handle(&req, &store, &telemetry, &telemetry, &config, &observe, 0);
         assert_eq!(prom.status, 200);
         assert_eq!(prom.content_type, "text/plain; version=0.0.4");
         let text = String::from_utf8(prom.body.to_vec()).unwrap();
@@ -1744,12 +2100,15 @@ mod tests {
         let config = ServerConfig::default();
         let before = store.get("auto").unwrap().interfaces();
 
+        let observe = Observe::off();
         let bad = handle(
             &request("POST", "/domains/auto/interfaces", b"not an interface"),
             &store,
             &telemetry,
             &telemetry,
             &config,
+            &observe,
+            0,
         );
         assert_eq!(bad.status, 400);
 
@@ -1766,6 +2125,8 @@ mod tests {
             &telemetry,
             &local,
             &config,
+            &observe,
+            0,
         );
         assert_eq!(
             good.status,
@@ -1784,6 +2145,8 @@ mod tests {
             &telemetry,
             &telemetry,
             &config,
+            &observe,
+            0,
         );
         assert_eq!(missing.status, 404);
     }
@@ -1822,7 +2185,8 @@ mod tests {
         let store = auto_store();
         let telemetry = Telemetry::off();
         let config = ServerConfig::default();
-        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config);
+        let observe = Observe::off();
+        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config, &observe, 0);
 
         // GET with an encoded query.
         let page = ok(&request("GET", "/query?q=find%20fields&limit=2", b""));
@@ -1888,7 +2252,8 @@ mod tests {
         let store = auto_store();
         let telemetry = Telemetry::new();
         let config = ServerConfig::default();
-        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config);
+        let observe = Observe::off();
+        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config, &observe, 0);
 
         let first = ok(&request("GET", "/query?q=find%20fields", b""));
         assert_eq!(first.status, 200);
@@ -1921,7 +2286,8 @@ mod tests {
         let store = auto_store();
         let telemetry = Telemetry::off();
         let config = ServerConfig::default();
-        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config);
+        let observe = Observe::off();
+        let ok = |req: &Request| handle(req, &store, &telemetry, &telemetry, &config, &observe, 0);
 
         let full = ok(&request("GET", "/domains/auto/explain", b""));
         assert_eq!(full.status, 200);

@@ -28,7 +28,7 @@ use crate::artifact::{ingest_interface, slug_of, DomainArtifact};
 use crate::snapshot::{fnv1a, Snapshot};
 use qi_core::NamingPolicy;
 use qi_lexicon::Lexicon;
-use qi_runtime::Telemetry;
+use qi_runtime::{Category, Severity, Telemetry};
 use qi_schema::SchemaTree;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -239,6 +239,9 @@ impl Store {
         drop(cache);
         if dropped > 0 {
             telemetry.add("serve.cache.invalidations", dropped);
+            telemetry.event(Severity::Info, Category::Cache, "cache.invalidate", || {
+                vec![("slug", slug.as_str().into()), ("entries", dropped.into())]
+            });
         }
         Some(rebuilt)
     }
@@ -286,6 +289,9 @@ impl Store {
         drop(cache);
         if dropped > 0 {
             telemetry.add("serve.cache.invalidations", dropped);
+            telemetry.event(Severity::Info, Category::Cache, "cache.clear", || {
+                vec![("entries", dropped.into())]
+            });
         }
         count
     }

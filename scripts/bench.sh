@@ -227,6 +227,18 @@ awk '
         qmatches = field(line, "query_matches")
         printf "query engine: %d-query set over %d drift domains in %.3f ms median (%d matches)\n", \
             qn, qdomains, qms, qmatches
+
+        # Observability overhead: the same keep-alive workload with the
+        # flight recorder + windowed time-series fully on vs fully off,
+        # plus the in-process recorder saturation rate.
+        obs_on = field(line, "observe_on_rps")
+        obs_off = field(line, "observe_off_rps")
+        obs_pct = field(line, "observe_overhead_pct")
+        rec_rate = field(line, "recorder_events_per_sec")
+        printf "observability: %.0f req/s with recorder+history on vs %.0f req/s off (%+.1f%% overhead); recorder %.1fM events/s\n", \
+            obs_on, obs_off, obs_pct, rec_rate / 1000000
+        if (obs_pct + 0 > 5)
+            printf "WARNING: recorder+history overhead is above the 5%% target (%.1f%%)\n", obs_pct
     }'
 
 # Query-stage regression gate: warn when the query_scaled median in the

@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("fetch") => cmd_fetch(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}; try `qi help`")),
     };
     match result {
@@ -105,6 +106,24 @@ usage:
       --metrics <file>            write server metrics as JSON on exit
       --access-log <sink>         per-request log: \"stderr\" or a file
       --slow-ms <n>               log span breakdowns of slow requests
+      --events <n>                flight-recorder ring capacity
+                                  (default 1024; 0 disables it)
+      --history-interval-ms <n>   /metrics/history window width
+                                  (default 1000)
+      --history-windows <n>       retained history windows (default 64;
+                                  0 disables the series)
+  qi top [opts] <host:port>       live terminal dashboard: polls
+                                  /metrics/history over one keep-alive
+                                  connection and renders per-window
+                                  req/s, latency quantiles, ingest,
+                                  cache and event columns
+      --interval-ms <n>           poll interval (default 1000)
+      --iterations <n>            stop after n refreshes (default: run
+                                  until interrupted)
+      --windows <n>               windows to request and show
+                                  (default 10)
+      --raw                       append one summary line per poll
+                                  instead of redrawing the screen
   qi query [opts] <query>...      run a tree/lexicon/provenance query
                                   (same syntax as GET /query) over the
                                   builtin corpus or a snapshot; extra
@@ -698,6 +717,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("--slow-ms: {e}"))?,
                 )
             }
+            "--events" => {
+                config.events_capacity = iter
+                    .next()
+                    .ok_or("--events needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--events: {e}"))?
+            }
+            "--history-interval-ms" => {
+                config.history_interval_ms = iter
+                    .next()
+                    .ok_or("--history-interval-ms needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--history-interval-ms: {e}"))?
+            }
+            "--history-windows" => {
+                config.history_windows = iter
+                    .next()
+                    .ok_or("--history-windows needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--history-windows: {e}"))?
+            }
             other => return Err(format!("unknown argument {other:?}; try `qi help`")),
         }
     }
@@ -1055,6 +1095,173 @@ fn read_framed_response(
     let payload = buffered[head_end..head_end + length].to_vec();
     buffered.drain(..head_end + length);
     Ok((head, payload))
+}
+
+/// `qi top`: a refreshing terminal dashboard over `/metrics/history`.
+/// One keep-alive connection, one GET per refresh; every number on
+/// screen is computed client-side from the returned window deltas.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let usage = "usage: qi top [--interval-ms <n>] [--iterations <n>] [--windows <n>] [--raw] \
+                 <host:port>";
+    let mut target: Option<&str> = None;
+    let mut interval_ms: u64 = 1_000;
+    let mut iterations: Option<u64> = None;
+    let mut windows: u64 = 10;
+    let mut raw = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--interval-ms" => {
+                interval_ms = iter
+                    .next()
+                    .ok_or("--interval-ms needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?
+            }
+            "--iterations" => {
+                iterations = Some(
+                    iter.next()
+                        .ok_or("--iterations needs a number")?
+                        .parse()
+                        .map_err(|e| format!("--iterations: {e}"))?,
+                )
+            }
+            "--windows" => {
+                windows = iter
+                    .next()
+                    .ok_or("--windows needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--windows: {e}"))?;
+                if windows == 0 {
+                    return Err("--windows must be at least 1".to_string());
+                }
+            }
+            "--raw" => raw = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            value if target.is_none() => target = Some(value),
+            extra => return Err(format!("unexpected argument {extra:?}; {usage}")),
+        }
+    }
+    let Some(target) = target else {
+        return Err(usage.to_string());
+    };
+    let hostport = target
+        .strip_prefix("http://")
+        .unwrap_or(target)
+        .trim_end_matches('/');
+
+    use std::io::Write;
+    let timeout = Some(std::time::Duration::from_secs(10));
+    let mut stream = std::net::TcpStream::connect(hostport)
+        .map_err(|e| format!("connecting to {hostport}: {e}"))?;
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    let request = format!(
+        "GET /metrics/history?windows={windows} HTTP/1.1\r\nhost: {hostport}\r\n\
+         content-length: 0\r\nconnection: keep-alive\r\n\r\n"
+    )
+    .into_bytes();
+
+    let mut buffered: Vec<u8> = Vec::new();
+    let mut refreshed = 0u64;
+    loop {
+        stream
+            .write_all(&request)
+            .map_err(|e| format!("sending request: {e}"))?;
+        let (head, payload) = read_framed_response(&mut stream, &mut buffered)?;
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line {:?}", head.lines().next()))?;
+        if status != 200 {
+            return Err(format!("GET /metrics/history -> {status}"));
+        }
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| "history payload is not UTF-8".to_string())?;
+        let doc = qi_runtime::json::parse(text).map_err(|e| format!("parsing history: {e}"))?;
+        let rendered = render_top(hostport, &doc);
+        if raw {
+            // One summary line (the newest window) per refresh —
+            // pipeable, and what the smoke tests assert on.
+            println!("{}", rendered.lines().last().unwrap_or(""));
+        } else {
+            // ANSI clear + home, then the whole dashboard.
+            print!("\x1b[2J\x1b[H{rendered}");
+            let _ = std::io::stdout().flush();
+        }
+        refreshed += 1;
+        if iterations.is_some_and(|n| refreshed >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Render the `/metrics/history` document as the `qi top` dashboard:
+/// a header plus one row per window, oldest first.
+fn render_top(hostport: &str, doc: &qi_runtime::json::Json) -> String {
+    use std::fmt::Write;
+    let interval_ms = doc.u64_or_zero("interval_ns") / 1_000_000;
+    let windows = doc
+        .get("windows")
+        .and_then(qi_runtime::json::Json::as_array)
+        .unwrap_or(&[]);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "qi top — {hostport} — {} window(s) of {interval_ms}ms",
+        windows.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>8} {:>8} {:>9} {:>9} {:>5} {:>5} {:>7} {:>11} {:>12}",
+        "window",
+        "dur_s",
+        "req/s",
+        "p50_us",
+        "p99_us",
+        "err",
+        "shed",
+        "ingest",
+        "cache_h/m",
+        "events(+drop)"
+    );
+    for window in windows {
+        let duration_s = window.u64_or_zero("duration_ns") as f64 / 1e9;
+        let counters = window.get("counters");
+        let count = |name: &str| counters.map_or(0, |c| c.u64_or_zero(name));
+        let requests = count("serve.requests");
+        let rate = if duration_s > 0.0 {
+            requests as f64 / duration_s
+        } else {
+            0.0
+        };
+        let latency = window
+            .get("histograms")
+            .and_then(|h| h.get("serve.latency"));
+        let quantile_us = |q: &str| latency.map_or(0, |l| l.u64_or_zero(q)) / 1_000;
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8.2} {:>8.1} {:>9} {:>9} {:>5} {:>5} {:>7} {:>5}/{:<5} {:>8}(+{})",
+            window.u64_or_zero("index"),
+            duration_s,
+            rate,
+            quantile_us("p50"),
+            quantile_us("p99"),
+            count("serve.errors"),
+            count("serve.shed"),
+            count("serve.requests.ingest"),
+            count("serve.cache.hits"),
+            count("serve.cache.misses"),
+            count("events.emitted"),
+            count("events.dropped"),
+        );
+    }
+    if windows.is_empty() {
+        out.push_str("(no windows yet — the first interval has not closed)\n");
+    }
+    out
 }
 
 /// Re-derive every domain's clusters with the indexed matcher purely to

@@ -232,6 +232,48 @@ fn prometheus_exposition_matches_golden_and_is_deterministic() {
     assert_matches_golden(&first, "prometheus.txt", "Prometheus exposition");
 }
 
+/// A deterministic flight-recorder + time-series run: the virtual
+/// clock advances a fixed step per reading, so two runs must serialize
+/// the windowed history document byte-for-byte (the ISSUE 10
+/// acceptance golden).
+fn deterministic_history_document() -> String {
+    let telemetry =
+        qi_runtime::Telemetry::deterministic().attach_events(qi_runtime::EventRecorder::new(16));
+    let series = qi_runtime::TimeSeries::new(1_000_000, 8);
+    for window in 0..3u64 {
+        for request in 0..=window {
+            telemetry.incr("serve.requests");
+            telemetry.observe("serve.latency", 1_000 * (request + 1));
+        }
+        telemetry.gauge("serve.queue.depth", window);
+        telemetry.event(
+            qi_runtime::Severity::Info,
+            qi_runtime::Category::Cache,
+            "cache.invalidate",
+            || vec![("slug", "auto".into()), ("entries", window.into())],
+        );
+        series.tick(&telemetry);
+    }
+    series.history_json(8)
+}
+
+#[test]
+fn metrics_history_matches_golden_and_is_byte_identical() {
+    let first = deterministic_history_document();
+    let second = deterministic_history_document();
+    assert_eq!(
+        first, second,
+        "deterministic runs must serialize identical history documents"
+    );
+    // Counters become per-window increments: each window carries only
+    // its own activity, and the recorder's bookkeeping counters flow
+    // through the same delta pipeline.
+    assert!(first.contains("\"serve.requests\":1"), "{first}");
+    assert!(first.contains("\"serve.requests\":3"), "{first}");
+    assert!(first.contains("\"events.emitted\":1"), "{first}");
+    assert_matches_golden(&first, "metrics_history.json", "windowed metrics history");
+}
+
 #[test]
 fn chrome_trace_is_byte_identical_across_deterministic_runs() {
     let _guard = lock();
